@@ -1,0 +1,381 @@
+package threatraptor
+
+// The benchmark harness regenerates every experiment in DESIGN.md §3:
+//
+//	E1 BenchmarkFig2Pipeline        — Fig. 2 end-to-end pipeline
+//	E2 BenchmarkHuntPasswordCrack   — demo attack 1 hunt vs. noise level
+//	E3 BenchmarkHuntDataLeakage     — demo attack 2 hunt vs. noise level
+//	E4 BenchmarkNLPExtraction       — extraction pipeline vs. baselines
+//	E5 BenchmarkExecScheduledVsNaive, BenchmarkExecScaling — query
+//	   efficiency: scheduling + propagation ablation, data-size scaling
+//	E6 BenchmarkCPRReduction        — causality-preserved reduction
+//	E7 BenchmarkQueryConciseness    — TBQL vs. compiled SQL/Cypher size
+//	E8 BenchmarkIngest              — parse + store throughput
+//
+// Run: go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/audit/gen"
+	"repro/internal/ctigen"
+	"repro/internal/eval"
+	"repro/internal/extract"
+	"repro/internal/provenance"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures (built once; benchmarks must not pay setup in the loop).
+
+type fixture struct {
+	sys   *System
+	truth *gen.Workload
+	query *Query
+}
+
+var (
+	fixtures   = map[string]*fixture{}
+	fixturesMu sync.Mutex
+)
+
+// loadFixture builds (once) a system with the given workload and the
+// Fig. 2 query synthesized from the Fig. 2 report text.
+func loadFixture(b *testing.B, name string, cfg gen.Config, report string) *fixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	sys, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := gen.Generate(cfg)
+	if _, err := sys.IngestRecords(w.Records); err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{sys: sys, truth: w}
+	if report != "" {
+		g := sys.ExtractBehavior(report)
+		q, _, err := sys.SynthesizeQuery(g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.query = q
+	}
+	fixtures[name] = f
+	return f
+}
+
+func leakCfg(benign int) gen.Config {
+	return gen.Config{
+		Seed: 1, BenignEvents: benign, Duration: time.Hour,
+		Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 30 * time.Minute}},
+	}
+}
+
+func crackCfg(benign int) gen.Config {
+	return gen.Config{
+		Seed: 1, BenignEvents: benign, Duration: time.Hour,
+		Attacks: []gen.Attack{{Kind: gen.AttackPasswordCrack, At: 30 * time.Minute}},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E1: the Fig. 2 pipeline, end to end and per stage.
+
+func BenchmarkFig2Pipeline(b *testing.B) {
+	f := loadFixture(b, "leak10k", leakCfg(10000), "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := f.sys.ExtractBehavior(extract.Fig2Text)
+		q, _, err := f.sys.SynthesizeQuery(g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.sys.HuntQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("want 1 match, got %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkFig2Extract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := extract.Extract(extract.Fig2Text)
+		if len(g.Edges) < 8 {
+			b.Fatalf("extracted %d edges", len(g.Edges))
+		}
+	}
+}
+
+func BenchmarkFig2Synthesize(b *testing.B) {
+	sys, _ := New(Options{})
+	g := sys.ExtractBehavior(extract.Fig2Text)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.SynthesizeQuery(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2/E3: hunting the two demo attacks at increasing noise levels. The
+// matched chain must always be exactly the injected attack.
+
+func BenchmarkHuntDataLeakage(b *testing.B) {
+	for _, benign := range []int{2000, 10000, 50000} {
+		b.Run(fmt.Sprintf("benign=%d", benign), func(b *testing.B) {
+			f := loadFixture(b, fmt.Sprintf("leak%d", benign), leakCfg(benign), extract.Fig2Text)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := f.sys.HuntQuery(f.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					b.Fatalf("want 1 match, got %d", len(res.Rows))
+				}
+			}
+			b.ReportMetric(float64(f.sys.NumEvents()), "events")
+		})
+	}
+}
+
+func BenchmarkHuntPasswordCrack(b *testing.B) {
+	for _, benign := range []int{2000, 10000, 50000} {
+		b.Run(fmt.Sprintf("benign=%d", benign), func(b *testing.B) {
+			f := loadFixture(b, fmt.Sprintf("crack%d", benign), crackCfg(benign), extract.PasswordCrackText)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := f.sys.HuntQuery(f.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) < 1 {
+					b.Fatal("attack not found")
+				}
+			}
+			b.ReportMetric(float64(f.sys.NumEvents()), "events")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4: NLP extraction accuracy and speed vs. baselines. Accuracy is
+// reported as extra metrics (f1 per task) so the bench regenerates the
+// paper's accuracy table alongside throughput.
+
+func BenchmarkNLPExtraction(b *testing.B) {
+	corpus := ctigen.Corpus(42, 20, 6)
+	for _, ex := range []eval.Extractor{eval.Pipeline{}, eval.RegexCooccur{}, eval.IOCOnly{}} {
+		b.Run(ex.Name(), func(b *testing.B) {
+			var iocM, relM eval.Metrics
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iocM, relM = eval.Score(ex, corpus)
+			}
+			b.ReportMetric(iocM.F1(), "ioc-f1")
+			b.ReportMetric(relM.F1(), "rel-f1")
+			b.ReportMetric(relM.Precision(), "rel-p")
+			b.ReportMetric(relM.Recall(), "rel-r")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5: query execution efficiency — the scheduling/propagation ablation and
+// data-size scaling.
+
+func execModes() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"scheduled", Options{}},
+		{"no-propagation", Options{DisablePropagation: true}},
+		{"naive", Options{DisableScheduling: true, DisablePropagation: true}},
+	}
+}
+
+func BenchmarkExecScheduledVsNaive(b *testing.B) {
+	w := gen.Generate(leakCfg(10000))
+	for _, mode := range execModes() {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := New(mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.IngestRecords(w.Records); err != nil {
+				b.Fatal(err)
+			}
+			g := sys.ExtractBehavior(extract.Fig2Text)
+			q, _, err := sys.SynthesizeQuery(g, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var fetched int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sys.HuntQuery(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					b.Fatal("attack not found")
+				}
+				fetched = res.Stats.RowsFetched
+			}
+			b.ReportMetric(float64(fetched), "rows-fetched")
+		})
+	}
+}
+
+func BenchmarkExecScaling(b *testing.B) {
+	for _, benign := range []int{2000, 10000, 50000} {
+		b.Run(fmt.Sprintf("events=%d", benign), func(b *testing.B) {
+			f := loadFixture(b, fmt.Sprintf("leak%d", benign), leakCfg(benign), extract.Fig2Text)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.sys.HuntQuery(f.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecPathPattern measures the graph-backend path search used by
+// the advanced TBQL syntax.
+func BenchmarkExecPathPattern(b *testing.B) {
+	f := loadFixture(b, "leak10k", leakCfg(10000), "")
+	q, err := f.sys.ParseQuery(`proc p["%/usr/sbin/apache2%"] ~>(1~4)[read] file f["%/etc/passwd%"] as e1
+return distinct p, f`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.sys.HuntQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("path not found")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6: Causality Preserved Reduction on bursty event streams.
+
+func BenchmarkCPRReduction(b *testing.B) {
+	for _, burst := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("burst=%d", burst), func(b *testing.B) {
+			// Synthesize a stream where each (subject, object) pair emits
+			// `burst` back-to-back events per interaction.
+			rng := rand.New(rand.NewSource(3))
+			var events []*audit.Event
+			var ts int64
+			for i := 0; i < 20000/burst; i++ {
+				src := int64(1 + rng.Intn(50))
+				dst := int64(100 + rng.Intn(200))
+				for j := 0; j < burst; j++ {
+					ts += 10
+					events = append(events, &audit.Event{
+						ID: int64(len(events) + 1), SrcID: src, DstID: dst,
+						Op: audit.OpWrite, StartTime: ts, EndTime: ts + 5, Amount: 64,
+					})
+				}
+			}
+			var stats provenance.CPRStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats = provenance.Reduce(events)
+			}
+			b.ReportMetric(stats.ReductionFactor(), "reduction-x")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7: query conciseness — TBQL source size vs. the compiled SQL/Cypher the
+// analyst would otherwise write by hand (the paper's motivation for TBQL).
+
+func BenchmarkQueryConciseness(b *testing.B) {
+	f := loadFixture(b, "leak2k", leakCfg(2000), extract.Fig2Text)
+	var tbqlChars, dataChars int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.sys.HuntQuery(f.query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbqlChars = len(f.query.String())
+		dataChars = 0
+		for _, dq := range res.Stats.DataQueries {
+			dataChars += len(dq)
+		}
+	}
+	b.ReportMetric(float64(tbqlChars), "tbql-chars")
+	b.ReportMetric(float64(dataChars), "sql-chars")
+	b.ReportMetric(float64(dataChars)/float64(tbqlChars), "verbosity-x")
+}
+
+// ---------------------------------------------------------------------------
+// E8: ingestion throughput (parse + dual-backend store), with and without
+// CPR.
+
+func BenchmarkIngest(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		w := gen.Generate(gen.Config{Seed: 9, BenignEvents: n})
+		for _, cpr := range []bool{false, true} {
+			name := fmt.Sprintf("events=%d/cpr=%v", n, cpr)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys, err := New(Options{CPR: cpr})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sys.IngestRecords(w.Records); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(w.Records))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
+// BenchmarkLogParse isolates the text-format parsing stage.
+func BenchmarkLogParse(b *testing.B) {
+	w := gen.Generate(gen.Config{Seed: 9, BenignEvents: 10000})
+	lines := make([]string, len(w.Records))
+	for i, r := range w.Records {
+		lines[i] = audit.FormatRecord(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := audit.NewParser()
+		for _, l := range lines {
+			if _, err := p.ParseLine(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(lines))*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+}

@@ -1,0 +1,107 @@
+// Command tbql executes TBQL queries over system audit logs.
+//
+// Usage:
+//
+//	tbql -logs host1.log -e 'proc p["%tar%"] read file f as e1
+//	return p, f'
+//	tbql -logs host1.log -query hunt.tbql -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		logs    = flag.String("logs", "", "audit log file (required)")
+		queryF  = flag.String("query", "", "TBQL query file")
+		expr    = flag.String("e", "", "inline TBQL query")
+		cpr     = flag.Bool("cpr", false, "apply causality-preserved reduction before storage")
+		explain = flag.Bool("explain", false, "print compiled data queries and stats")
+	)
+	flag.Parse()
+
+	if *logs == "" || (*queryF == "" && *expr == "") {
+		fmt.Fprintln(os.Stderr, "usage: tbql -logs FILE (-query FILE | -e QUERY) [-cpr] [-explain]")
+		os.Exit(2)
+	}
+	src := *expr
+	if *queryF != "" {
+		data, err := os.ReadFile(*queryF)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	sys, err := threatraptor.New(threatraptor.Options{CPR: *cpr})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*logs)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := sys.IngestLogs(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d events (%d stored, %.2fx reduction), %d entities\n",
+		stats.EventsIn, stats.EventsStored, stats.CPRReduction, stats.Entities)
+
+	res, err := sys.Hunt(src)
+	if err != nil {
+		fatal(err)
+	}
+	printTable(res.Cols, res.Rows)
+	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Rows))
+	if *explain {
+		fmt.Fprintln(os.Stderr, "\ndata queries (execution order):")
+		for i, q := range res.Stats.DataQueries {
+			fmt.Fprintf(os.Stderr, "  %d. %s\n", i+1, q)
+		}
+		fmt.Fprintf(os.Stderr, "rows fetched: %d, propagations: %d, join candidates: %d\n",
+			res.Stats.RowsFetched, res.Stats.Propagations, res.Stats.JoinCandidates)
+	}
+}
+
+func printTable(cols []string, rows [][]string) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(strings.Join(parts, "  "))
+	}
+	line(cols)
+	seps := make([]string, len(cols))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tbql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,362 @@
+// Command threatraptor is the end-to-end CLI for the ThreatRaptor system:
+// OSCTI-driven threat hunting over system audit logs.
+//
+// Subcommands:
+//
+//	demo      run the paper's full demo scenario in-process
+//	extract   OSCTI report -> threat behavior graph
+//	synth     OSCTI report -> synthesized TBQL query
+//	hunt      OSCTI report (or TBQL query) + audit logs -> matches
+//	explain   show compiled data queries, pruning scores, schedule
+//	eval-nlp  NLP extraction accuracy vs. baselines (experiment E4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/audit/gen"
+	"repro/internal/ctigen"
+	"repro/internal/eval"
+	"repro/internal/extract"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "demo":
+		err = runDemo(args)
+	case "extract":
+		err = runExtract(args)
+	case "synth":
+		err = runSynth(args)
+	case "hunt":
+		err = runHunt(args)
+	case "explain":
+		err = runExplain(args)
+	case "eval-nlp":
+		err = runEvalNLP(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "threatraptor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: threatraptor <command> [flags]
+
+commands:
+  demo      run the paper's demo scenario end to end (no files needed)
+  extract   -report FILE            print the threat behavior graph
+  synth     -report FILE [-paths]   print the synthesized TBQL query
+  hunt      -logs FILE (-report FILE | -query FILE) [-cpr]
+  explain   -logs FILE (-report FILE | -query FILE)
+  eval-nlp  [-n 20] [-steps 6]      NLP accuracy vs. baselines`)
+	os.Exit(2)
+}
+
+func readFileFlag(path, what string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("missing -%s", what)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func newLoadedSystem(logPath string, cpr bool) (*threatraptor.System, error) {
+	sys, err := threatraptor.New(threatraptor.Options{CPR: cpr})
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	stats, err := sys.IngestLogs(f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d events (%d stored), %d entities\n",
+		stats.EventsIn, stats.EventsStored, stats.Entities)
+	return sys, nil
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	report := fs.String("report", "", "OSCTI report file")
+	fs.Parse(args)
+	text, err := readFileFlag(*report, "report")
+	if err != nil {
+		return err
+	}
+	g := extract.Extract(text)
+	fmt.Printf("threat behavior graph: %d nodes, %d edges\n\n", len(g.Nodes), len(g.Edges))
+	fmt.Print(g.String())
+	return nil
+}
+
+func runSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	report := fs.String("report", "", "OSCTI report file")
+	paths := fs.Bool("paths", false, "synthesize variable-length path patterns")
+	pathMax := fs.Int("path-max", 4, "maximum hops for path patterns")
+	fs.Parse(args)
+	text, err := readFileFlag(*report, "report")
+	if err != nil {
+		return err
+	}
+	g := extract.Extract(text)
+	var plan *threatraptor.SynthPlan
+	if *paths {
+		plan = &threatraptor.SynthPlan{UsePaths: true, PathMin: 1, PathMax: *pathMax}
+	}
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		return err
+	}
+	q, rep, err := sys.SynthesizeQuery(g, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Println(q.String())
+	for _, d := range rep.DroppedNodes {
+		fmt.Fprintf(os.Stderr, "# screened out (type not audited): %s\n", d)
+	}
+	for _, d := range rep.DroppedEdges {
+		fmt.Fprintf(os.Stderr, "# dropped (no operation rule): %s\n", d)
+	}
+	return nil
+}
+
+func loadQuery(sys *threatraptor.System, reportPath, queryPath string) (*threatraptor.Query, error) {
+	switch {
+	case reportPath != "":
+		text, err := readFileFlag(reportPath, "report")
+		if err != nil {
+			return nil, err
+		}
+		g := sys.ExtractBehavior(text)
+		q, _, err := sys.SynthesizeQuery(g, nil)
+		return q, err
+	case queryPath != "":
+		src, err := readFileFlag(queryPath, "query")
+		if err != nil {
+			return nil, err
+		}
+		return sys.ParseQuery(src)
+	default:
+		return nil, fmt.Errorf("need -report or -query")
+	}
+}
+
+func runHunt(args []string) error {
+	fs := flag.NewFlagSet("hunt", flag.ExitOnError)
+	logs := fs.String("logs", "", "audit log file")
+	report := fs.String("report", "", "OSCTI report file")
+	query := fs.String("query", "", "TBQL query file")
+	cpr := fs.Bool("cpr", false, "apply CPR before storage")
+	fs.Parse(args)
+	if *logs == "" {
+		return fmt.Errorf("missing -logs")
+	}
+	sys, err := newLoadedSystem(*logs, *cpr)
+	if err != nil {
+		return err
+	}
+	q, err := loadQuery(sys, *report, *query)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "query:\n%s\n\n", q.String())
+	res, err := sys.HuntQuery(q)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	logs := fs.String("logs", "", "audit log file")
+	report := fs.String("report", "", "OSCTI report file")
+	query := fs.String("query", "", "TBQL query file")
+	fs.Parse(args)
+	if *logs == "" {
+		return fmt.Errorf("missing -logs")
+	}
+	sys, err := newLoadedSystem(*logs, false)
+	if err != nil {
+		return err
+	}
+	q, err := loadQuery(sys, *report, *query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TBQL query (%d chars):\n%s\n\n", len(q.String()), q.String())
+	res, err := sys.HuntQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println("compiled data queries (execution order):")
+	for i, dq := range res.Stats.DataQueries {
+		kind := "SQL   "
+		if strings.HasPrefix(dq, "MATCH") {
+			kind = "Cypher"
+		}
+		fmt.Printf("  %d. [%s] %s\n", i+1, kind, dq)
+	}
+	fmt.Printf("\nrows fetched: %d, propagations: %d, join candidates: %d, matches: %d\n",
+		res.Stats.RowsFetched, res.Stats.Propagations, res.Stats.JoinCandidates, len(res.Rows))
+	return nil
+}
+
+func runEvalNLP(args []string) error {
+	fs := flag.NewFlagSet("eval-nlp", flag.ExitOnError)
+	n := fs.Int("n", 20, "corpus size")
+	steps := fs.Int("steps", 6, "relation steps per report")
+	seed := fs.Int64("seed", 42, "corpus seed")
+	fs.Parse(args)
+
+	corpus := ctigen.Corpus(*seed, *n, *steps)
+	fmt.Printf("NLP extraction accuracy over %d generated reports (%d steps each)\n\n", *n, *steps)
+	fmt.Printf("%-22s %8s %8s %8s   %8s %8s %8s\n", "extractor",
+		"IOC-P", "IOC-R", "IOC-F1", "REL-P", "REL-R", "REL-F1")
+	for _, ex := range []eval.Extractor{eval.Pipeline{}, eval.RegexCooccur{}, eval.IOCOnly{}} {
+		iocM, relM := eval.Score(ex, corpus)
+		fmt.Printf("%-22s %8.3f %8.3f %8.3f   %8.3f %8.3f %8.3f\n", ex.Name(),
+			iocM.Precision(), iocM.Recall(), iocM.F1(),
+			relM.Precision(), relM.Recall(), relM.F1())
+	}
+	return nil
+}
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	benign := fs.Int("benign", 5000, "benign background events")
+	attack := fs.String("attack", "leak", "demo attack: leak or crack")
+	fs.Parse(args)
+
+	var kind gen.AttackKind
+	var report string
+	switch *attack {
+	case "leak":
+		kind, report = gen.AttackDataLeakage, extract.Fig2Text
+	case "crack":
+		kind, report = gen.AttackPasswordCrack, extract.PasswordCrackText
+	default:
+		return fmt.Errorf("unknown attack %q", *attack)
+	}
+
+	fmt.Printf("=== ThreatRaptor demo: %s after Shellshock penetration ===\n\n", kind)
+
+	fmt.Printf("[1/5] simulating audited host (%d benign events + scripted attack)...\n", *benign)
+	w := gen.Generate(gen.Config{Seed: 1, BenignEvents: *benign, Duration: time.Hour,
+		Attacks: []gen.Attack{{Kind: kind, At: 30 * time.Minute}}})
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	stats, err := sys.IngestRecords(w.Records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d events, %d entities ingested in %v\n\n", stats.EventsIn, stats.Entities, time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("[2/5] OSCTI report:")
+	fmt.Println(indent(wrap(report, 76), "      "))
+
+	fmt.Println("\n[3/5] extracted threat behavior graph:")
+	g := sys.ExtractBehavior(report)
+	fmt.Print(indent(g.String(), "      "))
+
+	fmt.Println("\n[4/5] synthesized TBQL query:")
+	q, _, err := sys.SynthesizeQuery(g, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(indent(q.String(), "      "))
+
+	fmt.Println("\n[5/5] executing the query over the audit data...")
+	start = time.Now()
+	res, err := sys.HuntQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      executed in %v (%d data queries, %d rows fetched)\n\n",
+		time.Since(start).Round(time.Millisecond), len(res.Stats.DataQueries), res.Stats.RowsFetched)
+	printResult(res)
+	fmt.Printf("\nground truth: the attack had %d steps; the hunt matched %d complete chain(s)\n",
+		len(w.Truth), len(res.Matches))
+	return nil
+}
+
+func printResult(res *threatraptor.HuntResult) {
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range res.Rows {
+		for i, v := range r {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	row := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	row(res.Cols)
+	for _, r := range res.Rows {
+		row(r)
+	}
+	if len(res.Rows) == 0 {
+		fmt.Println("(no matches)")
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	col := 0
+	for _, w := range words {
+		if col+len(w)+1 > width && col > 0 {
+			b.WriteByte('\n')
+			col = 0
+		} else if col > 0 {
+			b.WriteByte(' ')
+			col++
+		}
+		b.WriteString(w)
+		col += len(w)
+	}
+	return b.String()
+}

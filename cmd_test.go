@@ -1,0 +1,126 @@
+package threatraptor
+
+// Integration smoke tests for the command-line tools: each binary is
+// built once and exercised end to end on generated data.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+)
+
+// buildCommands compiles all binaries into a temp dir, once per test run.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+		"./cmd/threatraptor", "./cmd/tbql", "./cmd/auditgen", "./cmd/ctigen")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	bin := buildCommands(t)
+	work := t.TempDir()
+	logFile := filepath.Join(work, "host1.log")
+	reportFile := filepath.Join(work, "report.txt")
+	queryFile := filepath.Join(work, "hunt.tbql")
+
+	// auditgen: generate a workload with the data-leakage attack.
+	run(t, filepath.Join(bin, "auditgen"),
+		"-benign", "1000", "-attacks", "leak@5m", "-o", logFile, "-q")
+	data, err := os.ReadFile(logFile)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("auditgen produced no log: %v", err)
+	}
+
+	// Write the Fig. 2 report for report-driven commands.
+	if err := os.WriteFile(reportFile, []byte(extract.Fig2Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// threatraptor extract.
+	stdout, _ := run(t, filepath.Join(bin, "threatraptor"), "extract", "-report", reportFile)
+	if !strings.Contains(stdout, "/bin/tar") || !strings.Contains(stdout, "-read->") {
+		t.Errorf("extract output missing graph: %s", stdout)
+	}
+
+	// threatraptor synth.
+	stdout, _ = run(t, filepath.Join(bin, "threatraptor"), "synth", "-report", reportFile)
+	if !strings.Contains(stdout, "proc p1") || !strings.Contains(stdout, "return distinct") {
+		t.Errorf("synth output missing query: %s", stdout)
+	}
+	if err := os.WriteFile(queryFile, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// threatraptor hunt from the report.
+	stdout, _ = run(t, filepath.Join(bin, "threatraptor"), "hunt", "-logs", logFile, "-report", reportFile)
+	if !strings.Contains(stdout, "192.168.29.128") {
+		t.Errorf("hunt did not find the attack:\n%s", stdout)
+	}
+
+	// threatraptor explain with the synthesized query file.
+	stdout, _ = run(t, filepath.Join(bin, "threatraptor"), "explain", "-logs", logFile, "-query", queryFile)
+	if !strings.Contains(stdout, "SELECT") || !strings.Contains(stdout, "compiled data queries") {
+		t.Errorf("explain output wrong:\n%s", stdout)
+	}
+
+	// tbql with an inline query.
+	stdout, _ = run(t, filepath.Join(bin, "tbql"),
+		"-logs", logFile, "-e", "proc p read file f[\"%/etc/passwd%\"] as e1\nreturn distinct p")
+	if !strings.Contains(stdout, "/bin/tar") {
+		t.Errorf("tbql output missing match:\n%s", stdout)
+	}
+
+	// threatraptor eval-nlp (small corpus).
+	stdout, _ = run(t, filepath.Join(bin, "threatraptor"), "eval-nlp", "-n", "3", "-steps", "3")
+	if !strings.Contains(stdout, "threatraptor") || !strings.Contains(stdout, "REL-F1") {
+		t.Errorf("eval-nlp output wrong:\n%s", stdout)
+	}
+
+	// threatraptor demo (small).
+	stdout, _ = run(t, filepath.Join(bin, "threatraptor"), "demo", "-benign", "500")
+	if !strings.Contains(stdout, "ground truth") {
+		t.Errorf("demo output wrong:\n%s", stdout)
+	}
+
+	// ctigen.
+	stdout, _ = run(t, filepath.Join(bin, "ctigen"), "-n", "2", "-steps", "3")
+	if !strings.Contains(stdout, "# Relations:") {
+		t.Errorf("ctigen output wrong:\n%s", stdout)
+	}
+}

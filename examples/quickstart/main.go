@@ -1,0 +1,52 @@
+// Quickstart: the minimal ThreatRaptor workflow — ingest audit records,
+// write a TBQL query by hand, and hunt.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/audit"
+)
+
+func main() {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tiny hand-written audit trail: a shell reads the password file
+	// and exfiltrates it.
+	recs := []threatraptor.Record{
+		{StartNS: 100, EndNS: 110, Host: "web1", PID: 41, Exe: "/bin/bash",
+			Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 2949},
+		{StartNS: 200, EndNS: 210, Host: "web1", PID: 41, Exe: "/bin/bash",
+			Op: audit.OpConnect, ObjType: audit.EntityNetConn,
+			ObjSpec: audit.ConnSpec("10.0.0.5", 40000, "203.0.113.7", 443, "tcp"), Amount: 2949},
+		// Benign noise: sshd also reads /etc/passwd but never connects out.
+		{StartNS: 150, EndNS: 160, Host: "web1", PID: 77, Exe: "/usr/sbin/sshd",
+			Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 2949},
+	}
+	if _, err := sys.IngestRecords(recs); err != nil {
+		log.Fatal(err)
+	}
+
+	// TBQL: a process that reads the password file and THEN connects out.
+	const query = `proc p read file f["%/etc/passwd%"] as evt1
+proc p connect ip i as evt2
+with evt1 before evt2
+return distinct p, f, i`
+
+	res, err := sys.Hunt(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suspicious credential exfiltration:")
+	for _, row := range res.Rows {
+		fmt.Printf("  process %s read %s and connected to %s\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// suspicious credential exfiltration:
+	//   process /bin/bash read /etc/passwd and connected to 203.0.113.7
+}

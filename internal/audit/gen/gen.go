@@ -1,0 +1,429 @@
+// Package gen simulates an audited enterprise host. It substitutes for the
+// live Sysdig deployment in the paper's demonstration: it produces
+// Sysdig-style audit records for realistic benign background activity
+// (web browsing, software builds, cron jobs, package updates, sshd logins,
+// log rotation) interleaved with scripted multi-stage attacks — the two
+// attacks the paper performs in its demo (Password Cracking after
+// Shellshock Penetration, and Data Leakage after Shellshock Penetration).
+//
+// Generation is deterministic for a given Config.Seed, and every attack
+// emits ground-truth labels so that hunting recall can be evaluated.
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// AttackKind selects one of the scripted multi-stage attacks.
+type AttackKind int
+
+// The two attacks performed in the paper's demonstration (§III).
+const (
+	// AttackDataLeakage is "Data Leakage After Shellshock Penetration":
+	// the attacker scans the file system, scrapes files into a single
+	// compressed and encrypted file, and transfers it to the C2 server.
+	// Its final stage is exactly the Fig. 2 data-leakage case.
+	AttackDataLeakage AttackKind = iota + 1
+	// AttackPasswordCrack is "Password Cracking After Shellshock
+	// Penetration": the attacker downloads an image from a cloud service
+	// whose EXIF metadata encodes the C2 address, downloads a password
+	// cracker from C2, and runs it against the shadow file.
+	AttackPasswordCrack
+)
+
+// String names the attack.
+func (k AttackKind) String() string {
+	switch k {
+	case AttackDataLeakage:
+		return "data-leakage"
+	case AttackPasswordCrack:
+		return "password-crack"
+	default:
+		return fmt.Sprintf("attack(%d)", int(k))
+	}
+}
+
+// Attack schedules one attack instance within the generated workload.
+type Attack struct {
+	Kind AttackKind
+	// At is the offset from Config.Start at which the attack begins.
+	At time.Duration
+}
+
+// Config parameterises a simulated host workload.
+type Config struct {
+	Seed  int64
+	Host  string
+	Start time.Time
+	// Duration is the wall-clock span covered by the workload.
+	Duration time.Duration
+	// BenignEvents is the approximate number of benign records generated.
+	BenignEvents int
+	// Attacks lists the attack instances to inject.
+	Attacks []Attack
+}
+
+// GroundTruthStep records one attack step for evaluation: the record that
+// implements it and the attack it belongs to.
+type GroundTruthStep struct {
+	Attack AttackKind
+	Step   int
+	Desc   string
+	Record audit.Record
+}
+
+// Workload is a fully generated host workload.
+type Workload struct {
+	Records []audit.Record
+	// Truth holds the ground-truth attack steps in order.
+	Truth []GroundTruthStep
+}
+
+// WriteTo writes the workload as Sysdig-style log lines.
+func (w *Workload) WriteTo(out io.Writer) (int64, error) {
+	var n int64
+	for _, r := range w.Records {
+		m, err := io.WriteString(out, audit.FormatRecord(r)+"\n")
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// C2IP is the command-and-control address used by both scripted attacks.
+// It matches the paper's running example (Fig. 2).
+const C2IP = "192.168.29.128"
+
+// DropboxIP stands in for the cloud service the password-crack attack
+// contacts first.
+const DropboxIP = "162.125.248.18"
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     time.Time
+	recs    []audit.Record
+	truth   []GroundTruthStep
+	nextPID int
+	localIP string
+}
+
+// Generate produces a deterministic workload for the given config.
+func Generate(cfg Config) *Workload {
+	if cfg.Host == "" {
+		cfg.Host = "host1"
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2021, 2, 25, 9, 0, 0, 0, time.UTC)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Hour
+	}
+	if cfg.BenignEvents < 0 {
+		cfg.BenignEvents = 0
+	}
+	g := &generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		now:     cfg.Start,
+		nextPID: 1000,
+		localIP: "10.0.0.5",
+	}
+	g.benign(cfg.BenignEvents)
+	for _, a := range cfg.Attacks {
+		at := cfg.Start.Add(a.At)
+		switch a.Kind {
+		case AttackDataLeakage:
+			g.dataLeakage(at)
+		case AttackPasswordCrack:
+			g.passwordCrack(at)
+		}
+	}
+	sort.SliceStable(g.recs, func(i, j int) bool { return g.recs[i].StartNS < g.recs[j].StartNS })
+	return &Workload{Records: g.recs, Truth: g.truth}
+}
+
+func (g *generator) pid() int {
+	g.nextPID++
+	return g.nextPID
+}
+
+// emit appends a record with the given timing.
+func (g *generator) emit(t time.Time, pid int, exe string, op audit.OpType, objType audit.EntityType, objSpec string, amount int64) audit.Record {
+	dur := time.Duration(1+g.rng.Intn(40)) * time.Millisecond
+	r := audit.Record{
+		StartNS: t.UnixNano(),
+		EndNS:   t.Add(dur).UnixNano(),
+		Host:    g.cfg.Host,
+		PID:     pid,
+		Exe:     exe,
+		Op:      op,
+		ObjType: objType,
+		ObjSpec: objSpec,
+		Amount:  amount,
+	}
+	g.recs = append(g.recs, r)
+	return r
+}
+
+func (g *generator) step(kind AttackKind, step int, desc string, r audit.Record) {
+	g.truth = append(g.truth, GroundTruthStep{Attack: kind, Step: step, Desc: desc, Record: r})
+}
+
+func (g *generator) ephemeralPort() int { return 32768 + g.rng.Intn(28000) }
+
+func (g *generator) conn(dstIP string, dstPort int) string {
+	return audit.ConnSpec(g.localIP, g.ephemeralPort(), dstIP, dstPort, "tcp")
+}
+
+// randTime picks a uniform time within the workload span.
+func (g *generator) randTime() time.Time {
+	off := time.Duration(g.rng.Int63n(int64(g.cfg.Duration)))
+	return g.cfg.Start.Add(off)
+}
+
+// ---------------------------------------------------------------------------
+// Benign background behaviours.
+
+var benignSites = []struct {
+	ip   string
+	port int
+}{
+	{"142.250.72.196", 443}, {"151.101.1.140", 443}, {"104.16.133.229", 443},
+	{"13.107.42.14", 443}, {"185.199.108.153", 443}, {"172.217.14.206", 80},
+}
+
+var benignDocs = []string{
+	"/home/alice/notes.txt", "/home/alice/report.docx", "/home/bob/todo.md",
+	"/home/alice/slides.pptx", "/home/bob/data.csv", "/home/alice/draft.tex",
+}
+
+var benignSources = []string{
+	"/home/bob/proj/main.c", "/home/bob/proj/util.c", "/home/bob/proj/net.c",
+	"/home/bob/proj/parse.c", "/home/bob/proj/io.c",
+}
+
+// benign emits approximately n benign records drawn from a pool of
+// multi-record behaviours.
+func (g *generator) benign(n int) {
+	behaviours := []func(time.Time) int{
+		g.benignBrowse,
+		g.benignBuild,
+		g.benignCron,
+		g.benignSSH,
+		g.benignAptUpdate,
+		g.benignLogRotate,
+		g.benignEditor,
+		g.benignBackup,
+		g.benignLogin,
+	}
+	emitted := 0
+	for emitted < n {
+		b := behaviours[g.rng.Intn(len(behaviours))]
+		emitted += b(g.randTime())
+	}
+}
+
+// benignBrowse: a browser connects to a site and writes cache files.
+func (g *generator) benignBrowse(t time.Time) int {
+	pid := g.pid()
+	site := benignSites[g.rng.Intn(len(benignSites))]
+	g.emit(t, pid, "/usr/bin/chrome", audit.OpConnect, audit.EntityNetConn, g.conn(site.ip, site.port), 0)
+	g.emit(t.Add(50*time.Millisecond), pid, "/usr/bin/chrome", audit.OpRecv, audit.EntityNetConn, g.conn(site.ip, site.port), int64(2048+g.rng.Intn(65536)))
+	cache := fmt.Sprintf("/home/alice/.cache/chrome/f_%06d", g.rng.Intn(1000000))
+	g.emit(t.Add(80*time.Millisecond), pid, "/usr/bin/chrome", audit.OpWrite, audit.EntityFile, cache, int64(1024+g.rng.Intn(32768)))
+	return 3
+}
+
+// benignBuild: make forks gcc, which reads sources and writes objects.
+func (g *generator) benignBuild(t time.Time) int {
+	makePID, gccPID := g.pid(), g.pid()
+	g.emit(t, makePID, "/usr/bin/make", audit.OpFork, audit.EntityProcess, audit.ProcSpec(gccPID, "/usr/bin/gcc"), 0)
+	cnt := 1
+	for i := 0; i < 2+g.rng.Intn(3); i++ {
+		src := benignSources[g.rng.Intn(len(benignSources))]
+		g.emit(t.Add(time.Duration(100+i*150)*time.Millisecond), gccPID, "/usr/bin/gcc", audit.OpRead, audit.EntityFile, src, int64(4096+g.rng.Intn(16384)))
+		g.emit(t.Add(time.Duration(170+i*150)*time.Millisecond), gccPID, "/usr/bin/gcc", audit.OpWrite, audit.EntityFile, src[:len(src)-2]+".o", int64(8192+g.rng.Intn(32768)))
+		cnt += 2
+	}
+	return cnt
+}
+
+// benignCron: cron forks a maintenance script that touches temp files.
+func (g *generator) benignCron(t time.Time) int {
+	cronPID, shPID := g.pid(), g.pid()
+	g.emit(t, cronPID, "/usr/sbin/cron", audit.OpFork, audit.EntityProcess, audit.ProcSpec(shPID, "/bin/sh"), 0)
+	g.emit(t.Add(20*time.Millisecond), shPID, "/bin/sh", audit.OpRead, audit.EntityFile, "/etc/crontab", 512)
+	g.emit(t.Add(60*time.Millisecond), shPID, "/bin/sh", audit.OpWrite, audit.EntityFile, fmt.Sprintf("/tmp/cron.%05d", g.rng.Intn(99999)), 128)
+	return 3
+}
+
+// benignSSH: sshd accepts a connection and reads auth files. Includes a
+// benign /etc/passwd read — deliberate false-positive pressure for the
+// data-leakage hunt.
+func (g *generator) benignSSH(t time.Time) int {
+	pid := g.pid()
+	peer := fmt.Sprintf("10.0.%d.%d", g.rng.Intn(256), 1+g.rng.Intn(254))
+	g.emit(t, pid, "/usr/sbin/sshd", audit.OpAccept, audit.EntityNetConn,
+		audit.ConnSpec(peer, g.ephemeralPort(), g.localIP, 22, "tcp"), 0)
+	g.emit(t.Add(30*time.Millisecond), pid, "/usr/sbin/sshd", audit.OpRead, audit.EntityFile, "/etc/passwd", 2048)
+	g.emit(t.Add(45*time.Millisecond), pid, "/usr/sbin/sshd", audit.OpRead, audit.EntityFile, "/etc/ssh/sshd_config", 4096)
+	return 3
+}
+
+// benignAptUpdate: apt connects to a mirror and writes package lists.
+func (g *generator) benignAptUpdate(t time.Time) int {
+	pid := g.pid()
+	g.emit(t, pid, "/usr/bin/apt", audit.OpConnect, audit.EntityNetConn, g.conn("91.189.91.39", 80), 0)
+	g.emit(t.Add(200*time.Millisecond), pid, "/usr/bin/apt", audit.OpRecv, audit.EntityNetConn, g.conn("91.189.91.39", 80), int64(65536+g.rng.Intn(262144)))
+	g.emit(t.Add(400*time.Millisecond), pid, "/usr/bin/apt", audit.OpWrite, audit.EntityFile, "/var/lib/apt/lists/archive_dists_InRelease", 131072)
+	return 3
+}
+
+// benignLogRotate: logrotate reads a log, writes the rotated copy, and
+// truncates. Exercises rename/delete operations.
+func (g *generator) benignLogRotate(t time.Time) int {
+	pid := g.pid()
+	g.emit(t, pid, "/usr/sbin/logrotate", audit.OpRead, audit.EntityFile, "/var/log/syslog", 1048576)
+	g.emit(t.Add(100*time.Millisecond), pid, "/usr/sbin/logrotate", audit.OpRename, audit.EntityFile, "/var/log/syslog.1", 0)
+	g.emit(t.Add(150*time.Millisecond), pid, "/usr/sbin/logrotate", audit.OpDelete, audit.EntityFile, "/var/log/syslog.7.gz", 0)
+	return 3
+}
+
+// benignEditor: an editor reads and writes user documents.
+func (g *generator) benignEditor(t time.Time) int {
+	pid := g.pid()
+	doc := benignDocs[g.rng.Intn(len(benignDocs))]
+	g.emit(t, pid, "/usr/bin/vim", audit.OpRead, audit.EntityFile, doc, int64(1024+g.rng.Intn(65536)))
+	g.emit(t.Add(5*time.Second), pid, "/usr/bin/vim", audit.OpWrite, audit.EntityFile, doc, int64(1024+g.rng.Intn(65536)))
+	return 2
+}
+
+// benignBackup: a backup tool tars home directories — benign use of
+// /bin/tar that stresses precision of the data-leakage hunt.
+func (g *generator) benignBackup(t time.Time) int {
+	pid := g.pid()
+	doc := benignDocs[g.rng.Intn(len(benignDocs))]
+	g.emit(t, pid, "/bin/tar", audit.OpRead, audit.EntityFile, doc, 65536)
+	g.emit(t.Add(300*time.Millisecond), pid, "/bin/tar", audit.OpWrite, audit.EntityFile, "/backup/home.tar", 65536)
+	return 2
+}
+
+// benignLogin: login reads /etc/passwd and /etc/shadow legitimately.
+func (g *generator) benignLogin(t time.Time) int {
+	pid := g.pid()
+	g.emit(t, pid, "/bin/login", audit.OpRead, audit.EntityFile, "/etc/passwd", 2048)
+	g.emit(t.Add(15*time.Millisecond), pid, "/bin/login", audit.OpRead, audit.EntityFile, "/etc/shadow", 1024)
+	return 2
+}
+
+// ---------------------------------------------------------------------------
+// Attack scripts.
+
+// dataLeakage emits the full "Data Leakage After Shellshock Penetration"
+// attack. Stages: shellshock penetration, file-system scan, then the Fig. 2
+// leakage chain (tar → bzip2 → gpg → curl → C2).
+func (g *generator) dataLeakage(t time.Time) {
+	const k = AttackDataLeakage
+	apachePID, bashPID := g.pid(), g.pid()
+
+	// Shellshock penetration: apache2 handles the crafted request and
+	// forks a shell.
+	g.emit(t, apachePID, "/usr/sbin/apache2", audit.OpAccept, audit.EntityNetConn,
+		audit.ConnSpec(C2IP, g.ephemeralPort(), g.localIP, 80, "tcp"), 0)
+	g.emit(t.Add(40*time.Millisecond), apachePID, "/usr/sbin/apache2", audit.OpFork, audit.EntityProcess, audit.ProcSpec(bashPID, "/bin/bash"), 0)
+
+	// File-system scan: the shell enumerates interesting files.
+	scan := []string{
+		"/home/alice/notes.txt", "/home/alice/report.docx", "/home/bob/data.csv",
+		"/etc/hosts", "/home/alice/.ssh/id_rsa", "/home/bob/.bash_history",
+	}
+	for i, f := range scan {
+		g.emit(t.Add(time.Duration(200+60*i)*time.Millisecond), bashPID, "/bin/bash", audit.OpRead, audit.EntityFile, f, int64(512+g.rng.Intn(8192)))
+	}
+
+	// Leakage chain: the Fig. 2 eight-step behavior, with the shell
+	// forking each utility (intermediate forks are the reason the paper's
+	// path-pattern syntax exists).
+	base := t.Add(1 * time.Second)
+	tarPID := g.pid()
+	g.emit(base, bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(tarPID, "/bin/tar"), 0)
+	g.step(k, 1, "tar reads user credentials",
+		g.emit(base.Add(50*time.Millisecond), tarPID, "/bin/tar", audit.OpRead, audit.EntityFile, "/etc/passwd", 2949))
+	g.step(k, 2, "tar writes gathered info",
+		g.emit(base.Add(120*time.Millisecond), tarPID, "/bin/tar", audit.OpWrite, audit.EntityFile, "/tmp/upload.tar", 10240))
+
+	bzipPID := g.pid()
+	g.emit(base.Add(300*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(bzipPID, "/bin/bzip2"), 0)
+	g.step(k, 3, "bzip2 reads tar file",
+		g.emit(base.Add(350*time.Millisecond), bzipPID, "/bin/bzip2", audit.OpRead, audit.EntityFile, "/tmp/upload.tar", 10240))
+	g.step(k, 4, "bzip2 writes compressed file",
+		g.emit(base.Add(420*time.Millisecond), bzipPID, "/bin/bzip2", audit.OpWrite, audit.EntityFile, "/tmp/upload.tar.bz2", 4180))
+
+	gpgPID := g.pid()
+	g.emit(base.Add(600*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(gpgPID, "/usr/bin/gpg"), 0)
+	g.step(k, 5, "gpg reads compressed file",
+		g.emit(base.Add(650*time.Millisecond), gpgPID, "/usr/bin/gpg", audit.OpRead, audit.EntityFile, "/tmp/upload.tar.bz2", 4180))
+	g.step(k, 6, "gpg writes encrypted file",
+		g.emit(base.Add(720*time.Millisecond), gpgPID, "/usr/bin/gpg", audit.OpWrite, audit.EntityFile, "/tmp/upload", 4400))
+
+	curlPID := g.pid()
+	g.emit(base.Add(900*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(curlPID, "/usr/bin/curl"), 0)
+	g.step(k, 7, "curl reads encrypted file",
+		g.emit(base.Add(950*time.Millisecond), curlPID, "/usr/bin/curl", audit.OpRead, audit.EntityFile, "/tmp/upload", 4400))
+	g.step(k, 8, "curl exfiltrates to C2",
+		g.emit(base.Add(1020*time.Millisecond), curlPID, "/usr/bin/curl", audit.OpConnect, audit.EntityNetConn, g.conn(C2IP, 443), 4400))
+}
+
+// passwordCrack emits the full "Password Cracking After Shellshock
+// Penetration" attack.
+func (g *generator) passwordCrack(t time.Time) {
+	const k = AttackPasswordCrack
+	apachePID, bashPID := g.pid(), g.pid()
+
+	g.emit(t, apachePID, "/usr/sbin/apache2", audit.OpAccept, audit.EntityNetConn,
+		audit.ConnSpec(C2IP, g.ephemeralPort(), g.localIP, 80, "tcp"), 0)
+	g.emit(t.Add(40*time.Millisecond), apachePID, "/usr/sbin/apache2", audit.OpFork, audit.EntityProcess, audit.ProcSpec(bashPID, "/bin/bash"), 0)
+
+	// Fetch the image with the encoded C2 address from the cloud service.
+	wgetPID := g.pid()
+	g.emit(t.Add(200*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(wgetPID, "/usr/bin/wget"), 0)
+	g.step(k, 1, "wget connects to cloud service",
+		g.emit(t.Add(250*time.Millisecond), wgetPID, "/usr/bin/wget", audit.OpConnect, audit.EntityNetConn, g.conn(DropboxIP, 443), 0))
+	g.step(k, 2, "wget writes downloaded image",
+		g.emit(t.Add(420*time.Millisecond), wgetPID, "/usr/bin/wget", audit.OpWrite, audit.EntityFile, "/tmp/logo.jpg", 183250))
+
+	// Decode the EXIF metadata to recover the C2 address.
+	exifPID := g.pid()
+	g.emit(t.Add(600*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(exifPID, "/usr/bin/exiftool"), 0)
+	g.step(k, 3, "exiftool reads image metadata",
+		g.emit(t.Add(650*time.Millisecond), exifPID, "/usr/bin/exiftool", audit.OpRead, audit.EntityFile, "/tmp/logo.jpg", 183250))
+
+	// Download the password cracker from C2 (the attacker reuses the
+	// same wget process via its control shell).
+	g.step(k, 4, "wget connects to C2",
+		g.emit(t.Add(950*time.Millisecond), wgetPID, "/usr/bin/wget", audit.OpConnect, audit.EntityNetConn, g.conn(C2IP, 80), 0))
+	g.step(k, 5, "wget writes password cracker",
+		g.emit(t.Add(1200*time.Millisecond), wgetPID, "/usr/bin/wget", audit.OpWrite, audit.EntityFile, "/tmp/cracker", 921600))
+
+	// Make it executable and run it against the shadow file.
+	g.step(k, 6, "bash chmods cracker",
+		g.emit(t.Add(1400*time.Millisecond), bashPID, "/bin/bash", audit.OpChmod, audit.EntityFile, "/tmp/cracker", 0))
+	crackPID := g.pid()
+	g.step(k, 7, "bash forks cracker",
+		g.emit(t.Add(1500*time.Millisecond), bashPID, "/bin/bash", audit.OpFork, audit.EntityProcess, audit.ProcSpec(crackPID, "/tmp/cracker"), 0))
+	g.step(k, 8, "cracker reads shadow file",
+		g.emit(t.Add(1600*time.Millisecond), crackPID, "/tmp/cracker", audit.OpRead, audit.EntityFile, "/etc/shadow", 1620))
+	g.step(k, 9, "cracker writes cleartext passwords",
+		g.emit(t.Add(9*time.Second), crackPID, "/tmp/cracker", audit.OpWrite, audit.EntityFile, "/tmp/passwords.txt", 840))
+	g.step(k, 10, "cracker reports to C2",
+		g.emit(t.Add(9500*time.Millisecond), crackPID, "/tmp/cracker", audit.OpConnect, audit.EntityNetConn, g.conn(C2IP, 443), 840))
+}

@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, BenignEvents: 500, Attacks: []Attack{{Kind: AttackDataLeakage, At: 10 * time.Minute}}}
+	w1 := Generate(cfg)
+	w2 := Generate(cfg)
+	if len(w1.Records) != len(w2.Records) {
+		t.Fatalf("nondeterministic record count: %d vs %d", len(w1.Records), len(w2.Records))
+	}
+	for i := range w1.Records {
+		if w1.Records[i] != w2.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSortedByTime(t *testing.T) {
+	w := Generate(Config{Seed: 1, BenignEvents: 1000,
+		Attacks: []Attack{{Kind: AttackDataLeakage, At: 5 * time.Minute}, {Kind: AttackPasswordCrack, At: 30 * time.Minute}}})
+	for i := 1; i < len(w.Records); i++ {
+		if w.Records[i].StartNS < w.Records[i-1].StartNS {
+			t.Fatalf("records not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateBenignVolume(t *testing.T) {
+	w := Generate(Config{Seed: 3, BenignEvents: 2000})
+	if len(w.Records) < 2000 {
+		t.Errorf("want >= 2000 benign records, got %d", len(w.Records))
+	}
+	// No attacks scheduled: no ground truth.
+	if len(w.Truth) != 0 {
+		t.Errorf("no attacks scheduled but got %d truth steps", len(w.Truth))
+	}
+}
+
+func TestDataLeakageGroundTruth(t *testing.T) {
+	w := Generate(Config{Seed: 1, Attacks: []Attack{{Kind: AttackDataLeakage}}})
+	if len(w.Truth) != 8 {
+		t.Fatalf("data leakage should have 8 ground-truth steps, got %d", len(w.Truth))
+	}
+	// Verify the Fig. 2 chain appears in order.
+	wantOps := []audit.OpType{
+		audit.OpRead, audit.OpWrite, audit.OpRead, audit.OpWrite,
+		audit.OpRead, audit.OpWrite, audit.OpRead, audit.OpConnect,
+	}
+	wantSpecs := []string{
+		"/etc/passwd", "/tmp/upload.tar", "/tmp/upload.tar", "/tmp/upload.tar.bz2",
+		"/tmp/upload.tar.bz2", "/tmp/upload", "/tmp/upload", "",
+	}
+	for i, st := range w.Truth {
+		if st.Step != i+1 {
+			t.Errorf("step %d out of order: %d", i, st.Step)
+		}
+		if st.Record.Op != wantOps[i] {
+			t.Errorf("step %d op = %v, want %v", i+1, st.Record.Op, wantOps[i])
+		}
+		if wantSpecs[i] != "" && st.Record.ObjSpec != wantSpecs[i] {
+			t.Errorf("step %d objspec = %q, want %q", i+1, st.Record.ObjSpec, wantSpecs[i])
+		}
+	}
+	last := w.Truth[7].Record
+	if !strings.Contains(last.ObjSpec, C2IP) {
+		t.Errorf("exfil step should target C2 %s, got %q", C2IP, last.ObjSpec)
+	}
+	// Temporal order of truth steps.
+	for i := 1; i < len(w.Truth); i++ {
+		if w.Truth[i].Record.StartNS <= w.Truth[i-1].Record.StartNS {
+			t.Errorf("truth step %d not after step %d", i+1, i)
+		}
+	}
+}
+
+func TestPasswordCrackGroundTruth(t *testing.T) {
+	w := Generate(Config{Seed: 1, Attacks: []Attack{{Kind: AttackPasswordCrack}}})
+	if len(w.Truth) != 10 {
+		t.Fatalf("password crack should have 10 ground-truth steps, got %d", len(w.Truth))
+	}
+	var sawShadow, sawC2 bool
+	for _, st := range w.Truth {
+		if st.Record.ObjSpec == "/etc/shadow" && st.Record.Op == audit.OpRead {
+			sawShadow = true
+		}
+		if strings.Contains(st.Record.ObjSpec, C2IP) {
+			sawC2 = true
+		}
+	}
+	if !sawShadow {
+		t.Error("missing shadow-file read step")
+	}
+	if !sawC2 {
+		t.Error("missing C2 contact step")
+	}
+}
+
+func TestWorkloadRecordsParseable(t *testing.T) {
+	w := Generate(Config{Seed: 9, BenignEvents: 800,
+		Attacks: []Attack{{Kind: AttackDataLeakage, At: time.Minute}, {Kind: AttackPasswordCrack, At: 2 * time.Minute}}})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := audit.NewParser()
+	if err := p.ParseStream(&buf); err != nil {
+		t.Fatalf("generated log does not parse: %v", err)
+	}
+	if len(p.Events()) != len(w.Records) {
+		t.Errorf("parsed %d events, want %d", len(p.Events()), len(w.Records))
+	}
+}
+
+func TestBenignNoiseTouchesSensitiveFiles(t *testing.T) {
+	// The benign pool must include /etc/passwd reads so hunts face
+	// false-positive pressure.
+	w := Generate(Config{Seed: 2, BenignEvents: 3000})
+	var passwd bool
+	for _, r := range w.Records {
+		if r.ObjSpec == "/etc/passwd" && r.Op == audit.OpRead {
+			passwd = true
+			break
+		}
+	}
+	if !passwd {
+		t.Error("benign workload should include /etc/passwd reads")
+	}
+}

@@ -1,0 +1,157 @@
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Record is one raw audit log record in the Sysdig-style text format
+// produced by the collection layer, before entity resolution.
+//
+// The line format is tab-separated:
+//
+//	<start_ns> <end_ns> <host> <pid> <exe> <op> <objtype> <objspec> <amount>
+//
+// where objspec depends on objtype:
+//
+//	file:    the absolute path
+//	process: "<pid>:<exe>"
+//	netconn: "<srcip>:<srcport>-><dstip>:<dstport>/<proto>"
+type Record struct {
+	StartNS int64
+	EndNS   int64
+	Host    string
+	PID     int
+	Exe     string
+	Op      OpType
+	ObjType EntityType
+	ObjSpec string
+	Amount  int64
+}
+
+// FormatRecord renders a record as one log line (without trailing newline).
+func FormatRecord(r Record) string {
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString(strconv.FormatInt(r.StartNS, 10))
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatInt(r.EndNS, 10))
+	b.WriteByte('\t')
+	b.WriteString(r.Host)
+	b.WriteByte('\t')
+	b.WriteString(strconv.Itoa(r.PID))
+	b.WriteByte('\t')
+	b.WriteString(r.Exe)
+	b.WriteByte('\t')
+	b.WriteString(r.Op.String())
+	b.WriteByte('\t')
+	b.WriteString(r.ObjType.String())
+	b.WriteByte('\t')
+	b.WriteString(r.ObjSpec)
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatInt(r.Amount, 10))
+	return b.String()
+}
+
+// ParseRecord parses one log line into a Record.
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	fields := strings.Split(line, "\t")
+	if len(fields) != 9 {
+		return r, fmt.Errorf("audit: malformed record: want 9 fields, got %d in %q", len(fields), line)
+	}
+	var err error
+	if r.StartNS, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return r, fmt.Errorf("audit: bad start time %q: %w", fields[0], err)
+	}
+	if r.EndNS, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return r, fmt.Errorf("audit: bad end time %q: %w", fields[1], err)
+	}
+	if r.EndNS < r.StartNS {
+		return r, fmt.Errorf("audit: end time %d before start time %d", r.EndNS, r.StartNS)
+	}
+	r.Host = fields[2]
+	if r.PID, err = strconv.Atoi(fields[3]); err != nil {
+		return r, fmt.Errorf("audit: bad pid %q: %w", fields[3], err)
+	}
+	r.Exe = fields[4]
+	if r.Op, err = ParseOpType(fields[5]); err != nil {
+		return r, err
+	}
+	if r.ObjType, err = ParseEntityType(fields[6]); err != nil {
+		return r, err
+	}
+	if want := r.Op.ObjectType(); want != r.ObjType {
+		return r, fmt.Errorf("audit: operation %s requires object type %s, got %s", r.Op, want, r.ObjType)
+	}
+	r.ObjSpec = fields[7]
+	if r.ObjSpec == "" {
+		return r, fmt.Errorf("audit: empty object spec in %q", line)
+	}
+	if r.Amount, err = strconv.ParseInt(fields[8], 10, 64); err != nil {
+		return r, fmt.Errorf("audit: bad amount %q: %w", fields[8], err)
+	}
+	return r, nil
+}
+
+// ProcSpec renders a process object spec "<pid>:<exe>".
+func ProcSpec(pid int, exe string) string {
+	return strconv.Itoa(pid) + ":" + exe
+}
+
+// ConnSpec renders a network-connection object spec
+// "<srcip>:<srcport>-><dstip>:<dstport>/<proto>".
+func ConnSpec(srcIP string, srcPort int, dstIP string, dstPort int, proto string) string {
+	return srcIP + ":" + strconv.Itoa(srcPort) + "->" + dstIP + ":" + strconv.Itoa(dstPort) + "/" + proto
+}
+
+// parseProcSpec parses "<pid>:<exe>".
+func parseProcSpec(s string) (pid int, exe string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return 0, "", fmt.Errorf("audit: malformed process spec %q", s)
+	}
+	pid, err = strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, "", fmt.Errorf("audit: bad pid in process spec %q: %w", s, err)
+	}
+	return pid, s[i+1:], nil
+}
+
+// parseConnSpec parses "<srcip>:<srcport>-><dstip>:<dstport>/<proto>".
+func parseConnSpec(s string) (srcIP string, srcPort int, dstIP string, dstPort int, proto string, err error) {
+	rest := s
+	if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+		proto = rest[i+1:]
+		rest = rest[:i]
+	} else {
+		proto = "tcp"
+	}
+	parts := strings.Split(rest, "->")
+	if len(parts) != 2 {
+		err = fmt.Errorf("audit: malformed connection spec %q", s)
+		return
+	}
+	if srcIP, srcPort, err = splitHostPort(parts[0]); err != nil {
+		err = fmt.Errorf("audit: bad source endpoint in %q: %w", s, err)
+		return
+	}
+	if dstIP, dstPort, err = splitHostPort(parts[1]); err != nil {
+		err = fmt.Errorf("audit: bad destination endpoint in %q: %w", s, err)
+		return
+	}
+	return
+}
+
+func splitHostPort(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, fmt.Errorf("missing port in %q", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port < 0 || port > 65535 {
+		return "", 0, fmt.Errorf("bad port in %q", s)
+	}
+	return s[:i], port, nil
+}

@@ -1,0 +1,112 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{StartNS: 100, EndNS: 200, Host: "h1", PID: 42, Exe: "/bin/tar",
+			Op: OpRead, ObjType: EntityFile, ObjSpec: "/etc/passwd", Amount: 2949},
+		{StartNS: 5, EndNS: 5, Host: "web", PID: 1, Exe: "/usr/sbin/apache2",
+			Op: OpFork, ObjType: EntityProcess, ObjSpec: ProcSpec(43, "/bin/bash")},
+		{StartNS: 9, EndNS: 10, Host: "h", PID: 7, Exe: "/usr/bin/curl",
+			Op: OpConnect, ObjType: EntityNetConn,
+			ObjSpec: ConnSpec("10.0.0.5", 44321, "192.168.29.128", 443, "tcp"), Amount: 4400},
+	}
+	for _, want := range recs {
+		line := FormatRecord(want)
+		got, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("ParseRecord(%q): %v", line, err)
+		}
+		if got != want {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1\t2\th\t1\t/bin/sh\tread\tfile",                                 // too few fields
+		"x\t2\th\t1\t/bin/sh\tread\tfile\t/a\t0",                          // bad start
+		"1\tx\th\t1\t/bin/sh\tread\tfile\t/a\t0",                          // bad end
+		"5\t2\th\t1\t/bin/sh\tread\tfile\t/a\t0",                          // end < start
+		"1\t2\th\tx\t/bin/sh\tread\tfile\t/a\t0",                          // bad pid
+		"1\t2\th\t1\t/bin/sh\tlevitate\tfile\t/a\t0",                      // bad op
+		"1\t2\th\t1\t/bin/sh\tread\tblob\t/a\t0",                          // bad objtype
+		"1\t2\th\t1\t/bin/sh\tread\tnetconn\t1.2.3.4:1->2.2.2.2:2/tcp\t0", // op/objtype mismatch
+		"1\t2\th\t1\t/bin/sh\tread\tfile\t\t0",                            // empty spec
+		"1\t2\th\t1\t/bin/sh\tread\tfile\t/a\tz",                          // bad amount
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) should fail", line)
+		}
+	}
+}
+
+func TestProcSpecRoundTrip(t *testing.T) {
+	pid, exe, err := parseProcSpec(ProcSpec(42, "/bin/bash"))
+	if err != nil || pid != 42 || exe != "/bin/bash" {
+		t.Fatalf("got %d %q %v", pid, exe, err)
+	}
+	for _, bad := range []string{"", "42", ":/bin/sh", "42:", "x:/bin/sh"} {
+		if _, _, err := parseProcSpec(bad); err == nil {
+			t.Errorf("parseProcSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConnSpecRoundTrip(t *testing.T) {
+	spec := ConnSpec("10.0.0.5", 44321, "192.168.29.128", 443, "udp")
+	sip, sport, dip, dport, proto, err := parseConnSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sip != "10.0.0.5" || sport != 44321 || dip != "192.168.29.128" || dport != 443 || proto != "udp" {
+		t.Errorf("got %s:%d->%s:%d/%s", sip, sport, dip, dport, proto)
+	}
+	// Default protocol.
+	_, _, _, _, proto, err = parseConnSpec("1.1.1.1:1->2.2.2.2:2")
+	if err != nil || proto != "tcp" {
+		t.Errorf("default proto: %q, %v", proto, err)
+	}
+	for _, bad := range []string{"", "1.1.1.1:1", "1.1.1.1:1->2.2.2.2", "a->b", "1.1.1.1:99999->2.2.2.2:2"} {
+		if _, _, _, _, _, err := parseConnSpec(bad); err == nil {
+			t.Errorf("parseConnSpec(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: FormatRecord/ParseRecord round-trips for arbitrary valid file
+// records whose fields contain no tabs or newlines.
+func TestRecordRoundTripProperty(t *testing.T) {
+	clean := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == '\r' {
+				return -1
+			}
+			return r
+		}, s)
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	f := func(start int64, durNS uint16, host, exe, path string, pid uint16, amount int64) bool {
+		r := Record{
+			StartNS: start, EndNS: start + int64(durNS),
+			Host: clean(host), PID: int(pid), Exe: clean(exe),
+			Op: OpWrite, ObjType: EntityFile, ObjSpec: clean(path), Amount: amount,
+		}
+		got, err := ParseRecord(FormatRecord(r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

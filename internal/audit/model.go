@@ -1,0 +1,269 @@
+// Package audit defines the system-auditing data model used throughout
+// ThreatRaptor: system entities (files, processes, network connections),
+// system events (⟨subject, operation, object⟩ interactions), a Sysdig-style
+// text log format, and a streaming log parser.
+//
+// The model follows the convention established by prior system-auditing
+// work (AIQL, SAQL, CPR): subjects are processes originating from software
+// applications, and objects are files, processes, or network connections.
+// Events are categorized into file events, process events, and network
+// events according to the type of their object entity.
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EntityType identifies the kind of a system entity.
+type EntityType uint8
+
+// The three entity types tracked by system auditing.
+const (
+	EntityFile EntityType = iota + 1
+	EntityProcess
+	EntityNetConn
+)
+
+// String returns the lowercase name of the entity type as used in logs,
+// TBQL, and the storage backends.
+func (t EntityType) String() string {
+	switch t {
+	case EntityFile:
+		return "file"
+	case EntityProcess:
+		return "process"
+	case EntityNetConn:
+		return "netconn"
+	default:
+		return fmt.Sprintf("entitytype(%d)", uint8(t))
+	}
+}
+
+// ParseEntityType converts a log token into an EntityType.
+func ParseEntityType(s string) (EntityType, error) {
+	switch strings.ToLower(s) {
+	case "file":
+		return EntityFile, nil
+	case "process", "proc":
+		return EntityProcess, nil
+	case "netconn", "ip", "network", "conn":
+		return EntityNetConn, nil
+	default:
+		return 0, fmt.Errorf("audit: unknown entity type %q", s)
+	}
+}
+
+// OpType identifies a system-call-level operation between two entities.
+type OpType uint8
+
+// Supported operation types, grouped by event category.
+const (
+	OpInvalid OpType = iota
+
+	// File operations (object is a file).
+	OpRead
+	OpWrite
+	OpExecute
+	OpRename
+	OpDelete
+	OpChmod
+	OpCreate
+
+	// Process operations (object is a process).
+	OpFork
+	OpClone
+	OpExec
+	OpKill
+
+	// Network operations (object is a network connection).
+	OpConnect
+	OpAccept
+	OpSend
+	OpRecv
+	OpBind
+)
+
+var opNames = map[OpType]string{
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpExecute: "execute",
+	OpRename:  "rename",
+	OpDelete:  "delete",
+	OpChmod:   "chmod",
+	OpCreate:  "create",
+	OpFork:    "fork",
+	OpClone:   "clone",
+	OpExec:    "exec",
+	OpKill:    "kill",
+	OpConnect: "connect",
+	OpAccept:  "accept",
+	OpSend:    "send",
+	OpRecv:    "recv",
+	OpBind:    "bind",
+}
+
+var opByName = func() map[string]OpType {
+	m := make(map[string]OpType, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// String returns the lowercase operation name used in logs and TBQL.
+func (o OpType) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOpType converts an operation name into an OpType.
+func ParseOpType(s string) (OpType, error) {
+	if op, ok := opByName[strings.ToLower(s)]; ok {
+		return op, nil
+	}
+	return OpInvalid, fmt.Errorf("audit: unknown operation %q", s)
+}
+
+// ObjectType reports the entity type an operation's object must have.
+func (o OpType) ObjectType() EntityType {
+	switch o {
+	case OpRead, OpWrite, OpExecute, OpRename, OpDelete, OpChmod, OpCreate:
+		return EntityFile
+	case OpFork, OpClone, OpExec, OpKill:
+		return EntityProcess
+	case OpConnect, OpAccept, OpSend, OpRecv, OpBind:
+		return EntityNetConn
+	default:
+		return 0
+	}
+}
+
+// AllOps returns every valid operation type in a stable order.
+func AllOps() []OpType {
+	ops := make([]OpType, 0, len(opNames))
+	for op := OpRead; op <= OpBind; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Entity is a system entity: a file, a process, or a network connection.
+// Only the attribute fields relevant to the entity's type are populated.
+type Entity struct {
+	ID   int64
+	Type EntityType
+	Host string
+
+	// File attributes.
+	Path string // absolute path; the default "name" attribute of a file
+
+	// Process attributes.
+	ExeName string // executable path; the default attribute of a process
+	PID     int
+
+	// Network connection attributes.
+	SrcIP   string
+	SrcPort int
+	DstIP   string // the default attribute of a network connection
+	DstPort int
+	Proto   string
+}
+
+// Name returns the default attribute value used in security analysis:
+// path for files, executable name for processes, destination IP for
+// network connections.
+func (e *Entity) Name() string {
+	switch e.Type {
+	case EntityFile:
+		return e.Path
+	case EntityProcess:
+		return e.ExeName
+	case EntityNetConn:
+		return e.DstIP
+	default:
+		return ""
+	}
+}
+
+// Key returns the canonical identity key used to deduplicate entities
+// during parsing: processes are identified by (host, pid, exename), files
+// by (host, path), and network connections by (host, 4-tuple, proto).
+func (e *Entity) Key() string {
+	switch e.Type {
+	case EntityFile:
+		return "f|" + e.Host + "|" + e.Path
+	case EntityProcess:
+		return "p|" + e.Host + "|" + strconv.Itoa(e.PID) + "|" + e.ExeName
+	case EntityNetConn:
+		return "n|" + e.Host + "|" + e.SrcIP + ":" + strconv.Itoa(e.SrcPort) +
+			"->" + e.DstIP + ":" + strconv.Itoa(e.DstPort) + "|" + e.Proto
+	default:
+		return "?"
+	}
+}
+
+// Attr returns the value of a named attribute, mirroring the columns
+// exposed to TBQL filters. Unknown attributes return the empty string.
+func (e *Entity) Attr(name string) string {
+	switch strings.ToLower(name) {
+	case "id":
+		return strconv.FormatInt(e.ID, 10)
+	case "type":
+		return e.Type.String()
+	case "host":
+		return e.Host
+	case "name", "path":
+		if e.Type == EntityNetConn {
+			return e.DstIP
+		}
+		if e.Type == EntityProcess && strings.ToLower(name) == "name" {
+			return e.ExeName
+		}
+		return e.Path
+	case "exename":
+		return e.ExeName
+	case "pid":
+		return strconv.Itoa(e.PID)
+	case "srcip":
+		return e.SrcIP
+	case "srcport":
+		return strconv.Itoa(e.SrcPort)
+	case "dstip":
+		return e.DstIP
+	case "dstport":
+		return strconv.Itoa(e.DstPort)
+	case "proto", "protocol":
+		return e.Proto
+	default:
+		return ""
+	}
+}
+
+// Event is a system event: an interaction between a subject entity and an
+// object entity, with the operation and the time window during which the
+// interaction was observed.
+type Event struct {
+	ID        int64
+	SrcID     int64 // subject entity (always a process)
+	DstID     int64 // object entity (file, process, or network connection)
+	Op        OpType
+	StartTime int64 // unix nanoseconds
+	EndTime   int64 // unix nanoseconds
+	Amount    int64 // bytes transferred, when applicable
+	Host      string
+}
+
+// Category returns which of the three event categories the event belongs
+// to, based on its operation's object type.
+func (ev *Event) Category() EntityType { return ev.Op.ObjectType() }
+
+// Start returns the event's start time as a time.Time.
+func (ev *Event) Start() time.Time { return time.Unix(0, ev.StartTime) }
+
+// End returns the event's end time as a time.Time.
+func (ev *Event) End() time.Time { return time.Unix(0, ev.EndTime) }

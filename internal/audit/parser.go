@@ -1,0 +1,148 @@
+package audit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parser consumes raw audit log records and resolves them into deduplicated
+// system entities and system events with stable IDs. It mirrors the log
+// parsing stage of ThreatRaptor's data collection component: each record's
+// subject process and object entity are canonicalised via Entity.Key, and
+// new entities are assigned monotonically increasing IDs.
+//
+// A Parser is not safe for concurrent use.
+type Parser struct {
+	entities []*Entity
+	byKey    map[string]*Entity
+	events   []*Event
+	nextEnt  int64
+	nextEvt  int64
+
+	// Errs collects recoverable per-line parse errors when Lenient is set.
+	Errs []error
+	// Lenient makes ParseStream skip malformed lines (recording the error
+	// in Errs) instead of aborting.
+	Lenient bool
+}
+
+// NewParser returns an empty Parser.
+func NewParser() *Parser {
+	return &Parser{
+		byKey:   make(map[string]*Entity),
+		nextEnt: 1,
+		nextEvt: 1,
+	}
+}
+
+// Entities returns all resolved entities in ID order.
+func (p *Parser) Entities() []*Entity { return p.entities }
+
+// Events returns all parsed events in arrival order.
+func (p *Parser) Events() []*Event { return p.events }
+
+// EntityByID returns the entity with the given ID, or nil.
+func (p *Parser) EntityByID(id int64) *Entity {
+	idx := id - 1
+	if idx < 0 || idx >= int64(len(p.entities)) {
+		return nil
+	}
+	return p.entities[idx]
+}
+
+// intern returns the canonical entity for e, assigning an ID if new.
+func (p *Parser) intern(e Entity) *Entity {
+	key := e.Key()
+	if got, ok := p.byKey[key]; ok {
+		return got
+	}
+	e.ID = p.nextEnt
+	p.nextEnt++
+	ent := &e
+	p.byKey[key] = ent
+	p.entities = append(p.entities, ent)
+	return ent
+}
+
+// Add resolves one record into an event, interning its entities.
+func (p *Parser) Add(r Record) (*Event, error) {
+	subj := p.intern(Entity{
+		Type:    EntityProcess,
+		Host:    r.Host,
+		ExeName: r.Exe,
+		PID:     r.PID,
+	})
+
+	var obj *Entity
+	switch r.ObjType {
+	case EntityFile:
+		obj = p.intern(Entity{Type: EntityFile, Host: r.Host, Path: r.ObjSpec})
+	case EntityProcess:
+		pid, exe, err := parseProcSpec(r.ObjSpec)
+		if err != nil {
+			return nil, err
+		}
+		obj = p.intern(Entity{Type: EntityProcess, Host: r.Host, ExeName: exe, PID: pid})
+	case EntityNetConn:
+		srcIP, srcPort, dstIP, dstPort, proto, err := parseConnSpec(r.ObjSpec)
+		if err != nil {
+			return nil, err
+		}
+		obj = p.intern(Entity{
+			Type: EntityNetConn, Host: r.Host,
+			SrcIP: srcIP, SrcPort: srcPort, DstIP: dstIP, DstPort: dstPort, Proto: proto,
+		})
+	default:
+		return nil, fmt.Errorf("audit: record has invalid object type %v", r.ObjType)
+	}
+
+	ev := &Event{
+		ID:        p.nextEvt,
+		SrcID:     subj.ID,
+		DstID:     obj.ID,
+		Op:        r.Op,
+		StartTime: r.StartNS,
+		EndTime:   r.EndNS,
+		Amount:    r.Amount,
+		Host:      r.Host,
+	}
+	p.nextEvt++
+	p.events = append(p.events, ev)
+	return ev, nil
+}
+
+// ParseLine parses one log line and adds the resulting event.
+func (p *Parser) ParseLine(line string) (*Event, error) {
+	r, err := ParseRecord(line)
+	if err != nil {
+		return nil, err
+	}
+	return p.Add(r)
+}
+
+// ParseStream reads log lines from r until EOF. Blank lines and lines
+// starting with '#' are skipped. In lenient mode, malformed lines are
+// recorded in Errs and skipped; otherwise the first error aborts.
+func (p *Parser) ParseStream(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := p.ParseLine(line); err != nil {
+			err = fmt.Errorf("line %d: %w", lineno, err)
+			if p.Lenient {
+				p.Errs = append(p.Errs, err)
+				continue
+			}
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,123 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParserDeduplicatesEntities(t *testing.T) {
+	p := NewParser()
+	r1 := Record{StartNS: 1, EndNS: 2, Host: "h", PID: 10, Exe: "/bin/tar",
+		Op: OpRead, ObjType: EntityFile, ObjSpec: "/etc/passwd", Amount: 100}
+	r2 := Record{StartNS: 3, EndNS: 4, Host: "h", PID: 10, Exe: "/bin/tar",
+		Op: OpWrite, ObjType: EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 200}
+	ev1, err := p.Add(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := p.Add(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.SrcID != ev2.SrcID {
+		t.Errorf("same process got two IDs: %d vs %d", ev1.SrcID, ev2.SrcID)
+	}
+	if len(p.Entities()) != 3 {
+		t.Errorf("want 3 entities (1 proc, 2 files), got %d", len(p.Entities()))
+	}
+	if len(p.Events()) != 2 {
+		t.Errorf("want 2 events, got %d", len(p.Events()))
+	}
+}
+
+func TestParserProcessObject(t *testing.T) {
+	p := NewParser()
+	r := Record{StartNS: 1, EndNS: 2, Host: "h", PID: 1, Exe: "/usr/sbin/apache2",
+		Op: OpFork, ObjType: EntityProcess, ObjSpec: ProcSpec(2, "/bin/bash")}
+	ev, err := p.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.EntityByID(ev.DstID)
+	if obj == nil || obj.Type != EntityProcess || obj.ExeName != "/bin/bash" || obj.PID != 2 {
+		t.Fatalf("bad object entity: %+v", obj)
+	}
+	// The forked child appearing later as a subject must resolve to the
+	// same entity.
+	r2 := Record{StartNS: 3, EndNS: 4, Host: "h", PID: 2, Exe: "/bin/bash",
+		Op: OpRead, ObjType: EntityFile, ObjSpec: "/etc/hosts", Amount: 1}
+	ev2, err := p.Add(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.SrcID != obj.ID {
+		t.Errorf("forked child not unified: %d vs %d", ev2.SrcID, obj.ID)
+	}
+}
+
+func TestParserNetConnObject(t *testing.T) {
+	p := NewParser()
+	r := Record{StartNS: 1, EndNS: 2, Host: "h", PID: 5, Exe: "/usr/bin/curl",
+		Op: OpConnect, ObjType: EntityNetConn,
+		ObjSpec: ConnSpec("10.0.0.5", 44321, "192.168.29.128", 443, "tcp")}
+	ev, err := p.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.EntityByID(ev.DstID)
+	if obj.DstIP != "192.168.29.128" || obj.DstPort != 443 || obj.SrcIP != "10.0.0.5" {
+		t.Fatalf("bad conn entity: %+v", obj)
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	lines := []string{
+		FormatRecord(Record{StartNS: 1, EndNS: 2, Host: "h", PID: 1, Exe: "/bin/a",
+			Op: OpRead, ObjType: EntityFile, ObjSpec: "/x", Amount: 1}),
+		"# comment",
+		"",
+		FormatRecord(Record{StartNS: 3, EndNS: 4, Host: "h", PID: 1, Exe: "/bin/a",
+			Op: OpWrite, ObjType: EntityFile, ObjSpec: "/y", Amount: 2}),
+	}
+	p := NewParser()
+	if err := p.ParseStream(strings.NewReader(strings.Join(lines, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events()) != 2 {
+		t.Errorf("want 2 events, got %d", len(p.Events()))
+	}
+}
+
+func TestParseStreamStrictAborts(t *testing.T) {
+	p := NewParser()
+	err := p.ParseStream(strings.NewReader("garbage line\n"))
+	if err == nil {
+		t.Fatal("strict parse of garbage should fail")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should cite line number: %v", err)
+	}
+}
+
+func TestParseStreamLenientSkips(t *testing.T) {
+	good := FormatRecord(Record{StartNS: 1, EndNS: 2, Host: "h", PID: 1, Exe: "/bin/a",
+		Op: OpRead, ObjType: EntityFile, ObjSpec: "/x", Amount: 1})
+	p := NewParser()
+	p.Lenient = true
+	if err := p.ParseStream(strings.NewReader("junk\n" + good + "\nmore junk\n")); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events()) != 1 {
+		t.Errorf("want 1 event, got %d", len(p.Events()))
+	}
+	if len(p.Errs) != 2 {
+		t.Errorf("want 2 recorded errors, got %d", len(p.Errs))
+	}
+}
+
+func TestEntityByIDOutOfRange(t *testing.T) {
+	p := NewParser()
+	if p.EntityByID(0) != nil || p.EntityByID(99) != nil || p.EntityByID(-1) != nil {
+		t.Error("out-of-range lookups must return nil")
+	}
+}

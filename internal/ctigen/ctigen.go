@@ -1,0 +1,211 @@
+// Package ctigen generates synthetic OSCTI reports with ground-truth
+// labels. It substitutes for the public CTI report corpus used in the
+// paper's NLP accuracy evaluation: each generated report narrates a
+// multi-step attack in the declarative style of real threat reports, and
+// carries the intended IOC list and IOC relation triplets so extraction
+// precision and recall can be computed.
+package ctigen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Triplet is one ground-truth IOC relation.
+type Triplet struct {
+	Subj string
+	Verb string // lemma
+	Obj  string
+}
+
+// Report is one generated OSCTI report with labels.
+type Report struct {
+	Text     string
+	IOCs     []string
+	Triplets []Triplet
+}
+
+// step is an internal attack step before rendering.
+type step struct {
+	subj, verb, obj string
+	objIsNet        bool
+}
+
+var tools = []string{
+	"/bin/tar", "/usr/bin/curl", "/usr/bin/wget", "/bin/bzip2",
+	"/usr/bin/gpg", "/usr/bin/scp", "/bin/nc", "/usr/bin/python",
+	"/tmp/dropper", "/tmp/agent", "/usr/bin/ssh", "/bin/dd",
+}
+
+var dataFiles = []string{
+	"/etc/passwd", "/etc/shadow", "/home/user/secrets.txt",
+	"/var/db/customers.db", "/tmp/stage.tar", "/tmp/bundle.zip",
+	"/etc/hosts", "/home/user/wallet.dat", "/var/log/auth.log",
+	"/tmp/payload.bin", "/opt/app/config.yaml", "/root/.ssh/id_rsa",
+}
+
+// fileVerbs maps a relation verb lemma to its surface realisations:
+// sentence templates with {S} subject, {V} conjugated verb phrase, {O}
+// object.
+type verbForm struct {
+	lemma string
+	past  string
+	base  string
+	// objPrep is the preposition linking verb to object ("" = direct).
+	objPrep string
+}
+
+var fileVerbs = []verbForm{
+	{"read", "read", "read", "from"},
+	{"write", "wrote", "write", "to"},
+	{"download", "downloaded", "download", ""},
+	{"execute", "executed", "execute", ""},
+	{"delete", "deleted", "delete", ""},
+	{"scan", "scanned", "scan", ""},
+	{"encrypt", "encrypted", "encrypt", ""},
+	{"compress", "compressed", "compress", ""},
+	{"modify", "modified", "modify", ""},
+	{"copy", "copied", "copy", ""},
+}
+
+var netVerbs = []verbForm{
+	{"connect", "connected", "connect", "to"},
+	{"send", "sent", "send", "to"},
+	{"beacon", "beaconed", "beacon", "to"},
+}
+
+// Generate produces a deterministic labelled report with nSteps relation
+// steps.
+func Generate(seed int64, nSteps int) Report {
+	rng := rand.New(rand.NewSource(seed))
+	if nSteps < 1 {
+		nSteps = 1
+	}
+
+	// Build the step list: a small cast of tools acting on files, with a
+	// final exfiltration to an IP.
+	cast := make([]string, 0, 3)
+	for _, i := range rng.Perm(len(tools))[:2+rng.Intn(2)] {
+		cast = append(cast, tools[i])
+	}
+	var steps []step
+	prev := ""
+	for i := 0; i < nSteps-1; i++ {
+		subj := cast[rng.Intn(len(cast))]
+		// Bias towards reusing the previous actor: real reports narrate
+		// several actions per tool, which also creates coreference
+		// opportunities ("It wrote ...").
+		if prev != "" && rng.Intn(5) < 2 {
+			subj = prev
+		}
+		prev = subj
+		v := fileVerbs[rng.Intn(len(fileVerbs))]
+		obj := dataFiles[rng.Intn(len(dataFiles))]
+		for obj == subj {
+			obj = dataFiles[rng.Intn(len(dataFiles))]
+		}
+		steps = append(steps, step{subj: subj, verb: v.lemma, obj: obj})
+	}
+	ip := fmt.Sprintf("%d.%d.%d.%d", 10+rng.Intn(200), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+	steps = append(steps, step{
+		subj: cast[rng.Intn(len(cast))], verb: netVerbs[rng.Intn(len(netVerbs))].lemma,
+		obj: ip, objIsNet: true,
+	})
+
+	return render(rng, steps)
+}
+
+// render turns steps into narrative text plus labels.
+func render(rng *rand.Rand, steps []step) Report {
+	var rep Report
+	var b strings.Builder
+	b.WriteString("The attacker penetrated the victim host after exploiting a vulnerability in the exposed service. ")
+
+	iocSeen := map[string]bool{}
+	dedup := map[Triplet]bool{}
+	addIOC := func(s string) {
+		if !iocSeen[s] {
+			iocSeen[s] = true
+			rep.IOCs = append(rep.IOCs, s)
+		}
+	}
+
+	connectives := []string{"Then, ", "Next, ", "After that, ", "Subsequently, ", ""}
+	prevSubj := ""
+	for i, st := range steps {
+		form := findForm(st.verb, st.objIsNet)
+		tmpl := rng.Intn(4)
+		// The coreference template ("It wrote ...") requires this step's
+		// subject to repeat the previous step's subject, so the pronoun
+		// has the right antecedent.
+		if tmpl == 3 && st.subj != prevSubj {
+			tmpl = rng.Intn(3)
+		}
+		conn := connectives[rng.Intn(len(connectives))]
+		if i == 0 {
+			conn = "As a first step, "
+		}
+		objPhrase := st.obj
+		if form.objPrep != "" {
+			objPhrase = form.objPrep + " " + st.obj
+		}
+		switch tmpl {
+		case 0:
+			// "the attacker used S to V O."
+			fmt.Fprintf(&b, "%sthe attacker used %s to %s %s. ", conn, st.subj, form.base, objPhrase)
+		case 1:
+			// "S V-past O."
+			fmt.Fprintf(&b, "%s%s %s %s. ", capitalizeConn(conn), st.subj, form.past, objPhrase)
+		case 2:
+			// "the attacker leveraged the S utility to V O."
+			fmt.Fprintf(&b, "%sthe attacker leveraged the %s utility to %s %s. ", conn, st.subj, form.base, objPhrase)
+		default:
+			// Coreference: "It V-past O." — the subject is only
+			// recoverable by resolving the pronoun to the previous
+			// sentence's agent.
+			fmt.Fprintf(&b, "It %s %s. ", form.past, objPhrase)
+		}
+		prevSubj = st.subj
+		addIOC(st.subj)
+		addIOC(st.obj)
+		tr := Triplet{Subj: st.subj, Verb: st.verb, Obj: st.obj}
+		if !dedup[tr] {
+			dedup[tr] = true
+			rep.Triplets = append(rep.Triplets, tr)
+		}
+	}
+	rep.Text = strings.TrimSpace(b.String())
+	return rep
+}
+
+// capitalizeConn fixes the casing when the connective starts the sentence
+// before a bare-subject template.
+func capitalizeConn(conn string) string {
+	if conn == "" {
+		return ""
+	}
+	return conn
+}
+
+func findForm(lemma string, net bool) verbForm {
+	pool := fileVerbs
+	if net {
+		pool = netVerbs
+	}
+	for _, f := range pool {
+		if f.lemma == lemma {
+			return f
+		}
+	}
+	return verbForm{lemma, lemma + "ed", lemma, ""}
+}
+
+// Corpus generates n labelled reports with distinct seeds.
+func Corpus(seed int64, n, stepsPerReport int) []Report {
+	out := make([]Report, n)
+	for i := range out {
+		out[i] = Generate(seed+int64(i)*7919, stepsPerReport)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package ctigen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(5, 6)
+	b := Generate(5, 6)
+	if a.Text != b.Text || len(a.Triplets) != len(b.Triplets) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestGenerateLabelsConsistent(t *testing.T) {
+	rep := Generate(9, 8)
+	// Every labelled IOC appears in the text.
+	for _, i := range rep.IOCs {
+		if !strings.Contains(rep.Text, i) {
+			t.Errorf("IOC %q not in text", i)
+		}
+	}
+	// Every triplet endpoint is a labelled IOC.
+	iocSet := map[string]bool{}
+	for _, i := range rep.IOCs {
+		iocSet[i] = true
+	}
+	for _, tr := range rep.Triplets {
+		if !iocSet[tr.Subj] || !iocSet[tr.Obj] {
+			t.Errorf("triplet endpoints unlabelled: %+v", tr)
+		}
+		if tr.Verb == "" {
+			t.Errorf("triplet without verb: %+v", tr)
+		}
+	}
+	if len(rep.Triplets) == 0 {
+		t.Error("no triplets generated")
+	}
+}
+
+func TestGenerateEndsWithNetworkStep(t *testing.T) {
+	rep := Generate(3, 5)
+	last := rep.Triplets[len(rep.Triplets)-1]
+	if !strings.Contains(last.Obj, ".") || strings.HasPrefix(last.Obj, "/") {
+		t.Errorf("last step should target an IP, got %q", last.Obj)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := Corpus(1, 10, 5)
+	if len(c) != 10 {
+		t.Fatalf("corpus size = %d", len(c))
+	}
+	texts := map[string]bool{}
+	for _, r := range c {
+		texts[r.Text] = true
+	}
+	if len(texts) < 8 {
+		t.Errorf("corpus lacks variety: %d distinct texts", len(texts))
+	}
+}
+
+func TestGenerateMinimumSteps(t *testing.T) {
+	rep := Generate(2, 0)
+	if len(rep.Triplets) < 1 {
+		t.Error("want at least one step")
+	}
+}

@@ -1,0 +1,246 @@
+// Package eval measures threat-behavior extraction accuracy against
+// labelled CTI corpora, reproducing the paper's NLP evaluation: precision,
+// recall, and F1 for IOC extraction and for IOC relation extraction, for
+// the full pipeline and for the simpler baselines it is compared against
+// (regex-only IOC extraction and sentence co-occurrence relation
+// extraction).
+package eval
+
+import (
+	"strings"
+
+	"repro/internal/ctigen"
+	"repro/internal/extract"
+	"repro/internal/ioc"
+	"repro/internal/nlp"
+)
+
+// Metrics is one precision/recall/F1 measurement.
+type Metrics struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 when nothing was predicted.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when nothing was expected.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (m *Metrics) add(o Metrics) { m.TP += o.TP; m.FP += o.FP; m.FN += o.FN }
+
+// Extractor produces IOC surface forms and relation triplets from report
+// text. Implementations: the full ThreatRaptor pipeline and the
+// baselines.
+type Extractor interface {
+	Name() string
+	Extract(text string) (iocs []string, triplets []ctigen.Triplet)
+}
+
+// Score runs an extractor over a corpus and accumulates IOC and relation
+// metrics.
+func Score(ex Extractor, corpus []ctigen.Report) (iocM, relM Metrics) {
+	for _, rep := range corpus {
+		gotIOCs, gotTrips := ex.Extract(rep.Text)
+		iocM.add(setMetrics(normSet(gotIOCs), normSet(rep.IOCs)))
+		relM.add(tripletMetrics(gotTrips, rep.Triplets))
+	}
+	return iocM, relM
+}
+
+func normSet(items []string) map[string]bool {
+	out := make(map[string]bool, len(items))
+	for _, s := range items {
+		out[strings.ToLower(strings.TrimSpace(s))] = true
+	}
+	return out
+}
+
+func setMetrics(got, want map[string]bool) Metrics {
+	var m Metrics
+	for g := range got {
+		if want[g] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	for w := range want {
+		if !got[w] {
+			m.FN++
+		}
+	}
+	return m
+}
+
+func tripletMetrics(got, want []ctigen.Triplet) Metrics {
+	key := func(t ctigen.Triplet) string {
+		return strings.ToLower(t.Subj) + "|" + strings.ToLower(t.Verb) + "|" + strings.ToLower(t.Obj)
+	}
+	gotSet := map[string]bool{}
+	for _, t := range got {
+		gotSet[key(t)] = true
+	}
+	wantSet := map[string]bool{}
+	for _, t := range want {
+		wantSet[key(t)] = true
+	}
+	var m Metrics
+	for g := range gotSet {
+		if wantSet[g] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	for w := range wantSet {
+		if !gotSet[w] {
+			m.FN++
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Extractors
+
+// Pipeline is the full ThreatRaptor extraction pipeline.
+type Pipeline struct{}
+
+// Name implements Extractor.
+func (Pipeline) Name() string { return "threatraptor" }
+
+// Extract implements Extractor.
+func (Pipeline) Extract(text string) ([]string, []ctigen.Triplet) {
+	g := extract.Extract(text)
+	var iocs []string
+	for _, n := range g.Nodes {
+		iocs = append(iocs, n.Text)
+		iocs = append(iocs, n.Aliases...)
+	}
+	var trips []ctigen.Triplet
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src == nil || dst == nil {
+			continue
+		}
+		trips = append(trips, ctigen.Triplet{Subj: src.Text, Verb: e.Verb, Obj: dst.Text})
+	}
+	return iocs, trips
+}
+
+// RegexCooccur is the baseline: regex IOC extraction plus sentence-level
+// co-occurrence relation extraction — every ordered pair of IOCs in a
+// sentence is related by the verb nearest to the pair's midpoint, with no
+// dependency analysis and no coreference.
+type RegexCooccur struct{}
+
+// Name implements Extractor.
+func (RegexCooccur) Name() string { return "regex-cooccurrence" }
+
+// Extract implements Extractor.
+func (RegexCooccur) Extract(text string) ([]string, []ctigen.Triplet) {
+	var iocs []string
+	seen := map[string]bool{}
+	var trips []ctigen.Triplet
+
+	for _, block := range nlp.SegmentBlocks(text) {
+		prot := ioc.Protect(block)
+		for _, i := range prot.IOCs {
+			norm := ioc.Normalize(i.Type, i.Text)
+			if !seen[norm] {
+				seen[norm] = true
+				iocs = append(iocs, norm)
+			}
+		}
+		for _, sent := range nlp.SegmentSentences(prot.Text) {
+			toks := nlp.Tokenize(sent)
+			nlp.Tag(toks, ioc.IsPlaceholder)
+			// Positions of IOC tokens and verbs.
+			var iocPos []int
+			var verbPos []int
+			for ti, tok := range toks {
+				if prot.Restore(tok.Text) != nil {
+					iocPos = append(iocPos, ti)
+				} else if strings.HasPrefix(tok.POS, "VB") {
+					verbPos = append(verbPos, ti)
+				}
+			}
+			for a := 0; a < len(iocPos); a++ {
+				for b := a + 1; b < len(iocPos); b++ {
+					subj := prot.Restore(toks[iocPos[a]].Text)
+					obj := prot.Restore(toks[iocPos[b]].Text)
+					if subj == nil || obj == nil {
+						continue
+					}
+					verb := nearestVerb(toks, verbPos, (iocPos[a]+iocPos[b])/2)
+					if verb == "" {
+						continue
+					}
+					trips = append(trips, ctigen.Triplet{
+						Subj: ioc.Normalize(subj.Type, subj.Text),
+						Verb: verb,
+						Obj:  ioc.Normalize(obj.Type, obj.Text),
+					})
+				}
+			}
+		}
+	}
+	return iocs, trips
+}
+
+func nearestVerb(toks []nlp.Token, verbPos []int, mid int) string {
+	best, bestDist := -1, 1<<30
+	for _, v := range verbPos {
+		d := v - mid
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return nlp.Lemmatize(toks[best].Text)
+}
+
+// IOCOnly is the structured-feed baseline: regex IOC extraction with no
+// relations at all (what structured OSCTI feeds provide).
+type IOCOnly struct{}
+
+// Name implements Extractor.
+func (IOCOnly) Name() string { return "ioc-only" }
+
+// Extract implements Extractor.
+func (IOCOnly) Extract(text string) ([]string, []ctigen.Triplet) {
+	var iocs []string
+	seen := map[string]bool{}
+	for _, i := range ioc.Find(text) {
+		norm := ioc.Normalize(i.Type, i.Text)
+		if !seen[norm] {
+			seen[norm] = true
+			iocs = append(iocs, norm)
+		}
+	}
+	return iocs, nil
+}

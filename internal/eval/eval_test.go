@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/ctigen"
+)
+
+func TestMetricsMath(t *testing.T) {
+	m := Metrics{TP: 8, FP: 2, FN: 2}
+	if m.Precision() != 0.8 || m.Recall() != 0.8 {
+		t.Errorf("P=%f R=%f", m.Precision(), m.Recall())
+	}
+	if f := m.F1(); f < 0.79 || f > 0.81 {
+		t.Errorf("F1=%f", f)
+	}
+	empty := Metrics{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty metrics should be perfect")
+	}
+	zero := Metrics{FP: 1, FN: 1}
+	if zero.F1() != 0 {
+		t.Errorf("all-wrong F1 = %f", zero.F1())
+	}
+}
+
+func TestPipelineBeatsBaselinesOnRelations(t *testing.T) {
+	corpus := ctigen.Corpus(42, 20, 5)
+	_, relPipe := Score(Pipeline{}, corpus)
+	_, relBase := Score(RegexCooccur{}, corpus)
+	if relPipe.F1() <= relBase.F1() {
+		t.Errorf("pipeline relation F1 %.3f should beat co-occurrence %.3f",
+			relPipe.F1(), relBase.F1())
+	}
+	if relPipe.F1() < 0.6 {
+		t.Errorf("pipeline relation F1 too low: %.3f (TP=%d FP=%d FN=%d)",
+			relPipe.F1(), relPipe.TP, relPipe.FP, relPipe.FN)
+	}
+}
+
+func TestIOCExtractionHighAccuracy(t *testing.T) {
+	corpus := ctigen.Corpus(7, 20, 5)
+	iocPipe, _ := Score(Pipeline{}, corpus)
+	if iocPipe.F1() < 0.9 {
+		t.Errorf("pipeline IOC F1 = %.3f (TP=%d FP=%d FN=%d)",
+			iocPipe.F1(), iocPipe.TP, iocPipe.FP, iocPipe.FN)
+	}
+	iocOnly, relOnly := Score(IOCOnly{}, corpus)
+	if iocOnly.F1() < 0.9 {
+		t.Errorf("regex IOC baseline F1 = %.3f", iocOnly.F1())
+	}
+	// The IOC-only baseline recovers no relations by construction.
+	if relOnly.TP != 0 || relOnly.Recall() == 1 {
+		t.Errorf("IOC-only baseline should have zero relation recall: %+v", relOnly)
+	}
+}
+
+func TestScoreOnFig2StyleReport(t *testing.T) {
+	// A report in the exact Fig. 2 narrative style: the pipeline should
+	// recover most relations.
+	rep := ctigen.Report{
+		Text: "As a first step, the attacker used /bin/tar to read from /etc/passwd. " +
+			"Then, /bin/tar wrote to /tmp/stage.tar. " +
+			"Finally, the attacker used /usr/bin/curl to connect to 10.1.2.3.",
+		IOCs: []string{"/bin/tar", "/etc/passwd", "/tmp/stage.tar", "/usr/bin/curl", "10.1.2.3"},
+		Triplets: []ctigen.Triplet{
+			{Subj: "/bin/tar", Verb: "read", Obj: "/etc/passwd"},
+			{Subj: "/bin/tar", Verb: "write", Obj: "/tmp/stage.tar"},
+			{Subj: "/usr/bin/curl", Verb: "connect", Obj: "10.1.2.3"},
+		},
+	}
+	iocM, relM := Score(Pipeline{}, []ctigen.Report{rep})
+	if iocM.Recall() < 1 {
+		t.Errorf("IOC recall = %.2f (FN=%d)", iocM.Recall(), iocM.FN)
+	}
+	if relM.Recall() < 1 {
+		t.Errorf("relation recall = %.2f (TP=%d FN=%d)", relM.Recall(), relM.TP, relM.FN)
+	}
+}

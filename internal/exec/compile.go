@@ -1,0 +1,323 @@
+// Package exec is ThreatRaptor's TBQL query execution engine. Each event
+// pattern in a TBQL query is compiled into a semantically equivalent SQL
+// data query (executed on the relational backend) and each variable-length
+// event path pattern into a Cypher data query (executed on the graph
+// backend). The engine computes a pruning score per pattern, schedules
+// data-query execution in score order, and propagates intermediate results
+// between patterns connected by shared entities as additional filters, so
+// complex TBQL queries execute efficiently across database backends.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graphstore"
+	"repro/internal/relstore"
+	"repro/internal/tbql"
+)
+
+// entityTypeName maps a TBQL entity type to the stored type tag / label.
+func entityTypeName(t tbql.EntityType) string {
+	switch t {
+	case tbql.EntProc:
+		return "process"
+	case tbql.EntFile:
+		return "file"
+	default:
+		return "netconn"
+	}
+}
+
+// attrColumn maps a TBQL attribute to the storage column/property name.
+// The schema uses the same names, so this is the identity today; it is a
+// function so the mapping stays explicit.
+func attrColumn(attr string) string { return attr }
+
+// compileSQL renders an event pattern as a SQL query over the entities
+// and events tables, mirroring the paper's compilation: the event table
+// joined with the entity table twice (subject and object).
+// extra holds propagated constraints appended to the WHERE clause.
+func compileSQL(pat *tbql.EventPattern, extra []string) string {
+	var where []string
+	where = append(where, "s.type = 'process'")
+	where = append(where, fmt.Sprintf("o.type = '%s'", entityTypeName(pat.Obj.Type)))
+	where = append(where, opPredicateSQL(pat, "e"))
+	if f := filterSQL(pat.Subj.Filter, "s"); f != "" {
+		where = append(where, f)
+	}
+	if f := filterSQL(pat.Obj.Filter, "o"); f != "" {
+		where = append(where, f)
+	}
+	if pat.Window != nil {
+		where = append(where, fmt.Sprintf("e.starttime BETWEEN %d AND %d", pat.Window.From, pat.Window.To))
+	}
+	where = append(where, extra...)
+	return "SELECT e.id, e.srcid, e.dstid, e.starttime, e.endtime, e.amount" +
+		" FROM events e" +
+		" JOIN entities s ON e.srcid = s.id" +
+		" JOIN entities o ON e.dstid = o.id" +
+		" WHERE " + strings.Join(where, " AND ")
+}
+
+// opPredicateSQL renders the operation constraint.
+func opPredicateSQL(pat *tbql.EventPattern, alias string) string {
+	var terms []string
+	for _, op := range pat.Ops {
+		terms = append(terms, fmt.Sprintf("%s.optype = '%s'", alias, op))
+	}
+	pred := strings.Join(terms, " OR ")
+	if len(terms) > 1 {
+		pred = "(" + pred + ")"
+	}
+	if pat.NegOps {
+		pred = "NOT " + pred
+	}
+	return pred
+}
+
+// filterSQL renders a TBQL filter expression against a table alias.
+func filterSQL(e tbql.Expr, alias string) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case tbql.AndExpr:
+		return "(" + filterSQL(x.L, alias) + " AND " + filterSQL(x.R, alias) + ")"
+	case tbql.OrExpr:
+		return "(" + filterSQL(x.L, alias) + " OR " + filterSQL(x.R, alias) + ")"
+	case tbql.NotExpr:
+		return "NOT " + filterSQL(x.E, alias)
+	case tbql.CmpExpr:
+		col := alias + "." + attrColumn(x.Attr)
+		if x.IsNum {
+			return fmt.Sprintf("%s %s %d", col, sqlOp(x.Op), x.Num)
+		}
+		lit := relstore.TextValue(x.Str).SQL()
+		if x.Op == "like" {
+			return fmt.Sprintf("%s LIKE %s", col, lit)
+		}
+		return fmt.Sprintf("%s %s %s", col, sqlOp(x.Op), lit)
+	default:
+		return ""
+	}
+}
+
+func sqlOp(op string) string {
+	if op == "!=" {
+		return "!="
+	}
+	return op
+}
+
+// DefaultMaxHops caps unbounded path patterns.
+const DefaultMaxHops = 6
+
+// compileCypher renders a variable-length path pattern as a Cypher query:
+// a var-length prefix of any operation followed by a final hop constrained
+// to the pattern's operation, which matches the paper's semantics ("the
+// operation type of the final hop is read").
+func compileCypher(pat *tbql.EventPattern, extra []string, maxHopCap int) string {
+	minHops := pat.MinHops
+	if minHops < 1 {
+		minHops = 1
+	}
+	maxHops := pat.MaxHops
+	if maxHops == 0 {
+		maxHops = maxHopCap
+	}
+
+	subjProps, subjWhere := filterCypher(pat.Subj.Filter, "s")
+	objProps, objWhere := filterCypher(pat.Obj.Filter, "o")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "MATCH (s:process%s)-[:event*%d..%d]->(mid)-[last:event%s]->(o:%s%s)",
+		subjProps, minHops-1, maxHops-1, lastHopProps(pat), entityTypeName(pat.Obj.Type), objProps)
+
+	var where []string
+	where = append(where, subjWhere...)
+	where = append(where, objWhere...)
+	if len(pat.Ops) > 1 || pat.NegOps {
+		where = append(where, opPredicateCypher(pat))
+	}
+	if pat.Window != nil {
+		where = append(where,
+			fmt.Sprintf("last.starttime >= %d", pat.Window.From),
+			fmt.Sprintf("last.starttime <= %d", pat.Window.To))
+	}
+	where = append(where, extra...)
+	if len(where) > 0 {
+		b.WriteString(" WHERE " + strings.Join(where, " AND "))
+	}
+	b.WriteString(" RETURN s.id, o.id, last.eventid, last.starttime, last.endtime, last.amount")
+	return b.String()
+}
+
+// lastHopProps inlines a single positive operation into the final hop's
+// property map; disjunctions and negations go to WHERE.
+func lastHopProps(pat *tbql.EventPattern) string {
+	if len(pat.Ops) == 1 && !pat.NegOps {
+		return fmt.Sprintf(" {optype: '%s'}", pat.Ops[0])
+	}
+	return ""
+}
+
+func opPredicateCypher(pat *tbql.EventPattern) string {
+	var terms []string
+	for _, op := range pat.Ops {
+		terms = append(terms, fmt.Sprintf("last.optype = '%s'", op))
+	}
+	pred := strings.Join(terms, " OR ")
+	if len(terms) > 1 {
+		pred = "(" + pred + ")"
+	}
+	if pat.NegOps {
+		pred = "NOT " + pred
+	}
+	return pred
+}
+
+// filterCypher splits a filter into an inline property map (for equality
+// comparisons on the top-level AND spine, which the graph store can serve
+// from its property indexes) and WHERE conditions for everything else.
+func filterCypher(e tbql.Expr, alias string) (props string, where []string) {
+	var eqs []string
+	var rest []string
+	var walk func(e tbql.Expr)
+	walk = func(e tbql.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case tbql.AndExpr:
+			walk(x.L)
+			walk(x.R)
+		case tbql.CmpExpr:
+			if x.Op == "=" {
+				if x.IsNum {
+					eqs = append(eqs, fmt.Sprintf("%s: %d", attrColumn(x.Attr), x.Num))
+				} else {
+					eqs = append(eqs, fmt.Sprintf("%s: %s", attrColumn(x.Attr), graphstore.TextValue(x.Str).Cypher()))
+				}
+				return
+			}
+			rest = append(rest, cmpCypher(x, alias))
+		default:
+			if e != nil {
+				rest = append(rest, exprCypher(e, alias))
+			}
+		}
+	}
+	walk(e)
+	if len(eqs) > 0 {
+		props = " {" + strings.Join(eqs, ", ") + "}"
+	}
+	return props, rest
+}
+
+// exprCypher renders a full boolean filter expression (no inlining).
+func exprCypher(e tbql.Expr, alias string) string {
+	switch x := e.(type) {
+	case tbql.AndExpr:
+		return "(" + exprCypher(x.L, alias) + " AND " + exprCypher(x.R, alias) + ")"
+	case tbql.OrExpr:
+		return "(" + exprCypher(x.L, alias) + " OR " + exprCypher(x.R, alias) + ")"
+	case tbql.NotExpr:
+		return "NOT (" + exprCypher(x.E, alias) + ")"
+	case tbql.CmpExpr:
+		return cmpCypher(x, alias)
+	default:
+		return "1 = 1"
+	}
+}
+
+// cmpCypher renders one comparison: LIKE patterns translate to CONTAINS /
+// STARTS WITH / ENDS WITH when possible, else to a regular expression.
+func cmpCypher(x tbql.CmpExpr, alias string) string {
+	col := alias + "." + attrColumn(x.Attr)
+	if x.IsNum {
+		op := x.Op
+		if op == "!=" {
+			op = "<>"
+		}
+		return fmt.Sprintf("%s %s %d", col, op, x.Num)
+	}
+	lit := graphstore.TextValue(x.Str).Cypher()
+	switch x.Op {
+	case "like":
+		s := x.Str
+		switch {
+		case strings.HasPrefix(s, "%") && strings.HasSuffix(s, "%") && !strings.ContainsAny(trimPct(s), "%_"):
+			return fmt.Sprintf("%s CONTAINS %s", col, graphstore.TextValue(trimPct(s)).Cypher())
+		case strings.HasSuffix(s, "%") && !strings.ContainsAny(s[:len(s)-1], "%_"):
+			return fmt.Sprintf("%s STARTS WITH %s", col, graphstore.TextValue(s[:len(s)-1]).Cypher())
+		case strings.HasPrefix(s, "%") && !strings.ContainsAny(s[1:], "%_"):
+			return fmt.Sprintf("%s ENDS WITH %s", col, graphstore.TextValue(s[1:]).Cypher())
+		default:
+			return fmt.Sprintf("%s =~ %s", col, graphstore.TextValue(likeToRegex(s)).Cypher())
+		}
+	case "=":
+		return fmt.Sprintf("%s = %s", col, lit)
+	case "!=":
+		return fmt.Sprintf("%s <> %s", col, lit)
+	default:
+		return fmt.Sprintf("%s %s %s", col, x.Op, lit)
+	}
+}
+
+func trimPct(s string) string { return strings.TrimSuffix(strings.TrimPrefix(s, "%"), "%") }
+
+// likeToRegex converts a SQL LIKE pattern to an anchored regex body.
+func likeToRegex(pattern string) string {
+	var b strings.Builder
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		case '.', '+', '*', '?', '(', ')', '[', ']', '{', '}', '^', '$', '|', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// PruningScore counts the constraints declared by a pattern: one per
+// comparison leaf in the subject and object filters, one for the
+// operation, two for a time window. For a variable-length path pattern
+// the score additionally rewards a smaller maximum path length.
+func PruningScore(pat *tbql.EventPattern, maxHopCap int) int {
+	score := 10 * (1 + countLeaves(pat.Subj.Filter) + countLeaves(pat.Obj.Filter))
+	if pat.Window != nil {
+		score += 20
+	}
+	if pat.IsPath {
+		maxHops := pat.MaxHops
+		if maxHops == 0 {
+			maxHops = maxHopCap
+		}
+		if maxHops > 20 {
+			maxHops = 20
+		}
+		score += 20 - maxHops
+	} else {
+		score += 30
+	}
+	return score
+}
+
+func countLeaves(e tbql.Expr) int {
+	switch x := e.(type) {
+	case tbql.AndExpr:
+		return countLeaves(x.L) + countLeaves(x.R)
+	case tbql.OrExpr:
+		return countLeaves(x.L) + countLeaves(x.R)
+	case tbql.NotExpr:
+		return countLeaves(x.E)
+	case tbql.CmpExpr:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,513 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graphstore"
+	"repro/internal/relstore"
+	"repro/internal/tbql"
+)
+
+// Engine executes TBQL queries against the two storage backends.
+type Engine struct {
+	Rel   *relstore.DB
+	Graph *graphstore.Graph
+
+	// MaxPathHops caps unbounded path patterns (default DefaultMaxHops).
+	MaxPathHops int
+	// DisableScheduling executes patterns in textual order instead of
+	// pruning-score order (ablation baseline).
+	DisableScheduling bool
+	// DisablePropagation turns off constraint propagation between
+	// patterns connected by shared entities (ablation baseline).
+	DisablePropagation bool
+	// MaxPropagatedIDs bounds the size of a propagated IN-list; larger
+	// candidate sets are not propagated (default 512).
+	MaxPropagatedIDs int
+
+	// attrs caches entity attributes for projection; rebuilt when the
+	// entity table grows (tables are append-only).
+	attrs     *attrCache
+	attrsRows int
+}
+
+// EventRow is one event fetched for a pattern.
+type EventRow struct {
+	EventID int64
+	SrcID   int64
+	DstID   int64
+	Start   int64
+	End     int64
+	Amount  int64
+}
+
+// Match is one complete binding of all patterns: event rows by pattern
+// name and entity IDs by entity variable.
+type Match struct {
+	Events   map[string]EventRow
+	Entities map[string]int64
+}
+
+// Stats describes how a query executed.
+type Stats struct {
+	DataQueries    []string // compiled SQL/Cypher, in execution order
+	RowsFetched    int
+	Propagations   int // number of IN-list constraints injected
+	ShortCircuit   bool
+	JoinCandidates int // partial bindings explored during the join
+}
+
+// Result is a TBQL query result.
+type Result struct {
+	Cols    []string
+	Rows    [][]string
+	Matches []Match
+	Stats   Stats
+}
+
+// Execute runs an analyzed TBQL query.
+func (en *Engine) Execute(q *tbql.Query) (*Result, error) {
+	if q.Info() == nil {
+		if err := tbql.Analyze(q); err != nil {
+			return nil, err
+		}
+	}
+	if en.Rel == nil {
+		return nil, fmt.Errorf("exec: engine has no relational backend")
+	}
+	maxHops := en.MaxPathHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	maxProp := en.MaxPropagatedIDs
+	if maxProp == 0 {
+		maxProp = 512
+	}
+
+	res := &Result{}
+
+	// Schedule: order patterns by pruning score (descending), stable to
+	// keep textual order among ties.
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	if !en.DisableScheduling {
+		sort.SliceStable(order, func(a, b int) bool {
+			return PruningScore(&q.Patterns[order[a]], maxHops) > PruningScore(&q.Patterns[order[b]], maxHops)
+		})
+	}
+
+	// Execute data queries with constraint propagation.
+	rows := make([][]EventRow, len(q.Patterns))
+	// knownIDs[var] is the set of entity ids observed for an entity
+	// variable in already-executed patterns.
+	knownIDs := map[string]map[int64]bool{}
+
+	for _, pi := range order {
+		pat := &q.Patterns[pi]
+		// Propagated constraints go on the event table's own srcid/dstid
+		// columns (equivalent to s.id/o.id through the join equalities),
+		// where the hash indexes can drive the IN-list lookup directly.
+		var extraSQL, extraCypher []string
+		if !en.DisablePropagation {
+			if c, ok := propagated(knownIDs, pat.Subj.ID, maxProp); ok {
+				extraSQL = append(extraSQL, "e.srcid IN ("+c+")")
+				extraCypher = append(extraCypher, inListCypher("s.id", knownIDs[pat.Subj.ID]))
+				res.Stats.Propagations++
+			}
+			if c, ok := propagated(knownIDs, pat.Obj.ID, maxProp); ok {
+				extraSQL = append(extraSQL, "e.dstid IN ("+c+")")
+				extraCypher = append(extraCypher, inListCypher("o.id", knownIDs[pat.Obj.ID]))
+				res.Stats.Propagations++
+			}
+		}
+
+		var fetched []EventRow
+		if pat.IsPath {
+			if en.Graph == nil {
+				return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
+			}
+			cq := compileCypher(pat, extraCypher, maxHops)
+			res.Stats.DataQueries = append(res.Stats.DataQueries, cq)
+			gr, err := en.Graph.Query(cq)
+			if err != nil {
+				return nil, fmt.Errorf("exec: pattern %q: %w", pat.Name, err)
+			}
+			for _, r := range gr.Data {
+				fetched = append(fetched, EventRow{
+					SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
+					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+				})
+			}
+		} else {
+			sq := compileSQL(pat, extraSQL)
+			res.Stats.DataQueries = append(res.Stats.DataQueries, sq)
+			rr, err := en.Rel.Query(sq)
+			if err != nil {
+				return nil, fmt.Errorf("exec: pattern %q: %w", pat.Name, err)
+			}
+			for _, r := range rr.Data {
+				fetched = append(fetched, EventRow{
+					EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
+					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+				})
+			}
+		}
+		rows[pi] = fetched
+		res.Stats.RowsFetched += len(fetched)
+
+		if len(fetched) == 0 {
+			// A pattern with no matches empties the whole result.
+			res.Stats.ShortCircuit = true
+			res.Cols = returnCols(q)
+			return res, nil
+		}
+
+		// Record observed entity ids for propagation.
+		subjSet := knownIDs[pat.Subj.ID]
+		if subjSet == nil {
+			subjSet = map[int64]bool{}
+		}
+		objSet := knownIDs[pat.Obj.ID]
+		if objSet == nil {
+			objSet = map[int64]bool{}
+		}
+		newSubj, newObj := map[int64]bool{}, map[int64]bool{}
+		for _, r := range fetched {
+			newSubj[r.SrcID] = true
+			newObj[r.DstID] = true
+		}
+		knownIDs[pat.Subj.ID] = intersectOrNew(subjSet, newSubj)
+		knownIDs[pat.Obj.ID] = intersectOrNew(objSet, newObj)
+	}
+
+	// Join phase: bind patterns in scheduled order, checking shared
+	// entities and any relation whose events are all bound.
+	matches, explored := en.join(q, order, rows)
+	res.Stats.JoinCandidates = explored
+	res.Matches = matches
+
+	// Projection.
+	res.Cols = returnCols(q)
+	attrs, err := en.entityAttrs()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range matches {
+		row := make([]string, len(q.Return))
+		for i, item := range q.Return {
+			id := m.Entities[item.ID]
+			row[i] = attrs.get(id, item.Attr)
+		}
+		if q.Distinct {
+			key := strings.Join(row, "\x00")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ExecuteTBQL parses, analyzes, and executes TBQL source.
+func (en *Engine) ExecuteTBQL(src string) (*Result, error) {
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return en.Execute(q)
+}
+
+// ExplainedPattern describes how one pattern would execute.
+type ExplainedPattern struct {
+	Name      string
+	Backend   string // "sql" or "cypher"
+	Score     int    // pruning score
+	DataQuery string // compiled data query, without propagated constraints
+}
+
+// Explain compiles and scores every pattern without executing anything,
+// returning the patterns in scheduled order.
+func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
+	if q.Info() == nil {
+		if err := tbql.Analyze(q); err != nil {
+			return nil, err
+		}
+	}
+	maxHops := en.MaxPathHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	if !en.DisableScheduling {
+		sort.SliceStable(order, func(a, b int) bool {
+			return PruningScore(&q.Patterns[order[a]], maxHops) > PruningScore(&q.Patterns[order[b]], maxHops)
+		})
+	}
+	out := make([]ExplainedPattern, 0, len(order))
+	for _, pi := range order {
+		pat := &q.Patterns[pi]
+		ep := ExplainedPattern{Name: pat.Name, Score: PruningScore(pat, maxHops)}
+		if pat.IsPath {
+			ep.Backend = "cypher"
+			ep.DataQuery = compileCypher(pat, nil, maxHops)
+		} else {
+			ep.Backend = "sql"
+			ep.DataQuery = compileSQL(pat, nil)
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+func returnCols(q *tbql.Query) []string {
+	cols := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		cols[i] = item.ID + "." + item.Attr
+	}
+	return cols
+}
+
+// join binds the patterns' fetched rows into complete matches.
+func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, int) {
+	type partial struct {
+		events   map[string]EventRow
+		entities map[string]int64
+	}
+	parts := []partial{{events: map[string]EventRow{}, entities: map[string]int64{}}}
+	explored := 0
+	bound := map[string]bool{} // event names bound so far
+
+	for _, pi := range order {
+		pat := &q.Patterns[pi]
+		bound[pat.Name] = true
+		var next []partial
+		for _, p := range parts {
+			for _, r := range rows[pi] {
+				explored++
+				if id, ok := p.entities[pat.Subj.ID]; ok && id != r.SrcID {
+					continue
+				}
+				if id, ok := p.entities[pat.Obj.ID]; ok && id != r.DstID {
+					continue
+				}
+				ev := cloneEvents(p.events)
+				ev[pat.Name] = r
+				if !relationsOK(q, bound, ev) {
+					continue
+				}
+				ent := cloneEntities(p.entities)
+				ent[pat.Subj.ID] = r.SrcID
+				ent[pat.Obj.ID] = r.DstID
+				next = append(next, partial{events: ev, entities: ent})
+			}
+		}
+		parts = next
+		if len(parts) == 0 {
+			return nil, explored
+		}
+	}
+
+	matches := make([]Match, len(parts))
+	for i, p := range parts {
+		matches[i] = Match{Events: p.events, Entities: p.entities}
+	}
+	return matches, explored
+}
+
+// relationsOK checks every temporal and attribute relation whose two
+// events are both bound.
+func relationsOK(q *tbql.Query, bound map[string]bool, ev map[string]EventRow) bool {
+	for _, tr := range q.Temporal {
+		if !bound[tr.A] || !bound[tr.B] {
+			continue
+		}
+		a, b := ev[tr.A], ev[tr.B]
+		if tr.Op == "before" {
+			if !(a.Start < b.Start) {
+				return false
+			}
+		} else {
+			if !(a.Start > b.Start) {
+				return false
+			}
+		}
+	}
+	for _, ar := range q.AttrRels {
+		if !bound[ar.AEvt] {
+			continue
+		}
+		av := eventAttr(ev[ar.AEvt], ar.AAttr)
+		var bv int64
+		if ar.BIsLit {
+			bv = ar.BLit
+		} else {
+			if !bound[ar.BEvt] {
+				continue
+			}
+			bv = eventAttr(ev[ar.BEvt], ar.BAttr)
+		}
+		if !cmpInt(av, ar.Op, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+func eventAttr(r EventRow, attr string) int64 {
+	switch attr {
+	case "srcid":
+		return r.SrcID
+	case "dstid":
+		return r.DstID
+	case "starttime":
+		return r.Start
+	case "endtime":
+		return r.End
+	case "amount":
+		return r.Amount
+	case "id":
+		return r.EventID
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a int64, op string, b int64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func cloneEvents(m map[string]EventRow) map[string]EventRow {
+	out := make(map[string]EventRow, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneEntities(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m)+2)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// propagated renders the known-ID set of an entity variable as a SQL
+// IN-list when it exists and is small enough.
+func propagated(known map[string]map[int64]bool, id string, maxIDs int) (string, bool) {
+	set, ok := known[id]
+	if !ok || len(set) == 0 || len(set) > maxIDs {
+		return "", false
+	}
+	ids := make([]int64, 0, len(set))
+	for v := range set {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, v := range ids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String(), true
+}
+
+// inListCypher renders an entity-ID disjunction for Cypher.
+func inListCypher(col string, set map[int64]bool) string {
+	ids := make([]int64, 0, len(set))
+	for v := range set {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	terms := make([]string, len(ids))
+	for i, v := range ids {
+		terms[i] = fmt.Sprintf("%s = %d", col, v)
+	}
+	return "(" + strings.Join(terms, " OR ") + ")"
+}
+
+// intersectOrNew returns prev ∩ cur, or cur when prev is empty (first
+// observation of the variable).
+func intersectOrNew(prev, cur map[int64]bool) map[int64]bool {
+	if len(prev) == 0 {
+		return cur
+	}
+	out := map[int64]bool{}
+	for v := range cur {
+		if prev[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// attrCache caches entity attribute values for projection.
+type attrCache struct {
+	byID map[int64]map[string]string
+}
+
+func (c *attrCache) get(id int64, attr string) string {
+	row, ok := c.byID[id]
+	if !ok {
+		return ""
+	}
+	return row[attr]
+}
+
+// entityAttrs loads the entity table for projection lookups, reusing the
+// cached copy while the table has not grown.
+func (en *Engine) entityAttrs() (*attrCache, error) {
+	if tbl := en.Rel.Table(relstore.EntityTable); tbl != nil && en.attrs != nil && tbl.NumRows() == en.attrsRows {
+		return en.attrs, nil
+	}
+	rows, err := en.Rel.Query("SELECT * FROM " + relstore.EntityTable)
+	if err != nil {
+		return nil, err
+	}
+	c := &attrCache{byID: make(map[int64]map[string]string, len(rows.Data))}
+	idIdx := -1
+	for i, col := range rows.Cols {
+		if col == "id" {
+			idIdx = i
+		}
+	}
+	if idIdx < 0 {
+		return nil, fmt.Errorf("exec: entity table has no id column")
+	}
+	for _, r := range rows.Data {
+		m := make(map[string]string, len(rows.Cols))
+		for i, col := range rows.Cols {
+			m[col] = r[i].String()
+		}
+		c.byID[r[idIdx].Int] = m
+	}
+	en.attrs = c
+	en.attrsRows = len(rows.Data)
+	return c, nil
+}

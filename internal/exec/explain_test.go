@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tbql"
+)
+
+func TestAttrRelLiteral(t *testing.T) {
+	en := leakageEngine(t, 500)
+	// The attack read of /etc/passwd transfers 2949 bytes; benign sshd
+	// reads transfer 2048. The amount filter isolates the attack.
+	q := `proc p read file f["%/etc/passwd%"] as evt1
+with evt1.amount > 2500
+return distinct p`
+	res, err := en.ExecuteTBQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "/bin/tar" {
+		t.Errorf("amount filter rows = %v", res.Rows)
+	}
+	// Inverted threshold excludes the attack.
+	q = `proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as evt1
+with evt1.amount < 100
+return p`
+	res, err = en.ExecuteTBQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("inverted amount filter rows = %v", res.Rows)
+	}
+}
+
+func TestAttrRelLiteralNegative(t *testing.T) {
+	en := leakageEngine(t, 0)
+	q := `proc p["%/bin/tar%"] read file f as evt1
+with evt1.amount > -1
+return distinct f`
+	if _, err := en.ExecuteTBQL(q); err != nil {
+		t.Errorf("negative literal: %v", err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	en := leakageEngine(t, 100)
+	q, err := tbql.Parse(fig2TBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := en.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 8 {
+		t.Fatalf("explained %d patterns", len(eps))
+	}
+	// Scheduled order: scores non-increasing.
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Score > eps[i-1].Score {
+			t.Errorf("explain order not by score: %d after %d", eps[i].Score, eps[i-1].Score)
+		}
+	}
+	for _, ep := range eps {
+		if ep.Backend != "sql" || !strings.Contains(ep.DataQuery, "SELECT") {
+			t.Errorf("pattern %s: backend=%s query=%q", ep.Name, ep.Backend, ep.DataQuery)
+		}
+	}
+}
+
+func TestExplainPathPattern(t *testing.T) {
+	en := leakageEngine(t, 0)
+	q, err := tbql.Parse(`proc p ~>(1~3)[read] file f as e1
+return p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := en.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Backend != "cypher" || !strings.Contains(eps[0].DataQuery, "MATCH") {
+		t.Errorf("path pattern explain: %+v", eps[0])
+	}
+}

@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRandomQueriesExecute: randomly composed valid queries must execute
+// without error on a loaded engine, in every optimization mode, and all
+// modes must agree on the result rows.
+func TestRandomQueriesExecute(t *testing.T) {
+	base := leakageEngine(t, 1500)
+	modes := []*Engine{
+		base,
+		{Rel: base.Rel, Graph: base.Graph, DisablePropagation: true},
+		{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true, DisablePropagation: true},
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	exes := []string{"/bin/tar", "/usr/bin/curl", "/bin/bash", "/usr/bin/chrome", "/usr/sbin/sshd"}
+	files := []string{"/etc/passwd", "/tmp/upload.tar", "/var/log/syslog", "/etc/crontab"}
+	fileOps := []string{"read", "write", "read || write"}
+
+	for i := 0; i < 60; i++ {
+		nPat := 1 + rng.Intn(3)
+		var b strings.Builder
+		var names []string
+		used := map[string]bool{}
+		for j := 0; j < nPat; j++ {
+			name := fmt.Sprintf("e%d", j+1)
+			names = append(names, name)
+			subjID := fmt.Sprintf("p%d", rng.Intn(2))
+			objID := fmt.Sprintf("f%d", rng.Intn(2))
+			used[subjID], used[objID] = true, true
+			subjF, objF := "", ""
+			if rng.Intn(2) == 0 {
+				subjF = fmt.Sprintf(`["%%%s%%"]`, exes[rng.Intn(len(exes))])
+			}
+			if rng.Intn(2) == 0 {
+				objF = fmt.Sprintf(`["%%%s%%"]`, files[rng.Intn(len(files))])
+			}
+			if rng.Intn(5) == 0 {
+				fmt.Fprintf(&b, "proc %s%s ~>(1~3)[read] file %s%s as %s\n", subjID, subjF, objID, objF, name)
+			} else {
+				fmt.Fprintf(&b, "proc %s%s %s file %s%s as %s\n", subjID, subjF, fileOps[rng.Intn(len(fileOps))], objID, objF, name)
+			}
+		}
+		if nPat > 1 && rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "with %s before %s\n", names[0], names[1])
+		}
+		var ret []string
+		for _, id := range []string{"p0", "p1", "f0", "f1"} {
+			if used[id] {
+				ret = append(ret, id)
+			}
+		}
+		b.WriteString("return distinct " + strings.Join(ret, ", "))
+		src := b.String()
+
+		var counts []int
+		for mi, en := range modes {
+			res, err := en.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d mode %d: %v\n%s", i, mi, err, src)
+			}
+			counts = append(counts, len(res.Rows))
+		}
+		if counts[0] != counts[1] || counts[1] != counts[2] {
+			t.Fatalf("case %d: modes disagree %v\n%s", i, counts, src)
+		}
+	}
+}
+
+// TestPropagationCap: oversized candidate sets must not be propagated,
+// and execution must stay correct.
+func TestPropagationCap(t *testing.T) {
+	en := leakageEngine(t, 2000)
+	en.MaxPropagatedIDs = 1 // nothing qualifies beyond single-candidate sets
+	res, err := en.ExecuteTBQL(fig2TBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("capped propagation broke correctness: %d rows", len(res.Rows))
+	}
+}
+
+// TestNegatedOps: !read on a narrow file set.
+func TestNegatedOps(t *testing.T) {
+	en := leakageEngine(t, 0)
+	res, err := en.ExecuteTBQL(`proc p["%/bin/tar%"] !read file f as e1
+return distinct f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tar's only non-read file op in the attack is the upload.tar write.
+	if len(res.Rows) != 1 || res.Rows[0][0] != "/tmp/upload.tar" {
+		t.Errorf("negated op rows = %v", res.Rows)
+	}
+}
+
+// TestMultiOpDisjunctionPath: op disjunction on a path pattern's final
+// hop.
+func TestMultiOpDisjunctionPath(t *testing.T) {
+	en := leakageEngine(t, 0)
+	res, err := en.ExecuteTBQL(`proc p["%/usr/sbin/apache2%"] ~>(1~4)[read || write] file f["%upload%"] as e1
+return distinct f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// apache2 -> bash -> tar -> write upload.tar (3 hops, final write).
+	if len(res.Rows) == 0 {
+		t.Errorf("disjunction path found nothing")
+	}
+	if !strings.Contains(res.Stats.DataQueries[0], "OR") {
+		t.Errorf("op disjunction should appear in WHERE: %s", res.Stats.DataQueries[0])
+	}
+}

@@ -1,0 +1,120 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/ioc"
+	"repro/internal/nlp"
+)
+
+// TestProtectionAblation verifies the property IOC protection exists to
+// provide: the NLP stages see the same clean token structure no matter
+// how gnarly the IOCs are, so extraction accuracy is invariant to IOC
+// surface complexity. Two reports with identical grammar but wildly
+// different IOC shapes must produce isomorphic behavior graphs.
+func TestProtectionAblation(t *testing.T) {
+	simple := "The attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to /tmp/out."
+	// Same sentences, but with IOCs full of dots, digits, hashes, and
+	// query strings that would perturb any general-purpose tokenizer.
+	gnarly := "The attacker used /usr/lib64/x86_64/libexec/run-parts.v2.3.1 to read user credentials from /etc/pam.d/common-auth.so.1.0. It wrote the gathered information to https://evil-c2.example.com/up.php?id=9f8a&x=1."
+
+	gs := Extract(simple)
+	gg := Extract(gnarly)
+	if len(gs.Edges) != len(gg.Edges) {
+		t.Fatalf("IOC complexity changed extraction: %d vs %d edges\nsimple:\n%s\ngnarly:\n%s",
+			len(gs.Edges), len(gg.Edges), gs.String(), gg.String())
+	}
+	for i := range gs.Edges {
+		if gs.Edges[i].Verb != gg.Edges[i].Verb {
+			t.Errorf("edge %d verb differs: %s vs %s", i, gs.Edges[i].Verb, gg.Edges[i].Verb)
+		}
+	}
+}
+
+// TestProtectionPreservesSegmentation: masking IOCs must not change how
+// many sentences a block has, and sentences that *begin* with an IOC
+// must still be segmented (the capitalized placeholder provides the
+// boundary signal that a raw lowercase path would not).
+func TestProtectionPreservesSegmentation(t *testing.T) {
+	block := "As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2."
+	prot := ioc.Protect(block)
+	sents := nlp.SegmentSentences(prot.Text)
+	if len(sents) != 3 {
+		t.Fatalf("protected block should have 3 sentences, got %d: %q", len(sents), sents)
+	}
+	// The third sentence starts with the placeholder for /bin/bzip2.
+	if !ioc.IsPlaceholder(nlp.Tokenize(sents[2])[0].Text) {
+		t.Errorf("sentence 3 should start with a placeholder: %q", sents[2])
+	}
+}
+
+// TestTreeSimplificationKeepsIOCPaths: simplification must keep every
+// token on a root path to an IOC, verb, or pronoun, and drop pure
+// decoration.
+func TestTreeSimplificationKeepsIOCPaths(t *testing.T) {
+	prot := ioc.Protect("Meanwhile, the extremely sophisticated attacker quietly used /bin/tar to read /etc/passwd.")
+	tree := buildTree(nlp.SegmentSentences(prot.Text)[0], prot, 0, 0)
+	kept := tree.KeptCount()
+	total := len(tree.dep.Tokens)
+	if kept == 0 || kept >= total {
+		t.Fatalf("simplification kept %d of %d tokens", kept, total)
+	}
+	// Both IOC tokens must be kept.
+	for i := range tree.dep.Tokens {
+		if tree.iocAt[i] != nil && !tree.keep[i] {
+			t.Errorf("IOC token %q dropped by simplification", tree.dep.Tokens[i].Text)
+		}
+	}
+}
+
+// TestCorefNonSubjectPronoun: "compressed it" resolves to the nearest
+// preceding object IOC.
+func TestCorefNonSubjectPronoun(t *testing.T) {
+	g := Extract("The malware /tmp/evil.sh wrote data to /tmp/stage.bin. Then /bin/gzip compressed it.")
+	found := false
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src.Text == "/bin/gzip" && dst.Text == "/tmp/stage.bin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("object pronoun not resolved:\n%s", g.String())
+	}
+}
+
+// TestExtractMultiBlock: coreference must not leak across blocks (the
+// paper resolves within a block only).
+func TestExtractMultiBlock(t *testing.T) {
+	doc := "The tool /bin/tar read /etc/passwd.\n\nIt wrote data to /tmp/x.out."
+	g := Extract(doc)
+	// "It" in block 2 has no antecedent within its own block, so no
+	// tar->x.out edge may exist.
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src.Text == "/bin/tar" && dst.Text == "/tmp/x.out" {
+			t.Errorf("coreference leaked across blocks:\n%s", g.String())
+		}
+	}
+}
+
+// TestExtractPassiveVoice: "X was read by Y" still yields (Y read X).
+func TestExtractPassiveVoice(t *testing.T) {
+	g := Extract("The file /etc/shadow was read by the malware /tmp/evil.sh.")
+	found := false
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src.Text == "/tmp/evil.sh" && e.Verb == "read" && dst.Text == "/etc/shadow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("passive agent not recovered:\n%s", g.String())
+	}
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src.Text == "/etc/shadow" && dst.Text == "/tmp/evil.sh" && e.Verb == "read" {
+			t.Errorf("passive voice produced reversed edge:\n%s", g.String())
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package extract
+
+import (
+	"strings"
+
+	"repro/internal/ioc"
+	"repro/internal/nlp"
+)
+
+// relationVerbs is the lexicon of candidate IOC relation verbs (lemmas).
+// During tree annotation, verb tokens whose lemma appears here are marked
+// as candidate relation verbs; the closest candidate to the object IOC on
+// the dependency path becomes the relation verb of the extracted triplet.
+var relationVerbs = map[string]bool{
+	"read": true, "write": true, "download": true, "upload": true,
+	"execute": true, "run": true, "launch": true, "open": true,
+	"connect": true, "send": true, "receive": true, "transfer": true,
+	"leak": true, "exfiltrate": true, "steal": true, "compress": true,
+	"encrypt": true, "decrypt": true, "create": true, "delete": true,
+	"remove": true, "modify": true, "drop": true, "install": true,
+	"copy": true, "scan": true, "gather": true, "collect": true,
+	"access": true, "contact": true, "communicate": true, "use": true,
+	"leverage": true, "fork": true, "spawn": true, "beacon": true,
+	"resolve": true, "query": true, "request": true, "fetch": true,
+	"persist": true, "inject": true, "overwrite": true,
+}
+
+// instrumentVerbs are verbs whose direct object acts as the agent of a
+// following action ("the attacker USED /bin/tar to read ..."): the dobj
+// IOC is treated as the subject of the downstream relation.
+var instrumentVerbs = map[string]bool{
+	"use": true, "leverage": true, "launch": true, "run": true,
+	"execute": true, "employ": true, "invoke": true, "utilize": true,
+	"spawn": true, "start": true,
+}
+
+// corefPronouns are the pronoun surface forms resolved to IOC
+// antecedents. Personal pronouns (he, she, they) refer to the human
+// attacker, not to IOCs, and are deliberately excluded.
+var corefPronouns = map[string]bool{
+	"it": true, "its": true, "this": true, "which": true,
+}
+
+// annTree is a dependency tree annotated for relation extraction: per
+// token, the restored IOC (if any), candidate-verb and pronoun flags, the
+// coreference resolution, and the keep-set from tree simplification.
+type annTree struct {
+	dep  *nlp.DepTree
+	sent string // protected sentence text
+
+	iocAt   []*ioc.IOC // token -> restored IOC or nil
+	isVerb  []bool     // candidate relation verb
+	isPron  []bool     // coreference-candidate pronoun
+	corefTo []*ioc.IOC // pronoun token -> resolved antecedent IOC or nil
+	keep    []bool     // survives tree simplification
+
+	block, sentIdx int
+}
+
+// buildTree tokenizes, tags, and parses one protected sentence, then
+// removes IOC protection (restoring placeholder tokens to their original
+// IOC text) and annotates the tree.
+func buildTree(sentence string, prot *ioc.Protection, block, sentIdx int) *annTree {
+	toks := nlp.Tokenize(sentence)
+	nlp.Tag(toks, ioc.IsPlaceholder)
+	dep := nlp.ParseDependency(toks)
+
+	t := &annTree{
+		dep: dep, sent: sentence,
+		iocAt:   make([]*ioc.IOC, len(toks)),
+		isVerb:  make([]bool, len(toks)),
+		isPron:  make([]bool, len(toks)),
+		corefTo: make([]*ioc.IOC, len(toks)),
+		keep:    make([]bool, len(toks)),
+		block:   block, sentIdx: sentIdx,
+	}
+
+	// Remove IOC protection: restore the original IOC into the tree.
+	for i := range dep.Tokens {
+		if restored := prot.Restore(dep.Tokens[i].Text); restored != nil {
+			dep.Tokens[i].Text = restored.Text
+			dep.Tokens[i].Lemma = restored.Text
+			t.iocAt[i] = restored
+		}
+	}
+
+	t.annotate()
+	t.simplify()
+	return t
+}
+
+// annotate marks IOC nodes, candidate relation verbs, and pronouns, and
+// fills in lemmas.
+func (t *annTree) annotate() {
+	for i := range t.dep.Tokens {
+		tok := &t.dep.Tokens[i]
+		if t.iocAt[i] != nil {
+			continue
+		}
+		tok.Lemma = nlp.Lemmatize(tok.Text)
+		if strings.HasPrefix(tok.POS, "VB") && relationVerbs[tok.Lemma] {
+			t.isVerb[i] = true
+		}
+		if (tok.POS == "PRP" || tok.POS == "WDT" || tok.POS == "DT") &&
+			corefPronouns[strings.ToLower(tok.Text)] {
+			// DT "this"/"that" count only when not determining a noun.
+			if tok.POS == "DT" && i+1 < len(t.dep.Tokens) && strings.HasPrefix(t.dep.Tokens[i+1].POS, "NN") {
+				continue
+			}
+			t.isPron[i] = true
+		}
+	}
+}
+
+// simplify computes the keep-set: a token survives when its subtree
+// contains an IOC, a candidate verb, or a pronoun. This mirrors the
+// paper's tree simplification, which removes paths without IOC nodes down
+// to the leaves; we keep it logical (a marking) rather than physically
+// rebuilding the tree.
+func (t *annTree) simplify() {
+	n := len(t.dep.Tokens)
+	interesting := func(i int) bool {
+		return t.iocAt[i] != nil || t.isVerb[i] || t.isPron[i]
+	}
+	// Mark every interesting node and all its ancestors.
+	for i := 0; i < n; i++ {
+		if !interesting(i) {
+			continue
+		}
+		for _, j := range t.dep.PathToRoot(i) {
+			if t.keep[j] {
+				break
+			}
+			t.keep[j] = true
+		}
+	}
+}
+
+// KeptCount reports how many tokens survive simplification (for tests
+// and diagnostics).
+func (t *annTree) KeptCount() int {
+	c := 0
+	for _, k := range t.keep {
+		if k {
+			c++
+		}
+	}
+	return c
+}
+
+// resolveCoref resolves pronoun tokens against the trees of preceding
+// sentences within the same block. Following the paper, resolution checks
+// POS tags and dependencies: a subject pronoun ("It wrote ...") resolves
+// to the previous sentence's agent — its nsubj IOC if present, else the
+// direct object of an instrument verb ("used /bin/tar to ..."), else the
+// sentence's first IOC.
+func (t *annTree) resolveCoref(prev []*annTree) {
+	for i := range t.dep.Tokens {
+		if !t.isPron[i] {
+			continue
+		}
+		if t.dep.Label[i] == "nsubj" || t.dep.Label[i] == "nsubjpass" {
+			for j := len(prev) - 1; j >= 0; j-- {
+				if ant := prev[j].agentIOC(); ant != nil {
+					t.corefTo[i] = ant
+					break
+				}
+			}
+			continue
+		}
+		// Non-subject pronouns ("compressed it", "leaked it"): resolve to
+		// the most recent *object-role* IOC — in the current sentence if
+		// one precedes the pronoun, else in previous sentences. The
+		// pronoun's own clause subject is never a candidate ("gzip
+		// compressed it": "it" cannot be gzip).
+		if ant := t.objectIOCBefore(i); ant != nil {
+			t.corefTo[i] = ant
+			continue
+		}
+		for j := len(prev) - 1; j >= 0; j-- {
+			if ant := prev[j].lastObjectIOC(); ant != nil {
+				t.corefTo[i] = ant
+				break
+			}
+		}
+	}
+}
+
+// agentIOC returns the IOC acting as this sentence's agent: the nsubj
+// IOC, else the direct object of an instrument verb, else nil.
+func (t *annTree) agentIOC() *ioc.IOC {
+	for i := range t.dep.Tokens {
+		if t.iocAt[i] != nil && (t.dep.Label[i] == "nsubj" || t.dep.Label[i] == "nsubjpass") {
+			return t.iocAt[i]
+		}
+	}
+	for i := range t.dep.Tokens {
+		if t.iocAt[i] == nil || t.dep.Label[i] != "dobj" {
+			continue
+		}
+		h := t.dep.Head[i]
+		if h >= 0 && instrumentVerbs[t.dep.Tokens[h].Lemma] {
+			return t.iocAt[i]
+		}
+	}
+	return nil
+}
+
+// lastObjectIOC returns the last IOC with an object-like dependency.
+func (t *annTree) lastObjectIOC() *ioc.IOC {
+	for i := len(t.dep.Tokens) - 1; i >= 0; i-- {
+		if t.iocAt[i] != nil && (t.dep.Label[i] == "dobj" || t.dep.Label[i] == "pobj") {
+			return t.iocAt[i]
+		}
+	}
+	return nil
+}
+
+// objectIOCBefore returns the closest IOC token before position i in the
+// same sentence that fills an object-like role (dobj or pobj).
+func (t *annTree) objectIOCBefore(i int) *ioc.IOC {
+	for j := i - 1; j >= 0; j-- {
+		if t.iocAt[j] != nil && (t.dep.Label[j] == "dobj" || t.dep.Label[j] == "pobj") {
+			return t.iocAt[j]
+		}
+	}
+	return nil
+}

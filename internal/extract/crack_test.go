@@ -1,0 +1,39 @@
+package extract
+
+import "testing"
+
+// TestExtractPasswordCrackReport locks in the extraction shape for the
+// paper's first demo attack description.
+func TestExtractPasswordCrackReport(t *testing.T) {
+	g := Extract(PasswordCrackText)
+	wantEdges := []struct{ src, verb, dst string }{
+		{"/usr/bin/wget", "connect", "162.125.248.18"},
+		{"/usr/bin/wget", "write", "/tmp/logo.jpg"},
+		{"/usr/bin/exiftool", "read", "/tmp/logo.jpg"},
+		{"/usr/bin/wget", "connect", "192.168.29.128"},
+		{"/usr/bin/wget", "write", "/tmp/cracker"},
+		{"/tmp/cracker", "read", "/etc/shadow"},
+		{"/tmp/cracker", "write", "/tmp/passwords.txt"},
+		{"/tmp/cracker", "connect", "192.168.29.128"},
+	}
+	got := edgeSet(g)
+	for _, w := range wantEdges {
+		if _, ok := got[[3]string{w.src, w.verb, w.dst}]; !ok {
+			t.Errorf("missing edge %s -%s-> %s", w.src, w.verb, w.dst)
+		}
+	}
+	if t.Failed() {
+		t.Logf("graph:\n%s", g.String())
+	}
+	// /tmp/cracker appears both as a written file and as an acting
+	// process; it must be a single merged node.
+	count := 0
+	for _, n := range g.Nodes {
+		if n.Text == "/tmp/cracker" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("/tmp/cracker should be one node, got %d", count)
+	}
+}

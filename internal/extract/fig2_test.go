@@ -1,0 +1,157 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/ioc"
+)
+
+// fig2WantEdges is the paper's threat behavior graph for Fig. 2: the
+// eight-step data leakage chain.
+var fig2WantEdges = []struct {
+	src, verb, dst string
+}{
+	{"/bin/tar", "read", "/etc/passwd"},
+	{"/bin/tar", "write", "/tmp/upload.tar"},
+	{"/bin/bzip2", "read", "/tmp/upload.tar"},
+	{"/bin/bzip2", "write", "/tmp/upload.tar.bz2"},
+	{"/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"},
+	{"/usr/bin/gpg", "write", "/tmp/upload"},
+	{"/usr/bin/curl", "read", "/tmp/upload"},
+	{"/usr/bin/curl", "connect", "192.168.29.128"},
+}
+
+func edgeSet(g *Graph) map[[3]string]int {
+	out := map[[3]string]int{}
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src == nil || dst == nil {
+			continue
+		}
+		out[[3]string{src.Text, e.Verb, dst.Text}] = e.Seq
+	}
+	return out
+}
+
+func TestExtractFig2Nodes(t *testing.T) {
+	g := Extract(Fig2Text)
+	wantNodes := []string{
+		"/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2",
+		"/tmp/upload.tar.bz2", "/usr/bin/gpg", "/tmp/upload",
+		"/usr/bin/curl", "192.168.29.128",
+	}
+	have := map[string]bool{}
+	for _, n := range g.Nodes {
+		have[n.Text] = true
+	}
+	for _, w := range wantNodes {
+		if !have[w] {
+			t.Errorf("missing node %q\ngraph:\n%s", w, g.String())
+		}
+	}
+}
+
+func TestExtractFig2Edges(t *testing.T) {
+	g := Extract(Fig2Text)
+	got := edgeSet(g)
+	for _, w := range fig2WantEdges {
+		if _, ok := got[[3]string{w.src, w.verb, w.dst}]; !ok {
+			t.Errorf("missing edge %s -%s-> %s", w.src, w.verb, w.dst)
+		}
+	}
+	if t.Failed() {
+		t.Logf("extracted graph:\n%s", g.String())
+	}
+}
+
+func TestExtractFig2EdgeOrder(t *testing.T) {
+	g := Extract(Fig2Text)
+	got := edgeSet(g)
+	prev := 0
+	for _, w := range fig2WantEdges {
+		seq, ok := got[[3]string{w.src, w.verb, w.dst}]
+		if !ok {
+			t.Skipf("edge %v missing; ordering not checkable", w)
+		}
+		if seq <= prev {
+			t.Errorf("edge %s -%s-> %s out of order: seq %d after %d", w.src, w.verb, w.dst, seq, prev)
+		}
+		prev = seq
+	}
+}
+
+func TestExtractFig2Coref(t *testing.T) {
+	// "It wrote the gathered information to a file /tmp/upload.tar" —
+	// the tar→upload.tar write edge exists only if "It" resolves to
+	// /bin/tar.
+	g := Extract(Fig2Text)
+	got := edgeSet(g)
+	if _, ok := got[[3]string{"/bin/tar", "write", "/tmp/upload.tar"}]; !ok {
+		t.Errorf("coreference failed: no tar-write-upload.tar edge\n%s", g.String())
+	}
+}
+
+func TestExtractEmptyDocument(t *testing.T) {
+	g := Extract("")
+	if len(g.Nodes) != 0 || len(g.Edges) != 0 {
+		t.Errorf("empty doc produced %d nodes, %d edges", len(g.Nodes), len(g.Edges))
+	}
+}
+
+func TestExtractNoIOCs(t *testing.T) {
+	g := Extract("The attacker attempts to steal valuable assets from the host. Nothing specific is known.")
+	if len(g.Edges) != 0 {
+		t.Errorf("IOC-free doc produced edges: %s", g.String())
+	}
+}
+
+func TestExtractSingleRelation(t *testing.T) {
+	g := Extract("The malware /tmp/evil.sh read /etc/shadow.")
+	got := edgeSet(g)
+	if _, ok := got[[3]string{"/tmp/evil.sh", "read", "/etc/shadow"}]; !ok {
+		t.Errorf("simple SVO missed: %s", g.String())
+	}
+}
+
+func TestExtractInstrumentPattern(t *testing.T) {
+	g := Extract("The attacker used /usr/bin/wget to download http://evil.com/payload.sh.")
+	found := false
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src.Text == "/usr/bin/wget" && e.Verb == "download" && dst.Type == ioc.URL {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("instrument pattern missed: %s", g.String())
+	}
+}
+
+func TestExtractConjoinedVerbs(t *testing.T) {
+	g := Extract("/bin/cat read from /etc/hosts and wrote to /tmp/out.txt.")
+	got := edgeSet(g)
+	if _, ok := got[[3]string{"/bin/cat", "read", "/etc/hosts"}]; !ok {
+		t.Errorf("first conjunct missed: %s", g.String())
+	}
+	if _, ok := got[[3]string{"/bin/cat", "write", "/tmp/out.txt"}]; !ok {
+		t.Errorf("second conjunct missed: %s", g.String())
+	}
+}
+
+func TestExtractSeqNumbersDense(t *testing.T) {
+	g := Extract(Fig2Text)
+	for i, e := range g.Edges {
+		if e.Seq != i+1 {
+			t.Errorf("edge %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestExtractNoSelfLoops(t *testing.T) {
+	g := Extract(Fig2Text)
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Errorf("self loop on node %d", e.Src)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package extract
+
+// Fig2Text is the OSCTI report text of the paper's running example
+// (Figure 2), verbatim. It is exported so that examples, commands, and
+// cross-package tests can exercise the exact pipeline the paper
+// demonstrates.
+const Fig2Text = `After the lateral movement stage, the attacker attempts to steal valuable assets from the host. This stage mainly involves the behaviors of local and remote file system scanning activities, copying and compressing of important files, and transferring the files to its C2 host. The details of the data leakage attack are as follows. As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After compression, the attacker used Gnu Privacy Guard (GnuPG) tool to encrypt the zipped file, which corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive information to /tmp/upload. Finally, the attacker leveraged the curl utility (/usr/bin/curl) to read the data from /tmp/upload. He leaked the gathered sensitive information back to the attacker C2 host by using /usr/bin/curl to connect to 192.168.29.128.`
+
+// PasswordCrackText is an OSCTI-style description of the paper's first
+// demo attack (Password Cracking After Shellshock Penetration),
+// constructed the way the paper constructs attack descriptions from the
+// way the attacks were performed.
+const PasswordCrackText = `The attacker penetrated into the victim host by exploiting the Shellshock vulnerability against the web server. After the penetration, the attacker used /usr/bin/wget to connect to 162.125.248.18. It wrote the downloaded image to a file /tmp/logo.jpg. Then, the attacker leveraged /usr/bin/exiftool utility to read the metadata from /tmp/logo.jpg. Based on the decoded address, the attacker used /usr/bin/wget to connect to 192.168.29.128. It wrote the password cracker to a file /tmp/cracker. The attacker then used /tmp/cracker to read password hashes from /etc/shadow. Finally, /tmp/cracker wrote the extracted clear text to /tmp/passwords.txt. It leaked the results back by using /tmp/cracker to connect to 192.168.29.128.`

@@ -1,0 +1,70 @@
+// Package extract implements ThreatRaptor's threat behavior extraction
+// pipeline (Algorithm 1 in the paper): given unstructured OSCTI report
+// text, it extracts IOCs and IOC relations and constructs a threat
+// behavior graph amenable to automated query synthesis.
+//
+// Pipeline stages: block segmentation → IOC recognition & protection →
+// sentence segmentation → dependency parsing → protection removal → tree
+// annotation → tree simplification → coreference resolution → IOC scan &
+// merge → LCA-based IOC relation extraction → graph construction.
+package extract
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioc"
+)
+
+// Node is one IOC entity in the threat behavior graph.
+type Node struct {
+	ID      int
+	Type    ioc.Type
+	Text    string   // canonical surface form
+	Aliases []string // other surface forms merged into this node
+}
+
+// Edge is one extracted IOC relation. Each edge carries a sequence number
+// indicating the step order of the threat behavior, assigned by sorting
+// relations by the occurrence offset of their relation verbs in the text.
+type Edge struct {
+	Src  int    // source node ID (subject)
+	Dst  int    // destination node ID (object)
+	Verb string // lemmatized relation verb
+	Seq  int    // 1-based step order
+	// Offset is the global occurrence position of the relation verb,
+	// used for ordering (block, sentence, token encoded).
+	Offset int
+	// Sentence is the protected-text sentence the relation came from,
+	// kept for explainability.
+	Sentence string
+}
+
+// Graph is a threat behavior graph.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// NodeByID returns the node with the given ID, or nil.
+func (g *Graph) NodeByID(id int) *Node {
+	if id < 0 || id >= len(g.Nodes) {
+		return nil
+	}
+	return &g.Nodes[id]
+}
+
+// String renders the graph in a compact human-readable form, edges in
+// sequence order.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, e := range g.Edges {
+		src, dst := g.NodeByID(e.Src), g.NodeByID(e.Dst)
+		if src == nil || dst == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%d: %s(%s) -%s-> %s(%s)\n",
+			e.Seq, src.Text, src.Type, e.Verb, dst.Text, dst.Type)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ioc"
+	"repro/internal/nlp"
+)
+
+// Extract runs the full threat behavior extraction pipeline (Algorithm 1)
+// on an OSCTI report and returns the threat behavior graph.
+func Extract(document string) *Graph {
+	var allTrees []*annTree
+	var allIOCs []ioc.IOC
+
+	// Lines 3-14: per block — protect IOCs, segment sentences, parse,
+	// restore, annotate, simplify, then resolve coreference across the
+	// block's trees.
+	for bi, block := range nlp.SegmentBlocks(document) {
+		prot := ioc.Protect(block)
+		allIOCs = append(allIOCs, prot.IOCs...)
+
+		var trees []*annTree
+		for si, sent := range nlp.SegmentSentences(prot.Text) {
+			trees = append(trees, buildTree(sent, prot, bi, si))
+		}
+		for i, t := range trees {
+			t.resolveCoref(trees[:i])
+		}
+		allTrees = append(allTrees, trees...)
+	}
+
+	// Line 15: IOC scan and merge across all blocks.
+	merged := ioc.ScanMerge(allIOCs)
+
+	// Lines 16-18: relation extraction per tree.
+	var trips []triplet
+	for _, t := range allTrees {
+		trips = append(trips, t.extractRelations()...)
+	}
+
+	// Line 19: graph construction.
+	return constructGraph(merged, trips)
+}
+
+// constructGraph maps triplets onto merged IOC nodes, orders them by the
+// occurrence offset of the relation verb, deduplicates, and assigns
+// sequence numbers.
+func constructGraph(merged []ioc.Merged, trips []triplet) *Graph {
+	g := &Graph{}
+	index := map[string]int{} // normalized surface form -> node id
+	for i, m := range merged {
+		g.Nodes = append(g.Nodes, Node{ID: i, Type: m.Type, Text: m.Text, Aliases: m.Aliases})
+		index[mergeKey(m.Type, m.Text)] = i
+		for _, a := range m.Aliases {
+			index[mergeKey(m.Type, a)] = i
+		}
+	}
+	lookup := func(x *ioc.IOC) (int, bool) {
+		norm := ioc.Normalize(x.Type, x.Text)
+		if id, ok := index[mergeKey(x.Type, norm)]; ok {
+			return id, true
+		}
+		// The IOC may have merged under a compatible type (filename into
+		// filepath, CIDR into IP); fall back to a text-only scan.
+		for i, n := range g.Nodes {
+			if n.Text == norm {
+				return i, true
+			}
+			for _, a := range n.Aliases {
+				if a == norm {
+					return i, true
+				}
+			}
+		}
+		return 0, false
+	}
+
+	sort.SliceStable(trips, func(i, j int) bool { return trips[i].offset < trips[j].offset })
+
+	type edgeKey struct {
+		src, dst int
+		verb     string
+	}
+	seen := map[edgeKey]bool{}
+	seq := 0
+	for _, tr := range trips {
+		src, ok1 := lookup(tr.subj)
+		dst, ok2 := lookup(tr.obj)
+		if !ok1 || !ok2 || src == dst {
+			continue
+		}
+		k := edgeKey{src, dst, tr.verb}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		seq++
+		g.Edges = append(g.Edges, Edge{
+			Src: src, Dst: dst, Verb: tr.verb, Seq: seq,
+			Offset: tr.offset, Sentence: tr.sentence,
+		})
+	}
+	return g
+}
+
+// mergeKey builds the node-index key. Filepath/filename and IP/CIDR
+// share a key space because ScanMerge treats them as compatible.
+func mergeKey(t ioc.Type, text string) string {
+	var class string
+	switch t {
+	case ioc.Filepath, ioc.Filename:
+		class = "file"
+	case ioc.IP, ioc.CIDR:
+		class = "ip"
+	default:
+		class = t.String()
+	}
+	return class + "|" + strings.ToLower(text)
+}

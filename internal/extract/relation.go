@@ -1,0 +1,218 @@
+package extract
+
+import (
+	"strings"
+
+	"repro/internal/ioc"
+)
+
+// triplet is one extracted ⟨subject IOC, relation verb, object IOC⟩.
+type triplet struct {
+	subj, obj *ioc.IOC
+	verb      string
+	offset    int // verb occurrence offset for ordering
+	sentence  string
+}
+
+// extractRelations enumerates all pairs of IOC-bearing tokens in the tree
+// (IOC tokens plus coreference-resolved pronouns) and checks each pair
+// for a subject-object relation using dependency-type rules over three
+// parts of the dependency path: the common path from the root to the LCA
+// and the two individual paths from the LCA to each node.
+func (t *annTree) extractRelations() []triplet {
+	type ref struct {
+		tok int
+		ioc *ioc.IOC
+	}
+	var refs []ref
+	for i := range t.dep.Tokens {
+		switch {
+		case t.iocAt[i] != nil:
+			refs = append(refs, ref{i, t.iocAt[i]})
+		case t.corefTo[i] != nil:
+			refs = append(refs, ref{i, t.corefTo[i]})
+		}
+	}
+
+	var out []triplet
+	for ai := 0; ai < len(refs); ai++ {
+		for bi := 0; bi < len(refs); bi++ {
+			if ai == bi {
+				continue
+			}
+			a, b := refs[ai], refs[bi]
+			// a as subject, b as object.
+			verb, off, ok := t.checkPair(a.tok, b.tok)
+			if !ok {
+				continue
+			}
+			if a.ioc.Text == b.ioc.Text {
+				continue // self relation after coref
+			}
+			out = append(out, triplet{
+				subj: a.ioc, obj: b.ioc, verb: verb,
+				offset:   off,
+				sentence: t.sent,
+			})
+		}
+	}
+	return out
+}
+
+// pathDown returns the dependency labels from the LCA down to token x
+// (top-down order), excluding the LCA itself, plus the token indexes
+// visited.
+func (t *annTree) pathDown(lca, x int) (labels []string, toks []int) {
+	var up []int
+	for i := x; i >= 0 && i != lca; i = t.dep.Head[i] {
+		up = append(up, i)
+		if len(up) > len(t.dep.Tokens) {
+			return nil, nil
+		}
+	}
+	for i := len(up) - 1; i >= 0; i-- {
+		labels = append(labels, t.dep.Label[up[i]])
+		toks = append(toks, up[i])
+	}
+	return labels, toks
+}
+
+// checkPair applies the dependency-type rules: it reports whether the
+// token pair (s, o) stands in a subject-object relation, and if so
+// returns the relation verb (lemmatized) and its occurrence offset.
+func (t *annTree) checkPair(s, o int) (string, int, bool) {
+	lca := t.dep.LCA(s, o)
+	if lca < 0 {
+		return "", 0, false
+	}
+	subjPath, subjToks := t.pathDown(lca, s)
+	objPath, objToks := t.pathDown(lca, o)
+
+	// Passive voice: "O was read by S" — the agent sits in a by-PP and
+	// the patient is the passive subject.
+	passive := len(stripTrailingNP(objPath)) == 1 && stripTrailingNP(objPath)[0] == "nsubjpass" &&
+		len(subjPath) >= 2 && subjPath[0] == "prep" && subjPath[1] == "pobj" &&
+		len(subjToks) > 0 && strings.EqualFold(t.dep.Tokens[subjToks[0]].Text, "by")
+
+	if !passive {
+		if !t.subjPathOK(subjPath, lca, objPath) {
+			return "", 0, false
+		}
+		if !objPathOK(objPath) {
+			return "", 0, false
+		}
+	}
+
+	// Relation verb: scan annotated candidate verbs on the three path
+	// parts (root→LCA is implicit in the LCA subtree; we consider the
+	// LCA plus both down-paths) and select the one closest to the object
+	// IOC node.
+	cands := []int{}
+	if t.isVerb[lca] {
+		cands = append(cands, lca)
+	}
+	for _, i := range objToks {
+		if t.isVerb[i] {
+			cands = append(cands, i)
+		}
+	}
+	for i := s; i >= 0 && i != lca; i = t.dep.Head[i] {
+		if t.isVerb[i] {
+			cands = append(cands, i)
+		}
+	}
+	// Also consider verbs hanging directly off the object path (the
+	// "reading" in acl constructions is ON the path, so already there).
+	if len(cands) == 0 {
+		// Fall back to the LCA when it is a verb at all.
+		if isVerbPOS(t.dep.Tokens[lca].POS) {
+			cands = append(cands, lca)
+		} else {
+			return "", 0, false
+		}
+	}
+	best, bestDist := -1, 1<<30
+	for _, v := range cands {
+		d := o - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	verb := t.dep.Tokens[best].Lemma
+	if verb == "" {
+		verb = t.dep.Tokens[best].Text
+	}
+	off := t.block*1_000_000 + t.sentIdx*10_000 + best
+	return verb, off, true
+}
+
+func isVerbPOS(pos string) bool {
+	return len(pos) >= 2 && pos[0] == 'V' && pos[1] == 'B'
+}
+
+// subjPathOK applies the subject-side dependency rules.
+//
+//	[nsubj]                          — ordinary active subject (the
+//	                                   passive nsubjpass is the patient
+//	                                   and is handled by the dedicated
+//	                                   passive rule in checkPair)
+//	[]                               — the IOC heads the clause itself and
+//	                                   the object hangs off it via acl
+//	                                   ("process /usr/bin/gpg reading ...")
+//	[dobj] (+trailing compound)      — instrument pattern: direct object
+//	                                   of use/leverage/launch acting as
+//	                                   the agent of the downstream verb
+func (t *annTree) subjPathOK(p []string, lca int, objPath []string) bool {
+	p = stripTrailingNP(p)
+	switch {
+	case len(p) == 0:
+		return len(objPath) > 0 && (objPath[0] == "acl" || objPath[0] == "relcl")
+	case len(p) == 1 && p[0] == "nsubj":
+		return true
+	case len(p) == 1 && p[0] == "dobj":
+		return instrumentVerbs[t.dep.Tokens[lca].Lemma]
+	}
+	return false
+}
+
+// objPathOK applies the object-side dependency rules: an optional chain
+// of clause links (xcomp, conj, acl, relcl — at most three) followed by
+// dobj or prep+pobj, with an optional trailing compound/appos step when
+// the IOC sits inside a larger NP.
+func objPathOK(p []string) bool {
+	p = stripTrailingNP(p)
+	// Strip leading clause links.
+	links := 0
+	for len(p) > 0 && (p[0] == "xcomp" || p[0] == "conj" || p[0] == "acl" || p[0] == "relcl") {
+		p = p[1:]
+		links++
+		if links > 3 {
+			return false
+		}
+	}
+	switch {
+	case len(p) == 1 && p[0] == "dobj":
+		return true
+	case len(p) == 2 && p[0] == "prep" && p[1] == "pobj":
+		return true
+	}
+	return false
+}
+
+// stripTrailingNP drops a trailing compound/appos/nummod step: the IOC
+// may sit inside an NP whose head carries the grammatical role ("the
+// /bin/bzip2 utility").
+func stripTrailingNP(p []string) []string {
+	for len(p) > 0 {
+		last := p[len(p)-1]
+		if last == "compound" || last == "appos" || last == "nummod" || last == "amod" {
+			p = p[:len(p)-1]
+			continue
+		}
+		break
+	}
+	return p
+}

@@ -1,0 +1,86 @@
+package graphstore
+
+import (
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// Node labels for the ThreatRaptor storage layout. Labels are stored
+// lowercase; these constants are already canonical.
+const (
+	LabelProcess = "process"
+	LabelFile    = "file"
+	LabelNetConn = "netconn"
+	EdgeEvent    = "event"
+)
+
+// Bootstrap creates the property indexes ThreatRaptor declares on key
+// node attributes for each label.
+func Bootstrap(g *Graph) {
+	g.CreateNodeIndex(LabelProcess, "exename")
+	g.CreateNodeIndex(LabelProcess, "name")
+	g.CreateNodeIndex(LabelFile, "name")
+	g.CreateNodeIndex(LabelNetConn, "dstip")
+	g.CreateNodeIndex(LabelNetConn, "name")
+}
+
+// EntityNode converts a system entity into its graph node.
+func EntityNode(e *audit.Entity) Node {
+	props := map[string]Value{
+		"host": TextValue(e.Host),
+		"name": TextValue(e.Name()),
+	}
+	var label string
+	switch e.Type {
+	case audit.EntityFile:
+		label = LabelFile
+		props["path"] = TextValue(e.Path)
+	case audit.EntityProcess:
+		label = LabelProcess
+		props["exename"] = TextValue(e.ExeName)
+		props["pid"] = IntValue(int64(e.PID))
+	case audit.EntityNetConn:
+		label = LabelNetConn
+		props["srcip"] = TextValue(e.SrcIP)
+		props["srcport"] = IntValue(int64(e.SrcPort))
+		props["dstip"] = TextValue(e.DstIP)
+		props["dstport"] = IntValue(int64(e.DstPort))
+		props["proto"] = TextValue(e.Proto)
+	default:
+		label = strings.ToLower(e.Type.String())
+	}
+	return Node{ID: e.ID, Label: label, Props: props}
+}
+
+// EventEdge converts a system event into its graph edge.
+func EventEdge(ev *audit.Event) Edge {
+	return Edge{
+		From:  ev.SrcID,
+		To:    ev.DstID,
+		Label: EdgeEvent,
+		Props: map[string]Value{
+			"eventid":   IntValue(ev.ID),
+			"optype":    TextValue(ev.Op.String()),
+			"starttime": IntValue(ev.StartTime),
+			"endtime":   IntValue(ev.EndTime),
+			"amount":    IntValue(ev.Amount),
+			"host":      TextValue(ev.Host),
+		},
+	}
+}
+
+// Load bulk-inserts parsed audit data into the graph.
+func Load(g *Graph, entities []*audit.Entity, events []*audit.Event) error {
+	for _, e := range entities {
+		if _, err := g.AddNode(EntityNode(e)); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if _, err := g.AddEdge(EventEdge(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package graphstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCypherQueries runs many readers against one loaded graph.
+func TestConcurrentCypherQueries(t *testing.T) {
+	g := fixtureGraph(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				q := `MATCH (p:process)-[e:event {optype: 'read'}]->(f:file) RETURN p.exename, f.name`
+				if i%2 == 0 {
+					q = `MATCH (p:process {exename: '/usr/sbin/apache2'})-[:event*0..3]->(m)-[e:event {optype: 'read'}]->(f:file) RETURN f.name`
+				}
+				rows, err := g.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rows.Data) == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty result", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCypherZeroHopPrefix(t *testing.T) {
+	g := fixtureGraph(t)
+	// *0..0 makes mid == start node: equivalent to a single typed hop.
+	q := `MATCH (p:process {exename: '/bin/tar'})-[:event*0..0]->(m)-[e:event {optype: 'read'}]->(f:file) RETURN f.name`
+	rows, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "/etc/passwd" {
+		t.Errorf("zero-hop prefix rows = %v", rows.Data)
+	}
+}
+
+func TestCypherFixedHopCount(t *testing.T) {
+	g := fixtureGraph(t)
+	// Exactly 2 hops: apache2 -fork-> bash -fork-> tar.
+	q := `MATCH (p:process {exename: '/usr/sbin/apache2'})-[path:event*2]->(x:process {exename: '/bin/tar'}) RETURN path`
+	rows, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 2 {
+		t.Errorf("fixed hop rows = %v", rows.Data)
+	}
+}
+
+func TestCypherNumericComparison(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process)-[e:event]->(f:file) WHERE e.amount >= 10240 RETURN DISTINCT f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "/tmp/upload.tar" {
+		t.Errorf("numeric filter rows = %v", rows.Data)
+	}
+}
+
+func TestCypherNotAndGrouping(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process)-[e:event]->(f:file) WHERE NOT (f.name CONTAINS 'passwd') AND (e.optype = 'read' OR e.optype = 'write') RETURN DISTINCT f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "/tmp/upload.tar" {
+		t.Errorf("not/grouping rows = %v", rows.Data)
+	}
+}
+
+func TestCypherAnonymousNodesAndRels(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH ()-[:event {optype: 'connect'}]->(c:netconn) RETURN c.dstip`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "192.168.29.128" {
+		t.Errorf("anonymous pattern rows = %v", rows.Data)
+	}
+}
+
+func TestCypherChainSharedIntermediate(t *testing.T) {
+	g := fixtureGraph(t)
+	// Three-node chain in one pattern: writer -> file <- is not valid
+	// (we only support ->), but a chain through a shared mid variable
+	// across two chains is.
+	q := `MATCH (w:process)-[e1:event {optype: 'write'}]->(f:file),
+	            (r:process)-[e2:event {optype: 'read'}]->(f)
+	      WHERE w.exename <> r.exename
+	      RETURN w.exename, r.exename, f.name`
+	rows, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][2].Str != "/tmp/upload.tar" {
+		t.Errorf("shared-mid rows = %v", rows.Data)
+	}
+}

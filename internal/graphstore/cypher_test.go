@@ -1,0 +1,228 @@
+package graphstore
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// fixtureGraph loads the Fig. 2 chain with intermediate bash forks, so
+// variable-length path queries have real work to do:
+//
+//	apache2 -fork-> bash -fork-> tar -read-> /etc/passwd ...
+func fixtureGraph(t testing.TB) *Graph {
+	t.Helper()
+	p := audit.NewParser()
+	recs := []audit.Record{
+		{StartNS: 1, EndNS: 2, Host: "h", PID: 1, Exe: "/usr/sbin/apache2", Op: audit.OpFork, ObjType: audit.EntityProcess, ObjSpec: audit.ProcSpec(2, "/bin/bash")},
+		{StartNS: 3, EndNS: 4, Host: "h", PID: 2, Exe: "/bin/bash", Op: audit.OpFork, ObjType: audit.EntityProcess, ObjSpec: audit.ProcSpec(3, "/bin/tar")},
+		{StartNS: 5, EndNS: 6, Host: "h", PID: 3, Exe: "/bin/tar", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 2949},
+		{StartNS: 7, EndNS: 8, Host: "h", PID: 3, Exe: "/bin/tar", Op: audit.OpWrite, ObjType: audit.EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 10240},
+		{StartNS: 9, EndNS: 10, Host: "h", PID: 2, Exe: "/bin/bash", Op: audit.OpFork, ObjType: audit.EntityProcess, ObjSpec: audit.ProcSpec(4, "/usr/bin/curl")},
+		{StartNS: 11, EndNS: 12, Host: "h", PID: 4, Exe: "/usr/bin/curl", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 10240},
+		{StartNS: 13, EndNS: 14, Host: "h", PID: 4, Exe: "/usr/bin/curl", Op: audit.OpConnect, ObjType: audit.EntityNetConn, ObjSpec: audit.ConnSpec("10.0.0.5", 40000, "192.168.29.128", 443, "tcp"), Amount: 10240},
+		// Noise.
+		{StartNS: 20, EndNS: 21, Host: "h", PID: 9, Exe: "/usr/sbin/sshd", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 2048},
+	}
+	for _, r := range recs {
+		if _, err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := NewGraph()
+	Bootstrap(g)
+	if err := Load(g, p.Entities(), p.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCypherSimpleMatch(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process {exename: '/bin/tar'})-[e:event {optype: 'read'}]->(f:file) RETURN p.exename, f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows.Data))
+	}
+	if rows.Data[0][0].Str != "/bin/tar" || rows.Data[0][1].Str != "/etc/passwd" {
+		t.Errorf("row = %v", rows.Data[0])
+	}
+}
+
+func TestCypherWhere(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process)-[e:event]->(f:file) WHERE f.name CONTAINS 'passwd' AND e.amount > 2500 RETURN p.exename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "/bin/tar" {
+		t.Errorf("rows = %v", rows.Data)
+	}
+}
+
+func TestCypherStartsEndsRegex(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process) WHERE p.exename STARTS WITH '/usr/' RETURN DISTINCT p.exename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 { // apache2, curl, sshd
+		t.Errorf("starts with: %v", rows.Data)
+	}
+	rows, err = g.Query(`MATCH (p:process) WHERE p.exename ENDS WITH 'tar' RETURN p.exename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Errorf("ends with: %v", rows.Data)
+	}
+	rows, err = g.Query(`MATCH (f:file) WHERE f.name =~ '.*upload.*' RETURN f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Errorf("regex: %v", rows.Data)
+	}
+}
+
+func TestCypherVarLengthPath(t *testing.T) {
+	g := fixtureGraph(t)
+	// The paper's path-pattern use case: apache2 reaches /etc/passwd
+	// through forked intermediates; final hop must be a read. The TBQL
+	// compiler emits prefix *0..k then the typed final hop.
+	q := `MATCH (p:process {exename: '/usr/sbin/apache2'})-[:event*0..3]->(m)-[e:event {optype: 'read'}]->(f:file {name: '/etc/passwd'}) RETURN f.name`
+	rows, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("var-length path: want 1 row, got %d", len(rows.Data))
+	}
+	// Too-short bound finds nothing (needs 2 fork hops before the read).
+	q = `MATCH (p:process {exename: '/usr/sbin/apache2'})-[:event*0..1]->(m)-[e:event {optype: 'read'}]->(f:file {name: '/etc/passwd'}) RETURN f.name`
+	rows, err = g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 {
+		t.Errorf("bounded path should not reach: %v", rows.Data)
+	}
+}
+
+func TestCypherPathVariableHops(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process {exename: '/usr/sbin/apache2'})-[path:event*1..4]->(f:file {name: '/etc/passwd'}) RETURN path`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("want 1 path, got %d", len(rows.Data))
+	}
+	if rows.Data[0][0].Int != 3 { // fork, fork, read
+		t.Errorf("path length = %v, want 3", rows.Data[0][0])
+	}
+}
+
+func TestCypherMultipleChainsJoin(t *testing.T) {
+	g := fixtureGraph(t)
+	// Shared variable f joins the two chains: who writes what curl reads?
+	q := `MATCH (w:process)-[e1:event {optype: 'write'}]->(f:file),
+	            (r:process {exename: '/usr/bin/curl'})-[e2:event {optype: 'read'}]->(f)
+	      RETURN w.exename, f.name`
+	rows, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "/bin/tar" || rows.Data[0][1].Str != "/tmp/upload.tar" {
+		t.Errorf("join rows = %v", rows.Data)
+	}
+}
+
+func TestCypherDistinctLimit(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process)-[e:event]->(f:file) RETURN DISTINCT p.exename`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 { // tar, curl, sshd
+		t.Errorf("distinct: %v", rows.Data)
+	}
+	rows, err = g.Query(`MATCH (p:process)-[e:event]->(f:file) RETURN p.exename LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("limit: got %d", len(rows.Data))
+	}
+}
+
+func TestCypherIndexUse(t *testing.T) {
+	g := fixtureGraph(t)
+	_, stats, err := g.QueryStats(`MATCH (p:process {exename: '/bin/tar'})-[e:event]->(f:file) RETURN f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexLookups == 0 {
+		t.Error("exename lookup should use the property index")
+	}
+}
+
+func TestCypherErrors(t *testing.T) {
+	g := fixtureGraph(t)
+	bad := []string{
+		``,
+		`MATCH (p RETURN p`,
+		`MATCH (p:process) RETURN q`, // undefined return var
+		`MATCH (p:process) WHERE q.x = 1 RETURN p`,       // undefined where var
+		`MATCH (p:process)-[e:event*3..1]->(f) RETURN p`, // bad bounds
+		`MATCH (p:process) RETURN p LIMIT x`,
+		`MATCH (p:process) WHERE p.name =~ '[' RETURN p`, // bad regex
+		`MATCH (p) RETURN p extra`,
+	}
+	for _, q := range bad {
+		if _, err := g.Query(q); err == nil {
+			t.Errorf("query should fail: %s", q)
+		}
+	}
+}
+
+func TestCypherAlias(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process {exename: '/bin/tar'}) RETURN p.exename AS exe`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Cols[0] != "exe" {
+		t.Errorf("cols = %v", rows.Cols)
+	}
+}
+
+func TestCypherReturnNodeAsID(t *testing.T) {
+	g := fixtureGraph(t)
+	rows, err := g.Query(`MATCH (p:process {exename: '/bin/tar'}) RETURN p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || !rows.Data[0][0].IsInt {
+		t.Errorf("returning a node should project its id: %v", rows.Data)
+	}
+}
+
+func TestCypherEdgeUniquenessInPath(t *testing.T) {
+	// A cycle a->b->a must not loop forever and must not reuse edges.
+	g := NewGraph()
+	a, _ := g.AddNode(Node{Label: "process", Props: map[string]Value{"name": TextValue("a")}})
+	b, _ := g.AddNode(Node{Label: "process", Props: map[string]Value{"name": TextValue("b")}})
+	g.AddEdge(Edge{From: a.ID, To: b.ID, Label: "event"})
+	g.AddEdge(Edge{From: b.ID, To: a.ID, Label: "event"})
+	rows, err := g.Query(`MATCH (x:process {name: 'a'})-[p:event*1..10]->(y:process {name: 'a'}) RETURN p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one loop path exists (a->b->a), since edges cannot repeat.
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 2 {
+		t.Errorf("cycle paths = %v", rows.Data)
+	}
+}

@@ -1,0 +1,477 @@
+package graphstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rows is a Cypher query result set.
+type Rows struct {
+	Cols []string
+	Data [][]Value
+}
+
+// ExecStats reports how a query was executed.
+type ExecStats struct {
+	NodesVisited  int
+	EdgesExpanded int
+	IndexLookups  int
+	LabelScans    int
+}
+
+// binding is the value bound to a pattern variable: a node, a single edge,
+// or a variable-length path (edge list).
+type binding struct {
+	node *Node
+	edge *Edge
+	path []*Edge
+}
+
+// Query parses and executes a Cypher query.
+func (g *Graph) Query(src string) (*Rows, error) {
+	rows, _, err := g.QueryStats(src)
+	return rows, err
+}
+
+// QueryStats is Query plus execution statistics.
+func (g *Graph) QueryStats(src string) (*Rows, ExecStats, error) {
+	q, err := ParseCypher(src)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return g.Exec(q)
+}
+
+// Exec executes a parsed query.
+func (g *Graph) Exec(q *CypherQuery) (*Rows, ExecStats, error) {
+	ex := &cexec{g: g, q: q, env: map[string]binding{}}
+	if err := ex.validate(); err != nil {
+		return nil, ex.stats, err
+	}
+	if err := ex.chain(0); err != nil {
+		return nil, ex.stats, err
+	}
+
+	out := ex.out
+	if q.Distinct {
+		seen := map[string]bool{}
+		dst := out[:0]
+		for _, row := range out {
+			var b strings.Builder
+			for _, v := range row {
+				b.WriteString(valueKey(v))
+				b.WriteByte('\x00')
+			}
+			k := b.String()
+			if !seen[k] {
+				seen[k] = true
+				dst = append(dst, row)
+			}
+		}
+		out = dst
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	cols := make([]string, len(q.Items))
+	for i, it := range q.Items {
+		switch {
+		case it.Alias != "":
+			cols[i] = it.Alias
+		case it.Prop != "":
+			cols[i] = it.Var + "." + it.Prop
+		default:
+			cols[i] = it.Var
+		}
+	}
+	return &Rows{Cols: cols, Data: out}, ex.stats, nil
+}
+
+type cexec struct {
+	g     *Graph
+	q     *CypherQuery
+	env   map[string]binding
+	out   [][]Value
+	stats ExecStats
+}
+
+// validate checks that every RETURN and WHERE variable is defined by some
+// pattern.
+func (ex *cexec) validate() error {
+	defined := map[string]bool{}
+	for _, ch := range ex.q.Chains {
+		for _, n := range ch.Nodes {
+			if n.Var != "" {
+				defined[n.Var] = true
+			}
+		}
+		for _, r := range ch.Rels {
+			if r.Var != "" {
+				defined[r.Var] = true
+			}
+		}
+	}
+	for _, it := range ex.q.Items {
+		if !defined[it.Var] {
+			return fmt.Errorf("graphstore: RETURN references undefined variable %q", it.Var)
+		}
+	}
+	var check func(e CExpr) error
+	check = func(e CExpr) error {
+		switch x := e.(type) {
+		case CBin:
+			if err := check(x.L); err != nil {
+				return err
+			}
+			return check(x.R)
+		case CNot:
+			return check(x.E)
+		case CCmp:
+			for _, op := range []COperand{x.L, x.R} {
+				if !op.IsLit && !defined[op.Var] {
+					return fmt.Errorf("graphstore: WHERE references undefined variable %q", op.Var)
+				}
+			}
+			return nil
+		}
+		return nil
+	}
+	if ex.q.Where != nil {
+		return check(ex.q.Where)
+	}
+	return nil
+}
+
+// chain matches the i-th pattern chain, then recurses to the next.
+func (ex *cexec) chain(i int) error {
+	if i == len(ex.q.Chains) {
+		return ex.emit()
+	}
+	ch := ex.q.Chains[i]
+	return ex.matchNode(ch, 0, i)
+}
+
+// matchNode binds chain node j, then expands rel j if any.
+func (ex *cexec) matchNode(ch PatternChain, j, chainIdx int) error {
+	np := ch.Nodes[j]
+
+	proceed := func(n *Node) error {
+		ex.stats.NodesVisited++
+		if !ex.nodeMatches(n, np) {
+			return nil
+		}
+		bound := false
+		if np.Var != "" {
+			if _, exists := ex.env[np.Var]; !exists {
+				ex.env[np.Var] = binding{node: n}
+				bound = true
+			}
+		}
+		var err error
+		if j == len(ch.Nodes)-1 {
+			err = ex.chain(chainIdx + 1)
+		} else {
+			err = ex.expandRel(ch, j, chainIdx, n)
+		}
+		if bound {
+			delete(ex.env, np.Var)
+		}
+		return err
+	}
+
+	// Already bound variable: single candidate.
+	if np.Var != "" {
+		if b, ok := ex.env[np.Var]; ok {
+			if b.node == nil {
+				return fmt.Errorf("graphstore: variable %q is not a node", np.Var)
+			}
+			return proceed(b.node)
+		}
+	}
+	for _, n := range ex.candidates(np) {
+		if err := proceed(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidates enumerates nodes that can match a node pattern, preferring a
+// property index.
+func (ex *cexec) candidates(np NodePattern) []*Node {
+	if np.Label != "" && len(np.Props) > 0 {
+		for prop, v := range np.Props {
+			if nodes, indexed := ex.g.nodesByProp(np.Label, prop, v); indexed {
+				ex.stats.IndexLookups++
+				return nodes
+			}
+		}
+	}
+	ex.stats.LabelScans++
+	return ex.g.NodesByLabel(np.Label)
+}
+
+// expandRel expands relationship j of the chain from node n.
+func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
+	rp := ch.Rels[j]
+	if !rp.VarLen {
+		for _, e := range ex.g.Out(n.ID) {
+			ex.stats.EdgesExpanded++
+			if !ex.edgeMatches(e, rp) {
+				continue
+			}
+			bound := false
+			if rp.Var != "" {
+				if _, exists := ex.env[rp.Var]; exists {
+					// Rel variables cannot be reused.
+					return fmt.Errorf("graphstore: relationship variable %q reused", rp.Var)
+				}
+				ex.env[rp.Var] = binding{edge: e}
+				bound = true
+			}
+			err := ex.continueToNode(ch, j, chainIdx, e.To)
+			if bound {
+				delete(ex.env, rp.Var)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Variable-length: DFS with per-path edge uniqueness.
+	var path []*Edge
+	used := map[int64]bool{}
+	var dfs func(cur int64, depth int) error
+	dfs = func(cur int64, depth int) error {
+		if depth >= rp.MinHops {
+			bound := false
+			if rp.Var != "" {
+				if _, exists := ex.env[rp.Var]; exists {
+					return fmt.Errorf("graphstore: relationship variable %q reused", rp.Var)
+				}
+				cp := make([]*Edge, len(path))
+				copy(cp, path)
+				ex.env[rp.Var] = binding{path: cp}
+				bound = true
+			}
+			err := ex.continueToNode(ch, j, chainIdx, cur)
+			if bound {
+				delete(ex.env, rp.Var)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if depth == rp.MaxHops {
+			return nil
+		}
+		for _, e := range ex.g.Out(cur) {
+			if used[e.ID] {
+				continue
+			}
+			ex.stats.EdgesExpanded++
+			if !ex.edgeMatches(e, rp) {
+				continue
+			}
+			used[e.ID] = true
+			path = append(path, e)
+			err := dfs(e.To, depth+1)
+			path = path[:len(path)-1]
+			delete(used, e.ID)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(n.ID, 0)
+}
+
+// continueToNode matches chain node j+1 against the concrete node id
+// reached through relationship j.
+func (ex *cexec) continueToNode(ch PatternChain, j, chainIdx int, id int64) error {
+	np := ch.Nodes[j+1]
+	n := ex.g.Node(id)
+	if n == nil {
+		return nil
+	}
+	ex.stats.NodesVisited++
+	if !ex.nodeMatches(n, np) {
+		return nil
+	}
+	if np.Var != "" {
+		if b, exists := ex.env[np.Var]; exists {
+			// Joining back to an already-bound node: must be identical.
+			if b.node == nil || b.node.ID != n.ID {
+				return nil
+			}
+		} else {
+			ex.env[np.Var] = binding{node: n}
+			defer delete(ex.env, np.Var)
+		}
+	}
+	if j+1 == len(ch.Nodes)-1 {
+		return ex.chain(chainIdx + 1)
+	}
+	return ex.expandRel(ch, j+1, chainIdx, n)
+}
+
+func (ex *cexec) nodeMatches(n *Node, np NodePattern) bool {
+	if np.Label != "" && n.Label != np.Label {
+		return false
+	}
+	for prop, want := range np.Props {
+		got, ok := n.Prop(prop)
+		if !ok || Compare(got, want) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *cexec) edgeMatches(e *Edge, rp RelPattern) bool {
+	if rp.Label != "" && e.Label != rp.Label {
+		return false
+	}
+	for prop, want := range rp.Props {
+		got, ok := e.Prop(prop)
+		if !ok || Compare(got, want) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emit evaluates WHERE for the full binding and projects a row.
+func (ex *cexec) emit() error {
+	if ex.q.Where != nil {
+		ok, err := ex.evalExpr(ex.q.Where)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	row := make([]Value, len(ex.q.Items))
+	for i, it := range ex.q.Items {
+		v, err := ex.itemValue(it)
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	ex.out = append(ex.out, row)
+	return nil
+}
+
+func (ex *cexec) itemValue(it ReturnItem) (Value, error) {
+	b, ok := ex.env[it.Var]
+	if !ok {
+		return Value{}, fmt.Errorf("graphstore: unbound variable %q", it.Var)
+	}
+	prop := it.Prop
+	if prop == "" {
+		prop = "id"
+	}
+	switch {
+	case b.node != nil:
+		v, ok := b.node.Prop(prop)
+		if !ok {
+			return TextValue(""), nil
+		}
+		return v, nil
+	case b.edge != nil:
+		v, ok := b.edge.Prop(prop)
+		if !ok {
+			return TextValue(""), nil
+		}
+		return v, nil
+	case b.path != nil:
+		if prop == "id" {
+			// Project a path as its hop count.
+			return IntValue(int64(len(b.path))), nil
+		}
+		// Project a path property as the final hop's property.
+		if len(b.path) == 0 {
+			return TextValue(""), nil
+		}
+		v, ok := b.path[len(b.path)-1].Prop(prop)
+		if !ok {
+			return TextValue(""), nil
+		}
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("graphstore: variable %q has no value", it.Var)
+	}
+}
+
+func (ex *cexec) evalExpr(e CExpr) (bool, error) {
+	switch x := e.(type) {
+	case CBin:
+		l, err := ex.evalExpr(x.L)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == "and" {
+			if !l {
+				return false, nil
+			}
+			return ex.evalExpr(x.R)
+		}
+		if l {
+			return true, nil
+		}
+		return ex.evalExpr(x.R)
+	case CNot:
+		v, err := ex.evalExpr(x.E)
+		return !v, err
+	case CCmp:
+		l, err := ex.operandValue(x.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ex.operandValue(x.R)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case "=":
+			return Compare(l, r) == 0, nil
+		case "<>":
+			return Compare(l, r) != 0, nil
+		case "<":
+			return Compare(l, r) < 0, nil
+		case "<=":
+			return Compare(l, r) <= 0, nil
+		case ">":
+			return Compare(l, r) > 0, nil
+		case ">=":
+			return Compare(l, r) >= 0, nil
+		case "contains":
+			return strings.Contains(l.String(), r.String()), nil
+		case "startswith":
+			return strings.HasPrefix(l.String(), r.String()), nil
+		case "endswith":
+			return strings.HasSuffix(l.String(), r.String()), nil
+		case "=~":
+			re, err := compileRegex(r.String())
+			if err != nil {
+				return false, err
+			}
+			return re.MatchString(l.String()), nil
+		}
+		return false, fmt.Errorf("graphstore: unknown operator %q", x.Op)
+	default:
+		return false, fmt.Errorf("graphstore: unknown expression %T", e)
+	}
+}
+
+func (ex *cexec) operandValue(op COperand) (Value, error) {
+	if op.IsLit {
+		return op.Lit, nil
+	}
+	return ex.itemValue(ReturnItem{Var: op.Var, Prop: op.Prop})
+}

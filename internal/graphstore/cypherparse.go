@@ -1,0 +1,606 @@
+package graphstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ---------------------------------------------------------------------------
+// AST
+
+// NodePattern is `(var:Label {prop: lit, ...})`.
+type NodePattern struct {
+	Var   string // may be empty
+	Label string // may be empty
+	Props map[string]Value
+}
+
+// RelPattern is `-[var:LABEL*min..max {prop: lit}]->`.
+type RelPattern struct {
+	Var     string
+	Label   string
+	Props   map[string]Value
+	VarLen  bool
+	MinHops int
+	MaxHops int
+}
+
+// PatternChain is node (rel node)*.
+type PatternChain struct {
+	Nodes []NodePattern
+	Rels  []RelPattern // len(Rels) == len(Nodes)-1
+}
+
+// ReturnItem is `var[.prop] [AS alias]`.
+type ReturnItem struct {
+	Var   string
+	Prop  string // empty: the node/edge itself (projected as its id)
+	Alias string
+}
+
+// CypherQuery is a parsed MATCH query.
+type CypherQuery struct {
+	Chains   []PatternChain
+	Where    CExpr // may be nil
+	Distinct bool
+	Items    []ReturnItem
+	Limit    int // -1 when absent
+}
+
+// CExpr is a Cypher boolean expression.
+type CExpr interface{ isCExpr() }
+
+// CBin is AND/OR.
+type CBin struct {
+	Op   string
+	L, R CExpr
+}
+
+// CNot negates.
+type CNot struct{ E CExpr }
+
+// CCmp compares two operands. Op is one of = <> < <= > >= contains
+// startswith endswith =~.
+type CCmp struct {
+	Op   string
+	L, R COperand
+}
+
+// COperand is a property access or a literal.
+type COperand struct {
+	IsLit bool
+	Lit   Value
+	Var   string
+	Prop  string
+}
+
+func (CBin) isCExpr() {}
+func (CNot) isCExpr() {}
+func (CCmp) isCExpr() {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type ctokKind uint8
+
+const (
+	ctokEOF ctokKind = iota
+	ctokIdent
+	ctokKeyword
+	ctokString
+	ctokNumber
+	ctokSymbol
+)
+
+var cypherKeywords = map[string]bool{
+	"match": true, "where": true, "return": true, "distinct": true,
+	"limit": true, "and": true, "or": true, "not": true, "as": true,
+	"contains": true, "starts": true, "ends": true, "with": true,
+}
+
+type ctok struct {
+	kind ctokKind
+	text string
+	num  int64
+	pos  int
+}
+
+func lexCypher(src string) ([]ctok, error) {
+	var toks []ctok
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+		case c == '\'':
+			start := pos
+			pos++
+			var b strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == '\\' && pos+1 < len(src) && src[pos+1] == '\'' {
+					b.WriteByte('\'')
+					pos += 2
+					continue
+				}
+				if src[pos] == '\'' {
+					pos++
+					closed = true
+					break
+				}
+				b.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("graphstore: unterminated string at offset %d", start)
+			}
+			toks = append(toks, ctok{kind: ctokString, text: b.String(), pos: start})
+		case c >= '0' && c <= '9':
+			start := pos
+			for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+				pos++
+			}
+			n, _ := strconv.ParseInt(src[start:pos], 10, 64)
+			toks = append(toks, ctok{kind: ctokNumber, num: n, text: src[start:pos], pos: start})
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := pos
+			for pos < len(src) && (src[pos] == '_' || unicode.IsLetter(rune(src[pos])) || unicode.IsDigit(rune(src[pos]))) {
+				pos++
+			}
+			word := src[start:pos]
+			lower := strings.ToLower(word)
+			if cypherKeywords[lower] {
+				toks = append(toks, ctok{kind: ctokKeyword, text: lower, pos: start})
+			} else {
+				toks = append(toks, ctok{kind: ctokIdent, text: word, pos: start})
+			}
+		default:
+			two := ""
+			if pos+1 < len(src) {
+				two = src[pos : pos+2]
+			}
+			switch two {
+			case "->", "<>", "<=", ">=", "=~", "..":
+				toks = append(toks, ctok{kind: ctokSymbol, text: two, pos: pos})
+				pos += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', '{', '}', ':', ',', '.', '-', '*', '=', '<', '>':
+				toks = append(toks, ctok{kind: ctokSymbol, text: string(c), pos: pos})
+				pos++
+			default:
+				return nil, fmt.Errorf("graphstore: unexpected character %q at offset %d", c, pos)
+			}
+		}
+	}
+	toks = append(toks, ctok{kind: ctokEOF, pos: pos})
+	return toks, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+type cypherParser struct {
+	toks []ctok
+	pos  int
+}
+
+// ParseCypher parses one MATCH ... RETURN query.
+func ParseCypher(src string) (*CypherQuery, error) {
+	toks, err := lexCypher(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cypherParser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != ctokEOF {
+		return nil, fmt.Errorf("graphstore: unexpected trailing token %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return q, nil
+}
+
+func (p *cypherParser) peek() ctok { return p.toks[p.pos] }
+
+func (p *cypherParser) next() ctok {
+	t := p.toks[p.pos]
+	if t.kind != ctokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *cypherParser) acceptKeyword(kw string) bool {
+	if p.peek().kind == ctokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *cypherParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("graphstore: expected %s at offset %d, got %q", strings.ToUpper(kw), p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *cypherParser) acceptSymbol(s string) bool {
+	if p.peek().kind == ctokSymbol && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *cypherParser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("graphstore: expected %q at offset %d, got %q", s, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *cypherParser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != ctokIdent {
+		return "", fmt.Errorf("graphstore: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *cypherParser) parseQuery() (*CypherQuery, error) {
+	if err := p.expectKeyword("match"); err != nil {
+		return nil, err
+	}
+	q := &CypherQuery{Limit: -1}
+	for {
+		chain, err := p.parseChain()
+		if err != nil {
+			return nil, err
+		}
+		q.Chains = append(q.Chains, chain)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	q.Distinct = p.acceptKeyword("distinct")
+	for {
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.kind != ctokNumber {
+			return nil, fmt.Errorf("graphstore: expected number after LIMIT at offset %d", t.pos)
+		}
+		p.next()
+		q.Limit = int(t.num)
+	}
+	return q, nil
+}
+
+func (p *cypherParser) parseChain() (PatternChain, error) {
+	var chain PatternChain
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return chain, err
+	}
+	chain.Nodes = append(chain.Nodes, n)
+	for p.peek().kind == ctokSymbol && p.peek().text == "-" {
+		rel, err := p.parseRelPattern()
+		if err != nil {
+			return chain, err
+		}
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return chain, err
+		}
+		chain.Rels = append(chain.Rels, rel)
+		chain.Nodes = append(chain.Nodes, n)
+	}
+	return chain, nil
+}
+
+func (p *cypherParser) parseNodePattern() (NodePattern, error) {
+	var n NodePattern
+	if err := p.expectSymbol("("); err != nil {
+		return n, err
+	}
+	if p.peek().kind == ctokIdent {
+		n.Var = p.next().text
+	}
+	if p.acceptSymbol(":") {
+		label, err := p.expectIdent()
+		if err != nil {
+			return n, err
+		}
+		n.Label = strings.ToLower(label)
+	}
+	if p.peek().kind == ctokSymbol && p.peek().text == "{" {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return n, err
+		}
+		n.Props = props
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (p *cypherParser) parseRelPattern() (RelPattern, error) {
+	var r RelPattern
+	if err := p.expectSymbol("-"); err != nil {
+		return r, err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return r, err
+	}
+	if p.peek().kind == ctokIdent {
+		r.Var = p.next().text
+	}
+	if p.acceptSymbol(":") {
+		label, err := p.expectIdent()
+		if err != nil {
+			return r, err
+		}
+		r.Label = strings.ToLower(label)
+	}
+	if p.acceptSymbol("*") {
+		r.VarLen = true
+		r.MinHops, r.MaxHops = 1, 1
+		if p.peek().kind == ctokNumber {
+			r.MinHops = int(p.next().num)
+			r.MaxHops = r.MinHops
+		}
+		if p.acceptSymbol("..") {
+			if p.peek().kind != ctokNumber {
+				return r, fmt.Errorf("graphstore: expected max hop count at offset %d", p.peek().pos)
+			}
+			r.MaxHops = int(p.next().num)
+		}
+		if r.MinHops < 0 || r.MaxHops < r.MinHops {
+			return r, fmt.Errorf("graphstore: invalid hop bounds *%d..%d", r.MinHops, r.MaxHops)
+		}
+	}
+	if p.peek().kind == ctokSymbol && p.peek().text == "{" {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return r, err
+		}
+		r.Props = props
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return r, err
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func (p *cypherParser) parsePropMap() (map[string]Value, error) {
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	props := make(map[string]Value)
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		props[strings.ToLower(name)] = v
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+func (p *cypherParser) parseLiteral() (Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case ctokString:
+		p.next()
+		return TextValue(t.text), nil
+	case ctokNumber:
+		p.next()
+		return IntValue(t.num), nil
+	case ctokSymbol:
+		if t.text == "-" {
+			p.next()
+			n := p.peek()
+			if n.kind != ctokNumber {
+				return Value{}, fmt.Errorf("graphstore: expected number after '-' at offset %d", n.pos)
+			}
+			p.next()
+			return IntValue(-n.num), nil
+		}
+	}
+	return Value{}, fmt.Errorf("graphstore: expected literal at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *cypherParser) parseExpr() (CExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = CBin{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *cypherParser) parseAnd() (CExpr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = CBin{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *cypherParser) parseNot() (CExpr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return CNot{E: e}, nil
+	}
+	if p.peek().kind == ctokSymbol && p.peek().text == "(" {
+		// Could be a parenthesised boolean expression; node patterns
+		// cannot appear in WHERE so '(' always means grouping here.
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *cypherParser) parseCmp() (CExpr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == ctokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=", "=~":
+			p.next()
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return CCmp{Op: t.text, L: left, R: right}, nil
+		}
+	}
+	if t.kind == ctokKeyword {
+		switch t.text {
+		case "contains":
+			p.next()
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return CCmp{Op: "contains", L: left, R: right}, nil
+		case "starts", "ends":
+			op := t.text + "with"
+			p.next()
+			if err := p.expectKeyword("with"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return CCmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return nil, fmt.Errorf("graphstore: expected comparison at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *cypherParser) parseOperand() (COperand, error) {
+	t := p.peek()
+	switch t.kind {
+	case ctokIdent:
+		p.next()
+		op := COperand{Var: t.text}
+		if p.acceptSymbol(".") {
+			prop, err := p.expectIdent()
+			if err != nil {
+				return COperand{}, err
+			}
+			op.Prop = strings.ToLower(prop)
+		}
+		return op, nil
+	case ctokString, ctokNumber:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return COperand{}, err
+		}
+		return COperand{IsLit: true, Lit: v}, nil
+	case ctokSymbol:
+		if t.text == "-" {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return COperand{}, err
+			}
+			return COperand{IsLit: true, Lit: v}, nil
+		}
+	}
+	return COperand{}, fmt.Errorf("graphstore: expected operand at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *cypherParser) parseReturnItem() (ReturnItem, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	item := ReturnItem{Var: v}
+	if p.acceptSymbol(".") {
+		prop, err := p.expectIdent()
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		item.Prop = strings.ToLower(prop)
+	}
+	if p.acceptKeyword("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}

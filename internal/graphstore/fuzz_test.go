@@ -1,0 +1,31 @@
+package graphstore
+
+import "testing"
+
+// FuzzParseCypher: the Cypher parser must never panic, and accepted
+// queries must execute cleanly on a small graph.
+func FuzzParseCypher(f *testing.F) {
+	seeds := []string{
+		"MATCH (p:process)-[e:event]->(f:file) RETURN p, f",
+		"MATCH (a)-[:event*0..3]->(b)-[x:event {optype: 'read'}]->(c) WHERE c.name CONTAINS 'x' RETURN c.name LIMIT 5",
+		"MATCH (a {pid: 1})-[r:event*2]->(b) RETURN r",
+		"MATCH (a) WHERE a.name =~ '.*' AND NOT (a.pid > 3 OR a.pid < 1) RETURN DISTINCT a.name AS n",
+		"MATCH",
+		"MATCH (p RETURN p",
+		"MATCH (p) RETURN",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := NewGraph()
+	n1, _ := g.AddNode(Node{Label: "process", Props: map[string]Value{"name": TextValue("a"), "pid": IntValue(1)}})
+	n2, _ := g.AddNode(Node{Label: "file", Props: map[string]Value{"name": TextValue("/x")}})
+	g.AddEdge(Edge{From: n1.ID, To: n2.ID, Label: "event", Props: map[string]Value{"optype": TextValue("read")}})
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseCypher(src)
+		if err != nil {
+			return
+		}
+		_, _, _ = g.Exec(q)
+	})
+}

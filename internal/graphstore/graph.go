@@ -1,0 +1,321 @@
+// Package graphstore is an embedded property-graph database engine. It
+// stands in for Neo4j in ThreatRaptor's storage component: system entities
+// are stored as labelled nodes, system events as typed edges, and the TBQL
+// execution engine compiles variable-length event path patterns into
+// Cypher text that this package parses and executes.
+//
+// The Cypher subset supported is the one ThreatRaptor's compiler emits:
+//
+//	MATCH (a:Process {exename: '...'})-[e:EVENT {optype: 'read'}]->(b:File),
+//	      (b)-[:EVENT*0..3]->(c)
+//	WHERE a.pid > 100 AND b.name CONTAINS 'upload'
+//	RETURN DISTINCT a.exename, b.name LIMIT 10
+//
+// with comparison operators, CONTAINS / STARTS WITH / ENDS WITH, regular
+// expression matching (=~), AND/OR/NOT, and variable-length relationships
+// with hop bounds.
+package graphstore
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Value is a property value: an integer or a string.
+type Value struct {
+	IsInt bool
+	Int   int64
+	Str   string
+}
+
+// IntValue makes an integer property value.
+func IntValue(v int64) Value { return Value{IsInt: true, Int: v} }
+
+// TextValue makes a string property value.
+func TextValue(s string) Value { return Value{Str: s} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return v.Str
+}
+
+// Cypher renders the value as a Cypher literal.
+func (v Value) Cypher() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return "'" + strings.ReplaceAll(v.Str, "'", "\\'") + "'"
+}
+
+// Compare orders two values; ints before coercion, mirroring relstore.
+func Compare(a, b Value) int {
+	if a.IsInt && b.IsInt {
+		switch {
+		case a.Int < b.Int:
+			return -1
+		case a.Int > b.Int:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.IsInt != b.IsInt {
+		// Coerce text to int when possible.
+		if a.IsInt {
+			if n, err := strconv.ParseInt(strings.TrimSpace(b.Str), 10, 64); err == nil {
+				return Compare(a, IntValue(n))
+			}
+			return strings.Compare(strconv.FormatInt(a.Int, 10), b.Str)
+		}
+		return -Compare(b, a)
+	}
+	return strings.Compare(a.Str, b.Str)
+}
+
+// Node is a labelled node with properties.
+type Node struct {
+	ID    int64
+	Label string
+	Props map[string]Value
+}
+
+// Prop returns a property value and whether it exists. The pseudo-property
+// "id" always resolves to the node ID.
+func (n *Node) Prop(name string) (Value, bool) {
+	if strings.EqualFold(name, "id") {
+		return IntValue(n.ID), true
+	}
+	v, ok := n.Props[strings.ToLower(name)]
+	return v, ok
+}
+
+// Edge is a typed directed edge with properties.
+type Edge struct {
+	ID    int64
+	From  int64
+	To    int64
+	Label string
+	Props map[string]Value
+}
+
+// Prop returns a property value; "id" resolves to the edge ID.
+func (e *Edge) Prop(name string) (Value, bool) {
+	if strings.EqualFold(name, "id") {
+		return IntValue(e.ID), true
+	}
+	v, ok := e.Props[strings.ToLower(name)]
+	return v, ok
+}
+
+// Graph is an in-memory property graph with label and property indexes.
+// It is safe for concurrent reads interleaved with single-writer loads
+// guarded by its mutex.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[int64]*Node
+	edges map[int64]*Edge
+	out   map[int64][]*Edge
+	in    map[int64][]*Edge
+
+	byLabel map[string][]*Node
+	// propIdx: label -> property -> value key -> nodes.
+	propIdx map[string]map[string]map[string][]*Node
+	nextID  int64
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:   make(map[int64]*Node),
+		edges:   make(map[int64]*Edge),
+		out:     make(map[int64][]*Edge),
+		in:      make(map[int64][]*Edge),
+		byLabel: make(map[string][]*Node),
+		propIdx: make(map[string]map[string]map[string][]*Node),
+	}
+}
+
+func valueKey(v Value) string {
+	if v.IsInt {
+		return "i" + strconv.FormatInt(v.Int, 10)
+	}
+	return "t" + v.Str
+}
+
+// AddNode inserts a node. A zero ID is assigned automatically; property
+// keys are lowercased. Returns the stored node.
+func (g *Graph) AddNode(n Node) (*Node, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n.ID == 0 {
+		g.nextID++
+		n.ID = g.nextID
+	} else if n.ID > g.nextID {
+		g.nextID = n.ID
+	}
+	if _, dup := g.nodes[n.ID]; dup {
+		return nil, fmt.Errorf("graphstore: node %d already exists", n.ID)
+	}
+	props := make(map[string]Value, len(n.Props))
+	for k, v := range n.Props {
+		props[strings.ToLower(k)] = v
+	}
+	n.Props = props
+	n.Label = strings.ToLower(n.Label)
+	stored := &n
+	g.nodes[n.ID] = stored
+	g.byLabel[n.Label] = append(g.byLabel[n.Label], stored)
+	if byProp, ok := g.propIdx[n.Label]; ok {
+		for prop, idx := range byProp {
+			if v, has := stored.Props[prop]; has {
+				idx[valueKey(v)] = append(idx[valueKey(v)], stored)
+			}
+		}
+	}
+	return stored, nil
+}
+
+// AddEdge inserts an edge between existing nodes.
+func (g *Graph) AddEdge(e Edge) (*Edge, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[e.From]; !ok {
+		return nil, fmt.Errorf("graphstore: edge source node %d missing", e.From)
+	}
+	if _, ok := g.nodes[e.To]; !ok {
+		return nil, fmt.Errorf("graphstore: edge target node %d missing", e.To)
+	}
+	if e.ID == 0 {
+		g.nextID++
+		e.ID = g.nextID
+	}
+	if _, dup := g.edges[e.ID]; dup {
+		return nil, fmt.Errorf("graphstore: edge %d already exists", e.ID)
+	}
+	props := make(map[string]Value, len(e.Props))
+	for k, v := range e.Props {
+		props[strings.ToLower(k)] = v
+	}
+	e.Props = props
+	e.Label = strings.ToLower(e.Label)
+	stored := &e
+	g.edges[e.ID] = stored
+	g.out[e.From] = append(g.out[e.From], stored)
+	g.in[e.To] = append(g.in[e.To], stored)
+	return stored, nil
+}
+
+// CreateNodeIndex builds a property index for (label, property) so that
+// equality lookups avoid label scans.
+func (g *Graph) CreateNodeIndex(label, prop string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	label = strings.ToLower(label)
+	prop = strings.ToLower(prop)
+	byProp := g.propIdx[label]
+	if byProp == nil {
+		byProp = make(map[string]map[string][]*Node)
+		g.propIdx[label] = byProp
+	}
+	idx := make(map[string][]*Node)
+	for _, n := range g.byLabel[label] {
+		if v, ok := n.Props[prop]; ok {
+			idx[valueKey(v)] = append(idx[valueKey(v)], n)
+		}
+	}
+	byProp[prop] = idx
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id int64) *Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodes[id]
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// NodesByLabel returns all nodes with the label (empty label: all nodes),
+// in insertion order.
+func (g *Graph) NodesByLabel(label string) []*Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if label == "" {
+		all := make([]*Node, 0, len(g.nodes))
+		for _, n := range g.nodes {
+			all = append(all, n)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		return all
+	}
+	return g.byLabel[strings.ToLower(label)]
+}
+
+// nodesByProp returns nodes with label whose property equals v, using the
+// property index when available. The second result reports index use.
+func (g *Graph) nodesByProp(label, prop string, v Value) ([]*Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	label = strings.ToLower(label)
+	prop = strings.ToLower(prop)
+	if byProp, ok := g.propIdx[label]; ok {
+		if idx, ok := byProp[prop]; ok {
+			return idx[valueKey(v)], true
+		}
+	}
+	var out []*Node
+	for _, n := range g.byLabel[label] {
+		if pv, ok := n.Props[prop]; ok && Compare(pv, v) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out, false
+}
+
+// Out returns the outgoing edges of a node.
+func (g *Graph) Out(id int64) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.out[id]
+}
+
+// In returns the incoming edges of a node.
+func (g *Graph) In(id int64) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.in[id]
+}
+
+// regexCache caches compiled =~ patterns.
+var regexCache sync.Map // string -> *regexp.Regexp
+
+func compileRegex(pattern string) (*regexp.Regexp, error) {
+	if re, ok := regexCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: bad regex %q: %w", pattern, err)
+	}
+	regexCache.Store(pattern, re)
+	return re, nil
+}

@@ -1,0 +1,138 @@
+package graphstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeAssignsIDs(t *testing.T) {
+	g := NewGraph()
+	n1, err := g.AddNode(Node{Label: "File", Props: map[string]Value{"Name": TextValue("/a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := g.AddNode(Node{Label: "file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID == 0 || n2.ID == 0 || n1.ID == n2.ID {
+		t.Errorf("bad ids: %d %d", n1.ID, n2.ID)
+	}
+	if n1.Label != "file" {
+		t.Errorf("label not lowercased: %q", n1.Label)
+	}
+	if _, ok := n1.Props["name"]; !ok {
+		t.Error("prop key not lowercased")
+	}
+	if _, err := g.AddNode(Node{ID: n1.ID}); err == nil {
+		t.Error("duplicate node id should fail")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	n1, _ := g.AddNode(Node{Label: "process"})
+	n2, _ := g.AddNode(Node{Label: "file"})
+	if _, err := g.AddEdge(Edge{From: n1.ID, To: 999, Label: "event"}); err == nil {
+		t.Error("edge to missing node should fail")
+	}
+	if _, err := g.AddEdge(Edge{From: 999, To: n2.ID, Label: "event"}); err == nil {
+		t.Error("edge from missing node should fail")
+	}
+	e, err := g.AddEdge(Edge{From: n1.ID, To: n2.ID, Label: "EVENT", Props: map[string]Value{"OpType": TextValue("read")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label != "event" {
+		t.Errorf("edge label not lowercased: %q", e.Label)
+	}
+	if len(g.Out(n1.ID)) != 1 || len(g.In(n2.ID)) != 1 {
+		t.Error("adjacency not maintained")
+	}
+}
+
+func TestNodeProp(t *testing.T) {
+	n := &Node{ID: 7, Props: map[string]Value{"name": TextValue("/x")}}
+	if v, ok := n.Prop("ID"); !ok || v.Int != 7 {
+		t.Error("id pseudo-prop broken")
+	}
+	if v, ok := n.Prop("name"); !ok || v.Str != "/x" {
+		t.Error("name prop broken")
+	}
+	if _, ok := n.Prop("none"); ok {
+		t.Error("missing prop should report !ok")
+	}
+}
+
+func TestPropIndexLookup(t *testing.T) {
+	g := NewGraph()
+	g.CreateNodeIndex("process", "exename")
+	for i := 0; i < 10; i++ {
+		exe := "/bin/a"
+		if i%2 == 0 {
+			exe = "/bin/b"
+		}
+		if _, err := g.AddNode(Node{Label: "process", Props: map[string]Value{"exename": TextValue(exe)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes, indexed := g.nodesByProp("process", "exename", TextValue("/bin/b"))
+	if !indexed {
+		t.Error("should use index (created before inserts)")
+	}
+	if len(nodes) != 5 {
+		t.Errorf("got %d nodes", len(nodes))
+	}
+	// Unindexed property falls back to scan.
+	nodes, indexed = g.nodesByProp("process", "pid", IntValue(1))
+	if indexed {
+		t.Error("pid lookup should not be indexed")
+	}
+	if len(nodes) != 0 {
+		t.Errorf("scan found %d", len(nodes))
+	}
+}
+
+func TestCreateIndexAfterInserts(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{Label: "file", Props: map[string]Value{"name": TextValue("/a")}})
+	g.CreateNodeIndex("file", "name")
+	nodes, indexed := g.nodesByProp("file", "name", TextValue("/a"))
+	if !indexed || len(nodes) != 1 {
+		t.Errorf("index built after inserts: indexed=%v n=%d", indexed, len(nodes))
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if Compare(IntValue(1), IntValue(2)) != -1 || Compare(TextValue("a"), TextValue("a")) != 0 {
+		t.Error("basic compares broken")
+	}
+	if Compare(IntValue(5), TextValue("5")) != 0 {
+		t.Error("int/text coercion broken")
+	}
+	f := func(a, b int64) bool {
+		return Compare(IntValue(a), IntValue(b)) == -Compare(IntValue(b), IntValue(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCypherRendering(t *testing.T) {
+	if IntValue(5).Cypher() != "5" {
+		t.Error("int cypher")
+	}
+	if TextValue("a'b").Cypher() != `'a\'b'` {
+		t.Errorf("text cypher = %q", TextValue("a'b").Cypher())
+	}
+}
+
+func TestNodesByLabelAllNodes(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{Label: "a"})
+	g.AddNode(Node{Label: "b"})
+	all := g.NodesByLabel("")
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Errorf("all-nodes scan wrong: %v", all)
+	}
+}

@@ -1,0 +1,172 @@
+// Package ioc recognizes Indicators of Compromise (IOCs) in natural-
+// language text, protects them from general-purpose NLP processing, and
+// normalizes and merges similar IOCs. It implements the "IOC Recognition
+// and IOC Protection" and "IOC Scan and Merge" stages of ThreatRaptor's
+// threat behavior extraction pipeline.
+package ioc
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Type classifies an IOC.
+type Type uint8
+
+// IOC types recognized by the pipeline. The first three are the ones the
+// system auditing component captures (files, processes via executable
+// paths, and network connections via IPs); the rest are extracted but
+// screened out during query synthesis.
+const (
+	Unknown Type = iota
+	Filepath
+	Filename
+	IP
+	CIDR
+	URL
+	Domain
+	Email
+	MD5
+	SHA1
+	SHA256
+	Registry
+	CVE
+)
+
+var typeNames = map[Type]string{
+	Unknown:  "unknown",
+	Filepath: "filepath",
+	Filename: "filename",
+	IP:       "ip",
+	CIDR:     "cidr",
+	URL:      "url",
+	Domain:   "domain",
+	Email:    "email",
+	MD5:      "md5",
+	SHA1:     "sha1",
+	SHA256:   "sha256",
+	Registry: "registry",
+	CVE:      "cve",
+}
+
+// String names the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("ioctype(%d)", uint8(t))
+}
+
+// IOC is one recognized indicator.
+type IOC struct {
+	Type Type
+	Text string // as written in the report
+	// Offset is the byte offset of the first occurrence in the block the
+	// IOC was extracted from.
+	Offset int
+}
+
+// pattern pairs a compiled regex with the IOC type it recognizes. Order
+// matters: earlier patterns win on overlapping matches (e.g. URL before
+// Domain, CIDR before IP).
+type pattern struct {
+	typ Type
+	re  *regexp.Regexp
+}
+
+var patterns = []pattern{
+	{CVE, regexp.MustCompile(`\bCVE-\d{4}-\d{4,7}\b`)},
+	{URL, regexp.MustCompile(`\bhttps?://[A-Za-z0-9\-._~:/?#\[\]@!$&'()*+,;=%]+`)},
+	{Email, regexp.MustCompile(`\b[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}\b`)},
+	{SHA256, regexp.MustCompile(`\b[A-Fa-f0-9]{64}\b`)},
+	{SHA1, regexp.MustCompile(`\b[A-Fa-f0-9]{40}\b`)},
+	{MD5, regexp.MustCompile(`\b[A-Fa-f0-9]{32}\b`)},
+	{CIDR, regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}/\d{1,2}\b`)},
+	{IP, regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}\b`)},
+	{Registry, regexp.MustCompile(`\bHKEY_[A-Z_]+(?:\\[^\s\\,;]+)+`)},
+	// Unix absolute paths: at least one slash-separated segment. Includes
+	// executables like /bin/tar and files like /tmp/upload.tar.bz2. The
+	// final character must not be a dot so sentence periods stay outside.
+	{Filepath, regexp.MustCompile(`(?:^|[\s"'(])(/(?:[A-Za-z0-9._\-]+/)*[A-Za-z0-9._\-]*[A-Za-z0-9_\-])`)},
+	// Windows absolute paths.
+	{Filepath, regexp.MustCompile(`\b[A-Za-z]:\\(?:[^\s\\,;"']+\\)*[^\s\\,;"']+`)},
+	// Bare filenames with a known suspicious extension.
+	{Filename, regexp.MustCompile(`\b[A-Za-z0-9_\-]+\.(?:exe|dll|bat|ps1|sh|py|jar|doc|docx|xls|xlsx|pdf|zip|rar|7z|tar|gz|bz2|tgz|jpg|jpeg|png|txt|php|asp|aspx|js|vbs|scr|tmp|dat|bin|cfg|conf|log)\b`)},
+	// Domains with common TLDs (after URL/email/IP have been taken).
+	{Domain, regexp.MustCompile(`\b(?:[A-Za-z0-9\-]+\.)+(?:com|net|org|io|ru|cn|info|biz|gov|edu|mil|co|uk|de|fr|onion|xyz|top|site)\b`)},
+}
+
+// Find returns all IOCs in text, leftmost-longest, without overlaps.
+// Earlier pattern types take precedence on overlap.
+func Find(text string) []IOC {
+	type span struct {
+		start, end int
+		ioc        IOC
+	}
+	var spans []span
+	taken := make([]bool, len(text))
+	overlap := func(a, b int) bool {
+		for i := a; i < b; i++ {
+			if taken[i] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range patterns {
+		for _, loc := range p.re.FindAllStringSubmatchIndex(text, -1) {
+			start, end := loc[0], loc[1]
+			// Patterns with a capture group (Unix paths) match only the
+			// group.
+			if len(loc) >= 4 && loc[2] >= 0 {
+				start, end = loc[2], loc[3]
+			}
+			if overlap(start, end) {
+				continue
+			}
+			for i := start; i < end; i++ {
+				taken[i] = true
+			}
+			spans = append(spans, span{start, end, IOC{Type: p.typ, Text: text[start:end], Offset: start}})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	out := make([]IOC, len(spans))
+	for i, s := range spans {
+		out[i] = s.ioc
+	}
+	return out
+}
+
+// IsExecutablePath reports whether a filepath IOC plausibly names a
+// program (used by query synthesis to decide process vs. file entities).
+func IsExecutablePath(path string) bool {
+	dirs := []string{"/bin/", "/sbin/", "/usr/bin/", "/usr/sbin/", "/usr/local/bin/", "/opt/"}
+	for _, d := range dirs {
+		if strings.HasPrefix(path, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize canonicalises an IOC string for comparison: lowercase for
+// case-insensitive types, surrounding quotes and trailing punctuation
+// stripped, CIDR suffix removed from single-address networks.
+func Normalize(t Type, s string) string {
+	s = strings.Trim(s, `"'`)
+	s = strings.TrimRight(s, ".,;:")
+	switch t {
+	case Domain, Email, URL:
+		s = strings.ToLower(s)
+	case CIDR:
+		if strings.HasSuffix(s, "/32") {
+			s = strings.TrimSuffix(s, "/32")
+		}
+	case MD5, SHA1, SHA256:
+		s = strings.ToLower(s)
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package ioc
+
+import (
+	"strings"
+	"testing"
+)
+
+func findTexts(text string) map[string]Type {
+	out := map[string]Type{}
+	for _, i := range Find(text) {
+		out[i.Text] = i.Type
+	}
+	return out
+}
+
+func TestFindFig2IOCs(t *testing.T) {
+	// The Fig. 2 report text must yield exactly the paper's IOC list.
+	text := "As a first step, the attacker used /bin/tar to read user credentials " +
+		"from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. " +
+		"/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. " +
+		"/usr/bin/gpg then wrote the sensitive information to /tmp/upload. " +
+		"He leaked it by using /usr/bin/curl to connect to 192.168.29.128."
+	got := findTexts(text)
+	want := []string{
+		"/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2",
+		"/tmp/upload.tar.bz2", "/usr/bin/gpg", "/tmp/upload",
+		"/usr/bin/curl", "192.168.29.128",
+	}
+	for _, w := range want {
+		if _, ok := got[w]; !ok {
+			t.Errorf("missing IOC %q (got %v)", w, got)
+		}
+	}
+	if got["192.168.29.128"] != IP {
+		t.Errorf("192.168.29.128 type = %v", got["192.168.29.128"])
+	}
+	if got["/bin/tar"] != Filepath {
+		t.Errorf("/bin/tar type = %v", got["/bin/tar"])
+	}
+}
+
+func TestFindTypes(t *testing.T) {
+	cases := []struct {
+		text string
+		want Type
+		ioc  string
+	}{
+		{"see https://evil.example.com/payload for details", URL, "https://evil.example.com/payload"},
+		{"contact admin@evil.com now", Email, "admin@evil.com"},
+		{"hash d41d8cd98f00b204e9800998ecf8427e found", MD5, "d41d8cd98f00b204e9800998ecf8427e"},
+		{"hash da39a3ee5e6b4b0d3255bfef95601890afd80709 found", SHA1, "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"subnet 10.0.0.0/24 scanned", CIDR, "10.0.0.0/24"},
+		{"address 192.168.29.128/32 contacted", CIDR, "192.168.29.128/32"},
+		{"key HKEY_LOCAL_MACHINE\\Software\\Run persisted", Registry, "HKEY_LOCAL_MACHINE\\Software\\Run"},
+		{"exploiting CVE-2014-6271 on the host", CVE, "CVE-2014-6271"},
+		{"dropped payload.exe on disk", Filename, "payload.exe"},
+		{"beacons to evil-c2.com daily", Domain, "evil-c2.com"},
+		{"path C:\\Users\\victim\\run.bat executed", Filepath, "C:\\Users\\victim\\run.bat"},
+	}
+	for _, c := range cases {
+		got := findTexts(c.text)
+		typ, ok := got[c.ioc]
+		if !ok {
+			t.Errorf("%q: missing %q (got %v)", c.text, c.ioc, got)
+			continue
+		}
+		if typ != c.want {
+			t.Errorf("%q: type = %v, want %v", c.ioc, typ, c.want)
+		}
+	}
+}
+
+func TestFindNoOverlap(t *testing.T) {
+	// URL wins over domain and IP inside it.
+	got := Find("visit http://1.2.3.4/x.php now")
+	if len(got) != 1 || got[0].Type != URL {
+		t.Errorf("got %v", got)
+	}
+	// SHA256 not double-counted as SHA1/MD5.
+	h := strings.Repeat("ab", 32)
+	got = Find("hash " + h + " seen")
+	if len(got) != 1 || got[0].Type != SHA256 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestFindOffsetsSorted(t *testing.T) {
+	got := Find("/bin/a then 1.2.3.4 then /bin/b")
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Offset <= got[i-1].Offset {
+			t.Error("offsets not strictly increasing")
+		}
+	}
+}
+
+func TestFindPlainTextHasNone(t *testing.T) {
+	if got := Find("The attacker attempts to steal valuable assets from the host."); len(got) != 0 {
+		t.Errorf("false positives: %v", got)
+	}
+}
+
+func TestIsExecutablePath(t *testing.T) {
+	if !IsExecutablePath("/bin/tar") || !IsExecutablePath("/usr/bin/curl") {
+		t.Error("known executables not detected")
+	}
+	if IsExecutablePath("/etc/passwd") || IsExecutablePath("/tmp/upload.tar") {
+		t.Error("data files misdetected as executables")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		t    Type
+		in   string
+		want string
+	}{
+		{Domain, "Evil.COM", "evil.com"},
+		{CIDR, "192.168.29.128/32", "192.168.29.128"},
+		{CIDR, "10.0.0.0/24", "10.0.0.0/24"},
+		{Filepath, `"/bin/tar"`, "/bin/tar"},
+		{Filepath, "/tmp/upload.tar.", "/tmp/upload.tar"},
+		{MD5, "D41D8CD98F00B204E9800998ECF8427E", "d41d8cd98f00b204e9800998ecf8427e"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.t, c.in); got != c.want {
+			t.Errorf("Normalize(%v, %q) = %q, want %q", c.t, c.in, got, c.want)
+		}
+	}
+}

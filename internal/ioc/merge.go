@@ -1,0 +1,154 @@
+package ioc
+
+import (
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// MergeThreshold is the combined-similarity threshold above which two
+// IOCs of the same type are considered the same artifact.
+const MergeThreshold = 0.75
+
+// Merged is a canonical IOC with the set of surface forms that were
+// merged into it.
+type Merged struct {
+	IOC
+	Aliases []string
+}
+
+// ScanMerge deduplicates IOCs across all blocks: IOCs of the same type
+// are merged when (a) they are equal after normalization, (b) one is a
+// path-boundary suffix of the other ("upload.tar" vs "/tmp/upload.tar"),
+// or (c) their combined character-overlap and word-vector similarity
+// exceeds MergeThreshold. The canonical form is the longest (most
+// specific) surface form; merged entries keep the earliest offset.
+func ScanMerge(iocs []IOC) []Merged {
+	var out []Merged
+	for _, ioc := range iocs {
+		norm := Normalize(ioc.Type, ioc.Text)
+		if norm == "" {
+			continue
+		}
+		found := -1
+		for i := range out {
+			if mergeable(out[i], ioc.Type, norm) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			out = append(out, Merged{IOC: IOC{Type: ioc.Type, Text: norm, Offset: ioc.Offset}})
+			continue
+		}
+		m := &out[found]
+		// Keep the longer (more specific) form as canonical.
+		if len(norm) > len(m.Text) {
+			if !contains(m.Aliases, m.Text) {
+				m.Aliases = append(m.Aliases, m.Text)
+			}
+			m.Text = norm
+		} else if norm != m.Text && !contains(m.Aliases, norm) {
+			m.Aliases = append(m.Aliases, norm)
+		}
+		if ioc.Offset < m.Offset {
+			m.Offset = ioc.Offset
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeable decides whether a normalized IOC belongs to an existing
+// merged group.
+func mergeable(m Merged, t Type, norm string) bool {
+	if !typesCompatible(m.Type, t) {
+		return false
+	}
+	if m.Text == norm || contains(m.Aliases, norm) {
+		return true
+	}
+	if pathSuffix(m.Text, norm) || pathSuffix(norm, m.Text) {
+		return true
+	}
+	// File artifacts with different basenames are different files no
+	// matter how similar the strings are: /tmp/upload.tar and
+	// /tmp/upload.tar.bz2 must stay distinct.
+	if (t == Filepath || t == Filename) && basename(m.Text) != basename(norm) {
+		return false
+	}
+	// Combined similarity: character n-gram vector cosine plus longest-
+	// common-substring ratio, averaged.
+	sim := 0.5*nlp.Similarity(m.Text, norm) + 0.5*lcsRatio(m.Text, norm)
+	return sim >= MergeThreshold
+}
+
+// basename returns the final path segment.
+func basename(p string) string {
+	if i := strings.LastIndexAny(p, `/\`); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// typesCompatible treats filepath and filename as the same artifact
+// space; all other types must match exactly.
+func typesCompatible(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	filey := func(t Type) bool { return t == Filepath || t == Filename }
+	if filey(a) && filey(b) {
+		return true
+	}
+	ipy := func(t Type) bool { return t == IP || t == CIDR }
+	return ipy(a) && ipy(b)
+}
+
+// pathSuffix reports whether short is a suffix of long at a path-segment
+// boundary ("upload.tar" suffixes "/tmp/upload.tar").
+func pathSuffix(long, short string) bool {
+	if len(short) >= len(long) || !strings.HasSuffix(long, short) {
+		return false
+	}
+	boundary := long[len(long)-len(short)-1]
+	return boundary == '/' || boundary == '\\'
+}
+
+// lcsRatio is the length of the longest common substring of a and b
+// divided by the length of the shorter string.
+func lcsRatio(a, b string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	best := 0
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	minLen := la
+	if lb < minLen {
+		minLen = lb
+	}
+	return float64(best) / float64(minLen)
+}

@@ -1,0 +1,141 @@
+package ioc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScanMergeExactDuplicates(t *testing.T) {
+	in := []IOC{
+		{Type: Filepath, Text: "/tmp/upload.tar", Offset: 10},
+		{Type: Filepath, Text: "/tmp/upload.tar", Offset: 50},
+	}
+	out := ScanMerge(in)
+	if len(out) != 1 {
+		t.Fatalf("want 1 merged, got %d", len(out))
+	}
+	if out[0].Offset != 10 {
+		t.Errorf("earliest offset not kept: %d", out[0].Offset)
+	}
+}
+
+func TestScanMergePathSuffix(t *testing.T) {
+	in := []IOC{
+		{Type: Filename, Text: "upload.tar", Offset: 5},
+		{Type: Filepath, Text: "/tmp/upload.tar", Offset: 30},
+	}
+	out := ScanMerge(in)
+	if len(out) != 1 {
+		t.Fatalf("want 1 merged, got %d: %v", len(out), out)
+	}
+	if out[0].Text != "/tmp/upload.tar" {
+		t.Errorf("canonical should be the longer form, got %q", out[0].Text)
+	}
+	if len(out[0].Aliases) != 1 || out[0].Aliases[0] != "upload.tar" {
+		t.Errorf("aliases = %v", out[0].Aliases)
+	}
+}
+
+func TestScanMergeKeepsDistinct(t *testing.T) {
+	in := []IOC{
+		{Type: Filepath, Text: "/tmp/upload.tar"},
+		{Type: Filepath, Text: "/etc/passwd"},
+		{Type: IP, Text: "192.168.29.128"},
+	}
+	out := ScanMerge(in)
+	if len(out) != 3 {
+		t.Errorf("distinct IOCs merged: %v", out)
+	}
+}
+
+func TestScanMergeTypeCompatibility(t *testing.T) {
+	// An IP and CIDR of the same address merge; IP and filepath never do.
+	in := []IOC{
+		{Type: CIDR, Text: "192.168.29.128/32"},
+		{Type: IP, Text: "192.168.29.128"},
+	}
+	out := ScanMerge(in)
+	if len(out) != 1 {
+		t.Errorf("IP/CIDR should merge: %v", out)
+	}
+	in = []IOC{
+		{Type: IP, Text: "1.2.3.4"},
+		{Type: Filepath, Text: "1.2.3.4"}, // pathological same-text
+	}
+	out = ScanMerge(in)
+	if len(out) != 2 {
+		t.Errorf("incompatible types merged: %v", out)
+	}
+}
+
+func TestScanMergeSimilarVariants(t *testing.T) {
+	// Dotted variants of the same filename merge via similarity.
+	in := []IOC{
+		{Type: Filepath, Text: "/tmp/upload.tar.bz2"},
+		{Type: Filepath, Text: "/tmp/upload.tar"},
+	}
+	out := ScanMerge(in)
+	// These are DIFFERENT files in the attack chain and must NOT merge:
+	// the tar and its bz2 compression are distinct artifacts.
+	if len(out) != 2 {
+		t.Errorf("/tmp/upload.tar and .bz2 wrongly merged: %v", out)
+	}
+}
+
+func TestScanMergeEmpty(t *testing.T) {
+	if out := ScanMerge(nil); len(out) != 0 {
+		t.Errorf("empty input: %v", out)
+	}
+}
+
+func TestLCSRatio(t *testing.T) {
+	if r := lcsRatio("abc", "abc"); r != 1 {
+		t.Errorf("identical = %f", r)
+	}
+	if r := lcsRatio("abc", "xyz"); r != 0 {
+		t.Errorf("disjoint = %f", r)
+	}
+	if r := lcsRatio("", "abc"); r != 0 {
+		t.Errorf("empty = %f", r)
+	}
+}
+
+// Property: merging is deterministic and output count never exceeds input.
+func TestScanMergeProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		var in []IOC
+		for i, s := range texts {
+			if s == "" {
+				continue
+			}
+			in = append(in, IOC{Type: Filepath, Text: "/d/" + sanitize(s), Offset: i})
+		}
+		a := ScanMerge(in)
+		b := ScanMerge(in)
+		if len(a) != len(b) || len(a) > len(in) {
+			return false
+		}
+		for i := range a {
+			if a[i].Text != b[i].Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}

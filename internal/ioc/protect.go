@@ -1,0 +1,64 @@
+package ioc
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// PlaceholderPrefix is the dummy word used to mask IOCs before NLP
+// processing. The paper replaces IOCs with the word "something"; we
+// capitalize it so a sentence that begins with an IOC still segments
+// (the segmenter looks for an uppercase letter after a period) and append
+// an index so each occurrence restores to its own IOC unambiguously.
+const PlaceholderPrefix = "Something"
+
+var placeholderRE = regexp.MustCompile(`^` + PlaceholderPrefix + `\d+$`)
+
+// IsPlaceholder reports whether a token masks a protected IOC.
+func IsPlaceholder(tok string) bool { return placeholderRE.MatchString(tok) }
+
+// Protection records the result of masking a block of text.
+type Protection struct {
+	// Text is the block with every IOC replaced by an indexed
+	// placeholder word.
+	Text string
+	// IOCs holds the masked IOCs; placeholder i ("something<i>")
+	// corresponds to IOCs[i].
+	IOCs []IOC
+}
+
+// Placeholder returns the placeholder word for index i.
+func Placeholder(i int) string { return PlaceholderPrefix + strconv.Itoa(i) }
+
+// Restore returns the IOC masked by a placeholder token, or nil.
+func (p *Protection) Restore(tok string) *IOC {
+	if !IsPlaceholder(tok) {
+		return nil
+	}
+	i, err := strconv.Atoi(tok[len(PlaceholderPrefix):])
+	if err != nil || i < 0 || i >= len(p.IOCs) {
+		return nil
+	}
+	return &p.IOCs[i]
+}
+
+// Protect recognizes all IOCs in a block and replaces each occurrence with
+// an indexed placeholder, making the text amenable to NLP modules designed
+// for general prose. The replacement preserves the security context: the
+// placeholder is a noun-like single token, so tokenization, sentence
+// segmentation, POS tagging, and dependency parsing all treat the IOC as
+// an opaque noun.
+func Protect(block string) *Protection {
+	iocs := Find(block)
+	var b strings.Builder
+	b.Grow(len(block))
+	prev := 0
+	for i, ioc := range iocs {
+		b.WriteString(block[prev:ioc.Offset])
+		b.WriteString(Placeholder(i))
+		prev = ioc.Offset + len(ioc.Text)
+	}
+	b.WriteString(block[prev:])
+	return &Protection{Text: b.String(), IOCs: iocs}
+}

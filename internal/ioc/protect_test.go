@@ -1,0 +1,72 @@
+package ioc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProtectMasksAllIOCs(t *testing.T) {
+	block := "the attacker used /bin/tar to read from /etc/passwd and connect to 192.168.29.128."
+	p := Protect(block)
+	if len(p.IOCs) != 3 {
+		t.Fatalf("want 3 IOCs, got %d", len(p.IOCs))
+	}
+	for _, i := range p.IOCs {
+		if strings.Contains(p.Text, i.Text) {
+			t.Errorf("IOC %q not masked in %q", i.Text, p.Text)
+		}
+	}
+	if !strings.Contains(p.Text, "Something0") || !strings.Contains(p.Text, "Something2") {
+		t.Errorf("placeholders missing: %q", p.Text)
+	}
+	// No dots remain except sentence punctuation.
+	if strings.Count(p.Text, ".") != 1 {
+		t.Errorf("IOC dots leaked into protected text: %q", p.Text)
+	}
+}
+
+func TestProtectRestore(t *testing.T) {
+	p := Protect("/bin/tar read /etc/passwd.")
+	ioc0 := p.Restore("Something0")
+	if ioc0 == nil || ioc0.Text != "/bin/tar" {
+		t.Errorf("Restore(something0) = %v", ioc0)
+	}
+	ioc1 := p.Restore("Something1")
+	if ioc1 == nil || ioc1.Text != "/etc/passwd" {
+		t.Errorf("Restore(something1) = %v", ioc1)
+	}
+	if p.Restore("Something9") != nil {
+		t.Error("out-of-range placeholder should restore to nil")
+	}
+	if p.Restore("Something") != nil || p.Restore("Anything0") != nil {
+		t.Error("non-placeholders should restore to nil")
+	}
+}
+
+func TestIsPlaceholder(t *testing.T) {
+	if !IsPlaceholder("Something0") || !IsPlaceholder("Something42") {
+		t.Error("placeholders not recognized")
+	}
+	for _, s := range []string{"Something", "something0", "Something0x", "somethingelse"} {
+		if IsPlaceholder(s) {
+			t.Errorf("%q should not be a placeholder", s)
+		}
+	}
+}
+
+func TestProtectNoIOCs(t *testing.T) {
+	block := "The attacker attempts to steal valuable assets."
+	p := Protect(block)
+	if p.Text != block || len(p.IOCs) != 0 {
+		t.Errorf("no-IOC block changed: %q", p.Text)
+	}
+}
+
+func TestProtectPreservesSentenceStructure(t *testing.T) {
+	block := "First, /bin/tar read /etc/passwd. Then /bin/bzip2 compressed it."
+	p := Protect(block)
+	// Sentence count must survive protection.
+	if strings.Count(p.Text, ". ") != strings.Count(block, ". ") {
+		t.Errorf("sentence structure damaged: %q", p.Text)
+	}
+}

@@ -1,0 +1,642 @@
+package nlp
+
+import "strings"
+
+// DepTree is a dependency parse: every token has a head index (-1 for the
+// root) and a dependency label. The tree is produced by a deterministic
+// chunk-and-attach parser tuned for the declarative prose of CTI reports;
+// it emits a Universal-Dependencies-flavoured label set:
+//
+//	nsubj dobj prep pobj xcomp conj cc aux mark det poss amod compound
+//	nummod advmod acl relcl prt punct dep root
+type DepTree struct {
+	Tokens []Token
+	Head   []int
+	Label  []string
+}
+
+// Root returns the index of the root token, or -1 for an empty tree.
+func (t *DepTree) Root() int {
+	for i, h := range t.Head {
+		if h == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Children returns the indexes of the direct dependents of token i in
+// surface order.
+func (t *DepTree) Children(i int) []int {
+	var out []int
+	for j, h := range t.Head {
+		if h == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the chain of token indexes from i up to the root,
+// starting with i itself. Cycles (which the parser never produces) are
+// guarded by a length cap.
+func (t *DepTree) PathToRoot(i int) []int {
+	var path []int
+	for i >= 0 && len(path) <= len(t.Tokens) {
+		path = append(path, i)
+		i = t.Head[i]
+	}
+	return path
+}
+
+// LCA returns the lowest common ancestor of tokens a and b, or -1.
+func (t *DepTree) LCA(a, b int) int {
+	onPath := make(map[int]bool)
+	for _, i := range t.PathToRoot(a) {
+		onPath[i] = true
+	}
+	for _, i := range t.PathToRoot(b) {
+		if onPath[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// isVerbTag reports VB/VBD/VBG/VBN/VBP/VBZ.
+func isVerbTag(pos string) bool { return strings.HasPrefix(pos, "VB") }
+
+// isNounTag reports NN/NNS/NNP plus pronouns and numbers, the token kinds
+// that can head a noun phrase.
+func isNounTag(pos string) bool {
+	return strings.HasPrefix(pos, "NN") || pos == "PRP" || pos == "CD" || pos == "WDT" || pos == "WP"
+}
+
+// ParseDependency builds a dependency tree over tagged tokens.
+func ParseDependency(toks []Token) *DepTree {
+	n := len(toks)
+	t := &DepTree{
+		Tokens: toks,
+		Head:   make([]int, n),
+		Label:  make([]string, n),
+	}
+	for i := range t.Head {
+		t.Head[i] = -2 // unattached
+		t.Label[i] = "dep"
+	}
+	if n == 0 {
+		return t
+	}
+
+	p := &chunkParser{t: t, n: n}
+	p.chunkNounPhrases()
+	p.groupVerbs()
+	p.linkVerbs()
+	p.attachSubjects()
+	p.attachObjectsAndPreps()
+	p.attachModifiers()
+	p.finish()
+	return t
+}
+
+type chunkParser struct {
+	t *DepTree
+	n int
+
+	npHead    []int // token -> NP head index, or -1
+	mainVerbs []int // indexes of clause main verbs, in order
+	isMain    []bool
+}
+
+func (p *chunkParser) pos(i int) string  { return p.t.Tokens[i].POS }
+func (p *chunkParser) text(i int) string { return strings.ToLower(p.t.Tokens[i].Text) }
+
+func (p *chunkParser) attach(dep, head int, label string) {
+	if dep == head || dep < 0 || dep >= p.n {
+		return
+	}
+	if p.t.Head[dep] != -2 {
+		return // first attachment wins
+	}
+	p.t.Head[dep] = head
+	p.t.Label[dep] = label
+}
+
+// chunkNounPhrases finds maximal NP runs and attaches internal tokens to
+// the NP head (the last nominal in the run).
+func (p *chunkParser) chunkNounPhrases() {
+	p.npHead = make([]int, p.n)
+	for i := range p.npHead {
+		p.npHead[i] = -1
+	}
+	i := 0
+	for i < p.n {
+		if !p.inNP(i) {
+			i++
+			continue
+		}
+		j := i
+		for j < p.n && p.inNP(j) {
+			j++
+		}
+		// Head: last token in [i, j) with a nominal tag.
+		head := -1
+		for k := j - 1; k >= i; k-- {
+			if isNounTag(p.pos(k)) {
+				head = k
+				break
+			}
+		}
+		if head < 0 {
+			i = j
+			continue
+		}
+		for k := i; k < j; k++ {
+			p.npHead[k] = head
+			if k == head {
+				continue
+			}
+			switch {
+			case p.pos(k) == "DT":
+				p.attach(k, head, "det")
+			case p.pos(k) == "PRP$":
+				p.attach(k, head, "poss")
+			case p.pos(k) == "JJ" || p.pos(k) == "VBN" || p.pos(k) == "VBG":
+				p.attach(k, head, "amod")
+			case p.pos(k) == "CD":
+				p.attach(k, head, "nummod")
+			case isNounTag(p.pos(k)):
+				p.attach(k, head, "compound")
+			default:
+				p.attach(k, head, "dep")
+			}
+		}
+		i = j
+	}
+}
+
+// inNP reports whether token i can be part of a noun phrase chunk. A
+// VBN/VBG is included only prenominally ("the launched process", "the
+// gathered information"): it must be preceded by DT/PRP$/JJ and followed
+// eventually by a noun.
+func (p *chunkParser) inNP(i int) bool {
+	pos := p.pos(i)
+	if pos == "DT" || pos == "PRP$" || pos == "JJ" || isNounTag(pos) {
+		return true
+	}
+	if pos == "VBN" || pos == "VBG" {
+		if i == 0 || i+1 >= p.n {
+			return false
+		}
+		prev := p.pos(i - 1)
+		if prev != "DT" && prev != "PRP$" && prev != "JJ" {
+			return false
+		}
+		next := p.pos(i + 1)
+		return isNounTag(next) || next == "JJ" || next == "NN"
+	}
+	return false
+}
+
+// groupVerbs finds verb groups and designates main verbs. Auxiliaries
+// (be/have/do/modals) followed by another verb attach to it as aux.
+func (p *chunkParser) groupVerbs() {
+	p.isMain = make([]bool, p.n)
+	for i := 0; i < p.n; i++ {
+		if !isVerbTag(p.pos(i)) && p.pos(i) != "MD" {
+			continue
+		}
+		if p.npHead[i] >= 0 && p.t.Head[i] != -2 {
+			continue // prenominal participle already attached inside an NP
+		}
+		// Is there a later verb in the same group (allowing RB between)?
+		j := i + 1
+		for j < p.n && (p.pos(j) == "RB" || p.pos(j) == "TO") {
+			j++
+		}
+		if j < p.n && isVerbTag(p.pos(j)) && p.isAux(i) {
+			p.attach(i, j, "aux")
+			continue
+		}
+		p.isMain[i] = true
+		p.mainVerbs = append(p.mainVerbs, i)
+	}
+}
+
+// isAux reports whether the verb at i is an auxiliary form.
+func (p *chunkParser) isAux(i int) bool {
+	switch p.text(i) {
+	case "is", "are", "was", "were", "be", "been", "being",
+		"has", "have", "had", "do", "does", "did":
+		return true
+	}
+	return p.pos(i) == "MD"
+}
+
+// linkVerbs chooses the root verb and links the other main verbs to it:
+// infinitival complements (to VB) as xcomp, coordinated verbs as conj,
+// postnominal participles as acl, relative clauses as relcl.
+func (p *chunkParser) linkVerbs() {
+	if len(p.mainVerbs) == 0 {
+		return
+	}
+	// A postnominal gerund ("process /usr/bin/gpg reading from ...")
+	// attaches to the noun before it as acl rather than heading the
+	// clause.
+	isACL := func(v int) bool {
+		return p.pos(v) == "VBG" && v > 0 && p.npHead[v-1] >= 0 && !p.precededByTO(v)
+	}
+	root := -1
+	for _, v := range p.mainVerbs {
+		if !isACL(v) {
+			root = v
+			break
+		}
+	}
+	if root < 0 {
+		// Every verb is a postnominal gerund: the sentence is a noun
+		// fragment; root the noun governing the first gerund.
+		if nb := p.nounBefore(p.mainVerbs[0]); nb >= 0 {
+			p.t.Head[nb] = -1
+			p.t.Label[nb] = "root"
+		} else {
+			root = p.mainVerbs[0]
+		}
+	}
+	if root >= 0 {
+		p.t.Head[root] = -1
+		p.t.Label[root] = "root"
+	}
+	prev := root
+	for _, v := range p.mainVerbs {
+		if v == root {
+			prev = v
+			continue
+		}
+		switch {
+		case isACL(v):
+			p.attach(v, p.nounBefore(v), "acl")
+		case prev < 0:
+			// No governing verb yet (noun-rooted fragment).
+			p.attach(v, p.t.Root(), "dep")
+		case p.precededByTO(v):
+			// "used X to read Y": mark "to", xcomp to the previous verb.
+			p.attach(v, prev, "xcomp")
+		case p.precededByCC(v):
+			p.attach(v, prev, "conj")
+		case p.relativeMarkerBefore(v):
+			// "..., which corresponds to ..." attaches to the preceding noun.
+			if nb := p.nounBefore(v); nb >= 0 {
+				p.attach(v, nb, "relcl")
+			} else {
+				p.attach(v, prev, "conj")
+			}
+		default:
+			p.attach(v, prev, "conj")
+		}
+		if !isACL(v) {
+			prev = v
+		}
+	}
+	// Attach TO markers to their verbs.
+	for i := 0; i < p.n; i++ {
+		if p.pos(i) == "TO" {
+			if v := p.nextMainVerb(i); v >= 0 {
+				p.attach(i, v, "mark")
+			}
+		}
+	}
+}
+
+// precededByTO reports a TO directly before the verb (allowing RB).
+func (p *chunkParser) precededByTO(v int) bool {
+	for i := v - 1; i >= 0; i-- {
+		switch p.pos(i) {
+		case "RB":
+			continue
+		case "TO":
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func (p *chunkParser) precededByCC(v int) bool {
+	for i := v - 1; i >= 0; i-- {
+		switch p.pos(i) {
+		case "RB", ",":
+			continue
+		case "CC":
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// relativeMarkerBefore reports a WDT/WP within the few tokens before v
+// ("file, which corresponds ...").
+func (p *chunkParser) relativeMarkerBefore(v int) bool {
+	for i := v - 1; i >= 0 && i >= v-3; i-- {
+		if p.pos(i) == "WDT" || p.pos(i) == "WP" {
+			return true
+		}
+		if p.pos(i) != "," && p.pos(i) != "RB" {
+			return false
+		}
+	}
+	return false
+}
+
+// nounBefore returns the nearest NP head strictly before i, or -1.
+func (p *chunkParser) nounBefore(i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if p.npHead[j] >= 0 {
+			return p.npHead[j]
+		}
+		if p.isMain[j] {
+			return -1
+		}
+	}
+	return -1
+}
+
+// nextMainVerb returns the first main verb at or after i, or -1.
+func (p *chunkParser) nextMainVerb(i int) int {
+	for j := i; j < p.n; j++ {
+		if p.isMain[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// attachSubjects finds the nsubj of each main verb: the nearest NP head to
+// the left that is not inside a prepositional phrase, stopping at the
+// previous main verb. Verbs with an infinitival (xcomp) or coordinated
+// (conj) link inherit the governing verb's subject and get none locally.
+func (p *chunkParser) attachSubjects() {
+	for _, v := range p.mainVerbs {
+		lbl := p.t.Label[v]
+		if lbl == "xcomp" || lbl == "acl" {
+			continue // controlled subject
+		}
+		limit := -1
+		for _, u := range p.mainVerbs {
+			if u >= v {
+				break
+			}
+			limit = u
+		}
+		for j := v - 1; j > limit; j-- {
+			if p.npHead[j] < 0 {
+				continue
+			}
+			head := p.npHead[j]
+			if p.t.Head[head] != -2 && p.t.Head[head] != -1 {
+				j = head // already attached (e.g. pobj); skip past it
+				continue
+			}
+			// Not inside a PP: no IN immediately governing this NP.
+			if k := p.npStart(head); k > 0 && p.pos(k-1) == "IN" {
+				j = k
+				continue
+			}
+			if p.t.Head[head] == -2 {
+				label := "nsubj"
+				if p.isPassive(v) {
+					label = "nsubjpass"
+				}
+				p.attach(head, v, label)
+			}
+			break
+		}
+	}
+}
+
+// npStart returns the first token index of the NP containing head.
+func (p *chunkParser) npStart(head int) int {
+	start := head
+	for start > 0 && p.npHead[start-1] == head {
+		start--
+	}
+	return start
+}
+
+// isPassive reports a VBN with a be-auxiliary.
+func (p *chunkParser) isPassive(v int) bool {
+	if p.pos(v) != "VBN" {
+		return false
+	}
+	for _, c := range p.t.Children(v) {
+		if p.t.Label[c] == "aux" {
+			switch p.text(c) {
+			case "is", "are", "was", "were", "be", "been", "being":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// attachObjectsAndPreps walks left to right attaching direct objects and
+// prepositional phrases to the nearest governing verb (or noun, for
+// noun-attached PPs when no verb is available).
+func (p *chunkParser) attachObjectsAndPreps() {
+	var curVerb = -1
+	var curPrep = -1
+	for i := 0; i < p.n; i++ {
+		switch {
+		case p.isMain[i]:
+			curVerb = i
+			curPrep = -1
+		case p.pos(i) == "IN":
+			// Attach the preposition to the governing verb; noun
+			// attachment only when the clause has no verb yet. Verb
+			// attachment is what the relation-extraction rules consume.
+			target := curVerb
+			if target < 0 {
+				target = p.nounBeforeAttached(i)
+			}
+			if target >= 0 {
+				p.attach(i, target, "prep")
+				curPrep = i
+			} else {
+				curPrep = i // sentence-initial PP: head fixed in finish()
+			}
+		case p.pos(i) == ",":
+			curPrep = -1
+		case p.npHead[i] == i && p.t.Head[i] == -2:
+			// Unattached NP head: pobj of the open preposition, else dobj
+			// of the current verb.
+			switch {
+			case curPrep >= 0:
+				p.attach(i, curPrep, "pobj")
+				curPrep = -1
+			case curVerb >= 0:
+				p.attach(i, curVerb, "dobj")
+			}
+		}
+	}
+}
+
+// nounBeforeAttached returns the nearest NP head before i that is already
+// attached (so PPs chain: "a file in a folder on the host").
+func (p *chunkParser) nounBeforeAttached(i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if p.isMain[j] || p.pos(j) == "," {
+			return -1
+		}
+		if p.npHead[j] >= 0 {
+			return p.npHead[j]
+		}
+	}
+	return -1
+}
+
+// attachModifiers attaches adverbs, particles, conjunctions, and
+// wh-markers.
+func (p *chunkParser) attachModifiers() {
+	for i := 0; i < p.n; i++ {
+		if p.t.Head[i] != -2 {
+			continue
+		}
+		switch p.pos(i) {
+		case "RB":
+			if v := p.nearestVerb(i); v >= 0 {
+				p.attach(i, v, "advmod")
+			}
+		case "RP":
+			if v := p.prevMainVerb(i); v >= 0 {
+				p.attach(i, v, "prt")
+			}
+		case "CC":
+			// cc attaches to the following conjunct when it exists, else
+			// to the preceding element.
+			if next := p.nextAttachable(i); next >= 0 {
+				p.attach(i, next, "cc")
+			} else if prev := p.prevAttachable(i); prev >= 0 {
+				p.attach(i, prev, "cc")
+			}
+		case "WDT", "WP", "WRB":
+			if v := p.nextMainVerb(i); v >= 0 {
+				p.attach(i, v, "nsubj")
+			}
+		}
+	}
+	// Coordinated NPs: "X and Y" where Y is still unattached.
+	for i := 0; i < p.n; i++ {
+		if p.pos(i) != "CC" {
+			continue
+		}
+		left, right := -1, -1
+		for j := i - 1; j >= 0; j-- {
+			if p.npHead[j] >= 0 {
+				left = p.npHead[j]
+				break
+			}
+			if p.isMain[j] {
+				break
+			}
+		}
+		for j := i + 1; j < p.n; j++ {
+			if p.npHead[j] >= 0 {
+				right = p.npHead[j]
+				break
+			}
+			if p.isMain[j] {
+				break
+			}
+		}
+		if left >= 0 && right >= 0 && p.t.Head[right] == -2 {
+			p.attach(right, left, "conj")
+		}
+	}
+}
+
+func (p *chunkParser) nearestVerb(i int) int {
+	best, bestDist := -1, p.n+1
+	for _, v := range p.mainVerbs {
+		d := v - i
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+func (p *chunkParser) prevMainVerb(i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if p.isMain[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+func (p *chunkParser) nextAttachable(i int) int {
+	for j := i + 1; j < p.n; j++ {
+		if p.isMain[j] || p.npHead[j] == j {
+			return j
+		}
+	}
+	return -1
+}
+
+func (p *chunkParser) prevAttachable(i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if p.isMain[j] || p.npHead[j] == j {
+			return j
+		}
+	}
+	return -1
+}
+
+// finish attaches everything left over to the root (or makes the first
+// leftover the root when the sentence has no verb).
+func (p *chunkParser) finish() {
+	root := p.t.Root()
+	if root < 0 {
+		// Verbless sentence: root the first unattached token, preferring
+		// an NP head.
+		for i := 0; i < p.n; i++ {
+			if p.t.Head[i] == -2 && p.npHead[i] == i {
+				root = i
+				break
+			}
+		}
+		if root < 0 {
+			for i := 0; i < p.n; i++ {
+				if p.t.Head[i] == -2 {
+					root = i
+					break
+				}
+			}
+		}
+		if root < 0 {
+			root = 0
+			p.t.Head[0] = -1
+			p.t.Label[0] = "root"
+		} else {
+			p.t.Head[root] = -1
+			p.t.Label[root] = "root"
+		}
+	}
+	for i := 0; i < p.n; i++ {
+		if p.t.Head[i] != -2 {
+			continue
+		}
+		label := "dep"
+		if p.t.Tokens[i].IsPunct() {
+			label = "punct"
+		}
+		p.t.Head[i] = root
+		p.t.Label[i] = label
+	}
+}

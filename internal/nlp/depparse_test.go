@@ -1,0 +1,211 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, sentence string) *DepTree {
+	t.Helper()
+	toks := Tokenize(sentence)
+	Tag(toks, func(s string) bool { return strings.HasPrefix(s, "something") })
+	return ParseDependency(toks)
+}
+
+func idx(tree *DepTree, text string) int {
+	for i, tok := range tree.Tokens {
+		if tok.Text == text {
+			return i
+		}
+	}
+	return -1
+}
+
+// depOf returns (head text, label) of the first token with the given text.
+func depOf(tree *DepTree, text string) (string, string) {
+	i := idx(tree, text)
+	if i < 0 {
+		return "", ""
+	}
+	h := tree.Head[i]
+	if h < 0 {
+		return "", tree.Label[i]
+	}
+	return tree.Tokens[h].Text, tree.Label[i]
+}
+
+func TestParseInstrumentSentence(t *testing.T) {
+	// Fig. 2, first sentence pattern.
+	tree := parse(t, "The attacker used something0 to read user credentials from something1.")
+	if head, lbl := depOf(tree, "attacker"); head != "used" || lbl != "nsubj" {
+		t.Errorf("attacker -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "something0"); head != "used" || lbl != "dobj" {
+		t.Errorf("something0 -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "read"); head != "used" || lbl != "xcomp" {
+		t.Errorf("read -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "from"); head != "read" || lbl != "prep" {
+		t.Errorf("from -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "something1"); head != "from" || lbl != "pobj" {
+		t.Errorf("something1 -> (%s, %s)", head, lbl)
+	}
+	if _, lbl := depOf(tree, "used"); lbl != "root" {
+		t.Errorf("used should be root, got %s", lbl)
+	}
+}
+
+func TestParsePronounSubject(t *testing.T) {
+	// Fig. 2, second sentence pattern.
+	tree := parse(t, "It wrote the gathered information to a file something0.")
+	if head, lbl := depOf(tree, "It"); head != "wrote" || lbl != "nsubj" {
+		t.Errorf("It -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "something0"); head != "to" || lbl != "pobj" {
+		t.Errorf("something0 -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "information"); head != "wrote" || lbl != "dobj" {
+		t.Errorf("information -> (%s, %s)", head, lbl)
+	}
+}
+
+func TestParseConjoinedVerbs(t *testing.T) {
+	// Fig. 2: "/bin/bzip2 read from /tmp/upload.tar and wrote to ...".
+	tree := parse(t, "something0 read from something1 and wrote to something2.")
+	if head, lbl := depOf(tree, "something0"); head != "read" || lbl != "nsubj" {
+		t.Errorf("something0 -> (%s, %s)", head, lbl)
+	}
+	if head, lbl := depOf(tree, "wrote"); head != "read" || lbl != "conj" {
+		t.Errorf("wrote -> (%s, %s)", head, lbl)
+	}
+	if head, _ := depOf(tree, "something1"); head != "from" {
+		t.Errorf("something1 head = %s", head)
+	}
+	if head, _ := depOf(tree, "something2"); head != "to" {
+		t.Errorf("something2 head = %s", head)
+	}
+	if head, _ := depOf(tree, "to"); head != "wrote" {
+		t.Errorf("'to' should attach to wrote, got %s", head)
+	}
+}
+
+func TestParsePostnominalGerund(t *testing.T) {
+	// Fig. 2: "the launched process /usr/bin/gpg reading from ...".
+	tree := parse(t, "the launched process something0 reading from something1.")
+	if head, lbl := depOf(tree, "reading"); head != "something0" || lbl != "acl" {
+		t.Errorf("reading -> (%s, %s)", head, lbl)
+	}
+	if head, _ := depOf(tree, "something1"); head != "from" {
+		t.Errorf("something1 head = %s", head)
+	}
+	// NP head of "the launched process something0" is the placeholder.
+	if head, lbl := depOf(tree, "process"); head != "something0" || lbl != "compound" {
+		t.Errorf("process -> (%s, %s)", head, lbl)
+	}
+}
+
+func TestParseLCA(t *testing.T) {
+	tree := parse(t, "The attacker used something0 to read user credentials from something1.")
+	a, b := idx(tree, "something0"), idx(tree, "something1")
+	lca := tree.LCA(a, b)
+	if lca < 0 || tree.Tokens[lca].Text != "used" {
+		t.Errorf("LCA = %d (%s)", lca, tree.Tokens[lca].Text)
+	}
+	// LCA of a node with itself is itself.
+	if tree.LCA(a, a) != a {
+		t.Error("self LCA broken")
+	}
+}
+
+func TestParseChildren(t *testing.T) {
+	tree := parse(t, "The attacker used something0.")
+	used := idx(tree, "used")
+	kids := tree.Children(used)
+	if len(kids) < 2 {
+		t.Errorf("used should have >= 2 children, got %v", kids)
+	}
+}
+
+func TestParseEmptyAndTiny(t *testing.T) {
+	empty := ParseDependency(nil)
+	if empty.Root() != -1 {
+		t.Error("empty tree root should be -1")
+	}
+	one := parse(t, "Attack.")
+	if one.Root() < 0 {
+		t.Error("single-word sentence should have a root")
+	}
+}
+
+func TestParseVerblessSentence(t *testing.T) {
+	tree := parse(t, "The details of the data leakage attack.")
+	root := tree.Root()
+	if root < 0 {
+		t.Fatal("verbless sentence needs a root")
+	}
+	// Every token must be attached (tree connected).
+	for i := range tree.Tokens {
+		if i != root && tree.Head[i] < 0 {
+			t.Errorf("token %d (%s) unattached", i, tree.Tokens[i].Text)
+		}
+	}
+}
+
+func TestParseEveryTokenAttached(t *testing.T) {
+	sents := []string{
+		"After the lateral movement stage, the attacker attempts to steal valuable assets from the host.",
+		"Then, the attacker leveraged something0 utility to compress the tar file.",
+		"He leaked the gathered sensitive information back to the attacker C2 host by using something0 to connect to something1.",
+		"Finally, the attacker leveraged the curl utility something0 to read the data from something1.",
+	}
+	for _, s := range sents {
+		tree := parse(t, s)
+		rootCount := 0
+		for i := range tree.Tokens {
+			if tree.Head[i] == -1 {
+				rootCount++
+			}
+			if tree.Head[i] < -1 {
+				t.Errorf("%q: token %q unattached", s, tree.Tokens[i].Text)
+			}
+			if tree.Head[i] == i {
+				t.Errorf("%q: token %q is its own head", s, tree.Tokens[i].Text)
+			}
+		}
+		if rootCount != 1 {
+			t.Errorf("%q: %d roots", s, rootCount)
+		}
+	}
+}
+
+func TestParseNoCycles(t *testing.T) {
+	sents := []string{
+		"The attacker used something0 to read user credentials from something1.",
+		"something0 read from something1 and wrote to something2.",
+		"After compression, the attacker used the GnuPG tool to encrypt the zipped file.",
+	}
+	for _, s := range sents {
+		tree := parse(t, s)
+		for i := range tree.Tokens {
+			path := tree.PathToRoot(i)
+			if len(path) > len(tree.Tokens) {
+				t.Fatalf("%q: cycle from token %d", s, i)
+			}
+			if path[len(path)-1] != tree.Root() {
+				t.Errorf("%q: path from %d does not reach root", s, i)
+			}
+		}
+	}
+}
+
+func TestParsePassive(t *testing.T) {
+	tree := parse(t, "The file was encrypted by the tool.")
+	if head, lbl := depOf(tree, "file"); head != "encrypted" || (lbl != "nsubjpass" && lbl != "nsubj") {
+		t.Errorf("file -> (%s, %s)", head, lbl)
+	}
+	if head, _ := depOf(tree, "tool"); head != "by" {
+		t.Errorf("tool head = %s", head)
+	}
+}

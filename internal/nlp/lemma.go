@@ -1,0 +1,100 @@
+package nlp
+
+import "strings"
+
+// irregular maps irregular inflections to their lemma.
+var irregular = map[string]string{
+	"was": "be", "were": "be", "is": "be", "are": "be", "been": "be",
+	"being": "be", "am": "be",
+	"has": "have", "had": "have", "having": "have",
+	"did": "do", "does": "do", "done": "do", "doing": "do",
+	"wrote": "write", "written": "write",
+	"sent": "send", "read": "read", "ran": "run", "run": "run",
+	"stole": "steal", "stolen": "steal",
+	"took": "take", "taken": "take",
+	"made": "make", "got": "get", "gotten": "get",
+	"went": "go", "gone": "go", "came": "come",
+	"saw": "see", "seen": "see", "found": "find",
+	"left": "leave", "kept": "keep", "held": "hold",
+	"began": "begin", "begun": "begin",
+	"brought": "bring", "bought": "buy", "built": "build",
+	"caught": "catch", "chose": "choose", "chosen": "choose",
+	"gave": "give", "given": "give", "knew": "know", "known": "know",
+	"led": "lead", "lost": "lose", "met": "meet", "put": "put",
+	"said": "say", "set": "set", "told": "tell", "thought": "think",
+	"understood": "understand", "woke": "wake", "hid": "hide",
+	"hidden": "hide", "spread": "spread", "cut": "cut", "let": "let",
+	"dropped": "drop", "dropping": "drop",
+	"scanned": "scan", "scanning": "scan",
+	"transferred": "transfer", "transferring": "transfer",
+	"copied": "copy", "copying": "copy", "copies": "copy",
+	"modified": "modify", "modifies": "modify",
+}
+
+// eFinalStems lists stems (after stripping -ed/-ing) whose source verb
+// ends in a silent 'e' and therefore needs it restored: "us" -> "use",
+// "leverag" -> "leverage". Matching is by suffix.
+var eFinalStems = []string{
+	"us", "creat", "leverag", "compris", "receiv", "captur", "stor",
+	"at" /* relocate, generate, ... */, "iz", "encod", "decod",
+	"acquir", "requir", "manag", "engag", "chang", "merg", "purg", "ut",
+	"remov", "mov", "prov", "sav", "serv", "observ", "resolv", "involv",
+	"escap", "scrap", "replac", "trac", "sourc", "referenc",
+}
+
+// Lemmatize returns the dictionary form of an (assumed verb or noun)
+// English word, lowercased. It applies the irregular table first, then
+// standard suffix-stripping rules with silent-e restoration and
+// doubled-consonant collapsing.
+func Lemmatize(word string) string {
+	w := strings.ToLower(word)
+	if lemma, ok := irregular[w]; ok {
+		return lemma
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes") ||
+		strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		return fixStem(w[:len(w)-3])
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		return fixStem(w[:len(w)-2])
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") &&
+		!strings.HasSuffix(w, "us") && len(w) > 3:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// fixStem repairs a stem produced by stripping -ed/-ing: it collapses a
+// doubled final consonant and restores a dropped silent 'e'.
+func fixStem(stem string) string {
+	if len(stem) >= 3 {
+		last := stem[len(stem)-1]
+		prev := stem[len(stem)-2]
+		if last == prev && isConsonant(last) && last != 'l' && last != 's' {
+			return stem[:len(stem)-1]
+		}
+	}
+	for _, suf := range eFinalStems {
+		if strings.HasSuffix(stem, suf) {
+			return stem + "e"
+		}
+	}
+	return stem
+}
+
+// isConsonant reports whether a lowercase letter is a consonant.
+func isConsonant(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return c >= 'a' && c <= 'z'
+}

@@ -1,0 +1,227 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Penn Treebank tags used by the tagger. Only the subset needed by the
+// dependency parser and the extraction pipeline is produced.
+//
+//	DT determiner      NN noun            NNS plural noun   NNP proper noun
+//	VB base verb       VBD past verb      VBG gerund        VBN past part.
+//	VBZ 3sg present    VBP non-3sg pres.  MD modal          TO "to"
+//	IN preposition     PRP pronoun        PRP$ poss. pron.  CC conjunction
+//	CD number          JJ adjective       RB adverb         WDT/WP wh-words
+//	. sentence punct   , comma
+
+// lexicon maps frequent words to their most likely tag in CTI prose.
+var lexicon = map[string]string{
+	// Determiners.
+	"the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+	"these": "DT", "those": "DT", "its": "PRP$", "his": "PRP$",
+	"her": "PRP$", "their": "PRP$", "each": "DT", "every": "DT",
+	"all": "DT", "some": "DT", "any": "DT", "no": "DT", "both": "DT",
+	// Pronouns.
+	"it": "PRP", "he": "PRP", "she": "PRP", "they": "PRP", "them": "PRP",
+	"him": "PRP", "itself": "PRP", "himself": "PRP", "we": "PRP",
+	"i": "PRP", "you": "PRP", "us": "PRP", "me": "PRP",
+	// Prepositions / subordinators.
+	"of": "IN", "in": "IN", "on": "IN", "at": "IN", "from": "IN",
+	"by": "IN", "with": "IN", "as": "IN", "for": "IN", "into": "IN",
+	"onto": "IN", "through": "IN", "via": "IN", "against": "IN",
+	"after": "IN", "before": "IN", "during": "IN", "between": "IN",
+	"within": "IN", "without": "IN", "over": "IN", "under": "IN",
+	"about": "IN", "if": "IN", "because": "IN", "while": "IN",
+	"back": "RB", "out": "RP", "up": "RP", "down": "RP",
+	// to: special-cased below (TO before a verb, IN otherwise).
+	// Conjunctions.
+	"and": "CC", "or": "CC", "but": "CC", "nor": "CC",
+	// Modals and auxiliaries.
+	"can": "MD", "could": "MD", "may": "MD", "might": "MD", "will": "MD",
+	"would": "MD", "shall": "MD", "should": "MD", "must": "MD",
+	"is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD", "be": "VB",
+	"been": "VBN", "being": "VBG", "has": "VBZ", "have": "VBP",
+	"had": "VBD", "does": "VBZ", "do": "VBP", "did": "VBD",
+	// Wh-words.
+	"which": "WDT", "who": "WP", "whom": "WP", "what": "WP",
+	"where": "WRB", "when": "WRB", "how": "WRB", "why": "WRB",
+	// Adverbs common in CTI narrative.
+	"then": "RB", "finally": "RB", "first": "RB", "next": "RB",
+	"later": "RB", "subsequently": "RB", "also": "RB", "mainly": "RB",
+	"remotely": "RB", "locally": "RB", "not": "RB", "successfully": "RB",
+	// Frequent CTI verbs (past tense dominates report prose).
+	"used": "VBD", "uses": "VBZ", "use": "VB", "using": "VBG",
+	"read": "VBD", "reads": "VBZ", "reading": "VBG",
+	"wrote": "VBD", "writes": "VBZ", "write": "VB", "written": "VBN",
+	"writing":    "VBG",
+	"downloaded": "VBD", "downloads": "VBZ", "download": "VB",
+	"uploaded": "VBD", "uploads": "VBZ", "upload": "VB",
+	"executed": "VBD", "executes": "VBZ", "execute": "VB",
+	"launched": "VBD", "launches": "VBZ", "launch": "VB",
+	"connected": "VBD", "connects": "VBZ", "connect": "VB",
+	"connecting": "VBG",
+	"sent":       "VBD", "sends": "VBZ", "send": "VB",
+	"received": "VBD", "receives": "VBZ", "receive": "VB",
+	"transferred": "VBD", "transfers": "VBZ", "transfer": "VB",
+	"leaked": "VBD", "leaks": "VBZ", "leak": "VB",
+	"stole": "VBD", "steals": "VBZ", "steal": "VB", "stolen": "VBN",
+	"compressed": "VBD", "compresses": "VBZ", "compress": "VB",
+	"encrypted": "VBD", "encrypts": "VBZ", "encrypt": "VB",
+	"created": "VBD", "creates": "VBZ", "create": "VB",
+	"deleted": "VBD", "deletes": "VBZ", "delete": "VB",
+	"modified": "VBD", "modifies": "VBZ", "modify": "VB",
+	"dropped": "VBD", "drops": "VBZ", "drop": "VB",
+	"installed": "VBD", "installs": "VBZ", "install": "VB",
+	"opened": "VBD", "opens": "VBZ", "open": "VB",
+	"copied": "VBD", "copies": "VBZ", "copy": "VB",
+	"scanned": "VBD", "scans": "VBZ", "scan": "VB",
+	"ran": "VBD", "runs": "VBZ", "run": "VB",
+	"forked": "VBD", "forks": "VBZ", "fork": "VB",
+	"spawned": "VBD", "spawns": "VBZ", "spawn": "VB",
+	"exploited": "VBD", "exploits": "VBZ", "exploit": "VB",
+	"attempted": "VBD", "attempts": "VBZ", "attempt": "VB",
+	"leveraged": "VBD", "leverages": "VBZ", "leverage": "VB",
+	"gathered": "VBD", "gathers": "VBZ", "gather": "VB",
+	"exfiltrated": "VBD", "exfiltrates": "VBZ", "exfiltrate": "VB",
+	"corresponds": "VBZ", "corresponded": "VBD",
+	"involves": "VBZ", "involved": "VBD", "involve": "VB",
+	"penetrates": "VBZ", "penetrated": "VBD",
+	"contacted": "VBD", "contacts": "VBZ", "contact": "VB",
+	"accessed": "VBD", "accesses": "VBZ", "access": "VB",
+	"communicated": "VBD", "communicates": "VBZ",
+	// Frequent CTI nouns that suffix rules would mistag.
+	"attacker": "NN", "attack": "NN", "file": "NN", "files": "NNS",
+	"data": "NNS", "information": "NN", "host": "NN", "server": "NN",
+	"process": "NN", "utility": "NN", "tool": "NN", "credentials": "NNS",
+	"metadata": "NN", "address": "NN", "password": "NN", "stage": "NN",
+	"step": "NN", "behavior": "NN", "behaviors": "NNS", "details": "NNS",
+	"assets": "NNS", "victim": "NN", "image": "NN", "cracker": "NN",
+	"shadow": "NN", "text": "NN", "system": "NN", "services": "NNS",
+	"vulnerability": "NN", "penetration": "NN", "movement": "NN",
+	"compression": "NN",
+}
+
+// Tag assigns a Penn Treebank POS tag to every token in place. When
+// isPlaceholder reports a token masks an IOC, the token is tagged NN so
+// that downstream parsing treats it as a noun; pass nil when no
+// placeholders are present.
+func Tag(toks []Token, isPlaceholder func(string) bool) {
+	for i := range toks {
+		toks[i].POS = tagOne(toks, i, isPlaceholder)
+	}
+	// Contextual repair passes.
+	for i := range toks {
+		lower := strings.ToLower(toks[i].Text)
+		// "to" + verb => TO; otherwise (noun, placeholder, ...) IN.
+		if lower == "to" {
+			toks[i].POS = "IN"
+			if i+1 < len(toks) {
+				next := toks[i+1].Text
+				if (isPlaceholder == nil || !isPlaceholder(next)) && canBeBaseVerb(strings.ToLower(next)) {
+					toks[i].POS = "TO"
+				}
+			}
+		}
+	}
+	for i := range toks {
+		// Past participle after has/have/had/was/were/been => VBN.
+		if toks[i].POS == "VBD" && i > 0 {
+			for j := i - 1; j >= 0 && j >= i-3; j-- {
+				prev := strings.ToLower(toks[j].Text)
+				if prev == "has" || prev == "have" || prev == "had" ||
+					prev == "was" || prev == "were" || prev == "been" || prev == "being" {
+					toks[i].POS = "VBN"
+					break
+				}
+				if toks[j].POS != "RB" {
+					break
+				}
+			}
+		}
+		// Noun directly after a determiner or possessive cannot be a verb:
+		// "the read operation".
+		if i > 0 && (toks[i-1].POS == "DT" || toks[i-1].POS == "PRP$") &&
+			strings.HasPrefix(toks[i].POS, "VB") {
+			toks[i].POS = "NN"
+		}
+		// Base verb after TO stays VB.
+		if i > 0 && toks[i-1].POS == "TO" && strings.HasPrefix(toks[i].POS, "VB") {
+			toks[i].POS = "VB"
+		}
+	}
+}
+
+// canBeBaseVerb reports whether a word plausibly heads an infinitive.
+func canBeBaseVerb(w string) bool {
+	if tag, ok := lexicon[w]; ok {
+		return strings.HasPrefix(tag, "VB") || tag == "MD"
+	}
+	// Unknown words after "to" in CTI prose are usually verbs
+	// ("to beacon", "to pivot") unless capitalized or numeric.
+	if w == "" {
+		return false
+	}
+	r := rune(w[0])
+	return unicode.IsLower(r)
+}
+
+func tagOne(toks []Token, i int, isPlaceholder func(string) bool) string {
+	text := toks[i].Text
+	if isPlaceholder != nil && isPlaceholder(text) {
+		return "NN"
+	}
+	if text == "," {
+		return ","
+	}
+	if text == "." || text == "!" || text == "?" || text == ";" || text == ":" {
+		return "."
+	}
+	if toks[i].IsPunct() {
+		return "SYM"
+	}
+	lower := strings.ToLower(text)
+	if tag, ok := lexicon[lower]; ok {
+		return tag
+	}
+	if isNumeric(text) {
+		return "CD"
+	}
+	// Capitalized mid-sentence => proper noun.
+	if i > 0 && unicode.IsUpper(rune(text[0])) {
+		return "NNP"
+	}
+	// Suffix heuristics.
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return "RB"
+	case strings.HasSuffix(lower, "ing") && len(lower) > 4:
+		return "VBG"
+	case strings.HasSuffix(lower, "ed") && len(lower) > 3:
+		return "VBD"
+	case strings.HasSuffix(lower, "able") || strings.HasSuffix(lower, "ible"),
+		strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ive"),
+		strings.HasSuffix(lower, "ful"), strings.HasSuffix(lower, "al") && len(lower) > 4:
+		return "JJ"
+	case strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") && len(lower) > 3:
+		return "NNS"
+	}
+	if i == 0 && unicode.IsUpper(rune(text[0])) {
+		return "NN" // sentence-initial capital is ambiguous; default noun
+	}
+	return "NN"
+}
+
+func isNumeric(s string) bool {
+	digits := 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case r == '.' || r == ',' || r == '-' || r == '%':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

@@ -1,0 +1,109 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func tagged(t *testing.T, sentence string) []Token {
+	t.Helper()
+	toks := Tokenize(sentence)
+	Tag(toks, func(s string) bool { return strings.HasPrefix(s, "something") })
+	return toks
+}
+
+func tagOf(toks []Token, text string) string {
+	for _, t := range toks {
+		if t.Text == text {
+			return t.POS
+		}
+	}
+	return ""
+}
+
+func TestTagBasicSentence(t *testing.T) {
+	toks := tagged(t, "The attacker used something0 to read user credentials from something1.")
+	checks := map[string]string{
+		"The": "DT", "attacker": "NN", "used": "VBD", "something0": "NN",
+		"to": "TO", "read": "VB", "credentials": "NNS", "from": "IN",
+		"something1": "NN", ".": ".",
+	}
+	for text, want := range checks {
+		if got := tagOf(toks, text); got != want {
+			t.Errorf("tag(%q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestTagToPreposition(t *testing.T) {
+	toks := tagged(t, "It wrote the gathered information to something0.")
+	if got := tagOf(toks, "to"); got != "IN" {
+		t.Errorf("'to' before noun should be IN, got %q", got)
+	}
+	if got := tagOf(toks, "wrote"); got != "VBD" {
+		t.Errorf("wrote = %q", got)
+	}
+	if got := tagOf(toks, "gathered"); got == "VBD" {
+		t.Errorf("prenominal 'gathered' should not be VBD, got %q", got)
+	}
+}
+
+func TestTagPronoun(t *testing.T) {
+	toks := tagged(t, "It wrote the data.")
+	if got := tagOf(toks, "It"); got != "PRP" {
+		t.Errorf("It = %q", got)
+	}
+}
+
+func TestTagPastParticiple(t *testing.T) {
+	toks := tagged(t, "The file was encrypted by the tool.")
+	if got := tagOf(toks, "encrypted"); got != "VBN" {
+		t.Errorf("encrypted after was = %q, want VBN", got)
+	}
+}
+
+func TestTagNumbers(t *testing.T) {
+	toks := tagged(t, "He opened 42 files.")
+	if got := tagOf(toks, "42"); got != "CD" {
+		t.Errorf("42 = %q", got)
+	}
+}
+
+func TestTagProperNoun(t *testing.T) {
+	toks := tagged(t, "The attacker used GnuPG yesterday.")
+	if got := tagOf(toks, "GnuPG"); got != "NNP" {
+		t.Errorf("GnuPG = %q", got)
+	}
+}
+
+func TestTagDeterminerBlocksVerb(t *testing.T) {
+	toks := tagged(t, "The read operation failed.")
+	if got := tagOf(toks, "read"); strings.HasPrefix(got, "VB") {
+		t.Errorf("'the read' should not be a verb, got %q", got)
+	}
+}
+
+func TestTagSuffixRules(t *testing.T) {
+	toks := tagged(t, "the malware quickly beaconing outward")
+	if got := tagOf(toks, "quickly"); got != "RB" {
+		t.Errorf("quickly = %q", got)
+	}
+	if got := tagOf(toks, "beaconing"); got != "VBG" && got != "NN" {
+		t.Errorf("beaconing = %q", got)
+	}
+}
+
+func TestTagPlaceholderIsNoun(t *testing.T) {
+	toks := tagged(t, "something7 connected to something8.")
+	if got := tagOf(toks, "something7"); got != "NN" {
+		t.Errorf("placeholder = %q, want NN", got)
+	}
+}
+
+func TestTagNilPlaceholderFunc(t *testing.T) {
+	toks := Tokenize("The tool ran.")
+	Tag(toks, nil)
+	if toks[0].POS == "" {
+		t.Error("tags not assigned with nil placeholder func")
+	}
+}

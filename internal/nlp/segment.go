@@ -1,0 +1,111 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// SegmentBlocks splits a document into natural blocks (paragraphs),
+// separated by one or more blank lines. Surrounding whitespace is
+// trimmed; empty blocks are dropped. Single line breaks within a
+// paragraph are preserved as spaces.
+func SegmentBlocks(document string) []string {
+	var blocks []string
+	for _, raw := range strings.Split(document, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			if n := len(blocks); n > 0 && blocks[n-1] != "" {
+				blocks = append(blocks, "")
+			}
+			continue
+		}
+		if n := len(blocks); n > 0 && blocks[n-1] != "" {
+			blocks[n-1] += " " + line
+		} else {
+			blocks = append(blocks, line)
+		}
+	}
+	out := blocks[:0]
+	for _, b := range blocks {
+		if b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SegmentSentences splits a block into sentences. A sentence boundary is
+// a '.', '!' or '?' followed by whitespace and an uppercase letter, a
+// digit, or end of text. Common abbreviations ("e.g.", "i.e.", "etc.")
+// do not end sentences. This segmenter is intended to run on
+// IOC-protected text, where dots inside IOCs have been masked.
+func SegmentSentences(block string) []string {
+	var sents []string
+	start := 0
+	runes := []rune(block)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		// Look back for an abbreviation.
+		if r == '.' && isAbbreviation(runes, i) {
+			continue
+		}
+		// Consume any run of closing punctuation after the terminator.
+		j := i + 1
+		for j < len(runes) && (runes[j] == '"' || runes[j] == ')' || runes[j] == '\'') {
+			j++
+		}
+		if j >= len(runes) {
+			sents = appendSentence(sents, string(runes[start:j]))
+			start = j
+			i = j - 1
+			continue
+		}
+		if !unicode.IsSpace(runes[j]) {
+			continue
+		}
+		// Skip whitespace; check the next visible character.
+		k := j
+		for k < len(runes) && unicode.IsSpace(runes[k]) {
+			k++
+		}
+		if k >= len(runes) || unicode.IsUpper(runes[k]) || unicode.IsDigit(runes[k]) || runes[k] == '/' {
+			sents = appendSentence(sents, string(runes[start:j]))
+			start = k
+			i = k - 1
+		}
+	}
+	if start < len(runes) {
+		sents = appendSentence(sents, string(runes[start:]))
+	}
+	return sents
+}
+
+func appendSentence(sents []string, s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sents
+	}
+	return append(sents, s)
+}
+
+// isAbbreviation reports whether the '.' at position i terminates a known
+// abbreviation or a single initial.
+func isAbbreviation(runes []rune, i int) bool {
+	start := i
+	for start > 0 && (unicode.IsLetter(runes[start-1]) || runes[start-1] == '.') {
+		start--
+	}
+	word := strings.ToLower(string(runes[start : i+1]))
+	switch word {
+	case "e.g.", "i.e.", "etc.", "vs.", "mr.", "ms.", "dr.", "fig.", "cf.", "al.", "no.":
+		return true
+	}
+	// Single-letter initial: "C." in "C. elegans".
+	if i-start == 1 && unicode.IsLetter(runes[start]) {
+		return true
+	}
+	return false
+}

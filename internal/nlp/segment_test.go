@@ -1,0 +1,65 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSegmentBlocks(t *testing.T) {
+	doc := "Para one line one.\nPara one line two.\n\nPara two.\n\n\nPara three."
+	blocks := SegmentBlocks(doc)
+	if len(blocks) != 3 {
+		t.Fatalf("want 3 blocks, got %d: %v", len(blocks), blocks)
+	}
+	if blocks[0] != "Para one line one. Para one line two." {
+		t.Errorf("block 0 = %q", blocks[0])
+	}
+	if blocks[2] != "Para three." {
+		t.Errorf("block 2 = %q", blocks[2])
+	}
+}
+
+func TestSegmentBlocksEmpty(t *testing.T) {
+	if got := SegmentBlocks(""); len(got) != 0 {
+		t.Errorf("empty doc: %v", got)
+	}
+	if got := SegmentBlocks("\n\n\n"); len(got) != 0 {
+		t.Errorf("blank doc: %v", got)
+	}
+}
+
+func TestSegmentSentences(t *testing.T) {
+	block := "The attacker used something0 to read credentials. It wrote the data to something1. Then the attacker leveraged something2!"
+	sents := SegmentSentences(block)
+	if len(sents) != 3 {
+		t.Fatalf("want 3 sentences, got %d: %v", len(sents), sents)
+	}
+	if !strings.HasPrefix(sents[1], "It wrote") {
+		t.Errorf("sentence 1 = %q", sents[1])
+	}
+}
+
+func TestSegmentSentencesAbbreviations(t *testing.T) {
+	block := "Tools (e.g. tar) were used. The end."
+	sents := SegmentSentences(block)
+	if len(sents) != 2 {
+		t.Fatalf("abbreviation split: %v", sents)
+	}
+}
+
+func TestSegmentSentencesNoTerminator(t *testing.T) {
+	sents := SegmentSentences("no terminator here")
+	if len(sents) != 1 || sents[0] != "no terminator here" {
+		t.Errorf("got %v", sents)
+	}
+}
+
+func TestSegmentSentencesProtectedText(t *testing.T) {
+	// After IOC protection no dots remain inside IOCs; a sentence
+	// starting with a digit is still a boundary.
+	block := "The host connected to something0. 192 connections followed."
+	sents := SegmentSentences(block)
+	if len(sents) != 2 {
+		t.Errorf("got %v", sents)
+	}
+}

@@ -1,0 +1,127 @@
+// Package nlp is a lightweight, dependency-free natural-language
+// processing toolkit. It substitutes for spaCy in ThreatRaptor's threat
+// behavior extraction pipeline, providing exactly the interfaces the
+// pipeline needs: tokenization, sentence and block segmentation,
+// part-of-speech tagging, lemmatization, dependency parsing, and word
+// vectors. The components are rule- and lexicon-based, tuned for the
+// declarative past-tense prose of cyber threat intelligence reports.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token of a sentence with its offsets into the original
+// text and the annotations added by later pipeline stages.
+type Token struct {
+	Text  string
+	Start int // byte offset in the sentence
+	End   int
+	POS   string // Penn Treebank tag, set by Tagger
+	Lemma string // set by Lemmatize
+}
+
+// IsPunct reports whether the token is pure punctuation.
+func (t Token) IsPunct() bool {
+	for _, r := range t.Text {
+		if !unicode.IsPunct(r) && !unicode.IsSymbol(r) {
+			return false
+		}
+	}
+	return len(t.Text) > 0
+}
+
+// Tokenize splits a sentence into tokens. Leading/trailing punctuation is
+// separated from words; internal punctuation (hyphens, protected-IOC
+// underscores, decimal points inside numbers) is kept so that placeholder
+// tokens survive intact. This tokenizer is intended to run on
+// IOC-protected text, where the security-specific nuances (dots and
+// slashes inside IOCs) have already been masked.
+func Tokenize(sentence string) []Token {
+	var toks []Token
+	i := 0
+	n := len(sentence)
+	for i < n {
+		// Skip whitespace.
+		for i < n && isSpace(sentence[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !isSpace(sentence[i]) {
+			i++
+		}
+		word := sentence[start:i]
+		toks = append(toks, splitWord(word, start)...)
+	}
+	return toks
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// splitWord separates leading and trailing punctuation from a
+// whitespace-delimited chunk, and splits contractions.
+func splitWord(word string, offset int) []Token {
+	var toks []Token
+	// Peel leading punctuation.
+	start := 0
+	for start < len(word) && isSplitPunct(word[start]) {
+		toks = append(toks, Token{Text: string(word[start]), Start: offset + start, End: offset + start + 1})
+		start++
+	}
+	// Peel trailing punctuation (collect, then emit after the core).
+	end := len(word)
+	var trail []Token
+	for end > start && isSplitPunct(word[end-1]) {
+		trail = append([]Token{{Text: string(word[end-1]), Start: offset + end - 1, End: offset + end}}, trail...)
+		end--
+	}
+	core := word[start:end]
+	if core != "" {
+		// Split simple contractions: "attacker's" -> attacker 's.
+		if i := strings.LastIndex(core, "'"); i > 0 && i < len(core)-1 {
+			suffix := strings.ToLower(core[i:])
+			if suffix == "'s" || suffix == "'re" || suffix == "'ve" || suffix == "'ll" || suffix == "'d" || suffix == "n't" {
+				toks = append(toks,
+					Token{Text: core[:i], Start: offset + start, End: offset + start + i},
+					Token{Text: core[i:], Start: offset + start + i, End: offset + end})
+				return append(toks, trail...)
+			}
+		}
+		toks = append(toks, Token{Text: core, Start: offset + start, End: offset + end})
+	}
+	return append(toks, trail...)
+}
+
+// isSplitPunct reports punctuation that should be its own token when at a
+// word boundary. Characters common inside IOC placeholders and numbers
+// (underscore, hyphen) are excluded.
+func isSplitPunct(c byte) bool {
+	switch c {
+	case '.', ',', ';', ':', '!', '?', '(', ')', '[', ']', '{', '}', '"', '\'':
+		return true
+	}
+	return false
+}
+
+// Stopwords is the default English stopword set used by tree
+// simplification and IOC merging.
+var Stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "this": true, "that": true,
+	"these": true, "those": true, "it": true, "its": true, "he": true,
+	"she": true, "they": true, "them": true, "his": true, "her": true,
+	"their": true, "is": true, "are": true, "was": true, "were": true,
+	"be": true, "been": true, "being": true, "of": true, "in": true,
+	"on": true, "at": true, "to": true, "from": true, "by": true,
+	"with": true, "as": true, "for": true, "and": true, "or": true,
+	"but": true, "then": true, "which": true, "who": true, "whom": true,
+	"what": true, "where": true, "when": true, "how": true, "not": true,
+	"no": true, "also": true, "both": true, "each": true, "into": true,
+	"after": true, "before": true, "during": true, "between": true,
+	"finally": true, "first": true, "next": true, "later": true,
+}

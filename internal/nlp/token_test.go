@@ -1,0 +1,108 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("The attacker used something0 to read credentials.")
+	want := []string{"The", "attacker", "used", "something0", "to", "read", "credentials", "."}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePunctuation(t *testing.T) {
+	toks := Tokenize(`He said: "run it now" (quickly).`)
+	got := strings.Join(texts(toks), "|")
+	want := `He|said|:|"|run|it|now|"|(|quickly|)|.`
+	if got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestTokenizeContraction(t *testing.T) {
+	toks := Tokenize("the attacker's C2 host")
+	got := texts(toks)
+	if got[1] != "attacker" || got[2] != "'s" {
+		t.Errorf("contraction split wrong: %v", got)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	s := "ab cd."
+	toks := Tokenize(s)
+	for _, tok := range toks {
+		if s[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offsets wrong for %q: [%d,%d)", tok.Text, tok.Start, tok.End)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize("   "); len(got) != 0 {
+		t.Errorf("whitespace-only input: %v", got)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+}
+
+func TestTokenizeKeepsPlaceholders(t *testing.T) {
+	toks := Tokenize("something12, and something3.")
+	got := texts(toks)
+	want := []string{"something12", ",", "and", "something3", "."}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property: concatenating token texts preserves all non-space characters
+// in order.
+func TestTokenizeLosslessProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to printable ASCII for a meaningful comparison.
+		var in strings.Builder
+		for _, r := range s {
+			if r >= ' ' && r < 127 {
+				in.WriteRune(r)
+			}
+		}
+		src := in.String()
+		toks := Tokenize(src)
+		var joined strings.Builder
+		for _, tok := range toks {
+			joined.WriteString(tok.Text)
+		}
+		stripped := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' {
+				return -1
+			}
+			return r
+		}, src)
+		return joined.String() == stripped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPunct(t *testing.T) {
+	if !(Token{Text: "."}).IsPunct() || !(Token{Text: "()"}).IsPunct() {
+		t.Error("punct not detected")
+	}
+	if (Token{Text: "a."}).IsPunct() || (Token{Text: ""}).IsPunct() {
+		t.Error("non-punct misdetected")
+	}
+}

@@ -1,0 +1,60 @@
+package nlp
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// VecDim is the dimensionality of the hashed character-n-gram word
+// vectors. The vectors substitute for spaCy's pretrained embeddings in
+// the IOC merge step: words sharing many character n-grams (e.g.
+// "upload.tar" and "/tmp/upload.tar") get high cosine similarity.
+const VecDim = 64
+
+// WordVec is a dense embedding of a word.
+type WordVec [VecDim]float64
+
+// Embed computes the hashed character-n-gram vector (n = 2..4) of a word,
+// L2-normalised. The word is lowercased and padded with boundary markers
+// so prefixes and suffixes are distinguished from internal n-grams.
+func Embed(word string) WordVec {
+	var v WordVec
+	w := "^" + strings.ToLower(word) + "$"
+	for n := 2; n <= 4; n++ {
+		if len(w) < n {
+			break
+		}
+		for i := 0; i+n <= len(w); i++ {
+			h := fnv.New32a()
+			h.Write([]byte(w[i : i+n]))
+			v[h.Sum32()%VecDim]++
+		}
+	}
+	norm := 0.0
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two vectors in [−1, 1]; for
+// Embed outputs the range is [0, 1].
+func Cosine(a, b WordVec) float64 {
+	dot := 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// Similarity is a convenience for Cosine(Embed(a), Embed(b)).
+func Similarity(a, b string) float64 {
+	return Cosine(Embed(a), Embed(b))
+}

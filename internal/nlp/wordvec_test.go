@@ -1,0 +1,64 @@
+package nlp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedNormalised(t *testing.T) {
+	v := Embed("upload.tar")
+	norm := 0.0
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("norm = %f", norm)
+	}
+}
+
+func TestSimilaritySelf(t *testing.T) {
+	if s := Similarity("upload.tar", "upload.tar"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self similarity = %f", s)
+	}
+}
+
+func TestSimilarityRelatedVsUnrelated(t *testing.T) {
+	related := Similarity("/tmp/upload.tar", "upload.tar")
+	unrelated := Similarity("/tmp/upload.tar", "192.168.29.128")
+	if related <= unrelated {
+		t.Errorf("related %f should exceed unrelated %f", related, unrelated)
+	}
+	if related < 0.5 {
+		t.Errorf("related similarity too low: %f", related)
+	}
+}
+
+func TestSimilarityCaseInsensitive(t *testing.T) {
+	if s := Similarity("GnuPG", "gnupg"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("case-insensitive similarity = %f", s)
+	}
+}
+
+// Property: similarity is symmetric and bounded.
+func TestSimilarityProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1, s2 := Similarity(a, b), Similarity(b, a)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= -1e-9 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbedEmpty(t *testing.T) {
+	v := Embed("")
+	// "^$" still has one 2-gram, so the vector is nonzero and normalised.
+	norm := 0.0
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("empty-word norm = %f", norm)
+	}
+}

@@ -1,0 +1,119 @@
+// Package provenance implements provenance-aware processing of system
+// audit events, most importantly Causality Preserved Reduction (CPR, Xu et
+// al., CCS'16), which ThreatRaptor applies before storage to merge
+// excessive events between the same pair of entities while preserving the
+// forward- and backward-trackability needed by causality analysis.
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/audit"
+)
+
+// CPRStats summarises one reduction run.
+type CPRStats struct {
+	In      int // events before reduction
+	Out     int // events after reduction
+	Merged  int // events absorbed into an earlier event
+	Streams int // distinct (subject, object, operation) streams observed
+}
+
+// ReductionFactor returns In/Out, the metric reported by the CPR paper.
+func (s CPRStats) ReductionFactor() float64 {
+	if s.Out == 0 {
+		if s.In == 0 {
+			return 1
+		}
+		return float64(s.In)
+	}
+	return float64(s.In) / float64(s.Out)
+}
+
+// Reduce applies Causality Preserved Reduction to events. Two events in
+// the same ⟨subject, object, operation⟩ stream are merged when doing so
+// cannot change the result of any forward or backward causality query:
+//
+//   - the subject must have no *inbound* event (an event whose object is
+//     the subject) strictly inside the gap between the two events —
+//     otherwise merging would backdate the subject's post-gap activity to
+//     before its state could have changed (backward trackability);
+//   - the object must have no *outbound* event (an event whose subject is
+//     the object) strictly inside the gap — otherwise merging would extend
+//     data flow into the object past a point where the object already
+//     propagated its state onward (forward trackability).
+//
+// Merged events keep the earliest start time, the latest end time, and
+// the summed amount. Input order is not modified; the returned slice is
+// sorted by start time. Events are not mutated; merged events are copies.
+func Reduce(events []*audit.Event) ([]*audit.Event, CPRStats) {
+	stats := CPRStats{In: len(events)}
+	if len(events) == 0 {
+		return nil, stats
+	}
+
+	// Timelines of inbound event times per entity (entity is the object)
+	// and outbound event times per entity (entity is the subject).
+	inbound := make(map[int64][]int64)
+	outbound := make(map[int64][]int64)
+	for _, ev := range events {
+		outbound[ev.SrcID] = append(outbound[ev.SrcID], ev.StartTime)
+		inbound[ev.DstID] = append(inbound[ev.DstID], ev.StartTime)
+	}
+	for _, ts := range inbound {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	for _, ts := range outbound {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+
+	// anyIn reports whether ts contains a value in the open interval
+	// (lo, hi).
+	anyIn := func(ts []int64, lo, hi int64) bool {
+		i := sort.Search(len(ts), func(i int) bool { return ts[i] > lo })
+		return i < len(ts) && ts[i] < hi
+	}
+
+	type streamKey struct {
+		src, dst int64
+		op       audit.OpType
+	}
+	streams := make(map[streamKey][]*audit.Event)
+	var order []streamKey
+	for _, ev := range events {
+		k := streamKey{ev.SrcID, ev.DstID, ev.Op}
+		if _, seen := streams[k]; !seen {
+			order = append(order, k)
+		}
+		streams[k] = append(streams[k], ev)
+	}
+	stats.Streams = len(streams)
+
+	var out []*audit.Event
+	for _, k := range order {
+		evs := streams[k]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].StartTime < evs[j].StartTime })
+		cur := *evs[0] // copy; never mutate caller's events
+		for _, ev := range evs[1:] {
+			gapLo, gapHi := cur.EndTime, ev.StartTime
+			mergeable := gapHi <= gapLo ||
+				(!anyIn(inbound[k.src], gapLo, gapHi) && !anyIn(outbound[k.dst], gapLo, gapHi))
+			if mergeable {
+				if ev.EndTime > cur.EndTime {
+					cur.EndTime = ev.EndTime
+				}
+				cur.Amount += ev.Amount
+				stats.Merged++
+				continue
+			}
+			c := cur
+			out = append(out, &c)
+			cur = *ev
+		}
+		c := cur
+		out = append(out, &c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartTime < out[j].StartTime })
+	stats.Out = len(out)
+	return out, stats
+}

@@ -1,0 +1,214 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audit"
+)
+
+func ev(id, src, dst int64, op audit.OpType, start, end, amount int64) *audit.Event {
+	return &audit.Event{ID: id, SrcID: src, DstID: dst, Op: op,
+		StartTime: start, EndTime: end, Amount: amount, Host: "h"}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	out, stats := Reduce(nil)
+	if out != nil || stats.In != 0 || stats.Out != 0 {
+		t.Errorf("empty reduce: %v %+v", out, stats)
+	}
+	if stats.ReductionFactor() != 1 {
+		t.Errorf("empty reduction factor = %v", stats.ReductionFactor())
+	}
+}
+
+func TestReduceMergesBurst(t *testing.T) {
+	// A burst of writes from proc 1 to file 2 with no interleaving
+	// activity collapses into one event.
+	var evs []*audit.Event
+	for i := int64(0); i < 10; i++ {
+		evs = append(evs, ev(i+1, 1, 2, audit.OpWrite, i*100, i*100+50, 10))
+	}
+	out, stats := Reduce(evs)
+	if len(out) != 1 {
+		t.Fatalf("want 1 merged event, got %d", len(out))
+	}
+	m := out[0]
+	if m.StartTime != 0 || m.EndTime != 950 || m.Amount != 100 {
+		t.Errorf("merged event = start %d end %d amount %d", m.StartTime, m.EndTime, m.Amount)
+	}
+	if stats.Merged != 9 || stats.In != 10 || stats.Out != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if f := stats.ReductionFactor(); f != 10 {
+		t.Errorf("reduction factor = %v, want 10", f)
+	}
+}
+
+func TestReducePreservesForwardTrackability(t *testing.T) {
+	// proc 1 writes file 2 twice, but file 2 is read by proc 3 between
+	// the writes (an outbound event of the object). Merging would extend
+	// the first write past the read, corrupting forward tracking, so the
+	// writes must NOT merge.
+	evs := []*audit.Event{
+		ev(1, 1, 2, audit.OpWrite, 0, 10, 5),
+		ev(2, 2, 9, audit.OpSend, 50, 60, 1), // object 2 propagates state onward
+		ev(3, 1, 2, audit.OpWrite, 100, 110, 5),
+	}
+	out, _ := Reduce(evs)
+	writes := 0
+	for _, e := range out {
+		if e.Op == audit.OpWrite {
+			writes++
+		}
+	}
+	if writes != 2 {
+		t.Errorf("writes merged across object outbound event: got %d write events", writes)
+	}
+}
+
+func TestReducePreservesBackwardTrackability(t *testing.T) {
+	// proc 1 reads file 2 twice, but proc 1 receives data (inbound event)
+	// between the reads. Merging would backdate the second read to before
+	// proc 1's state changed, so the reads must NOT merge.
+	evs := []*audit.Event{
+		ev(1, 1, 2, audit.OpRead, 0, 10, 5),
+		ev(2, 9, 1, audit.OpFork, 50, 60, 0), // subject 1 gains new provenance
+		ev(3, 1, 2, audit.OpRead, 100, 110, 5),
+	}
+	out, _ := Reduce(evs)
+	reads := 0
+	for _, e := range out {
+		if e.Op == audit.OpRead {
+			reads++
+		}
+	}
+	if reads != 2 {
+		t.Errorf("reads merged across subject inbound event: got %d read events", reads)
+	}
+}
+
+func TestReduceDifferentOpsNotMerged(t *testing.T) {
+	evs := []*audit.Event{
+		ev(1, 1, 2, audit.OpRead, 0, 10, 5),
+		ev(2, 1, 2, audit.OpWrite, 20, 30, 5),
+	}
+	out, _ := Reduce(evs)
+	if len(out) != 2 {
+		t.Errorf("read and write merged: got %d events", len(out))
+	}
+}
+
+func TestReduceOverlappingEventsMerge(t *testing.T) {
+	// Overlapping events in the same stream always merge (empty gap).
+	evs := []*audit.Event{
+		ev(1, 1, 2, audit.OpWrite, 0, 100, 5),
+		ev(2, 3, 1, audit.OpFork, 50, 55, 0), // inside the first event, not in a gap
+		ev(3, 1, 2, audit.OpWrite, 80, 120, 5),
+	}
+	out, _ := Reduce(evs)
+	writes := 0
+	for _, e := range out {
+		if e.Op == audit.OpWrite {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Errorf("overlapping writes should merge: got %d", writes)
+	}
+}
+
+func TestReduceDoesNotMutateInput(t *testing.T) {
+	e1 := ev(1, 1, 2, audit.OpWrite, 0, 10, 5)
+	e2 := ev(2, 1, 2, audit.OpWrite, 20, 30, 7)
+	Reduce([]*audit.Event{e1, e2})
+	if e1.Amount != 5 || e1.EndTime != 10 || e2.Amount != 7 {
+		t.Error("Reduce mutated input events")
+	}
+}
+
+func TestReduceOutputSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var evs []*audit.Event
+	for i := 0; i < 500; i++ {
+		src := int64(1 + rng.Intn(5))
+		dst := int64(10 + rng.Intn(5))
+		st := rng.Int63n(10000)
+		evs = append(evs, ev(int64(i), src, dst, audit.OpWrite, st, st+5, 1))
+	}
+	out, _ := Reduce(evs)
+	for i := 1; i < len(out); i++ {
+		if out[i].StartTime < out[i-1].StartTime {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+}
+
+// Property: reduction preserves total amount and never increases event
+// count; every output stream's amount equals the input stream's amount.
+func TestReduceConservationProperty(t *testing.T) {
+	type key struct {
+		src, dst int64
+		op       audit.OpType
+	}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []*audit.Event
+		for i := 0; i < int(n); i++ {
+			st := rng.Int63n(1000)
+			evs = append(evs, ev(int64(i), int64(1+rng.Intn(4)), int64(5+rng.Intn(4)),
+				audit.OpType([]audit.OpType{audit.OpRead, audit.OpWrite}[rng.Intn(2)]),
+				st, st+rng.Int63n(50), rng.Int63n(100)))
+		}
+		inAmt := make(map[key]int64)
+		for _, e := range evs {
+			inAmt[key{e.SrcID, e.DstID, e.Op}] += e.Amount
+		}
+		out, stats := Reduce(evs)
+		if len(out) > len(evs) || stats.Out != len(out) || stats.In != len(evs) {
+			return false
+		}
+		outAmt := make(map[key]int64)
+		for _, e := range out {
+			outAmt[key{e.SrcID, e.DstID, e.Op}] += e.Amount
+			if e.EndTime < e.StartTime {
+				return false
+			}
+		}
+		if len(inAmt) != len(outAmt) {
+			return len(evs) == 0
+		}
+		for k, v := range inAmt {
+			if outAmt[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: idempotence — reducing a reduced stream changes nothing.
+func TestReduceIdempotentProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []*audit.Event
+		for i := 0; i < int(n); i++ {
+			st := rng.Int63n(500)
+			evs = append(evs, ev(int64(i), int64(1+rng.Intn(3)), int64(4+rng.Intn(3)),
+				audit.OpWrite, st, st+rng.Int63n(20), 1))
+		}
+		once, _ := Reduce(evs)
+		twice, stats := Reduce(once)
+		if stats.Merged != 0 || len(twice) != len(once) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

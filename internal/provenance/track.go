@@ -1,0 +1,133 @@
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/audit"
+)
+
+// Direction selects backward (root-cause) or forward (impact) tracking.
+type Direction int
+
+// Tracking directions.
+const (
+	// Backward follows information flow upstream from a point of
+	// interest: "what led to this?"
+	Backward Direction = iota
+	// Forward follows information flow downstream: "what did this
+	// affect?"
+	Forward
+)
+
+// TrackOptions bounds a causality tracking run.
+type TrackOptions struct {
+	Direction Direction
+	// MaxDepth bounds the number of causal hops (0 = unlimited).
+	MaxDepth int
+	// MaxEvents stops the expansion after this many events were added
+	// (0 = unlimited).
+	MaxEvents int
+	// At is the reference time (unix ns). Backward tracking only follows
+	// events that ended at or before it; forward tracking events that
+	// started at or after it. Zero disables the initial time bound.
+	At int64
+}
+
+// Subgraph is the causal subgraph reached by a tracking run.
+type Subgraph struct {
+	EntityIDs map[int64]bool
+	Events    []*audit.Event
+}
+
+// flow returns the information-flow direction of an event as (from, to)
+// entity IDs. Reads and receives flow object→subject; writes, sends,
+// forks, and control operations flow subject→object.
+func flow(ev *audit.Event) (from, to int64) {
+	switch ev.Op {
+	case audit.OpRead, audit.OpRecv, audit.OpAccept, audit.OpExecute:
+		return ev.DstID, ev.SrcID
+	default:
+		return ev.SrcID, ev.DstID
+	}
+}
+
+// Track computes the causal subgraph of a point-of-interest entity over
+// an event history, enforcing temporal causality: backward tracking
+// follows chains of events with non-increasing time (an event can only
+// have caused the POI state if it happened before the flow it feeds),
+// and forward tracking the reverse.
+//
+// The events slice is not modified. The returned events are sorted by
+// start time.
+func Track(events []*audit.Event, poi int64, opt TrackOptions) *Subgraph {
+	// Index events by flow endpoint.
+	byTo := make(map[int64][]*audit.Event)
+	byFrom := make(map[int64][]*audit.Event)
+	for _, ev := range events {
+		from, to := flow(ev)
+		byTo[to] = append(byTo[to], ev)
+		byFrom[from] = append(byFrom[from], ev)
+	}
+
+	sg := &Subgraph{EntityIDs: map[int64]bool{poi: true}}
+	seenEvent := map[int64]bool{}
+
+	type frontier struct {
+		entity int64
+		bound  int64 // time bound for admissible events
+		depth  int
+	}
+	initBound := opt.At
+	if initBound == 0 {
+		if opt.Direction == Backward {
+			initBound = int64(^uint64(0) >> 1) // max int64
+		} else {
+			initBound = 0
+		}
+	}
+	queue := []frontier{{entity: poi, bound: initBound, depth: 0}}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if opt.MaxDepth > 0 && cur.depth >= opt.MaxDepth {
+			continue
+		}
+		var cands []*audit.Event
+		if opt.Direction == Backward {
+			cands = byTo[cur.entity]
+		} else {
+			cands = byFrom[cur.entity]
+		}
+		for _, ev := range cands {
+			if opt.MaxEvents > 0 && len(sg.Events) >= opt.MaxEvents {
+				break
+			}
+			var next int64
+			var nextBound int64
+			if opt.Direction == Backward {
+				if ev.EndTime > cur.bound {
+					continue // happened after the state it would explain
+				}
+				next, _ = flow(ev)
+				nextBound = ev.StartTime
+			} else {
+				if ev.StartTime < cur.bound {
+					continue // happened before the state it would carry
+				}
+				_, next = flow(ev)
+				nextBound = ev.EndTime
+			}
+			if !seenEvent[ev.ID] {
+				seenEvent[ev.ID] = true
+				sg.Events = append(sg.Events, ev)
+			}
+			if !sg.EntityIDs[next] {
+				sg.EntityIDs[next] = true
+				queue = append(queue, frontier{entity: next, bound: nextBound, depth: cur.depth + 1})
+			}
+		}
+	}
+	sort.Slice(sg.Events, func(i, j int) bool { return sg.Events[i].StartTime < sg.Events[j].StartTime })
+	return sg
+}

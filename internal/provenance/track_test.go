@@ -1,0 +1,154 @@
+package provenance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/audit/gen"
+)
+
+// leakageHistory parses the data-leakage workload and returns the parser
+// (for entity lookup) and its events.
+func leakageHistory(t *testing.T, benign int) *audit.Parser {
+	t.Helper()
+	w := gen.Generate(gen.Config{Seed: 5, BenignEvents: benign,
+		Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 10 * time.Minute}}})
+	p := audit.NewParser()
+	for _, r := range w.Records {
+		if _, err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func findEntity(p *audit.Parser, pred func(*audit.Entity) bool) *audit.Entity {
+	for _, e := range p.Entities() {
+		if pred(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestBackwardTrackFromC2(t *testing.T) {
+	p := leakageHistory(t, 1000)
+	c2 := findEntity(p, func(e *audit.Entity) bool {
+		return e.Type == audit.EntityNetConn && e.DstIP == gen.C2IP && e.DstPort == 443
+	})
+	if c2 == nil {
+		t.Fatal("no C2 connection entity")
+	}
+	sg := Track(p.Events(), c2.ID, TrackOptions{Direction: Backward})
+
+	wantNames := []string{"/usr/bin/curl", "/tmp/upload", "/usr/bin/gpg",
+		"/tmp/upload.tar.bz2", "/bin/bzip2", "/tmp/upload.tar", "/bin/tar",
+		"/etc/passwd", "/bin/bash", "/usr/sbin/apache2"}
+	have := map[string]bool{}
+	for id := range sg.EntityIDs {
+		if e := p.EntityByID(id); e != nil {
+			have[e.Name()] = true
+		}
+	}
+	for _, w := range wantNames {
+		if !have[w] {
+			t.Errorf("backward track missing %q", w)
+		}
+	}
+}
+
+func TestForwardTrackFromPasswd(t *testing.T) {
+	p := leakageHistory(t, 0)
+	passwd := findEntity(p, func(e *audit.Entity) bool {
+		return e.Type == audit.EntityFile && e.Path == "/etc/passwd"
+	})
+	if passwd == nil {
+		t.Fatal("no /etc/passwd entity")
+	}
+	sg := Track(p.Events(), passwd.ID, TrackOptions{Direction: Forward})
+	var reachedC2 bool
+	for id := range sg.EntityIDs {
+		if e := p.EntityByID(id); e != nil && e.Type == audit.EntityNetConn && e.DstIP == gen.C2IP {
+			reachedC2 = true
+		}
+	}
+	if !reachedC2 {
+		t.Error("forward track from /etc/passwd did not reach the C2 connection")
+	}
+}
+
+func TestTrackTemporalCausality(t *testing.T) {
+	// p1 writes f at t=100; p2 reads f at t=50 (before the write).
+	// Backward from p2 must NOT include the later write.
+	evs := []*audit.Event{
+		{ID: 1, SrcID: 1, DstID: 3, Op: audit.OpWrite, StartTime: 100, EndTime: 110},
+		{ID: 2, SrcID: 2, DstID: 3, Op: audit.OpRead, StartTime: 50, EndTime: 60},
+	}
+	sg := Track(evs, 2, TrackOptions{Direction: Backward})
+	for _, ev := range sg.Events {
+		if ev.ID == 1 {
+			t.Error("backward track followed an effect that postdates its cause")
+		}
+	}
+	if len(sg.Events) != 1 || sg.Events[0].ID != 2 {
+		t.Errorf("events = %+v", sg.Events)
+	}
+}
+
+func TestTrackDepthLimit(t *testing.T) {
+	// Chain: 1 -> 2 -> 3 -> 4 (writes).
+	evs := []*audit.Event{
+		{ID: 1, SrcID: 1, DstID: 2, Op: audit.OpWrite, StartTime: 10, EndTime: 11},
+		{ID: 2, SrcID: 2, DstID: 3, Op: audit.OpWrite, StartTime: 20, EndTime: 21},
+		{ID: 3, SrcID: 3, DstID: 4, Op: audit.OpWrite, StartTime: 30, EndTime: 31},
+	}
+	sg := Track(evs, 4, TrackOptions{Direction: Backward, MaxDepth: 1})
+	if len(sg.Events) != 1 {
+		t.Errorf("depth 1 should reach 1 event, got %d", len(sg.Events))
+	}
+	sg = Track(evs, 4, TrackOptions{Direction: Backward})
+	if len(sg.Events) != 3 {
+		t.Errorf("unbounded should reach 3 events, got %d", len(sg.Events))
+	}
+}
+
+func TestTrackMaxEvents(t *testing.T) {
+	p := leakageHistory(t, 2000)
+	c2 := findEntity(p, func(e *audit.Entity) bool {
+		return e.Type == audit.EntityNetConn && e.DstIP == gen.C2IP && e.DstPort == 443
+	})
+	sg := Track(p.Events(), c2.ID, TrackOptions{Direction: Backward, MaxEvents: 5})
+	if len(sg.Events) > 5 {
+		t.Errorf("MaxEvents exceeded: %d", len(sg.Events))
+	}
+}
+
+func TestTrackAtBound(t *testing.T) {
+	// Forward from entity 1 with At after the only outgoing event: no
+	// events admissible.
+	evs := []*audit.Event{
+		{ID: 1, SrcID: 1, DstID: 2, Op: audit.OpWrite, StartTime: 10, EndTime: 11},
+	}
+	sg := Track(evs, 1, TrackOptions{Direction: Forward, At: 100})
+	if len(sg.Events) != 0 {
+		t.Errorf("time-bounded forward track should be empty, got %d", len(sg.Events))
+	}
+	sg = Track(evs, 1, TrackOptions{Direction: Forward, At: 5})
+	if len(sg.Events) != 1 {
+		t.Errorf("admissible event missed")
+	}
+}
+
+func TestTrackEventsSorted(t *testing.T) {
+	p := leakageHistory(t, 500)
+	c2 := findEntity(p, func(e *audit.Entity) bool {
+		return e.Type == audit.EntityNetConn && e.DstIP == gen.C2IP && e.DstPort == 443
+	})
+	sg := Track(p.Events(), c2.ID, TrackOptions{Direction: Backward})
+	for i := 1; i < len(sg.Events); i++ {
+		if sg.Events[i].StartTime < sg.Events[i-1].StartTime {
+			t.Fatal("tracked events not sorted")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// Standard table names for the ThreatRaptor storage layout.
+const (
+	EntityTable = "entities"
+	EventTable  = "events"
+)
+
+// EntitySchema is the schema of the system-entity table. The column set
+// mirrors the representative attributes in the paper: file name/path,
+// process executable name, src/dst IP and port.
+func EntitySchema() Schema {
+	return Schema{
+		Name: EntityTable,
+		Columns: []Column{
+			{Name: "id", Type: TypeInt},
+			{Name: "type", Type: TypeText},
+			{Name: "host", Type: TypeText},
+			{Name: "name", Type: TypeText},
+			{Name: "exename", Type: TypeText},
+			{Name: "pid", Type: TypeInt},
+			{Name: "path", Type: TypeText},
+			{Name: "srcip", Type: TypeText},
+			{Name: "srcport", Type: TypeInt},
+			{Name: "dstip", Type: TypeText},
+			{Name: "dstport", Type: TypeInt},
+			{Name: "proto", Type: TypeText},
+		},
+	}
+}
+
+// EventSchema is the schema of the system-event table: sbj/obj entity ID,
+// operation, start/end time, plus amount and host.
+func EventSchema() Schema {
+	return Schema{
+		Name: EventTable,
+		Columns: []Column{
+			{Name: "id", Type: TypeInt},
+			{Name: "srcid", Type: TypeInt},
+			{Name: "dstid", Type: TypeInt},
+			{Name: "optype", Type: TypeText},
+			{Name: "starttime", Type: TypeInt},
+			{Name: "endtime", Type: TypeInt},
+			{Name: "amount", Type: TypeInt},
+			{Name: "host", Type: TypeText},
+		},
+	}
+}
+
+// Bootstrap creates the entity and event tables with the indexes
+// ThreatRaptor declares on key attributes: hash indexes on IDs and the
+// default name attributes, and an ordered index on event start time for
+// time-window filters.
+func Bootstrap(db *DB) error {
+	ents, err := db.CreateTable(EntitySchema())
+	if err != nil {
+		return err
+	}
+	evts, err := db.CreateTable(EventSchema())
+	if err != nil {
+		return err
+	}
+	for _, col := range []string{"id", "type", "name", "exename", "dstip"} {
+		if err := ents.CreateHashIndex(col); err != nil {
+			return err
+		}
+	}
+	for _, col := range []string{"id", "srcid", "dstid", "optype"} {
+		if err := evts.CreateHashIndex(col); err != nil {
+			return err
+		}
+	}
+	if err := evts.CreateOrderedIndex("starttime"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EntityRow converts a system entity into its table row.
+func EntityRow(e *audit.Entity) []Value {
+	return []Value{
+		IntValue(e.ID),
+		TextValue(e.Type.String()),
+		TextValue(e.Host),
+		TextValue(e.Name()),
+		TextValue(e.ExeName),
+		IntValue(int64(e.PID)),
+		TextValue(e.Path),
+		TextValue(e.SrcIP),
+		IntValue(int64(e.SrcPort)),
+		TextValue(e.DstIP),
+		IntValue(int64(e.DstPort)),
+		TextValue(e.Proto),
+	}
+}
+
+// EventRow converts a system event into its table row.
+func EventRow(ev *audit.Event) []Value {
+	return []Value{
+		IntValue(ev.ID),
+		IntValue(ev.SrcID),
+		IntValue(ev.DstID),
+		TextValue(ev.Op.String()),
+		IntValue(ev.StartTime),
+		IntValue(ev.EndTime),
+		IntValue(ev.Amount),
+		TextValue(ev.Host),
+	}
+}
+
+// Load bulk-inserts parsed audit data into a bootstrapped database.
+func Load(db *DB, entities []*audit.Entity, events []*audit.Event) error {
+	ents := db.Table(EntityTable)
+	evts := db.Table(EventTable)
+	if ents == nil || evts == nil {
+		return fmt.Errorf("relstore: database is not bootstrapped")
+	}
+	for _, e := range entities {
+		if err := ents.Insert(EntityRow(e)); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := evts.Insert(EventRow(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

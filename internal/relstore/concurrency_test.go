@@ -1,0 +1,141 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries verifies the engine supports the paper's
+// deployment mode: one loaded store serving many analyst queries
+// concurrently.
+func TestConcurrentQueries(t *testing.T) {
+	db := loadFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				q := "SELECT id FROM events WHERE optype = 'read'"
+				if i%2 == 0 {
+					q = "SELECT p.exename FROM events e JOIN entities p ON e.srcid = p.id WHERE e.optype = 'write'"
+				}
+				rows, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rows.Data) == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty result", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestQueryMultiKeyOrderBy(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(Schema{Name: "t", Columns: []Column{
+		{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeInt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]int64{{1, 3}, {2, 1}, {1, 1}, {2, 2}, {1, 2}} {
+		tbl.Insert([]Value{IntValue(r[0]), IntValue(r[1])})
+	}
+	rows, err := db.Query("SELECT a, b FROM t ORDER BY a ASC, b DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 3}, {1, 2}, {1, 1}, {2, 2}, {2, 1}}
+	for i, w := range want {
+		if rows.Data[i][0].Int != w[0] || rows.Data[i][1].Int != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows.Data[i], w)
+		}
+	}
+}
+
+func TestQueryDistinctWithLimit(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT DISTINCT optype FROM events LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("distinct+limit rows = %d", len(rows.Data))
+	}
+}
+
+func TestQueryInListUsesIndexPlan(t *testing.T) {
+	db := loadFixture(t)
+	// srcid has a hash index; a small IN list must be index-driven.
+	_, stats, err := db.QueryStats("SELECT id FROM events WHERE srcid IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexLookups == 0 {
+		t.Errorf("IN-list should use the hash index: %+v", stats)
+	}
+	if stats.RowsScanned >= 7 {
+		t.Errorf("IN-list scanned %d rows (full scan?)", stats.RowsScanned)
+	}
+}
+
+func TestQueryLikeManyWildcards(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id FROM entities WHERE name LIKE '%tmp%upload%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 { // /tmp/upload.tar and /tmp/upload.tar.bz2
+		t.Errorf("multi-wildcard rows = %d", len(rows.Data))
+	}
+}
+
+func TestQueryJoinThreeWay(t *testing.T) {
+	db := loadFixture(t)
+	// Find write events whose file was later read by a different process:
+	// the upload.tar handoff between tar and bzip2.
+	q := `SELECT w.id, r.id
+	      FROM events w
+	      JOIN events r ON w.dstid = r.dstid
+	      JOIN entities f ON w.dstid = f.id
+	      WHERE w.optype = 'write' AND r.optype = 'read' AND w.srcid != r.srcid AND f.type = 'file'`
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Errorf("handoff rows = %v", rows.Data)
+	}
+}
+
+func TestInsertAfterIndexedQuery(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "x", Type: TypeInt}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.CreateOrderedIndex("x")
+	for i := int64(0); i < 10; i++ {
+		tbl.Insert([]Value{IntValue(i)})
+	}
+	rows, _ := db.Query("SELECT x FROM t WHERE x >= 8")
+	if len(rows.Data) != 2 {
+		t.Fatalf("pre-insert rows = %d", len(rows.Data))
+	}
+	// Insert and re-query: the lazy ordered index must rebuild.
+	tbl.Insert([]Value{IntValue(9)})
+	rows, _ = db.Query("SELECT x FROM t WHERE x >= 8")
+	if len(rows.Data) != 3 {
+		t.Errorf("post-insert rows = %d", len(rows.Data))
+	}
+}

@@ -1,0 +1,33 @@
+package relstore
+
+import "testing"
+
+// FuzzParseSQL: the SQL parser must never panic, and anything it accepts
+// must execute (or fail cleanly) against a loaded database.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM entities",
+		"SELECT e.id FROM events e JOIN entities s ON e.srcid = s.id WHERE s.exename LIKE '%tar%'",
+		"SELECT DISTINCT optype FROM events ORDER BY optype DESC LIMIT 3",
+		"SELECT id FROM events WHERE optype IN ('read','write') AND starttime BETWEEN 1 AND 9",
+		"SELECT id FROM t WHERE v IS NOT NULL OR NOT v = 'x'",
+		"SELECT",
+		"SELECT ' FROM",
+		"SELECT id FROM events WHERE (((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := NewDB()
+	if err := Bootstrap(db); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParseSQL(src)
+		if err != nil {
+			return
+		}
+		// Accepted statements must execute without panicking.
+		_, _, _ = db.Exec(stmt)
+	})
+}

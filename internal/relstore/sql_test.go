@@ -1,0 +1,279 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// loadFixture builds a bootstrapped DB containing the Fig. 2 data-leakage
+// chain plus benign noise.
+func loadFixture(t testing.TB) *DB {
+	t.Helper()
+	p := audit.NewParser()
+	recs := []audit.Record{
+		// Benign noise.
+		{StartNS: 10, EndNS: 11, Host: "h", PID: 50, Exe: "/usr/sbin/sshd", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 1},
+		{StartNS: 20, EndNS: 21, Host: "h", PID: 51, Exe: "/bin/tar", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/home/a/doc.txt", Amount: 1},
+		// Attack chain (Fig. 2).
+		{StartNS: 100, EndNS: 101, Host: "h", PID: 60, Exe: "/bin/tar", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/etc/passwd", Amount: 2949},
+		{StartNS: 110, EndNS: 111, Host: "h", PID: 60, Exe: "/bin/tar", Op: audit.OpWrite, ObjType: audit.EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 10240},
+		{StartNS: 120, EndNS: 121, Host: "h", PID: 61, Exe: "/bin/bzip2", Op: audit.OpRead, ObjType: audit.EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 10240},
+		{StartNS: 130, EndNS: 131, Host: "h", PID: 61, Exe: "/bin/bzip2", Op: audit.OpWrite, ObjType: audit.EntityFile, ObjSpec: "/tmp/upload.tar.bz2", Amount: 4180},
+		{StartNS: 140, EndNS: 141, Host: "h", PID: 62, Exe: "/usr/bin/curl", Op: audit.OpConnect, ObjType: audit.EntityNetConn, ObjSpec: audit.ConnSpec("10.0.0.5", 40000, "192.168.29.128", 443, "tcp"), Amount: 4180},
+	}
+	for _, r := range recs {
+		if _, err := p.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := NewDB()
+	if err := Bootstrap(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(db, p.Entities(), p.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQuerySimpleSelect(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id, optype FROM events WHERE optype = 'connect'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("want 1 connect event, got %d", len(rows.Data))
+	}
+	if rows.Cols[1] != "optype" || rows.Data[0][1].Str != "connect" {
+		t.Errorf("row = %v", rows.Data[0])
+	}
+}
+
+func TestQueryStar(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT * FROM entities WHERE type = 'netconn'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("want 1 netconn entity, got %d", len(rows.Data))
+	}
+	if len(rows.Cols) != len(EntitySchema().Columns) {
+		t.Errorf("star should project all columns, got %v", rows.Cols)
+	}
+}
+
+func TestQueryLike(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id FROM entities WHERE exename LIKE '%/bin/tar%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("want 2 tar processes, got %d", len(rows.Data))
+	}
+	rows, err = db.Query("SELECT id FROM entities WHERE exename NOT LIKE '%tar%' AND type = 'process'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows.Data {
+		_ = r
+	}
+	if len(rows.Data) != 3 { // sshd, bzip2, curl
+		t.Errorf("NOT LIKE: want 3, got %d", len(rows.Data))
+	}
+}
+
+func TestQueryJoinEntityEvent(t *testing.T) {
+	db := loadFixture(t)
+	// The paper's compilation joins entity tables with the event table.
+	q := `SELECT p.exename, f.path, e.starttime
+	      FROM events e
+	      JOIN entities p ON e.srcid = p.id
+	      JOIN entities f ON e.dstid = f.id
+	      WHERE p.exename LIKE '%/bin/tar%' AND e.optype = 'read' AND f.path LIKE '%/etc/passwd%'`
+	rows, stats, err := db.QueryStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("want exactly the attack read, got %d rows", len(rows.Data))
+	}
+	if rows.Data[0][0].Str != "/bin/tar" || rows.Data[0][1].Str != "/etc/passwd" {
+		t.Errorf("row = %v", rows.Data[0])
+	}
+	if stats.IndexLookups == 0 {
+		t.Error("join should use indexes")
+	}
+}
+
+func TestQueryOrderByLimit(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id, starttime FROM events ORDER BY starttime DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Fatalf("limit: got %d rows", len(rows.Data))
+	}
+	if rows.Data[0][1].Int != 140 || rows.Data[2][1].Int != 120 {
+		t.Errorf("order desc wrong: %v", rows.Data)
+	}
+	rows, err = db.Query("SELECT id, starttime FROM events ORDER BY starttime ASC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][1].Int != 10 {
+		t.Errorf("order asc wrong: %v", rows.Data)
+	}
+}
+
+func TestQueryDistinct(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT DISTINCT optype FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 { // read, write, connect
+		t.Errorf("distinct optypes = %d, want 3", len(rows.Data))
+	}
+}
+
+func TestQueryInBetween(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id FROM events WHERE optype IN ('read', 'write') AND starttime BETWEEN 100 AND 131")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 4 {
+		t.Errorf("in/between: got %d rows, want 4", len(rows.Data))
+	}
+	rows, err = db.Query("SELECT id FROM events WHERE optype NOT IN ('read', 'write', 'connect')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 {
+		t.Errorf("not in: got %d rows", len(rows.Data))
+	}
+}
+
+func TestQueryOrNot(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT id FROM events WHERE optype = 'connect' OR (optype = 'read' AND amount > 1000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 { // connect + 2 big reads
+		t.Errorf("or: got %d rows, want 3", len(rows.Data))
+	}
+	rows, err = db.Query("SELECT id FROM events WHERE NOT optype = 'read'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 { // 2 writes + 1 connect
+		t.Errorf("not: got %d rows, want 3", len(rows.Data))
+	}
+}
+
+func TestQueryAlias(t *testing.T) {
+	db := loadFixture(t)
+	rows, err := db.Query("SELECT e.optype AS op FROM events AS e WHERE e.amount >= 10240")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Cols[0] != "op" {
+		t.Errorf("alias not applied: %v", rows.Cols)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("got %d rows", len(rows.Data))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := loadFixture(t)
+	bad := []string{
+		"SELECT FROM events",
+		"SELECT id FROM nosuch",
+		"SELECT nosuch FROM events",
+		"SELECT id FROM events WHERE",
+		"SELECT id FROM events WHERE id ==",
+		"SELECT id FROM events LIMIT x",
+		"INSERT INTO events VALUES (1)",
+		"SELECT id FROM events JOIN events ON id = id",              // duplicate binding
+		"SELECT id FROM events e JOIN entities p ON e.srcid = p.id", // ambiguous 'id'
+		"SELECT id FROM events WHERE name = 'unterminated",
+		"SELECT id FROM events trailing garbage tokens here",
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("query should fail: %s", q)
+		}
+	}
+}
+
+func TestQueryIsNull(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: TypeInt}, {Name: "v", Type: TypeText}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert([]Value{IntValue(1), TextValue("x")})
+	tbl.Insert([]Value{IntValue(2), NullValue})
+	rows, err := db.Query("SELECT id FROM t WHERE v IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 2 {
+		t.Errorf("is null: %v", rows.Data)
+	}
+	rows, err = db.Query("SELECT id FROM t WHERE v IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 1 {
+		t.Errorf("is not null: %v", rows.Data)
+	}
+}
+
+func TestQuerySemicolonAndCase(t *testing.T) {
+	db := loadFixture(t)
+	if _, err := db.Query("select ID from EVENTS where OPTYPE = 'connect';"); err != nil {
+		t.Errorf("keywords and table/col names should be case-insensitive: %v", err)
+	}
+}
+
+func TestQueryRangeUsesOrderedIndex(t *testing.T) {
+	db := loadFixture(t)
+	_, stats, err := db.QueryStats("SELECT id FROM events WHERE starttime >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexLookups == 0 {
+		t.Error("range query on starttime should use ordered index")
+	}
+	if stats.RowsScanned > 5 {
+		t.Errorf("range scan visited %d rows, want <= 5", stats.RowsScanned)
+	}
+}
+
+func TestParseSQLNegativeNumber(t *testing.T) {
+	stmt, err := ParseSQL("SELECT id FROM events WHERE amount > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestLoadRequiresBootstrap(t *testing.T) {
+	db := NewDB()
+	err := Load(db, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "bootstrap") {
+		t.Errorf("Load on empty db should mention bootstrap, got %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package relstore
+
+import "strings"
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Table string // may be empty
+	Col   string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// SelectItem is one projected column.
+type SelectItem struct {
+	Ref   ColRef
+	Alias string // may be empty
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// bindName returns the name expressions should use to reference the table.
+func (t TableRef) bindName() string {
+	if t.Alias != "" {
+		return strings.ToLower(t.Alias)
+	}
+	return strings.ToLower(t.Name)
+}
+
+// Join is one JOIN clause.
+type Join struct {
+	Ref TableRef
+	On  Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Ref  ColRef
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    Expr // may be nil
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// Expr is a SQL boolean or value expression.
+type Expr interface{ isExpr() }
+
+// BinExpr is a logical AND/OR.
+type BinExpr struct {
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+// NotExpr negates an expression.
+type NotExpr struct{ E Expr }
+
+// CmpExpr compares two operands: = != < <= > >= like.
+type CmpExpr struct {
+	Op   string
+	L, R Expr
+	Neg  bool // NOT LIKE
+}
+
+// InExpr tests membership in a literal list.
+type InExpr struct {
+	L    Expr
+	Vals []Value
+	Neg  bool
+}
+
+// BetweenExpr tests a range inclusively.
+type BetweenExpr struct {
+	L      Expr
+	Lo, Hi Value
+	Neg    bool
+}
+
+// IsNullExpr tests for NULL.
+type IsNullExpr struct {
+	L   Expr
+	Neg bool // IS NOT NULL
+}
+
+// ColExpr references a column.
+type ColExpr struct{ Ref ColRef }
+
+// LitExpr is a literal value.
+type LitExpr struct{ V Value }
+
+func (BinExpr) isExpr()     {}
+func (NotExpr) isExpr()     {}
+func (CmpExpr) isExpr()     {}
+func (InExpr) isExpr()      {}
+func (BetweenExpr) isExpr() {}
+func (IsNullExpr) isExpr()  {}
+func (ColExpr) isExpr()     {}
+func (LitExpr) isExpr()     {}

@@ -1,0 +1,754 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rows is a query result set.
+type Rows struct {
+	Cols []string
+	Data [][]Value
+}
+
+// ExecStats reports how a query was executed, for plan inspection and the
+// efficiency experiments.
+type ExecStats struct {
+	RowsScanned   int // rows visited across all join levels
+	IndexLookups  int // candidate sets served by an index
+	FullScans     int // candidate sets served by a full table scan
+	TuplesEmitted int // result rows before distinct/order/limit
+}
+
+// Query parses and executes a SELECT statement against the database.
+func (db *DB) Query(sql string) (*Rows, error) {
+	rows, _, err := db.QueryStats(sql)
+	return rows, err
+}
+
+// QueryStats is Query plus execution statistics.
+func (db *DB) QueryStats(sql string) (*Rows, ExecStats, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return db.Exec(stmt)
+}
+
+// Exec executes a parsed statement.
+func (db *DB) Exec(stmt *SelectStmt) (*Rows, ExecStats, error) {
+	ex := &executor{db: db, stmt: stmt}
+	rows, err := ex.run()
+	return rows, ex.stats, err
+}
+
+// binding is one table instance in the FROM/JOIN list.
+type binding struct {
+	name  string // bind name (alias or table name), lowercase
+	table *Table
+}
+
+// conjunct is one top-level AND-ed condition with the set of bindings it
+// references.
+type conjunct struct {
+	expr Expr
+	refs map[int]bool // binding indexes referenced
+	// maxRef is the highest binding index referenced; the conjunct is
+	// evaluated as soon as that binding is bound.
+	maxRef int
+	// fn is the compiled form with pre-resolved column references,
+	// evaluated on the per-row hot path.
+	fn boolFn
+}
+
+// boolFn evaluates a compiled boolean expression for a bound tuple.
+type boolFn func(tuple []int) bool
+
+// valFn evaluates a compiled operand for a bound tuple.
+type valFn func(tuple []int) Value
+
+type executor struct {
+	db    *DB
+	stmt  *SelectStmt
+	binds []binding
+	conjs []conjunct
+	stats ExecStats
+
+	out      [][]Value
+	project  []resolvedCol
+	limitHit bool
+
+	// colCache memoizes resolveCol: column resolution is pure per query.
+	colCache map[ColRef]resolvedRef
+	// conjsAt[level] lists conjunct indexes whose maxRef == level.
+	conjsAt [][]int
+	// plans[level] is the precomputed access path for each join level.
+	plans []accessPlan
+}
+
+type resolvedRef struct {
+	bind, col int
+	err       error
+}
+
+// accessPlan describes how to enumerate candidate rows at a join level.
+type accessPlan struct {
+	kind byte // 'l' eq-literal, 'j' eq-join, 'n' in-list, 'r' range, 's' scan
+	col  int  // column on this level's table
+	lit  Value
+	// in-list values.
+	vals []Value
+	// eq-join source.
+	otherBind, otherCol int
+	// range bounds.
+	lo, hi       *Value
+	loInc, hiInc bool
+}
+
+type resolvedCol struct {
+	bind int
+	col  int
+	name string
+}
+
+func (ex *executor) run() (*Rows, error) {
+	// Bind tables.
+	refs := append([]TableRef{ex.stmt.From}, nil...)
+	for _, j := range ex.stmt.Joins {
+		refs = append(refs, j.Ref)
+	}
+	seen := map[string]bool{}
+	for _, r := range refs {
+		t := ex.db.Table(r.Name)
+		if t == nil {
+			return nil, fmt.Errorf("relstore: no table %q", r.Name)
+		}
+		bn := r.bindName()
+		if seen[bn] {
+			return nil, fmt.Errorf("relstore: duplicate table binding %q", bn)
+		}
+		seen[bn] = true
+		ex.binds = append(ex.binds, binding{name: bn, table: t})
+	}
+
+	// Collect conjuncts from JOIN ON and WHERE clauses.
+	var all []Expr
+	for _, j := range ex.stmt.Joins {
+		all = append(all, splitAnd(j.On)...)
+	}
+	if ex.stmt.Where != nil {
+		all = append(all, splitAnd(ex.stmt.Where)...)
+	}
+	for _, e := range all {
+		refs := map[int]bool{}
+		if err := ex.collectRefs(e, refs); err != nil {
+			return nil, err
+		}
+		maxRef := 0
+		for bi := range refs {
+			if bi > maxRef {
+				maxRef = bi
+			}
+		}
+		fn, err := ex.compileBool(e)
+		if err != nil {
+			return nil, err
+		}
+		ex.conjs = append(ex.conjs, conjunct{expr: e, refs: refs, maxRef: maxRef, fn: fn})
+	}
+
+	// Resolve projection.
+	if ex.stmt.Star {
+		for bi, b := range ex.binds {
+			for ci, c := range b.table.schema.Columns {
+				name := c.Name
+				if len(ex.binds) > 1 {
+					name = b.name + "." + c.Name
+				}
+				ex.project = append(ex.project, resolvedCol{bind: bi, col: ci, name: name})
+			}
+		}
+	} else {
+		for _, item := range ex.stmt.Items {
+			bi, ci, err := ex.resolveCol(item.Ref)
+			if err != nil {
+				return nil, err
+			}
+			name := item.Alias
+			if name == "" {
+				name = item.Ref.String()
+			}
+			ex.project = append(ex.project, resolvedCol{bind: bi, col: ci, name: name})
+		}
+	}
+
+	// Validate ORDER BY references early.
+	for _, o := range ex.stmt.OrderBy {
+		if _, _, err := ex.resolveCol(o.Ref); err != nil {
+			return nil, err
+		}
+	}
+
+	// Precompute per-level conjunct lists and access plans.
+	ex.conjsAt = make([][]int, len(ex.binds))
+	for ci, c := range ex.conjs {
+		ex.conjsAt[c.maxRef] = append(ex.conjsAt[c.maxRef], ci)
+	}
+	ex.plans = make([]accessPlan, len(ex.binds))
+	for level := range ex.binds {
+		ex.plans[level] = ex.planLevel(level)
+	}
+
+	tuple := make([]int, len(ex.binds))
+	if err := ex.join(0, tuple); err != nil {
+		return nil, err
+	}
+
+	// ORDER BY.
+	if len(ex.stmt.OrderBy) > 0 && !ex.limitFriendly() {
+		// Rows were emitted unordered; sort now. Projection has already
+		// been applied, so order keys must be re-resolved against the
+		// projection when possible; otherwise we sort on raw tuples —
+		// to keep this simple we sort the projected rows by locating the
+		// order column within the projection.
+		keyIdx := make([]int, len(ex.stmt.OrderBy))
+		for i, o := range ex.stmt.OrderBy {
+			keyIdx[i] = ex.findProjected(o.Ref)
+			if keyIdx[i] < 0 {
+				return nil, fmt.Errorf("relstore: ORDER BY column %s must appear in the select list", o.Ref)
+			}
+		}
+		sort.SliceStable(ex.out, func(a, b int) bool {
+			for i, ki := range keyIdx {
+				c := Compare(ex.out[a][ki], ex.out[b][ki])
+				if c == 0 {
+					continue
+				}
+				if ex.stmt.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// DISTINCT.
+	if ex.stmt.Distinct {
+		seen := map[string]bool{}
+		dst := ex.out[:0]
+		for _, row := range ex.out {
+			var b strings.Builder
+			for _, v := range row {
+				b.WriteString(v.key())
+				b.WriteByte('\x00')
+			}
+			k := b.String()
+			if !seen[k] {
+				seen[k] = true
+				dst = append(dst, row)
+			}
+		}
+		ex.out = dst
+	}
+
+	// LIMIT.
+	if ex.stmt.Limit >= 0 && len(ex.out) > ex.stmt.Limit {
+		ex.out = ex.out[:ex.stmt.Limit]
+	}
+
+	cols := make([]string, len(ex.project))
+	for i, p := range ex.project {
+		cols[i] = p.name
+	}
+	return &Rows{Cols: cols, Data: ex.out}, nil
+}
+
+// limitFriendly reports whether early termination on LIMIT is safe
+// (no ORDER BY and no DISTINCT semantics that need the full set).
+func (ex *executor) limitFriendly() bool {
+	return len(ex.stmt.OrderBy) == 0
+}
+
+func (ex *executor) findProjected(ref ColRef) int {
+	bi, ci, err := ex.resolveCol(ref)
+	if err != nil {
+		return -1
+	}
+	for i, p := range ex.project {
+		if p.bind == bi && p.col == ci {
+			return i
+		}
+	}
+	return -1
+}
+
+// join binds tables level by level, using indexes where possible and
+// evaluating each conjunct as soon as all its bindings are bound.
+func (ex *executor) join(level int, tuple []int) error {
+	if ex.limitHit {
+		return nil
+	}
+	if level == len(ex.binds) {
+		row := make([]Value, len(ex.project))
+		for i, p := range ex.project {
+			row[i] = ex.binds[p.bind].table.rows[tuple[p.bind]][p.col]
+		}
+		ex.out = append(ex.out, row)
+		ex.stats.TuplesEmitted++
+		if ex.stmt.Limit >= 0 && !ex.stmt.Distinct && ex.limitFriendly() && len(ex.out) >= ex.stmt.Limit {
+			ex.limitHit = true
+		}
+		return nil
+	}
+
+	cands, err := ex.candidates(level, tuple)
+	if err != nil {
+		return err
+	}
+	for _, rid := range cands {
+		tuple[level] = rid
+		ex.stats.RowsScanned++
+		ok, err := ex.checkConjuncts(level, tuple)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := ex.join(level+1, tuple); err != nil {
+			return err
+		}
+		if ex.limitHit {
+			return nil
+		}
+	}
+	return nil
+}
+
+// planLevel picks the most selective access path for the table at level
+// (chosen once per query; equi-join lookups read the bound value from the
+// tuple at runtime).
+func (ex *executor) planLevel(level int) accessPlan {
+	// 1. Equi-join with an already-bound table: the per-tuple lookup
+	// value makes this far more selective than a constant predicate
+	// (classic index nested-loop join).
+	for _, c := range ex.conjs {
+		myCol, otherBind, otherCol, ok := ex.eqJoin(c.expr, level)
+		if ok && otherBind < level {
+			return accessPlan{kind: 'j', col: myCol, otherBind: otherBind, otherCol: otherCol}
+		}
+	}
+	// 2. Small IN-list on this table's column: the union of per-value
+	// index lookups is usually tighter than any single-value bucket
+	// (this is how propagated entity-ID constraints become index driven).
+	for _, c := range ex.conjs {
+		in, ok := c.expr.(InExpr)
+		if !ok || in.Neg || len(in.Vals) > 128 || len(c.refs) != 1 || !c.refs[level] {
+			continue
+		}
+		ce, okc := in.L.(ColExpr)
+		if !okc {
+			continue
+		}
+		bi, ci, err := ex.resolveCol(ce.Ref)
+		if err != nil || bi != level {
+			continue
+		}
+		return accessPlan{kind: 'n', col: ci, vals: in.Vals}
+	}
+	// 3. Equality with a literal on this table's column.
+	for _, c := range ex.conjs {
+		col, lit, ok := ex.eqLiteral(c.expr, level)
+		if ok && len(c.refs) == 1 && c.refs[level] {
+			return accessPlan{kind: 'l', col: col, lit: lit}
+		}
+	}
+	// 4. Range predicate with literals.
+	for _, c := range ex.conjs {
+		col, lo, hi, loInc, hiInc, ok := ex.rangeLiteral(c.expr, level)
+		if ok && len(c.refs) == 1 && c.refs[level] {
+			return accessPlan{kind: 'r', col: col, lo: lo, hi: hi, loInc: loInc, hiInc: hiInc}
+		}
+	}
+	// 5. Full scan.
+	return accessPlan{kind: 's'}
+}
+
+// candidates enumerates candidate rows at a level per its access plan.
+func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
+	t := ex.binds[level].table
+	plan := ex.plans[level]
+	switch plan.kind {
+	case 'l':
+		ids, indexed := t.lookupEq(plan.col, plan.lit)
+		ex.countAccess(indexed)
+		return ids, nil
+	case 'j':
+		v := ex.binds[plan.otherBind].table.rows[tuple[plan.otherBind]][plan.otherCol]
+		ids, indexed := t.lookupEq(plan.col, v)
+		ex.countAccess(indexed)
+		return ids, nil
+	case 'n':
+		var ids []int
+		seen := map[int]bool{}
+		indexed := true
+		for _, v := range plan.vals {
+			got, idx := t.lookupEq(plan.col, v)
+			indexed = indexed && idx
+			for _, id := range got {
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+		}
+		sort.Ints(ids)
+		ex.countAccess(indexed)
+		return ids, nil
+	case 'r':
+		ids, indexed := t.lookupRange(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc)
+		ex.countAccess(indexed)
+		return ids, nil
+	default:
+		ex.stats.FullScans++
+		ids := make([]int, t.NumRows())
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids, nil
+	}
+}
+
+func (ex *executor) countAccess(indexed bool) {
+	if indexed {
+		ex.stats.IndexLookups++
+	} else {
+		ex.stats.FullScans++
+	}
+}
+
+// eqLiteral matches `col = literal` (either side) on the given binding.
+func (ex *executor) eqLiteral(e Expr, level int) (col int, lit Value, ok bool) {
+	cmp, isCmp := e.(CmpExpr)
+	if !isCmp || cmp.Op != "=" {
+		return 0, Value{}, false
+	}
+	colE, litE := cmp.L, cmp.R
+	if _, isLit := colE.(LitExpr); isLit {
+		colE, litE = litE, colE
+	}
+	ce, okc := colE.(ColExpr)
+	le, okl := litE.(LitExpr)
+	if !okc || !okl {
+		return 0, Value{}, false
+	}
+	bi, ci, err := ex.resolveCol(ce.Ref)
+	if err != nil || bi != level {
+		return 0, Value{}, false
+	}
+	return ci, le.V, true
+}
+
+// eqJoin matches `a.col = b.col` where one side is the given binding.
+func (ex *executor) eqJoin(e Expr, level int) (myCol, otherBind, otherCol int, ok bool) {
+	cmp, isCmp := e.(CmpExpr)
+	if !isCmp || cmp.Op != "=" {
+		return 0, 0, 0, false
+	}
+	l, okl := cmp.L.(ColExpr)
+	r, okr := cmp.R.(ColExpr)
+	if !okl || !okr {
+		return 0, 0, 0, false
+	}
+	lb, lc, err1 := ex.resolveCol(l.Ref)
+	rb, rc, err2 := ex.resolveCol(r.Ref)
+	if err1 != nil || err2 != nil {
+		return 0, 0, 0, false
+	}
+	switch level {
+	case lb:
+		return lc, rb, rc, true
+	case rb:
+		return rc, lb, lc, true
+	}
+	return 0, 0, 0, false
+}
+
+// rangeLiteral matches comparisons and BETWEEN against literals on the
+// given binding, returning range bounds.
+func (ex *executor) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loInc, hiInc, ok bool) {
+	switch x := e.(type) {
+	case BetweenExpr:
+		if x.Neg {
+			return
+		}
+		ce, okc := x.L.(ColExpr)
+		if !okc {
+			return
+		}
+		bi, ci, err := ex.resolveCol(ce.Ref)
+		if err != nil || bi != level {
+			return
+		}
+		l, h := x.Lo, x.Hi
+		return ci, &l, &h, true, true, true
+	case CmpExpr:
+		colE, litE, flip := x.L, x.R, false
+		if _, isLit := colE.(LitExpr); isLit {
+			colE, litE, flip = litE, colE, true
+		}
+		ce, okc := colE.(ColExpr)
+		le, okl := litE.(LitExpr)
+		if !okc || !okl {
+			return
+		}
+		bi, ci, err := ex.resolveCol(ce.Ref)
+		if err != nil || bi != level {
+			return
+		}
+		op := x.Op
+		if flip {
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+		v := le.V
+		switch op {
+		case "<":
+			return ci, nil, &v, false, false, true
+		case "<=":
+			return ci, nil, &v, false, true, true
+		case ">":
+			return ci, &v, nil, false, false, true
+		case ">=":
+			return ci, &v, nil, true, false, true
+		}
+	}
+	return
+}
+
+// checkConjuncts evaluates every conjunct that becomes fully bound at this
+// level.
+func (ex *executor) checkConjuncts(level int, tuple []int) (bool, error) {
+	for _, ci := range ex.conjsAt[level] {
+		if !ex.conjs[ci].fn(tuple) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// compileBool compiles a boolean expression to a closure with all column
+// references pre-resolved, so per-row evaluation does no name lookups.
+func (ex *executor) compileBool(e Expr) (boolFn, error) {
+	switch x := e.(type) {
+	case BinExpr:
+		l, err := ex.compileBool(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.compileBool(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "and" {
+			return func(t []int) bool { return l(t) && r(t) }, nil
+		}
+		return func(t []int) bool { return l(t) || r(t) }, nil
+	case NotExpr:
+		inner, err := ex.compileBool(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(t []int) bool { return !inner(t) }, nil
+	case CmpExpr:
+		l, err := ex.compileVal(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.compileVal(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "like" {
+			neg := x.Neg
+			return func(t []int) bool {
+				res := likeMatch(l(t).String(), r(t).String())
+				return res != neg
+			}, nil
+		}
+		var test func(c int) bool
+		switch x.Op {
+		case "=":
+			test = func(c int) bool { return c == 0 }
+		case "!=":
+			test = func(c int) bool { return c != 0 }
+		case "<":
+			test = func(c int) bool { return c < 0 }
+		case "<=":
+			test = func(c int) bool { return c <= 0 }
+		case ">":
+			test = func(c int) bool { return c > 0 }
+		case ">=":
+			test = func(c int) bool { return c >= 0 }
+		default:
+			return nil, fmt.Errorf("relstore: unknown comparison %q", x.Op)
+		}
+		return func(t []int) bool {
+			lv, rv := l(t), r(t)
+			if lv.IsNull() || rv.IsNull() {
+				return false
+			}
+			return test(Compare(lv, rv))
+		}, nil
+	case InExpr:
+		l, err := ex.compileVal(x.L)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-index the literal list for O(1) membership tests.
+		set := make(map[string]bool, len(x.Vals))
+		for _, v := range x.Vals {
+			set[v.key()] = true
+		}
+		neg := x.Neg
+		return func(t []int) bool { return set[l(t).key()] != neg }, nil
+	case BetweenExpr:
+		l, err := ex.compileVal(x.L)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, neg := x.Lo, x.Hi, x.Neg
+		return func(t []int) bool {
+			v := l(t)
+			in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+			return in != neg
+		}, nil
+	case IsNullExpr:
+		l, err := ex.compileVal(x.L)
+		if err != nil {
+			return nil, err
+		}
+		neg := x.Neg
+		return func(t []int) bool { return l(t).IsNull() != neg }, nil
+	case LitExpr:
+		truthy := !x.V.IsNull() && !(x.V.Kind == TypeInt && x.V.Int == 0)
+		return func([]int) bool { return truthy }, nil
+	default:
+		return nil, fmt.Errorf("relstore: expression %T is not boolean", e)
+	}
+}
+
+// compileVal compiles an operand expression.
+func (ex *executor) compileVal(e Expr) (valFn, error) {
+	switch x := e.(type) {
+	case LitExpr:
+		v := x.V
+		return func([]int) Value { return v }, nil
+	case ColExpr:
+		bi, ci, err := ex.resolveCol(x.Ref)
+		if err != nil {
+			return nil, err
+		}
+		tbl := ex.binds[bi].table
+		return func(t []int) Value { return tbl.rows[t[bi]][ci] }, nil
+	default:
+		return nil, fmt.Errorf("relstore: expression %T is not a value", e)
+	}
+}
+
+// resolveCol locates a column reference among the bindings, memoizing the
+// result (resolution is pure per query and sits on the per-row hot path).
+func (ex *executor) resolveCol(ref ColRef) (bi, ci int, err error) {
+	if r, ok := ex.colCache[ref]; ok {
+		return r.bind, r.col, r.err
+	}
+	bi, ci, err = ex.resolveColSlow(ref)
+	if ex.colCache == nil {
+		ex.colCache = make(map[ColRef]resolvedRef)
+	}
+	ex.colCache[ref] = resolvedRef{bind: bi, col: ci, err: err}
+	return bi, ci, err
+}
+
+func (ex *executor) resolveColSlow(ref ColRef) (bi, ci int, err error) {
+	if ref.Table != "" {
+		want := strings.ToLower(ref.Table)
+		for i, b := range ex.binds {
+			if b.name == want {
+				c := b.table.ColIndex(ref.Col)
+				if c < 0 {
+					return 0, 0, fmt.Errorf("relstore: no column %q in %q", ref.Col, ref.Table)
+				}
+				return i, c, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("relstore: no table binding %q", ref.Table)
+	}
+	found := -1
+	for i, b := range ex.binds {
+		if c := b.table.ColIndex(ref.Col); c >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("relstore: ambiguous column %q", ref.Col)
+			}
+			found = i
+			ci = c
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("relstore: no column %q", ref.Col)
+	}
+	return found, ci, nil
+}
+
+// collectRefs records which bindings an expression references.
+func (ex *executor) collectRefs(e Expr, refs map[int]bool) error {
+	switch x := e.(type) {
+	case BinExpr:
+		if err := ex.collectRefs(x.L, refs); err != nil {
+			return err
+		}
+		return ex.collectRefs(x.R, refs)
+	case NotExpr:
+		return ex.collectRefs(x.E, refs)
+	case CmpExpr:
+		if err := ex.collectRefs(x.L, refs); err != nil {
+			return err
+		}
+		return ex.collectRefs(x.R, refs)
+	case InExpr:
+		return ex.collectRefs(x.L, refs)
+	case BetweenExpr:
+		return ex.collectRefs(x.L, refs)
+	case IsNullExpr:
+		return ex.collectRefs(x.L, refs)
+	case ColExpr:
+		bi, _, err := ex.resolveCol(x.Ref)
+		if err != nil {
+			return err
+		}
+		refs[bi] = true
+		return nil
+	case LitExpr:
+		return nil
+	default:
+		return fmt.Errorf("relstore: unknown expression %T", e)
+	}
+}
+
+// splitAnd flattens nested ANDs into a conjunct list.
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(BinExpr); ok && b.Op == "and" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,141 @@
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies SQL tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokSymbol
+)
+
+var sqlKeywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "join": true,
+	"inner": true, "on": true, "where": true, "and": true, "or": true,
+	"not": true, "like": true, "in": true, "order": true, "by": true,
+	"asc": true, "desc": true, "limit": true, "as": true, "null": true,
+	"is": true, "between": true,
+}
+
+type sqlToken struct {
+	kind tokKind
+	text string // keywords lowered; idents as written; strings unquoted
+	num  int64
+	pos  int
+}
+
+type sqlLexer struct {
+	src  string
+	pos  int
+	toks []sqlToken
+}
+
+// lexSQL tokenizes a SQL statement.
+func lexSQL(src string) ([]sqlToken, error) {
+	l := &sqlLexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, sqlToken{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *sqlLexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, sqlToken{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("relstore: unterminated string literal at offset %d", start)
+}
+
+func (l *sqlLexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	n, _ := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	l.toks = append(l.toks, sqlToken{kind: tokNumber, num: n, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *sqlLexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	lower := strings.ToLower(word)
+	if sqlKeywords[lower] {
+		l.toks = append(l.toks, sqlToken{kind: tokKeyword, text: lower, pos: start})
+	} else {
+		l.toks = append(l.toks, sqlToken{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+func (l *sqlLexer) lexSymbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=":
+		l.toks = append(l.toks, sqlToken{kind: tokSymbol, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '(', ')', ',', '.', '*', '-', '+', ';':
+		l.toks = append(l.toks, sqlToken{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("relstore: unexpected character %q at offset %d", c, l.pos)
+}

@@ -1,0 +1,420 @@
+package relstore
+
+import "fmt"
+
+// sqlParser is a recursive-descent parser over the token stream.
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+// ParseSQL parses one SELECT statement.
+func ParseSQL(src string) (*SelectStmt, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("relstore: unexpected trailing token %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) peek() sqlToken { return p.toks[p.pos] }
+
+func (p *sqlParser) next() sqlToken {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("relstore: expected %s at offset %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("relstore: expected %q at offset %d, got %q", sym, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("relstore: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("distinct")
+
+	if p.acceptSymbol("*") {
+		stmt.Star = true
+	} else {
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Ref: ref}
+			if p.acceptKeyword("as") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = ref
+
+	for {
+		if p.acceptKeyword("inner") {
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("join") {
+			break
+		}
+		jref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, Join{Ref: jref, On: cond})
+	}
+
+	if p.acceptKeyword("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Ref: ref}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("relstore: expected number after LIMIT at offset %d", t.pos)
+		}
+		p.next()
+		stmt.Limit = int(t.num)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *sqlParser) parseColRef() (ColRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Col: col}, nil
+	}
+	return ColRef{Col: first}, nil
+}
+
+// parseExpr parses OR-expressions (lowest precedence).
+func (p *sqlParser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses a comparison, LIKE, IN, BETWEEN, IS NULL, or a
+// parenthesised expression.
+func (p *sqlParser) parsePredicate() (Expr, error) {
+	if p.acceptSymbol("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+
+	neg := false
+	if p.peek().kind == tokKeyword && p.peek().text == "not" {
+		// lookahead for NOT LIKE / NOT IN / NOT BETWEEN
+		save := p.pos
+		p.next()
+		switch p.peek().text {
+		case "like", "in", "between":
+			neg = true
+		default:
+			p.pos = save
+		}
+	}
+
+	switch {
+	case p.acceptKeyword("like"):
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{Op: "like", L: left, R: right, Neg: neg}, nil
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InExpr{L: left, Vals: vals, Neg: neg}, nil
+	case p.acceptKeyword("between"):
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{L: left, Lo: lo, Hi: hi, Neg: neg}, nil
+	case p.acceptKeyword("is"):
+		n := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return IsNullExpr{L: left, Neg: n}, nil
+	}
+
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return CmpExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return nil, fmt.Errorf("relstore: expected comparison operator at offset %d, got %q", t.pos, t.text)
+}
+
+// parseOperand parses a column reference or a literal.
+func (p *sqlParser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		ref, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return ColExpr{Ref: ref}, nil
+	case tokString, tokNumber:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{V: v}, nil
+	case tokSymbol:
+		if t.text == "-" || t.text == "+" {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			return LitExpr{V: v}, nil
+		}
+	case tokKeyword:
+		if t.text == "null" {
+			p.next()
+			return LitExpr{V: NullValue}, nil
+		}
+	}
+	return nil, fmt.Errorf("relstore: expected operand at offset %d, got %q", t.pos, t.text)
+}
+
+// parseLiteral parses a string or (signed) integer literal.
+func (p *sqlParser) parseLiteral() (Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return TextValue(t.text), nil
+	case tokNumber:
+		p.next()
+		return IntValue(t.num), nil
+	case tokKeyword:
+		if t.text == "null" {
+			p.next()
+			return NullValue, nil
+		}
+	case tokSymbol:
+		if t.text == "-" || t.text == "+" {
+			sign := t.text
+			p.next()
+			n := p.peek()
+			if n.kind != tokNumber {
+				return NullValue, fmt.Errorf("relstore: expected number after %q at offset %d", sign, n.pos)
+			}
+			p.next()
+			v := n.num
+			if sign == "-" {
+				v = -v
+			}
+			return IntValue(v), nil
+		}
+	}
+	return NullValue, fmt.Errorf("relstore: expected literal at offset %d, got %q", t.pos, t.text)
+}

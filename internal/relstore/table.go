@@ -1,0 +1,270 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table: its name and ordered columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Table is an in-memory table with optional hash and ordered indexes.
+// Concurrent reads are safe; writes (Insert, index creation) must not
+// run concurrently with reads or each other — the DB-level loaders
+// serialize them.
+type Table struct {
+	schema Schema
+	colIdx map[string]int
+	rows   [][]Value
+
+	// hash indexes: column position -> value key -> row ids.
+	hashIdx map[int]map[string][]int
+	// ordered indexes: column position -> row ids sorted by column value.
+	orderIdx map[int][]int
+	// orderDirty marks ordered indexes needing a rebuild after inserts.
+	orderDirty map[int]bool
+	// orderMu guards the lazy ordered-index rebuild performed on the
+	// read path, so concurrent queries do not race on it.
+	orderMu sync.Mutex
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(s Schema) (*Table, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("relstore: table needs a name")
+	}
+	t := &Table{
+		schema:     s,
+		colIdx:     make(map[string]int, len(s.Columns)),
+		hashIdx:    make(map[int]map[string][]int),
+		orderIdx:   make(map[int][]int),
+		orderDirty: make(map[int]bool),
+	}
+	for i, c := range s.Columns {
+		name := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[name]; dup {
+			return nil, fmt.Errorf("relstore: duplicate column %q in table %q", c.Name, s.Name)
+		}
+		t.colIdx[name] = i
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// ColIndex resolves a column name to its position, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// CreateHashIndex builds a hash index on the named column for O(1)
+// equality lookups.
+func (t *Table) CreateHashIndex(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
+	}
+	idx := make(map[string][]int)
+	for rid, row := range t.rows {
+		k := row[ci].key()
+		idx[k] = append(idx[k], rid)
+	}
+	t.hashIdx[ci] = idx
+	return nil
+}
+
+// CreateOrderedIndex builds an ordered index on the named column for
+// range scans.
+func (t *Table) CreateOrderedIndex(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
+	}
+	t.rebuildOrdered(ci)
+	return nil
+}
+
+func (t *Table) rebuildOrdered(ci int) {
+	ids := make([]int, len(t.rows))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return Compare(t.rows[ids[a]][ci], t.rows[ids[b]][ci]) < 0
+	})
+	t.orderIdx[ci] = ids
+	t.orderDirty[ci] = false
+}
+
+// Insert appends a row, validating arity and types, and maintains hash
+// indexes incrementally. Ordered indexes are rebuilt lazily on next use.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("relstore: table %q wants %d values, got %d", t.schema.Name, len(t.schema.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind != t.schema.Columns[i].Type {
+			return fmt.Errorf("relstore: table %q column %q wants %s, got %s",
+				t.schema.Name, t.schema.Columns[i].Name, t.schema.Columns[i].Type, v.Kind)
+		}
+	}
+	rid := len(t.rows)
+	t.rows = append(t.rows, row)
+	for ci, idx := range t.hashIdx {
+		k := row[ci].key()
+		idx[k] = append(idx[k], rid)
+	}
+	for ci := range t.orderIdx {
+		t.orderDirty[ci] = true
+	}
+	return nil
+}
+
+// lookupEq returns row ids whose column equals v, using the hash index if
+// present, else a scan. The second result reports whether an index served
+// the lookup.
+func (t *Table) lookupEq(ci int, v Value) ([]int, bool) {
+	if idx, ok := t.hashIdx[ci]; ok {
+		return idx[v.key()], true
+	}
+	var ids []int
+	for rid, row := range t.rows {
+		if Equal(row[ci], v) {
+			ids = append(ids, rid)
+		}
+	}
+	return ids, false
+}
+
+// lookupRange returns row ids whose column value is within [lo, hi]
+// according to the provided inclusivity flags. A nil bound is open.
+func (t *Table) lookupRange(ci int, lo, hi *Value, loInc, hiInc bool) ([]int, bool) {
+	ids, ok := t.orderIdx[ci]
+	if !ok {
+		var out []int
+		for rid, row := range t.rows {
+			if inRange(row[ci], lo, hi, loInc, hiInc) {
+				out = append(out, rid)
+			}
+		}
+		return out, false
+	}
+	if t.orderDirty[ci] {
+		t.orderMu.Lock()
+		if t.orderDirty[ci] {
+			t.rebuildOrdered(ci)
+		}
+		ids = t.orderIdx[ci]
+		t.orderMu.Unlock()
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ids), func(i int) bool {
+			c := Compare(t.rows[ids[i]][ci], *lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ids)
+	if hi != nil {
+		end = sort.Search(len(ids), func(i int) bool {
+			c := Compare(t.rows[ids[i]][ci], *hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil, true
+	}
+	out := make([]int, end-start)
+	copy(out, ids[start:end])
+	return out, true
+}
+
+func inRange(v Value, lo, hi *Value, loInc, hiInc bool) bool {
+	if lo != nil {
+		c := Compare(v, *lo)
+		if c < 0 || (c == 0 && !loInc) {
+			return false
+		}
+	}
+	if hi != nil {
+		c := Compare(v, *hi)
+		if c > 0 || (c == 0 && !hiInc) {
+			return false
+		}
+	}
+	return true
+}
+
+// DB is a named collection of tables. It is safe for concurrent reads
+// interleaved with single-writer loads guarded by its mutex.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table with the given schema.
+func (db *DB) CreateTable(s Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToLower(s.Name)
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", s.Name)
+	}
+	t, err := NewTable(s)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns all table names sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

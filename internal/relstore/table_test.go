@@ -1,0 +1,138 @@
+package relstore
+
+import (
+	"testing"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: TypeInt},
+		{Name: "name", Type: TypeText},
+		{Name: "score", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]Value{
+		{IntValue(1), TextValue("alpha"), IntValue(10)},
+		{IntValue(2), TextValue("beta"), IntValue(20)},
+		{IntValue(3), TextValue("alpha"), IntValue(30)},
+		{IntValue(4), TextValue("gamma"), IntValue(20)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(Schema{}); err == nil {
+		t.Error("unnamed table should fail")
+	}
+	if _, err := NewTable(Schema{Name: "t", Columns: []Column{
+		{Name: "a", Type: TypeInt}, {Name: "A", Type: TypeText},
+	}}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.Insert([]Value{IntValue(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := tbl.Insert([]Value{TextValue("x"), TextValue("y"), IntValue(1)}); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if err := tbl.Insert([]Value{NullValue, TextValue("y"), IntValue(1)}); err != nil {
+		t.Errorf("null should be allowed: %v", err)
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.CreateHashIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	ids, indexed := tbl.lookupEq(tbl.ColIndex("name"), TextValue("alpha"))
+	if !indexed {
+		t.Error("lookup should be indexed")
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Errorf("lookup ids = %v", ids)
+	}
+	// Index maintained on insert.
+	if err := tbl.Insert([]Value{IntValue(5), TextValue("alpha"), IntValue(99)}); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = tbl.lookupEq(tbl.ColIndex("name"), TextValue("alpha"))
+	if len(ids) != 3 {
+		t.Errorf("after insert ids = %v", ids)
+	}
+	if err := tbl.CreateHashIndex("nosuch"); err == nil {
+		t.Error("index on missing column should fail")
+	}
+}
+
+func TestScanLookupWithoutIndex(t *testing.T) {
+	tbl := testTable(t)
+	ids, indexed := tbl.lookupEq(tbl.ColIndex("score"), IntValue(20))
+	if indexed {
+		t.Error("no index exists; lookup should be a scan")
+	}
+	if len(ids) != 2 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.CreateOrderedIndex("score"); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := IntValue(15), IntValue(30)
+	ids, indexed := tbl.lookupRange(tbl.ColIndex("score"), &lo, &hi, true, false)
+	if !indexed {
+		t.Error("range lookup should use ordered index")
+	}
+	// scores 20, 20 qualify (30 excluded).
+	if len(ids) != 2 {
+		t.Errorf("range ids = %v", ids)
+	}
+	// Insert marks the index dirty; next lookup rebuilds.
+	if err := tbl.Insert([]Value{IntValue(9), TextValue("delta"), IntValue(25)}); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = tbl.lookupRange(tbl.ColIndex("score"), &lo, &hi, true, false)
+	if len(ids) != 3 {
+		t.Errorf("after insert range ids = %v", ids)
+	}
+	// Open bounds.
+	ids, _ = tbl.lookupRange(tbl.ColIndex("score"), nil, nil, false, false)
+	if len(ids) != tbl.NumRows() {
+		t.Errorf("open range should return all rows, got %d", len(ids))
+	}
+}
+
+func TestDBTables(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable(Schema{Name: "a", Columns: []Column{{Name: "x", Type: TypeInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(Schema{Name: "A"}); err == nil {
+		t.Error("case-insensitive duplicate table should fail")
+	}
+	if db.Table("A") == nil {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if db.Table("zzz") != nil {
+		t.Error("missing table should be nil")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,111 @@
+package relstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	if IntValue(42).String() != "42" || TextValue("x").String() != "x" || NullValue.String() != "NULL" {
+		t.Error("value rendering wrong")
+	}
+}
+
+func TestValueSQL(t *testing.T) {
+	if IntValue(-3).SQL() != "-3" {
+		t.Errorf("int SQL = %q", IntValue(-3).SQL())
+	}
+	if TextValue("a'b").SQL() != "'a''b'" {
+		t.Errorf("text SQL = %q", TextValue("a'b").SQL())
+	}
+	if NullValue.SQL() != "NULL" {
+		t.Errorf("null SQL = %q", NullValue.SQL())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{TextValue("a"), TextValue("b"), -1},
+		{TextValue("b"), TextValue("b"), 0},
+		{NullValue, IntValue(0), -1},
+		{IntValue(0), NullValue, 1},
+		{NullValue, NullValue, 0},
+		{IntValue(5), TextValue("5"), 0}, // numeric coercion
+		{IntValue(5), TextValue("10"), -1},
+		{TextValue("10"), IntValue(5), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive for ints.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := IntValue(a), IntValue(b)
+		return Compare(va, vb) == -Compare(vb, va) && Compare(va, va) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"/bin/tar", "%/bin/tar%", true},
+		{"/usr/bin/tar", "%/bin/tar%", true},
+		{"/bin/tar", "/bin/tar", true},
+		{"/bin/tart", "/bin/tar", false},
+		{"/bin/tar", "%tar", true},
+		{"/bin/tar", "tar%", false},
+		{"/bin/tar", "/bin/%", true},
+		{"abc", "a_c", true},
+		{"abbc", "a_c", false},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"/tmp/upload.tar.bz2", "%upload%", true},
+		{"192.168.29.128", "192.168.%", true},
+		{"anything", "%%%", true},
+		{"ab", "_%", true},
+		{"", "_", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: a pattern equal to the string always matches when the string
+// contains no wildcards; '%'+s+'%' always matches any superstring.
+func TestLikeMatchProperty(t *testing.T) {
+	clean := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			if r != '%' && r != '_' {
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	f := func(pre, mid, post string) bool {
+		m := clean(mid)
+		full := clean(pre) + m + clean(post)
+		return likeMatch(m, m) && likeMatch(full, "%"+m+"%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package synth implements ThreatRaptor's TBQL query synthesis: it
+// automatically converts a threat behavior graph extracted from OSCTI
+// text into an executable TBQL query.
+//
+// Synthesis proceeds in the paper's stages: (1) screening filters out
+// graph nodes whose IOC types are not captured by system auditing;
+// (2) each remaining edge's IOC relation verb is mapped to a TBQL
+// operation with a rule table; (3) subject/object entities are
+// synthesized from the source/sink nodes and connected into event
+// patterns; (4) temporal relationships are synthesized from edge sequence
+// numbers; (5) the return clause lists all entity IDs. User-defined plans
+// can additionally synthesize path patterns and time windows.
+package synth
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/extract"
+	"repro/internal/ioc"
+	"repro/internal/tbql"
+)
+
+// Plan configures synthesis. The zero value is the default plan
+// (basic event patterns, no time window).
+type Plan struct {
+	// UsePaths synthesizes variable-length path patterns instead of
+	// single event patterns, covering chains where intermediate processes
+	// were omitted from the OSCTI text.
+	UsePaths bool
+	// PathMin/PathMax bound path patterns (PathMax 0 = engine default).
+	PathMin, PathMax int
+	// Window, when non-nil, attaches a time window to every pattern.
+	Window *tbql.TimeWindow
+	// VerbOps overrides or extends the default verb→operation rules.
+	VerbOps map[string]string
+}
+
+// Report describes what screening and mapping dropped.
+type Report struct {
+	DroppedNodes []string // node texts with uncaptured IOC types
+	DroppedEdges []string // edges with unmappable verbs
+}
+
+// defaultVerbOps maps relation-verb lemmas to TBQL operations when the
+// object is a file.
+var defaultVerbOps = map[string]string{
+	"read": "read", "scan": "read", "access": "read", "open": "read",
+	"steal": "read", "gather": "read", "collect": "read",
+	"compress": "read", "encrypt": "read", "decrypt": "read",
+	"copy": "read", "exfiltrate": "read", "leak": "read",
+	"write": "write", "download": "write", "drop": "write",
+	"create": "write", "install": "write", "modify": "write",
+	"overwrite": "write", "save": "write", "store": "write",
+	"upload": "write", "inject": "write",
+	"execute": "execute", "run": "execute", "launch": "execute",
+	"use": "execute", "leverage": "execute", "invoke": "execute",
+	"spawn": "execute", "fork": "execute",
+	"delete": "delete", "remove": "delete",
+	"rename": "rename", "chmod": "chmod", "persist": "write",
+}
+
+// netVerbOps maps verbs to operations when the object is a network
+// connection: any data-movement verb towards a network endpoint is a
+// connection in the audit stream.
+var netVerbOps = map[string]string{
+	"connect": "connect", "contact": "connect", "communicate": "connect",
+	"beacon": "connect", "send": "connect", "transfer": "connect",
+	"leak": "connect", "exfiltrate": "connect", "upload": "connect",
+	"download": "connect", "receive": "connect", "fetch": "connect",
+	"request": "connect", "query": "connect", "resolve": "connect",
+	"access": "connect", "use": "connect",
+}
+
+// capturedType reports whether system auditing captures this IOC type
+// (screening rule).
+func capturedType(t ioc.Type) bool {
+	switch t {
+	case ioc.Filepath, ioc.Filename, ioc.IP, ioc.CIDR:
+		return true
+	default:
+		return false
+	}
+}
+
+// Synthesize converts a threat behavior graph into an analyzed TBQL
+// query using the given plan (nil = default plan). It returns the query,
+// a report of screened-out elements, and an error when nothing
+// synthesizable remains.
+func Synthesize(g *extract.Graph, plan *Plan) (*tbql.Query, *Report, error) {
+	if plan == nil {
+		plan = &Plan{}
+	}
+	rep := &Report{}
+
+	// Stage 1: screening.
+	keep := make([]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if capturedType(n.Type) {
+			keep[i] = true
+		} else {
+			rep.DroppedNodes = append(rep.DroppedNodes, n.Text)
+		}
+	}
+
+	q := &tbql.Query{Distinct: true}
+	// Entity IDs per (node, role): subjects become proc entities,
+	// objects become file/ip entities.
+	type roleKey struct {
+		node int
+		role string // "subj" | "objfile" | "objip"
+	}
+	entityID := map[roleKey]string{}
+	filtered := map[string]bool{} // entity IDs that already carry a filter
+	var nProc, nFile, nIP int
+
+	entity := func(node int, role string) tbql.EntityRef {
+		n := g.NodeByID(node)
+		k := roleKey{node, role}
+		id, ok := entityID[k]
+		var typ tbql.EntityType
+		switch role {
+		case "subj":
+			typ = tbql.EntProc
+		case "objfile":
+			typ = tbql.EntFile
+		default:
+			typ = tbql.EntIP
+		}
+		if !ok || typ == tbql.EntIP {
+			// Processes and files are stable artifacts: reusing the
+			// entity ID across patterns asserts they are the same system
+			// entity. Network connections are per-flow entities (each
+			// connection to the same address is a new entity with a new
+			// source port), so every IP occurrence gets a fresh variable
+			// carrying the same dstip filter.
+			switch role {
+			case "subj":
+				nProc++
+				id = "p" + strconv.Itoa(nProc)
+			case "objfile":
+				nFile++
+				id = "f" + strconv.Itoa(nFile)
+			default:
+				nIP++
+				id = "i" + strconv.Itoa(nIP)
+			}
+			entityID[k] = id
+		}
+		ref := tbql.EntityRef{Type: typ, ID: id}
+		if !filtered[id] {
+			filtered[id] = true
+			ref.Filter = nodeFilter(typ, n)
+		}
+		return ref
+	}
+
+	// Stages 2-3: map verbs and synthesize event patterns, ordered by
+	// edge sequence number (edges are already seq-ordered).
+	var names []string
+	for _, e := range g.Edges {
+		if !keep[e.Src] || !keep[e.Dst] {
+			continue
+		}
+		dst := g.NodeByID(e.Dst)
+		objIsNet := dst.Type == ioc.IP || dst.Type == ioc.CIDR
+
+		op, ok := plan.VerbOps[e.Verb]
+		if !ok {
+			if objIsNet {
+				op, ok = netVerbOps[e.Verb]
+			} else {
+				op, ok = defaultVerbOps[e.Verb]
+			}
+		}
+		if !ok {
+			rep.DroppedEdges = append(rep.DroppedEdges,
+				fmt.Sprintf("%s -%s-> %s", g.NodeByID(e.Src).Text, e.Verb, dst.Text))
+			continue
+		}
+
+		objRole := "objfile"
+		if objIsNet {
+			objRole = "objip"
+		}
+		pat := tbql.EventPattern{
+			Subj: entity(e.Src, "subj"),
+			Ops:  []string{op},
+			Obj:  entity(e.Dst, objRole),
+			Name: "evt" + strconv.Itoa(e.Seq),
+		}
+		if plan.UsePaths {
+			pat.IsPath = true
+			pat.MinHops = plan.PathMin
+			if pat.MinHops < 1 {
+				pat.MinHops = 1
+			}
+			pat.MaxHops = plan.PathMax
+		}
+		if plan.Window != nil {
+			w := *plan.Window
+			pat.Window = &w
+		}
+		q.Patterns = append(q.Patterns, pat)
+		names = append(names, pat.Name)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, rep, fmt.Errorf("synth: no synthesizable patterns in behavior graph")
+	}
+
+	// Stage 4: temporal relationships from sequence numbers.
+	for i := 1; i < len(names); i++ {
+		q.Temporal = append(q.Temporal, tbql.TemporalRel{A: names[i-1], Op: "before", B: names[i]})
+	}
+
+	// Stage 5: return clause with all entity IDs in first-use order.
+	seen := map[string]bool{}
+	for _, pat := range q.Patterns {
+		for _, id := range []string{pat.Subj.ID, pat.Obj.ID} {
+			if !seen[id] {
+				seen[id] = true
+				q.Return = append(q.Return, tbql.ReturnItem{ID: id})
+			}
+		}
+	}
+
+	if err := tbql.Analyze(q); err != nil {
+		return nil, rep, fmt.Errorf("synth: synthesized query fails analysis: %w", err)
+	}
+	return q, rep, nil
+}
+
+// nodeFilter builds the attribute filter for a node's first occurrence:
+// substring match on the default attribute for processes and files, exact
+// match for IPs.
+func nodeFilter(t tbql.EntityType, n *extract.Node) tbql.Expr {
+	switch t {
+	case tbql.EntIP:
+		return tbql.CmpExpr{Op: "=", Str: n.Text}
+	default:
+		return tbql.CmpExpr{Op: "like", Str: "%" + n.Text + "%"}
+	}
+}

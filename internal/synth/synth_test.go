@@ -1,0 +1,230 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/ioc"
+	"repro/internal/tbql"
+)
+
+// fig2Graph builds the Fig. 2 threat behavior graph by hand (the extract
+// package has its own tests for producing it from text).
+func fig2Graph() *extract.Graph {
+	g := &extract.Graph{}
+	add := func(t ioc.Type, text string) int {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, extract.Node{ID: id, Type: t, Text: text})
+		return id
+	}
+	tar := add(ioc.Filepath, "/bin/tar")
+	passwd := add(ioc.Filepath, "/etc/passwd")
+	uploadTar := add(ioc.Filepath, "/tmp/upload.tar")
+	bzip := add(ioc.Filepath, "/bin/bzip2")
+	bz2 := add(ioc.Filepath, "/tmp/upload.tar.bz2")
+	gpg := add(ioc.Filepath, "/usr/bin/gpg")
+	upload := add(ioc.Filepath, "/tmp/upload")
+	curl := add(ioc.Filepath, "/usr/bin/curl")
+	c2 := add(ioc.IP, "192.168.29.128")
+	edges := []struct {
+		src, dst int
+		verb     string
+	}{
+		{tar, passwd, "read"}, {tar, uploadTar, "write"},
+		{bzip, uploadTar, "read"}, {bzip, bz2, "write"},
+		{gpg, bz2, "read"}, {gpg, upload, "write"},
+		{curl, upload, "read"}, {curl, c2, "connect"},
+	}
+	for i, e := range edges {
+		g.Edges = append(g.Edges, extract.Edge{Src: e.src, Dst: e.dst, Verb: e.verb, Seq: i + 1})
+	}
+	return g
+}
+
+func TestSynthesizeFig2(t *testing.T) {
+	q, rep, err := Synthesize(fig2Graph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DroppedNodes) != 0 || len(rep.DroppedEdges) != 0 {
+		t.Errorf("unexpected drops: %+v", rep)
+	}
+	if len(q.Patterns) != 8 {
+		t.Fatalf("want 8 patterns, got %d\n%s", len(q.Patterns), q.String())
+	}
+	if len(q.Temporal) != 7 {
+		t.Errorf("want 7 temporal rels, got %d", len(q.Temporal))
+	}
+	if !q.Distinct || len(q.Return) != 9 {
+		t.Errorf("return: distinct=%v n=%d", q.Distinct, len(q.Return))
+	}
+	// The same process node reused keeps one entity ID: p1 in evt1+evt2.
+	if q.Patterns[0].Subj.ID != q.Patterns[1].Subj.ID {
+		t.Errorf("tar process should reuse entity ID: %s vs %s",
+			q.Patterns[0].Subj.ID, q.Patterns[1].Subj.ID)
+	}
+	// Shared file f2 between evt2 (object) and evt3 (object).
+	if q.Patterns[1].Obj.ID != q.Patterns[2].Obj.ID {
+		t.Errorf("upload.tar should reuse entity ID")
+	}
+	// Filters only on first use.
+	if q.Patterns[1].Subj.Filter != nil {
+		t.Error("second use of p1 should carry no filter")
+	}
+	// Rendered text matches the Fig. 2 query shape.
+	text := q.String()
+	for _, want := range []string{
+		`proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1`,
+		`proc p1 write file f2["%/tmp/upload.tar%"] as evt2`,
+		`proc p4 connect ip i1["192.168.29.128"] as evt8`,
+		`with evt1 before evt2`,
+		`return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("synthesized query missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSynthesizeScreening(t *testing.T) {
+	g := &extract.Graph{
+		Nodes: []extract.Node{
+			{ID: 0, Type: ioc.Filepath, Text: "/bin/sh"},
+			{ID: 1, Type: ioc.Domain, Text: "evil.com"}, // not captured
+			{ID: 2, Type: ioc.Filepath, Text: "/etc/passwd"},
+		},
+		Edges: []extract.Edge{
+			{Src: 0, Dst: 1, Verb: "connect", Seq: 1},
+			{Src: 0, Dst: 2, Verb: "read", Seq: 2},
+		},
+	}
+	q, rep, err := Synthesize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 {
+		t.Errorf("domain edge should be screened out: %s", q.String())
+	}
+	if len(rep.DroppedNodes) != 1 || rep.DroppedNodes[0] != "evil.com" {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSynthesizeVerbMapping(t *testing.T) {
+	g := &extract.Graph{
+		Nodes: []extract.Node{
+			{ID: 0, Type: ioc.Filepath, Text: "/usr/bin/wget"},
+			{ID: 1, Type: ioc.Filepath, Text: "/tmp/cracker"},
+			{ID: 2, Type: ioc.IP, Text: "10.1.1.1"},
+		},
+		Edges: []extract.Edge{
+			{Src: 0, Dst: 1, Verb: "download", Seq: 1}, // file object -> write
+			{Src: 0, Dst: 2, Verb: "download", Seq: 2}, // net object -> connect
+		},
+	}
+	q, _, err := Synthesize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].Ops[0] != "write" {
+		t.Errorf("download->file should map to write, got %s", q.Patterns[0].Ops[0])
+	}
+	if q.Patterns[1].Ops[0] != "connect" {
+		t.Errorf("download->ip should map to connect, got %s", q.Patterns[1].Ops[0])
+	}
+}
+
+func TestSynthesizeUnknownVerbDropped(t *testing.T) {
+	g := &extract.Graph{
+		Nodes: []extract.Node{
+			{ID: 0, Type: ioc.Filepath, Text: "/bin/a"},
+			{ID: 1, Type: ioc.Filepath, Text: "/bin/b"},
+		},
+		Edges: []extract.Edge{
+			{Src: 0, Dst: 1, Verb: "contemplate", Seq: 1},
+			{Src: 0, Dst: 1, Verb: "read", Seq: 2},
+		},
+	}
+	q, rep, err := Synthesize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 || len(rep.DroppedEdges) != 1 {
+		t.Errorf("unknown verb handling wrong: %d patterns, %+v", len(q.Patterns), rep)
+	}
+}
+
+func TestSynthesizeCustomVerbOps(t *testing.T) {
+	g := &extract.Graph{
+		Nodes: []extract.Node{
+			{ID: 0, Type: ioc.Filepath, Text: "/bin/a"},
+			{ID: 1, Type: ioc.Filepath, Text: "/tmp/x"},
+		},
+		Edges: []extract.Edge{{Src: 0, Dst: 1, Verb: "zap", Seq: 1}},
+	}
+	q, _, err := Synthesize(g, &Plan{VerbOps: map[string]string{"zap": "delete"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].Ops[0] != "delete" {
+		t.Errorf("custom verb rule ignored: %s", q.Patterns[0].Ops[0])
+	}
+}
+
+func TestSynthesizePathPlan(t *testing.T) {
+	q, _, err := Synthesize(fig2Graph(), &Plan{UsePaths: true, PathMin: 1, PathMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range q.Patterns {
+		if !pat.IsPath || pat.MaxHops != 4 {
+			t.Errorf("path plan not applied: %+v", pat)
+		}
+	}
+	// Round-trips through the parser.
+	if _, err := tbql.Parse(q.String()); err != nil {
+		t.Errorf("path query does not re-parse: %v\n%s", err, q.String())
+	}
+}
+
+func TestSynthesizeWindowPlan(t *testing.T) {
+	w := &tbql.TimeWindow{From: 100, To: 900}
+	q, _, err := Synthesize(fig2Graph(), &Plan{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range q.Patterns {
+		if pat.Window == nil || pat.Window.From != 100 {
+			t.Errorf("window not applied: %+v", pat.Window)
+		}
+	}
+}
+
+func TestSynthesizeEmptyGraph(t *testing.T) {
+	if _, _, err := Synthesize(&extract.Graph{}, nil); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestSynthesizedQueryReparses(t *testing.T) {
+	q, _, err := Synthesize(fig2Graph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbql.Parse(q.String()); err != nil {
+		t.Errorf("synthesized text does not re-parse: %v\n%s", err, q.String())
+	}
+}
+
+func TestSynthesizeFromExtractedFig2(t *testing.T) {
+	// Full front half of the pipeline: text -> graph -> query.
+	g := extract.Extract(extract.Fig2Text)
+	q, _, err := Synthesize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) < 8 {
+		t.Errorf("expected >= 8 patterns from Fig. 2 text, got %d\n%s", len(q.Patterns), q.String())
+	}
+}

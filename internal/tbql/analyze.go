@@ -1,0 +1,213 @@
+package tbql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/audit"
+)
+
+// validAttrs lists the filterable attributes per entity type. The empty
+// attribute in a filter or return item resolves to the type's default.
+var validAttrs = map[EntityType]map[string]bool{
+	EntProc: {"exename": true, "name": true, "pid": true, "host": true, "id": true},
+	EntFile: {"name": true, "path": true, "host": true, "id": true},
+	EntIP: {"srcip": true, "srcport": true, "dstip": true, "dstport": true,
+		"proto": true, "name": true, "host": true, "id": true},
+}
+
+// EntityInfo is the analyzer's record of one entity ID.
+type EntityInfo struct {
+	ID       string
+	Type     EntityType
+	Filters  []Expr // all filters attached across pattern occurrences
+	FirstUse int    // pattern index of first occurrence
+}
+
+// Analysis is attached to a query after semantic analysis.
+type Analysis struct {
+	Entities map[string]*EntityInfo
+	// Order lists entity IDs in first-use order.
+	Order []string
+}
+
+// Info returns the analysis of an analyzed query, or nil before Analyze.
+func (q *Query) Info() *Analysis { return q.analysis }
+
+// Analyze performs semantic analysis in place: it checks operation/object
+// compatibility, entity ID consistency, name uniqueness and resolution,
+// validates filter attributes, fills in default attributes, and assigns
+// names to anonymous patterns.
+func Analyze(q *Query) error {
+	a := &Analysis{Entities: map[string]*EntityInfo{}}
+
+	names := map[string]bool{}
+	for i := range q.Patterns {
+		pat := &q.Patterns[i]
+
+		// Subject must be a process.
+		if pat.Subj.Type != EntProc {
+			return fmt.Errorf("tbql: pattern %d: subject must be proc, got %s", i+1, pat.Subj.Type)
+		}
+		// Operations must be known and agree with the object type.
+		if len(pat.Ops) == 0 {
+			return fmt.Errorf("tbql: pattern %d: no operation", i+1)
+		}
+		for _, opName := range pat.Ops {
+			op, err := audit.ParseOpType(opName)
+			if err != nil {
+				return fmt.Errorf("tbql: pattern %d: %w", i+1, err)
+			}
+			want := entForAudit(op.ObjectType())
+			if want != pat.Obj.Type {
+				return fmt.Errorf("tbql: pattern %d: operation %q requires a %s object, got %s",
+					i+1, opName, want, pat.Obj.Type)
+			}
+		}
+		// Path patterns: bounds already checked by the parser; unbounded
+		// max is capped by the engine.
+		if pat.IsPath && pat.MaxHops != 0 && pat.MaxHops < pat.MinHops {
+			return fmt.Errorf("tbql: pattern %d: invalid path bounds", i+1)
+		}
+
+		// Names: assign evt<i> to anonymous patterns; enforce uniqueness.
+		if pat.Name == "" {
+			pat.Name = "evt" + strconv.Itoa(i+1)
+		}
+		if names[pat.Name] {
+			return fmt.Errorf("tbql: duplicate event name %q", pat.Name)
+		}
+		names[pat.Name] = true
+
+		// Entities.
+		for _, ref := range []*EntityRef{&pat.Subj, &pat.Obj} {
+			info, seen := a.Entities[ref.ID]
+			if !seen {
+				info = &EntityInfo{ID: ref.ID, Type: ref.Type, FirstUse: i}
+				a.Entities[ref.ID] = info
+				a.Order = append(a.Order, ref.ID)
+			} else if info.Type != ref.Type {
+				return fmt.Errorf("tbql: entity %q used as both %s and %s", ref.ID, info.Type, ref.Type)
+			}
+			if ref.Filter != nil {
+				norm, err := normalizeFilter(ref.Filter, ref.Type)
+				if err != nil {
+					return fmt.Errorf("tbql: entity %q: %w", ref.ID, err)
+				}
+				ref.Filter = norm
+				info.Filters = append(info.Filters, norm)
+			}
+		}
+	}
+
+	// With-clause references.
+	for _, tr := range q.Temporal {
+		if !names[tr.A] {
+			return fmt.Errorf("tbql: temporal relation references unknown event %q", tr.A)
+		}
+		if !names[tr.B] {
+			return fmt.Errorf("tbql: temporal relation references unknown event %q", tr.B)
+		}
+		if tr.A == tr.B {
+			return fmt.Errorf("tbql: temporal relation compares event %q with itself", tr.A)
+		}
+	}
+	eventAttrs := map[string]bool{
+		"srcid": true, "dstid": true, "starttime": true, "endtime": true,
+		"amount": true, "optype": true, "id": true, "host": true,
+	}
+	for _, ar := range q.AttrRels {
+		if !names[ar.AEvt] {
+			return fmt.Errorf("tbql: attribute relation references unknown event %q", ar.AEvt)
+		}
+		if !eventAttrs[ar.AAttr] {
+			return fmt.Errorf("tbql: attribute relation uses unknown event attribute %q", ar.AAttr)
+		}
+		if ar.BIsLit {
+			continue
+		}
+		if !names[ar.BEvt] {
+			return fmt.Errorf("tbql: attribute relation references unknown event %q", ar.BEvt)
+		}
+		if !eventAttrs[ar.BAttr] {
+			return fmt.Errorf("tbql: attribute relation uses unknown event attribute %q", ar.BAttr)
+		}
+	}
+
+	// Return items: entity IDs with default-attribute inference.
+	if len(q.Return) == 0 {
+		return fmt.Errorf("tbql: query has no return clause")
+	}
+	for i := range q.Return {
+		item := &q.Return[i]
+		info, ok := a.Entities[item.ID]
+		if !ok {
+			return fmt.Errorf("tbql: return references unknown entity %q", item.ID)
+		}
+		if item.Attr == "" {
+			item.Attr = info.Type.DefaultAttr()
+		} else if !validAttrs[info.Type][item.Attr] {
+			return fmt.Errorf("tbql: return item %s.%s: unknown attribute for %s", item.ID, item.Attr, info.Type)
+		}
+	}
+
+	q.analysis = a
+	return nil
+}
+
+// entForAudit maps an audit entity type to the TBQL keyword.
+func entForAudit(t audit.EntityType) EntityType {
+	switch t {
+	case audit.EntityFile:
+		return EntFile
+	case audit.EntityProcess:
+		return EntProc
+	case audit.EntityNetConn:
+		return EntIP
+	default:
+		return ""
+	}
+}
+
+// normalizeFilter fills empty attributes with the entity default and
+// validates attribute names, returning the rewritten expression.
+func normalizeFilter(e Expr, t EntityType) (Expr, error) {
+	switch x := e.(type) {
+	case AndExpr:
+		l, err := normalizeFilter(x.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := normalizeFilter(x.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return AndExpr{L: l, R: r}, nil
+	case OrExpr:
+		l, err := normalizeFilter(x.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := normalizeFilter(x.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return OrExpr{L: l, R: r}, nil
+	case NotExpr:
+		inner, err := normalizeFilter(x.E, t)
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: inner}, nil
+	case CmpExpr:
+		if x.Attr == "" {
+			x.Attr = t.DefaultAttr()
+		}
+		if !validAttrs[t][x.Attr] {
+			return nil, fmt.Errorf("unknown attribute %q for %s entity", x.Attr, t)
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("unknown filter expression %T", e)
+	}
+}

@@ -1,0 +1,156 @@
+// Package tbql implements the Threat Behavior Query Language: a concise,
+// declarative domain-specific language for hunting multi-step system
+// activities in system audit logging data. TBQL treats system entities
+// (processes, files, network connections) and system events as first-class
+// citizens.
+//
+// The basic event pattern syntax specifies ⟨subject, operation, object⟩
+// patterns with optional attribute filters, names them with "as", and
+// constrains them with a "with" clause of temporal and attribute
+// relationships plus a "return" clause:
+//
+//	proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+//	proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+//	with evt1 before evt2
+//	return distinct p1, f1, f2
+//
+// The advanced syntax specifies variable-length event path patterns:
+//
+//	proc p ~>[read] file f as evt1            // any length, final hop read
+//	proc p ~>(2~4)[read] file f as evt2       // between 2 and 4 hops
+//
+// Operators (&&, ||, !, comparison) are supported in event operations and
+// attribute filters; optional time windows ("from <t> to <t>") constrain
+// individual patterns. The package provides the lexer, recursive-descent
+// parser (substituting for the paper's ANTLR 4 grammar), AST, and semantic
+// analyzer.
+package tbql
+
+import (
+	"strings"
+)
+
+// EntityType is a TBQL entity type keyword.
+type EntityType string
+
+// TBQL entity types.
+const (
+	EntProc EntityType = "proc"
+	EntFile EntityType = "file"
+	EntIP   EntityType = "ip"
+)
+
+// DefaultAttr returns the default attribute used when a filter or return
+// item omits the attribute name: "exename" for processes, "name" for
+// files, "dstip" for network connections.
+func (t EntityType) DefaultAttr() string {
+	switch t {
+	case EntProc:
+		return "exename"
+	case EntFile:
+		return "name"
+	case EntIP:
+		return "dstip"
+	}
+	return "name"
+}
+
+// EntityRef is one occurrence of an entity in an event pattern.
+type EntityRef struct {
+	Type   EntityType
+	ID     string
+	Filter Expr // may be nil
+}
+
+// EventPattern is one ⟨subject, operation, object⟩ pattern, optionally a
+// variable-length path pattern.
+type EventPattern struct {
+	Subj EntityRef
+	// Ops is the operation expression: a disjunction of operation names.
+	Ops []string
+	// NegOps marks a negated operation set (op != read).
+	NegOps bool
+	Obj    EntityRef
+	Name   string // "as evtN"
+
+	// Path pattern fields.
+	IsPath  bool
+	MinHops int // 1 when unspecified
+	MaxHops int // 0 = unbounded (engine applies its cap)
+
+	Window *TimeWindow
+}
+
+// TimeWindow constrains a pattern to [From, To] in unix nanoseconds.
+type TimeWindow struct {
+	From int64
+	To   int64
+}
+
+// TemporalRel is "evtA before evtB" or "evtA after evtB".
+type TemporalRel struct {
+	A, B string
+	Op   string // "before" | "after"
+}
+
+// AttrRel is an attribute relationship between two named events
+// ("evt1.srcid = evt2.srcid") or between a named event's attribute and a
+// literal ("evt1.amount > 4096", in which case BIsLit is set).
+type AttrRel struct {
+	AEvt, AAttr string
+	Op          string // = != < <= > >=
+	BEvt, BAttr string
+	BIsLit      bool
+	BLit        int64
+}
+
+// ReturnItem is one projection: an entity ID with an optional attribute
+// (default attribute inferred when empty) or a named event's attribute.
+type ReturnItem struct {
+	ID   string
+	Attr string
+}
+
+// Query is a parsed TBQL query.
+type Query struct {
+	Patterns []EventPattern
+	Temporal []TemporalRel
+	AttrRels []AttrRel
+	Distinct bool
+	Return   []ReturnItem
+
+	analysis *Analysis // set by Analyze
+}
+
+// Expr is a filter expression over entity attributes.
+type Expr interface{ isExpr() }
+
+// AndExpr / OrExpr / NotExpr combine filters.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr negates.
+type NotExpr struct{ E Expr }
+
+// CmpExpr compares an attribute with a literal. Attr may be empty,
+// meaning the entity's default attribute. Op "like" is produced when a
+// string literal contains SQL wildcards or when written explicitly.
+type CmpExpr struct {
+	Attr  string
+	Op    string // = != < <= > >= like
+	Str   string // string literal (Op like/=/!= on text)
+	Num   int64
+	IsNum bool
+}
+
+func (AndExpr) isExpr() {}
+func (OrExpr) isExpr()  {}
+func (NotExpr) isExpr() {}
+func (CmpExpr) isExpr() {}
+
+// HasWildcard reports whether a string literal uses SQL LIKE wildcards.
+func HasWildcard(s string) bool {
+	return strings.ContainsAny(s, "%_")
+}

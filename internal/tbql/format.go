@@ -1,0 +1,137 @@
+package tbql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the query back to TBQL source. Parsing the output of
+// String yields an equivalent query (round-trip property, covered by
+// tests).
+func (q *Query) String() string {
+	var b strings.Builder
+	for _, pat := range q.Patterns {
+		b.WriteString(formatPattern(pat))
+		b.WriteByte('\n')
+	}
+	if len(q.Temporal) > 0 || len(q.AttrRels) > 0 {
+		b.WriteString("with ")
+		var items []string
+		for _, tr := range q.Temporal {
+			items = append(items, fmt.Sprintf("%s %s %s", tr.A, tr.Op, tr.B))
+		}
+		for _, ar := range q.AttrRels {
+			if ar.BIsLit {
+				items = append(items, fmt.Sprintf("%s.%s %s %d", ar.AEvt, ar.AAttr, ar.Op, ar.BLit))
+			} else {
+				items = append(items, fmt.Sprintf("%s.%s %s %s.%s", ar.AEvt, ar.AAttr, ar.Op, ar.BEvt, ar.BAttr))
+			}
+		}
+		b.WriteString(strings.Join(items, ", "))
+		b.WriteByte('\n')
+	}
+	b.WriteString("return ")
+	if q.Distinct {
+		b.WriteString("distinct ")
+	}
+	var items []string
+	for _, r := range q.Return {
+		attr := r.Attr
+		// Default-attribute sugar: omit the attribute when it is the
+		// entity type's default (requires analysis to know the type).
+		if q.analysis != nil {
+			if info, ok := q.analysis.Entities[r.ID]; ok && attr == info.Type.DefaultAttr() {
+				attr = ""
+			}
+		}
+		if attr == "" {
+			items = append(items, r.ID)
+		} else {
+			items = append(items, r.ID+"."+attr)
+		}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	return b.String()
+}
+
+func formatPattern(pat EventPattern) string {
+	var b strings.Builder
+	b.WriteString(formatEntity(pat.Subj))
+	b.WriteByte(' ')
+	if pat.IsPath {
+		b.WriteString("~>")
+		if !(pat.MinHops == 1 && pat.MaxHops == 0) {
+			fmt.Fprintf(&b, "(%d~%d)", pat.MinHops, pat.MaxHops)
+		}
+		b.WriteByte('[')
+		b.WriteString(formatOps(pat))
+		b.WriteByte(']')
+	} else {
+		b.WriteString(formatOps(pat))
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatEntity(pat.Obj))
+	if pat.Name != "" {
+		b.WriteString(" as ")
+		b.WriteString(pat.Name)
+	}
+	if pat.Window != nil {
+		fmt.Fprintf(&b, " from %d to %d", pat.Window.From, pat.Window.To)
+	}
+	return b.String()
+}
+
+func formatOps(pat EventPattern) string {
+	s := strings.Join(pat.Ops, " || ")
+	if pat.NegOps {
+		return "!" + s
+	}
+	return s
+}
+
+func formatEntity(e EntityRef) string {
+	var b strings.Builder
+	b.WriteString(string(e.Type))
+	b.WriteByte(' ')
+	b.WriteString(e.ID)
+	if e.Filter != nil {
+		b.WriteByte('[')
+		b.WriteString(FormatFilter(e.Filter, e.Type))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// FormatFilter renders a filter expression; default attributes are
+// rendered in sugar form (bare string literal).
+func FormatFilter(e Expr, t EntityType) string {
+	switch x := e.(type) {
+	case AndExpr:
+		return FormatFilter(x.L, t) + " && " + FormatFilter(x.R, t)
+	case OrExpr:
+		return "(" + FormatFilter(x.L, t) + " || " + FormatFilter(x.R, t) + ")"
+	case NotExpr:
+		return "!(" + FormatFilter(x.E, t) + ")"
+	case CmpExpr:
+		lit := quote(x.Str)
+		if x.IsNum {
+			lit = fmt.Sprintf("%d", x.Num)
+		}
+		// Sugar: default attribute with = / like collapses to the bare
+		// literal.
+		if !x.IsNum && (x.Attr == "" || x.Attr == t.DefaultAttr()) && (x.Op == "=" || x.Op == "like") {
+			return lit
+		}
+		op := x.Op
+		if op == "like" {
+			return fmt.Sprintf("%s like %s", x.Attr, lit)
+		}
+		return fmt.Sprintf("%s %s %s", x.Attr, op, lit)
+	default:
+		return "?"
+	}
+}
+
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

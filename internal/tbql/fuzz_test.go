@@ -1,0 +1,31 @@
+package tbql
+
+import "testing"
+
+// FuzzParse: the TBQL parser and analyzer must never panic, and every
+// accepted query must render to text that re-parses.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		Fig2Query,
+		"proc p read file f as e1\nreturn p",
+		"proc p ~>(2~4)[read || write] file f as e1\nwith e1.amount > 5\nreturn distinct p, f",
+		"proc p[exename like \"%x%\" && pid > 1] !read file f[host = \"h\"] as e1 from 1 to 9\nreturn p.pid",
+		"proc p read file f as e1\nproc p write file g as e2\nwith e1 before e2, e1.srcid = e2.srcid\nreturn p, f, g",
+		"return p",
+		"proc p read file",
+		"proc p[\"unterminated] read file f\nreturn p",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := q.String()
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("accepted query renders unparseable text: %v\ninput: %q\nrendered: %q", err, src, out)
+		}
+	})
+}

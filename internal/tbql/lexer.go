@@ -1,0 +1,115 @@
+package tbql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokSymbol
+)
+
+var keywords = map[string]bool{
+	"proc": true, "file": true, "ip": true, "as": true, "with": true,
+	"before": true, "after": true, "return": true, "distinct": true,
+	"from": true, "to": true, "not": true, "like": true, "and": true,
+	"or": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int
+}
+
+// lex tokenizes TBQL source. Strings use double quotes with "" escaping.
+func lex(src string) ([]token, error) {
+	var toks []token
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+		case c == '#': // comment to end of line
+			for pos < len(src) && src[pos] != '\n' {
+				pos++
+			}
+		case c == '"':
+			start := pos
+			pos++
+			var b strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == '"' {
+					if pos+1 < len(src) && src[pos+1] == '"' {
+						b.WriteByte('"')
+						pos += 2
+						continue
+					}
+					pos++
+					closed = true
+					break
+				}
+				b.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("tbql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: start})
+		case c >= '0' && c <= '9':
+			start := pos
+			for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+				pos++
+			}
+			n, err := strconv.ParseInt(src[start:pos], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tbql: bad number at offset %d: %v", start, err)
+			}
+			toks = append(toks, token{kind: tokNumber, num: n, text: src[start:pos], pos: start})
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := pos
+			for pos < len(src) && (src[pos] == '_' || unicode.IsLetter(rune(src[pos])) || unicode.IsDigit(rune(src[pos]))) {
+				pos++
+			}
+			word := src[start:pos]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, token{kind: tokKeyword, text: lower, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			two := ""
+			if pos+1 < len(src) {
+				two = src[pos : pos+2]
+			}
+			switch two {
+			case "~>", "&&", "||", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: pos})
+				pos += 2
+				continue
+			}
+			switch c {
+			case '[', ']', '(', ')', ',', '.', '~', '=', '<', '>', '!', '-':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: pos})
+				pos++
+			default:
+				return nil, fmt.Errorf("tbql: unexpected character %q at offset %d", c, pos)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: pos})
+	return toks, nil
+}

@@ -1,0 +1,485 @@
+package tbql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a TBQL query and runs semantic analysis on it.
+func Parse(src string) (*Query, error) {
+	q, err := ParseOnly(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseOnly parses without semantic analysis (useful for tests and
+// tooling that inspects raw ASTs).
+func ParseOnly(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("tbql: unexpected trailing token %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("tbql: expected %q at offset %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("tbql: expected %q at offset %d, got %q", s, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("tbql: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	// Event patterns until "with" or "return".
+	for {
+		t := p.peek()
+		if t.kind == tokKeyword && (t.text == "with" || t.text == "return") {
+			break
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("tbql: query has no event patterns")
+	}
+
+	if p.acceptKeyword("with") {
+		for {
+			if err := p.parseWithItem(q); err != nil {
+				return nil, err
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	q.Distinct = p.acceptKeyword("distinct")
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{ID: id}
+		if p.acceptSymbol(".") {
+			attr, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Attr = strings.ToLower(attr)
+		}
+		q.Return = append(q.Return, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return q, nil
+}
+
+// parsePattern parses one event or path pattern:
+//
+//	entity op entity [as name] [from n to n]
+//	entity ~>[op] entity [as name]
+//	entity ~>(min~max)[op] entity [as name]
+func (p *parser) parsePattern() (EventPattern, error) {
+	var pat EventPattern
+	subj, err := p.parseEntity()
+	if err != nil {
+		return pat, err
+	}
+	pat.Subj = subj
+
+	if p.acceptSymbol("~>") {
+		pat.IsPath = true
+		pat.MinHops, pat.MaxHops = 1, 0
+		if p.acceptSymbol("(") {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return pat, fmt.Errorf("tbql: expected min hop count at offset %d", t.pos)
+			}
+			p.next()
+			pat.MinHops = int(t.num)
+			if err := p.expectSymbol("~"); err != nil {
+				return pat, err
+			}
+			t = p.peek()
+			if t.kind != tokNumber {
+				return pat, fmt.Errorf("tbql: expected max hop count at offset %d", t.pos)
+			}
+			p.next()
+			pat.MaxHops = int(t.num)
+			if err := p.expectSymbol(")"); err != nil {
+				return pat, err
+			}
+			if pat.MinHops < 1 || pat.MaxHops < pat.MinHops {
+				return pat, fmt.Errorf("tbql: invalid path bounds (%d~%d)", pat.MinHops, pat.MaxHops)
+			}
+		}
+		if err := p.expectSymbol("["); err != nil {
+			return pat, err
+		}
+		ops, neg, err := p.parseOps()
+		if err != nil {
+			return pat, err
+		}
+		pat.Ops, pat.NegOps = ops, neg
+		if err := p.expectSymbol("]"); err != nil {
+			return pat, err
+		}
+	} else {
+		ops, neg, err := p.parseOps()
+		if err != nil {
+			return pat, err
+		}
+		pat.Ops, pat.NegOps = ops, neg
+	}
+
+	obj, err := p.parseEntity()
+	if err != nil {
+		return pat, err
+	}
+	pat.Obj = obj
+
+	if p.acceptKeyword("as") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return pat, err
+		}
+		pat.Name = name
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "from" && p.peek2().kind == tokNumber {
+		p.next()
+		fromT := p.next()
+		if err := p.expectKeyword("to"); err != nil {
+			return pat, err
+		}
+		toT := p.peek()
+		if toT.kind != tokNumber {
+			return pat, fmt.Errorf("tbql: expected number after 'to' at offset %d", toT.pos)
+		}
+		p.next()
+		if toT.num < fromT.num {
+			return pat, fmt.Errorf("tbql: time window end %d before start %d", toT.num, fromT.num)
+		}
+		pat.Window = &TimeWindow{From: fromT.num, To: toT.num}
+	}
+	return pat, nil
+}
+
+// parseOps parses an operation expression: op, op || op, or !op.
+func (p *parser) parseOps() ([]string, bool, error) {
+	neg := false
+	if p.acceptSymbol("!") {
+		neg = true
+	}
+	var ops []string
+	for {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return nil, false, fmt.Errorf("tbql: expected operation at offset %d, got %q", t.pos, t.text)
+		}
+		p.next()
+		ops = append(ops, strings.ToLower(t.text))
+		if !p.acceptSymbol("||") {
+			break
+		}
+	}
+	return ops, neg, nil
+}
+
+// parseEntity parses: (proc|file|ip) ID [ '[' filter ']' ].
+func (p *parser) parseEntity() (EntityRef, error) {
+	var e EntityRef
+	t := p.peek()
+	if t.kind != tokKeyword || (t.text != "proc" && t.text != "file" && t.text != "ip") {
+		return e, fmt.Errorf("tbql: expected entity type (proc/file/ip) at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	e.Type = EntityType(t.text)
+	id, err := p.expectIdent()
+	if err != nil {
+		return e, err
+	}
+	e.ID = id
+	if p.acceptSymbol("[") {
+		f, err := p.parseFilterOr()
+		if err != nil {
+			return e, err
+		}
+		e.Filter = f
+		if err := p.expectSymbol("]"); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseFilterOr() (Expr, error) {
+	l, err := p.parseFilterAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("||") || p.acceptKeyword("or") {
+		r, err := p.parseFilterAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFilterAnd() (Expr, error) {
+	l, err := p.parseFilterNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("&&") || p.acceptKeyword("and") {
+		r, err := p.parseFilterNot()
+		if err != nil {
+			return nil, err
+		}
+		l = AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFilterNot() (Expr, error) {
+	if p.acceptSymbol("!") || p.acceptKeyword("not") {
+		e, err := p.parseFilterNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	if p.acceptSymbol("(") {
+		e, err := p.parseFilterOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseFilterCmp()
+}
+
+// parseFilterCmp parses:
+//
+//	"literal"                      — default-attribute sugar (= or like)
+//	attr op literal                — explicit comparison
+//	attr like "pattern"
+func (p *parser) parseFilterCmp() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokString {
+		p.next()
+		op := "="
+		if HasWildcard(t.text) {
+			op = "like"
+		}
+		return CmpExpr{Attr: "", Op: op, Str: t.text}, nil
+	}
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("tbql: expected attribute or string literal at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	attr := strings.ToLower(t.text)
+
+	opTok := p.peek()
+	var op string
+	switch {
+	case opTok.kind == tokSymbol && (opTok.text == "=" || opTok.text == "!=" ||
+		opTok.text == "<" || opTok.text == "<=" || opTok.text == ">" || opTok.text == ">="):
+		op = opTok.text
+		p.next()
+	case opTok.kind == tokKeyword && opTok.text == "like":
+		op = "like"
+		p.next()
+	default:
+		return nil, fmt.Errorf("tbql: expected comparison operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+
+	lit := p.peek()
+	switch lit.kind {
+	case tokString:
+		p.next()
+		if op == "=" && HasWildcard(lit.text) {
+			op = "like"
+		}
+		return CmpExpr{Attr: attr, Op: op, Str: lit.text}, nil
+	case tokNumber:
+		if op == "like" {
+			return nil, fmt.Errorf("tbql: 'like' requires a string pattern at offset %d", lit.pos)
+		}
+		p.next()
+		return CmpExpr{Attr: attr, Op: op, Num: lit.num, IsNum: true}, nil
+	case tokSymbol:
+		if lit.text == "-" {
+			p.next()
+			n := p.peek()
+			if n.kind != tokNumber {
+				return nil, fmt.Errorf("tbql: expected number after '-' at offset %d", n.pos)
+			}
+			p.next()
+			return CmpExpr{Attr: attr, Op: op, Num: -n.num, IsNum: true}, nil
+		}
+	}
+	return nil, fmt.Errorf("tbql: expected literal at offset %d, got %q", lit.pos, lit.text)
+}
+
+// parseWithItem parses one with-clause item: a temporal relation
+// ("evt1 before evt2") or an attribute relation
+// ("evt1.srcid = evt2.srcid").
+func (p *parser) parseWithItem(q *Query) error {
+	a, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.acceptSymbol(".") {
+		aAttr, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		opTok := p.peek()
+		if opTok.kind != tokSymbol {
+			return fmt.Errorf("tbql: expected operator at offset %d", opTok.pos)
+		}
+		switch opTok.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+		default:
+			return fmt.Errorf("tbql: bad attribute relation operator %q at offset %d", opTok.text, opTok.pos)
+		}
+		// RHS: a literal number or another event attribute.
+		rhs := p.peek()
+		if rhs.kind == tokNumber || (rhs.kind == tokSymbol && rhs.text == "-") {
+			neg := false
+			if rhs.kind == tokSymbol {
+				p.next()
+				rhs = p.peek()
+				if rhs.kind != tokNumber {
+					return fmt.Errorf("tbql: expected number after '-' at offset %d", rhs.pos)
+				}
+				neg = true
+			}
+			p.next()
+			lit := rhs.num
+			if neg {
+				lit = -lit
+			}
+			q.AttrRels = append(q.AttrRels, AttrRel{
+				AEvt: a, AAttr: strings.ToLower(aAttr),
+				Op:     opTok.text,
+				BIsLit: true, BLit: lit,
+			})
+			return nil
+		}
+		b, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("."); err != nil {
+			return err
+		}
+		bAttr, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		q.AttrRels = append(q.AttrRels, AttrRel{
+			AEvt: a, AAttr: strings.ToLower(aAttr),
+			Op:   opTok.text,
+			BEvt: b, BAttr: strings.ToLower(bAttr),
+		})
+		return nil
+	}
+
+	t := p.peek()
+	if t.kind != tokKeyword || (t.text != "before" && t.text != "after") {
+		return fmt.Errorf("tbql: expected 'before'/'after' at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	b, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	q.Temporal = append(q.Temporal, TemporalRel{A: a, B: b, Op: t.text})
+	return nil
+}

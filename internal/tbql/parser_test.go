@@ -1,0 +1,242 @@
+package tbql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fig2Query is the synthesized TBQL query from the paper's Figure 2.
+const Fig2Query = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+proc p2["%/bin/bzip2%"] read file f2 as evt3
+proc p2 write file f3["%/tmp/upload.tar.bz2%"] as evt4
+proc p3["%/usr/bin/gpg%"] read file f3 as evt5
+proc p3 write file f4["%/tmp/upload%"] as evt6
+proc p4["%/usr/bin/curl%"] read file f4 as evt7
+proc p4 connect ip i1["192.168.29.128"] as evt8
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5, evt5 before evt6, evt6 before evt7, evt7 before evt8
+return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1`
+
+func TestParseFig2Query(t *testing.T) {
+	q, err := Parse(Fig2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 8 {
+		t.Fatalf("want 8 patterns, got %d", len(q.Patterns))
+	}
+	if len(q.Temporal) != 7 {
+		t.Errorf("want 7 temporal relations, got %d", len(q.Temporal))
+	}
+	if !q.Distinct || len(q.Return) != 9 {
+		t.Errorf("return clause: distinct=%v items=%d", q.Distinct, len(q.Return))
+	}
+	// Pattern 1 details.
+	p1 := q.Patterns[0]
+	if p1.Subj.Type != EntProc || p1.Subj.ID != "p1" || p1.Obj.Type != EntFile || p1.Obj.ID != "f1" {
+		t.Errorf("pattern 1 entities wrong: %+v", p1)
+	}
+	if len(p1.Ops) != 1 || p1.Ops[0] != "read" || p1.Name != "evt1" {
+		t.Errorf("pattern 1 op/name wrong: %+v", p1)
+	}
+	// Filter sugar: default attr inferred as exename for proc.
+	cmp, ok := p1.Subj.Filter.(CmpExpr)
+	if !ok || cmp.Attr != "exename" || cmp.Op != "like" || cmp.Str != "%/bin/tar%" {
+		t.Errorf("pattern 1 subject filter = %+v", p1.Subj.Filter)
+	}
+	// IP pattern: default attr dstip, exact match (no wildcard).
+	p8 := q.Patterns[7]
+	cmp, ok = p8.Obj.Filter.(CmpExpr)
+	if !ok || cmp.Attr != "dstip" || cmp.Op != "=" || cmp.Str != "192.168.29.128" {
+		t.Errorf("pattern 8 object filter = %+v", p8.Obj.Filter)
+	}
+	// Return items have default attrs filled.
+	if q.Return[0].Attr != "exename" || q.Return[1].Attr != "name" || q.Return[8].Attr != "dstip" {
+		t.Errorf("return defaults: %+v", q.Return)
+	}
+}
+
+func TestParsePathPattern(t *testing.T) {
+	q, err := Parse(`proc p["%/usr/sbin/apache2%"] ~>[read] file f["%/etc/passwd%"] as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Patterns[0]
+	if !p.IsPath || p.MinHops != 1 || p.MaxHops != 0 {
+		t.Errorf("unbounded path wrong: %+v", p)
+	}
+
+	q, err = Parse(`proc p ~>(2~4)[read] file f as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = q.Patterns[0]
+	if !p.IsPath || p.MinHops != 2 || p.MaxHops != 4 {
+		t.Errorf("bounded path wrong: %+v", p)
+	}
+}
+
+func TestParseOpDisjunction(t *testing.T) {
+	q, err := Parse(`proc p read || write file f as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Ops) != 2 {
+		t.Errorf("ops = %v", q.Patterns[0].Ops)
+	}
+	q, err = Parse(`proc p !read file f as e1
+return p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Patterns[0].NegOps {
+		t.Error("negated op not parsed")
+	}
+}
+
+func TestParseComplexFilter(t *testing.T) {
+	q, err := Parse(`proc p[exename like "%ssh%" && pid > 100] read file f[name = "/etc/passwd" || name = "/etc/shadow"] as e1
+return p.pid, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Patterns[0].Subj.Filter.(AndExpr); !ok {
+		t.Errorf("subject filter not AndExpr: %T", q.Patterns[0].Subj.Filter)
+	}
+	if _, ok := q.Patterns[0].Obj.Filter.(OrExpr); !ok {
+		t.Errorf("object filter not OrExpr: %T", q.Patterns[0].Obj.Filter)
+	}
+	if q.Return[0].Attr != "pid" {
+		t.Errorf("explicit return attr lost: %+v", q.Return[0])
+	}
+}
+
+func TestParseTimeWindow(t *testing.T) {
+	q, err := Parse(`proc p read file f as e1 from 100 to 200
+return p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Patterns[0].Window
+	if w == nil || w.From != 100 || w.To != 200 {
+		t.Errorf("window = %+v", w)
+	}
+	if _, err := Parse("proc p read file f as e1 from 200 to 100\nreturn p"); err == nil {
+		t.Error("inverted window should fail")
+	}
+}
+
+func TestParseAttrRel(t *testing.T) {
+	q, err := Parse(`proc p1 read file f1 as evt1
+proc p2 write file f2 as evt2
+with evt1.srcid = evt2.srcid, evt1 before evt2
+return p1, p2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.AttrRels) != 1 || q.AttrRels[0].AAttr != "srcid" {
+		t.Errorf("attr rels = %+v", q.AttrRels)
+	}
+	if len(q.Temporal) != 1 {
+		t.Errorf("temporal = %+v", q.Temporal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                       // no patterns
+		"return p",                               // no patterns
+		"proc p read file f as e1",               // no return
+		"proc p levitate file f as e1\nreturn p", // unknown op
+		"proc p read ip i as e1\nreturn p",       // op/object mismatch
+		"file f read file g as e1\nreturn f",     // subject not proc
+		"proc p read file f as e1\nproc p write ip p as e2\nreturn p",   // id type conflict
+		"proc p read file f as e1\nproc p write file g as e1\nreturn p", // dup name
+		"proc p read file f as e1\nwith e1 before e9\nreturn p",         // unknown event
+		"proc p read file f as e1\nwith e1 before e1\nreturn p",         // self relation
+		"proc p read file f as e1\nreturn q",                            // unknown return id
+		"proc p read file f as e1\nreturn p.bogus",                      // unknown attr
+		"proc p[pid like 5] read file f as e1\nreturn p",                // like needs operand form
+		"proc p[bogus = \"x\"] read file f as e1\nreturn p",             // unknown filter attr
+		"proc p ~>(4~2)[read] file f as e1\nreturn p",                   // bad bounds
+		"proc p read file f as e1\nwith e1.bogus = e1.srcid\nreturn p",  // bad event attr
+		`proc p["unterminated] read file f as e1` + "\nreturn p",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("should fail: %q", src)
+		}
+	}
+}
+
+func TestParseAnonymousPatternsGetNames(t *testing.T) {
+	q, err := Parse("proc p read file f\nreturn p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].Name == "" {
+		t.Error("anonymous pattern should get a name")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse(`# hunt for credential reads
+proc p read file f["%passwd%"] as e1  # the read
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 {
+		t.Errorf("patterns = %d", len(q.Patterns))
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		Fig2Query,
+		"proc p ~>(2~4)[read] file f as e1\nreturn distinct p, f",
+		"proc p read || write file f as e1 from 5 to 10\nreturn p.pid",
+		`proc p[exename like "%ssh%" && pid > 100] read file f as e1` + "\nreturn p",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		out := q1.String()
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse: %v\nrendered:\n%s", err, out)
+		}
+		if q2.String() != out {
+			t.Errorf("round trip not stable:\n%s\nvs\n%s", out, q2.String())
+		}
+	}
+}
+
+func TestInfoEntities(t *testing.T) {
+	q, err := Parse(Fig2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := q.Info()
+	if info == nil {
+		t.Fatal("no analysis")
+	}
+	if len(info.Order) != 9 {
+		t.Errorf("entity count = %d, want 9", len(info.Order))
+	}
+	if info.Entities["p1"].Type != EntProc || len(info.Entities["p1"].Filters) != 1 {
+		t.Errorf("p1 info = %+v", info.Entities["p1"])
+	}
+	// f2 used twice (evt2 object, evt3 object), filter only on first use.
+	if len(info.Entities["f2"].Filters) != 1 {
+		t.Errorf("f2 filters = %d", len(info.Entities["f2"].Filters))
+	}
+	if strings.Join(info.Order[:2], ",") != "p1,f1" {
+		t.Errorf("order = %v", info.Order)
+	}
+}

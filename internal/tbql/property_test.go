@@ -1,0 +1,118 @@
+package tbql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randQuery generates a random syntactically and semantically valid TBQL
+// query.
+func randQuery(rng *rand.Rand) string {
+	nPat := 1 + rng.Intn(4)
+	ops := map[EntityType][]string{
+		EntFile: {"read", "write", "execute", "delete", "chmod"},
+		EntProc: {"fork", "exec"},
+		EntIP:   {"connect", "send", "recv"},
+	}
+	objTypes := []EntityType{EntFile, EntFile, EntIP, EntProc}
+	var b strings.Builder
+	var names []string
+	entTypes := map[string]EntityType{}
+	filtered := map[string]bool{}
+
+	for i := 0; i < nPat; i++ {
+		objT := objTypes[rng.Intn(len(objTypes))]
+		op := ops[objT][rng.Intn(len(ops[objT]))]
+		name := fmt.Sprintf("e%d", i+1)
+		names = append(names, name)
+
+		subj := entityStr(rng, EntProc, i, entTypes, filtered)
+		obj := entityStr(rng, objT, i+10, entTypes, filtered)
+		if rng.Intn(4) == 0 {
+			// Path pattern.
+			lo := 1 + rng.Intn(3)
+			hi := lo + rng.Intn(3)
+			fmt.Fprintf(&b, "%s ~>(%d~%d)[%s] %s as %s\n", subj, lo, hi, op, obj, name)
+		} else {
+			fmt.Fprintf(&b, "%s %s %s as %s\n", subj, op, obj, name)
+		}
+	}
+	if nPat > 1 && rng.Intn(2) == 0 {
+		var rels []string
+		for i := 1; i < nPat; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				rels = append(rels, fmt.Sprintf("%s before %s", names[i-1], names[i]))
+			case 1:
+				rels = append(rels, fmt.Sprintf("%s.srcid = %s.srcid", names[i-1], names[i]))
+			default:
+				rels = append(rels, fmt.Sprintf("%s.amount > %d", names[i], rng.Intn(10000)))
+			}
+		}
+		fmt.Fprintf(&b, "with %s\n", strings.Join(rels, ", "))
+	}
+	var ret []string
+	for id := range entTypes {
+		ret = append(ret, id)
+		if len(ret) == 3 {
+			break
+		}
+	}
+	distinct := ""
+	if rng.Intn(2) == 0 {
+		distinct = "distinct "
+	}
+	fmt.Fprintf(&b, "return %s%s", distinct, strings.Join(ret, ", "))
+	return b.String()
+}
+
+// entityStr renders an entity occurrence with a unique-enough ID per
+// (type, slot), attaching a filter on the ID's first filtered use.
+func entityStr(rng *rand.Rand, t EntityType, slot int, entTypes map[string]EntityType, filtered map[string]bool) string {
+	prefix := map[EntityType]string{EntProc: "p", EntFile: "f", EntIP: "i"}[t]
+	id := fmt.Sprintf("%s%d", prefix, slot%4)
+	entTypes[id] = t
+	var sb strings.Builder
+	sb.WriteString(string(t))
+	sb.WriteByte(' ')
+	sb.WriteString(id)
+	if !filtered[id] && rng.Intn(2) == 0 {
+		filtered[id] = true
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&sb, `["%%seg%d%%"]`, rng.Intn(5))
+		case 1:
+			fmt.Fprintf(&sb, `[%s like "%%x%d%%" && host = "h%d"]`,
+				t.DefaultAttr(), rng.Intn(5), rng.Intn(3))
+		default:
+			fmt.Fprintf(&sb, `[host = "h%d"]`, rng.Intn(3))
+		}
+	}
+	return sb.String()
+}
+
+// TestRandomQueryRoundTrip: every generated query parses, analyzes, and
+// its rendered form re-parses to a stable rendering.
+func TestRandomQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20210625))
+	for i := 0; i < 300; i++ {
+		src := randQuery(rng)
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: parse failed: %v\n%s", i, err, src)
+		}
+		out := q.String()
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("case %d: re-parse failed: %v\noriginal:\n%s\nrendered:\n%s", i, err, src, out)
+		}
+		if q2.String() != out {
+			t.Fatalf("case %d: rendering unstable:\n%s\nvs\n%s", i, out, q2.String())
+		}
+		if len(q2.Patterns) != len(q.Patterns) || len(q2.Temporal) != len(q.Temporal) {
+			t.Fatalf("case %d: structure changed on round trip", i)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package threatraptor is the public facade of ThreatRaptor, a system
+// that facilitates cyber threat hunting in computer systems using
+// open-source Cyber Threat Intelligence (OSCTI).
+//
+// ThreatRaptor bridges OSCTI with system auditing: it (1) extracts
+// structured threat behaviors (IOCs and IOC relations) from unstructured
+// OSCTI text with an unsupervised NLP pipeline, (2) stores system audit
+// logging data in relational and graph database backends, (3) provides
+// the Threat Behavior Query Language (TBQL) for hunting malicious system
+// activities, (4) automatically synthesizes TBQL queries from extracted
+// threat behavior graphs, and (5) executes TBQL queries efficiently with
+// pruning-score scheduling and cross-pattern constraint propagation.
+//
+// Typical usage:
+//
+//	sys := threatraptor.New(threatraptor.Options{CPR: true})
+//	sys.IngestLogs(logFile)                   // Sysdig-style audit logs
+//	g := sys.ExtractBehavior(reportText)      // OSCTI report -> graph
+//	q, _, _ := sys.SynthesizeQuery(g, nil)    // graph -> TBQL
+//	res, _ := sys.HuntQuery(q)                // TBQL -> matched records
+package threatraptor
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/audit"
+	"repro/internal/exec"
+	"repro/internal/extract"
+	"repro/internal/graphstore"
+	"repro/internal/provenance"
+	"repro/internal/relstore"
+	"repro/internal/synth"
+	"repro/internal/tbql"
+)
+
+// Re-exported types so downstream users can name the values the facade
+// returns without importing internal packages.
+type (
+	// BehaviorGraph is a threat behavior graph extracted from OSCTI text.
+	BehaviorGraph = extract.Graph
+	// Query is an analyzed TBQL query.
+	Query = tbql.Query
+	// SynthPlan configures query synthesis (nil = default plan).
+	SynthPlan = synth.Plan
+	// SynthReport lists what synthesis screening dropped.
+	SynthReport = synth.Report
+	// HuntResult is the result of executing a TBQL query.
+	HuntResult = exec.Result
+	// Record is one raw audit record.
+	Record = audit.Record
+	// TimeWindow bounds patterns to [From, To] unix nanoseconds.
+	TimeWindow = tbql.TimeWindow
+	// Entity is a resolved system entity.
+	Entity = audit.Entity
+	// TrackOptions bounds a causality tracking run.
+	TrackOptions = provenance.TrackOptions
+	// CausalSubgraph is the result of causality tracking.
+	CausalSubgraph = provenance.Subgraph
+)
+
+// Tracking directions re-exported for Investigate.
+const (
+	TrackBackward = provenance.Backward
+	TrackForward  = provenance.Forward
+)
+
+// Entity type tags re-exported for inspecting hunt and tracking results.
+const (
+	EntityFileType    = audit.EntityFile
+	EntityProcessType = audit.EntityProcess
+	EntityNetConnType = audit.EntityNetConn
+)
+
+// Options configures a System.
+type Options struct {
+	// CPR applies Causality Preserved Reduction before storage, merging
+	// excessive events between the same entity pair.
+	CPR bool
+	// MaxPathHops caps unbounded TBQL path patterns (default 6).
+	MaxPathHops int
+	// LenientParsing makes log ingestion skip malformed lines instead of
+	// failing.
+	LenientParsing bool
+	// DisableScheduling and DisablePropagation turn off the execution
+	// engine's optimizations (used by the efficiency experiments).
+	DisableScheduling  bool
+	DisablePropagation bool
+}
+
+// IngestStats summarises one ingestion batch.
+type IngestStats struct {
+	Entities     int
+	EventsIn     int
+	EventsStored int
+	CPRReduction float64 // events-in / events-stored (1.0 without CPR)
+	ParseErrors  int
+}
+
+// System is a ThreatRaptor deployment: parsers, reduction, both storage
+// backends, and the query execution engine.
+type System struct {
+	opts   Options
+	parser *audit.Parser
+	rel    *relstore.DB
+	graph  *graphstore.Graph
+	engine *exec.Engine
+	stored int // events already flushed to the stores
+}
+
+// New creates an empty System.
+func New(opts Options) (*System, error) {
+	rel := relstore.NewDB()
+	if err := relstore.Bootstrap(rel); err != nil {
+		return nil, fmt.Errorf("threatraptor: %w", err)
+	}
+	g := graphstore.NewGraph()
+	graphstore.Bootstrap(g)
+	p := audit.NewParser()
+	p.Lenient = opts.LenientParsing
+	return &System{
+		opts:   opts,
+		parser: p,
+		rel:    rel,
+		graph:  g,
+		engine: &exec.Engine{
+			Rel: rel, Graph: g,
+			MaxPathHops:        opts.MaxPathHops,
+			DisableScheduling:  opts.DisableScheduling,
+			DisablePropagation: opts.DisablePropagation,
+		},
+	}, nil
+}
+
+// IngestLogs parses Sysdig-style audit log lines from r and stores the
+// resulting entities and events in both backends.
+func (s *System) IngestLogs(r io.Reader) (IngestStats, error) {
+	mark := len(s.parser.Events())
+	if err := s.parser.ParseStream(r); err != nil {
+		return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
+	}
+	return s.flush(mark)
+}
+
+// IngestRecords stores already-parsed audit records.
+func (s *System) IngestRecords(recs []Record) (IngestStats, error) {
+	mark := len(s.parser.Events())
+	for _, r := range recs {
+		if _, err := s.parser.Add(r); err != nil {
+			if s.opts.LenientParsing {
+				s.parser.Errs = append(s.parser.Errs, err)
+				continue
+			}
+			return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
+		}
+	}
+	return s.flush(mark)
+}
+
+// flush stores events parsed since mark, applying CPR when configured.
+// Entities are stored incrementally; the parser deduplicates them, so new
+// entities are exactly those beyond the stored high-water mark.
+func (s *System) flush(mark int) (IngestStats, error) {
+	newEvents := s.parser.Events()[mark:]
+	stats := IngestStats{EventsIn: len(newEvents), ParseErrors: len(s.parser.Errs)}
+
+	entities := s.parser.Entities()
+	newEntities := entities[s.countStoredEntities():]
+	stats.Entities = len(entities)
+
+	toStore := newEvents
+	stats.CPRReduction = 1
+	if s.opts.CPR {
+		reduced, cprStats := provenance.Reduce(newEvents)
+		toStore = reduced
+		stats.CPRReduction = cprStats.ReductionFactor()
+	}
+	stats.EventsStored = len(toStore)
+
+	if err := relstore.Load(s.rel, newEntities, toStore); err != nil {
+		return stats, fmt.Errorf("threatraptor: store: %w", err)
+	}
+	if err := graphstore.Load(s.graph, newEntities, toStore); err != nil {
+		return stats, fmt.Errorf("threatraptor: store: %w", err)
+	}
+	s.stored += len(toStore)
+	return stats, nil
+}
+
+func (s *System) countStoredEntities() int {
+	return s.rel.Table(relstore.EntityTable).NumRows()
+}
+
+// ExtractBehavior runs the threat behavior extraction pipeline
+// (Algorithm 1) on an OSCTI report.
+func (s *System) ExtractBehavior(report string) *BehaviorGraph {
+	return extract.Extract(report)
+}
+
+// SynthesizeQuery converts a threat behavior graph into an analyzed TBQL
+// query under the given synthesis plan (nil for the default plan).
+func (s *System) SynthesizeQuery(g *BehaviorGraph, plan *SynthPlan) (*Query, *SynthReport, error) {
+	return synth.Synthesize(g, plan)
+}
+
+// ParseQuery parses and analyzes TBQL source.
+func (s *System) ParseQuery(src string) (*Query, error) {
+	return tbql.Parse(src)
+}
+
+// Hunt parses and executes TBQL source against the stored audit data.
+func (s *System) Hunt(src string) (*HuntResult, error) {
+	return s.engine.ExecuteTBQL(src)
+}
+
+// HuntQuery executes an analyzed TBQL query.
+func (s *System) HuntQuery(q *Query) (*HuntResult, error) {
+	return s.engine.Execute(q)
+}
+
+// HuntReport is the end-to-end pipeline: extract the threat behavior
+// graph from the report, synthesize a TBQL query, and execute it.
+func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult, error) {
+	g := s.ExtractBehavior(report)
+	q, _, err := s.SynthesizeQuery(g, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.HuntQuery(q)
+	if err != nil {
+		return q, nil, err
+	}
+	return q, res, nil
+}
+
+// Explain compiles and scores every pattern of a query without executing
+// it, in the order the engine would schedule them.
+func (s *System) Explain(q *Query) ([]exec.ExplainedPattern, error) {
+	return s.engine.Explain(q)
+}
+
+// NumEvents reports how many events are stored.
+func (s *System) NumEvents() int { return s.stored }
+
+// NumEntities reports how many entities are stored.
+func (s *System) NumEntities() int { return s.countStoredEntities() }
+
+// FindEntities returns the entities whose named attribute equals value
+// (attributes as in TBQL filters: exename, name, path, dstip, ...).
+func (s *System) FindEntities(attr, value string) []*Entity {
+	var out []*Entity
+	for _, e := range s.parser.Entities() {
+		if e.Attr(attr) == value {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EntityByID returns the stored entity with the given ID, or nil.
+func (s *System) EntityByID(id int64) *Entity { return s.parser.EntityByID(id) }
+
+// Investigate runs forward or backward causality tracking from a
+// point-of-interest entity over the ingested events (attack
+// investigation, the workflow threat hunting hands off to once a hunt
+// produces a hit).
+func (s *System) Investigate(poi int64, opt TrackOptions) *CausalSubgraph {
+	return provenance.Track(s.parser.Events(), poi, opt)
+}
