@@ -361,6 +361,51 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E9: concurrent hunting — the service workload. BenchmarkHuntParallel
+// drives the thread-safe stores with one hunter per GOMAXPROCS worker
+// over a pre-ingested fixture; BenchmarkHuntCursor measures the
+// streaming result API against materialized Result.Rows.
+
+func BenchmarkHuntParallel(b *testing.B) {
+	f := loadFixture(b, "leak10k-fig2", leakCfg(10000), extract.Fig2Text)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// b.Error, not b.Fatal: FailNow must not run in RunParallel
+		// worker goroutines.
+		for pb.Next() {
+			res, err := f.sys.HuntQuery(f.query)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.Rows) != 1 {
+				b.Error("attack not found")
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkHuntCursor(b *testing.B) {
+	f := loadFixture(b, "leak10k-fig2", leakCfg(10000), extract.Fig2Text)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := f.sys.HuntQueryCursor(f.query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for cur.Next() {
+			rows++
+		}
+		cur.Close()
+		if rows != 1 {
+			b.Fatal("attack not found")
+		}
+	}
+}
+
 // BenchmarkLogParse isolates the text-format parsing stage.
 func BenchmarkLogParse(b *testing.B) {
 	w := gen.Generate(gen.Config{Seed: 9, BenignEvents: 10000})

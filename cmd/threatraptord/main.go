@@ -1,0 +1,82 @@
+// Command threatraptord runs ThreatRaptor as a long-lived HTTP daemon:
+// one shared System serving concurrent ingestion and hunting clients.
+//
+// Endpoints (see cmd/threatraptord/README.md for examples):
+//
+//	POST /ingest   stream Sysdig-style audit log lines into the stores
+//	POST /hunt     execute TBQL source, paged through the result cursor
+//	GET  /explain  compile and score a TBQL query without executing it
+//	GET  /stats    store sizes and request counters
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8181", "listen address")
+		cpr       = flag.Bool("cpr", false, "apply Causality Preserved Reduction on ingest")
+		lenient   = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
+		maxHops   = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
+		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	sys, err := threatraptor.New(threatraptor.Options{
+		CPR:            *cpr,
+		LenientParsing: *lenient,
+		MaxPathHops:    *maxHops,
+	})
+	if err != nil {
+		log.Fatalf("threatraptord: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(sys),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("threatraptord: listening on %s", *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		log.Fatalf("threatraptord: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("threatraptord: shutting down (draining up to %s)", *drainWait)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("threatraptord: forced shutdown: %v", err)
+		srv.Close()
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("threatraptord: %v", err)
+	}
+	log.Printf("threatraptord: stopped with %d events / %d entities stored",
+		sys.NumEvents(), sys.NumEntities())
+}

@@ -30,6 +30,24 @@ type Record struct {
 	Amount  int64
 }
 
+// Validate checks the parts of a record that entity resolution would
+// reject — the object type and its spec — so callers can verify a whole
+// batch before interning any of it.
+func (r Record) Validate() error {
+	switch r.ObjType {
+	case EntityFile:
+		return nil
+	case EntityProcess:
+		_, _, err := parseProcSpec(r.ObjSpec)
+		return err
+	case EntityNetConn:
+		_, _, _, _, _, err := parseConnSpec(r.ObjSpec)
+		return err
+	default:
+		return fmt.Errorf("audit: record has invalid object type %v", r.ObjType)
+	}
+}
+
 // FormatRecord renders a record as one log line (without trailing newline).
 func FormatRecord(r Record) string {
 	var b strings.Builder

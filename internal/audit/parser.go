@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Parser consumes raw audit log records and resolves them into deduplicated
@@ -13,15 +14,21 @@ import (
 // subject process and object entity are canonicalised via Entity.Key, and
 // new entities are assigned monotonically increasing IDs.
 //
-// A Parser is not safe for concurrent use.
+// A Parser is safe for concurrent use: readers (Entities, Events,
+// EntityByID) may run while records are added. The entity and event
+// slices are append-only, so the snapshots the accessors return stay
+// valid as later records arrive.
 type Parser struct {
+	mu       sync.RWMutex
 	entities []*Entity
 	byKey    map[string]*Entity
 	events   []*Event
 	nextEnt  int64
 	nextEvt  int64
 
-	// Errs collects recoverable per-line parse errors when Lenient is set.
+	// Errs collects recoverable per-line parse errors when Lenient is
+	// set. ParseStream appends to it under mu; direct writes by callers
+	// need their own serialization.
 	Errs []error
 	// Lenient makes ParseStream skip malformed lines (recording the error
 	// in Errs) instead of aborting.
@@ -37,14 +44,24 @@ func NewParser() *Parser {
 	}
 }
 
-// Entities returns all resolved entities in ID order.
-func (p *Parser) Entities() []*Entity { return p.entities }
+// Entities returns a snapshot of all resolved entities in ID order.
+func (p *Parser) Entities() []*Entity {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.entities
+}
 
-// Events returns all parsed events in arrival order.
-func (p *Parser) Events() []*Event { return p.events }
+// Events returns a snapshot of all parsed events in arrival order.
+func (p *Parser) Events() []*Event {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.events
+}
 
 // EntityByID returns the entity with the given ID, or nil.
 func (p *Parser) EntityByID(id int64) *Entity {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	idx := id - 1
 	if idx < 0 || idx >= int64(len(p.entities)) {
 		return nil
@@ -53,6 +70,7 @@ func (p *Parser) EntityByID(id int64) *Entity {
 }
 
 // intern returns the canonical entity for e, assigning an ID if new.
+// The caller must hold mu.
 func (p *Parser) intern(e Entity) *Entity {
 	key := e.Key()
 	if got, ok := p.byKey[key]; ok {
@@ -66,8 +84,12 @@ func (p *Parser) intern(e Entity) *Entity {
 	return ent
 }
 
-// Add resolves one record into an event, interning its entities.
+// Add resolves one record into an event, interning its entities. It is
+// safe for concurrent use, though concurrent adders see arbitrary
+// interleaving of event IDs.
 func (p *Parser) Add(r Record) (*Event, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	subj := p.intern(Entity{
 		Type:    EntityProcess,
 		Host:    r.Host,
@@ -122,6 +144,45 @@ func (p *Parser) ParseLine(line string) (*Event, error) {
 	return p.Add(r)
 }
 
+// ParseRecords reads log lines from r until EOF, returning fully
+// validated records without touching any parser state. Strict mode
+// fails on the first malformed line; lenient mode skips malformed
+// lines and returns their errors alongside the good records. Because
+// every record is validated (object specs included) before any is
+// returned, a caller can make a whole batch atomic: nothing is interned
+// anywhere until the entire batch has parsed.
+func ParseRecords(r io.Reader, lenient bool) ([]Record, []error, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var recs []Record
+	var errs []error
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err == nil {
+			err = rec.Validate()
+		}
+		if err != nil {
+			err = fmt.Errorf("line %d: %w", lineno, err)
+			if lenient {
+				errs = append(errs, err)
+				continue
+			}
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return recs, errs, nil
+}
+
 // ParseStream reads log lines from r until EOF. Blank lines and lines
 // starting with '#' are skipped. In lenient mode, malformed lines are
 // recorded in Errs and skipped; otherwise the first error aborts.
@@ -138,7 +199,9 @@ func (p *Parser) ParseStream(r io.Reader) error {
 		if _, err := p.ParseLine(line); err != nil {
 			err = fmt.Errorf("line %d: %w", lineno, err)
 			if p.Lenient {
+				p.mu.Lock()
 				p.Errs = append(p.Errs, err)
+				p.mu.Unlock()
 				continue
 			}
 			return err

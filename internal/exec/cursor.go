@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tbql"
+)
+
+// Cursor iterates over the projected rows of a hunt, in the style of
+// database/sql: Next advances, Row or Scan reads the current row, Err
+// reports iteration errors, and Close releases the match set. Rows are
+// projected one at a time, so callers can page through large match sets
+// without the engine materializing Result.Rows up front.
+//
+// A Cursor is not safe for concurrent use; each goroutine should run its
+// own hunt.
+type Cursor struct {
+	query    *tbql.Query
+	attrs    *attrCache
+	matches  []Match
+	cols     []string
+	stats    Stats
+	distinct bool
+	seen     map[string]bool
+
+	pos    int
+	row    []string
+	err    error
+	closed bool
+}
+
+// ExecuteCursor runs an analyzed TBQL query and returns a cursor over
+// the projected rows instead of a materialized Result.
+func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
+	res, err := en.collect(q)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{
+		query:    q,
+		matches:  res.Matches,
+		cols:     res.Cols,
+		stats:    res.Stats,
+		distinct: q.Distinct,
+	}
+	if len(res.Matches) > 0 {
+		if c.attrs, err = en.entityAttrs(); err != nil {
+			return nil, err
+		}
+	}
+	if c.distinct {
+		c.seen = make(map[string]bool)
+	}
+	return c, nil
+}
+
+// ExecuteTBQLCursor parses, analyzes, and executes TBQL source,
+// returning a cursor over the projected rows.
+func (en *Engine) ExecuteTBQLCursor(src string) (*Cursor, error) {
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return en.ExecuteCursor(q)
+}
+
+// Columns returns the projected column names (entity.attr), valid before
+// the first Next. The caller must not modify the returned slice.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// Stats reports how the underlying query executed.
+func (c *Cursor) Stats() Stats { return c.stats }
+
+// Next advances to the next projected row, applying DISTINCT
+// deduplication incrementally. It returns false when the rows are
+// exhausted or the cursor is closed.
+func (c *Cursor) Next() bool {
+	if c.closed || c.err != nil {
+		return false
+	}
+	for c.pos < len(c.matches) {
+		m := c.matches[c.pos]
+		c.pos++
+		row := projectMatch(c.query, m, c.attrs)
+		if c.distinct {
+			key := strings.Join(row, "\x00")
+			if c.seen[key] {
+				continue
+			}
+			c.seen[key] = true
+		}
+		c.row = row
+		return true
+	}
+	c.row = nil
+	return false
+}
+
+// Row returns the current projected row, or nil before the first Next,
+// after exhaustion, or after Close. Each Next projects into a freshly
+// allocated slice, so a returned row remains valid (and unaliased)
+// across later Next and Close calls — this is a contract callers such
+// as Engine.Execute rely on.
+func (c *Cursor) Row() []string { return c.row }
+
+// Scan copies the current row into dest in column order. Supported
+// destination types: *string, *int64, *int, and *float64; numeric
+// destinations parse the projected attribute text and fail on
+// non-numeric values.
+func (c *Cursor) Scan(dest ...any) error {
+	if c.closed {
+		return fmt.Errorf("exec: Scan on closed cursor")
+	}
+	if c.row == nil {
+		return fmt.Errorf("exec: Scan called without a successful Next")
+	}
+	if len(dest) != len(c.row) {
+		return fmt.Errorf("exec: Scan wants %d destinations, got %d", len(c.row), len(dest))
+	}
+	for i, d := range dest {
+		v := c.row[i]
+		switch p := d.(type) {
+		case *string:
+			*p = v
+		case *int64:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("exec: Scan column %s: %q is not an integer", c.cols[i], v)
+			}
+			*p = n
+		case *int:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("exec: Scan column %s: %q is not an integer", c.cols[i], v)
+			}
+			*p = int(n)
+		case *float64:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("exec: Scan column %s: %q is not a number", c.cols[i], v)
+			}
+			*p = f
+		default:
+			return fmt.Errorf("exec: Scan column %s: unsupported destination type %T", c.cols[i], d)
+		}
+	}
+	return nil
+}
+
+// Err reports any error encountered during iteration. It is distinct
+// from Scan errors, which are returned directly.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's match set. It is idempotent; Next returns
+// false and Scan fails after Close.
+func (c *Cursor) Close() error {
+	c.closed = true
+	c.row = nil
+	c.matches = nil
+	c.seen = nil
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/graphstore"
 	"repro/internal/relstore"
@@ -27,9 +28,15 @@ type Engine struct {
 	// candidate sets are not propagated (default 512).
 	MaxPropagatedIDs int
 
-	// attrs caches entity attributes for projection; rebuilt when the
-	// entity table grows (tables are append-only).
-	attrs     *attrCache
+	// attrsMu guards the projection attribute cache below, so concurrent
+	// hunts share one cache instead of racing on it.
+	attrsMu sync.Mutex
+	// attrRows caches entity attributes for projection, indexed by
+	// entity ID - 1 (IDs are dense, assigned from 1 in insertion order).
+	// The slice is append-only, so snapshots handed to cursors stay
+	// valid as it grows; attrsRows is the entity-table row count already
+	// cached.
+	attrRows  []map[string]string
 	attrsRows int
 }
 
@@ -67,8 +74,35 @@ type Result struct {
 	Stats   Stats
 }
 
-// Execute runs an analyzed TBQL query.
+// Execute runs an analyzed TBQL query and materializes every projected
+// row in Result.Rows by draining a cursor, so projection and DISTINCT
+// semantics live in one place. For large match sets, ExecuteCursor
+// streams the projection instead.
 func (en *Engine) Execute(q *tbql.Query) (*Result, error) {
+	c, err := en.ExecuteCursor(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: c.cols, Matches: c.matches, Stats: c.stats}
+	for c.Next() {
+		res.Rows = append(res.Rows, c.Row())
+	}
+	return res, c.Err()
+}
+
+// projectMatch renders one match as a projected row of entity attributes.
+func projectMatch(q *tbql.Query, m Match, attrs *attrCache) []string {
+	row := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		row[i] = attrs.get(m.Entities[item.ID], item.Attr)
+	}
+	return row
+}
+
+// collect runs the scheduling, data-query, and join phases of a query,
+// returning the result with Cols, Matches, and Stats filled in but no
+// projected Rows. Both Execute and ExecuteCursor build on it.
+func (en *Engine) collect(q *tbql.Query) (*Result, error) {
 	if q.Info() == nil {
 		if err := tbql.Analyze(q); err != nil {
 			return nil, err
@@ -189,29 +223,7 @@ func (en *Engine) Execute(q *tbql.Query) (*Result, error) {
 	matches, explored := en.join(q, order, rows)
 	res.Stats.JoinCandidates = explored
 	res.Matches = matches
-
-	// Projection.
 	res.Cols = returnCols(q)
-	attrs, err := en.entityAttrs()
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]bool{}
-	for _, m := range matches {
-		row := make([]string, len(q.Return))
-		for i, item := range q.Return {
-			id := m.Entities[item.ID]
-			row[i] = attrs.get(id, item.Attr)
-		}
-		if q.Distinct {
-			key := strings.Join(row, "\x00")
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-		}
-		res.Rows = append(res.Rows, row)
-	}
 	return res, nil
 }
 
@@ -467,47 +479,59 @@ func intersectOrNew(prev, cur map[int64]bool) map[int64]bool {
 	return out
 }
 
-// attrCache caches entity attribute values for projection.
+// attrCache is an immutable snapshot of entity attribute values for
+// projection, indexed by entity ID - 1.
 type attrCache struct {
-	byID map[int64]map[string]string
+	rows []map[string]string
 }
 
 func (c *attrCache) get(id int64, attr string) string {
-	row, ok := c.byID[id]
-	if !ok {
+	i := id - 1
+	if c == nil || i < 0 || i >= int64(len(c.rows)) || c.rows[i] == nil {
 		return ""
 	}
-	return row[attr]
+	return c.rows[i][attr]
 }
 
-// entityAttrs loads the entity table for projection lookups, reusing the
-// cached copy while the table has not grown.
+// entityAttrs returns a snapshot of the entity attribute cache for
+// projection, extending it first if the entity table grew. Safe for
+// concurrent hunts: attrsMu covers the check and the extension, and
+// because the cache slice is append-only, previously returned
+// snapshots remain valid while it grows. Only the table rows past the
+// cached position are scanned (the table is append-only, so positions
+// are stable), so a refresh during steady ingest costs the new rows,
+// not the whole table.
 func (en *Engine) entityAttrs() (*attrCache, error) {
-	if tbl := en.Rel.Table(relstore.EntityTable); tbl != nil && en.attrs != nil && tbl.NumRows() == en.attrsRows {
-		return en.attrs, nil
+	en.attrsMu.Lock()
+	defer en.attrsMu.Unlock()
+	tbl := en.Rel.Table(relstore.EntityTable)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: no table %q", relstore.EntityTable)
 	}
-	rows, err := en.Rel.Query("SELECT * FROM " + relstore.EntityTable)
-	if err != nil {
-		return nil, err
-	}
-	c := &attrCache{byID: make(map[int64]map[string]string, len(rows.Data))}
-	idIdx := -1
-	for i, col := range rows.Cols {
-		if col == "id" {
-			idIdx = i
+	if tbl.NumRows() != en.attrsRows {
+		cols := tbl.Schema().Columns
+		idIdx := tbl.ColIndex("id")
+		if idIdx < 0 {
+			return nil, fmt.Errorf("exec: entity table has no id column")
 		}
+		en.attrsRows = tbl.ScanFrom(en.attrsRows, func(row []relstore.Value) {
+			m := make(map[string]string, len(cols))
+			for i, col := range cols {
+				m[strings.ToLower(col.Name)] = row[i].String()
+			}
+			id := row[idIdx].Int
+			if id < 1 {
+				return
+			}
+			// Grow to the row's ID slot; never overwrite an existing
+			// slot, so published snapshots stay immutable.
+			for int64(len(en.attrRows)) < id-1 {
+				en.attrRows = append(en.attrRows, nil)
+			}
+			if int64(len(en.attrRows)) == id-1 {
+				en.attrRows = append(en.attrRows, m)
+			}
+		})
 	}
-	if idIdx < 0 {
-		return nil, fmt.Errorf("exec: entity table has no id column")
-	}
-	for _, r := range rows.Data {
-		m := make(map[string]string, len(rows.Cols))
-		for i, col := range rows.Cols {
-			m[col] = r[i].String()
-		}
-		c.byID[r[idIdx].Int] = m
-	}
-	en.attrs = c
-	en.attrsRows = len(rows.Data)
-	return c, nil
+	return &attrCache{rows: en.attrRows}, nil
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/audit"
 )
 
 // TestConcurrentQueries verifies the engine supports the paper's
@@ -38,6 +41,58 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentReversedJoinOrders issues the same join with opposite
+// FROM/JOIN table orders while writers insert into both tables. The
+// executor locks bound tables in name order, so the opposite bind
+// orders must not deadlock behind the queued writers.
+func TestConcurrentReversedJoinOrders(t *testing.T) {
+	db := loadFixture(t)
+	queries := []string{
+		"SELECT p.exename FROM events e JOIN entities p ON e.srcid = p.id WHERE e.optype = 'write'",
+		"SELECT p.exename FROM entities p JOIN events e ON e.srcid = p.id WHERE e.optype = 'write'",
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func(q string) {
+			for j := 0; j < 50; j++ {
+				if _, err := db.Query(q); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(queries[i%2])
+	}
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			ents, evts := db.Table(EntityTable), db.Table(EventTable)
+			for j := 0; j < 50; j++ {
+				id := int64(1000 + i*100 + j)
+				if err := ents.Insert(EntityRow(&audit.Entity{ID: id, Type: audit.EntityFile, Path: "/tmp/x"})); err != nil {
+					done <- err
+					return
+				}
+				if err := evts.Insert(EventRow(&audit.Event{ID: id, SrcID: 1, DstID: 2, Op: audit.OpRead})); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: reversed join orders did not finish")
+		}
 	}
 }
 

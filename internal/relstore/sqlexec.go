@@ -132,6 +132,28 @@ func (ex *executor) run() (*Rows, error) {
 		ex.binds = append(ex.binds, binding{name: bn, table: t})
 	}
 
+	// Hold the read lock of every bound table for the whole statement so
+	// the query sees a consistent snapshot while writers ingest. Tables
+	// are deduplicated (a self join binds the same table twice, and a
+	// recursive RLock could deadlock behind a queued writer) and locked
+	// in table-name order, so two statements binding the same tables in
+	// opposite FROM/JOIN orders cannot cycle with queued writers.
+	seenTbl := make(map[*Table]bool, len(ex.binds))
+	locked := make([]*Table, 0, len(ex.binds))
+	for _, b := range ex.binds {
+		if !seenTbl[b.table] {
+			seenTbl[b.table] = true
+			locked = append(locked, b.table)
+		}
+	}
+	sort.Slice(locked, func(i, j int) bool {
+		return strings.ToLower(locked[i].schema.Name) < strings.ToLower(locked[j].schema.Name)
+	})
+	for _, t := range locked {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+	}
+
 	// Collect conjuncts from JOIN ON and WHERE clauses.
 	var all []Expr
 	for _, j := range ex.stmt.Joins {
@@ -413,7 +435,7 @@ func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
 		return ids, nil
 	default:
 		ex.stats.FullScans++
-		ids := make([]int, t.NumRows())
+		ids := make([]int, len(t.rows))
 		for i := range ids {
 			ids[i] = i
 		}

@@ -20,23 +20,32 @@ type Schema struct {
 }
 
 // Table is an in-memory table with optional hash and ordered indexes.
-// Concurrent reads are safe; writes (Insert, index creation) must not
-// run concurrently with reads or each other — the DB-level loaders
-// serialize them.
+// It is safe for concurrent use: writers (Insert, index creation) take
+// the table's write lock, and the query executor holds the read lock of
+// every bound table for the duration of a statement, so a query sees one
+// consistent snapshot even while other goroutines ingest.
 type Table struct {
 	schema Schema
 	colIdx map[string]int
-	rows   [][]Value
+
+	// mu guards rows and hashIdx. The executor in sqlexec.go acquires it
+	// (read side) once per statement and then reads rows directly; every
+	// other access goes through the locked methods below.
+	mu   sync.RWMutex
+	rows [][]Value
 
 	// hash indexes: column position -> value key -> row ids.
 	hashIdx map[int]map[string][]int
+
+	// orderMu guards orderIdx and orderDirty. Ordered indexes rebuild
+	// lazily on the read path (lookupRange), which runs under mu's read
+	// lock — orderMu serializes the rebuild among concurrent readers.
+	// Lock order is always mu before orderMu.
+	orderMu sync.Mutex
 	// ordered indexes: column position -> row ids sorted by column value.
 	orderIdx map[int][]int
 	// orderDirty marks ordered indexes needing a rebuild after inserts.
 	orderDirty map[int]bool
-	// orderMu guards the lazy ordered-index rebuild performed on the
-	// read path, so concurrent queries do not race on it.
-	orderMu sync.Mutex
 }
 
 // NewTable creates an empty table for the schema.
@@ -65,7 +74,11 @@ func NewTable(s Schema) (*Table, error) {
 func (t *Table) Schema() Schema { return t.schema }
 
 // NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
 
 // ColIndex resolves a column name to its position, or -1.
 func (t *Table) ColIndex(name string) int {
@@ -82,6 +95,8 @@ func (t *Table) CreateHashIndex(col string) error {
 	if ci < 0 {
 		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	idx := make(map[string][]int)
 	for rid, row := range t.rows {
 		k := row[ci].key()
@@ -98,10 +113,16 @@ func (t *Table) CreateOrderedIndex(col string) error {
 	if ci < 0 {
 		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.orderMu.Lock()
+	defer t.orderMu.Unlock()
 	t.rebuildOrdered(ci)
 	return nil
 }
 
+// rebuildOrdered sorts the row ids for column ci. Callers must hold at
+// least the read side of mu (rows must not move) and orderMu.
 func (t *Table) rebuildOrdered(ci int) {
 	ids := make([]int, len(t.rows))
 	for i := range ids {
@@ -116,6 +137,7 @@ func (t *Table) rebuildOrdered(ci int) {
 
 // Insert appends a row, validating arity and types, and maintains hash
 // indexes incrementally. Ordered indexes are rebuilt lazily on next use.
+// Insert is safe to call concurrently with queries and other inserts.
 func (t *Table) Insert(row []Value) error {
 	if len(row) != len(t.schema.Columns) {
 		return fmt.Errorf("relstore: table %q wants %d values, got %d", t.schema.Name, len(t.schema.Columns), len(row))
@@ -129,21 +151,43 @@ func (t *Table) Insert(row []Value) error {
 				t.schema.Name, t.schema.Columns[i].Name, t.schema.Columns[i].Type, v.Kind)
 		}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rid := len(t.rows)
 	t.rows = append(t.rows, row)
 	for ci, idx := range t.hashIdx {
 		k := row[ci].key()
 		idx[k] = append(idx[k], rid)
 	}
+	t.orderMu.Lock()
 	for ci := range t.orderIdx {
 		t.orderDirty[ci] = true
 	}
+	t.orderMu.Unlock()
 	return nil
+}
+
+// ScanFrom calls fn for each row at position >= from, in insertion
+// order, under the table's read lock, and returns the row count at the
+// time of the scan. Rows are append-only, so positions are stable:
+// resuming a later scan from the returned count visits exactly the rows
+// inserted in between.
+func (t *Table) ScanFrom(from int, fn func(row []Value)) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < len(t.rows); i++ {
+		fn(t.rows[i])
+	}
+	return len(t.rows)
 }
 
 // lookupEq returns row ids whose column equals v, using the hash index if
 // present, else a scan. The second result reports whether an index served
-// the lookup.
+// the lookup. The caller must hold the read side of mu (the executor
+// does, for the whole statement).
 func (t *Table) lookupEq(ci int, v Value) ([]int, bool) {
 	if idx, ok := t.hashIdx[ci]; ok {
 		return idx[v.key()], true
@@ -158,10 +202,14 @@ func (t *Table) lookupEq(ci int, v Value) ([]int, bool) {
 }
 
 // lookupRange returns row ids whose column value is within [lo, hi]
-// according to the provided inclusivity flags. A nil bound is open.
+// according to the provided inclusivity flags. A nil bound is open. The
+// caller must hold the read side of mu; the lazy ordered-index rebuild
+// is serialized by orderMu among concurrent readers.
 func (t *Table) lookupRange(ci int, lo, hi *Value, loInc, hiInc bool) ([]int, bool) {
+	t.orderMu.Lock()
 	ids, ok := t.orderIdx[ci]
 	if !ok {
+		t.orderMu.Unlock()
 		var out []int
 		for rid, row := range t.rows {
 			if inRange(row[ci], lo, hi, loInc, hiInc) {
@@ -171,13 +219,10 @@ func (t *Table) lookupRange(ci int, lo, hi *Value, loInc, hiInc bool) ([]int, bo
 		return out, false
 	}
 	if t.orderDirty[ci] {
-		t.orderMu.Lock()
-		if t.orderDirty[ci] {
-			t.rebuildOrdered(ci)
-		}
+		t.rebuildOrdered(ci)
 		ids = t.orderIdx[ci]
-		t.orderMu.Unlock()
 	}
+	t.orderMu.Unlock()
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(ids), func(i int) bool {

@@ -1,0 +1,341 @@
+// Package service exposes a threatraptor.System over HTTP: the daemon
+// API behind cmd/threatraptord. One long-running System serves many
+// concurrent analysts — ingestion streams in over POST /ingest while
+// hunts page through match sets with the cursor API.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// DefaultHuntLimit is the page size used when a hunt request does not
+// specify one.
+const DefaultHuntLimit = 1000
+
+// MaxIngestBody caps a single POST /ingest body (256 MiB). Larger
+// batches should be split; the cap also bounds how much memory one
+// request can pin while buffering.
+const MaxIngestBody = 256 << 20
+
+// MaxQueryBody caps a /hunt or /explain request body (1 MiB); TBQL
+// sources are short, so anything larger is a client error.
+const MaxQueryBody = 1 << 20
+
+// MaxConcurrentIngests bounds how many /ingest requests may buffer
+// bodies at once. Ingestion itself is serialized by the System; this
+// cap keeps N clients from pinning N×MaxIngestBody of heap while they
+// queue. Requests beyond the cap get 429.
+const MaxConcurrentIngests = 4
+
+// Server is the HTTP front end of a ThreatRaptor system. It implements
+// http.Handler and is safe for concurrent requests: the underlying
+// System synchronizes ingestion against hunts.
+type Server struct {
+	sys     *threatraptor.System
+	mux     *http.ServeMux
+	started time.Time
+
+	hunts   atomic.Int64
+	ingests atomic.Int64
+
+	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
+	ingestSlots chan struct{}
+}
+
+// New wraps a System with the daemon's HTTP API.
+func New(sys *threatraptor.System) *Server {
+	s := &Server{
+		sys:         sys,
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		ingestSlots: make(chan struct{}, MaxConcurrentIngests),
+	}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/hunt", s.handleHunt)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the daemon's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readBody buffers the request body under the given cap. A body over
+// the cap reports 413; any other read failure is the client's 400.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
+	}
+	return body, 0, nil
+}
+
+// IngestResponse is the JSON body returned by POST /ingest.
+type IngestResponse struct {
+	Entities     int     `json:"entities"`
+	EventsIn     int     `json:"events_in"`
+	EventsStored int     `json:"events_stored"`
+	CPRReduction float64 `json:"cpr_reduction"`
+	ParseErrors  int     `json:"parse_errors"`
+}
+
+// handleIngest streams audit log lines from the request body into the
+// system: POST /ingest with a Sysdig-style log as the body.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "ingest wants POST, got %s", r.Method)
+		return
+	}
+	select {
+	case s.ingestSlots <- struct{}{}:
+		defer func() { <-s.ingestSlots }()
+	default:
+		writeError(w, http.StatusTooManyRequests,
+			"too many concurrent ingest batches (max %d); retry shortly", MaxConcurrentIngests)
+		return
+	}
+	// Buffer the body before ingesting: IngestLogs serializes ingestion
+	// batches, and parsing straight from the network would let one slow
+	// client hold that lock for as long as it cares to trickle bytes.
+	body, status, err := readBody(w, r, MaxIngestBody)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	stats, err := s.sys.IngestLogs(bytes.NewReader(body))
+	if err != nil {
+		// Parse failures are the client's fault; storage failures are ours.
+		status := http.StatusBadRequest
+		if errors.Is(err, threatraptor.ErrStorage) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.ingests.Add(1)
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Entities:     stats.Entities,
+		EventsIn:     stats.EventsIn,
+		EventsStored: stats.EventsStored,
+		CPRReduction: stats.CPRReduction,
+		ParseErrors:  stats.ParseErrors,
+	})
+}
+
+// HuntRequest is the JSON body accepted by POST /hunt. The body may
+// instead be raw TBQL source (any non-JSON content type), with limit
+// and offset given as URL query parameters.
+type HuntRequest struct {
+	Query  string `json:"query"`
+	Limit  int    `json:"limit"`
+	Offset int    `json:"offset"`
+}
+
+// HuntStats is the execution summary embedded in a hunt response.
+type HuntStats struct {
+	RowsFetched    int  `json:"rows_fetched"`
+	Propagations   int  `json:"propagations"`
+	ShortCircuit   bool `json:"short_circuit"`
+	JoinCandidates int  `json:"join_candidates"`
+}
+
+// HuntResponse is one page of hunt results. NextOffset is present only
+// when more rows remain beyond this page; passing it back as offset
+// resumes the iteration.
+type HuntResponse struct {
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+	Offset     int        `json:"offset"`
+	Count      int        `json:"count"`
+	NextOffset *int       `json:"next_offset,omitempty"`
+	Stats      HuntStats  `json:"stats"`
+}
+
+func (s *Server) huntRequest(w http.ResponseWriter, r *http.Request) (HuntRequest, int, error) {
+	var req HuntRequest
+	body, status, err := readBody(w, r, MaxQueryBody)
+	if err != nil {
+		return req, status, err
+	}
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err)
+		}
+	} else {
+		req.Query = string(body)
+	}
+	q := r.URL.Query()
+	for name, dst := range map[string]*int{"limit": &req.Limit, "offset": &req.Offset} {
+		if raw := q.Get(name); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				return req, http.StatusBadRequest, fmt.Errorf("bad %s %q", name, raw)
+			}
+			*dst = n
+		}
+	}
+	if req.Limit < 0 || req.Offset < 0 {
+		return req, http.StatusBadRequest, fmt.Errorf("limit and offset must be non-negative")
+	}
+	if req.Limit == 0 {
+		req.Limit = DefaultHuntLimit
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, http.StatusBadRequest, fmt.Errorf("empty TBQL query")
+	}
+	return req, 0, nil
+}
+
+// handleHunt executes TBQL source and returns one page of projected
+// rows, driven by the streaming cursor so only the requested page is
+// materialized.
+func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "hunt wants POST, got %s", r.Method)
+		return
+	}
+	req, status, err := s.huntRequest(w, r)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	cur, err := s.sys.HuntCursor(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cur.Close()
+	s.hunts.Add(1)
+
+	for skipped := 0; skipped < req.Offset; skipped++ {
+		if !cur.Next() {
+			break
+		}
+	}
+	rows := make([][]string, 0, min(req.Limit, 64))
+	for len(rows) < req.Limit && cur.Next() {
+		row := cur.Row()
+		rows = append(rows, append([]string(nil), row...))
+	}
+	resp := HuntResponse{
+		Columns: cur.Columns(),
+		Rows:    rows,
+		Offset:  req.Offset,
+		Count:   len(rows),
+		Stats: HuntStats{
+			RowsFetched:    cur.Stats().RowsFetched,
+			Propagations:   cur.Stats().Propagations,
+			ShortCircuit:   cur.Stats().ShortCircuit,
+			JoinCandidates: cur.Stats().JoinCandidates,
+		},
+	}
+	if cur.Next() { // one row beyond the page: more remain
+		next := req.Offset + len(rows)
+		resp.NextOffset = &next
+	}
+	// Err is always nil with today's eager match collection; the check
+	// guards the ROADMAP item that pushes the cursor into the join.
+	if err := cur.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainedPattern is one pattern of an explain response, in scheduled
+// order.
+type ExplainedPattern struct {
+	Name      string `json:"name"`
+	Backend   string `json:"backend"`
+	Score     int    `json:"score"`
+	DataQuery string `json:"data_query"`
+}
+
+// handleExplain compiles and scores a TBQL query without executing it:
+// GET /explain?q=... or POST /explain with the TBQL source as the body.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var src string
+	switch r.Method {
+	case http.MethodGet:
+		src = r.URL.Query().Get("q")
+	case http.MethodPost:
+		raw, status, err := readBody(w, r, MaxQueryBody)
+		if err != nil {
+			writeError(w, status, "%v", err)
+			return
+		}
+		src = string(raw)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "explain wants GET or POST, got %s", r.Method)
+		return
+	}
+	if strings.TrimSpace(src) == "" {
+		writeError(w, http.StatusBadRequest, "empty TBQL query (use ?q= or a POST body)")
+		return
+	}
+	q, err := s.sys.ParseQuery(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	patterns, err := s.sys.Explain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]ExplainedPattern, len(patterns))
+	for i, p := range patterns {
+		out[i] = ExplainedPattern{Name: p.Name, Backend: p.Backend, Score: p.Score, DataQuery: p.DataQuery}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
+}
+
+// StatsResponse is the JSON body returned by GET /stats.
+type StatsResponse struct {
+	threatraptor.StoreStats
+	Hunts         int64   `json:"hunts"`
+	Ingests       int64   `json:"ingests"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleStats reports store sizes and request counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "stats wants GET, got %s", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		StoreStats:    s.sys.Stats(),
+		Hunts:         s.hunts.Load(),
+		Ingests:       s.ingests.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}

@@ -21,8 +21,11 @@
 package threatraptor
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/exec"
@@ -47,6 +50,8 @@ type (
 	SynthReport = synth.Report
 	// HuntResult is the result of executing a TBQL query.
 	HuntResult = exec.Result
+	// Cursor streams the projected rows of a hunt (see HuntCursor).
+	Cursor = exec.Cursor
 	// Record is one raw audit record.
 	Record = audit.Record
 	// TimeWindow bounds patterns to [From, To] unix nanoseconds.
@@ -88,24 +93,39 @@ type Options struct {
 	DisablePropagation bool
 }
 
-// IngestStats summarises one ingestion batch.
+// ErrStorage marks ingestion failures in the storage phase, as opposed
+// to parse failures of the caller's input. Callers (the HTTP daemon)
+// test it with errors.Is to classify a failure as server-side.
+var ErrStorage = errors.New("storage failure")
+
+// IngestStats summarises one ingestion batch. All fields are per-batch.
 type IngestStats struct {
-	Entities     int
+	Entities     int // entities newly interned by this batch
 	EventsIn     int
 	EventsStored int
 	CPRReduction float64 // events-in / events-stored (1.0 without CPR)
-	ParseErrors  int
+	ParseErrors  int     // malformed lines skipped in this batch (lenient mode)
 }
 
 // System is a ThreatRaptor deployment: parsers, reduction, both storage
 // backends, and the query execution engine.
+//
+// A System is safe for concurrent use: any number of goroutines may
+// Hunt, Explain, Investigate, and inspect counters while others ingest.
+// Ingestion batches are serialized with respect to each other so the
+// high-water-mark bookkeeping in flush stays consistent; hunts never
+// block ingestion for longer than one data query.
 type System struct {
 	opts   Options
 	parser *audit.Parser
 	rel    *relstore.DB
 	graph  *graphstore.Graph
 	engine *exec.Engine
-	stored int // events already flushed to the stores
+
+	// ingestMu serializes ingestion batches (IngestLogs, IngestRecords);
+	// queries run concurrently under the stores' own read locks.
+	ingestMu sync.Mutex
+	stored   atomic.Int64 // events already flushed to the stores
 }
 
 // New creates an empty System.
@@ -133,40 +153,70 @@ func New(opts Options) (*System, error) {
 }
 
 // IngestLogs parses Sysdig-style audit log lines from r and stores the
-// resulting entities and events in both backends.
+// resulting entities and events in both backends. The batch is atomic
+// with respect to parse errors: in strict mode a malformed line fails
+// the whole batch before anything is interned, so a client can fix and
+// retry without duplicating the prefix.
 func (s *System) IngestLogs(r io.Reader) (IngestStats, error) {
-	mark := len(s.parser.Events())
-	if err := s.parser.ParseStream(r); err != nil {
+	recs, parseErrs, err := audit.ParseRecords(r, s.opts.LenientParsing)
+	if err != nil {
 		return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
 	}
-	return s.flush(mark)
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.ingestLocked(recs, len(parseErrs))
 }
 
-// IngestRecords stores already-parsed audit records.
+// IngestRecords stores already-parsed audit records. Like IngestLogs,
+// records are validated up front so a strict-mode failure leaves no
+// partial batch behind.
 func (s *System) IngestRecords(recs []Record) (IngestStats, error) {
+	valid := recs
+	recErrs := 0
+	if s.opts.LenientParsing {
+		valid = make([]Record, 0, len(recs))
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				recErrs++
+				continue
+			}
+			valid = append(valid, r)
+		}
+	} else {
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
+			}
+		}
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.ingestLocked(valid, recErrs)
+}
+
+// ingestLocked adds pre-validated records to the parser and flushes
+// them to both stores. The caller holds ingestMu.
+func (s *System) ingestLocked(recs []Record, parseErrs int) (IngestStats, error) {
 	mark := len(s.parser.Events())
 	for _, r := range recs {
 		if _, err := s.parser.Add(r); err != nil {
-			if s.opts.LenientParsing {
-				s.parser.Errs = append(s.parser.Errs, err)
-				continue
-			}
 			return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
 		}
 	}
-	return s.flush(mark)
+	return s.flush(mark, parseErrs)
 }
 
 // flush stores events parsed since mark, applying CPR when configured.
 // Entities are stored incrementally; the parser deduplicates them, so new
 // entities are exactly those beyond the stored high-water mark.
-func (s *System) flush(mark int) (IngestStats, error) {
+// parseErrs is this batch's parse-error count, not the lifetime total.
+func (s *System) flush(mark, parseErrs int) (IngestStats, error) {
 	newEvents := s.parser.Events()[mark:]
-	stats := IngestStats{EventsIn: len(newEvents), ParseErrors: len(s.parser.Errs)}
+	stats := IngestStats{EventsIn: len(newEvents), ParseErrors: parseErrs}
 
 	entities := s.parser.Entities()
 	newEntities := entities[s.countStoredEntities():]
-	stats.Entities = len(entities)
+	stats.Entities = len(newEntities)
 
 	toStore := newEvents
 	stats.CPRReduction = 1
@@ -178,12 +228,12 @@ func (s *System) flush(mark int) (IngestStats, error) {
 	stats.EventsStored = len(toStore)
 
 	if err := relstore.Load(s.rel, newEntities, toStore); err != nil {
-		return stats, fmt.Errorf("threatraptor: store: %w", err)
+		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
 	if err := graphstore.Load(s.graph, newEntities, toStore); err != nil {
-		return stats, fmt.Errorf("threatraptor: store: %w", err)
+		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
-	s.stored += len(toStore)
+	s.stored.Add(int64(len(toStore)))
 	return stats, nil
 }
 
@@ -218,6 +268,19 @@ func (s *System) HuntQuery(q *Query) (*HuntResult, error) {
 	return s.engine.Execute(q)
 }
 
+// HuntCursor parses and executes TBQL source, returning a cursor that
+// streams the projected rows instead of materializing Result.Rows —
+// the iterator API for paging through large match sets.
+func (s *System) HuntCursor(src string) (*Cursor, error) {
+	return s.engine.ExecuteTBQLCursor(src)
+}
+
+// HuntQueryCursor executes an analyzed TBQL query, returning a cursor
+// over the projected rows.
+func (s *System) HuntQueryCursor(q *Query) (*Cursor, error) {
+	return s.engine.ExecuteCursor(q)
+}
+
 // HuntReport is the end-to-end pipeline: extract the threat behavior
 // graph from the report, synthesize a TBQL query, and execute it.
 func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult, error) {
@@ -240,10 +303,30 @@ func (s *System) Explain(q *Query) ([]exec.ExplainedPattern, error) {
 }
 
 // NumEvents reports how many events are stored.
-func (s *System) NumEvents() int { return s.stored }
+func (s *System) NumEvents() int { return int(s.stored.Load()) }
 
 // NumEntities reports how many entities are stored.
 func (s *System) NumEntities() int { return s.countStoredEntities() }
+
+// StoreStats summarises the sizes of both storage backends.
+type StoreStats struct {
+	Events     int `json:"events"`
+	Entities   int `json:"entities"`
+	GraphNodes int `json:"graph_nodes"`
+	GraphEdges int `json:"graph_edges"`
+}
+
+// Stats reports current store sizes. Safe to call while ingesting and
+// hunting; the counts are per-store snapshots, not a cross-store
+// transaction.
+func (s *System) Stats() StoreStats {
+	return StoreStats{
+		Events:     s.NumEvents(),
+		Entities:   s.NumEntities(),
+		GraphNodes: s.graph.NumNodes(),
+		GraphEdges: s.graph.NumEdges(),
+	}
+}
 
 // FindEntities returns the entities whose named attribute equals value
 // (attributes as in TBQL filters: exename, name, path, dstip, ...).

@@ -165,6 +165,48 @@ func TestLenientParsing(t *testing.T) {
 	}
 }
 
+func TestStrictIngestAtomic(t *testing.T) {
+	sys, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := "100\t200\th\t1\t/bin/a\tread\tfile\t/x\t1\n"
+	// A malformed line mid-batch must fail the whole batch without
+	// interning the valid prefix, so a fixed retry does not duplicate it.
+	if _, err := sys.IngestLogs(strings.NewReader(good + "garbage\n" + good)); err == nil {
+		t.Fatal("strict mode should fail on garbage")
+	}
+	if sys.NumEvents() != 0 || sys.NumEntities() != 0 {
+		t.Fatalf("failed batch left %d events / %d entities behind",
+			sys.NumEvents(), sys.NumEntities())
+	}
+	stats, err := sys.IngestLogs(strings.NewReader(good + good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsStored != 2 || sys.NumEvents() != 2 {
+		t.Errorf("retry stored %d events (stats %+v)", sys.NumEvents(), stats)
+	}
+}
+
+func TestLenientParseErrorsPerBatch(t *testing.T) {
+	sys, err := New(Options{LenientParsing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := "100\t200\th\t1\t/bin/a\tread\tfile\t/x\t1\n"
+	stats, err := sys.IngestLogs(strings.NewReader("garbage\n" + good))
+	if err != nil || stats.ParseErrors != 1 {
+		t.Fatalf("first batch: stats %+v, err %v", stats, err)
+	}
+	// A clean follow-up batch must report zero errors, not the lifetime
+	// total.
+	stats, err = sys.IngestLogs(strings.NewReader(good))
+	if err != nil || stats.ParseErrors != 0 {
+		t.Errorf("clean batch: stats %+v, err %v", stats, err)
+	}
+}
+
 func TestExtractSynthesizeAPI(t *testing.T) {
 	sys, _ := leakageSystem(t, Options{}, 0)
 	g := sys.ExtractBehavior(extract.Fig2Text)
