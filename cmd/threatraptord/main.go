@@ -33,14 +33,16 @@ func main() {
 		cpr       = flag.Bool("cpr", false, "apply Causality Preserved Reduction on ingest")
 		lenient   = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
 		maxHops   = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
+		maxProp   = flag.Int("max-propagated-ids", 0, "cap on propagated IN-list size (0 = default 512); drops count as propagations_skipped in /stats")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
 	sys, err := threatraptor.New(threatraptor.Options{
-		CPR:            *cpr,
-		LenientParsing: *lenient,
-		MaxPathHops:    *maxHops,
+		CPR:              *cpr,
+		LenientParsing:   *lenient,
+		MaxPathHops:      *maxHops,
+		MaxPropagatedIDs: *maxProp,
 	})
 	if err != nil {
 		log.Fatalf("threatraptord: %v", err)

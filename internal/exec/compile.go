@@ -6,6 +6,34 @@
 // data-query execution in score order, and propagates intermediate results
 // between patterns connected by shared entities as additional filters, so
 // complex TBQL queries execute efficiently across database backends.
+//
+// # Execution model
+//
+// A hunt runs in two phases under one pinned read snapshot of the
+// stores it touches — the relational tables always, the graph only for
+// path patterns (taken at ExecuteCursor, released on cursor
+// Close/exhaustion):
+//
+// Fetch. Data queries run in scheduled order with constraint
+// propagation; patterns not chained by a shared entity variable are
+// grouped into waves and fetched concurrently by a small worker pool.
+// Propagated IN-lists larger than MaxPropagatedIDs are dropped and
+// counted in Stats.PropagationsSkipped.
+//
+// Join. The fetched rows are joined by a streaming hash join
+// (stream.go). Bindings are slot-based: tbql.Analyze assigns dense
+// integer slots to entity variables and event patterns, so a partial
+// binding is a pair of fixed-size slices mutated in place — no
+// per-candidate map cloning. Each join level probes a hash index built
+// on the entity sides it shares with already-bound patterns, and each
+// temporal/attribute relation is checked exactly once, at the first
+// level where its events are bound. The join is a pull-based
+// depth-first iterator wired into Cursor.Next: row N+1 is produced
+// without computing row N+2, so a paginated hunt (or any early
+// termination) does page-sized work regardless of the total match
+// count. Execute is a drain of the same streaming path; the legacy
+// materializing nested-loop join survives behind Engine.UseNaiveJoin as
+// the correctness baseline for the equivalence property tests.
 package exec
 
 import (

@@ -10,48 +10,124 @@ import (
 
 // Cursor iterates over the projected rows of a hunt, in the style of
 // database/sql: Next advances, Row or Scan reads the current row, Err
-// reports iteration errors, and Close releases the match set. Rows are
-// projected one at a time, so callers can page through large match sets
-// without the engine materializing Result.Rows up front.
+// reports iteration errors, and Close releases the cursor's resources.
+// The join runs lazily inside the cursor (see stream.go), so Next
+// computes row N+1 without computing row N+2 and a page-sized read of a
+// huge hunt does page-sized join work.
+//
+// An open cursor pins a read snapshot of every storage backend its
+// query touches (the relational tables always, the graph only when the
+// query has a path pattern), taken when it was created, so every page
+// observes one consistent ingest frontier. Writers queue behind that
+// snapshot: callers MUST Close a cursor they abandon mid-stream —
+// Close (or exhausting the rows, or an iteration error) releases the
+// per-store read locks, and it is idempotent.
 //
 // A Cursor is not safe for concurrent use; each goroutine should run its
 // own hunt.
 type Cursor struct {
-	query    *tbql.Query
-	attrs    *attrCache
-	matches  []Match
-	cols     []string
-	stats    Stats
-	distinct bool
-	seen     map[string]bool
+	query *tbql.Query
+	en    *Engine
+	cols  []string
+	stats Stats
 
-	pos    int
+	// release drops the per-store read locks; nil once released.
+	release func()
+
+	// stream is the lazy hash-join iterator (default path).
+	stream *matchStream
+	// naive holds pre-materialized matches when the engine ran the
+	// legacy nested-loop join (Engine.UseNaiveJoin); npos iterates it.
+	naive []Match
+	npos  int
+
+	// projSlots maps each return item to its entity slot (stream path).
+	projSlots []int
+	attrs     *attrCache
+	distinct  bool
+	seen      map[string]bool
+
+	// collectMatches makes Next record every match (pre-DISTINCT) in
+	// matches, for Execute's Result.Matches.
+	collectMatches bool
+	matches        []Match
+
 	row    []string
 	err    error
 	closed bool
 }
 
 // ExecuteCursor runs an analyzed TBQL query and returns a cursor over
-// the projected rows instead of a materialized Result.
+// the projected rows. The data-query (fetch) phase runs eagerly — so
+// compile and backend errors surface here — but the join is lazy: match
+// generation happens inside Next. The cursor owns a read snapshot of
+// both stores until it is closed or exhausted.
 func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
-	res, err := en.collect(q)
-	if err != nil {
-		return nil, err
-	}
-	c := &Cursor{
-		query:    q,
-		matches:  res.Matches,
-		cols:     res.Cols,
-		stats:    res.Stats,
-		distinct: q.Distinct,
-	}
-	if len(res.Matches) > 0 {
-		if c.attrs, err = en.entityAttrs(); err != nil {
+	if q.Info() == nil {
+		if err := tbql.Analyze(q); err != nil {
 			return nil, err
 		}
 	}
+	if en.Rel == nil {
+		return nil, fmt.Errorf("exec: engine has no relational backend")
+	}
+	maxHops := en.MaxPathHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	maxProp := en.MaxPropagatedIDs
+	if maxProp == 0 {
+		maxProp = 512
+	}
+	order := en.schedule(q, maxHops)
+
+	needGraph := false
+	for i := range q.Patterns {
+		if q.Patterns[i].IsPath {
+			needGraph = true
+			break
+		}
+	}
+	release, err := en.lockStores(needGraph)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cursor{
+		query:    q,
+		en:       en,
+		cols:     returnCols(q),
+		distinct: q.Distinct,
+		release:  release,
+	}
 	if c.distinct {
 		c.seen = make(map[string]bool)
+	}
+
+	rows, err := en.fetchPatterns(q, order, maxHops, maxProp, &c.stats)
+	if err != nil {
+		c.releaseLocks()
+		return nil, err
+	}
+	if c.stats.ShortCircuit {
+		// Some pattern matched nothing: the cursor is empty and needs no
+		// snapshot, so let writers through immediately.
+		c.releaseLocks()
+		return c, nil
+	}
+
+	info := q.Info()
+	c.projSlots = make([]int, len(q.Return))
+	for i, item := range q.Return {
+		c.projSlots[i] = info.EntitySlot[item.ID]
+	}
+
+	if en.UseNaiveJoin {
+		matches, explored := en.join(q, order, rows)
+		c.stats.JoinCandidates = explored
+		c.naive = matches
+	} else {
+		c.stream = newMatchStream(planJoin(q, order), rows)
 	}
 	return c, nil
 }
@@ -70,20 +146,89 @@ func (en *Engine) ExecuteTBQLCursor(src string) (*Cursor, error) {
 // the first Next. The caller must not modify the returned slice.
 func (c *Cursor) Columns() []string { return c.cols }
 
-// Stats reports how the underlying query executed.
-func (c *Cursor) Stats() Stats { return c.stats }
+// Stats reports how the underlying query executed. JoinCandidates
+// reflects the join work done so far: it grows as a lazy cursor is
+// drained.
+func (c *Cursor) Stats() Stats {
+	c.syncStats()
+	return c.stats
+}
+
+// syncStats folds the streaming join's progress into the stats snapshot.
+func (c *Cursor) syncStats() {
+	if c.stream != nil {
+		c.stats.JoinCandidates = c.stream.Explored()
+	}
+}
+
+// releaseLocks drops the per-store read locks exactly once.
+func (c *Cursor) releaseLocks() {
+	if c.release != nil {
+		c.release()
+		c.release = nil
+	}
+}
+
+// ensureAttrs lazily snapshots the entity attribute cache on the first
+// projected row, under the cursor's held store snapshot so the
+// attributes and the fetched rows describe one consistent cut.
+func (c *Cursor) ensureAttrs() bool {
+	if c.attrs != nil {
+		return true
+	}
+	attrs, err := c.en.entityAttrsLocked()
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.attrs = attrs
+	return true
+}
 
 // Next advances to the next projected row, applying DISTINCT
-// deduplication incrementally. It returns false when the rows are
-// exhausted or the cursor is closed.
+// deduplication incrementally. On the streaming path this resumes the
+// depth-first join walk, doing only the work needed to surface one more
+// row. It returns false when the rows are exhausted, an error occurred
+// (see Err), or the cursor is closed; exhaustion and errors release the
+// store snapshot.
 func (c *Cursor) Next() bool {
 	if c.closed || c.err != nil {
 		return false
 	}
-	for c.pos < len(c.matches) {
-		m := c.matches[c.pos]
-		c.pos++
-		row := projectMatch(c.query, m, c.attrs)
+	for {
+		var m *Match
+		switch {
+		case c.stream != nil:
+			if !c.stream.Next() {
+				c.finish()
+				return false
+			}
+		case c.npos < len(c.naive):
+			m = &c.naive[c.npos]
+			c.npos++
+		default:
+			c.finish()
+			return false
+		}
+		if !c.ensureAttrs() {
+			c.finish()
+			return false
+		}
+		var row []string
+		if m == nil {
+			row = make([]string, len(c.query.Return))
+			for i, item := range c.query.Return {
+				row[i] = c.attrs.get(c.stream.entities[c.projSlots[i]], item.Attr)
+			}
+			if c.collectMatches {
+				c.matches = append(c.matches, c.stream.match())
+			}
+		} else {
+			row = projectMatch(c.query, *m, c.attrs)
+			if c.collectMatches {
+				c.matches = append(c.matches, *m)
+			}
+		}
 		if c.distinct {
 			key := strings.Join(row, "\x00")
 			if c.seen[key] {
@@ -94,8 +239,14 @@ func (c *Cursor) Next() bool {
 		c.row = row
 		return true
 	}
+}
+
+// finish ends iteration: clears the current row, fixes the stats
+// snapshot, and releases the store locks.
+func (c *Cursor) finish() {
 	c.row = nil
-	return false
+	c.syncStats()
+	c.releaseLocks()
 }
 
 // Row returns the current projected row, or nil before the first Next,
@@ -150,15 +301,25 @@ func (c *Cursor) Scan(dest ...any) error {
 }
 
 // Err reports any error encountered during iteration. It is distinct
-// from Scan errors, which are returned directly.
+// from Scan errors, which are returned directly. Err survives Close, so
+// a caller that pages then closes can still distinguish a truncated
+// stream from a completed one.
 func (c *Cursor) Err() error { return c.err }
 
-// Close releases the cursor's match set. It is idempotent; Next returns
-// false and Scan fails after Close.
+// Close releases the cursor's resources: the remaining match state and
+// — critically — the per-store read locks of the snapshot the cursor
+// pinned at creation. A caller that abandons a cursor mid-stream
+// without Close blocks every writer behind the snapshot indefinitely.
+// Close is idempotent; Next returns false and Scan fails after Close.
 func (c *Cursor) Close() error {
-	c.closed = true
+	if !c.closed {
+		c.syncStats()
+		c.closed = true
+	}
 	c.row = nil
-	c.matches = nil
+	c.stream = nil
+	c.naive = nil
 	c.seen = nil
+	c.releaseLocks()
 	return nil
 }

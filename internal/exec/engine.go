@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graphstore"
 	"repro/internal/relstore"
@@ -25,8 +26,13 @@ type Engine struct {
 	// patterns connected by shared entities (ablation baseline).
 	DisablePropagation bool
 	// MaxPropagatedIDs bounds the size of a propagated IN-list; larger
-	// candidate sets are not propagated (default 512).
+	// candidate sets are not propagated (default 512) and are counted in
+	// Stats.PropagationsSkipped.
 	MaxPropagatedIDs int
+	// UseNaiveJoin executes the join as the legacy materializing
+	// nested loop instead of the streaming hash join (correctness
+	// baseline for the equivalence tests and allocation benchmarks).
+	UseNaiveJoin bool
 
 	// attrsMu guards the projection attribute cache below, so concurrent
 	// hunts share one cache instead of racing on it.
@@ -59,11 +65,18 @@ type Match struct {
 
 // Stats describes how a query executed.
 type Stats struct {
-	DataQueries    []string // compiled SQL/Cypher, in execution order
-	RowsFetched    int
-	Propagations   int // number of IN-list constraints injected
-	ShortCircuit   bool
-	JoinCandidates int // partial bindings explored during the join
+	DataQueries  []string // compiled SQL/Cypher, in scheduled order
+	RowsFetched  int
+	Propagations int // number of IN-list constraints injected
+	// PropagationsSkipped counts shared-entity constraints that were NOT
+	// injected because the candidate set exceeded MaxPropagatedIDs — the
+	// signal that a hunt fell back to fetching an unconstrained table.
+	PropagationsSkipped int
+	ShortCircuit        bool
+	// JoinCandidates counts candidate rows examined during the join.
+	// With the streaming executor this grows as the cursor is drained;
+	// a partially read cursor reports the work done so far.
+	JoinCandidates int
 }
 
 // Result is a TBQL query result.
@@ -74,20 +87,30 @@ type Result struct {
 	Stats   Stats
 }
 
+// fetchWorkers bounds how many independent per-pattern data queries one
+// hunt runs concurrently within a propagation wave.
+const fetchWorkers = 4
+
 // Execute runs an analyzed TBQL query and materializes every projected
 // row in Result.Rows by draining a cursor, so projection and DISTINCT
 // semantics live in one place. For large match sets, ExecuteCursor
-// streams the projection instead.
+// streams the projection instead and does only as much join work as the
+// caller consumes.
 func (en *Engine) Execute(q *tbql.Query) (*Result, error) {
 	c, err := en.ExecuteCursor(q)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Cols: c.cols, Matches: c.matches, Stats: c.stats}
+	c.collectMatches = true
+	res := &Result{Cols: c.cols}
 	for c.Next() {
 		res.Rows = append(res.Rows, c.Row())
 	}
-	return res, c.Err()
+	res.Matches = c.matches
+	res.Stats = c.Stats()
+	err = c.Err()
+	c.Close()
+	return res, err
 }
 
 // projectMatch renders one match as a projected row of entity attributes.
@@ -99,31 +122,9 @@ func projectMatch(q *tbql.Query, m Match, attrs *attrCache) []string {
 	return row
 }
 
-// collect runs the scheduling, data-query, and join phases of a query,
-// returning the result with Cols, Matches, and Stats filled in but no
-// projected Rows. Both Execute and ExecuteCursor build on it.
-func (en *Engine) collect(q *tbql.Query) (*Result, error) {
-	if q.Info() == nil {
-		if err := tbql.Analyze(q); err != nil {
-			return nil, err
-		}
-	}
-	if en.Rel == nil {
-		return nil, fmt.Errorf("exec: engine has no relational backend")
-	}
-	maxHops := en.MaxPathHops
-	if maxHops == 0 {
-		maxHops = DefaultMaxHops
-	}
-	maxProp := en.MaxPropagatedIDs
-	if maxProp == 0 {
-		maxProp = 512
-	}
-
-	res := &Result{}
-
-	// Schedule: order patterns by pruning score (descending), stable to
-	// keep textual order among ties.
+// schedule orders pattern indexes by pruning score (descending), stable
+// to keep textual order among ties.
+func (en *Engine) schedule(q *tbql.Query, maxHops int) []int {
 	order := make([]int, len(q.Patterns))
 	for i := range order {
 		order[i] = i
@@ -133,98 +134,229 @@ func (en *Engine) collect(q *tbql.Query) (*Result, error) {
 			return PruningScore(&q.Patterns[order[a]], maxHops) > PruningScore(&q.Patterns[order[b]], maxHops)
 		})
 	}
+	return order
+}
 
-	// Execute data queries with constraint propagation.
-	rows := make([][]EventRow, len(q.Patterns))
-	// knownIDs[var] is the set of entity ids observed for an entity
-	// variable in already-executed patterns.
-	knownIDs := map[string]map[int64]bool{}
+// lockStores pins a read snapshot across the storage backends one hunt
+// touches: the relational tables first (in table-name order, the
+// statement executor's own order), then the graph — but only when the
+// query has a path pattern; a pure-SQL hunt never reads the graph, and
+// pinning it anyway would serialize graph ingest behind every cursor.
+// The fixed order means concurrent hunts and ingests cannot form a lock
+// cycle. The returned release func is owned by the cursor and runs
+// exactly once — on exhaustion, error, or Close.
+func (en *Engine) lockStores(needGraph bool) (func(), error) {
+	relRelease, err := en.Rel.RLockTables(relstore.EntityTable, relstore.EventTable)
+	if err != nil {
+		return nil, err
+	}
+	if !needGraph || en.Graph == nil {
+		return relRelease, nil
+	}
+	g := en.Graph
+	g.RLock()
+	return func() {
+		g.RUnlock()
+		relRelease()
+	}, nil
+}
 
-	for _, pi := range order {
-		pat := &q.Patterns[pi]
-		// Propagated constraints go on the event table's own srcid/dstid
-		// columns (equivalent to s.id/o.id through the join equalities),
-		// where the hash indexes can drive the IN-list lookup directly.
-		var extraSQL, extraCypher []string
+// sharesEntity reports whether two patterns reference a common entity
+// variable (the condition under which propagation chains their fetches).
+func sharesEntity(q *tbql.Query, a, b int) bool {
+	pa, pb := &q.Patterns[a], &q.Patterns[b]
+	return pa.Subj.ID == pb.Subj.ID || pa.Subj.ID == pb.Obj.ID ||
+		pa.Obj.ID == pb.Subj.ID || pa.Obj.ID == pb.Obj.ID
+}
+
+// fetchPatterns runs the per-pattern data queries in scheduled order
+// with constraint propagation, filling stats. Patterns whose fetch does
+// not depend on an earlier pattern's observed IDs (no shared entity
+// variable, or propagation disabled) are grouped into waves and fetched
+// concurrently by a small worker pool; propagation state updates
+// deterministically between waves, in scheduled order. The caller holds
+// the store snapshot locks (lockStores). On a short-circuit (some
+// pattern fetched zero rows) it returns nil rows with
+// stats.ShortCircuit set.
+func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
+	// Partition scheduled positions into dependency waves.
+	waveOf := make([]int, len(order))
+	nWaves := 0
+	for k := range order {
+		w := 0
 		if !en.DisablePropagation {
-			if c, ok := propagated(knownIDs, pat.Subj.ID, maxProp); ok {
-				extraSQL = append(extraSQL, "e.srcid IN ("+c+")")
-				extraCypher = append(extraCypher, inListCypher("s.id", knownIDs[pat.Subj.ID]))
-				res.Stats.Propagations++
-			}
-			if c, ok := propagated(knownIDs, pat.Obj.ID, maxProp); ok {
-				extraSQL = append(extraSQL, "e.dstid IN ("+c+")")
-				extraCypher = append(extraCypher, inListCypher("o.id", knownIDs[pat.Obj.ID]))
-				res.Stats.Propagations++
+			for j := 0; j < k; j++ {
+				if sharesEntity(q, order[j], order[k]) && waveOf[j]+1 > w {
+					w = waveOf[j] + 1
+				}
 			}
 		}
+		waveOf[k] = w
+		if w+1 > nWaves {
+			nWaves = w + 1
+		}
+	}
+	waves := make([][]int, nWaves)
+	for k := range order {
+		waves[waveOf[k]] = append(waves[waveOf[k]], k)
+	}
 
-		var fetched []EventRow
-		if pat.IsPath {
-			if en.Graph == nil {
-				return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
+	rows := make([][]EventRow, len(q.Patterns))
+	known := map[string]map[int64]bool{} // entity var -> observed IDs
+	dataQueries := make([]string, len(order))
+	setQueries := func() {
+		for _, dq := range dataQueries {
+			if dq != "" {
+				stats.DataQueries = append(stats.DataQueries, dq)
 			}
-			cq := compileCypher(pat, extraCypher, maxHops)
-			res.Stats.DataQueries = append(res.Stats.DataQueries, cq)
-			gr, err := en.Graph.Query(cq)
+		}
+	}
+
+	type job struct {
+		pos, pi int
+		isPath  bool
+		src     string
+		fetched []EventRow
+		err     error
+		skipped bool
+	}
+	// sawEmpty is set as soon as any fetch returns zero rows: the hunt
+	// is short-circuiting, so queued sibling fetches are skipped instead
+	// of started (in-flight ones run to completion). The sequential case
+	// keeps the legacy behavior exactly: nothing after the empty pattern
+	// executes.
+	var sawEmpty atomic.Bool
+	for _, wave := range waves {
+		// Compile this wave's queries sequentially so propagation stats
+		// and IN-lists are deterministic.
+		jobs := make([]*job, 0, len(wave))
+		for _, pos := range wave {
+			pi := order[pos]
+			pat := &q.Patterns[pi]
+			var extraSQL, extraCypher []string
+			if !en.DisablePropagation {
+				// Propagated constraints go on the event table's own
+				// srcid/dstid columns (equivalent to s.id/o.id through the
+				// join equalities), where the hash indexes can drive the
+				// IN-list lookup directly.
+				addProp := func(id, sqlCol, cyCol string) {
+					set := known[id]
+					if len(set) == 0 {
+						return
+					}
+					if len(set) > maxProp {
+						stats.PropagationsSkipped++
+						return
+					}
+					extraSQL = append(extraSQL, sqlCol+" IN ("+inListSQL(set)+")")
+					extraCypher = append(extraCypher, inListCypher(cyCol, set))
+					stats.Propagations++
+				}
+				addProp(pat.Subj.ID, "e.srcid", "s.id")
+				addProp(pat.Obj.ID, "e.dstid", "o.id")
+			}
+			j := &job{pos: pos, pi: pi, isPath: pat.IsPath}
+			if pat.IsPath {
+				if en.Graph == nil {
+					return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
+				}
+				j.src = compileCypher(pat, extraCypher, maxHops)
+			} else {
+				j.src = compileSQL(pat, extraSQL)
+			}
+			dataQueries[pos] = j.src
+			jobs = append(jobs, j)
+		}
+
+		// Run the wave: inline when it is a single query (the common case
+		// once propagation chains patterns), else through the pool.
+		run := func(j *job) {
+			if sawEmpty.Load() {
+				j.skipped = true
+				return
+			}
+			defer func() {
+				if j.err == nil && len(j.fetched) == 0 {
+					sawEmpty.Store(true)
+				}
+			}()
+			if j.isPath {
+				gr, err := en.Graph.QuerySnapshot(j.src)
+				if err != nil {
+					j.err = err
+					return
+				}
+				for _, r := range gr.Data {
+					j.fetched = append(j.fetched, EventRow{
+						SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
+						Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+					})
+				}
+				return
+			}
+			rr, err := en.Rel.QuerySnapshot(j.src)
 			if err != nil {
-				return nil, fmt.Errorf("exec: pattern %q: %w", pat.Name, err)
-			}
-			for _, r := range gr.Data {
-				fetched = append(fetched, EventRow{
-					SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
-					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
-				})
-			}
-		} else {
-			sq := compileSQL(pat, extraSQL)
-			res.Stats.DataQueries = append(res.Stats.DataQueries, sq)
-			rr, err := en.Rel.Query(sq)
-			if err != nil {
-				return nil, fmt.Errorf("exec: pattern %q: %w", pat.Name, err)
+				j.err = err
+				return
 			}
 			for _, r := range rr.Data {
-				fetched = append(fetched, EventRow{
+				j.fetched = append(j.fetched, EventRow{
 					EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
 					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
 				})
 			}
 		}
-		rows[pi] = fetched
-		res.Stats.RowsFetched += len(fetched)
+		if len(jobs) == 1 {
+			run(jobs[0])
+		} else {
+			sem := make(chan struct{}, fetchWorkers)
+			var wg sync.WaitGroup
+			for _, j := range jobs {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(j *job) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					run(j)
+				}(j)
+			}
+			wg.Wait()
+		}
 
-		if len(fetched) == 0 {
+		// Fold results back in scheduled order: errors first, then row
+		// accounting, short-circuit, and propagation-state updates.
+		// Skipped jobs never executed, so their compiled query leaves
+		// Stats.DataQueries (which lists executed queries only).
+		for _, j := range jobs {
+			if j.err != nil {
+				return nil, fmt.Errorf("exec: pattern %q: %w", q.Patterns[j.pi].Name, j.err)
+			}
+			if j.skipped {
+				dataQueries[j.pos] = ""
+				continue
+			}
+			rows[j.pi] = j.fetched
+			stats.RowsFetched += len(j.fetched)
+		}
+		if sawEmpty.Load() {
 			// A pattern with no matches empties the whole result.
-			res.Stats.ShortCircuit = true
-			res.Cols = returnCols(q)
-			return res, nil
+			stats.ShortCircuit = true
+			setQueries()
+			return nil, nil
 		}
-
-		// Record observed entity ids for propagation.
-		subjSet := knownIDs[pat.Subj.ID]
-		if subjSet == nil {
-			subjSet = map[int64]bool{}
+		for _, j := range jobs {
+			pat := &q.Patterns[j.pi]
+			newSubj, newObj := make(map[int64]bool), make(map[int64]bool)
+			for _, r := range j.fetched {
+				newSubj[r.SrcID] = true
+				newObj[r.DstID] = true
+			}
+			known[pat.Subj.ID] = intersectOrNew(known[pat.Subj.ID], newSubj)
+			known[pat.Obj.ID] = intersectOrNew(known[pat.Obj.ID], newObj)
 		}
-		objSet := knownIDs[pat.Obj.ID]
-		if objSet == nil {
-			objSet = map[int64]bool{}
-		}
-		newSubj, newObj := map[int64]bool{}, map[int64]bool{}
-		for _, r := range fetched {
-			newSubj[r.SrcID] = true
-			newObj[r.DstID] = true
-		}
-		knownIDs[pat.Subj.ID] = intersectOrNew(subjSet, newSubj)
-		knownIDs[pat.Obj.ID] = intersectOrNew(objSet, newObj)
 	}
-
-	// Join phase: bind patterns in scheduled order, checking shared
-	// entities and any relation whose events are all bound.
-	matches, explored := en.join(q, order, rows)
-	res.Stats.JoinCandidates = explored
-	res.Matches = matches
-	res.Cols = returnCols(q)
-	return res, nil
+	setQueries()
+	return rows, nil
 }
 
 // ExecuteTBQL parses, analyzes, and executes TBQL source.
@@ -242,6 +374,13 @@ type ExplainedPattern struct {
 	Backend   string // "sql" or "cypher"
 	Score     int    // pruning score
 	DataQuery string // compiled data query, without propagated constraints
+	// Propagated lists the entity variables this pattern shares with
+	// earlier scheduled patterns — the ones that receive propagated
+	// IN-list constraints at run time (empty when propagation is
+	// disabled). Whether a hunt actually injects them depends on
+	// MaxPropagatedIDs; Stats.PropagationsSkipped counts the ones
+	// dropped for exceeding it.
+	Propagated []string
 }
 
 // Explain compiles and scores every pattern without executing anything,
@@ -256,15 +395,8 @@ func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 	if maxHops == 0 {
 		maxHops = DefaultMaxHops
 	}
-	order := make([]int, len(q.Patterns))
-	for i := range order {
-		order[i] = i
-	}
-	if !en.DisableScheduling {
-		sort.SliceStable(order, func(a, b int) bool {
-			return PruningScore(&q.Patterns[order[a]], maxHops) > PruningScore(&q.Patterns[order[b]], maxHops)
-		})
-	}
+	order := en.schedule(q, maxHops)
+	seen := map[string]bool{}
 	out := make([]ExplainedPattern, 0, len(order))
 	for _, pi := range order {
 		pat := &q.Patterns[pi]
@@ -276,6 +408,16 @@ func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 			ep.Backend = "sql"
 			ep.DataQuery = compileSQL(pat, nil)
 		}
+		if !en.DisablePropagation {
+			if seen[pat.Subj.ID] {
+				ep.Propagated = append(ep.Propagated, pat.Subj.ID)
+			}
+			if seen[pat.Obj.ID] && pat.Obj.ID != pat.Subj.ID {
+				ep.Propagated = append(ep.Propagated, pat.Obj.ID)
+			}
+		}
+		seen[pat.Subj.ID] = true
+		seen[pat.Obj.ID] = true
 		out = append(out, ep)
 	}
 	return out, nil
@@ -289,7 +431,11 @@ func returnCols(q *tbql.Query) []string {
 	return cols
 }
 
-// join binds the patterns' fetched rows into complete matches.
+// join is the legacy materializing nested-loop join, kept behind
+// Engine.UseNaiveJoin as the correctness baseline the streaming hash
+// join is property-tested against. It binds the patterns' fetched rows
+// into complete matches, cloning the binding maps per accepted
+// candidate and re-checking every bound relation at each level.
 func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, int) {
 	type partial struct {
 		events   map[string]EventRow
@@ -337,7 +483,7 @@ func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, 
 }
 
 // relationsOK checks every temporal and attribute relation whose two
-// events are both bound.
+// events are both bound (legacy join path).
 func relationsOK(q *tbql.Query, bound map[string]bool, ev map[string]EventRow) bool {
 	for _, tr := range q.Temporal {
 		if !bound[tr.A] || !bound[tr.B] {
@@ -428,35 +574,32 @@ func cloneEntities(m map[string]int64) map[string]int64 {
 	return out
 }
 
-// propagated renders the known-ID set of an entity variable as a SQL
-// IN-list when it exists and is small enough.
-func propagated(known map[string]map[int64]bool, id string, maxIDs int) (string, bool) {
-	set, ok := known[id]
-	if !ok || len(set) == 0 || len(set) > maxIDs {
-		return "", false
-	}
+// sortedIDs returns the set's IDs in ascending order, for deterministic
+// IN-lists.
+func sortedIDs(set map[int64]bool) []int64 {
 	ids := make([]int64, 0, len(set))
 	for v := range set {
 		ids = append(ids, v)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// inListSQL renders an entity-ID set as a SQL IN-list body.
+func inListSQL(set map[int64]bool) string {
 	var b strings.Builder
-	for i, v := range ids {
+	for i, v := range sortedIDs(set) {
 		if i > 0 {
 			b.WriteString(", ")
 		}
 		fmt.Fprintf(&b, "%d", v)
 	}
-	return b.String(), true
+	return b.String()
 }
 
 // inListCypher renders an entity-ID disjunction for Cypher.
 func inListCypher(col string, set map[int64]bool) string {
-	ids := make([]int64, 0, len(set))
-	for v := range set {
-		ids = append(ids, v)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := sortedIDs(set)
 	terms := make([]string, len(ids))
 	for i, v := range ids {
 		terms[i] = fmt.Sprintf("%s = %d", col, v)
@@ -493,28 +636,30 @@ func (c *attrCache) get(id int64, attr string) string {
 	return c.rows[i][attr]
 }
 
-// entityAttrs returns a snapshot of the entity attribute cache for
-// projection, extending it first if the entity table grew. Safe for
-// concurrent hunts: attrsMu covers the check and the extension, and
-// because the cache slice is append-only, previously returned
-// snapshots remain valid while it grows. Only the table rows past the
-// cached position are scanned (the table is append-only, so positions
-// are stable), so a refresh during steady ingest costs the new rows,
-// not the whole table.
-func (en *Engine) entityAttrs() (*attrCache, error) {
+// entityAttrsLocked returns a snapshot of the entity attribute cache for
+// projection, extending it first if the entity table grew. The caller
+// must hold the entity table's read lock (the cursor's store snapshot),
+// which fixes the lock order table.mu before attrsMu for every attrs
+// refresh. Safe for concurrent hunts: attrsMu covers the check and the
+// extension, and because the cache slice is append-only, previously
+// returned snapshots remain valid while it grows. Only the table rows
+// past the cached position are scanned (the table is append-only, so
+// positions are stable), so a refresh during steady ingest costs the
+// new rows, not the whole table.
+func (en *Engine) entityAttrsLocked() (*attrCache, error) {
 	en.attrsMu.Lock()
 	defer en.attrsMu.Unlock()
 	tbl := en.Rel.Table(relstore.EntityTable)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: no table %q", relstore.EntityTable)
 	}
-	if tbl.NumRows() != en.attrsRows {
+	if tbl.NumRowsLocked() != en.attrsRows {
 		cols := tbl.Schema().Columns
 		idIdx := tbl.ColIndex("id")
 		if idIdx < 0 {
 			return nil, fmt.Errorf("exec: entity table has no id column")
 		}
-		en.attrsRows = tbl.ScanFrom(en.attrsRows, func(row []relstore.Value) {
+		en.attrsRows = tbl.ScanFromLocked(en.attrsRows, func(row []relstore.Value) {
 			m := make(map[string]string, len(cols))
 			for i, col := range cols {
 				m[strings.ToLower(col.Name)] = row[i].String()

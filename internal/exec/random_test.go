@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,145 @@ func TestRandomQueriesExecute(t *testing.T) {
 			t.Fatalf("case %d: modes disagree %v\n%s", i, counts, src)
 		}
 	}
+}
+
+// TestStreamingJoinMatchesNaive is the equivalence property test for
+// the streaming hash-join executor: every randomly composed query —
+// including temporal relations, attribute relations (literal and
+// event-to-event), path patterns, and distinct/non-distinct projections
+// — must produce the identical sorted result set under the streaming
+// join and the legacy naive nested-loop join, in every scheduling mode.
+func TestStreamingJoinMatchesNaive(t *testing.T) {
+	base := leakageEngine(t, 1500)
+	modes := []struct {
+		name          string
+		stream, naive *Engine
+	}{
+		{
+			"scheduled",
+			&Engine{Rel: base.Rel, Graph: base.Graph},
+			&Engine{Rel: base.Rel, Graph: base.Graph, UseNaiveJoin: true},
+		},
+		{
+			"textual-order",
+			&Engine{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true},
+			&Engine{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true, UseNaiveJoin: true},
+		},
+	}
+
+	rng := rand.New(rand.NewSource(1234))
+	exes := []string{"/bin/tar", "/usr/bin/curl", "/bin/bash", "/usr/bin/chrome", "/usr/sbin/sshd", "/usr/sbin/apache2"}
+	files := []string{"/etc/passwd", "/tmp/upload.tar", "/var/log/syslog", "/etc/crontab", "/tmp/upload"}
+	fileOps := []string{"read", "write", "read || write", "!read"}
+	attrOps := []string{"=", "!=", "<", "<=", ">", ">="}
+	evtAttrs := []string{"srcid", "dstid", "starttime", "amount", "id"}
+
+	const cases = 120
+	for i := 0; i < cases; i++ {
+		nPat := 1 + rng.Intn(4)
+		var b strings.Builder
+		var names []string
+		used := map[string]bool{}
+		for j := 0; j < nPat; j++ {
+			name := fmt.Sprintf("e%d", j+1)
+			names = append(names, name)
+			subjID := fmt.Sprintf("p%d", rng.Intn(3))
+			objID := fmt.Sprintf("f%d", rng.Intn(3))
+			used[subjID], used[objID] = true, true
+			subjF, objF := "", ""
+			if rng.Intn(2) == 0 {
+				subjF = fmt.Sprintf(`["%%%s%%"]`, exes[rng.Intn(len(exes))])
+			}
+			if rng.Intn(2) == 0 {
+				objF = fmt.Sprintf(`["%%%s%%"]`, files[rng.Intn(len(files))])
+			}
+			if rng.Intn(4) == 0 {
+				fmt.Fprintf(&b, "proc %s%s ~>(1~%d)[read] file %s%s as %s\n",
+					subjID, subjF, 2+rng.Intn(3), objID, objF, name)
+			} else {
+				fmt.Fprintf(&b, "proc %s%s %s file %s%s as %s\n",
+					subjID, subjF, fileOps[rng.Intn(len(fileOps))], objID, objF, name)
+			}
+		}
+		// With-clause: temporal and attribute relations.
+		var rels []string
+		if nPat > 1 && rng.Intn(2) == 0 {
+			a, c := rng.Intn(nPat), rng.Intn(nPat)
+			if a != c {
+				op := "before"
+				if rng.Intn(2) == 0 {
+					op = "after"
+				}
+				rels = append(rels, fmt.Sprintf("%s %s %s", names[a], op, names[c]))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			// Literal attribute relation.
+			rels = append(rels, fmt.Sprintf("%s.%s %s %d",
+				names[rng.Intn(nPat)], evtAttrs[rng.Intn(len(evtAttrs))],
+				attrOps[rng.Intn(len(attrOps))], rng.Intn(5000)))
+		}
+		if nPat > 1 && rng.Intn(3) == 0 {
+			// Event-to-event attribute relation.
+			a, c := rng.Intn(nPat), rng.Intn(nPat)
+			if a != c {
+				rels = append(rels, fmt.Sprintf("%s.%s %s %s.%s",
+					names[a], evtAttrs[rng.Intn(len(evtAttrs))],
+					attrOps[rng.Intn(len(attrOps))],
+					names[c], evtAttrs[rng.Intn(len(evtAttrs))]))
+			}
+		}
+		if len(rels) > 0 {
+			b.WriteString("with " + strings.Join(rels, ", ") + "\n")
+		}
+		var ret []string
+		for _, id := range []string{"p0", "p1", "p2", "f0", "f1", "f2"} {
+			if used[id] {
+				ret = append(ret, id)
+			}
+		}
+		distinct := ""
+		if rng.Intn(2) == 0 {
+			distinct = "distinct "
+		}
+		b.WriteString("return " + distinct + strings.Join(ret, ", "))
+		src := b.String()
+
+		for _, mode := range modes {
+			sres, err := mode.stream.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d %s streaming: %v\n%s", i, mode.name, err, src)
+			}
+			nres, err := mode.naive.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d %s naive: %v\n%s", i, mode.name, err, src)
+			}
+			if len(sres.Matches) != len(nres.Matches) {
+				t.Fatalf("case %d %s: %d streaming matches, %d naive\n%s",
+					i, mode.name, len(sres.Matches), len(nres.Matches), src)
+			}
+			got, want := sortedRows(sres.Rows), sortedRows(nres.Rows)
+			if len(got) != len(want) {
+				t.Fatalf("case %d %s: %d streaming rows, %d naive\n%s",
+					i, mode.name, len(got), len(want), src)
+			}
+			for r := range got {
+				if got[r] != want[r] {
+					t.Fatalf("case %d %s row %d: streaming %q, naive %q\n%s",
+						i, mode.name, r, got[r], want[r], src)
+				}
+			}
+		}
+	}
+}
+
+func sortedRows(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x00")
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TestPropagationCap: oversized candidate sets must not be propagated,

@@ -1,0 +1,279 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/graphstore"
+	"repro/internal/relstore"
+	"repro/internal/tbql"
+)
+
+// wideTBQL matches many rows, so a cursor over it can be abandoned
+// mid-stream with matches still pending.
+const wideTBQL = `proc p read || write file f as e1
+return p, f`
+
+// tryIngest attempts a write against both stores and reports on done.
+// While a cursor holds the hunt snapshot, the relational insert blocks
+// on the events table's write lock.
+func tryIngest(en *Engine, done chan<- error) {
+	ev := &audit.Event{ID: 1 << 40, SrcID: 1, DstID: 2, Op: audit.OpRead,
+		StartTime: 1, EndTime: 2, Amount: 1, Host: "h"}
+	if err := en.Rel.Table(relstore.EventTable).Insert(relstore.EventRow(ev)); err != nil {
+		done <- err
+		return
+	}
+	if en.Graph != nil {
+		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe"})
+		done <- err
+		return
+	}
+	done <- nil
+}
+
+// expectBlocked asserts the writer has not completed yet (the cursor's
+// snapshot is pinning the read locks).
+func expectBlocked(t *testing.T, done <-chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		t.Fatalf("writer completed while the cursor held the snapshot (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// expectReleased asserts the writer completes promptly: the cursor's
+// read locks were released and did not leak.
+func expectReleased(t *testing.T, done <-chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("writer failed after lock release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked: the cursor leaked its per-store read locks")
+	}
+}
+
+// TestCursorCloseReleasesLocks is the lock-leak regression test for the
+// lazy join path: a cursor abandoned mid-stream pins the store snapshot
+// until Close, and Close — even repeated — must release it.
+func TestCursorCloseReleasesLocks(t *testing.T) {
+	en := leakageEngine(t, 300)
+	cur, err := en.ExecuteTBQLCursor(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no rows; fixture broken")
+	}
+
+	done := make(chan error, 1)
+	go tryIngest(en, done)
+	expectBlocked(t, done)
+
+	// Abandon the cursor mid-stream; rows remain unread.
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	expectReleased(t, done)
+}
+
+// TestCursorPinsGraphOnlyForPathPatterns: a pure-SQL hunt must not pin
+// the graph's read lock (graph ingest proceeds while its cursor is
+// open), while a path-pattern hunt must pin it until Close.
+func TestCursorPinsGraphOnlyForPathPatterns(t *testing.T) {
+	en := leakageEngine(t, 300)
+
+	// Pure-SQL cursor: graph writers stay unblocked.
+	cur, err := en.ExecuteTBQLCursor(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no rows")
+	}
+	graphDone := make(chan error, 1)
+	go func() {
+		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe"})
+		graphDone <- err
+	}()
+	expectReleased(t, graphDone)
+	cur.Close()
+
+	// Path-pattern cursor: graph writers queue until Close.
+	cur, err = en.ExecuteTBQLCursor(`proc p ~>(1~3)[read] file f as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no path rows; fixture broken")
+	}
+	graphDone = make(chan error, 1)
+	go func() {
+		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe2"})
+		graphDone <- err
+	}()
+	expectBlocked(t, graphDone)
+	cur.Close()
+	expectReleased(t, graphDone)
+}
+
+// TestCursorExhaustionReleasesLocks: fully draining a cursor without
+// calling Close must also release the snapshot.
+func TestCursorExhaustionReleasesLocks(t *testing.T) {
+	en := leakageEngine(t, 300)
+	cur, err := en.ExecuteTBQLCursor(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go tryIngest(en, done)
+	expectReleased(t, done)
+}
+
+// TestCursorShortCircuitReleasesLocks: a hunt whose fetch phase
+// short-circuits returns an empty cursor that needs no snapshot; the
+// locks must already be free before the caller touches the cursor.
+func TestCursorShortCircuitReleasesLocks(t *testing.T) {
+	en := leakageEngine(t, 300)
+	cur, err := en.ExecuteTBQLCursor(`proc p["%no-such-binary%"] read file f as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if !cur.Stats().ShortCircuit {
+		t.Fatal("expected a short-circuit hunt")
+	}
+
+	done := make(chan error, 1)
+	go tryIngest(en, done)
+	expectReleased(t, done)
+}
+
+// TestExecuteReleasesLocks: Execute drains and closes internally, so a
+// materializing hunt must leave no locks behind.
+func TestExecuteReleasesLocks(t *testing.T) {
+	en := leakageEngine(t, 300)
+	if _, err := en.ExecuteTBQL(wideTBQL); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go tryIngest(en, done)
+	expectReleased(t, done)
+}
+
+// TestPropagationsSkippedCounted: capping the IN-list size must surface
+// the dropped constraints in Stats.PropagationsSkipped instead of
+// silently fetching unconstrained tables.
+func TestPropagationsSkippedCounted(t *testing.T) {
+	// 8 workers share the p variable, so the propagated candidate set
+	// has 8 IDs: under a cap of 4 it must be dropped and counted.
+	en := fanoutEngine(t, 8, 4, 4)
+	full, err := en.ExecuteTBQL(fanoutTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.PropagationsSkipped != 0 {
+		t.Errorf("uncapped run skipped %d propagations", full.Stats.PropagationsSkipped)
+	}
+	if full.Stats.Propagations == 0 {
+		t.Fatal("uncapped run should propagate the shared variable")
+	}
+
+	en.MaxPropagatedIDs = 4
+	capped, err := en.ExecuteTBQL(fanoutTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Rows) != len(full.Rows) {
+		t.Fatalf("capped run broke correctness: %d rows, want %d", len(capped.Rows), len(full.Rows))
+	}
+	if capped.Stats.PropagationsSkipped == 0 {
+		t.Error("capped run should count skipped propagations")
+	}
+	if capped.Stats.Propagations >= full.Stats.Propagations {
+		t.Errorf("capped run propagated %d, uncapped %d",
+			capped.Stats.Propagations, full.Stats.Propagations)
+	}
+}
+
+// TestExplainPropagated: Explain must name the entity variables each
+// pattern shares with earlier scheduled patterns.
+func TestExplainPropagated(t *testing.T) {
+	en := leakageEngine(t, 100)
+	parsed, err := tbql.Parse(fig2TBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := en.Explain(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[0].Propagated) != 0 {
+		t.Errorf("first pattern cannot receive propagation: %v", eps[0].Propagated)
+	}
+	var total int
+	for _, ep := range eps[1:] {
+		total += len(ep.Propagated)
+	}
+	// Every later Fig. 2 pattern chains to an earlier one through a
+	// shared process or file variable.
+	if total < len(eps)-1 {
+		t.Errorf("expected a propagated variable per chained pattern, got %d across %v", total, eps)
+	}
+
+	en.DisablePropagation = true
+	eps, err = en.Explain(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		if len(ep.Propagated) != 0 {
+			t.Errorf("propagation disabled but %s lists %v", ep.Name, ep.Propagated)
+		}
+	}
+}
+
+// TestCursorLazyJoinWork: reading one row of a high-fanout hunt must do
+// far less join work than draining it — the streaming executor's whole
+// point.
+func TestCursorLazyJoinWork(t *testing.T) {
+	en := fanoutEngine(t, 8, 16, 16) // 8*16*16 = 2048 matches
+	cur, err := en.ExecuteTBQLCursor(fanoutTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no rows")
+	}
+	firstPage := cur.Stats().JoinCandidates
+	cur.Close()
+
+	res, err := en.ExecuteTBQL(fanoutTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8*16*16 {
+		t.Fatalf("full drain rows = %d", len(res.Rows))
+	}
+	full := res.Stats.JoinCandidates
+	if firstPage*10 > full {
+		t.Errorf("first row explored %d candidates, full drain %d: join is not lazy",
+			firstPage, full)
+	}
+}

@@ -42,8 +42,32 @@ func (g *Graph) QueryStats(src string) (*Rows, ExecStats, error) {
 	return g.Exec(q)
 }
 
-// Exec executes a parsed query.
+// QuerySnapshot parses and executes a Cypher query without acquiring the
+// graph's read lock: the caller must already hold it via RLock. This is
+// how a long-lived reader (the exec cursor pinning a hunt-wide snapshot)
+// runs path queries without recursively read-locking behind a queued
+// writer. Multiple goroutines may run QuerySnapshot concurrently under
+// one shared snapshot.
+func (g *Graph) QuerySnapshot(src string) (*Rows, error) {
+	q, err := ParseCypher(src)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := g.execLocked(q)
+	return rows, err
+}
+
+// Exec executes a parsed query under the graph's read lock, held for the
+// whole statement so the traversal sees one consistent snapshot while
+// writers ingest.
 func (g *Graph) Exec(q *CypherQuery) (*Rows, ExecStats, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.execLocked(q)
+}
+
+// execLocked runs a parsed query; the caller holds g.mu (read side).
+func (g *Graph) execLocked(q *CypherQuery) (*Rows, ExecStats, error) {
 	ex := &cexec{g: g, q: q, env: map[string]binding{}}
 	if err := ex.validate(); err != nil {
 		return nil, ex.stats, err
@@ -201,21 +225,21 @@ func (ex *cexec) matchNode(ch PatternChain, j, chainIdx int) error {
 func (ex *cexec) candidates(np NodePattern) []*Node {
 	if np.Label != "" && len(np.Props) > 0 {
 		for prop, v := range np.Props {
-			if nodes, indexed := ex.g.nodesByProp(np.Label, prop, v); indexed {
+			if nodes, indexed := ex.g.nodesByPropLocked(np.Label, prop, v); indexed {
 				ex.stats.IndexLookups++
 				return nodes
 			}
 		}
 	}
 	ex.stats.LabelScans++
-	return ex.g.NodesByLabel(np.Label)
+	return ex.g.nodesByLabelLocked(np.Label)
 }
 
 // expandRel expands relationship j of the chain from node n.
 func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 	rp := ch.Rels[j]
 	if !rp.VarLen {
-		for _, e := range ex.g.Out(n.ID) {
+		for _, e := range ex.g.out[n.ID] {
 			ex.stats.EdgesExpanded++
 			if !ex.edgeMatches(e, rp) {
 				continue
@@ -267,7 +291,7 @@ func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 		if depth == rp.MaxHops {
 			return nil
 		}
-		for _, e := range ex.g.Out(cur) {
+		for _, e := range ex.g.out[cur] {
 			if used[e.ID] {
 				continue
 			}
@@ -293,7 +317,7 @@ func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 // reached through relationship j.
 func (ex *cexec) continueToNode(ch PatternChain, j, chainIdx int, id int64) error {
 	np := ch.Nodes[j+1]
-	n := ex.g.Node(id)
+	n := ex.g.nodes[id]
 	if n == nil {
 		return nil
 	}

@@ -233,6 +233,16 @@ func (g *Graph) CreateNodeIndex(label, prop string) {
 	byProp[prop] = idx
 }
 
+// RLock acquires the graph's read lock so a caller can pin a snapshot
+// across multiple operations (the exec cursor holds it for a whole
+// streaming hunt). While held, run queries with QuerySnapshot /
+// ExecSnapshot — a plain Query would re-acquire the same read lock and
+// could deadlock behind a queued writer.
+func (g *Graph) RLock() { g.mu.RLock() }
+
+// RUnlock releases the read lock taken by RLock.
+func (g *Graph) RUnlock() { g.mu.RUnlock() }
+
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id int64) *Node {
 	g.mu.RLock()
@@ -259,6 +269,11 @@ func (g *Graph) NumEdges() int {
 func (g *Graph) NodesByLabel(label string) []*Node {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	return g.nodesByLabelLocked(label)
+}
+
+// nodesByLabelLocked is NodesByLabel for callers holding g.mu (read side).
+func (g *Graph) nodesByLabelLocked(label string) []*Node {
 	if label == "" {
 		all := make([]*Node, 0, len(g.nodes))
 		for _, n := range g.nodes {
@@ -270,11 +285,17 @@ func (g *Graph) NodesByLabel(label string) []*Node {
 	return g.byLabel[strings.ToLower(label)]
 }
 
-// nodesByProp returns nodes with label whose property equals v, using the
-// property index when available. The second result reports index use.
+// nodesByProp is nodesByPropLocked under the graph's own read lock.
 func (g *Graph) nodesByProp(label, prop string, v Value) ([]*Node, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	return g.nodesByPropLocked(label, prop, v)
+}
+
+// nodesByPropLocked returns nodes with label whose property equals v,
+// using the property index when available. The second result reports
+// index use. Callers hold g.mu (read side).
+func (g *Graph) nodesByPropLocked(label, prop string, v Value) ([]*Node, bool) {
 	label = strings.ToLower(label)
 	prop = strings.ToLower(prop)
 	if byProp, ok := g.propIdx[label]; ok {

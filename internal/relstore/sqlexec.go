@@ -43,6 +43,23 @@ func (db *DB) Exec(stmt *SelectStmt) (*Rows, ExecStats, error) {
 	return rows, ex.stats, err
 }
 
+// QuerySnapshot parses and executes a SELECT statement without acquiring
+// table read locks: the caller must already hold them for every table
+// the statement binds (via RLockTables). This is how a long-lived reader
+// — the exec cursor pinning a hunt-wide snapshot — runs statements
+// without recursively read-locking behind a queued writer. Multiple
+// goroutines may run QuerySnapshot concurrently under one shared
+// snapshot.
+func (db *DB) QuerySnapshot(sql string) (*Rows, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor{db: db, stmt: stmt, preLocked: true}
+	rows, err := ex.run()
+	return rows, err
+}
+
 // binding is one table instance in the FROM/JOIN list.
 type binding struct {
 	name  string // bind name (alias or table name), lowercase
@@ -74,6 +91,9 @@ type executor struct {
 	binds []binding
 	conjs []conjunct
 	stats ExecStats
+	// preLocked skips per-statement table locking: the caller holds the
+	// read lock of every bound table (QuerySnapshot).
+	preLocked bool
 
 	out      [][]Value
 	project  []resolvedCol
@@ -138,20 +158,22 @@ func (ex *executor) run() (*Rows, error) {
 	// recursive RLock could deadlock behind a queued writer) and locked
 	// in table-name order, so two statements binding the same tables in
 	// opposite FROM/JOIN orders cannot cycle with queued writers.
-	seenTbl := make(map[*Table]bool, len(ex.binds))
-	locked := make([]*Table, 0, len(ex.binds))
-	for _, b := range ex.binds {
-		if !seenTbl[b.table] {
-			seenTbl[b.table] = true
-			locked = append(locked, b.table)
+	if !ex.preLocked {
+		seenTbl := make(map[*Table]bool, len(ex.binds))
+		locked := make([]*Table, 0, len(ex.binds))
+		for _, b := range ex.binds {
+			if !seenTbl[b.table] {
+				seenTbl[b.table] = true
+				locked = append(locked, b.table)
+			}
 		}
-	}
-	sort.Slice(locked, func(i, j int) bool {
-		return strings.ToLower(locked[i].schema.Name) < strings.ToLower(locked[j].schema.Name)
-	})
-	for _, t := range locked {
-		t.mu.RLock()
-		defer t.mu.RUnlock()
+		sort.Slice(locked, func(i, j int) bool {
+			return strings.ToLower(locked[i].schema.Name) < strings.ToLower(locked[j].schema.Name)
+		})
+		for _, t := range locked {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+		}
 	}
 
 	// Collect conjuncts from JOIN ON and WHERE clauses.

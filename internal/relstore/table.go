@@ -175,6 +175,12 @@ func (t *Table) Insert(row []Value) error {
 func (t *Table) ScanFrom(from int, fn func(row []Value)) int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.ScanFromLocked(from, fn)
+}
+
+// ScanFromLocked is ScanFrom for callers that already hold the table's
+// read lock (via DB.RLockTables); it must not be called otherwise.
+func (t *Table) ScanFromLocked(from int, fn func(row []Value)) int {
 	if from < 0 {
 		from = 0
 	}
@@ -183,6 +189,10 @@ func (t *Table) ScanFrom(from int, fn func(row []Value)) int {
 	}
 	return len(t.rows)
 }
+
+// NumRowsLocked is NumRows for callers that already hold the table's
+// read lock (via DB.RLockTables).
+func (t *Table) NumRowsLocked() int { return len(t.rows) }
 
 // lookupEq returns row ids whose column equals v, using the hash index if
 // present, else a scan. The second result reports whether an index served
@@ -300,6 +310,40 @@ func (db *DB) Table(name string) *Table {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.tables[strings.ToLower(name)]
+}
+
+// RLockTables acquires the read lock of every named table and returns a
+// release func. Tables are deduplicated and locked in lowercase-name
+// order — the same order the statement executor uses — so a caller
+// pinning a multi-table snapshot cannot form a lock cycle with queued
+// writers or concurrent statements. While the snapshot is held, run
+// statements with QuerySnapshot and row scans with the *Locked table
+// methods; a plain Query would re-acquire the same read locks and could
+// deadlock behind a queued writer.
+func (db *DB) RLockTables(names ...string) (release func(), err error) {
+	seen := make(map[*Table]bool, len(names))
+	locked := make([]*Table, 0, len(names))
+	for _, name := range names {
+		t := db.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("relstore: no table %q", name)
+		}
+		if !seen[t] {
+			seen[t] = true
+			locked = append(locked, t)
+		}
+	}
+	sort.Slice(locked, func(i, j int) bool {
+		return strings.ToLower(locked[i].schema.Name) < strings.ToLower(locked[j].schema.Name)
+	})
+	for _, t := range locked {
+		t.mu.RLock()
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].mu.RUnlock()
+		}
+	}, nil
 }
 
 // TableNames returns all table names sorted.

@@ -48,6 +48,10 @@ type Server struct {
 
 	hunts   atomic.Int64
 	ingests atomic.Int64
+	// propSkipped accumulates Stats.PropagationsSkipped across hunts:
+	// a growing count means hunts keep hitting the propagation cap and
+	// falling back to unconstrained table fetches.
+	propSkipped atomic.Int64
 
 	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
 	ingestSlots chan struct{}
@@ -160,11 +164,17 @@ type HuntRequest struct {
 }
 
 // HuntStats is the execution summary embedded in a hunt response.
+// PropagationsSkipped counts shared-entity constraints dropped because
+// the candidate set exceeded the engine's propagation cap — the signal
+// that this hunt fetched an unconstrained table. JoinCandidates counts
+// the join work actually done for the requested page (the join is
+// lazy), not the whole match space.
 type HuntStats struct {
-	RowsFetched    int  `json:"rows_fetched"`
-	Propagations   int  `json:"propagations"`
-	ShortCircuit   bool `json:"short_circuit"`
-	JoinCandidates int  `json:"join_candidates"`
+	RowsFetched         int  `json:"rows_fetched"`
+	Propagations        int  `json:"propagations"`
+	PropagationsSkipped int  `json:"propagations_skipped"`
+	ShortCircuit        bool `json:"short_circuit"`
+	JoinCandidates      int  `json:"join_candidates"`
 }
 
 // HuntResponse is one page of hunt results. NextOffset is present only
@@ -240,29 +250,34 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	// Row guarantees each projected row is freshly allocated and
+	// unaliased, so it can be retained without copying.
 	rows := make([][]string, 0, min(req.Limit, 64))
 	for len(rows) < req.Limit && cur.Next() {
-		row := cur.Row()
-		rows = append(rows, append([]string(nil), row...))
+		rows = append(rows, cur.Row())
 	}
+	st := cur.Stats()
+	s.propSkipped.Add(int64(st.PropagationsSkipped))
 	resp := HuntResponse{
 		Columns: cur.Columns(),
 		Rows:    rows,
 		Offset:  req.Offset,
 		Count:   len(rows),
 		Stats: HuntStats{
-			RowsFetched:    cur.Stats().RowsFetched,
-			Propagations:   cur.Stats().Propagations,
-			ShortCircuit:   cur.Stats().ShortCircuit,
-			JoinCandidates: cur.Stats().JoinCandidates,
+			RowsFetched:         st.RowsFetched,
+			Propagations:        st.Propagations,
+			PropagationsSkipped: st.PropagationsSkipped,
+			ShortCircuit:        st.ShortCircuit,
+			JoinCandidates:      st.JoinCandidates,
 		},
 	}
 	if cur.Next() { // one row beyond the page: more remain
 		next := req.Offset + len(rows)
 		resp.NextOffset = &next
+		resp.Stats.JoinCandidates = cur.Stats().JoinCandidates
 	}
-	// Err is always nil with today's eager match collection; the check
-	// guards the ROADMAP item that pushes the cursor into the join.
+	// The join runs lazily inside the cursor, so an iteration error can
+	// surface mid-page; report it instead of a truncated row set.
 	if err := cur.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -271,12 +286,16 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 }
 
 // ExplainedPattern is one pattern of an explain response, in scheduled
-// order.
+// order. Propagated lists the entity variables the pattern shares with
+// earlier scheduled patterns — the ones that receive propagated IN-list
+// constraints at run time unless the candidate set exceeds the
+// propagation cap (see the stats' propagations_skipped).
 type ExplainedPattern struct {
-	Name      string `json:"name"`
-	Backend   string `json:"backend"`
-	Score     int    `json:"score"`
-	DataQuery string `json:"data_query"`
+	Name       string   `json:"name"`
+	Backend    string   `json:"backend"`
+	Score      int      `json:"score"`
+	DataQuery  string   `json:"data_query"`
+	Propagated []string `json:"propagated,omitempty"`
 }
 
 // handleExplain compiles and scores a TBQL query without executing it:
@@ -313,7 +332,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]ExplainedPattern, len(patterns))
 	for i, p := range patterns {
-		out[i] = ExplainedPattern{Name: p.Name, Backend: p.Backend, Score: p.Score, DataQuery: p.DataQuery}
+		out[i] = ExplainedPattern{
+			Name: p.Name, Backend: p.Backend, Score: p.Score,
+			DataQuery: p.DataQuery, Propagated: p.Propagated,
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
 }
@@ -321,9 +343,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the JSON body returned by GET /stats.
 type StatsResponse struct {
 	threatraptor.StoreStats
-	Hunts         int64   `json:"hunts"`
-	Ingests       int64   `json:"ingests"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Hunts   int64 `json:"hunts"`
+	Ingests int64 `json:"ingests"`
+	// PropagationsSkipped is the cumulative count of propagation
+	// constraints hunts dropped for exceeding the engine's IN-list cap;
+	// when it climbs, hunts are silently fetching whole tables.
+	PropagationsSkipped int64   `json:"propagations_skipped"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
 }
 
 // handleStats reports store sizes and request counters.
@@ -333,9 +359,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		StoreStats:    s.sys.Stats(),
-		Hunts:         s.hunts.Load(),
-		Ingests:       s.ingests.Load(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		StoreStats:          s.sys.Stats(),
+		Hunts:               s.hunts.Load(),
+		Ingests:             s.ingests.Load(),
+		PropagationsSkipped: s.propSkipped.Load(),
+		UptimeSeconds:       time.Since(s.started).Seconds(),
 	})
 }

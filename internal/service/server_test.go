@@ -422,3 +422,74 @@ func TestDaemonConcurrentClients(t *testing.T) {
 		t.Errorf("events = %d, want > %d after concurrent ingest", st.Events, ing.EventsStored)
 	}
 }
+
+// TestPropagationSkipStats: hunts that hit the engine's propagation cap
+// must surface the skip count in the hunt response and accumulate it in
+// GET /stats, and /explain must name the variables that would have been
+// propagated.
+func TestPropagationSkipStats(t *testing.T) {
+	// Cap the IN-list at 1 so the crack hunt's shared variables exceed it.
+	sys, err := threatraptor.New(threatraptor.Options{MaxPropagatedIDs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.Generate(gen.Config{
+		Seed:         31,
+		BenignEvents: 1200,
+		Attacks:      []gen.Attack{{Kind: gen.AttackPasswordCrack, At: 10 * time.Minute}},
+	})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	decodeJSON(t, resp, &ir)
+
+	// Two patterns sharing p: the second would propagate p's candidates,
+	// but every cracker read shares one process, benign reads add more —
+	// the set exceeds the cap of 1 and must be skipped.
+	q := `proc p read file f["%/etc/shadow%"] as e1
+proc p read file f2["%wordlist%"] as e2
+return distinct p`
+	hr := postHunt(t, ts, q, 10, 0)
+	if hr.Stats.PropagationsSkipped == 0 {
+		t.Fatalf("hunt stats report no skipped propagations: %+v", hr.Stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StatsResponse
+	decodeJSON(t, resp, &sr)
+	if sr.PropagationsSkipped < int64(hr.Stats.PropagationsSkipped) {
+		t.Errorf("/stats propagations_skipped = %d, hunt reported %d",
+			sr.PropagationsSkipped, hr.Stats.PropagationsSkipped)
+	}
+
+	// Explain names the shared variable on the later-scheduled pattern.
+	resp, err = http.Get(ts.URL + "/explain?" + url.Values{"q": {q}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		Patterns []ExplainedPattern `json:"patterns"`
+	}
+	decodeJSON(t, resp, &er)
+	if len(er.Patterns) != 2 {
+		t.Fatalf("explained %d patterns", len(er.Patterns))
+	}
+	var propagated []string
+	for _, p := range er.Patterns {
+		propagated = append(propagated, p.Propagated...)
+	}
+	if len(propagated) == 0 || propagated[0] != "p" {
+		t.Errorf("explain propagated = %v, want the shared variable p", propagated)
+	}
+}

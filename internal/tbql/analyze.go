@@ -29,7 +29,17 @@ type Analysis struct {
 	Entities map[string]*EntityInfo
 	// Order lists entity IDs in first-use order.
 	Order []string
+	// EntitySlot assigns each entity ID a dense slot index in first-use
+	// order (EntitySlot[Order[i]] == i), so executors can hold a partial
+	// binding as a fixed-size []int64 instead of a map keyed by ID.
+	EntitySlot map[string]int
+	// EventSlot assigns each event pattern name its pattern index, the
+	// dense slot for event bindings (one per pattern, textual order).
+	EventSlot map[string]int
 }
+
+// NumEntitySlots returns how many entity slots Analyze assigned.
+func (a *Analysis) NumEntitySlots() int { return len(a.Order) }
 
 // Info returns the analysis of an analyzed query, or nil before Analyze.
 func (q *Query) Info() *Analysis { return q.analysis }
@@ -39,7 +49,11 @@ func (q *Query) Info() *Analysis { return q.analysis }
 // validates filter attributes, fills in default attributes, and assigns
 // names to anonymous patterns.
 func Analyze(q *Query) error {
-	a := &Analysis{Entities: map[string]*EntityInfo{}}
+	a := &Analysis{
+		Entities:   map[string]*EntityInfo{},
+		EntitySlot: map[string]int{},
+		EventSlot:  map[string]int{},
+	}
 
 	names := map[string]bool{}
 	for i := range q.Patterns {
@@ -78,6 +92,7 @@ func Analyze(q *Query) error {
 			return fmt.Errorf("tbql: duplicate event name %q", pat.Name)
 		}
 		names[pat.Name] = true
+		a.EventSlot[pat.Name] = i
 
 		// Entities.
 		for _, ref := range []*EntityRef{&pat.Subj, &pat.Obj} {
@@ -85,6 +100,7 @@ func Analyze(q *Query) error {
 			if !seen {
 				info = &EntityInfo{ID: ref.ID, Type: ref.Type, FirstUse: i}
 				a.Entities[ref.ID] = info
+				a.EntitySlot[ref.ID] = len(a.Order)
 				a.Order = append(a.Order, ref.ID)
 			} else if info.Type != ref.Type {
 				return fmt.Errorf("tbql: entity %q used as both %s and %s", ref.ID, info.Type, ref.Type)

@@ -91,6 +91,14 @@ type Options struct {
 	// engine's optimizations (used by the efficiency experiments).
 	DisableScheduling  bool
 	DisablePropagation bool
+	// UseNaiveJoin replaces the streaming hash join with the legacy
+	// materializing nested-loop join (correctness baseline for the
+	// equivalence tests and allocation benchmarks).
+	UseNaiveJoin bool
+	// MaxPropagatedIDs bounds the size of a propagated IN-list
+	// (default 512); oversized candidate sets are dropped and counted
+	// in HuntResult.Stats.PropagationsSkipped.
+	MaxPropagatedIDs int
 }
 
 // ErrStorage marks ingestion failures in the storage phase, as opposed
@@ -113,8 +121,10 @@ type IngestStats struct {
 // A System is safe for concurrent use: any number of goroutines may
 // Hunt, Explain, Investigate, and inspect counters while others ingest.
 // Ingestion batches are serialized with respect to each other so the
-// high-water-mark bookkeeping in flush stays consistent; hunts never
-// block ingestion for longer than one data query.
+// high-water-mark bookkeeping in flush stays consistent. A hunt pins a
+// read snapshot of the stores it touches for its whole execution (for
+// cursor hunts, until the cursor is closed or exhausted), so ingestion
+// queues behind in-flight hunts and open cursors.
 type System struct {
 	opts   Options
 	parser *audit.Parser
@@ -148,6 +158,8 @@ func New(opts Options) (*System, error) {
 			MaxPathHops:        opts.MaxPathHops,
 			DisableScheduling:  opts.DisableScheduling,
 			DisablePropagation: opts.DisablePropagation,
+			UseNaiveJoin:       opts.UseNaiveJoin,
+			MaxPropagatedIDs:   opts.MaxPropagatedIDs,
 		},
 	}, nil
 }
@@ -270,13 +282,18 @@ func (s *System) HuntQuery(q *Query) (*HuntResult, error) {
 
 // HuntCursor parses and executes TBQL source, returning a cursor that
 // streams the projected rows instead of materializing Result.Rows —
-// the iterator API for paging through large match sets.
+// the iterator API for paging through large match sets. The join runs
+// lazily inside the cursor, so reading the first page of a huge hunt
+// does first-page work. An open cursor pins a read snapshot of the
+// stores its query touches (ingestion queues behind it): always Close a
+// cursor you do not fully drain.
 func (s *System) HuntCursor(src string) (*Cursor, error) {
 	return s.engine.ExecuteTBQLCursor(src)
 }
 
 // HuntQueryCursor executes an analyzed TBQL query, returning a cursor
-// over the projected rows.
+// over the projected rows. See HuntCursor for the laziness and Close
+// contract.
 func (s *System) HuntQueryCursor(q *Query) (*Cursor, error) {
 	return s.engine.ExecuteCursor(q)
 }
