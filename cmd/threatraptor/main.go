@@ -60,8 +60,8 @@ commands:
   demo      run the paper's demo scenario end to end (no files needed)
   extract   -report FILE            print the threat behavior graph
   synth     -report FILE [-paths]   print the synthesized TBQL query
-  hunt      -logs FILE (-report FILE | -query FILE) [-cpr]
-  explain   -logs FILE (-report FILE | -query FILE)
+  hunt      -logs FILE (-report FILE | -query FILE) [-cpr] [-shards N]
+  explain   -logs FILE (-report FILE | -query FILE) [-shards N]
   eval-nlp  [-n 20] [-steps 6]      NLP accuracy vs. baselines`)
 	os.Exit(2)
 }
@@ -77,8 +77,8 @@ func readFileFlag(path, what string) (string, error) {
 	return string(data), nil
 }
 
-func newLoadedSystem(logPath string, cpr bool) (*threatraptor.System, error) {
-	sys, err := threatraptor.New(threatraptor.Options{CPR: cpr})
+func newLoadedSystem(logPath string, cpr bool, shards int) (*threatraptor.System, error) {
+	sys, err := threatraptor.New(threatraptor.Options{CPR: cpr, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +170,12 @@ func runHunt(args []string) error {
 	report := fs.String("report", "", "OSCTI report file")
 	query := fs.String("query", "", "TBQL query file")
 	cpr := fs.Bool("cpr", false, "apply CPR before storage")
+	shards := fs.Int("shards", 1, "per-host store shards (hunts fan out across them)")
 	fs.Parse(args)
 	if *logs == "" {
 		return fmt.Errorf("missing -logs")
 	}
-	sys, err := newLoadedSystem(*logs, *cpr)
+	sys, err := newLoadedSystem(*logs, *cpr, *shards)
 	if err != nil {
 		return err
 	}
@@ -196,11 +197,12 @@ func runExplain(args []string) error {
 	logs := fs.String("logs", "", "audit log file")
 	report := fs.String("report", "", "OSCTI report file")
 	query := fs.String("query", "", "TBQL query file")
+	shards := fs.Int("shards", 1, "per-host store shards (hunts fan out across them)")
 	fs.Parse(args)
 	if *logs == "" {
 		return fmt.Errorf("missing -logs")
 	}
-	sys, err := newLoadedSystem(*logs, false)
+	sys, err := newLoadedSystem(*logs, false, *shards)
 	if err != nil {
 		return err
 	}

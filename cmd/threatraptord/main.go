@@ -34,6 +34,7 @@ func main() {
 		lenient   = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
 		maxHops   = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
 		maxProp   = flag.Int("max-propagated-ids", 0, "cap on propagated IN-list size (0 = default 512); drops count as propagations_skipped in /stats")
+		shards    = flag.Int("shards", 1, "per-host store shards: ingest for different hosts loads in parallel and hunts fan out across shards (1 = unsharded)")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		LenientParsing:   *lenient,
 		MaxPathHops:      *maxHops,
 		MaxPropagatedIDs: *maxProp,
+		Shards:           *shards,
 	})
 	if err != nil {
 		log.Fatalf("threatraptord: %v", err)
@@ -59,7 +61,7 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("threatraptord: listening on %s", *addr)
+		log.Printf("threatraptord: listening on %s (%d store shard(s))", *addr, sys.NumShards())
 		done <- srv.ListenAndServe()
 	}()
 

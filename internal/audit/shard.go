@@ -1,0 +1,72 @@
+package audit
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// ShardIndex is the host → shard routing function shared by every
+// host-sharded store: records, entities, and events carry a host, and
+// every storage backend that partitions by host must agree on where a
+// given host lives so a hunt can find the events an ingest stored.
+// Data without a host (the empty string) lands in shard 0, the default
+// shard. n below 2 always routes to shard 0.
+func ShardIndex(host string, n int) int {
+	if n <= 1 || host == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return int(h.Sum32() % uint32(n))
+}
+
+// LoadSharded routes each event to its host's shard (ShardIndex) and
+// invokes load once per touched shard with that shard's batch, in
+// event order — concurrently when the batch spans multiple shards, so
+// per-shard loads proceed in parallel on disjoint store locks. It is
+// the one shard fan-out loop every host-sharded store shares; load
+// must be safe to call concurrently for different shards. The first
+// per-shard error is returned (others are discarded).
+func LoadSharded(events []*Event, n int, load func(shard int, batch []*Event) error) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if n <= 1 {
+		return load(0, events)
+	}
+	buckets := make([][]*Event, n)
+	touched := 0
+	for _, ev := range events {
+		i := ShardIndex(ev.Host, n)
+		if buckets[i] == nil {
+			touched++
+		}
+		buckets[i] = append(buckets[i], ev)
+	}
+	if touched == 1 {
+		for i, bucket := range buckets {
+			if bucket != nil {
+				return load(i, bucket)
+			}
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, bucket := range buckets {
+		if bucket == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, bucket []*Event) {
+			defer wg.Done()
+			errs[i] = load(i, bucket)
+		}(i, bucket)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,16 +9,23 @@
 //
 // # Execution model
 //
-// A hunt runs in two phases under one pinned read snapshot of the
-// stores it touches — the relational tables always, the graph only for
-// path patterns (taken at ExecuteCursor, released on cursor
-// Close/exhaustion):
+// Both stores are host-sharded (1 shard = the unsharded case). A hunt
+// runs in two phases under one pinned read snapshot of the shards it
+// touches — the relational shards its SQL patterns can reach, shard
+// 0's entity table always (the broadcast entity set projection reads),
+// and the graph shards only for path patterns (taken at ExecuteCursor,
+// released on cursor Close/exhaustion). All touched shards lock and
+// release together, so a cross-shard hunt reads one consistent cut.
 //
 // Fetch. Data queries run in scheduled order with constraint
 // propagation; patterns not chained by a shared entity variable are
-// grouped into waves and fetched concurrently by a small worker pool.
-// Propagated IN-lists larger than MaxPropagatedIDs are dropped and
-// counted in Stats.PropagationsSkipped.
+// grouped into waves, each pattern expands into one fetch per shard it
+// must visit — every shard when unconstrained, a single shard when the
+// pattern pins `host = '...'` (tbql.Analysis.PatternHosts) — and the
+// jobs run concurrently on a small worker pool. Shard results merge in
+// shard order before the join, so execution is deterministic for a
+// given store. Propagated IN-lists larger than MaxPropagatedIDs are
+// dropped and counted in Stats.PropagationsSkipped.
 //
 // Join. The fetched rows are joined by a streaming hash join
 // (stream.go). Bindings are slot-based: tbql.Analyze assigns dense

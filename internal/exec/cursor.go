@@ -15,13 +15,21 @@ import (
 // computes row N+1 without computing row N+2 and a page-sized read of a
 // huge hunt does page-sized join work.
 //
-// An open cursor pins a read snapshot of every storage backend its
-// query touches (the relational tables always, the graph only when the
-// query has a path pattern), taken when it was created, so every page
-// observes one consistent ingest frontier. Writers queue behind that
-// snapshot: callers MUST Close a cursor they abandon mid-stream —
-// Close (or exhausting the rows, or an iteration error) releases the
-// per-store read locks, and it is idempotent.
+// An open cursor pins a read snapshot of every store shard its query
+// touches (the relational shards its patterns can reach — pruned by
+// host constraints — plus shard 0's entity table, and the touched
+// graph shards only when the query has a path pattern), taken when it
+// was created, so every page observes one consistent ingest frontier
+// even when the hunt spans shards. Writers to those shards queue
+// behind the snapshot; event loads for other shards keep flowing. The
+// one cross-shard coupling is the entity broadcast: shard 0's entity
+// table is always pinned (the projection attribute cache reads it), so
+// an ingest batch that interns NEW entities queues behind every open
+// cursor, and batches behind it in the ingest order wait too —
+// event-only batches for untouched shards are the ones that proceed
+// freely. Callers MUST Close a cursor they abandon mid-stream — Close
+// (or exhausting the rows, or an iteration error) releases the
+// per-shard read locks, and it is idempotent.
 //
 // A Cursor is not safe for concurrent use; each goroutine should run its
 // own hunt.
@@ -81,14 +89,13 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 	}
 	order := en.schedule(q, maxHops)
 
-	needGraph := false
-	for i := range q.Patterns {
-		if q.Patterns[i].IsPath {
-			needGraph = true
-			break
-		}
-	}
-	release, err := en.lockStores(needGraph)
+	// The shard plan prunes each pattern's fan-out to the shards its
+	// host constraints allow, and its unions are the shards this
+	// cursor's snapshot pins: all touched shards lock together and
+	// release together, so one hunt reads one consistent cut even when
+	// it spans shards.
+	patShards, relShards, graphShards := en.shardPlan(q)
+	release, err := en.lockStores(relShards, graphShards)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +111,7 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 		c.seen = make(map[string]bool)
 	}
 
-	rows, err := en.fetchPatterns(q, order, maxHops, maxProp, &c.stats)
+	rows, err := en.fetchPatterns(q, order, patShards, maxHops, maxProp, &c.stats)
 	if err != nil {
 		c.releaseLocks()
 		return nil, err

@@ -7,15 +7,20 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/audit"
 	"repro/internal/graphstore"
 	"repro/internal/relstore"
 	"repro/internal/tbql"
 )
 
-// Engine executes TBQL queries against the two storage backends.
+// Engine executes TBQL queries against the two storage backends. Both
+// backends are host-sharded (a 1-shard store is the unsharded case):
+// per-pattern data queries fan out across the shards the pattern's host
+// constraints allow and the shard results are merged, in shard order,
+// before the join.
 type Engine struct {
-	Rel   *relstore.DB
-	Graph *graphstore.Graph
+	Rel   *relstore.Sharded
+	Graph *graphstore.Sharded
 
 	// MaxPathHops caps unbounded path patterns (default DefaultMaxHops).
 	MaxPathHops int
@@ -77,6 +82,12 @@ type Stats struct {
 	// With the streaming executor this grows as the cursor is drained;
 	// a partially read cursor reports the work done so far.
 	JoinCandidates int
+	// ShardFetches counts per-shard data-query executions: an unpruned
+	// pattern costs one fetch per shard, while a pattern carrying a
+	// `host = '...'` constraint is pruned to that host's shard and costs
+	// one. Compare against len(DataQueries) × shard count to see how
+	// much fetch work shard pruning saved.
+	ShardFetches int
 }
 
 // Result is a TBQL query result.
@@ -137,28 +148,108 @@ func (en *Engine) schedule(q *tbql.Query, maxHops int) []int {
 	return order
 }
 
-// lockStores pins a read snapshot across the storage backends one hunt
-// touches: the relational tables first (in table-name order, the
-// statement executor's own order), then the graph — but only when the
-// query has a path pattern; a pure-SQL hunt never reads the graph, and
-// pinning it anyway would serialize graph ingest behind every cursor.
-// The fixed order means concurrent hunts and ingests cannot form a lock
-// cycle. The returned release func is owned by the cursor and runs
-// exactly once — on exhaustion, error, or Close.
-func (en *Engine) lockStores(needGraph bool) (func(), error) {
-	relRelease, err := en.Rel.RLockTables(relstore.EntityTable, relstore.EventTable)
-	if err != nil {
-		return nil, err
+// shardPlan maps each pattern's host constraints (tbql analysis) to the
+// store shards its data query must visit: SQL patterns visit relational
+// shards, path patterns visit graph shards. An unconstrained pattern
+// visits every shard; a `host = '...'` constraint prunes to that host's
+// shard; contradictory constraints yield an empty list (the pattern
+// cannot match anywhere). The returned relShards/graphShards are the
+// sorted unions the cursor's snapshot must pin.
+func (en *Engine) shardPlan(q *tbql.Query) (patShards [][]int, relShards, graphShards []int) {
+	info := q.Info()
+	patShards = make([][]int, len(q.Patterns))
+	relSet, graphSet := map[int]bool{}, map[int]bool{}
+	for i := range q.Patterns {
+		isPath := q.Patterns[i].IsPath
+		n := en.Rel.NumShards()
+		if isPath && en.Graph != nil {
+			n = en.Graph.NumShards()
+		}
+		var shards []int
+		if hosts := info.PatternHosts[i]; hosts == nil {
+			shards = make([]int, n)
+			for s := range shards {
+				shards[s] = s
+			}
+		} else {
+			seen := map[int]bool{}
+			for _, h := range hosts {
+				s := audit.ShardIndex(h, n)
+				if !seen[s] {
+					seen[s] = true
+					shards = append(shards, s)
+				}
+			}
+			sort.Ints(shards)
+		}
+		patShards[i] = shards
+		for _, s := range shards {
+			if isPath {
+				graphSet[s] = true
+			} else {
+				relSet[s] = true
+			}
+		}
 	}
-	if !needGraph || en.Graph == nil {
-		return relRelease, nil
+	for s := range relSet {
+		relShards = append(relShards, s)
 	}
-	g := en.Graph
-	g.RLock()
-	return func() {
-		g.RUnlock()
-		relRelease()
-	}, nil
+	for s := range graphSet {
+		graphShards = append(graphShards, s)
+	}
+	sort.Ints(relShards)
+	sort.Ints(graphShards)
+	return patShards, relShards, graphShards
+}
+
+// lockStores pins a read snapshot across the store shards one hunt
+// touches: for every touched relational shard, its entity and event
+// tables (in table-name order, the statement executor's own order);
+// shard 0's entity table always (it holds the broadcast entity set the
+// projection attribute cache reads); then the touched graph shards —
+// only patterns with path patterns touch the graph, so a pure-SQL hunt
+// never blocks graph ingest. Shards are locked in ascending index
+// order, relational before graph — one fixed global order — and
+// writers only ever take one shard lock at a time, so concurrent hunts
+// and ingests cannot form a lock cycle. The returned release func is
+// owned by the cursor and runs exactly once — on exhaustion, error, or
+// Close.
+func (en *Engine) lockStores(relShards, graphShards []int) (func(), error) {
+	var releases []func()
+	release := func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}
+	inRel := make(map[int]bool, len(relShards))
+	for _, s := range relShards {
+		inRel[s] = true
+	}
+	for i := 0; i < en.Rel.NumShards(); i++ {
+		var r func()
+		var err error
+		switch {
+		case inRel[i]:
+			r, err = en.Rel.Shard(i).RLockTables(relstore.EntityTable, relstore.EventTable)
+		case i == 0:
+			r, err = en.Rel.Shard(0).RLockTables(relstore.EntityTable)
+		default:
+			continue
+		}
+		if err != nil {
+			release()
+			return nil, err
+		}
+		releases = append(releases, r)
+	}
+	if en.Graph != nil {
+		for _, gi := range graphShards {
+			g := en.Graph.Shard(gi)
+			g.RLock()
+			releases = append(releases, g.RUnlock)
+		}
+	}
+	return release, nil
 }
 
 // sharesEntity reports whether two patterns reference a common entity
@@ -172,13 +263,17 @@ func sharesEntity(q *tbql.Query, a, b int) bool {
 // fetchPatterns runs the per-pattern data queries in scheduled order
 // with constraint propagation, filling stats. Patterns whose fetch does
 // not depend on an earlier pattern's observed IDs (no shared entity
-// variable, or propagation disabled) are grouped into waves and fetched
-// concurrently by a small worker pool; propagation state updates
-// deterministically between waves, in scheduled order. The caller holds
-// the store snapshot locks (lockStores). On a short-circuit (some
-// pattern fetched zero rows) it returns nil rows with
-// stats.ShortCircuit set.
-func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
+// variable, or propagation disabled) are grouped into waves; within a
+// wave, each pattern expands into one fetch job per shard it must visit
+// (patShards, from the host-constraint shard plan) and the jobs run
+// concurrently on a small worker pool. A pattern's shard results merge
+// in shard order, so the merged row list is deterministic, and
+// propagation state updates deterministically between waves, in
+// scheduled order. The caller holds the store snapshot locks
+// (lockStores). On a short-circuit (some pattern fetched zero rows
+// across all its shards, or its host constraints are contradictory) it
+// returns nil rows with stats.ShortCircuit set.
+func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
 	// Partition scheduled positions into dependency waves.
 	waveOf := make([]int, len(order))
 	nWaves := 0
@@ -212,24 +307,19 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int
 		}
 	}
 
-	type job struct {
-		pos, pi int
-		isPath  bool
-		src     string
-		fetched []EventRow
-		err     error
-		skipped bool
-	}
-	// sawEmpty is set as soon as any fetch returns zero rows: the hunt
-	// is short-circuiting, so queued sibling fetches are skipped instead
-	// of started (in-flight ones run to completion). The sequential case
-	// keeps the legacy behavior exactly: nothing after the empty pattern
-	// executes.
+	// sawEmpty is set as soon as some pattern is known to fetch zero
+	// rows — every shard of it came back empty, or its host constraints
+	// are contradictory: the hunt is short-circuiting, so queued fetches
+	// are skipped instead of started (in-flight ones run to completion).
+	// The single-shard sequential case keeps the legacy behavior
+	// exactly: nothing after the empty pattern executes.
 	var sawEmpty atomic.Bool
 	for _, wave := range waves {
 		// Compile this wave's queries sequentially so propagation stats
-		// and IN-lists are deterministic.
-		jobs := make([]*job, 0, len(wave))
+		// and IN-lists are deterministic, then expand each pattern into
+		// one job per shard its host constraints allow.
+		works := make([]*patWork, 0, len(wave))
+		var jobs []*shardJob
 		for _, pos := range wave {
 			pi := order[pos]
 			pat := &q.Patterns[pi]
@@ -255,55 +345,53 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int
 				addProp(pat.Subj.ID, "e.srcid", "s.id")
 				addProp(pat.Obj.ID, "e.dstid", "o.id")
 			}
-			j := &job{pos: pos, pi: pi, isPath: pat.IsPath}
+			var src string
 			if pat.IsPath {
 				if en.Graph == nil {
 					return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
 				}
-				j.src = compileCypher(pat, extraCypher, maxHops)
+				src = compileCypher(pat, extraCypher, maxHops)
 			} else {
-				j.src = compileSQL(pat, extraSQL)
+				src = compileSQL(pat, extraSQL)
 			}
-			dataQueries[pos] = j.src
-			jobs = append(jobs, j)
+			dataQueries[pos] = src
+			w := &patWork{pos: pos, pi: pi}
+			if len(patShards[pi]) == 0 {
+				// Contradictory host constraints: the pattern cannot match
+				// on any shard, so its query never executes.
+				dataQueries[pos] = ""
+				sawEmpty.Store(true)
+				works = append(works, w)
+				continue
+			}
+			for _, sh := range patShards[pi] {
+				j := &shardJob{pi: pi, shard: sh, isPath: pat.IsPath, src: src, work: w}
+				w.jobs = append(w.jobs, j)
+				jobs = append(jobs, j)
+			}
+			w.pending.Store(int32(len(w.jobs)))
+			works = append(works, w)
 		}
 
 		// Run the wave: inline when it is a single query (the common case
-		// once propagation chains patterns), else through the pool.
-		run := func(j *job) {
+		// once propagation chains patterns on a 1-shard store), else
+		// through the pool.
+		run := func(j *shardJob) {
 			if sawEmpty.Load() {
 				j.skipped = true
-				return
+			} else if j.isPath {
+				j.fetchGraph(en.Graph.Shard(j.shard))
+			} else {
+				j.fetchRel(en.Rel.Shard(j.shard))
 			}
-			defer func() {
-				if j.err == nil && len(j.fetched) == 0 {
-					sawEmpty.Store(true)
-				}
-			}()
-			if j.isPath {
-				gr, err := en.Graph.QuerySnapshot(j.src)
-				if err != nil {
-					j.err = err
-					return
-				}
-				for _, r := range gr.Data {
-					j.fetched = append(j.fetched, EventRow{
-						SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
-						Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
-					})
-				}
-				return
+			w := j.work
+			if j.err == nil && !j.skipped {
+				w.total.Add(int32(len(j.fetched)))
 			}
-			rr, err := en.Rel.QuerySnapshot(j.src)
-			if err != nil {
-				j.err = err
-				return
-			}
-			for _, r := range rr.Data {
-				j.fetched = append(j.fetched, EventRow{
-					EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
-					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
-				})
+			if w.pending.Add(-1) == 0 && j.err == nil && !j.skipped && w.total.Load() == 0 {
+				// Every shard of this pattern fetched nothing: the hunt is
+				// short-circuiting.
+				sawEmpty.Store(true)
 			}
 		}
 		if len(jobs) == 1 {
@@ -314,7 +402,7 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int
 			for _, j := range jobs {
 				wg.Add(1)
 				sem <- struct{}{}
-				go func(j *job) {
+				go func(j *shardJob) {
 					defer wg.Done()
 					defer func() { <-sem }()
 					run(j)
@@ -323,31 +411,51 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int
 			wg.Wait()
 		}
 
-		// Fold results back in scheduled order: errors first, then row
-		// accounting, short-circuit, and propagation-state updates.
-		// Skipped jobs never executed, so their compiled query leaves
-		// Stats.DataQueries (which lists executed queries only).
-		for _, j := range jobs {
-			if j.err != nil {
-				return nil, fmt.Errorf("exec: pattern %q: %w", q.Patterns[j.pi].Name, j.err)
-			}
-			if j.skipped {
-				dataQueries[j.pos] = ""
+		// Fold results back in scheduled order: errors first, then
+		// per-pattern shard merges (shard order, so the merged list is
+		// deterministic), row accounting, short-circuit, and
+		// propagation-state updates. Patterns none of whose jobs
+		// executed leave Stats.DataQueries (which lists executed
+		// queries only).
+		shortCircuit := false
+		for _, w := range works {
+			if len(w.jobs) == 0 { // contradictory host constraints
+				shortCircuit = true
 				continue
 			}
-			rows[j.pi] = j.fetched
-			stats.RowsFetched += len(j.fetched)
+			executed := false
+			var merged []EventRow
+			for _, j := range w.jobs {
+				if j.err != nil {
+					return nil, fmt.Errorf("exec: pattern %q: %w", q.Patterns[w.pi].Name, j.err)
+				}
+				if j.skipped {
+					continue
+				}
+				executed = true
+				stats.ShardFetches++
+				merged = append(merged, j.fetched...)
+			}
+			if !executed {
+				dataQueries[w.pos] = ""
+				continue
+			}
+			rows[w.pi] = merged
+			stats.RowsFetched += len(merged)
+			if len(merged) == 0 {
+				shortCircuit = true
+			}
 		}
-		if sawEmpty.Load() {
+		if shortCircuit || sawEmpty.Load() {
 			// A pattern with no matches empties the whole result.
 			stats.ShortCircuit = true
 			setQueries()
 			return nil, nil
 		}
-		for _, j := range jobs {
-			pat := &q.Patterns[j.pi]
+		for _, w := range works {
+			pat := &q.Patterns[w.pi]
 			newSubj, newObj := make(map[int64]bool), make(map[int64]bool)
-			for _, r := range j.fetched {
+			for _, r := range rows[w.pi] {
 				newSubj[r.SrcID] = true
 				newObj[r.DstID] = true
 			}
@@ -357,6 +465,61 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, maxHops, maxProp int
 	}
 	setQueries()
 	return rows, nil
+}
+
+// patWork tracks one pattern's shard jobs within a fetch wave: pending
+// counts outstanding jobs, total the rows fetched so far, so the last
+// job to finish can detect an all-shards-empty pattern.
+type patWork struct {
+	pos, pi int
+	jobs    []*shardJob // in shard order
+	pending atomic.Int32
+	total   atomic.Int32
+}
+
+// shardJob is one (pattern, shard) fetch: the compiled data query run
+// against a single store shard.
+type shardJob struct {
+	pi      int
+	shard   int
+	isPath  bool
+	src     string
+	fetched []EventRow
+	err     error
+	skipped bool
+	work    *patWork
+}
+
+// fetchRel runs the compiled SQL against one relational shard under the
+// cursor's held snapshot.
+func (j *shardJob) fetchRel(db *relstore.DB) {
+	rr, err := db.QuerySnapshot(j.src)
+	if err != nil {
+		j.err = err
+		return
+	}
+	for _, r := range rr.Data {
+		j.fetched = append(j.fetched, EventRow{
+			EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
+			Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+		})
+	}
+}
+
+// fetchGraph runs the compiled Cypher against one graph shard under the
+// cursor's held snapshot.
+func (j *shardJob) fetchGraph(g *graphstore.Graph) {
+	gr, err := g.QuerySnapshot(j.src)
+	if err != nil {
+		j.err = err
+		return
+	}
+	for _, r := range gr.Data {
+		j.fetched = append(j.fetched, EventRow{
+			SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
+			Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+		})
+	}
 }
 
 // ExecuteTBQL parses, analyzes, and executes TBQL source.
@@ -381,6 +544,10 @@ type ExplainedPattern struct {
 	// MaxPropagatedIDs; Stats.PropagationsSkipped counts the ones
 	// dropped for exceeding it.
 	Propagated []string
+	// Hosts lists the host constants the pattern's filters pin it to
+	// (nil when unconstrained): on a sharded store the pattern's data
+	// query is pruned to only those hosts' shards.
+	Hosts []string
 }
 
 // Explain compiles and scores every pattern without executing anything,
@@ -400,7 +567,8 @@ func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 	out := make([]ExplainedPattern, 0, len(order))
 	for _, pi := range order {
 		pat := &q.Patterns[pi]
-		ep := ExplainedPattern{Name: pat.Name, Score: PruningScore(pat, maxHops)}
+		ep := ExplainedPattern{Name: pat.Name, Score: PruningScore(pat, maxHops),
+			Hosts: q.Info().PatternHosts[pi]}
 		if pat.IsPath {
 			ep.Backend = "cypher"
 			ep.DataQuery = compileCypher(pat, nil, maxHops)
@@ -637,10 +805,11 @@ func (c *attrCache) get(id int64, attr string) string {
 }
 
 // entityAttrsLocked returns a snapshot of the entity attribute cache for
-// projection, extending it first if the entity table grew. The caller
-// must hold the entity table's read lock (the cursor's store snapshot),
-// which fixes the lock order table.mu before attrsMu for every attrs
-// refresh. Safe for concurrent hunts: attrsMu covers the check and the
+// projection, extending it first if the entity table grew. Entities are
+// broadcast to every relational shard, so shard 0's entity table is read
+// as the authoritative full set. The caller must hold shard 0's entity
+// table read lock (lockStores always pins it), which fixes the lock
+// order table.mu before attrsMu for every attrs refresh. Safe for concurrent hunts: attrsMu covers the check and the
 // extension, and because the cache slice is append-only, previously
 // returned snapshots remain valid while it grows. Only the table rows
 // past the cached position are scanned (the table is append-only, so
@@ -649,7 +818,7 @@ func (c *attrCache) get(id int64, attr string) string {
 func (en *Engine) entityAttrsLocked() (*attrCache, error) {
 	en.attrsMu.Lock()
 	defer en.attrsMu.Unlock()
-	tbl := en.Rel.Table(relstore.EntityTable)
+	tbl := en.Rel.Shard(0).Table(relstore.EntityTable)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: no table %q", relstore.EntityTable)
 	}

@@ -24,29 +24,40 @@ proc p4 connect ip i1["192.168.29.128"] as evt8
 with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5, evt5 before evt6, evt6 before evt7, evt7 before evt8
 return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1`
 
-// newEngine loads a generated workload into both backends.
+// newEngine loads a generated workload into both backends (1 shard).
 func newEngine(t testing.TB, cfg gen.Config) (*Engine, *gen.Workload) {
 	t.Helper()
-	w := gen.Generate(cfg)
+	en, ws := newShardedEngine(t, 1, cfg)
+	return en, ws[0]
+}
+
+// newShardedEngine loads one or more generated workloads (typically one
+// per host) through a single parser into sharded backends.
+func newShardedEngine(t testing.TB, shards int, cfgs ...gen.Config) (*Engine, []*gen.Workload) {
+	t.Helper()
 	p := audit.NewParser()
-	for _, r := range w.Records {
-		if _, err := p.Add(r); err != nil {
-			t.Fatal(err)
+	ws := make([]*gen.Workload, len(cfgs))
+	for i, cfg := range cfgs {
+		w := gen.Generate(cfg)
+		for _, r := range w.Records {
+			if _, err := p.Add(r); err != nil {
+				t.Fatal(err)
+			}
 		}
+		ws[i] = w
 	}
-	db := relstore.NewDB()
-	if err := relstore.Bootstrap(db); err != nil {
+	rel, err := relstore.NewSharded(shards)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := relstore.Load(db, p.Entities(), p.Events()); err != nil {
+	if err := rel.Load(p.Entities(), p.Events()); err != nil {
 		t.Fatal(err)
 	}
-	g := graphstore.NewGraph()
-	graphstore.Bootstrap(g)
-	if err := graphstore.Load(g, p.Entities(), p.Events()); err != nil {
+	g := graphstore.NewSharded(shards)
+	if err := g.Load(p.Entities(), p.Events()); err != nil {
 		t.Fatal(err)
 	}
-	return &Engine{Rel: db, Graph: g}, w
+	return &Engine{Rel: rel, Graph: g}, ws
 }
 
 func leakageEngine(t testing.TB, benign int) *Engine {

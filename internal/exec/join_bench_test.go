@@ -26,54 +26,61 @@ return p, f1, f2`
 // per-candidate map clones. No graph backend is needed (no path
 // patterns).
 func fanoutEngine(tb testing.TB, procs, filesPer, lateWrites int) *Engine {
+	return fanoutShardedEngine(tb, 1, 1, procs, filesPer, lateWrites)
+}
+
+// fanoutShardedEngine is fanoutEngine across `hosts` hosts (workers
+// p%hosts apart share a host) on a `shards`-shard store.
+func fanoutShardedEngine(tb testing.TB, shards, hosts, procs, filesPer, lateWrites int) *Engine {
 	tb.Helper()
-	db := relstore.NewDB()
-	if err := relstore.Bootstrap(db); err != nil {
-		tb.Fatal(err)
-	}
 	var entities []*audit.Entity
 	var events []*audit.Event
 	nextID := int64(1)
-	newEntity := func(e audit.Entity) int64 {
+	newEntity := func(e audit.Entity, host string) int64 {
 		e.ID = nextID
-		e.Host = "h"
+		e.Host = host
 		nextID++
 		entities = append(entities, &e)
 		return e.ID
 	}
 	var ts int64
-	addEvent := func(pid, fid int64, op audit.OpType) {
+	addEvent := func(pid, fid int64, op audit.OpType, host string) {
 		ts += 10
 		events = append(events, &audit.Event{ID: nextID, SrcID: pid, DstID: fid,
-			Op: op, StartTime: ts, EndTime: ts + 1, Amount: 64, Host: "h"})
+			Op: op, StartTime: ts, EndTime: ts + 1, Amount: 64, Host: host})
 		nextID++
 	}
 	for p := 0; p < procs; p++ {
+		host := fmt.Sprintf("h%d", p%hosts)
 		pid := newEntity(audit.Entity{Type: audit.EntityProcess,
-			ExeName: fmt.Sprintf("/bin/worker%d", p), PID: 100 + p})
+			ExeName: fmt.Sprintf("/bin/worker%d", p), PID: 100 + p}, host)
 		var reads, writes []int64
 		for f := 0; f < filesPer; f++ {
 			reads = append(reads, newEntity(audit.Entity{Type: audit.EntityFile,
-				Path: fmt.Sprintf("/in/%d-%d", p, f)}))
+				Path: fmt.Sprintf("/in/%d-%d", p, f)}, host))
 			writes = append(writes, newEntity(audit.Entity{Type: audit.EntityFile,
-				Path: fmt.Sprintf("/out/%d-%d", p, f)}))
+				Path: fmt.Sprintf("/out/%d-%d", p, f)}, host))
 		}
 		// Writes before the reads fail "e1 before e2"; the lateWrites
 		// after the reads pair with every read.
 		for _, fid := range writes[:filesPer-lateWrites] {
-			addEvent(pid, fid, audit.OpWrite)
+			addEvent(pid, fid, audit.OpWrite, host)
 		}
 		for _, fid := range reads {
-			addEvent(pid, fid, audit.OpRead)
+			addEvent(pid, fid, audit.OpRead, host)
 		}
 		for _, fid := range writes[filesPer-lateWrites:] {
-			addEvent(pid, fid, audit.OpWrite)
+			addEvent(pid, fid, audit.OpWrite, host)
 		}
 	}
-	if err := relstore.Load(db, entities, events); err != nil {
+	sh, err := relstore.NewSharded(shards)
+	if err != nil {
 		tb.Fatal(err)
 	}
-	return &Engine{Rel: db}
+	if err := sh.Load(entities, events); err != nil {
+		tb.Fatal(err)
+	}
+	return &Engine{Rel: sh}
 }
 
 // BenchmarkJoinFanout compares the streaming hash join against the
@@ -168,4 +175,50 @@ func BenchmarkHuntFirstPage(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHuntFirstPageSharded is BenchmarkHuntFirstPage's sharded
+// variant: the same ~10k-match workload spread over 8 hosts, hunted on
+// a 1-shard versus an 8-shard store. The unpruned hunt pays the
+// fan-out (8 shard fetches instead of 1, run through the worker pool);
+// the host-pinned hunt is pruned to a single shard, so its fetch phase
+// touches 1/8th of the data.
+func BenchmarkHuntFirstPageSharded(b *testing.B) {
+	const pageSize = 100
+	// 8 workers spread over 8 hosts; worker p lives on host h<p>.
+	hostTBQL := `proc p[host = "h3" && "%worker%"] read file f1 as e1
+proc p write file f2 as e2
+with e1 before e2
+return p, f1, f2`
+	for _, cfg := range []struct {
+		name   string
+		shards int
+		query  string
+		pinned bool
+	}{
+		{"fanout-1shard", 1, fanoutTBQL, false},
+		{"fanout-8shard", 8, fanoutTBQL, false},
+		{"hostpinned-1shard", 1, hostTBQL, true},
+		{"hostpinned-8shard", 8, hostTBQL, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			en := fanoutShardedEngine(b, cfg.shards, 8, 8, 36, 36) // 8*36*36 = 10368 matches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur, err := en.ExecuteTBQLCursor(cfg.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows := 0
+				for rows < pageSize && cur.Next() {
+					rows++
+				}
+				cur.Close()
+				if rows != pageSize {
+					b.Fatalf("page = %d rows", rows)
+				}
+			}
+		})
+	}
 }

@@ -6,6 +6,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/audit/gen"
 )
 
 // TestRandomQueriesExecute: randomly composed valid queries must execute
@@ -211,6 +214,244 @@ func sortedRows(rows [][]string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// canonicalMatches serializes a result's match set order-independently:
+// each match becomes its sorted entity and event bindings, and the
+// whole set is sorted.
+func canonicalMatches(matches []Match) []string {
+	out := make([]string, len(matches))
+	for i, m := range matches {
+		var parts []string
+		for id, ent := range m.Entities {
+			parts = append(parts, fmt.Sprintf("%s=%d", id, ent))
+		}
+		for name, ev := range m.Events {
+			parts = append(parts, fmt.Sprintf("%s#%d", name, ev.EventID))
+		}
+		sort.Strings(parts)
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestShardEquivalence is the shard-equivalence property test: every
+// randomly composed query — including host-filtered, host-contradictory,
+// temporal/attribute-related, path, and distinct variants — must yield
+// the identical match set and projected row set on a 1-shard and a
+// 4-shard System over the same multi-host audit data, in both
+// scheduling modes. It is the executable form of the sharding
+// argument: events live in exactly one shard, entities are broadcast,
+// so the per-shard union of every data query equals the single-store
+// result.
+func TestShardEquivalence(t *testing.T) {
+	hosts := []string{"host1", "host2", "host3"}
+	cfgs := []gen.Config{
+		{Seed: 42, Host: hosts[0], BenignEvents: 300,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 10 * time.Minute}}},
+		{Seed: 43, Host: hosts[1], BenignEvents: 300},
+		{Seed: 44, Host: hosts[2], BenignEvents: 300,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 20 * time.Minute}}},
+	}
+	one, _ := newShardedEngine(t, 1, cfgs...)
+	const nShards = 4
+	many, _ := newShardedEngine(t, nShards, cfgs...)
+	if got := many.Rel.NumShards(); got != nShards {
+		t.Fatalf("sharded engine has %d shards", got)
+	}
+	// The fixture must actually spread events across shards, or the test
+	// degenerates to the 1-shard case.
+	nonEmpty := 0
+	for _, n := range many.Rel.EventRows() {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("fixture loads only %d shard(s); pick different hosts", nonEmpty)
+	}
+
+	modes := []struct {
+		name      string
+		one, many *Engine
+	}{
+		{
+			"scheduled",
+			&Engine{Rel: one.Rel, Graph: one.Graph},
+			&Engine{Rel: many.Rel, Graph: many.Graph},
+		},
+		{
+			"textual-order",
+			&Engine{Rel: one.Rel, Graph: one.Graph, DisableScheduling: true},
+			&Engine{Rel: many.Rel, Graph: many.Graph, DisableScheduling: true},
+		},
+	}
+
+	rng := rand.New(rand.NewSource(2026))
+	exes := []string{"/bin/tar", "/usr/bin/curl", "/bin/bash", "/usr/bin/chrome", "/usr/sbin/sshd"}
+	files := []string{"/etc/passwd", "/tmp/upload.tar", "/var/log/syslog", "/etc/crontab"}
+	fileOps := []string{"read", "write", "read || write", "!read"}
+	attrOps := []string{"=", "!=", "<", "<=", ">", ">="}
+	evtAttrs := []string{"srcid", "dstid", "starttime", "amount", "id"}
+
+	const cases = 120
+	for i := 0; i < cases; i++ {
+		nPat := 1 + rng.Intn(3)
+		var b strings.Builder
+		var names []string
+		used := map[string]bool{}
+		for j := 0; j < nPat; j++ {
+			name := fmt.Sprintf("e%d", j+1)
+			names = append(names, name)
+			subjID := fmt.Sprintf("p%d", rng.Intn(2))
+			objID := fmt.Sprintf("f%d", rng.Intn(2))
+			used[subjID], used[objID] = true, true
+			subjF, objF := "", ""
+			// Subject filters mix exe LIKEs with host constants so shard
+			// pruning (single host, host disjunction, contradiction) is
+			// exercised alongside unpruned fan-out.
+			switch rng.Intn(6) {
+			case 0:
+				subjF = fmt.Sprintf(`["%%%s%%"]`, exes[rng.Intn(len(exes))])
+			case 1:
+				subjF = fmt.Sprintf(`[host = "%s"]`, hosts[rng.Intn(len(hosts))])
+			case 2:
+				subjF = fmt.Sprintf(`[host = "%s" && "%%%s%%"]`,
+					hosts[rng.Intn(len(hosts))], exes[rng.Intn(len(exes))])
+			case 3:
+				subjF = fmt.Sprintf(`[host = "%s" || host = "%s"]`,
+					hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))])
+			}
+			if rng.Intn(3) == 0 {
+				objF = fmt.Sprintf(`["%%%s%%"]`, files[rng.Intn(len(files))])
+			} else if rng.Intn(6) == 0 {
+				// Occasionally contradictory with a subject host filter.
+				objF = fmt.Sprintf(`[host = "%s"]`, hosts[rng.Intn(len(hosts))])
+			}
+			if rng.Intn(5) == 0 {
+				fmt.Fprintf(&b, "proc %s%s ~>(1~%d)[read] file %s%s as %s\n",
+					subjID, subjF, 2+rng.Intn(2), objID, objF, name)
+			} else {
+				fmt.Fprintf(&b, "proc %s%s %s file %s%s as %s\n",
+					subjID, subjF, fileOps[rng.Intn(len(fileOps))], objID, objF, name)
+			}
+		}
+		var rels []string
+		if nPat > 1 && rng.Intn(2) == 0 {
+			a, c := rng.Intn(nPat), rng.Intn(nPat)
+			if a != c {
+				op := "before"
+				if rng.Intn(2) == 0 {
+					op = "after"
+				}
+				rels = append(rels, fmt.Sprintf("%s %s %s", names[a], op, names[c]))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			rels = append(rels, fmt.Sprintf("%s.%s %s %d",
+				names[rng.Intn(nPat)], evtAttrs[rng.Intn(len(evtAttrs))],
+				attrOps[rng.Intn(len(attrOps))], rng.Intn(5000)))
+		}
+		if len(rels) > 0 {
+			b.WriteString("with " + strings.Join(rels, ", ") + "\n")
+		}
+		var ret []string
+		for _, id := range []string{"p0", "p1", "f0", "f1"} {
+			if used[id] {
+				ret = append(ret, id)
+			}
+		}
+		distinct := ""
+		if rng.Intn(2) == 0 {
+			distinct = "distinct "
+		}
+		b.WriteString("return " + distinct + strings.Join(ret, ", "))
+		src := b.String()
+
+		for _, mode := range modes {
+			ores, err := mode.one.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d %s 1-shard: %v\n%s", i, mode.name, err, src)
+			}
+			mres, err := mode.many.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d %s %d-shard: %v\n%s", i, mode.name, nShards, err, src)
+			}
+			om, mm := canonicalMatches(ores.Matches), canonicalMatches(mres.Matches)
+			if len(om) != len(mm) {
+				t.Fatalf("case %d %s: %d matches on 1 shard, %d on %d shards\n%s",
+					i, mode.name, len(om), len(mm), nShards, src)
+			}
+			for k := range om {
+				if om[k] != mm[k] {
+					t.Fatalf("case %d %s match %d: 1-shard %q, sharded %q\n%s",
+						i, mode.name, k, om[k], mm[k], src)
+				}
+			}
+			got, want := sortedRows(mres.Rows), sortedRows(ores.Rows)
+			if len(got) != len(want) {
+				t.Fatalf("case %d %s: %d sharded rows, %d 1-shard\n%s",
+					i, mode.name, len(got), len(want), src)
+			}
+			for r := range got {
+				if got[r] != want[r] {
+					t.Fatalf("case %d %s row %d: sharded %q, 1-shard %q\n%s",
+						i, mode.name, r, got[r], want[r], src)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPruning: a host-constant filter must prune the fan-out to
+// one shard, and a host-contradictory pattern must short-circuit
+// without executing anywhere.
+func TestShardPruning(t *testing.T) {
+	const nShards = 4
+	en, _ := newShardedEngine(t, nShards,
+		gen.Config{Seed: 42, Host: "host1", BenignEvents: 300,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 10 * time.Minute}}},
+		gen.Config{Seed: 43, Host: "host2", BenignEvents: 300},
+	)
+
+	// Unpruned: one fetch per shard.
+	res, err := en.ExecuteTBQL("proc p read file f as e1\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShardFetches != nShards {
+		t.Errorf("unpruned hunt ran %d shard fetches, want %d", res.Stats.ShardFetches, nShards)
+	}
+
+	// Host-pinned: exactly one shard fetch, same rows as the unpruned
+	// host filter evaluated everywhere.
+	res, err = en.ExecuteTBQL(`proc p[host = "host1" && "%/bin/tar%"] read file f as e1` + "\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShardFetches != 1 {
+		t.Errorf("host-pinned hunt ran %d shard fetches, want 1", res.Stats.ShardFetches)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("host-pinned hunt found nothing; fixture broken")
+	}
+
+	// Contradictory hosts: short-circuit with no fetches at all.
+	res, err = en.ExecuteTBQL(`proc p[host = "host1"] read file f[host = "host2"] as e1` + "\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ShortCircuit {
+		t.Error("contradictory host constraints should short-circuit")
+	}
+	if res.Stats.ShardFetches != 0 || len(res.Stats.DataQueries) != 0 {
+		t.Errorf("contradictory hunt executed %d fetches, queries %v",
+			res.Stats.ShardFetches, res.Stats.DataQueries)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("contradictory hunt returned rows: %v", res.Rows)
+	}
 }
 
 // TestPropagationCap: oversized candidate sets must not be propagated,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/audit/gen"
 	"repro/internal/graphstore"
 	"repro/internal/relstore"
 	"repro/internal/tbql"
@@ -15,18 +16,23 @@ import (
 const wideTBQL = `proc p read || write file f as e1
 return p, f`
 
-// tryIngest attempts a write against both stores and reports on done.
-// While a cursor holds the hunt snapshot, the relational insert blocks
-// on the events table's write lock.
+// tryIngest attempts a write against both stores' shard 0 and reports
+// on done. While a cursor holds the hunt snapshot, the relational
+// insert blocks on that shard's events-table write lock.
 func tryIngest(en *Engine, done chan<- error) {
-	ev := &audit.Event{ID: 1 << 40, SrcID: 1, DstID: 2, Op: audit.OpRead,
+	tryIngestShard(en, 0, done)
+}
+
+// tryIngestShard attempts a write against one shard of both stores.
+func tryIngestShard(en *Engine, shard int, done chan<- error) {
+	ev := &audit.Event{ID: 1<<40 + int64(shard), SrcID: 1, DstID: 2, Op: audit.OpRead,
 		StartTime: 1, EndTime: 2, Amount: 1, Host: "h"}
-	if err := en.Rel.Table(relstore.EventTable).Insert(relstore.EventRow(ev)); err != nil {
+	if err := en.Rel.Shard(shard).Table(relstore.EventTable).Insert(relstore.EventRow(ev)); err != nil {
 		done <- err
 		return
 	}
 	if en.Graph != nil {
-		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe"})
+		_, err := en.Graph.Shard(shard).AddNode(graphstore.Node{Label: "probe"})
 		done <- err
 		return
 	}
@@ -101,7 +107,7 @@ func TestCursorPinsGraphOnlyForPathPatterns(t *testing.T) {
 	}
 	graphDone := make(chan error, 1)
 	go func() {
-		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe"})
+		_, err := en.Graph.Shard(0).AddNode(graphstore.Node{Label: "probe"})
 		graphDone <- err
 	}()
 	expectReleased(t, graphDone)
@@ -118,7 +124,7 @@ return p, f`)
 	}
 	graphDone = make(chan error, 1)
 	go func() {
-		_, err := en.Graph.AddNode(graphstore.Node{Label: "probe2"})
+		_, err := en.Graph.Shard(0).AddNode(graphstore.Node{Label: "probe2"})
 		graphDone <- err
 	}()
 	expectBlocked(t, graphDone)
@@ -175,6 +181,84 @@ func TestExecuteReleasesLocks(t *testing.T) {
 	done := make(chan error, 1)
 	go tryIngest(en, done)
 	expectReleased(t, done)
+}
+
+// shardedStreamEngine loads two hosts that land on distinct shards of a
+// 4-shard store (and reports which shards those are).
+func shardedStreamEngine(t *testing.T) (en *Engine, shardA, shardB int) {
+	t.Helper()
+	en, _ = newShardedEngine(t, 4,
+		gen.Config{Seed: 42, Host: "host1", BenignEvents: 200,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 10 * time.Minute}}},
+		gen.Config{Seed: 43, Host: "host2", BenignEvents: 200},
+	)
+	shardA = en.Rel.ShardFor("host1")
+	shardB = en.Rel.ShardFor("host2")
+	if shardA == shardB {
+		t.Fatalf("host1 and host2 share shard %d; pick different hosts", shardA)
+	}
+	return en, shardA, shardB
+}
+
+// TestShardedCursorCloseReleasesEveryShard: a cursor over an unpruned
+// hunt pins every shard's read locks; writers to each shard must block
+// while it is open and complete once it closes — Close must release
+// every shard, not just the first.
+func TestShardedCursorCloseReleasesEveryShard(t *testing.T) {
+	en, shardA, shardB := shardedStreamEngine(t)
+	cur, err := en.ExecuteTBQLCursor(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no rows; fixture broken")
+	}
+
+	doneA, doneB := make(chan error, 1), make(chan error, 1)
+	go tryIngestShard(en, shardA, doneA)
+	go tryIngestShard(en, shardB, doneB)
+	expectBlocked(t, doneA)
+	expectBlocked(t, doneB)
+
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	expectReleased(t, doneA)
+	expectReleased(t, doneB)
+}
+
+// TestShardedCursorPinsOnlyPrunedShards: a host-pinned cursor must pin
+// only its host's shard — ingest for other hosts proceeds while it is
+// open. (Shard 0's entity table stays pinned for the projection cache,
+// so the other-shard probe writes events only.)
+func TestShardedCursorPinsOnlyPrunedShards(t *testing.T) {
+	en, shardA, shardB := shardedStreamEngine(t)
+	cur, err := en.ExecuteTBQLCursor(`proc p[host = "host1"] read || write file f as e1
+return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("no rows; fixture broken")
+	}
+
+	// host2's shard is not part of the snapshot: its event table accepts
+	// writes immediately.
+	otherDone := make(chan error, 1)
+	go func() {
+		ev := &audit.Event{ID: 1 << 41, SrcID: 1, DstID: 2, Op: audit.OpRead,
+			StartTime: 1, EndTime: 2, Amount: 1, Host: "host2"}
+		otherDone <- en.Rel.Shard(shardB).Table(relstore.EventTable).Insert(relstore.EventRow(ev))
+	}()
+	expectReleased(t, otherDone)
+
+	// host1's shard is pinned.
+	pinnedDone := make(chan error, 1)
+	go tryIngestShard(en, shardA, pinnedDone)
+	expectBlocked(t, pinnedDone)
+
+	cur.Close()
+	expectReleased(t, pinnedDone)
 }
 
 // TestPropagationsSkippedCounted: capping the IN-list size must surface

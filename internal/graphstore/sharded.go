@@ -1,0 +1,112 @@
+package graphstore
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// Sharded partitions the property graph into per-host shards, mirroring
+// relstore.Sharded: entity nodes are broadcast to every shard, event
+// edges live in exactly one shard — the shard of the event's host
+// (audit.ShardIndex; hostless events land in shard 0). Each shard has
+// its own lock, so ingest batches for different hosts add edges
+// concurrently and a path query fans out across shards.
+//
+// Paths never span shards: an edge's endpoints carry the edge's own
+// host (audit semantics), and entities on different hosts are distinct
+// nodes, so every path of a single-store graph lies entirely within one
+// host's edge set. The per-shard union of a path query's results is
+// therefore exactly the single-store result.
+type Sharded struct {
+	shards []*Graph
+}
+
+// NewSharded creates n bootstrapped graph shards (n < 1 is treated as 1).
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*Graph, n)}
+	for i := range s.shards {
+		g := NewGraph()
+		Bootstrap(g)
+		s.shards[i] = g
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th graph shard.
+func (s *Sharded) Shard(i int) *Graph { return s.shards[i] }
+
+// ShardFor returns the shard index that stores events of the given host.
+func (s *Sharded) ShardFor(host string) int {
+	return audit.ShardIndex(host, len(s.shards))
+}
+
+// LoadNodes broadcasts entity nodes to every shard. Callers that also
+// load edges must complete the broadcast first (and, across concurrent
+// batches, serialize broadcasts against each other) so AddEdge never
+// sees a missing endpoint.
+func (s *Sharded) LoadNodes(entities []*audit.Entity) error {
+	if len(entities) == 0 {
+		return nil
+	}
+	for _, g := range s.shards {
+		for _, e := range entities {
+			if _, err := g.AddNode(EntityNode(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadEdges routes each event edge to its host's shard and loads the
+// per-shard batches (audit.LoadSharded), concurrently when a batch
+// spans multiple shards.
+func (s *Sharded) LoadEdges(events []*audit.Event) error {
+	return audit.LoadSharded(events, len(s.shards), func(shard int, batch []*audit.Event) error {
+		g := s.shards[shard]
+		for _, ev := range batch {
+			if _, err := g.AddEdge(EventEdge(ev)); err != nil {
+				return fmt.Errorf("graphstore: shard %d: %w", shard, err)
+			}
+		}
+		return nil
+	})
+}
+
+// Load broadcasts the entity nodes and routes the event edges.
+func (s *Sharded) Load(entities []*audit.Entity, events []*audit.Event) error {
+	if err := s.LoadNodes(entities); err != nil {
+		return err
+	}
+	return s.LoadEdges(events)
+}
+
+// NumNodes reports the distinct node count (every shard holds the full
+// broadcast set; shard 0 is read as the authority).
+func (s *Sharded) NumNodes() int { return s.shards[0].NumNodes() }
+
+// NumEdges reports the total edge count across shards (each edge lives
+// in exactly one shard).
+func (s *Sharded) NumEdges() int {
+	total := 0
+	for _, g := range s.shards {
+		total += g.NumEdges()
+	}
+	return total
+}
+
+// EdgeCounts reports each shard's edge count, in shard order.
+func (s *Sharded) EdgeCounts() []int {
+	out := make([]int, len(s.shards))
+	for i, g := range s.shards {
+		out[i] = g.NumEdges()
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package graphstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// TestShardedGraphRouting: nodes are broadcast, edges land in their
+// host's shard, and a per-shard path-query union equals the single
+// graph's result.
+func TestShardedGraphRouting(t *testing.T) {
+	const shards, hosts = 3, 6
+	var entities []*audit.Entity
+	var events []*audit.Event
+	id := int64(1)
+	for h := 0; h < hosts; h++ {
+		host := fmt.Sprintf("host%d", h)
+		proc := &audit.Entity{ID: id, Type: audit.EntityProcess, Host: host,
+			ExeName: "/bin/bash", PID: 10 + h}
+		id++
+		mid := &audit.Entity{ID: id, Type: audit.EntityProcess, Host: host,
+			ExeName: "/bin/tar", PID: 20 + h}
+		id++
+		file := &audit.Entity{ID: id, Type: audit.EntityFile, Host: host,
+			Path: "/etc/passwd"}
+		id++
+		entities = append(entities, proc, mid, file)
+		// A 2-hop chain per host: bash -> tar -> /etc/passwd.
+		events = append(events,
+			&audit.Event{ID: id, SrcID: proc.ID, DstID: mid.ID, Op: audit.OpFork,
+				StartTime: 1, EndTime: 2, Host: host})
+		id++
+		events = append(events,
+			&audit.Event{ID: id, SrcID: mid.ID, DstID: file.ID, Op: audit.OpRead,
+				StartTime: 3, EndTime: 4, Host: host})
+		id++
+	}
+
+	one := NewSharded(1)
+	many := NewSharded(shards)
+	for _, s := range []*Sharded{one, many} {
+		if err := s.Load(entities, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if one.NumNodes() != many.NumNodes() {
+		t.Errorf("node counts disagree: %d vs %d", one.NumNodes(), many.NumNodes())
+	}
+	if one.NumEdges() != many.NumEdges() || one.NumEdges() != len(events) {
+		t.Errorf("edge counts: 1-shard %d, sharded %d, want %d",
+			one.NumEdges(), many.NumEdges(), len(events))
+	}
+	perShard := many.EdgeCounts()
+	total := 0
+	for i, n := range perShard {
+		total += n
+		want := 0
+		for _, ev := range events {
+			if many.ShardFor(ev.Host) == i {
+				want++
+			}
+		}
+		if n != want {
+			t.Errorf("shard %d edges = %d, want %d", i, n, want)
+		}
+	}
+	if total != len(events) {
+		t.Errorf("edges across shards = %d, want %d", total, len(events))
+	}
+
+	// Path query union: every host's 2-hop chain must be found exactly
+	// once across shards.
+	const q = "MATCH (s:process)-[:event*1..1]->(mid)-[last:event {optype: 'read'}]->(o:file)" +
+		" RETURN s.id, o.id, last.eventid, last.starttime, last.endtime, last.amount"
+	count := func(s *Sharded) int {
+		n := 0
+		for i := 0; i < s.NumShards(); i++ {
+			rows, err := s.Shard(i).Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(rows.Data)
+		}
+		return n
+	}
+	if a, b := count(one), count(many); a != b || a != hosts {
+		t.Errorf("path unions disagree: 1-shard %d, sharded %d, want %d", a, b, hosts)
+	}
+}

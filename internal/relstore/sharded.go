@@ -1,0 +1,106 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// Sharded partitions the relational store into per-host shards. Each
+// shard is a fully bootstrapped DB with its own table locks, so ingest
+// batches for different hosts take disjoint write locks and load
+// concurrently, and hunts fan their per-pattern data queries out across
+// shards.
+//
+// Placement: event rows live in exactly one shard — the shard of the
+// event's host (audit.ShardIndex; hostless events land in shard 0, the
+// default shard) — while entity rows are broadcast to every shard. The
+// broadcast keeps each shard self-contained for the executor's
+// event⋈entity join (every event's subject and object rows are present
+// locally) and makes shard 0's entity table the authoritative full
+// entity set. The per-shard union of a statement's results is therefore
+// exactly the single-store result: audit semantics pin an event's
+// endpoints to the event's own host, so no event or join edge ever
+// spans shards.
+type Sharded struct {
+	shards []*DB
+}
+
+// NewSharded creates n bootstrapped shards (n < 1 is treated as 1).
+func NewSharded(n int) (*Sharded, error) {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*DB, n)}
+	for i := range s.shards {
+		db := NewDB()
+		if err := Bootstrap(db); err != nil {
+			return nil, err
+		}
+		s.shards[i] = db
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th shard's database.
+func (s *Sharded) Shard(i int) *DB { return s.shards[i] }
+
+// ShardFor returns the shard index that stores events of the given host.
+func (s *Sharded) ShardFor(host string) int {
+	return audit.ShardIndex(host, len(s.shards))
+}
+
+// LoadEntities broadcasts entity rows to every shard. Callers that
+// also load events must complete the broadcast first (and, across
+// concurrent batches, serialize broadcasts against each other) so no
+// shard ever holds an event whose endpoint rows are missing.
+func (s *Sharded) LoadEntities(entities []*audit.Entity) error {
+	if len(entities) == 0 {
+		return nil
+	}
+	for _, db := range s.shards {
+		if err := Load(db, entities, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEvents routes each event to its host's shard and loads the
+// per-shard batches (audit.LoadSharded), concurrently when a batch
+// spans multiple shards. Batches for different hosts touch disjoint
+// event tables, so concurrent LoadEvents calls proceed in parallel.
+func (s *Sharded) LoadEvents(events []*audit.Event) error {
+	return audit.LoadSharded(events, len(s.shards), func(shard int, batch []*audit.Event) error {
+		if err := Load(s.shards[shard], nil, batch); err != nil {
+			return fmt.Errorf("relstore: shard %d: %w", shard, err)
+		}
+		return nil
+	})
+}
+
+// Load broadcasts the entities and routes the events.
+func (s *Sharded) Load(entities []*audit.Entity, events []*audit.Event) error {
+	if err := s.LoadEntities(entities); err != nil {
+		return err
+	}
+	return s.LoadEvents(events)
+}
+
+// NumEntities reports the entity count (every shard holds the full
+// broadcast set; shard 0 is read as the authority).
+func (s *Sharded) NumEntities() int {
+	return s.shards[0].Table(EntityTable).NumRows()
+}
+
+// EventRows reports each shard's event-table row count, in shard order.
+func (s *Sharded) EventRows() []int {
+	out := make([]int, len(s.shards))
+	for i, db := range s.shards {
+		out[i] = db.Table(EventTable).NumRows()
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// shardFixture builds hosts×perHost events over hosts entities (one
+// process per host, one file per host; each event is a same-host read).
+func shardFixture(hosts, perHost int) ([]*audit.Entity, []*audit.Event) {
+	var entities []*audit.Entity
+	var events []*audit.Event
+	id := int64(1)
+	for h := 0; h < hosts; h++ {
+		host := fmt.Sprintf("host%d", h)
+		proc := &audit.Entity{ID: id, Type: audit.EntityProcess, Host: host,
+			ExeName: "/bin/worker", PID: 100 + h}
+		id++
+		file := &audit.Entity{ID: id, Type: audit.EntityFile, Host: host,
+			Path: "/etc/passwd"}
+		id++
+		entities = append(entities, proc, file)
+		for i := 0; i < perHost; i++ {
+			events = append(events, &audit.Event{ID: id, SrcID: proc.ID, DstID: file.ID,
+				Op: audit.OpRead, StartTime: int64(i), EndTime: int64(i) + 1,
+				Amount: 1, Host: host})
+			id++
+		}
+	}
+	return entities, events
+}
+
+// TestShardedRouting: entities are broadcast to every shard, events
+// land in exactly one shard (their host's), and hostless events land in
+// shard 0.
+func TestShardedRouting(t *testing.T) {
+	const shards, hosts, perHost = 4, 8, 16
+	s, err := NewSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities, events := shardFixture(hosts, perHost)
+	if err := s.Load(entities, events); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.NumEntities(); got != len(entities) {
+		t.Errorf("NumEntities = %d, want %d", got, len(entities))
+	}
+	for i := 0; i < shards; i++ {
+		if got := s.Shard(i).Table(EntityTable).NumRows(); got != len(entities) {
+			t.Errorf("shard %d entities = %d, want broadcast %d", i, got, len(entities))
+		}
+	}
+
+	want := make([]int, shards)
+	for _, ev := range events {
+		want[s.ShardFor(ev.Host)]++
+	}
+	total := 0
+	for i, got := range s.EventRows() {
+		if got != want[i] {
+			t.Errorf("shard %d events = %d, want %d", i, got, want[i])
+		}
+		total += got
+	}
+	if total != len(events) {
+		t.Errorf("events across shards = %d, want %d", total, len(events))
+	}
+
+	// The default shard takes hostless data.
+	if got := s.ShardFor(""); got != 0 {
+		t.Errorf("ShardFor(\"\") = %d, want 0", got)
+	}
+	// Routing is consistent with the shared router.
+	for h := 0; h < hosts; h++ {
+		host := fmt.Sprintf("host%d", h)
+		if s.ShardFor(host) != audit.ShardIndex(host, shards) {
+			t.Errorf("ShardFor(%q) disagrees with audit.ShardIndex", host)
+		}
+	}
+}
+
+// TestShardedQueryUnion: a per-shard statement union must equal the
+// single-shard result.
+func TestShardedQueryUnion(t *testing.T) {
+	entities, events := shardFixture(5, 7)
+	one, err := NewSharded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewSharded(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Sharded{one, many} {
+		if err := s.Load(entities, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = "SELECT e.id FROM events e JOIN entities s ON e.srcid = s.id WHERE s.type = 'process'"
+	count := func(s *Sharded) map[int64]bool {
+		ids := map[int64]bool{}
+		for i := 0; i < s.NumShards(); i++ {
+			rows, err := s.Shard(i).Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows.Data {
+				if ids[r[0].Int] {
+					t.Fatalf("event %d appears in more than one shard", r[0].Int)
+				}
+				ids[r[0].Int] = true
+			}
+		}
+		return ids
+	}
+	a, b := count(one), count(many)
+	if len(a) != len(b) || len(a) != len(events) {
+		t.Fatalf("1-shard found %d events, 3-shard %d, want %d", len(a), len(b), len(events))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Errorf("event %d missing from the 3-shard union", id)
+		}
+	}
+}
+
+// TestShardedParallelLoad: concurrent per-host batches must load
+// cleanly under the race detector and account for every event.
+func TestShardedParallelLoad(t *testing.T) {
+	const shards, hosts, perHost, batches = 8, 8, 50, 4
+	s, err := NewSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities, events := shardFixture(hosts, perHost*batches)
+	if err := s.LoadEntities(entities); err != nil {
+		t.Fatal(err)
+	}
+	// One goroutine per (host, batch): disjoint hosts take disjoint
+	// event-table locks.
+	perHostEvents := make(map[string][]*audit.Event)
+	for _, ev := range events {
+		perHostEvents[ev.Host] = append(perHostEvents[ev.Host], ev)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, hosts*batches)
+	for _, evs := range perHostEvents {
+		for b := 0; b < batches; b++ {
+			chunk := evs[b*perHost : (b+1)*perHost]
+			wg.Add(1)
+			go func(chunk []*audit.Event) {
+				defer wg.Done()
+				errs <- s.LoadEvents(chunk)
+			}(chunk)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, n := range s.EventRows() {
+		total += n
+	}
+	if total != len(events) {
+		t.Errorf("stored %d events, want %d", total, len(events))
+	}
+}

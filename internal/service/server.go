@@ -175,6 +175,10 @@ type HuntStats struct {
 	PropagationsSkipped int  `json:"propagations_skipped"`
 	ShortCircuit        bool `json:"short_circuit"`
 	JoinCandidates      int  `json:"join_candidates"`
+	// ShardFetches counts per-shard data-query executions; a pattern
+	// filtering host = '...' is pruned to one shard instead of fanning
+	// out across all of them.
+	ShardFetches int `json:"shard_fetches"`
 }
 
 // HuntResponse is one page of hunt results. NextOffset is present only
@@ -269,6 +273,7 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 			PropagationsSkipped: st.PropagationsSkipped,
 			ShortCircuit:        st.ShortCircuit,
 			JoinCandidates:      st.JoinCandidates,
+			ShardFetches:        st.ShardFetches,
 		},
 	}
 	if cur.Next() { // one row beyond the page: more remain
@@ -296,6 +301,10 @@ type ExplainedPattern struct {
 	Score      int      `json:"score"`
 	DataQuery  string   `json:"data_query"`
 	Propagated []string `json:"propagated,omitempty"`
+	// Hosts lists the host constants the pattern is pinned to (absent
+	// when unconstrained); on a sharded store the pattern's data query
+	// only visits those hosts' shards.
+	Hosts []string `json:"hosts,omitempty"`
 }
 
 // handleExplain compiles and scores a TBQL query without executing it:
@@ -334,7 +343,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for i, p := range patterns {
 		out[i] = ExplainedPattern{
 			Name: p.Name, Backend: p.Backend, Score: p.Score,
-			DataQuery: p.DataQuery, Propagated: p.Propagated,
+			DataQuery: p.DataQuery, Propagated: p.Propagated, Hosts: p.Hosts,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})

@@ -2,6 +2,7 @@ package tbql
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"repro/internal/audit"
@@ -36,6 +37,17 @@ type Analysis struct {
 	// EventSlot assigns each event pattern name its pattern index, the
 	// dense slot for event bindings (one per pattern, textual order).
 	EventSlot map[string]int
+	// PatternHosts lists, per pattern (textual order), the host values
+	// the pattern's rows can carry, derived from `host = '...'` equality
+	// constants in its entities' filters (all occurrences of a variable
+	// combine conjunctively, so a host filter in one pattern constrains
+	// every pattern sharing the variable). nil means unconstrained; a
+	// non-nil empty slice means the constraints are contradictory and
+	// the pattern cannot match. Host-sharded executors use this to prune
+	// the shards a pattern's data query must visit — sound because an
+	// event's subject and object entities always carry the event's own
+	// host (audit semantics).
+	PatternHosts [][]string
 }
 
 // NumEntitySlots returns how many entity slots Analyze assigned.
@@ -167,8 +179,123 @@ func Analyze(q *Query) error {
 		}
 	}
 
+	// Host constants: intersect the host sets required by each entity's
+	// filters, then each pattern's hosts are the intersection of its
+	// subject's and object's (an event's endpoints share the event's
+	// host, so the pattern's rows are confined to both).
+	entityHosts := make(map[string][]string, len(a.Entities))
+	for id, info := range a.Entities {
+		var hosts []string
+		constrained := false
+		for _, f := range info.Filters {
+			hs, ok := hostConstants(f)
+			if !ok {
+				continue
+			}
+			if constrained {
+				hosts = intersectHosts(hosts, hs)
+			} else {
+				hosts, constrained = hs, true
+			}
+		}
+		if constrained {
+			if hosts == nil {
+				hosts = []string{}
+			}
+			sort.Strings(hosts)
+			entityHosts[id] = hosts
+		}
+	}
+	a.PatternHosts = make([][]string, len(q.Patterns))
+	for i := range q.Patterns {
+		subj, sok := entityHosts[q.Patterns[i].Subj.ID]
+		obj, ook := entityHosts[q.Patterns[i].Obj.ID]
+		switch {
+		case sok && ook:
+			hs := intersectHosts(subj, obj)
+			if hs == nil {
+				hs = []string{}
+			}
+			a.PatternHosts[i] = hs
+		case sok:
+			a.PatternHosts[i] = subj
+		case ook:
+			a.PatternHosts[i] = obj
+		}
+	}
+
 	q.analysis = a
 	return nil
+}
+
+// hostConstants returns the host values a filter expression requires:
+// ok reports whether the expression constrains the host at all. The
+// analysis is conservative — only `host = '...'` leaves combined by
+// AND/OR on known shapes constrain; anything else (negation, like,
+// inequality) reports unconstrained.
+func hostConstants(e Expr) (hosts []string, ok bool) {
+	switch x := e.(type) {
+	case CmpExpr:
+		if x.Attr == "host" && x.Op == "=" && !x.IsNum {
+			return []string{x.Str}, true
+		}
+		return nil, false
+	case AndExpr:
+		l, lok := hostConstants(x.L)
+		r, rok := hostConstants(x.R)
+		switch {
+		case lok && rok:
+			hs := intersectHosts(l, r)
+			if hs == nil {
+				hs = []string{}
+			}
+			return hs, true
+		case lok:
+			return l, true
+		case rok:
+			return r, true
+		}
+		return nil, false
+	case OrExpr:
+		l, lok := hostConstants(x.L)
+		r, rok := hostConstants(x.R)
+		if lok && rok {
+			return unionHosts(l, r), true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+func intersectHosts(a, b []string) []string {
+	var out []string
+	for _, h := range a {
+		for _, g := range b {
+			if h == g {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func unionHosts(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, g := range b {
+		found := false
+		for _, h := range out {
+			if h == g {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // entForAudit maps an audit entity type to the TBQL keyword.

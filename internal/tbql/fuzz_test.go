@@ -2,15 +2,26 @@ package tbql
 
 import "testing"
 
-// FuzzParse: the TBQL parser and analyzer must never panic, and every
-// accepted query must render to text that re-parses.
-func FuzzParse(f *testing.F) {
+// FuzzParseQuery: the TBQL parser and analyzer must never panic, and
+// every accepted query must render to text that re-parses and
+// re-analyzes to the same verdict. Seeds mirror the hand-written
+// queries in examples/ (quickstart's exfiltration hunt, pathhunt's
+// variable-length pattern, dataleakage's Fig. 2 chain) plus host
+// filters and malformed fragments.
+func FuzzParseQuery(f *testing.F) {
 	seeds := []string{
 		Fig2Query,
+		// examples/quickstart: read-then-connect exfiltration.
+		"proc p read file f[\"%/etc/passwd%\"] as evt1\nproc p connect ip i as evt2\nwith evt1 before evt2\nreturn distinct p, f, i",
+		// examples/pathhunt: variable-length reach query.
+		"proc web[\"%/usr/sbin/apache2%\"] ~>(1~4)[read] file cred[\"%/etc/passwd%\"] as reach\nreturn distinct web, cred",
 		"proc p read file f as e1\nreturn p",
 		"proc p ~>(2~4)[read || write] file f as e1\nwith e1.amount > 5\nreturn distinct p, f",
 		"proc p[exename like \"%x%\" && pid > 1] !read file f[host = \"h\"] as e1 from 1 to 9\nreturn p.pid",
 		"proc p read file f as e1\nproc p write file g as e2\nwith e1 before e2, e1.srcid = e2.srcid\nreturn p, f, g",
+		// Host constants and disjunctions drive the shard-pruning analysis.
+		"proc p[host = \"host1\" || host = \"host2\"] read file f as e1\nreturn p",
+		"proc p[host = \"a\"] read file f[host = \"b\"] as e1\nreturn p, f",
 		"return p",
 		"proc p read file",
 		"proc p[\"unterminated] read file f\nreturn p",
@@ -23,9 +34,17 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			return
 		}
+		// Analysis must not panic on anything the parser accepts.
+		analyzeErr := Analyze(q)
 		out := q.String()
-		if _, err := Parse(out); err != nil {
+		q2, err := Parse(out)
+		if err != nil {
 			t.Fatalf("accepted query renders unparseable text: %v\ninput: %q\nrendered: %q", err, src, out)
+		}
+		if analyzeErr == nil {
+			if err := Analyze(q2); err != nil {
+				t.Fatalf("rendered text fails analysis that the original passed: %v\ninput: %q\nrendered: %q", err, src, out)
+			}
 		}
 	})
 }

@@ -1,0 +1,101 @@
+package tbql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPatternHosts: the analyzer must derive each pattern's required
+// host set from `host = '...'` constants, conservatively.
+func TestPatternHosts(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want [][]string // per pattern; nil = unconstrained
+	}{
+		{
+			"unfiltered",
+			"proc p read file f as e1\nreturn p",
+			[][]string{nil},
+		},
+		{
+			"subject host",
+			`proc p[host = "h1"] read file f as e1` + "\nreturn p",
+			[][]string{{"h1"}},
+		},
+		{
+			"object host",
+			`proc p read file f[host = "h2"] as e1` + "\nreturn p",
+			[][]string{{"h2"}},
+		},
+		{
+			"host AND other filter",
+			`proc p[host = "h1" && "%tar%"] read file f as e1` + "\nreturn p",
+			[][]string{{"h1"}},
+		},
+		{
+			"host OR host",
+			`proc p[host = "h1" || host = "h2"] read file f as e1` + "\nreturn p",
+			[][]string{{"h1", "h2"}},
+		},
+		{
+			"OR with unconstrained side",
+			`proc p[host = "h1" || pid > 3] read file f as e1` + "\nreturn p",
+			[][]string{nil},
+		},
+		{
+			"negation is conservative",
+			`proc p[!(host = "h1")] read file f as e1` + "\nreturn p",
+			[][]string{nil},
+		},
+		{
+			"contradictory subject and object",
+			`proc p[host = "h1"] read file f[host = "h2"] as e1` + "\nreturn p",
+			[][]string{{}},
+		},
+		{
+			"shared variable carries the constraint to every pattern",
+			`proc p[host = "h1"] read file f as e1` + "\n" +
+				`proc p write file g as e2` + "\nreturn p",
+			[][]string{{"h1"}, {"h1"}},
+		},
+		{
+			"like on host is conservative",
+			`proc p[host like "h%"] read file f as e1` + "\nreturn p",
+			[][]string{nil},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Analyze(q); err != nil {
+				t.Fatal(err)
+			}
+			got := q.Info().PatternHosts
+			if len(got) != len(tc.want) {
+				t.Fatalf("PatternHosts = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if tc.want[i] == nil {
+					if got[i] != nil {
+						t.Errorf("pattern %d hosts = %v, want unconstrained", i, got[i])
+					}
+					continue
+				}
+				if got[i] == nil {
+					t.Errorf("pattern %d unconstrained, want %v", i, tc.want[i])
+					continue
+				}
+				if len(got[i]) == 0 && len(tc.want[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got[i], tc.want[i]) {
+					t.Errorf("pattern %d hosts = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}

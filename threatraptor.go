@@ -99,6 +99,13 @@ type Options struct {
 	// (default 512); oversized candidate sets are dropped and counted
 	// in HuntResult.Stats.PropagationsSkipped.
 	MaxPropagatedIDs int
+	// Shards partitions both storage backends into per-host shards
+	// (default 1, the unsharded store). Events live in the shard of
+	// their host, entities are broadcast to every shard, so ingest
+	// batches for different hosts load in parallel on disjoint write
+	// locks and hunts fan their data queries out across shards — pruned
+	// to a single shard when a pattern filters host = '...'.
+	Shards int
 }
 
 // ErrStorage marks ingestion failures in the storage phase, as opposed
@@ -116,36 +123,55 @@ type IngestStats struct {
 }
 
 // System is a ThreatRaptor deployment: parsers, reduction, both storage
-// backends, and the query execution engine.
+// backends (host-sharded; 1 shard by default), and the query execution
+// engine.
 //
 // A System is safe for concurrent use: any number of goroutines may
 // Hunt, Explain, Investigate, and inspect counters while others ingest.
-// Ingestion batches are serialized with respect to each other so the
-// high-water-mark bookkeeping in flush stays consistent. A hunt pins a
-// read snapshot of the stores it touches for its whole execution (for
-// cursor hunts, until the cursor is closed or exhausted), so ingestion
-// queues behind in-flight hunts and open cursors.
+// Record interning and the entity broadcast are serialized so the
+// high-water-mark bookkeeping stays consistent, but the bulk of a
+// batch — loading its events into the stores — runs outside that lock:
+// batches for different hosts land on disjoint shards and load in
+// parallel. A hunt pins a read snapshot of every shard it touches for
+// its whole execution (for cursor hunts, until the cursor is closed or
+// exhausted), so event ingestion into those shards queues behind
+// in-flight hunts and open cursors while other shards keep ingesting.
+// Caveat: every cursor pins shard 0's entity table (the broadcast
+// entity set projection reads), and the entity broadcast runs inside
+// the serialized ingest phase — so a batch that interns new entities
+// waits for every open cursor, and later batches wait behind it.
+// Event-only batches (all entities already known) are the ones that
+// flow past open cursors on other shards; epoch/copy-on-write entity
+// storage would lift the rest (see ROADMAP).
 type System struct {
 	opts   Options
 	parser *audit.Parser
-	rel    *relstore.DB
-	graph  *graphstore.Graph
+	rel    *relstore.Sharded
+	graph  *graphstore.Sharded
 	engine *exec.Engine
 
-	// ingestMu serializes ingestion batches (IngestLogs, IngestRecords);
-	// queries run concurrently under the stores' own read locks.
+	// ingestMu serializes record interning and the entity broadcast
+	// (IngestLogs, IngestRecords); per-shard event loads run outside it,
+	// and queries run concurrently under the stores' own read locks.
 	ingestMu sync.Mutex
 	stored   atomic.Int64 // events already flushed to the stores
+
+	// shardIngests counts, per shard, the ingest batches that stored
+	// events there (GET /stats surfaces it next to per-shard row counts).
+	shardIngests []atomic.Int64
 }
 
 // New creates an empty System.
 func New(opts Options) (*System, error) {
-	rel := relstore.NewDB()
-	if err := relstore.Bootstrap(rel); err != nil {
+	nShards := opts.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	rel, err := relstore.NewSharded(nShards)
+	if err != nil {
 		return nil, fmt.Errorf("threatraptor: %w", err)
 	}
-	g := graphstore.NewGraph()
-	graphstore.Bootstrap(g)
+	g := graphstore.NewSharded(nShards)
 	p := audit.NewParser()
 	p.Lenient = opts.LenientParsing
 	return &System{
@@ -161,8 +187,12 @@ func New(opts Options) (*System, error) {
 			UseNaiveJoin:       opts.UseNaiveJoin,
 			MaxPropagatedIDs:   opts.MaxPropagatedIDs,
 		},
+		shardIngests: make([]atomic.Int64, nShards),
 	}, nil
 }
+
+// NumShards reports how many per-host shards each storage backend has.
+func (s *System) NumShards() int { return s.rel.NumShards() }
 
 // IngestLogs parses Sysdig-style audit log lines from r and stores the
 // resulting entities and events in both backends. The batch is atomic
@@ -174,9 +204,7 @@ func (s *System) IngestLogs(r io.Reader) (IngestStats, error) {
 	if err != nil {
 		return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
 	}
-	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
-	return s.ingestLocked(recs, len(parseErrs))
+	return s.ingest(recs, len(parseErrs))
 }
 
 // IngestRecords stores already-parsed audit records. Like IngestLogs,
@@ -201,34 +229,44 @@ func (s *System) IngestRecords(recs []Record) (IngestStats, error) {
 			}
 		}
 	}
-	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
-	return s.ingestLocked(valid, recErrs)
+	return s.ingest(valid, recErrs)
 }
 
-// ingestLocked adds pre-validated records to the parser and flushes
-// them to both stores. The caller holds ingestMu.
-func (s *System) ingestLocked(recs []Record, parseErrs int) (IngestStats, error) {
+// ingest interns pre-validated records and flushes them to both stores.
+// The serialized phase — interning plus the entity broadcast — runs
+// under ingestMu so the high-water-mark bookkeeping stays consistent
+// and every shard holds an event's endpoint rows before the event can
+// load anywhere. The event loads themselves run outside the lock:
+// batches for different hosts land on disjoint shards and proceed in
+// parallel. parseErrs is this batch's parse-error count, not the
+// lifetime total.
+func (s *System) ingest(recs []Record, parseErrs int) (IngestStats, error) {
+	s.ingestMu.Lock()
 	mark := len(s.parser.Events())
 	for _, r := range recs {
 		if _, err := s.parser.Add(r); err != nil {
+			s.ingestMu.Unlock()
 			return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
 		}
 	}
-	return s.flush(mark, parseErrs)
-}
-
-// flush stores events parsed since mark, applying CPR when configured.
-// Entities are stored incrementally; the parser deduplicates them, so new
-// entities are exactly those beyond the stored high-water mark.
-// parseErrs is this batch's parse-error count, not the lifetime total.
-func (s *System) flush(mark, parseErrs int) (IngestStats, error) {
 	newEvents := s.parser.Events()[mark:]
 	stats := IngestStats{EventsIn: len(newEvents), ParseErrors: parseErrs}
 
-	entities := s.parser.Entities()
-	newEntities := entities[s.countStoredEntities():]
+	// Entities are stored incrementally; the parser deduplicates them,
+	// so new entities are exactly those beyond the stored high-water
+	// mark, and the broadcast commits them to every shard before this
+	// batch (or any later one referencing them) loads events.
+	newEntities := s.parser.Entities()[s.countStoredEntities():]
 	stats.Entities = len(newEntities)
+	if err := s.rel.LoadEntities(newEntities); err != nil {
+		s.ingestMu.Unlock()
+		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	}
+	if err := s.graph.LoadNodes(newEntities); err != nil {
+		s.ingestMu.Unlock()
+		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	}
+	s.ingestMu.Unlock()
 
 	toStore := newEvents
 	stats.CPRReduction = 1
@@ -239,18 +277,37 @@ func (s *System) flush(mark, parseErrs int) (IngestStats, error) {
 	}
 	stats.EventsStored = len(toStore)
 
-	if err := relstore.Load(s.rel, newEntities, toStore); err != nil {
+	if err := s.rel.LoadEvents(toStore); err != nil {
 		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
-	if err := graphstore.Load(s.graph, newEntities, toStore); err != nil {
+	if err := s.graph.LoadEdges(toStore); err != nil {
 		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
 	s.stored.Add(int64(len(toStore)))
+	for _, si := range touchedShards(toStore, s.rel.NumShards()) {
+		s.shardIngests[si].Add(1)
+	}
 	return stats, nil
 }
 
+// touchedShards lists the distinct shard indexes a batch's events route
+// to, in shard order.
+func touchedShards(events []*audit.Event, n int) []int {
+	hit := make([]bool, n)
+	for _, ev := range events {
+		hit[audit.ShardIndex(ev.Host, n)] = true
+	}
+	var out []int
+	for i, h := range hit {
+		if h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 func (s *System) countStoredEntities() int {
-	return s.rel.Table(relstore.EntityTable).NumRows()
+	return s.rel.NumEntities()
 }
 
 // ExtractBehavior runs the threat behavior extraction pipeline
@@ -325,24 +382,53 @@ func (s *System) NumEvents() int { return int(s.stored.Load()) }
 // NumEntities reports how many entities are stored.
 func (s *System) NumEntities() int { return s.countStoredEntities() }
 
+// ShardStats summarises one per-host store shard. Entities are not
+// listed per shard: they are broadcast, so every shard holds the full
+// entity set.
+type ShardStats struct {
+	// Events is the shard's event-table row count.
+	Events int `json:"events"`
+	// GraphEdges is the shard's event-edge count.
+	GraphEdges int `json:"graph_edges"`
+	// Ingests counts the ingest batches that stored events in this shard.
+	Ingests int64 `json:"ingests"`
+}
+
 // StoreStats summarises the sizes of both storage backends.
 type StoreStats struct {
 	Events     int `json:"events"`
 	Entities   int `json:"entities"`
 	GraphNodes int `json:"graph_nodes"`
 	GraphEdges int `json:"graph_edges"`
+	// Shards lists per-shard event-row and ingest counts, in shard
+	// order (a single entry for an unsharded System).
+	Shards []ShardStats `json:"shards"`
 }
 
 // Stats reports current store sizes. Safe to call while ingesting and
 // hunting; the counts are per-store snapshots, not a cross-store
 // transaction.
 func (s *System) Stats() StoreStats {
-	return StoreStats{
+	st := StoreStats{
 		Events:     s.NumEvents(),
 		Entities:   s.NumEntities(),
 		GraphNodes: s.graph.NumNodes(),
-		GraphEdges: s.graph.NumEdges(),
 	}
+	eventRows := s.rel.EventRows()
+	edgeCounts := s.graph.EdgeCounts()
+	st.Shards = make([]ShardStats, len(eventRows))
+	for i := range st.Shards {
+		st.Shards[i] = ShardStats{
+			Events:     eventRows[i],
+			GraphEdges: edgeCounts[i],
+			Ingests:    s.shardIngests[i].Load(),
+		}
+		// Total the per-shard counts rather than re-walking the shards,
+		// so the totals always agree with the breakdown even while
+		// ingest is running.
+		st.GraphEdges += edgeCounts[i]
+	}
+	return st
 }
 
 // FindEntities returns the entities whose named attribute equals value

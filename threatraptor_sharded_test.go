@@ -1,0 +1,176 @@
+package threatraptor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// hostBatch builds one ingest batch for a host: `events` reads of
+// per-host files by a per-host worker process, then one write marking
+// the batch (so multi-pattern hunts have a temporal join to do).
+func hostBatch(host string, batch, events int) []Record {
+	recs := make([]Record, 0, events+1)
+	base := int64(batch * 1_000_000)
+	for i := 0; i < events; i++ {
+		recs = append(recs, Record{
+			StartNS: base + int64(i)*10, EndNS: base + int64(i)*10 + 1,
+			Host: host, PID: 100, Exe: "/bin/worker",
+			Op: audit.OpRead, ObjType: audit.EntityFile,
+			ObjSpec: fmt.Sprintf("/data/%s-%d", host, i%8), Amount: 64,
+		})
+	}
+	recs = append(recs, Record{
+		StartNS: base + int64(events)*10, EndNS: base + int64(events)*10 + 1,
+		Host: host, PID: 100, Exe: "/bin/worker",
+		Op: audit.OpWrite, ObjType: audit.EntityFile,
+		ObjSpec: fmt.Sprintf("/out/%s", host), Amount: 64,
+	})
+	return recs
+}
+
+// TestShardedConcurrentIngestAndHunts is the sharded System's race
+// suite: per-host ingest batches run concurrently (landing on distinct
+// shards), interleaved with cross-shard hunts, host-pruned hunts, path
+// hunts, and stats polls. Run under -race in CI. Afterwards every
+// event must be accounted for, exactly once, in exactly one shard.
+func TestShardedConcurrentIngestAndHunts(t *testing.T) {
+	const (
+		shards   = 4
+		hosts    = 6
+		batches  = 5
+		perBatch = 100
+	)
+	sys, err := New(Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.NumShards(); got != shards {
+		t.Fatalf("NumShards = %d, want %d", got, shards)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, hosts*batches+3*batches)
+
+	// One ingester per host; different hosts' batches land on disjoint
+	// shard write locks and load in parallel.
+	for h := 0; h < hosts; h++ {
+		host := fmt.Sprintf("host%d", h)
+		wg.Add(1)
+		go func(host string) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if _, err := sys.IngestRecords(hostBatch(host, b, perBatch)); err != nil {
+					errs <- fmt.Errorf("ingest %s batch %d: %w", host, b, err)
+					return
+				}
+			}
+		}(host)
+	}
+
+	// Hunters: cross-shard, host-pruned, and path hunts interleaved with
+	// the ingest storm. Row counts vary with ingest progress; what must
+	// hold is that every hunt executes cleanly.
+	hunts := []string{
+		"proc p read file f as e1\nreturn distinct p, f",
+		`proc p[host = "host1"] read file f as e1` + "\nreturn distinct f",
+		"proc p ~>(1~2)[read] file f as e1\nreturn distinct p, f",
+		`proc p read file f as e1` + "\n" + `proc p write file g as e2` + "\nwith e1 before e2\nreturn distinct f, g",
+	}
+	for _, src := range hunts {
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				if _, err := sys.Hunt(src); err != nil {
+					errs <- fmt.Errorf("hunt %q: %w", src, err)
+					return
+				}
+				sys.Stats() // stats poll between hunts
+			}
+		}(src)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Accounting: every event stored exactly once, in its host's shard.
+	wantTotal := hosts * batches * (perBatch + 1)
+	if got := sys.NumEvents(); got != wantTotal {
+		t.Errorf("NumEvents = %d, want %d", got, wantTotal)
+	}
+	st := sys.Stats()
+	if len(st.Shards) != shards {
+		t.Fatalf("stats report %d shards, want %d", len(st.Shards), shards)
+	}
+	perShard := make([]int, shards)
+	for h := 0; h < hosts; h++ {
+		perShard[audit.ShardIndex(fmt.Sprintf("host%d", h), shards)] += batches * (perBatch + 1)
+	}
+	for i, ss := range st.Shards {
+		if ss.Events != perShard[i] {
+			t.Errorf("shard %d events = %d, want %d", i, ss.Events, perShard[i])
+		}
+		if ss.GraphEdges != perShard[i] {
+			t.Errorf("shard %d graph edges = %d, want %d", i, ss.GraphEdges, perShard[i])
+		}
+		if perShard[i] > 0 && ss.Ingests == 0 {
+			t.Errorf("shard %d stored %d events but counts no ingests", i, perShard[i])
+		}
+	}
+
+	// A host-pruned hunt sees exactly that host's files.
+	res, err := sys.Hunt(`proc p[host = "host2"] read file f as e1` + "\nreturn distinct f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Errorf("host2 read 8 distinct files, hunt found %d: %v", len(res.Rows), res.Rows)
+	}
+	if res.Stats.ShardFetches != 1 {
+		t.Errorf("host-pruned hunt ran %d shard fetches, want 1", res.Stats.ShardFetches)
+	}
+}
+
+// TestShardedHuntEquivalenceFacade: the same multi-host data ingested
+// into a 1-shard and an 8-shard System must answer hunts identically.
+func TestShardedHuntEquivalenceFacade(t *testing.T) {
+	one, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := New(Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 5; h++ {
+		batch := hostBatch(fmt.Sprintf("host%d", h), 0, 40)
+		for _, sys := range []*System{one, many} {
+			if _, err := sys.IngestRecords(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, src := range []string{
+		"proc p read file f as e1\nreturn distinct p, f",
+		`proc p[host = "host3"] read file f as e1` + "\nreturn distinct f",
+		"proc p read file f as e1\nproc p write file g as e2\nwith e1 before e2\nreturn distinct f, g",
+		"proc p ~>(1~2)[read] file f as e1\nreturn distinct p, f",
+	} {
+		a, err := one.Hunt(src)
+		if err != nil {
+			t.Fatalf("1-shard %q: %v", src, err)
+		}
+		b, err := many.Hunt(src)
+		if err != nil {
+			t.Fatalf("8-shard %q: %v", src, err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Errorf("%q: 1-shard %d rows, 8-shard %d", src, len(a.Rows), len(b.Rows))
+		}
+	}
+}
