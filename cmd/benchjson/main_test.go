@@ -1,0 +1,79 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngestUnderOpenCursors/cursors-0         	       5	   9349731 ns/op	   0.21 MB/s
+BenchmarkHuntFirstPage-8   	    2066	    574129 ns/op	  171246 B/op	    2215 allocs/op
+--- BENCH: BenchmarkSomethingVerbose
+    bench_test.go:10: log line
+PASS
+ok  	repro	0.847s
+`
+
+func TestParse(t *testing.T) {
+	rs := parse(splitLines(sample))
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(rs), rs)
+	}
+
+	r0 := rs[0]
+	if r0.Name != "BenchmarkIngestUnderOpenCursors/cursors-0" || r0.Iterations != 5 {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	if r0.NsPerOp != 9349731 {
+		t.Errorf("result 0 ns/op = %v", r0.NsPerOp)
+	}
+	if r0.MBPerS == nil || *r0.MBPerS != 0.21 {
+		t.Errorf("result 0 MB/s = %v", r0.MBPerS)
+	}
+	if r0.BytesPerOp != nil || r0.AllocsPerOp != nil {
+		t.Errorf("result 0 has benchmem fields without -benchmem: %+v", r0)
+	}
+
+	r1 := rs[1]
+	if r1.Name != "BenchmarkHuntFirstPage-8" || r1.Iterations != 2066 || r1.NsPerOp != 574129 {
+		t.Errorf("result 1 = %+v", r1)
+	}
+	if r1.BytesPerOp == nil || *r1.BytesPerOp != 171246 {
+		t.Errorf("result 1 B/op = %v", r1.BytesPerOp)
+	}
+	if r1.AllocsPerOp == nil || *r1.AllocsPerOp != 2215 {
+		t.Errorf("result 1 allocs/op = %v", r1.AllocsPerOp)
+	}
+}
+
+func TestParseRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	repro	0.1s",
+		"Benchmark",                       // no fields
+		"BenchmarkX notanumber 5 ns/op",   // bad iterations
+		"BenchmarkX 5 notanumber ns/op",   // bad value
+		"BenchmarkX 5 123 widgets/op",     // no ns/op
+		"--- BENCH: BenchmarkSomething-8", // verbose marker
+	} {
+		if r, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

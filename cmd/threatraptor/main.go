@@ -78,6 +78,9 @@ func readFileFlag(path, what string) (string, error) {
 }
 
 func newLoadedSystem(logPath string, cpr bool, shards int) (*threatraptor.System, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1 (got %d); use 1 for an unsharded store", shards)
+	}
 	sys, err := threatraptor.New(threatraptor.Options{CPR: cpr, Shards: shards})
 	if err != nil {
 		return nil, err

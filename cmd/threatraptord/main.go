@@ -3,10 +3,13 @@
 //
 // Endpoints (see cmd/threatraptord/README.md for examples):
 //
-//	POST /ingest   stream Sysdig-style audit log lines into the stores
-//	POST /hunt     execute TBQL source, paged through the result cursor
-//	GET  /explain  compile and score a TBQL query without executing it
-//	GET  /stats    store sizes and request counters
+//	POST   /ingest       stream Sysdig-style audit log lines into the stores
+//	POST   /hunt         execute TBQL source; returns the first page and,
+//	                     when more rows remain, a server-side cursor id
+//	GET    /hunt/next    page a registered cursor's pinned epoch snapshot
+//	DELETE /hunt/cursor  close a registered cursor explicitly
+//	GET    /explain      compile and score a TBQL query without executing it
+//	GET    /stats        store sizes, cursor registry, request counters
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -29,15 +32,37 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8181", "listen address")
-		cpr       = flag.Bool("cpr", false, "apply Causality Preserved Reduction on ingest")
-		lenient   = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
-		maxHops   = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
-		maxProp   = flag.Int("max-propagated-ids", 0, "cap on propagated IN-list size (0 = default 512); drops count as propagations_skipped in /stats")
-		shards    = flag.Int("shards", 1, "per-host store shards: ingest for different hosts loads in parallel and hunts fan out across shards (1 = unsharded)")
-		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		addr       = flag.String("addr", ":8181", "listen address")
+		cpr        = flag.Bool("cpr", false, "apply Causality Preserved Reduction on ingest")
+		lenient    = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
+		maxHops    = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
+		maxProp    = flag.Int("max-propagated-ids", 0, "cap on propagated IN-list size (0 = default 512); drops count as propagations_skipped in /stats")
+		shards     = flag.Int("shards", 1, "per-host store shards: ingest for different hosts loads in parallel and hunts fan out across shards (1 = unsharded)")
+		cursorTTL  = flag.Duration("cursor-ttl", service.DefaultCursorTTL, "idle lifetime of a server-side hunt cursor; expired cursors answer 410")
+		maxCursors = flag.Int("max-cursors", service.DefaultMaxCursors, "cap on open server-side cursors; beyond it the least-recently-used is evicted")
+		ingestQ    = flag.Int("ingest-queue", service.MaxConcurrentIngests, "concurrent /ingest batches buffered before shedding 429 + Retry-After")
+		drainWait  = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
+
+	// Validate up front with actionable messages instead of panicking or
+	// silently misbehaving deep in the stack.
+	switch {
+	case *shards < 1:
+		log.Fatalf("threatraptord: -shards must be >= 1 (got %d); use 1 for an unsharded store", *shards)
+	case *cursorTTL <= 0:
+		log.Fatalf("threatraptord: -cursor-ttl must be positive (got %s); cursors need a finite idle lifetime", *cursorTTL)
+	case *maxCursors < 1:
+		log.Fatalf("threatraptord: -max-cursors must be >= 1 (got %d)", *maxCursors)
+	case *ingestQ < 1:
+		log.Fatalf("threatraptord: -ingest-queue must be >= 1 (got %d); at least one batch must be ingestible", *ingestQ)
+	case *drainWait <= 0:
+		log.Fatalf("threatraptord: -drain must be positive (got %s)", *drainWait)
+	case *maxHops < 0:
+		log.Fatalf("threatraptord: -max-path-hops must be >= 0 (got %d)", *maxHops)
+	case *maxProp < 0:
+		log.Fatalf("threatraptord: -max-propagated-ids must be >= 0 (got %d)", *maxProp)
+	}
 
 	sys, err := threatraptor.New(threatraptor.Options{
 		CPR:              *cpr,
@@ -51,8 +76,12 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.New(sys),
+		Addr: *addr,
+		Handler: service.NewWithConfig(sys, service.Config{
+			CursorTTL:   *cursorTTL,
+			MaxCursors:  *maxCursors,
+			IngestQueue: *ingestQ,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

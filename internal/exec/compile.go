@@ -10,12 +10,15 @@
 // # Execution model
 //
 // Both stores are host-sharded (1 shard = the unsharded case). A hunt
-// runs in two phases under one pinned read snapshot of the shards it
+// runs in two phases against one pinned epoch snapshot of the shards it
 // touches — the relational shards its SQL patterns can reach, shard
 // 0's entity table always (the broadcast entity set projection reads),
-// and the graph shards only for path patterns (taken at ExecuteCursor,
-// released on cursor Close/exhaustion). All touched shards lock and
-// release together, so a cross-shard hunt reads one consistent cut.
+// and the graph shards only for path patterns. The snapshot is a set of
+// append watermarks captured at ExecuteCursor, not held locks: all
+// touched shards' watermarks are captured together so a cross-shard
+// hunt reads one consistent cut, rows committed afterwards are
+// invisible to the cursor, and writers never queue behind it — however
+// long the cursor stays open.
 //
 // Fetch. Data queries run in scheduled order with constraint
 // propagation; patterns not chained by a shared entity variable are

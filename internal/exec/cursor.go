@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/snapshot"
 	"repro/internal/tbql"
 )
 
@@ -15,21 +16,19 @@ import (
 // computes row N+1 without computing row N+2 and a page-sized read of a
 // huge hunt does page-sized join work.
 //
-// An open cursor pins a read snapshot of every store shard its query
-// touches (the relational shards its patterns can reach — pruned by
-// host constraints — plus shard 0's entity table, and the touched
-// graph shards only when the query has a path pattern), taken when it
-// was created, so every page observes one consistent ingest frontier
-// even when the hunt spans shards. Writers to those shards queue
-// behind the snapshot; event loads for other shards keep flowing. The
-// one cross-shard coupling is the entity broadcast: shard 0's entity
-// table is always pinned (the projection attribute cache reads it), so
-// an ingest batch that interns NEW entities queues behind every open
-// cursor, and batches behind it in the ingest order wait too —
-// event-only batches for untouched shards are the ones that proceed
-// freely. Callers MUST Close a cursor they abandon mid-stream — Close
-// (or exhausting the rows, or an iteration error) releases the
-// per-shard read locks, and it is idempotent.
+// A cursor pins an epoch snapshot of every store shard its query
+// touches, captured when it was created: append watermarks over the
+// relational shards' tables (pruned by host constraints, plus shard 0's
+// entity table for the projection attribute cache) and epoch marks over
+// the touched graph shards. Both backends are append-only, so the
+// snapshot is bookkeeping, not held locks — rows, edges, and entities
+// committed after the capture are beyond the watermarks and invisible
+// to the cursor, while writers proceed at full speed no matter how long
+// the cursor stays open. Every page therefore observes the same ingest
+// frontier: the one the epoch named. Close releases the snapshot
+// references (and with them, eventually, the epoch registry entry a
+// server-side cursor pinned); it is idempotent, and exhausting the rows
+// or hitting an iteration error releases them too.
 //
 // A Cursor is not safe for concurrent use; each goroutine should run its
 // own hunt.
@@ -38,9 +37,12 @@ type Cursor struct {
 	en    *Engine
 	cols  []string
 	stats Stats
+	epoch snapshot.Epoch
 
-	// release drops the per-store read locks; nil once released.
-	release func()
+	// view is the pinned epoch snapshot; nil once released. Only the
+	// entity-table view is read after creation (the lazy attribute-cache
+	// snapshot on first Next); the fetched rows are already materialized.
+	view *storeView
 
 	// stream is the lazy hash-join iterator (default path).
 	stream *matchStream
@@ -66,10 +68,12 @@ type Cursor struct {
 }
 
 // ExecuteCursor runs an analyzed TBQL query and returns a cursor over
-// the projected rows. The data-query (fetch) phase runs eagerly — so
-// compile and backend errors surface here — but the join is lazy: match
-// generation happens inside Next. The cursor owns a read snapshot of
-// both stores until it is closed or exhausted.
+// the projected rows. The data-query (fetch) phase runs eagerly against
+// a freshly captured epoch snapshot — so compile and backend errors
+// surface here — but the join is lazy: match generation happens inside
+// Next. The cursor keeps the snapshot pinned until it is closed or
+// exhausted; because the snapshot is an append watermark, not a lock,
+// holding it open costs writers nothing.
 func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 	if q.Info() == nil {
 		if err := tbql.Analyze(q); err != nil {
@@ -91,11 +95,11 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 
 	// The shard plan prunes each pattern's fan-out to the shards its
 	// host constraints allow, and its unions are the shards this
-	// cursor's snapshot pins: all touched shards lock together and
-	// release together, so one hunt reads one consistent cut even when
+	// cursor's snapshot covers: all touched shards' watermarks are
+	// captured together, so one hunt reads one consistent cut even when
 	// it spans shards.
 	patShards, relShards, graphShards := en.shardPlan(q)
-	release, err := en.lockStores(relShards, graphShards)
+	sv, err := en.snapshotStores(relShards, graphShards)
 	if err != nil {
 		return nil, err
 	}
@@ -105,21 +109,22 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 		en:       en,
 		cols:     returnCols(q),
 		distinct: q.Distinct,
-		release:  release,
+		epoch:    sv.epoch,
+		view:     sv,
 	}
 	if c.distinct {
 		c.seen = make(map[string]bool)
 	}
 
-	rows, err := en.fetchPatterns(q, order, patShards, maxHops, maxProp, &c.stats)
+	rows, err := en.fetchPatterns(q, order, patShards, sv, maxHops, maxProp, &c.stats)
 	if err != nil {
-		c.releaseLocks()
+		c.view = nil
 		return nil, err
 	}
 	if c.stats.ShortCircuit {
 		// Some pattern matched nothing: the cursor is empty and needs no
-		// snapshot, so let writers through immediately.
-		c.releaseLocks()
+		// snapshot.
+		c.view = nil
 		return c, nil
 	}
 
@@ -153,6 +158,16 @@ func (en *Engine) ExecuteTBQLCursor(src string) (*Cursor, error) {
 // the first Next. The caller must not modify the returned slice.
 func (c *Cursor) Columns() []string { return c.cols }
 
+// Epoch returns the ingest epoch that was current when the cursor's
+// snapshot was captured (0 when the engine has no Clock). It is a
+// lower bound naming the snapshot for registry bookkeeping: the
+// snapshot is guaranteed to include everything epochs <= Epoch()
+// committed, and may additionally include rows of a commit that was
+// completing concurrently with the capture. The snapshot boundary
+// itself is the captured watermark vector — every page the cursor
+// produces reflects exactly that one immutable cut.
+func (c *Cursor) Epoch() snapshot.Epoch { return c.epoch }
+
 // Stats reports how the underlying query executed. JoinCandidates
 // reflects the join work done so far: it grows as a lazy cursor is
 // drained.
@@ -168,22 +183,19 @@ func (c *Cursor) syncStats() {
 	}
 }
 
-// releaseLocks drops the per-store read locks exactly once.
-func (c *Cursor) releaseLocks() {
-	if c.release != nil {
-		c.release()
-		c.release = nil
-	}
-}
-
 // ensureAttrs lazily snapshots the entity attribute cache on the first
-// projected row, under the cursor's held store snapshot so the
-// attributes and the fetched rows describe one consistent cut.
+// projected row, bounded at the cursor's pinned entity watermark so the
+// attributes and the fetched rows describe one consistent cut — even
+// when ingest has interned new entities since the cursor was created.
 func (c *Cursor) ensureAttrs() bool {
 	if c.attrs != nil {
 		return true
 	}
-	attrs, err := c.en.entityAttrsLocked()
+	if c.view == nil {
+		c.err = fmt.Errorf("exec: cursor snapshot already released")
+		return false
+	}
+	attrs, err := c.en.entityAttrsAt(c.view.ent)
 	if err != nil {
 		c.err = err
 		return false
@@ -197,7 +209,7 @@ func (c *Cursor) ensureAttrs() bool {
 // depth-first join walk, doing only the work needed to surface one more
 // row. It returns false when the rows are exhausted, an error occurred
 // (see Err), or the cursor is closed; exhaustion and errors release the
-// store snapshot.
+// snapshot references.
 func (c *Cursor) Next() bool {
 	if c.closed || c.err != nil {
 		return false
@@ -249,11 +261,11 @@ func (c *Cursor) Next() bool {
 }
 
 // finish ends iteration: clears the current row, fixes the stats
-// snapshot, and releases the store locks.
+// snapshot, and drops the snapshot references.
 func (c *Cursor) finish() {
 	c.row = nil
 	c.syncStats()
-	c.releaseLocks()
+	c.view = nil
 }
 
 // Row returns the current projected row, or nil before the first Next,
@@ -314,10 +326,11 @@ func (c *Cursor) Scan(dest ...any) error {
 func (c *Cursor) Err() error { return c.err }
 
 // Close releases the cursor's resources: the remaining match state and
-// — critically — the per-store read locks of the snapshot the cursor
-// pinned at creation. A caller that abandons a cursor mid-stream
-// without Close blocks every writer behind the snapshot indefinitely.
-// Close is idempotent; Next returns false and Scan fails after Close.
+// the snapshot references (the epoch views). Writers were never blocked
+// by the open cursor — snapshots are watermarks, not locks — so a
+// forgotten Close leaks memory (the pinned views keep their row
+// prefixes reachable), not throughput. Close is idempotent; Next
+// returns false and Scan fails after Close.
 func (c *Cursor) Close() error {
 	if !c.closed {
 		c.syncStats()
@@ -327,6 +340,6 @@ func (c *Cursor) Close() error {
 	c.stream = nil
 	c.naive = nil
 	c.seen = nil
-	c.releaseLocks()
+	c.view = nil
 	return nil
 }

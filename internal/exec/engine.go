@@ -10,6 +10,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/graphstore"
 	"repro/internal/relstore"
+	"repro/internal/snapshot"
 	"repro/internal/tbql"
 )
 
@@ -38,6 +39,12 @@ type Engine struct {
 	// nested loop instead of the streaming hash join (correctness
 	// baseline for the equivalence tests and allocation benchmarks).
 	UseNaiveJoin bool
+	// Clock, when set, names each cursor's pinned snapshot with the
+	// store's current ingest epoch (Cursor.Epoch). A nil clock leaves
+	// every cursor at epoch 0; snapshots still work — the epoch number
+	// is bookkeeping for the server-side cursor registry, the watermark
+	// vectors in the captured views are what bound visibility.
+	Clock *snapshot.Clock
 
 	// attrsMu guards the projection attribute cache below, so concurrent
 	// hunts share one cache instead of racing on it.
@@ -202,54 +209,62 @@ func (en *Engine) shardPlan(q *tbql.Query) (patShards [][]int, relShards, graphS
 	return patShards, relShards, graphShards
 }
 
-// lockStores pins a read snapshot across the store shards one hunt
-// touches: for every touched relational shard, its entity and event
-// tables (in table-name order, the statement executor's own order);
-// shard 0's entity table always (it holds the broadcast entity set the
-// projection attribute cache reads); then the touched graph shards —
-// only patterns with path patterns touch the graph, so a pure-SQL hunt
-// never blocks graph ingest. Shards are locked in ascending index
-// order, relational before graph — one fixed global order — and
-// writers only ever take one shard lock at a time, so concurrent hunts
-// and ingests cannot form a lock cycle. The returned release func is
-// owned by the cursor and runs exactly once — on exhaustion, error, or
-// Close.
-func (en *Engine) lockStores(relShards, graphShards []int) (func(), error) {
-	var releases []func()
-	release := func() {
-		for i := len(releases) - 1; i >= 0; i-- {
-			releases[i]()
-		}
+// storeView is the epoch snapshot one cursor pins: per-touched-shard
+// relational views (append watermarks over the append-only tables),
+// per-touched-shard graph epoch marks, and shard 0's entity-table view
+// — the broadcast entity set the projection attribute cache reads. A
+// storeView holds no locks: writers keep committing while it is held,
+// and everything committed after capture is beyond its watermarks and
+// therefore invisible through it.
+type storeView struct {
+	epoch snapshot.Epoch
+	rel   map[int]*relstore.View
+	graph map[int]uint64
+	ent   *relstore.TableView
+}
+
+// snapshotStores captures the epoch snapshot across the store shards
+// one hunt touches. Capture order is what makes the cut referentially
+// closed: every non-zero relational shard's view first (each view
+// internally captures events before entities), then the touched graph
+// marks, then shard 0 last. Entities commit to every shard — shard 0
+// included — before any of a batch's events or edges commit anywhere,
+// so capturing shard 0's entity table after every other event watermark
+// guarantees each visible event's endpoint entities are visible in the
+// attribute cache's source table. Nothing is locked beyond the
+// per-table header reads, so concurrent hunts and ingests never queue
+// behind a snapshot.
+func (en *Engine) snapshotStores(relShards, graphShards []int) (*storeView, error) {
+	sv := &storeView{
+		rel:   make(map[int]*relstore.View, len(relShards)),
+		graph: make(map[int]uint64, len(graphShards)),
 	}
-	inRel := make(map[int]bool, len(relShards))
+	if en.Clock != nil {
+		sv.epoch = en.Clock.Current()
+	}
+	shard0Touched := false
 	for _, s := range relShards {
-		inRel[s] = true
-	}
-	for i := 0; i < en.Rel.NumShards(); i++ {
-		var r func()
-		var err error
-		switch {
-		case inRel[i]:
-			r, err = en.Rel.Shard(i).RLockTables(relstore.EntityTable, relstore.EventTable)
-		case i == 0:
-			r, err = en.Rel.Shard(0).RLockTables(relstore.EntityTable)
-		default:
+		if s == 0 {
+			shard0Touched = true
 			continue
 		}
-		if err != nil {
-			release()
-			return nil, err
-		}
-		releases = append(releases, r)
+		sv.rel[s] = en.Rel.Shard(s).View()
 	}
 	if en.Graph != nil {
-		for _, gi := range graphShards {
-			g := en.Graph.Shard(gi)
-			g.RLock()
-			releases = append(releases, g.RUnlock)
+		for _, s := range graphShards {
+			sv.graph[s] = en.Graph.Shard(s).Mark()
 		}
 	}
-	return release, nil
+	if shard0Touched {
+		sv.rel[0] = en.Rel.Shard(0).View()
+		sv.ent = sv.rel[0].Table(relstore.EntityTable)
+	} else {
+		sv.ent = en.Rel.Shard(0).TableView(relstore.EntityTable)
+	}
+	if sv.ent == nil {
+		return nil, fmt.Errorf("exec: no table %q", relstore.EntityTable)
+	}
+	return sv, nil
 }
 
 // sharesEntity reports whether two patterns reference a common entity
@@ -269,11 +284,13 @@ func sharesEntity(q *tbql.Query, a, b int) bool {
 // concurrently on a small worker pool. A pattern's shard results merge
 // in shard order, so the merged row list is deterministic, and
 // propagation state updates deterministically between waves, in
-// scheduled order. The caller holds the store snapshot locks
-// (lockStores). On a short-circuit (some pattern fetched zero rows
-// across all its shards, or its host constraints are contradictory) it
-// returns nil rows with stats.ShortCircuit set.
-func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
+// scheduled order. Every data query runs against the cursor's epoch
+// snapshot (sv): rows committed after the snapshot was captured are
+// beyond its watermarks and invisible, so the fetch needs no held
+// locks. On a short-circuit (some pattern fetched zero rows across all
+// its shards, or its host constraints are contradictory) it returns nil
+// rows with stats.ShortCircuit set.
+func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, sv *storeView, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
 	// Partition scheduled positions into dependency waves.
 	waveOf := make([]int, len(order))
 	nWaves := 0
@@ -380,9 +397,9 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, m
 			if sawEmpty.Load() {
 				j.skipped = true
 			} else if j.isPath {
-				j.fetchGraph(en.Graph.Shard(j.shard))
+				j.fetchGraph(en.Graph.Shard(j.shard), sv.graph[j.shard])
 			} else {
-				j.fetchRel(en.Rel.Shard(j.shard))
+				j.fetchRel(sv.rel[j.shard])
 			}
 			w := j.work
 			if j.err == nil && !j.skipped {
@@ -490,10 +507,11 @@ type shardJob struct {
 	work    *patWork
 }
 
-// fetchRel runs the compiled SQL against one relational shard under the
-// cursor's held snapshot.
-func (j *shardJob) fetchRel(db *relstore.DB) {
-	rr, err := db.QuerySnapshot(j.src)
+// fetchRel runs the compiled SQL against one relational shard's epoch
+// view: the statement sees the snapshot's rows only and takes no
+// statement-long locks.
+func (j *shardJob) fetchRel(v *relstore.View) {
+	rr, err := v.Query(j.src)
 	if err != nil {
 		j.err = err
 		return
@@ -506,10 +524,12 @@ func (j *shardJob) fetchRel(db *relstore.DB) {
 	}
 }
 
-// fetchGraph runs the compiled Cypher against one graph shard under the
-// cursor's held snapshot.
-func (j *shardJob) fetchGraph(g *graphstore.Graph) {
-	gr, err := g.QuerySnapshot(j.src)
+// fetchGraph runs the compiled Cypher against one graph shard bounded
+// at the cursor's epoch mark: edges and nodes committed after the mark
+// are invisible, and the graph's read lock is held only for this one
+// statement.
+func (j *shardJob) fetchGraph(g *graphstore.Graph, mark uint64) {
+	gr, err := g.QueryAt(j.src, mark)
 	if err != nil {
 		j.err = err
 		return
@@ -804,31 +824,26 @@ func (c *attrCache) get(id int64, attr string) string {
 	return c.rows[i][attr]
 }
 
-// entityAttrsLocked returns a snapshot of the entity attribute cache for
-// projection, extending it first if the entity table grew. Entities are
-// broadcast to every relational shard, so shard 0's entity table is read
-// as the authoritative full set. The caller must hold shard 0's entity
-// table read lock (lockStores always pins it), which fixes the lock
-// order table.mu before attrsMu for every attrs refresh. Safe for concurrent hunts: attrsMu covers the check and the
-// extension, and because the cache slice is append-only, previously
-// returned snapshots remain valid while it grows. Only the table rows
-// past the cached position are scanned (the table is append-only, so
-// positions are stable), so a refresh during steady ingest costs the
-// new rows, not the whole table.
-func (en *Engine) entityAttrsLocked() (*attrCache, error) {
+// entityAttrsAt returns the entity attribute cache bounded at an epoch
+// view of shard 0's entity table (the authoritative broadcast set),
+// extending the shared cache first if the view reaches past it. The
+// cache slice is append-only, so snapshots handed to cursors stay valid
+// as later epochs extend it, and a cursor pinned at an older epoch gets
+// the cache capped at its own watermark: entities interned after its
+// snapshot do not exist for it. Only the view rows past the cached
+// position are scanned (positions are stable across epochs), so a
+// refresh during steady ingest costs the new rows, not the whole table.
+func (en *Engine) entityAttrsAt(tv *relstore.TableView) (*attrCache, error) {
 	en.attrsMu.Lock()
 	defer en.attrsMu.Unlock()
-	tbl := en.Rel.Shard(0).Table(relstore.EntityTable)
-	if tbl == nil {
-		return nil, fmt.Errorf("exec: no table %q", relstore.EntityTable)
-	}
-	if tbl.NumRowsLocked() != en.attrsRows {
-		cols := tbl.Schema().Columns
-		idIdx := tbl.ColIndex("id")
+	n := tv.NumRows()
+	if n > en.attrsRows {
+		cols := tv.Schema().Columns
+		idIdx := tv.ColIndex("id")
 		if idIdx < 0 {
 			return nil, fmt.Errorf("exec: entity table has no id column")
 		}
-		en.attrsRows = tbl.ScanFromLocked(en.attrsRows, func(row []relstore.Value) {
+		en.attrsRows = tv.ScanFrom(en.attrsRows, func(row []relstore.Value) {
 			m := make(map[string]string, len(cols))
 			for i, col := range cols {
 				m[strings.ToLower(col.Name)] = row[i].String()
@@ -847,5 +862,13 @@ func (en *Engine) entityAttrsLocked() (*attrCache, error) {
 			}
 		})
 	}
-	return &attrCache{rows: en.attrRows}, nil
+	// Cap the snapshot at the view's watermark: entity IDs are dense
+	// (assigned from 1 in insertion order), so the first n entity rows
+	// carry the IDs 1..n and cache positions >= n belong to entities
+	// interned after this cursor's epoch.
+	limit := n
+	if len(en.attrRows) < limit {
+		limit = len(en.attrRows)
+	}
+	return &attrCache{rows: en.attrRows[:limit:limit]}, nil
 }

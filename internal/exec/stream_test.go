@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -11,21 +12,20 @@ import (
 	"repro/internal/tbql"
 )
 
-// wideTBQL matches many rows, so a cursor over it can be abandoned
+// wideTBQL matches many rows, so a cursor over it can be held open
 // mid-stream with matches still pending.
 const wideTBQL = `proc p read || write file f as e1
 return p, f`
 
-// tryIngest attempts a write against both stores' shard 0 and reports
-// on done. While a cursor holds the hunt snapshot, the relational
-// insert blocks on that shard's events-table write lock.
-func tryIngest(en *Engine, done chan<- error) {
-	tryIngestShard(en, 0, done)
-}
+// pathTBQL exercises the graph backend.
+const pathTBQL = `proc p ~>(1~3)[read] file f as e1
+return p, f`
 
-// tryIngestShard attempts a write against one shard of both stores.
-func tryIngestShard(en *Engine, shard int, done chan<- error) {
-	ev := &audit.Event{ID: 1<<40 + int64(shard), SrcID: 1, DstID: 2, Op: audit.OpRead,
+// writeProbe writes an event row and a probe node into one shard of
+// both stores and reports on done. Under the epoch design no cursor
+// ever blocks it.
+func writeProbe(en *Engine, shard int, id int64, done chan<- error) {
+	ev := &audit.Event{ID: id, SrcID: 1, DstID: 2, Op: audit.OpRead,
 		StartTime: 1, EndTime: 2, Amount: 1, Host: "h"}
 	if err := en.Rel.Shard(shard).Table(relstore.EventTable).Insert(relstore.EventRow(ev)); err != nil {
 		done <- err
@@ -39,35 +39,38 @@ func tryIngestShard(en *Engine, shard int, done chan<- error) {
 	done <- nil
 }
 
-// expectBlocked asserts the writer has not completed yet (the cursor's
-// snapshot is pinning the read locks).
-func expectBlocked(t *testing.T, done <-chan error) {
-	t.Helper()
-	select {
-	case err := <-done:
-		t.Fatalf("writer completed while the cursor held the snapshot (err=%v)", err)
-	case <-time.After(100 * time.Millisecond):
-	}
-}
-
-// expectReleased asserts the writer completes promptly: the cursor's
-// read locks were released and did not leak.
-func expectReleased(t *testing.T, done <-chan error) {
+// expectPrompt asserts the writer completes promptly: open cursors pin
+// epochs, not locks, so writers never queue behind them.
+func expectPrompt(t *testing.T, done <-chan error) {
 	t.Helper()
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("writer failed after lock release: %v", err)
+			t.Fatalf("writer failed: %v", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("writer still blocked: the cursor leaked its per-store read locks")
+		t.Fatal("writer blocked: a cursor snapshot is holding store locks")
 	}
 }
 
-// TestCursorCloseReleasesLocks is the lock-leak regression test for the
-// lazy join path: a cursor abandoned mid-stream pins the store snapshot
-// until Close, and Close — even repeated — must release it.
-func TestCursorCloseReleasesLocks(t *testing.T) {
+// drain reads every remaining row of a cursor.
+func drain(t *testing.T, cur *Cursor) [][]string {
+	t.Helper()
+	var rows [][]string
+	for cur.Next() {
+		rows = append(rows, cur.Row())
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestCursorDoesNotBlockWriters is the inversion of the old lock-leak
+// regression suite: an open cursor — even one abandoned mid-stream —
+// pins an epoch, not locks, so writers to every store complete promptly
+// while it is open, and Close stays idempotent.
+func TestCursorDoesNotBlockWriters(t *testing.T) {
 	en := leakageEngine(t, 300)
 	cur, err := en.ExecuteTBQLCursor(wideTBQL)
 	if err != nil {
@@ -78,83 +81,156 @@ func TestCursorCloseReleasesLocks(t *testing.T) {
 	}
 
 	done := make(chan error, 1)
-	go tryIngest(en, done)
-	expectBlocked(t, done)
+	go writeProbe(en, 0, 1<<40, done)
+	expectPrompt(t, done)
 
-	// Abandon the cursor mid-stream; rows remain unread.
+	// Same for a path-pattern cursor holding a graph mark.
+	pcur, err := en.ExecuteTBQLCursor(pathTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pcur.Next() {
+		t.Fatal("no path rows; fixture broken")
+	}
+	graphDone := make(chan error, 1)
+	go func() {
+		_, err := en.Graph.Shard(0).AddNode(graphstore.Node{Label: "probe2"})
+		graphDone <- err
+	}()
+	expectPrompt(t, graphDone)
+	pcur.Close()
+
 	if err := cur.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := cur.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	expectReleased(t, done)
 }
 
-// TestCursorPinsGraphOnlyForPathPatterns: a pure-SQL hunt must not pin
-// the graph's read lock (graph ingest proceeds while its cursor is
-// open), while a path-pattern hunt must pin it until Close.
-func TestCursorPinsGraphOnlyForPathPatterns(t *testing.T) {
+// TestCursorEpochIsolation: rows committed after a cursor's snapshot
+// was captured must be invisible to every page the cursor produces —
+// no skips, no repeats, no phantom rows — while a cursor created after
+// the commit sees them. This is the paging-under-ingest bug the epoch
+// design removes.
+func TestCursorEpochIsolation(t *testing.T) {
 	en := leakageEngine(t, 300)
+	want, err := en.ExecuteTBQL(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	// Pure-SQL cursor: graph writers stay unblocked.
 	cur, err := en.ExecuteTBQLCursor(wideTBQL)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cur.Close()
 	if !cur.Next() {
-		t.Fatal("no rows")
+		t.Fatal("no rows; fixture broken")
 	}
-	graphDone := make(chan error, 1)
-	go func() {
-		_, err := en.Graph.Shard(0).AddNode(graphstore.Node{Label: "probe"})
-		graphDone <- err
-	}()
-	expectReleased(t, graphDone)
-	cur.Close()
+	got := [][]string{cur.Row()}
 
-	// Path-pattern cursor: graph writers queue until Close.
-	cur, err = en.ExecuteTBQLCursor(`proc p ~>(1~3)[read] file f as e1
-return p, f`)
+	// Commit events that MATCH the open query: duplicates of an already
+	// matching event under fresh IDs, straight into the store the way a
+	// post-snapshot ingest batch would land.
+	src := en.Rel.Shard(0)
+	rr, err := src.Query(`SELECT e.id, e.srcid, e.dstid, e.starttime, e.endtime, e.amount, e.host FROM events e JOIN entities s ON e.srcid = s.id JOIN entities o ON e.dstid = o.id WHERE s.type = 'process' AND o.type = 'file' AND e.optype = 'read'`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cur.Next() {
+	if len(rr.Data) == 0 {
+		t.Fatal("no matching event to duplicate")
+	}
+	tmpl := rr.Data[0]
+	for i := int64(0); i < 10; i++ {
+		ev := &audit.Event{ID: 1<<40 + i, SrcID: tmpl[1].Int, DstID: tmpl[2].Int,
+			Op: audit.OpRead, StartTime: tmpl[3].Int, EndTime: tmpl[4].Int,
+			Amount: tmpl[5].Int, Host: tmpl[6].Str}
+		if err := src.Table(relstore.EventTable).Insert(relstore.EventRow(ev)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The pinned cursor pages exactly the epoch-time match set.
+	got = append(got, drain(t, cur)...)
+	if len(got) != len(want.Rows) {
+		t.Fatalf("pinned cursor saw %d rows, epoch match set has %d", len(got), len(want.Rows))
+	}
+	for i := range got {
+		if strings.Join(got[i], "\x00") != strings.Join(want.Rows[i], "\x00") {
+			t.Fatalf("row %d: pinned cursor %v != epoch row %v", i, got[i], want.Rows[i])
+		}
+	}
+
+	// A cursor created after the commit sees the new rows.
+	after, err := en.ExecuteTBQL(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(want.Rows)+10 {
+		t.Fatalf("post-commit hunt saw %d rows, want %d", len(after.Rows), len(want.Rows)+10)
+	}
+}
+
+// TestCursorEpochIsolationGraph: the same isolation for a path-pattern
+// cursor — graph edges committed after its mark stay invisible.
+func TestCursorEpochIsolationGraph(t *testing.T) {
+	en := leakageEngine(t, 300)
+	want, err := en.ExecuteTBQL(pathTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
 		t.Fatal("no path rows; fixture broken")
 	}
-	graphDone = make(chan error, 1)
-	go func() {
-		_, err := en.Graph.Shard(0).AddNode(graphstore.Node{Label: "probe2"})
-		graphDone <- err
-	}()
-	expectBlocked(t, graphDone)
-	cur.Close()
-	expectReleased(t, graphDone)
-}
 
-// TestCursorExhaustionReleasesLocks: fully draining a cursor without
-// calling Close must also release the snapshot.
-func TestCursorExhaustionReleasesLocks(t *testing.T) {
-	en := leakageEngine(t, 300)
-	cur, err := en.ExecuteTBQLCursor(wideTBQL)
+	cur, err := en.ExecuteTBQLCursor(pathTBQL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for cur.Next() {
+	defer cur.Close()
+
+	// Duplicate an existing read edge under a fresh ID: one more 1-hop
+	// path for any post-mark reader.
+	g := en.Graph.Shard(0)
+	gr, err := g.Query(`MATCH (a:Process)-[e:EVENT {optype: 'read'}]->(b:File) RETURN a, b, e.starttime, e.endtime, e.amount LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := cur.Err(); err != nil {
+	if len(gr.Data) == 0 {
+		t.Fatal("no read edge to duplicate")
+	}
+	d := gr.Data[0]
+	if _, err := g.AddEdge(graphstore.Edge{From: d[0].Int, To: d[1].Int, Label: "event",
+		Props: map[string]graphstore.Value{
+			"eventid":   graphstore.IntValue(1 << 40),
+			"optype":    graphstore.TextValue("read"),
+			"starttime": graphstore.IntValue(d[2].Int),
+			"endtime":   graphstore.IntValue(d[3].Int),
+			"amount":    graphstore.IntValue(d[4].Int),
+			"host":      graphstore.TextValue("h"),
+		}}); err != nil {
 		t.Fatal(err)
 	}
 
-	done := make(chan error, 1)
-	go tryIngest(en, done)
-	expectReleased(t, done)
+	got := drain(t, cur)
+	if len(got) != len(want.Rows) {
+		t.Fatalf("pinned path cursor saw %d rows, epoch match set has %d", len(got), len(want.Rows))
+	}
+
+	after, err := en.ExecuteTBQL(pathTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) <= len(want.Rows) {
+		t.Fatalf("post-commit path hunt saw %d rows, want > %d", len(after.Rows), len(want.Rows))
+	}
 }
 
-// TestCursorShortCircuitReleasesLocks: a hunt whose fetch phase
-// short-circuits returns an empty cursor that needs no snapshot; the
-// locks must already be free before the caller touches the cursor.
-func TestCursorShortCircuitReleasesLocks(t *testing.T) {
+// TestCursorShortCircuitNeedsNoSnapshot: a hunt whose fetch phase
+// short-circuits returns an empty cursor with its snapshot references
+// already dropped.
+func TestCursorShortCircuitNeedsNoSnapshot(t *testing.T) {
 	en := leakageEngine(t, 300)
 	cur, err := en.ExecuteTBQLCursor(`proc p["%no-such-binary%"] read file f as e1
 return p, f`)
@@ -165,22 +241,12 @@ return p, f`)
 	if !cur.Stats().ShortCircuit {
 		t.Fatal("expected a short-circuit hunt")
 	}
-
-	done := make(chan error, 1)
-	go tryIngest(en, done)
-	expectReleased(t, done)
-}
-
-// TestExecuteReleasesLocks: Execute drains and closes internally, so a
-// materializing hunt must leave no locks behind.
-func TestExecuteReleasesLocks(t *testing.T) {
-	en := leakageEngine(t, 300)
-	if _, err := en.ExecuteTBQL(wideTBQL); err != nil {
-		t.Fatal(err)
+	if cur.view != nil {
+		t.Fatal("short-circuit cursor kept its snapshot")
 	}
-	done := make(chan error, 1)
-	go tryIngest(en, done)
-	expectReleased(t, done)
+	if cur.Next() {
+		t.Fatal("short-circuit cursor produced a row")
+	}
 }
 
 // shardedStreamEngine loads two hosts that land on distinct shards of a
@@ -200,12 +266,16 @@ func shardedStreamEngine(t *testing.T) (en *Engine, shardA, shardB int) {
 	return en, shardA, shardB
 }
 
-// TestShardedCursorCloseReleasesEveryShard: a cursor over an unpruned
-// hunt pins every shard's read locks; writers to each shard must block
-// while it is open and complete once it closes — Close must release
-// every shard, not just the first.
-func TestShardedCursorCloseReleasesEveryShard(t *testing.T) {
+// TestShardedCursorBlocksNoShard: a cursor over an unpruned hunt used
+// to pin every shard's read locks; under the epoch design writers to
+// every touched shard proceed while it is open — and the cursor's
+// remaining pages still reflect only its own epoch.
+func TestShardedCursorBlocksNoShard(t *testing.T) {
 	en, shardA, shardB := shardedStreamEngine(t)
+	want, err := en.ExecuteTBQL(wideTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cur, err := en.ExecuteTBQLCursor(wideTBQL)
 	if err != nil {
 		t.Fatal(err)
@@ -215,26 +285,35 @@ func TestShardedCursorCloseReleasesEveryShard(t *testing.T) {
 	}
 
 	doneA, doneB := make(chan error, 1), make(chan error, 1)
-	go tryIngestShard(en, shardA, doneA)
-	go tryIngestShard(en, shardB, doneB)
-	expectBlocked(t, doneA)
-	expectBlocked(t, doneB)
+	go writeProbe(en, shardA, 1<<40, doneA)
+	go writeProbe(en, shardB, 1<<40+1, doneB)
+	expectPrompt(t, doneA)
+	expectPrompt(t, doneB)
 
+	got := [][]string{cur.Row()}
+	got = append(got, drain(t, cur)...)
+	if len(got) != len(want.Rows) {
+		t.Fatalf("cursor saw %d rows after cross-shard writes, epoch match set has %d",
+			len(got), len(want.Rows))
+	}
 	if err := cur.Close(); err != nil {
 		t.Fatal(err)
 	}
-	expectReleased(t, doneA)
-	expectReleased(t, doneB)
 }
 
-// TestShardedCursorPinsOnlyPrunedShards: a host-pinned cursor must pin
-// only its host's shard — ingest for other hosts proceeds while it is
-// open. (Shard 0's entity table stays pinned for the projection cache,
-// so the other-shard probe writes events only.)
-func TestShardedCursorPinsOnlyPrunedShards(t *testing.T) {
+// TestShardedCursorHostPruned: a host-pinned cursor snapshots only its
+// host's shard (plus shard 0's entity table); writes to both its own
+// and other shards proceed while it pages, and its pages stay pinned
+// to its epoch.
+func TestShardedCursorHostPruned(t *testing.T) {
 	en, shardA, shardB := shardedStreamEngine(t)
-	cur, err := en.ExecuteTBQLCursor(`proc p[host = "host1"] read || write file f as e1
-return p, f`)
+	const prunedTBQL = `proc p[host = "host1"] read || write file f as e1
+return p, f`
+	want, err := en.ExecuteTBQL(prunedTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := en.ExecuteTBQLCursor(prunedTBQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,23 +321,24 @@ return p, f`)
 		t.Fatal("no rows; fixture broken")
 	}
 
-	// host2's shard is not part of the snapshot: its event table accepts
-	// writes immediately.
+	// Neither the unpinned shard nor the cursor's own shard queues.
 	otherDone := make(chan error, 1)
 	go func() {
 		ev := &audit.Event{ID: 1 << 41, SrcID: 1, DstID: 2, Op: audit.OpRead,
 			StartTime: 1, EndTime: 2, Amount: 1, Host: "host2"}
 		otherDone <- en.Rel.Shard(shardB).Table(relstore.EventTable).Insert(relstore.EventRow(ev))
 	}()
-	expectReleased(t, otherDone)
-
-	// host1's shard is pinned.
+	expectPrompt(t, otherDone)
 	pinnedDone := make(chan error, 1)
-	go tryIngestShard(en, shardA, pinnedDone)
-	expectBlocked(t, pinnedDone)
+	go writeProbe(en, shardA, 1<<40, pinnedDone)
+	expectPrompt(t, pinnedDone)
 
+	got := [][]string{cur.Row()}
+	got = append(got, drain(t, cur)...)
+	if len(got) != len(want.Rows) {
+		t.Fatalf("pruned cursor saw %d rows, epoch match set has %d", len(got), len(want.Rows))
+	}
 	cur.Close()
-	expectReleased(t, pinnedDone)
 }
 
 // TestPropagationsSkippedCounted: capping the IN-list size must surface

@@ -42,18 +42,22 @@ func (g *Graph) QueryStats(src string) (*Rows, ExecStats, error) {
 	return g.Exec(q)
 }
 
-// QuerySnapshot parses and executes a Cypher query without acquiring the
-// graph's read lock: the caller must already hold it via RLock. This is
-// how a long-lived reader (the exec cursor pinning a hunt-wide snapshot)
-// runs path queries without recursively read-locking behind a queued
-// writer. Multiple goroutines may run QuerySnapshot concurrently under
-// one shared snapshot.
-func (g *Graph) QuerySnapshot(src string) (*Rows, error) {
+// QueryAt parses and executes a Cypher query bounded at an epoch
+// watermark (Mark): nodes and edges inserted after the mark are
+// invisible, so the traversal observes the exact graph the mark named
+// even while writers keep ingesting. The read lock is held only for the
+// duration of this one statement — a reader holding a mark between
+// statements costs writers nothing — which is what lets a long-lived
+// hunt cursor pin an epoch instead of the lock.
+func (g *Graph) QueryAt(src string, mark uint64) (*Rows, error) {
 	q, err := ParseCypher(src)
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := g.execLocked(q)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ex := &cexec{g: g, q: q, env: map[string]binding{}, bounded: true, mark: mark}
+	rows, _, err := g.run(ex)
 	return rows, err
 }
 
@@ -68,7 +72,11 @@ func (g *Graph) Exec(q *CypherQuery) (*Rows, ExecStats, error) {
 
 // execLocked runs a parsed query; the caller holds g.mu (read side).
 func (g *Graph) execLocked(q *CypherQuery) (*Rows, ExecStats, error) {
-	ex := &cexec{g: g, q: q, env: map[string]binding{}}
+	return g.run(&cexec{g: g, q: q, env: map[string]binding{}})
+}
+
+// run drives a prepared cexec; the caller holds g.mu (read side).
+func (g *Graph) run(ex *cexec) (*Rows, ExecStats, error) {
 	if err := ex.validate(); err != nil {
 		return nil, ex.stats, err
 	}
@@ -76,6 +84,7 @@ func (g *Graph) execLocked(q *CypherQuery) (*Rows, ExecStats, error) {
 		return nil, ex.stats, err
 	}
 
+	q := ex.q
 	out := ex.out
 	if q.Distinct {
 		seen := map[string]bool{}
@@ -117,6 +126,47 @@ type cexec struct {
 	env   map[string]binding
 	out   [][]Value
 	stats ExecStats
+
+	// bounded/mark implement epoch visibility (QueryAt): when bounded,
+	// nodes and edges with seq > mark are treated as absent.
+	bounded bool
+	mark    uint64
+}
+
+// visibleNode reports whether the node exists at the query's epoch mark.
+func (ex *cexec) visibleNode(n *Node) bool {
+	return !ex.bounded || n.seq <= ex.mark
+}
+
+// visibleEdge reports whether the edge exists at the query's epoch mark.
+func (ex *cexec) visibleEdge(e *Edge) bool {
+	return !ex.bounded || e.seq <= ex.mark
+}
+
+// visibleNodes filters a candidate list down to the query's epoch mark.
+// Index and label lists are append-only in insertion order, so the
+// common case — nothing ingested past the mark — returns the input
+// unchanged after a prefix check; otherwise the visible prefix is kept
+// as a shared sub-slice and later stragglers (lists sorted by ID rather
+// than insertion, e.g. the all-nodes scan) are appended to a copy.
+func (ex *cexec) visibleNodes(ns []*Node) []*Node {
+	if !ex.bounded {
+		return ns
+	}
+	i := 0
+	for i < len(ns) && ns[i].seq <= ex.mark {
+		i++
+	}
+	if i == len(ns) {
+		return ns
+	}
+	out := ns[:i:i]
+	for _, n := range ns[i:] {
+		if n.seq <= ex.mark {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // validate checks that every RETURN and WHERE variable is defined by some
@@ -227,12 +277,12 @@ func (ex *cexec) candidates(np NodePattern) []*Node {
 		for prop, v := range np.Props {
 			if nodes, indexed := ex.g.nodesByPropLocked(np.Label, prop, v); indexed {
 				ex.stats.IndexLookups++
-				return nodes
+				return ex.visibleNodes(nodes)
 			}
 		}
 	}
 	ex.stats.LabelScans++
-	return ex.g.nodesByLabelLocked(np.Label)
+	return ex.visibleNodes(ex.g.nodesByLabelLocked(np.Label))
 }
 
 // expandRel expands relationship j of the chain from node n.
@@ -240,6 +290,9 @@ func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 	rp := ch.Rels[j]
 	if !rp.VarLen {
 		for _, e := range ex.g.out[n.ID] {
+			if !ex.visibleEdge(e) {
+				continue
+			}
 			ex.stats.EdgesExpanded++
 			if !ex.edgeMatches(e, rp) {
 				continue
@@ -292,6 +345,9 @@ func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 			return nil
 		}
 		for _, e := range ex.g.out[cur] {
+			if !ex.visibleEdge(e) {
+				continue
+			}
 			if used[e.ID] {
 				continue
 			}
@@ -318,7 +374,7 @@ func (ex *cexec) expandRel(ch PatternChain, j, chainIdx int, n *Node) error {
 func (ex *cexec) continueToNode(ch PatternChain, j, chainIdx int, id int64) error {
 	np := ch.Nodes[j+1]
 	n := ex.g.nodes[id]
-	if n == nil {
+	if n == nil || !ex.visibleNode(n) {
 		return nil
 	}
 	ex.stats.NodesVisited++

@@ -84,6 +84,11 @@ type Node struct {
 	ID    int64
 	Label string
 	Props map[string]Value
+
+	// seq is the graph-assigned insertion sequence number, the epoch
+	// visibility watermark: a bounded query at mark M sees this node iff
+	// seq <= M.
+	seq uint64
 }
 
 // Prop returns a property value and whether it exists. The pseudo-property
@@ -103,6 +108,9 @@ type Edge struct {
 	To    int64
 	Label string
 	Props map[string]Value
+
+	// seq is the graph-assigned insertion sequence number (see Node.seq).
+	seq uint64
 }
 
 // Prop returns a property value; "id" resolves to the edge ID.
@@ -128,6 +136,13 @@ type Graph struct {
 	// propIdx: label -> property -> value key -> nodes.
 	propIdx map[string]map[string]map[string][]*Node
 	nextID  int64
+
+	// seq counts insertions (nodes and edges share one sequence). Its
+	// value at any instant is an epoch watermark: a bounded query at
+	// mark M (Mark, QueryAt) sees exactly the nodes and edges with
+	// seq <= M, so readers pinned at a mark observe one immutable cut
+	// while writers keep appending.
+	seq uint64
 }
 
 // NewGraph creates an empty graph.
@@ -169,6 +184,8 @@ func (g *Graph) AddNode(n Node) (*Node, error) {
 	}
 	n.Props = props
 	n.Label = strings.ToLower(n.Label)
+	g.seq++
+	n.seq = g.seq
 	stored := &n
 	g.nodes[n.ID] = stored
 	g.byLabel[n.Label] = append(g.byLabel[n.Label], stored)
@@ -205,6 +222,8 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 	}
 	e.Props = props
 	e.Label = strings.ToLower(e.Label)
+	g.seq++
+	e.seq = g.seq
 	stored := &e
 	g.edges[e.ID] = stored
 	g.out[e.From] = append(g.out[e.From], stored)
@@ -233,15 +252,15 @@ func (g *Graph) CreateNodeIndex(label, prop string) {
 	byProp[prop] = idx
 }
 
-// RLock acquires the graph's read lock so a caller can pin a snapshot
-// across multiple operations (the exec cursor holds it for a whole
-// streaming hunt). While held, run queries with QuerySnapshot /
-// ExecSnapshot — a plain Query would re-acquire the same read lock and
-// could deadlock behind a queued writer.
-func (g *Graph) RLock() { g.mu.RLock() }
-
-// RUnlock releases the read lock taken by RLock.
-func (g *Graph) RUnlock() { g.mu.RUnlock() }
+// Mark returns the graph's current epoch watermark: the insertion
+// sequence of the newest node or edge. A bounded query at this mark
+// (QueryAt) sees exactly the graph as of now, no matter how much is
+// ingested between capturing the mark and running the query.
+func (g *Graph) Mark() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.seq
+}
 
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id int64) *Node {

@@ -50,7 +50,9 @@ func (s *Sharded) ShardFor(host string) int {
 // LoadNodes broadcasts entity nodes to every shard. Callers that also
 // load edges must complete the broadcast first (and, across concurrent
 // batches, serialize broadcasts against each other) so AddEdge never
-// sees a missing endpoint.
+// sees a missing endpoint. On a single-shard graph there is no
+// broadcast to skip — the loop is one plain load (see
+// relstore.Sharded.LoadEntities).
 func (s *Sharded) LoadNodes(entities []*audit.Entity) error {
 	if len(entities) == 0 {
 		return nil

@@ -56,7 +56,11 @@ func (s *Sharded) ShardFor(host string) int {
 // LoadEntities broadcasts entity rows to every shard. Callers that
 // also load events must complete the broadcast first (and, across
 // concurrent batches, serialize broadcasts against each other) so no
-// shard ever holds an event whose endpoint rows are missing.
+// shard ever holds an event whose endpoint rows are missing. On a
+// single-shard store there is no broadcast to skip — the loop is one
+// plain load, the same write an event batch does — and since snapshots
+// are epoch watermarks, neither batch kind ever queues behind open
+// cursors (the service suite's single-shard flow test pins this down).
 func (s *Sharded) LoadEntities(entities []*audit.Entity) error {
 	if len(entities) == 0 {
 		return nil

@@ -43,27 +43,14 @@ func (db *DB) Exec(stmt *SelectStmt) (*Rows, ExecStats, error) {
 	return rows, ex.stats, err
 }
 
-// QuerySnapshot parses and executes a SELECT statement without acquiring
-// table read locks: the caller must already hold them for every table
-// the statement binds (via RLockTables). This is how a long-lived reader
-// — the exec cursor pinning a hunt-wide snapshot — runs statements
-// without recursively read-locking behind a queued writer. Multiple
-// goroutines may run QuerySnapshot concurrently under one shared
-// snapshot.
-func (db *DB) QuerySnapshot(sql string) (*Rows, error) {
-	stmt, err := ParseSQL(sql)
-	if err != nil {
-		return nil, err
-	}
-	ex := &executor{db: db, stmt: stmt, preLocked: true}
-	rows, err := ex.run()
-	return rows, err
-}
-
-// binding is one table instance in the FROM/JOIN list.
+// binding is one table instance in the FROM/JOIN list. rows is the row
+// storage the statement reads: the live rows under the statement's (or
+// caller's) table locks, or an epoch view's captured prefix when the
+// statement runs against a View.
 type binding struct {
 	name  string // bind name (alias or table name), lowercase
 	table *Table
+	rows  [][]Value
 }
 
 // conjunct is one top-level AND-ed condition with the set of bindings it
@@ -91,9 +78,10 @@ type executor struct {
 	binds []binding
 	conjs []conjunct
 	stats ExecStats
-	// preLocked skips per-statement table locking: the caller holds the
-	// read lock of every bound table (QuerySnapshot).
-	preLocked bool
+	// view, when non-nil, runs the statement against an epoch view: rows
+	// come from the view's captured prefixes, no statement-long locks are
+	// taken, and index probes lock only for the duration of the probe.
+	view *View
 
 	out      [][]Value
 	project  []resolvedCol
@@ -140,16 +128,27 @@ func (ex *executor) run() (*Rows, error) {
 	}
 	seen := map[string]bool{}
 	for _, r := range refs {
-		t := ex.db.Table(r.Name)
-		if t == nil {
-			return nil, fmt.Errorf("relstore: no table %q", r.Name)
+		b := binding{}
+		if ex.view != nil {
+			tv := ex.view.Table(r.Name)
+			if tv == nil {
+				return nil, fmt.Errorf("relstore: no table %q", r.Name)
+			}
+			b.table, b.rows = tv.t, tv.rows
+		} else {
+			t := ex.db.Table(r.Name)
+			if t == nil {
+				return nil, fmt.Errorf("relstore: no table %q", r.Name)
+			}
+			b.table = t
 		}
 		bn := r.bindName()
 		if seen[bn] {
 			return nil, fmt.Errorf("relstore: duplicate table binding %q", bn)
 		}
 		seen[bn] = true
-		ex.binds = append(ex.binds, binding{name: bn, table: t})
+		b.name = bn
+		ex.binds = append(ex.binds, b)
 	}
 
 	// Hold the read lock of every bound table for the whole statement so
@@ -157,8 +156,10 @@ func (ex *executor) run() (*Rows, error) {
 	// are deduplicated (a self join binds the same table twice, and a
 	// recursive RLock could deadlock behind a queued writer) and locked
 	// in table-name order, so two statements binding the same tables in
-	// opposite FROM/JOIN orders cannot cycle with queued writers.
-	if !ex.preLocked {
+	// opposite FROM/JOIN orders cannot cycle with queued writers. An
+	// epoch-view statement skips all of this: its bindings already carry
+	// the view's captured row prefixes.
+	if ex.view == nil {
 		seenTbl := make(map[*Table]bool, len(ex.binds))
 		locked := make([]*Table, 0, len(ex.binds))
 		for _, b := range ex.binds {
@@ -173,6 +174,11 @@ func (ex *executor) run() (*Rows, error) {
 		for _, t := range locked {
 			t.mu.RLock()
 			defer t.mu.RUnlock()
+		}
+		// Row storage is read through the bindings; under the held locks
+		// the live rows are the statement's snapshot.
+		for i := range ex.binds {
+			ex.binds[i].rows = ex.binds[i].table.rows
 		}
 	}
 
@@ -337,7 +343,7 @@ func (ex *executor) join(level int, tuple []int) error {
 	if level == len(ex.binds) {
 		row := make([]Value, len(ex.project))
 		for i, p := range ex.project {
-			row[i] = ex.binds[p.bind].table.rows[tuple[p.bind]][p.col]
+			row[i] = ex.binds[p.bind].rows[tuple[p.bind]][p.col]
 		}
 		ex.out = append(ex.out, row)
 		ex.stats.TuplesEmitted++
@@ -422,16 +428,16 @@ func (ex *executor) planLevel(level int) accessPlan {
 
 // candidates enumerates candidate rows at a level per its access plan.
 func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
-	t := ex.binds[level].table
+	b := &ex.binds[level]
 	plan := ex.plans[level]
 	switch plan.kind {
 	case 'l':
-		ids, indexed := t.lookupEq(plan.col, plan.lit)
+		ids, indexed := ex.lookupEq(b, plan.col, plan.lit)
 		ex.countAccess(indexed)
 		return ids, nil
 	case 'j':
-		v := ex.binds[plan.otherBind].table.rows[tuple[plan.otherBind]][plan.otherCol]
-		ids, indexed := t.lookupEq(plan.col, v)
+		v := ex.binds[plan.otherBind].rows[tuple[plan.otherBind]][plan.otherCol]
+		ids, indexed := ex.lookupEq(b, plan.col, v)
 		ex.countAccess(indexed)
 		return ids, nil
 	case 'n':
@@ -439,7 +445,7 @@ func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
 		seen := map[int]bool{}
 		indexed := true
 		for _, v := range plan.vals {
-			got, idx := t.lookupEq(plan.col, v)
+			got, idx := ex.lookupEq(b, plan.col, v)
 			indexed = indexed && idx
 			for _, id := range got {
 				if !seen[id] {
@@ -452,17 +458,32 @@ func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
 		ex.countAccess(indexed)
 		return ids, nil
 	case 'r':
-		ids, indexed := t.lookupRange(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc)
+		var ids []int
+		var indexed bool
+		if ex.view != nil {
+			ids, indexed = b.table.lookupRangeView(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc, b.rows)
+		} else {
+			ids, indexed = b.table.lookupRange(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc)
+		}
 		ex.countAccess(indexed)
 		return ids, nil
 	default:
 		ex.stats.FullScans++
-		ids := make([]int, len(t.rows))
+		ids := make([]int, len(b.rows))
 		for i := range ids {
 			ids[i] = i
 		}
 		return ids, nil
 	}
+}
+
+// lookupEq dispatches an equality lookup to the locked or epoch-view
+// variant, per how this statement reads its tables.
+func (ex *executor) lookupEq(b *binding, ci int, v Value) ([]int, bool) {
+	if ex.view != nil {
+		return b.table.lookupEqView(ci, v, b.rows)
+	}
+	return b.table.lookupEq(ci, v)
 }
 
 func (ex *executor) countAccess(indexed bool) {
@@ -703,8 +724,10 @@ func (ex *executor) compileVal(e Expr) (valFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl := ex.binds[bi].table
-		return func(t []int) Value { return tbl.rows[t[bi]][ci] }, nil
+		// Capture the binding pointer, not its rows: compilation can run
+		// before the locked path assigns row storage to the bindings.
+		b := &ex.binds[bi]
+		return func(t []int) Value { return b.rows[t[bi]][ci] }, nil
 	default:
 		return nil, fmt.Errorf("relstore: expression %T is not a value", e)
 	}

@@ -175,12 +175,6 @@ func (t *Table) Insert(row []Value) error {
 func (t *Table) ScanFrom(from int, fn func(row []Value)) int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.ScanFromLocked(from, fn)
-}
-
-// ScanFromLocked is ScanFrom for callers that already hold the table's
-// read lock (via DB.RLockTables); it must not be called otherwise.
-func (t *Table) ScanFromLocked(from int, fn func(row []Value)) int {
 	if from < 0 {
 		from = 0
 	}
@@ -190,9 +184,109 @@ func (t *Table) ScanFromLocked(from int, fn func(row []Value)) int {
 	return len(t.rows)
 }
 
-// NumRowsLocked is NumRows for callers that already hold the table's
-// read lock (via DB.RLockTables).
-func (t *Table) NumRowsLocked() int { return len(t.rows) }
+// ViewRows returns an immutable prefix view of the table's current
+// rows: the slice header is captured (and capacity-capped) under a
+// brief read lock, and rows are append-only, so the returned slice
+// stays valid — and stops growing — while writers keep inserting. This
+// is the append-watermark primitive behind epoch snapshots: the view's
+// length IS the watermark, and rows appended after the capture are
+// simply beyond it.
+func (t *Table) ViewRows() [][]Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// lookupEqView is lookupEq for an epoch view: the hash-index probe runs
+// under a briefly held read lock (writers extend index buckets in
+// place), and row ids at or beyond the view's watermark — appended
+// after the view was captured — are dropped. Unlike the statement-long
+// locking of lookupEq, the lock here spans only the map probe, so a
+// reader paging an epoch never blocks writers for longer than that.
+func (t *Table) lookupEqView(ci int, v Value, rows [][]Value) ([]int, bool) {
+	t.mu.RLock()
+	idx, ok := t.hashIdx[ci]
+	var ids []int
+	if ok {
+		ids = idx[v.key()]
+	}
+	t.mu.RUnlock()
+	if ok {
+		// Bucket ids are appended in ascending row order, so the view's
+		// watermark is a prefix cut.
+		cut := sort.SearchInts(ids, len(rows))
+		return ids[:cut:cut], true
+	}
+	var out []int
+	for rid, row := range rows {
+		if Equal(row[ci], v) {
+			out = append(out, rid)
+		}
+	}
+	return out, false
+}
+
+// lookupRangeView is lookupRange for an epoch view: the ordered-index
+// search (and any lazy rebuild) runs under a briefly held read lock,
+// then ids beyond the view's watermark are filtered out. The unindexed
+// fallback scans only the view's rows.
+func (t *Table) lookupRangeView(ci int, lo, hi *Value, loInc, hiInc bool, rows [][]Value) ([]int, bool) {
+	t.mu.RLock()
+	t.orderMu.Lock()
+	ids, ok := t.orderIdx[ci]
+	if ok && t.orderDirty[ci] {
+		t.rebuildOrdered(ci)
+		ids = t.orderIdx[ci]
+	}
+	t.orderMu.Unlock()
+	if !ok {
+		t.mu.RUnlock()
+		var out []int
+		for rid, row := range rows {
+			if inRange(row[ci], lo, hi, loInc, hiInc) {
+				out = append(out, rid)
+			}
+		}
+		return out, false
+	}
+	start, end := t.orderedRange(ids, ci, lo, hi, loInc, hiInc)
+	t.mu.RUnlock()
+	// The ordered ids are in column-value order, not row order, so the
+	// watermark filter is a linear pass over the hits.
+	var out []int
+	for _, id := range ids[start:end] {
+		if id < len(rows) {
+			out = append(out, id)
+		}
+	}
+	return out, true
+}
+
+// orderedRange binary-searches an ordered-index id list for the [lo, hi]
+// bounds, returning the half-open hit range. The caller must hold at
+// least the read side of mu (the search probes live rows).
+func (t *Table) orderedRange(ids []int, ci int, lo, hi *Value, loInc, hiInc bool) (start, end int) {
+	end = len(ids)
+	if lo != nil {
+		start = sort.Search(len(ids), func(i int) bool {
+			c := Compare(t.rows[ids[i]][ci], *lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	if hi != nil {
+		end = sort.Search(len(ids), func(i int) bool {
+			c := Compare(t.rows[ids[i]][ci], *hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	return start, end
+}
 
 // lookupEq returns row ids whose column equals v, using the hash index if
 // present, else a scan. The second result reports whether an index served
@@ -233,26 +327,7 @@ func (t *Table) lookupRange(ci int, lo, hi *Value, loInc, hiInc bool) ([]int, bo
 		ids = t.orderIdx[ci]
 	}
 	t.orderMu.Unlock()
-	start := 0
-	if lo != nil {
-		start = sort.Search(len(ids), func(i int) bool {
-			c := Compare(t.rows[ids[i]][ci], *lo)
-			if loInc {
-				return c >= 0
-			}
-			return c > 0
-		})
-	}
-	end := len(ids)
-	if hi != nil {
-		end = sort.Search(len(ids), func(i int) bool {
-			c := Compare(t.rows[ids[i]][ci], *hi)
-			if hiInc {
-				return c > 0
-			}
-			return c >= 0
-		})
-	}
+	start, end := t.orderedRange(ids, ci, lo, hi, loInc, hiInc)
 	if start >= end {
 		return nil, true
 	}
@@ -310,40 +385,6 @@ func (db *DB) Table(name string) *Table {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.tables[strings.ToLower(name)]
-}
-
-// RLockTables acquires the read lock of every named table and returns a
-// release func. Tables are deduplicated and locked in lowercase-name
-// order — the same order the statement executor uses — so a caller
-// pinning a multi-table snapshot cannot form a lock cycle with queued
-// writers or concurrent statements. While the snapshot is held, run
-// statements with QuerySnapshot and row scans with the *Locked table
-// methods; a plain Query would re-acquire the same read locks and could
-// deadlock behind a queued writer.
-func (db *DB) RLockTables(names ...string) (release func(), err error) {
-	seen := make(map[*Table]bool, len(names))
-	locked := make([]*Table, 0, len(names))
-	for _, name := range names {
-		t := db.Table(name)
-		if t == nil {
-			return nil, fmt.Errorf("relstore: no table %q", name)
-		}
-		if !seen[t] {
-			seen[t] = true
-			locked = append(locked, t)
-		}
-	}
-	sort.Slice(locked, func(i, j int) bool {
-		return strings.ToLower(locked[i].schema.Name) < strings.ToLower(locked[j].schema.Name)
-	})
-	for _, t := range locked {
-		t.mu.RLock()
-	}
-	return func() {
-		for i := len(locked) - 1; i >= 0; i-- {
-			locked[i].mu.RUnlock()
-		}
-	}, nil
 }
 
 // TableNames returns all table names sorted.

@@ -1,0 +1,96 @@
+package relstore
+
+import "strings"
+
+// TableView is an immutable epoch view of one table: the rows that were
+// committed when the view was captured. Rows appended afterwards are
+// beyond the view's watermark and invisible through it. A TableView is
+// safe for concurrent use and holds no locks — it is a capacity-capped
+// slice header over the table's append-only row storage.
+type TableView struct {
+	t    *Table
+	rows [][]Value
+}
+
+// NumRows returns the view's watermark: how many rows were visible when
+// the view was captured.
+func (tv *TableView) NumRows() int { return len(tv.rows) }
+
+// Schema returns the underlying table's schema.
+func (tv *TableView) Schema() Schema { return tv.t.Schema() }
+
+// ColIndex resolves a column name to its position, or -1.
+func (tv *TableView) ColIndex(name string) int { return tv.t.ColIndex(name) }
+
+// ScanFrom calls fn for each view row at position >= from, in insertion
+// order, and returns the view's watermark. Positions are the table's own
+// stable row positions, so incremental readers (the projection attribute
+// cache) can resume a scan across views of different epochs.
+func (tv *TableView) ScanFrom(from int, fn func(row []Value)) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < len(tv.rows); i++ {
+		fn(tv.rows[i])
+	}
+	return len(tv.rows)
+}
+
+// View is an epoch-consistent read view of a database: one TableView per
+// table, captured together. Statements run with Query observe exactly
+// the rows visible at capture time — concurrent ingest neither blocks
+// the view's readers nor appears in their results — and a long-lived
+// holder (a server-side hunt cursor) costs writers nothing: no locks are
+// held between calls, and index probes inside Query lock only for the
+// duration of the probe.
+type View struct {
+	db     *DB
+	tables map[string]*TableView
+}
+
+// View captures an epoch view of every table. Tables are captured in
+// reverse name order — "events" before "entities" — so a table whose
+// rows reference another table's rows by id (events reference entity
+// endpoints, and ingest commits entities first) is always captured
+// before its referent: every event visible in a view has its endpoint
+// entities visible too.
+func (db *DB) View() *View {
+	names := db.TableNames()
+	v := &View{db: db, tables: make(map[string]*TableView, len(names))}
+	for i := len(names) - 1; i >= 0; i-- {
+		t := db.Table(names[i])
+		v.tables[names[i]] = &TableView{t: t, rows: t.ViewRows()}
+	}
+	return v
+}
+
+// Table returns the view of the named table, or nil.
+func (v *View) Table(name string) *TableView {
+	return v.tables[strings.ToLower(name)]
+}
+
+// TableView captures an epoch view of just the named table, or nil if
+// the table does not exist. Callers that need one table (the projection
+// attribute cache reads only the entity table) capture it directly
+// instead of paying for a whole-database view.
+func (db *DB) TableView(name string) *TableView {
+	t := db.Table(name)
+	if t == nil {
+		return nil
+	}
+	return &TableView{t: t, rows: t.ViewRows()}
+}
+
+// Query parses and executes a SELECT statement against the view: the
+// statement sees the epoch's rows only, takes no statement-long locks,
+// and may run concurrently with other statements on the same view and
+// with writers on the underlying database.
+func (v *View) Query(sql string) (*Rows, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor{db: v.db, stmt: stmt, view: v}
+	rows, err := ex.run()
+	return rows, err
+}

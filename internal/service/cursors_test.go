@@ -1,0 +1,500 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/audit/gen"
+)
+
+// wideQuery matches one row per read event: plenty of pages.
+const wideQuery = `proc p read file f as e1
+return p, f`
+
+func getJSON(t *testing.T, url string, want int) (HuntResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d (%s)", url, resp.StatusCode, want, body)
+	}
+	var hr HuntResponse
+	if want == http.StatusOK {
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatalf("bad JSON %q: %v", body, err)
+		}
+	}
+	return hr, resp
+}
+
+func doDelete(t *testing.T, url string) int {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func serverStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	decodeJSON(t, resp, &st)
+	return st
+}
+
+// TestCursorPaginationSingleExecution drives the server-side cursor API
+// end to end: POST /hunt executes once and returns a cursor_id, every
+// GET /hunt/next page comes from that one execution (hunt_executions
+// stays at 1, per-page shard_fetches never grows), the reassembled
+// pages equal the full result, and exhaustion closes the cursor and
+// garbage-collects its epoch pin.
+func TestCursorPaginationSingleExecution(t *testing.T) {
+	ts, sys, logs := newTestServer(t)
+	if _, err := sys.IngestLogs(strings.NewReader(logs)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Hunt(wideQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 100 {
+		t.Fatalf("fixture too small: %d rows", len(res.Rows))
+	}
+
+	first := postHunt(t, ts, wideQuery, 40, 0)
+	if first.CursorID == "" {
+		t.Fatalf("first page of a %d-row hunt returned no cursor_id: %+v", len(res.Rows), first)
+	}
+	if first.NextOffset == nil || *first.NextOffset != 40 {
+		t.Fatalf("first page next_offset = %v, want 40", first.NextOffset)
+	}
+
+	// A stateless offset page must NOT register a cursor (it would churn
+	// the LRU registry), while its next_offset keeps working.
+	offsetPage := postHunt(t, ts, wideQuery, 40, 40)
+	if offsetPage.CursorID != "" {
+		t.Fatalf("offset-paging request registered cursor %q", offsetPage.CursorID)
+	}
+	if offsetPage.NextOffset == nil {
+		t.Fatal("offset page lost its next_offset")
+	}
+
+	pages := append([][]string{}, first.Rows...)
+	fetches := first.Stats.ShardFetches
+	id := first.CursorID
+	for page := 0; id != ""; page++ {
+		if page > len(res.Rows) {
+			t.Fatal("cursor pagination did not terminate")
+		}
+		hr, _ := getJSON(t, ts.URL+"/hunt/next?cursor="+id+"&limit=40", http.StatusOK)
+		if hr.Offset != len(pages) {
+			t.Fatalf("page %d offset = %d, want %d", page, hr.Offset, len(pages))
+		}
+		if hr.Epoch != first.Epoch {
+			t.Fatalf("page %d epoch = %d, first page pinned %d", page, hr.Epoch, first.Epoch)
+		}
+		if hr.Stats.ShardFetches != fetches {
+			t.Fatalf("page %d shard_fetches = %d, want %d (no re-execution)", page, hr.Stats.ShardFetches, fetches)
+		}
+		pages = append(pages, hr.Rows...)
+		id = hr.CursorID
+	}
+
+	if len(pages) != len(res.Rows) {
+		t.Fatalf("cursor pages total %d rows, want %d", len(pages), len(res.Rows))
+	}
+	for i := range pages {
+		if strings.Join(pages[i], "\x00") != strings.Join(res.Rows[i], "\x00") {
+			t.Fatalf("row %d: paged %v != Result %v", i, pages[i], res.Rows[i])
+		}
+	}
+
+	st := serverStats(t, ts)
+	// Two POST /hunt calls ran (the cursor's own and the stateless
+	// offset probe above); the N cursor pages added zero executions.
+	if st.HuntExecutions != 2 {
+		t.Errorf("hunt_executions = %d after deep pagination, want 2", st.HuntExecutions)
+	}
+	if st.OpenCursors != 0 || st.EpochsPinned != 0 {
+		t.Errorf("exhausted cursor left open_cursors=%d epochs_pinned=%d", st.OpenCursors, st.EpochsPinned)
+	}
+	if st.CursorPages == 0 {
+		t.Error("cursor_pages did not count")
+	}
+}
+
+// TestCursorExplicitDelete: DELETE /hunt/cursor closes a cursor
+// immediately; later pages and repeat deletes answer 410.
+func TestCursorExplicitDelete(t *testing.T) {
+	ts, sys, logs := newTestServer(t)
+	if _, err := sys.IngestLogs(strings.NewReader(logs)); err != nil {
+		t.Fatal(err)
+	}
+	first := postHunt(t, ts, wideQuery, 10, 0)
+	if first.CursorID == "" {
+		t.Fatal("no cursor_id")
+	}
+	if code := doDelete(t, ts.URL+"/hunt/cursor?cursor="+first.CursorID); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	getJSON(t, ts.URL+"/hunt/next?cursor="+first.CursorID, http.StatusGone)
+	if code := doDelete(t, ts.URL+"/hunt/cursor?cursor="+first.CursorID); code != http.StatusGone {
+		t.Fatalf("repeat delete status %d, want 410", code)
+	}
+	if code := doDelete(t, ts.URL+"/hunt/cursor"); code != http.StatusBadRequest {
+		t.Fatalf("missing-param delete status %d, want 400", code)
+	}
+	if st := serverStats(t, ts); st.OpenCursors != 0 || st.EpochsPinned != 0 {
+		t.Errorf("deleted cursor left open_cursors=%d epochs_pinned=%d", st.OpenCursors, st.EpochsPinned)
+	}
+}
+
+// TestCursorTTLExpiry: a cursor idle past the TTL answers 410 Gone
+// mid-pagination — a clean error, not a hang or a wrong page — and the
+// expiry is counted and its epoch released.
+func TestCursorTTLExpiry(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.Generate(gen.Config{Seed: 31, BenignEvents: 1200})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestLogs(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(sys, Config{CursorTTL: time.Minute})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// A controllable clock instead of sleeping through the TTL.
+	now := time.Now()
+	srv.cursors.now = func() time.Time { return now }
+
+	first := postHunt(t, ts, wideQuery, 10, 0)
+	if first.CursorID == "" {
+		t.Fatal("no cursor_id")
+	}
+	// Page once within the TTL: fine, and it refreshes last use.
+	getJSON(t, ts.URL+"/hunt/next?cursor="+first.CursorID+"&limit=10", http.StatusOK)
+
+	now = now.Add(2 * time.Minute)
+	getJSON(t, ts.URL+"/hunt/next?cursor="+first.CursorID+"&limit=10", http.StatusGone)
+
+	st := serverStats(t, ts)
+	if st.CursorsExpired != 1 {
+		t.Errorf("cursors_expired = %d, want 1", st.CursorsExpired)
+	}
+	if st.OpenCursors != 0 || st.EpochsPinned != 0 {
+		t.Errorf("expired cursor left open_cursors=%d epochs_pinned=%d", st.OpenCursors, st.EpochsPinned)
+	}
+}
+
+// TestCursorLRUEviction: concurrent clients opening more cursors than
+// the cap evict the least-recently-used ones; evicted cursors answer
+// 410, the registry never exceeds the cap, and survivors keep paging
+// correctly.
+func TestCursorLRUEviction(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.Generate(gen.Config{Seed: 31, BenignEvents: 1200})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestLogs(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	const cap = 4
+	srv := NewWithConfig(sys, Config{MaxCursors: cap})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// 4 clients × 4 cursors each, concurrently.
+	var wg sync.WaitGroup
+	ids := make(chan string, 16)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				reqBody, _ := json.Marshal(HuntRequest{Query: wideQuery, Limit: 5})
+				resp, err := http.Post(ts.URL+"/hunt", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var hr HuntResponse
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := json.Unmarshal(body, &hr); err != nil || hr.CursorID == "" {
+					t.Errorf("hunt gave no cursor: %s", body)
+					return
+				}
+				ids <- hr.CursorID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+
+	st := serverStats(t, ts)
+	if st.OpenCursors > cap {
+		t.Fatalf("open_cursors = %d exceeds the cap %d", st.OpenCursors, cap)
+	}
+	if st.CursorsEvicted != 16-int64(cap) {
+		t.Errorf("cursors_evicted = %d, want %d", st.CursorsEvicted, 16-cap)
+	}
+
+	// Every cursor either pages (survivor) or answers 410 (evicted);
+	// exactly cap survive.
+	live := 0
+	for id := range ids {
+		resp, err := http.Get(ts.URL + "/hunt/next?cursor=" + id + "&limit=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			live++
+		case http.StatusGone:
+		default:
+			t.Fatalf("cursor %s: status %d", id, resp.StatusCode)
+		}
+	}
+	if live != cap {
+		t.Errorf("%d cursors survived, want %d", live, cap)
+	}
+}
+
+// TestCursorPagesPinnedEpochUnderIngest is the service-level epoch
+// property: pages read through a registered cursor while ingest keeps
+// committing equal the match set at the cursor's pinned epoch — no
+// skips, no repeats, no phantom rows — while a fresh hunt afterwards
+// sees a bigger world.
+func TestCursorPagesPinnedEpochUnderIngest(t *testing.T) {
+	ts, sys, logs := newTestServer(t)
+	if _, err := sys.IngestLogs(strings.NewReader(logs)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Hunt(wideQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := postHunt(t, ts, wideQuery, 30, 0)
+	if first.CursorID == "" {
+		t.Fatal("no cursor_id")
+	}
+
+	// Heavy concurrent ingest: every batch adds read events that match
+	// the open query.
+	stop := make(chan struct{})
+	var ingest sync.WaitGroup
+	ingest.Add(1)
+	go func() {
+		defer ingest.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wl := gen.Generate(gen.Config{Seed: int64(500 + i), BenignEvents: 150})
+			var buf bytes.Buffer
+			if _, err := wl.WriteTo(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/ingest", "text/plain", &buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	pages := append([][]string{}, first.Rows...)
+	id := first.CursorID
+	for id != "" {
+		hr, _ := getJSON(t, ts.URL+"/hunt/next?cursor="+id+"&limit=30", http.StatusOK)
+		pages = append(pages, hr.Rows...)
+		id = hr.CursorID
+		if len(pages) > len(want.Rows)+1000 {
+			t.Fatal("cursor returned far more rows than the pinned epoch holds")
+		}
+	}
+	close(stop)
+	ingest.Wait()
+
+	if len(pages) != len(want.Rows) {
+		t.Fatalf("pinned cursor paged %d rows under ingest, epoch match set has %d", len(pages), len(want.Rows))
+	}
+	for i := range pages {
+		if strings.Join(pages[i], "\x00") != strings.Join(want.Rows[i], "\x00") {
+			t.Fatalf("row %d: paged %v != epoch row %v", i, pages[i], want.Rows[i])
+		}
+	}
+
+	after, err := sys.Hunt(wideQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) <= len(want.Rows) {
+		t.Fatalf("concurrent ingest added no matching rows (%d <= %d); the property was not exercised", len(after.Rows), len(want.Rows))
+	}
+}
+
+// TestHuntNextErrors covers the error surface of the cursor endpoints.
+func TestHuntNextErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	getJSON(t, ts.URL+"/hunt/next", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/hunt/next?cursor=nope", http.StatusGone)
+	getJSON(t, ts.URL+"/hunt/next?cursor=x&limit=-2", http.StatusBadRequest)
+	resp, err := http.Post(ts.URL+"/hunt/next?cursor=x", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /hunt/next status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestIngestRetryAfter: a shed ingest batch carries a Retry-After hint
+// with its 429, and the queue bound is configurable.
+func TestIngestRetryAfter(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(sys, Config{IngestQueue: 2})
+	if cap(srv.ingestSlots) != 2 {
+		t.Fatalf("ingest queue cap = %d, want 2", cap(srv.ingestSlots))
+	}
+	for i := 0; i < 2; i++ {
+		srv.ingestSlots <- struct{}{}
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain",
+		strings.NewReader("100\t200\th\t1\t/bin/a\tread\tfile\t/x\t1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest status %d (%s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carried no Retry-After header")
+	}
+	if !strings.Contains(string(body), "max 2") {
+		t.Errorf("429 body %q does not name the configured bound", body)
+	}
+
+	<-srv.ingestSlots
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain",
+		strings.NewReader("100\t200\th\t1\t/bin/a\tread\tfile\t/x\t1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing IngestResponse
+	decodeJSON(t, resp, &ing)
+	if ing.EventsStored != 1 {
+		t.Errorf("recovered ingest stored %d events", ing.EventsStored)
+	}
+}
+
+// TestSingleShardIngestFlowsUnderCursors: on a 1-shard deployment both
+// entity-interning and event-only batches flow freely while cursors
+// are held open (the epoch design plus the skipped broadcast — nothing
+// for either batch kind to queue behind).
+func TestSingleShardIngestFlowsUnderCursors(t *testing.T) {
+	ts, sys, logs := newTestServer(t)
+	if _, err := sys.IngestLogs(strings.NewReader(logs)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumShards() != 1 {
+		t.Fatalf("test wants an unsharded system, got %d shards", sys.NumShards())
+	}
+
+	// Hold several cursors open across the ingest.
+	var held []string
+	for i := 0; i < 4; i++ {
+		hr := postHunt(t, ts, wideQuery, 5, 0)
+		if hr.CursorID == "" {
+			t.Fatal("no cursor_id")
+		}
+		held = append(held, hr.CursorID)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		// New entities AND new events: the batch kind that used to queue
+		// behind every open cursor.
+		wl := gen.Generate(gen.Config{Seed: 777, BenignEvents: 300})
+		var buf bytes.Buffer
+		if _, err := wl.WriteTo(&buf); err != nil {
+			done <- err
+			return
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "text/plain", &buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("ingest status %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest blocked behind open cursors on a single-shard system")
+	}
+
+	// The held cursors still page their own epochs.
+	for _, id := range held {
+		getJSON(t, ts.URL+"/hunt/next?cursor="+id+"&limit=5", http.StatusOK)
+	}
+}

@@ -1,7 +1,14 @@
 // Package service exposes a threatraptor.System over HTTP: the daemon
 // API behind cmd/threatraptord. One long-running System serves many
-// concurrent analysts — ingestion streams in over POST /ingest while
-// hunts page through match sets with the cursor API.
+// concurrent analysts — ingestion streams in over POST /ingest (shed
+// with 429 + Retry-After beyond the configured queue bound) while hunts
+// page through match sets with server-side persistent cursors: POST
+// /hunt executes once against an epoch snapshot and returns a
+// cursor_id, GET /hunt/next pages the pinned epoch with no
+// re-execution and no pagination anomalies under concurrent ingest,
+// DELETE /hunt/cursor closes it. Cursors are bounded by a TTL and an
+// LRU cap, and each cursor's epoch stays pinned in a refcounted
+// registry until its last reference goes.
 package service
 
 import (
@@ -32,11 +39,47 @@ const MaxIngestBody = 256 << 20
 // sources are short, so anything larger is a client error.
 const MaxQueryBody = 1 << 20
 
-// MaxConcurrentIngests bounds how many /ingest requests may buffer
-// bodies at once. Ingestion itself is serialized by the System; this
-// cap keeps N clients from pinning N×MaxIngestBody of heap while they
-// queue. Requests beyond the cap get 429.
+// MaxConcurrentIngests is the default bound on how many /ingest
+// requests may buffer bodies at once (Config.IngestQueue overrides).
+// Ingestion itself is serialized by the System; this cap keeps N
+// clients from pinning N×MaxIngestBody of heap while they queue.
+// Requests beyond the cap get 429 with a Retry-After hint.
 const MaxConcurrentIngests = 4
+
+// DefaultCursorTTL is how long an idle server-side cursor survives
+// before it expires (Config.CursorTTL overrides).
+const DefaultCursorTTL = 2 * time.Minute
+
+// DefaultMaxCursors caps how many server-side cursors may be open at
+// once before the least-recently-used is evicted (Config.MaxCursors
+// overrides).
+const DefaultMaxCursors = 64
+
+// Config tunes the daemon's HTTP layer. The zero value means defaults.
+type Config struct {
+	// CursorTTL is the idle lifetime of a server-side hunt cursor; a
+	// cursor unused for longer expires and further pages get 410.
+	CursorTTL time.Duration
+	// MaxCursors caps the cursor registry; registering beyond it evicts
+	// the least-recently-used cursor.
+	MaxCursors int
+	// IngestQueue bounds concurrent /ingest body buffering; requests
+	// beyond it are shed with 429 + Retry-After instead of blocking.
+	IngestQueue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CursorTTL <= 0 {
+		c.CursorTTL = DefaultCursorTTL
+	}
+	if c.MaxCursors <= 0 {
+		c.MaxCursors = DefaultMaxCursors
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = MaxConcurrentIngests
+	}
+	return c
+}
 
 // Server is the HTTP front end of a ThreatRaptor system. It implements
 // http.Handler and is safe for concurrent requests: the underlying
@@ -45,28 +88,47 @@ type Server struct {
 	sys     *threatraptor.System
 	mux     *http.ServeMux
 	started time.Time
+	cfg     Config
 
 	hunts   atomic.Int64
 	ingests atomic.Int64
+	// executions counts query executions: one per POST /hunt. Pages
+	// served from a registered cursor (GET /hunt/next) never re-execute,
+	// so executions staying flat while cursor_pages climbs is the
+	// observable proof of one-execution-per-cursor pagination.
+	executions atomic.Int64
 	// propSkipped accumulates Stats.PropagationsSkipped across hunts:
 	// a growing count means hunts keep hitting the propagation cap and
 	// falling back to unconstrained table fetches.
 	propSkipped atomic.Int64
 
+	// cursors is the server-side cursor registry (TTL, LRU, epoch pins).
+	cursors *cursorManager
+
 	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
 	ingestSlots chan struct{}
 }
 
-// New wraps a System with the daemon's HTTP API.
+// New wraps a System with the daemon's HTTP API using default tuning.
 func New(sys *threatraptor.System) *Server {
+	return NewWithConfig(sys, Config{})
+}
+
+// NewWithConfig wraps a System with the daemon's HTTP API.
+func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
 		sys:         sys,
 		mux:         http.NewServeMux(),
 		started:     time.Now(),
-		ingestSlots: make(chan struct{}, MaxConcurrentIngests),
+		cfg:         cfg,
+		cursors:     newCursorManager(cfg.CursorTTL, cfg.MaxCursors),
+		ingestSlots: make(chan struct{}, cfg.IngestQueue),
 	}
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/hunt", s.handleHunt)
+	s.mux.HandleFunc("/hunt/next", s.handleHuntNext)
+	s.mux.HandleFunc("/hunt/cursor", s.handleHuntCursor)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
@@ -122,8 +184,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.ingestSlots <- struct{}{}:
 		defer func() { <-s.ingestSlots }()
 	default:
+		// Shed instead of queueing: the client retries after the hinted
+		// delay, and no memory is pinned for a batch we cannot start.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
-			"too many concurrent ingest batches (max %d); retry shortly", MaxConcurrentIngests)
+			"too many concurrent ingest batches (max %d); retry shortly", cap(s.ingestSlots))
 		return
 	}
 	// Buffer the body before ingesting: IngestLogs serializes ingestion
@@ -181,16 +246,24 @@ type HuntStats struct {
 	ShardFetches int `json:"shard_fetches"`
 }
 
-// HuntResponse is one page of hunt results. NextOffset is present only
-// when more rows remain beyond this page; passing it back as offset
-// resumes the iteration.
+// HuntResponse is one page of hunt results. When more rows remain
+// beyond this page, CursorID names a server-side cursor pinned at the
+// hunt's epoch: GET /hunt/next?cursor=<id> pages on with no query
+// re-execution and no skip/repeat anomalies under concurrent ingest.
+// NextOffset is the legacy offset-paging hint (each offset page
+// re-executes against the then-current store); it remains for clients
+// that prefer stateless paging.
 type HuntResponse struct {
-	Columns    []string   `json:"columns"`
-	Rows       [][]string `json:"rows"`
-	Offset     int        `json:"offset"`
-	Count      int        `json:"count"`
-	NextOffset *int       `json:"next_offset,omitempty"`
-	Stats      HuntStats  `json:"stats"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Offset  int        `json:"offset"`
+	Count   int        `json:"count"`
+	// Epoch is the ingest epoch the hunt's snapshot was captured at;
+	// every page of one cursor reports the same epoch.
+	Epoch      uint64    `json:"epoch"`
+	CursorID   string    `json:"cursor_id,omitempty"`
+	NextOffset *int      `json:"next_offset,omitempty"`
+	Stats      HuntStats `json:"stats"`
 }
 
 func (s *Server) huntRequest(w http.ResponseWriter, r *http.Request) (HuntRequest, int, error) {
@@ -228,9 +301,25 @@ func (s *Server) huntRequest(w http.ResponseWriter, r *http.Request) (HuntReques
 	return req, 0, nil
 }
 
+// toHuntStats maps engine cursor stats into the response shape.
+func toHuntStats(cur *threatraptor.Cursor) HuntStats {
+	st := cur.Stats()
+	return HuntStats{
+		RowsFetched:         st.RowsFetched,
+		Propagations:        st.Propagations,
+		PropagationsSkipped: st.PropagationsSkipped,
+		ShortCircuit:        st.ShortCircuit,
+		JoinCandidates:      st.JoinCandidates,
+		ShardFetches:        st.ShardFetches,
+	}
+}
+
 // handleHunt executes TBQL source and returns one page of projected
 // rows, driven by the streaming cursor so only the requested page is
-// materialized.
+// materialized. When more rows remain, the cursor is registered
+// server-side and the response's cursor_id resumes it: the whole hunt
+// costs one execution no matter how many pages follow, and every page
+// reads the same pinned epoch.
 func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "hunt wants POST, got %s", r.Method)
@@ -246,8 +335,14 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	defer cur.Close()
+	registered := false
+	defer func() {
+		if !registered {
+			cur.Close()
+		}
+	}()
 	s.hunts.Add(1)
+	s.executions.Add(1)
 
 	for skipped := 0; skipped < req.Offset; skipped++ {
 		if !cur.Next() {
@@ -260,34 +355,144 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	for len(rows) < req.Limit && cur.Next() {
 		rows = append(rows, cur.Row())
 	}
-	st := cur.Stats()
+	st := toHuntStats(cur)
 	s.propSkipped.Add(int64(st.PropagationsSkipped))
 	resp := HuntResponse{
 		Columns: cur.Columns(),
 		Rows:    rows,
 		Offset:  req.Offset,
 		Count:   len(rows),
-		Stats: HuntStats{
-			RowsFetched:         st.RowsFetched,
-			Propagations:        st.Propagations,
-			PropagationsSkipped: st.PropagationsSkipped,
-			ShortCircuit:        st.ShortCircuit,
-			JoinCandidates:      st.JoinCandidates,
-			ShardFetches:        st.ShardFetches,
-		},
+		Epoch:   uint64(cur.Epoch()),
+		Stats:   st,
 	}
-	if cur.Next() { // one row beyond the page: more remain
-		next := req.Offset + len(rows)
-		resp.NextOffset = &next
-		resp.Stats.JoinCandidates = cur.Stats().JoinCandidates
-	}
+	more := cur.Next() // one row beyond the page: more remain
 	// The join runs lazily inside the cursor, so an iteration error can
 	// surface mid-page; report it instead of a truncated row set.
 	if err := cur.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if more {
+		next := req.Offset + len(rows)
+		resp.NextOffset = &next
+		resp.Stats.JoinCandidates = toHuntStats(cur).JoinCandidates
+		// Register the cursor — with the consumed look-ahead row as the
+		// next page's first row — so GET /hunt/next pages this one
+		// execution; from here the registry owns Close. A request with a
+		// non-zero offset is a client already paging statelessly
+		// (re-executing per page): registering its cursor every page
+		// would churn the LRU registry and evict other analysts' live
+		// cursors, so only offset-0 hunts register.
+		if req.Offset == 0 {
+			resp.CursorID = s.cursors.put(cur, cur.Row(), next)
+			registered = true
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHuntNext serves the next page of a registered cursor:
+// GET /hunt/next?cursor=<id>[&limit=N]. The page comes straight from
+// the cursor's pinned epoch snapshot — no re-execution, no skipped or
+// repeated rows however much has been ingested since the hunt began.
+// An unknown, expired, or evicted cursor gets 410 Gone; start the hunt
+// again with POST /hunt.
+func (s *Server) handleHuntNext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "hunt/next wants GET, got %s", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	id := q.Get("cursor")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing cursor parameter")
+		return
+	}
+	limit := DefaultHuntLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		limit = n
+	}
+	e := s.cursors.acquire(id)
+	if e == nil {
+		writeError(w, http.StatusGone, "unknown or expired cursor %q; re-run the hunt", id)
+		return
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		writeError(w, http.StatusGone, "unknown or expired cursor %q; re-run the hunt", id)
+		return
+	}
+	pageStart := e.offset
+	rows := make([][]string, 0, min(limit, 64))
+	if e.pending != nil {
+		rows = append(rows, e.pending)
+		e.pending = nil
+	}
+	for len(rows) < limit && e.cur.Next() {
+		rows = append(rows, e.cur.Row())
+	}
+	more := e.cur.Next()
+	if more {
+		e.pending = e.cur.Row()
+	}
+	e.offset = pageStart + len(rows)
+	err := e.cur.Err()
+	st := toHuntStats(e.cur)
+	epoch := uint64(e.cur.Epoch())
+	cols := e.cur.Columns()
+	e.mu.Unlock()
+
+	if err != nil {
+		s.cursors.remove(id)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !more {
+		// Exhausted: close and forget the cursor, releasing its epoch pin.
+		s.cursors.remove(id)
+	}
+	s.cursors.pages.Add(1)
+	resp := HuntResponse{
+		Columns: cols,
+		Rows:    rows,
+		Offset:  pageStart,
+		Count:   len(rows),
+		Epoch:   epoch,
+		Stats:   st,
+	}
+	if more {
+		next := pageStart + len(rows)
+		resp.NextOffset = &next
+		resp.CursorID = id
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHuntCursor closes a registered cursor explicitly:
+// DELETE /hunt/cursor?cursor=<id>. Closing releases the cursor's match
+// state and epoch pin immediately instead of waiting for TTL expiry.
+func (s *Server) handleHuntCursor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "hunt/cursor wants DELETE, got %s", r.Method)
+		return
+	}
+	id := r.URL.Query().Get("cursor")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing cursor parameter")
+		return
+	}
+	if !s.cursors.remove(id) {
+		writeError(w, http.StatusGone, "unknown or expired cursor %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
 }
 
 // ExplainedPattern is one pattern of an explain response, in scheduled
@@ -354,6 +559,21 @@ type StatsResponse struct {
 	threatraptor.StoreStats
 	Hunts   int64 `json:"hunts"`
 	Ingests int64 `json:"ingests"`
+	// HuntExecutions counts query executions (one per POST /hunt).
+	// Cursor pages never re-execute, so this staying flat while
+	// cursor_pages climbs is deep pagination working as designed.
+	HuntExecutions int64 `json:"hunt_executions"`
+	// Epoch is the current ingest epoch (one per ingest commit).
+	Epoch uint64 `json:"epoch"`
+	// OpenCursors is the number of registered server-side cursors;
+	// EpochsPinned counts the distinct epochs they hold live. Cursor
+	// pages, expiries (TTL), and evictions (LRU cap) are lifetime
+	// counters.
+	OpenCursors    int   `json:"open_cursors"`
+	EpochsPinned   int   `json:"epochs_pinned"`
+	CursorPages    int64 `json:"cursor_pages"`
+	CursorsExpired int64 `json:"cursors_expired"`
+	CursorsEvicted int64 `json:"cursors_evicted"`
 	// PropagationsSkipped is the cumulative count of propagation
 	// constraints hunts dropped for exceeding the engine's IN-list cap;
 	// when it climbs, hunts are silently fetching whole tables.
@@ -361,16 +581,25 @@ type StatsResponse struct {
 	UptimeSeconds       float64 `json:"uptime_seconds"`
 }
 
-// handleStats reports store sizes and request counters.
+// handleStats reports store sizes and request counters. Reading stats
+// also sweeps expired cursors, so the reported counts reflect the TTL.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "stats wants GET, got %s", r.Method)
 		return
 	}
+	s.cursors.sweep()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		StoreStats:          s.sys.Stats(),
 		Hunts:               s.hunts.Load(),
 		Ingests:             s.ingests.Load(),
+		HuntExecutions:      s.executions.Load(),
+		Epoch:               uint64(s.sys.Epoch()),
+		OpenCursors:         s.cursors.open(),
+		EpochsPinned:        s.cursors.reg.Pinned(),
+		CursorPages:         s.cursors.pages.Load(),
+		CursorsExpired:      s.cursors.expired.Load(),
+		CursorsEvicted:      s.cursors.evicted.Load(),
 		PropagationsSkipped: s.propSkipped.Load(),
 		UptimeSeconds:       time.Since(s.started).Seconds(),
 	})

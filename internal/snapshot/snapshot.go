@@ -1,0 +1,127 @@
+// Package snapshot provides the epoch machinery behind multi-version
+// reads: a Clock that names ingest commits with monotonically increasing
+// epochs, and a Registry that reference-counts the epochs long-lived
+// readers (server-side hunt cursors) are pinned at.
+//
+// Both storage backends are append-only, so an epoch snapshot is an
+// append watermark, not a copy: rows/edges appended after the epoch are
+// invisible to readers pinned at it, and the live arrays are shared
+// between every epoch. "Garbage collecting" an epoch therefore frees
+// bookkeeping, not data — the Registry drops an epoch's entry as soon as
+// its last pin is released, and LowWater exposes the oldest epoch still
+// referenced so a future compacting store knows what it must retain.
+package snapshot
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch identifies one ingest commit. Epoch 0 is the empty store; every
+// commit advances the clock by one. Readers pinned at epoch E observe
+// exactly the rows committed by epochs <= E.
+type Epoch uint64
+
+// Clock issues epochs. The zero Clock is ready to use (current epoch 0).
+// Advance is called once per ingest commit, after the batch's rows are
+// visible in the stores; Current names the epoch a new reader pins.
+type Clock struct {
+	cur atomic.Uint64
+}
+
+// Advance marks one ingest commit and returns the new current epoch.
+func (c *Clock) Advance() Epoch { return Epoch(c.cur.Add(1)) }
+
+// Current returns the latest committed epoch.
+func (c *Clock) Current() Epoch { return Epoch(c.cur.Load()) }
+
+// Registry reference-counts pinned epochs. It is safe for concurrent
+// use. Pinning is advisory — the append-only stores never need a pin to
+// answer a bounded read — but the registry is what gives epoch GC its
+// meaning: an epoch's entry exists exactly while some cursor references
+// it, and the stats it exposes (pinned count, low-water mark, lifetime
+// released count) are the observability surface for cursor leaks.
+type Registry struct {
+	mu       sync.Mutex
+	pins     map[Epoch]int
+	released uint64 // epochs whose last pin was dropped (lifetime)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{pins: make(map[Epoch]int)}
+}
+
+// Pin adds a reference to the epoch.
+func (r *Registry) Pin(e Epoch) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pins[e]++
+}
+
+// Unpin drops one reference to the epoch. When the last reference goes,
+// the epoch's entry is garbage collected. Unpinning an epoch that is not
+// pinned is a no-op (Close paths are idempotent).
+func (r *Registry) Unpin(e Epoch) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.pins[e]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(r.pins, e)
+		r.released++
+		return
+	}
+	r.pins[e] = n - 1
+}
+
+// Pinned returns how many distinct epochs are currently referenced.
+func (r *Registry) Pinned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pins)
+}
+
+// Released returns the lifetime count of epochs garbage collected (last
+// pin dropped).
+func (r *Registry) Released() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.released
+}
+
+// LowWater returns the oldest pinned epoch, and false when nothing is
+// pinned. A compacting store must retain everything visible at or after
+// the low-water epoch; with nothing pinned, only the latest epoch
+// matters.
+func (r *Registry) LowWater() (Epoch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pins) == 0 {
+		return 0, false
+	}
+	low := Epoch(0)
+	first := true
+	for e := range r.pins {
+		if first || e < low {
+			low, first = e, false
+		}
+	}
+	return low, true
+}
+
+// PinnedEpochs returns the pinned epochs in ascending order (stats and
+// tests).
+func (r *Registry) PinnedEpochs() []Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Epoch, 0, len(r.pins))
+	for e := range r.pins {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,98 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	if c.Current() != 0 {
+		t.Fatalf("fresh clock at %d, want 0", c.Current())
+	}
+	if e := c.Advance(); e != 1 {
+		t.Fatalf("first Advance = %d, want 1", e)
+	}
+	if e := c.Advance(); e != 2 || c.Current() != 2 {
+		t.Fatalf("second Advance = %d (current %d), want 2", e, c.Current())
+	}
+}
+
+func TestRegistryPinUnpinGC(t *testing.T) {
+	r := NewRegistry()
+	if n := r.Pinned(); n != 0 {
+		t.Fatalf("fresh registry pins %d epochs", n)
+	}
+	r.Pin(3)
+	r.Pin(3)
+	r.Pin(7)
+	if n := r.Pinned(); n != 2 {
+		t.Fatalf("pinned %d distinct epochs, want 2", n)
+	}
+	if low, ok := r.LowWater(); !ok || low != 3 {
+		t.Fatalf("low water = %d/%v, want 3/true", low, ok)
+	}
+
+	// Epoch 3 is doubly pinned: one unpin keeps it alive.
+	r.Unpin(3)
+	if n := r.Pinned(); n != 2 {
+		t.Fatalf("after partial unpin, pinned %d, want 2", n)
+	}
+	r.Unpin(3)
+	if n := r.Pinned(); n != 1 {
+		t.Fatalf("after final unpin, pinned %d, want 1 (epoch 3 should be GCed)", n)
+	}
+	if low, ok := r.LowWater(); !ok || low != 7 {
+		t.Fatalf("low water = %d/%v, want 7/true", low, ok)
+	}
+	if got := r.Released(); got != 1 {
+		t.Fatalf("released = %d, want 1", got)
+	}
+
+	// Unpinning an unpinned epoch is a no-op (idempotent Close paths).
+	r.Unpin(99)
+	r.Unpin(3)
+	if got := r.Released(); got != 1 {
+		t.Fatalf("no-op unpins changed released to %d", got)
+	}
+
+	r.Unpin(7)
+	if _, ok := r.LowWater(); ok {
+		t.Fatal("empty registry still reports a low-water epoch")
+	}
+	if eps := r.PinnedEpochs(); len(eps) != 0 {
+		t.Fatalf("empty registry lists %v", eps)
+	}
+}
+
+func TestRegistryPinnedEpochsSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, e := range []Epoch{9, 2, 5} {
+		r.Pin(e)
+	}
+	eps := r.PinnedEpochs()
+	if len(eps) != 3 || eps[0] != 2 || eps[1] != 5 || eps[2] != 9 {
+		t.Fatalf("pinned epochs = %v, want [2 5 9]", eps)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := Epoch(i % 5)
+				r.Pin(e)
+				r.LowWater()
+				r.Unpin(e)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.Pinned(); n != 0 {
+		t.Fatalf("after balanced pin/unpin, %d epochs still pinned", n)
+	}
+}

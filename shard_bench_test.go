@@ -16,13 +16,14 @@ import (
 // serializes on the same table/graph write locks; with 8 shards the
 // batches land on disjoint shards and load in parallel.
 //
-// The "under-hunts" scenarios add the workload sharding is really for:
-// a hunter continuously pages host0-pinned hunts while the 8 hosts
-// ingest. On 1 shard every open cursor pins THE events table, so all
-// ingest queues behind every hunt; on 8 shards the cursor pins only
-// host0's shard and the other seven hosts' ingest flows past it — a
-// difference that shows even on a single-core machine, where plain
-// parallel ingest is bounded by the CPU, not the locks.
+// The "under-hunts" scenarios add a hunter continuously paging
+// host0-pinned hunts while the 8 hosts ingest. Under the lock-pinned
+// snapshot design this was sharding's headline win (19.5× on 1 core:
+// on 1 shard every open cursor pinned THE events table and all ingest
+// queued behind every hunt); under epoch snapshots (PR 4) cursors
+// block no writers on any shard count, so the 1-shard and 8-shard
+// under-hunts numbers should now sit close together — this benchmark
+// is the regression guard for that property.
 //
 // Each iteration starts from a freshly warmed System (outside the
 // timer); the warmup interns every entity, so the measured phase is

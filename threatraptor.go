@@ -33,6 +33,7 @@ import (
 	"repro/internal/graphstore"
 	"repro/internal/provenance"
 	"repro/internal/relstore"
+	"repro/internal/snapshot"
 	"repro/internal/synth"
 	"repro/internal/tbql"
 )
@@ -54,6 +55,8 @@ type (
 	Cursor = exec.Cursor
 	// Record is one raw audit record.
 	Record = audit.Record
+	// Epoch identifies one ingest commit (see System.Epoch).
+	Epoch = snapshot.Epoch
 	// TimeWindow bounds patterns to [From, To] unix nanoseconds.
 	TimeWindow = tbql.TimeWindow
 	// Entity is a resolved system entity.
@@ -132,17 +135,15 @@ type IngestStats struct {
 // high-water-mark bookkeeping stays consistent, but the bulk of a
 // batch — loading its events into the stores — runs outside that lock:
 // batches for different hosts land on disjoint shards and load in
-// parallel. A hunt pins a read snapshot of every shard it touches for
-// its whole execution (for cursor hunts, until the cursor is closed or
-// exhausted), so event ingestion into those shards queues behind
-// in-flight hunts and open cursors while other shards keep ingesting.
-// Caveat: every cursor pins shard 0's entity table (the broadcast
-// entity set projection reads), and the entity broadcast runs inside
-// the serialized ingest phase — so a batch that interns new entities
-// waits for every open cursor, and later batches wait behind it.
-// Event-only batches (all entities already known) are the ones that
-// flow past open cursors on other shards; epoch/copy-on-write entity
-// storage would lift the rest (see ROADMAP).
+// parallel. Storage is epoch-based multi-version: every ingest commit
+// advances the epoch clock, and a hunt pins an epoch snapshot (append
+// watermarks over both backends) of every shard it touches for its
+// whole execution — for cursor hunts, until the cursor is closed or
+// exhausted. Snapshots are watermarks, not locks: readers never block
+// writers, writers never block open cursors (including the shard-0
+// entity-table snapshot the projection cache reads), and a batch that
+// interns new entities flows as freely as an event-only one no matter
+// how many cursors are open or how long they live.
 type System struct {
 	opts   Options
 	parser *audit.Parser
@@ -150,9 +151,14 @@ type System struct {
 	graph  *graphstore.Sharded
 	engine *exec.Engine
 
+	// clock names ingest commits with monotonically increasing epochs;
+	// cursors report the epoch they pinned (Cursor.Epoch) and the
+	// service's cursor registry GCs epochs no cursor references.
+	clock snapshot.Clock
+
 	// ingestMu serializes record interning and the entity broadcast
 	// (IngestLogs, IngestRecords); per-shard event loads run outside it,
-	// and queries run concurrently under the stores' own read locks.
+	// and queries run concurrently against epoch snapshots.
 	ingestMu sync.Mutex
 	stored   atomic.Int64 // events already flushed to the stores
 
@@ -174,7 +180,7 @@ func New(opts Options) (*System, error) {
 	g := graphstore.NewSharded(nShards)
 	p := audit.NewParser()
 	p.Lenient = opts.LenientParsing
-	return &System{
+	s := &System{
 		opts:   opts,
 		parser: p,
 		rel:    rel,
@@ -188,8 +194,18 @@ func New(opts Options) (*System, error) {
 			MaxPropagatedIDs:   opts.MaxPropagatedIDs,
 		},
 		shardIngests: make([]atomic.Int64, nShards),
-	}, nil
+	}
+	s.engine.Clock = &s.clock
+	return s, nil
 }
+
+// Epoch returns the current ingest epoch: the number of ingest commits
+// so far. A cursor created now reports at least this epoch
+// (Cursor.Epoch) and pages one immutable cut that includes everything
+// those commits made visible — plus, possibly, a commit completing
+// concurrently with the cursor's snapshot capture (the watermark
+// vector, not the epoch number, is the snapshot boundary).
+func (s *System) Epoch() Epoch { return s.clock.Current() }
 
 // NumShards reports how many per-host shards each storage backend has.
 func (s *System) NumShards() int { return s.rel.NumShards() }
@@ -287,6 +303,11 @@ func (s *System) ingest(recs []Record, parseErrs int) (IngestStats, error) {
 	for _, si := range touchedShards(toStore, s.rel.NumShards()) {
 		s.shardIngests[si].Add(1)
 	}
+	// Commit point: the batch is fully visible, so it gets an epoch.
+	// Readers snapshot watermarks, not the epoch number, so a reader
+	// racing this Advance is still perfectly consistent — the epoch
+	// names the commit for the cursor registry's bookkeeping.
+	s.clock.Advance()
 	return stats, nil
 }
 
@@ -341,9 +362,11 @@ func (s *System) HuntQuery(q *Query) (*HuntResult, error) {
 // streams the projected rows instead of materializing Result.Rows —
 // the iterator API for paging through large match sets. The join runs
 // lazily inside the cursor, so reading the first page of a huge hunt
-// does first-page work. An open cursor pins a read snapshot of the
-// stores its query touches (ingestion queues behind it): always Close a
-// cursor you do not fully drain.
+// does first-page work. An open cursor pins an epoch snapshot of the
+// stores its query touches: every page reflects the ingest frontier at
+// creation time, and ingestion proceeds freely however long the cursor
+// lives. Close a cursor you do not fully drain to free its match state
+// and snapshot references.
 func (s *System) HuntCursor(src string) (*Cursor, error) {
 	return s.engine.ExecuteTBQLCursor(src)
 }
