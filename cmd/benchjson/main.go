@@ -1,14 +1,18 @@
 // Command benchjson converts `go test -bench` text output on stdin
 // into a JSON array on stdout, so CI can publish benchmark results
-// (BENCH_PR4.json) in a machine-readable form and the performance
-// trajectory can be tracked across PRs without scraping logs.
+// (BENCH_PR4.json, BENCH_PR5.json, ...) in a machine-readable form and
+// the performance trajectory can be tracked across PRs without
+// scraping logs. The optional -suite flag stamps each record with a
+// suite name, so results concatenated from several runs stay
+// distinguishable in one artifact.
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -suite pr5 > BENCH.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -17,6 +21,8 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
+	// Suite labels which benchmark run the record came from (-suite).
+	Suite      string  `json:"suite,omitempty"`
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
@@ -72,6 +78,8 @@ func parse(lines []string) []Result {
 }
 
 func main() {
+	suite := flag.String("suite", "", "suite name stamped into every record")
+	flag.Parse()
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -83,6 +91,9 @@ func main() {
 		os.Exit(1)
 	}
 	results := parse(lines)
+	for i := range results {
+		results[i].Suite = *suite
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -9,6 +9,13 @@
 //	hunt      OSCTI report (or TBQL query) + audit logs -> matches
 //	explain   show compiled data queries, pruning scores, schedule
 //	eval-nlp  NLP extraction accuracy vs. baselines (experiment E4)
+//
+// Hunts execute on the prepared-plan pipeline: each pattern's data
+// query is compiled once into a parameterized prepared statement
+// (propagated entity-ID sets are bound parameters, not rendered
+// IN-list text), and the data-query text `explain` prints is rendered
+// on demand from those plans. A long-lived deployment of the same
+// engine (cmd/threatraptord) additionally caches plans across hunts.
 package main
 
 import (

@@ -36,7 +36,8 @@ func main() {
 		cpr        = flag.Bool("cpr", false, "apply Causality Preserved Reduction on ingest")
 		lenient    = flag.Bool("lenient", false, "skip malformed log lines instead of failing the batch")
 		maxHops    = flag.Int("max-path-hops", 0, "cap for unbounded TBQL path patterns (0 = default)")
-		maxProp    = flag.Int("max-propagated-ids", 0, "cap on propagated IN-list size (0 = default 512); drops count as propagations_skipped in /stats")
+		maxProp    = flag.Int("max-propagated-ids", 0, "cap on propagated entity-ID set size (0 = default 25600); drops count as propagations_skipped in /stats")
+		planCache  = flag.Int("plan-cache", service.DefaultPlanCacheSize, "cross-hunt prepared-plan cache capacity in plan templates (0 = disabled); hits/misses surface in /stats")
 		shards     = flag.Int("shards", 1, "per-host store shards: ingest for different hosts loads in parallel and hunts fan out across shards (1 = unsharded)")
 		cursorTTL  = flag.Duration("cursor-ttl", service.DefaultCursorTTL, "idle lifetime of a server-side hunt cursor; expired cursors answer 410")
 		maxCursors = flag.Int("max-cursors", service.DefaultMaxCursors, "cap on open server-side cursors; beyond it the least-recently-used is evicted")
@@ -62,6 +63,15 @@ func main() {
 		log.Fatalf("threatraptord: -max-path-hops must be >= 0 (got %d)", *maxHops)
 	case *maxProp < 0:
 		log.Fatalf("threatraptord: -max-propagated-ids must be >= 0 (got %d)", *maxProp)
+	case *planCache < 0:
+		log.Fatalf("threatraptord: -plan-cache must be >= 0 (got %d); use 0 to disable plan caching", *planCache)
+	}
+
+	// The Options field treats 0 as "use the default"; the flag treats 0
+	// as "disabled", which Options spells as a negative capacity.
+	planCacheSize := *planCache
+	if planCacheSize == 0 {
+		planCacheSize = -1
 	}
 
 	sys, err := threatraptor.New(threatraptor.Options{
@@ -69,6 +79,7 @@ func main() {
 		LenientParsing:   *lenient,
 		MaxPathHops:      *maxHops,
 		MaxPropagatedIDs: *maxProp,
+		PlanCacheSize:    planCacheSize,
 		Shards:           *shards,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/extract"
 )
@@ -122,5 +123,61 @@ func TestCommandsEndToEnd(t *testing.T) {
 	stdout, _ = run(t, filepath.Join(bin, "ctigen"), "-n", "2", "-steps", "3")
 	if !strings.Contains(stdout, "# Relations:") {
 		t.Errorf("ctigen output wrong:\n%s", stdout)
+	}
+}
+
+// TestDaemonFlagValidation: threatraptord must reject nonsensical
+// flags at startup with actionable errors — the friendly-error style
+// every tuning knob follows (-plan-cache joins -cursor-ttl and
+// friends).
+func TestDaemonFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/threatraptord")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	bin := filepath.Join(dir, "threatraptord")
+
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-plan-cache", "-1"}, "-plan-cache must be >= 0"},
+		{[]string{"-shards", "0"}, "-shards must be >= 1"},
+		{[]string{"-cursor-ttl", "0s"}, "-cursor-ttl must be positive"},
+		{[]string{"-max-cursors", "0"}, "-max-cursors must be >= 1"},
+		{[]string{"-max-propagated-ids", "-5"}, "-max-propagated-ids must be >= 0"},
+	}
+	for _, tc := range cases {
+		var stderr bytes.Buffer
+		// The daemon must die during flag validation. Start + deadline
+		// instead of Run: if validation regresses, the daemon starts
+		// serving and would hang the test forever — kill it and fail.
+		cmd := exec.Command(bin, tc.args...)
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%v: daemon exited 0 despite invalid flags", tc.args)
+				continue
+			}
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			t.Errorf("%v: daemon started despite invalid flags", tc.args)
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr = %q, want it to mention %q", tc.args, stderr.String(), tc.want)
+		}
 	}
 }

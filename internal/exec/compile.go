@@ -7,6 +7,28 @@
 // between patterns connected by shared entities as additional filters, so
 // complex TBQL queries execute efficiently across database backends.
 //
+// # Prepared plans
+//
+// Data queries are compiled to prepared plan templates, not text (see
+// plan.go): each (pattern, propagation-shape) pair compiles once into a
+// relstore.Stmt or graphstore.CStmt whose propagated entity-ID sets —
+// and, for Cypher, window bounds — are parameter slots bound at
+// execution time. Per-shard jobs share one plan and one parameter
+// binding, so a fan-out hunt parses nothing per shard, and a propagated
+// constraint is a typed []int64 set probed per row (or driven through
+// the column's hash index) instead of a rendered `IN (...)` literal.
+// That makes giant propagation sets cheap: the default
+// MaxPropagatedIDs is 25600 — 50× the old text-pipeline cap — and
+// Stats.PropagationsSkipped stays 0 on fan-out hunts that used to
+// overflow it. A bounded LRU PlanCache keyed by the pattern's TBQL
+// normal form persists plans across hunts, so the dominant service
+// workload — the same hunts re-executed — skips compile and parse
+// entirely (Stats.PlanCacheHits/Misses). The legacy text pipeline
+// survives behind Engine.UseTextCompile as the equivalence baseline
+// (TestPreparedMatchesTextCompile); Stats.DataQueries is rendered
+// lazily from the plan refs only when a caller actually asks
+// (Cursor.DataQueries, Execute, /explain), never on the hot hunt path.
+//
 // # Execution model
 //
 // Both stores are host-sharded (1 shard = the unsharded case). A hunt
@@ -155,6 +177,19 @@ const DefaultMaxHops = 6
 // to the pattern's operation, which matches the paper's semantics ("the
 // operation type of the final hop is read").
 func compileCypher(pat *tbql.EventPattern, extra []string, maxHopCap int) string {
+	winFrom, winTo := "", ""
+	if pat.Window != nil {
+		winFrom = fmt.Sprintf("%d", pat.Window.From)
+		winTo = fmt.Sprintf("%d", pat.Window.To)
+	}
+	return compileCypherWin(pat, extra, maxHopCap, winFrom, winTo)
+}
+
+// compileCypherWin is compileCypher with the window bounds rendered as
+// the given operand strings — literals for the text pipeline, `$k`
+// placeholders for prepared plan templates, where the bounds are bound
+// as scalar parameters at execution time.
+func compileCypherWin(pat *tbql.EventPattern, extra []string, maxHopCap int, winFrom, winTo string) string {
 	minHops := pat.MinHops
 	if minHops < 1 {
 		minHops = 1
@@ -179,8 +214,8 @@ func compileCypher(pat *tbql.EventPattern, extra []string, maxHopCap int) string
 	}
 	if pat.Window != nil {
 		where = append(where,
-			fmt.Sprintf("last.starttime >= %d", pat.Window.From),
-			fmt.Sprintf("last.starttime <= %d", pat.Window.To))
+			"last.starttime >= "+winFrom,
+			"last.starttime <= "+winTo)
 	}
 	where = append(where, extra...)
 	if len(where) > 0 {

@@ -89,7 +89,7 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 	}
 	maxProp := en.MaxPropagatedIDs
 	if maxProp == 0 {
-		maxProp = 512
+		maxProp = DefaultMaxPropagatedIDs
 	}
 	order := en.schedule(q, maxHops)
 
@@ -170,10 +170,24 @@ func (c *Cursor) Epoch() snapshot.Epoch { return c.epoch }
 
 // Stats reports how the underlying query executed. JoinCandidates
 // reflects the join work done so far: it grows as a lazy cursor is
-// drained.
+// drained. Stats.DataQueries is nil unless DataQueries has been called
+// (or the cursor was drained through Engine.Execute): rendering the
+// data-query text costs string building per pattern, so the hot hunt
+// path never pays it.
 func (c *Cursor) Stats() Stats {
 	c.syncStats()
 	return c.stats
+}
+
+// DataQueries renders the executed data queries as human-readable
+// SQL/Cypher text, in scheduled order — lazily, memoized on first
+// call. The text matches what the legacy text pipeline would execute
+// for the same hunt, propagated IN-lists splatted in.
+func (c *Cursor) DataQueries() []string {
+	if c.stats.DataQueries == nil && len(c.stats.dq) > 0 {
+		c.stats.DataQueries = c.en.renderDataQueries(c.query, c.stats.dq)
+	}
+	return c.stats.DataQueries
 }
 
 // syncStats folds the streaming join's progress into the stats snapshot.

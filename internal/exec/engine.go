@@ -31,14 +31,27 @@ type Engine struct {
 	// DisablePropagation turns off constraint propagation between
 	// patterns connected by shared entities (ablation baseline).
 	DisablePropagation bool
-	// MaxPropagatedIDs bounds the size of a propagated IN-list; larger
-	// candidate sets are not propagated (default 512) and are counted in
-	// Stats.PropagationsSkipped.
+	// MaxPropagatedIDs bounds the size of a propagated constraint set;
+	// larger candidate sets are not propagated (default
+	// DefaultMaxPropagatedIDs) and are counted in
+	// Stats.PropagationsSkipped. On the prepared-plan pipeline a
+	// propagated set is a bound []int64 parameter probed per row — not
+	// a rendered IN-list that must be re-lexed — so the default is 50×
+	// the old text-pipeline cap and overflow is rare.
 	MaxPropagatedIDs int
 	// UseNaiveJoin executes the join as the legacy materializing
 	// nested loop instead of the streaming hash join (correctness
 	// baseline for the equivalence tests and allocation benchmarks).
 	UseNaiveJoin bool
+	// UseTextCompile renders each data query as SQL/Cypher text with
+	// inline propagated IN-lists and re-parses it per shard — the
+	// legacy pipeline, kept as the correctness and performance baseline
+	// the prepared-plan path is property-tested and benchmarked
+	// against.
+	UseTextCompile bool
+	// Plans is the cross-hunt prepared-plan cache (NewPlanCache); nil
+	// compiles per hunt without caching. Ignored under UseTextCompile.
+	Plans *PlanCache
 	// Clock, when set, names each cursor's pinned snapshot with the
 	// store's current ingest epoch (Cursor.Epoch). A nil clock leaves
 	// every cursor at epoch 0; snapshots still work — the epoch number
@@ -56,7 +69,20 @@ type Engine struct {
 	// cached.
 	attrRows  []map[string]string
 	attrsRows int
+
+	// rowBufs recycles the per-shard fetch buffers of multi-shard
+	// patterns across waves and hunts. Only intermediates are pooled:
+	// a single-shard pattern's buffer becomes the merged row list and
+	// lives as long as its cursor.
+	rowBufs sync.Pool
 }
+
+// DefaultMaxPropagatedIDs is the default cap on a propagated entity-ID
+// constraint set: 50× the old text-pipeline default of 512. Rendered
+// IN-lists made large sets expensive to emit and re-parse; a bound set
+// parameter costs O(1) per probed row, so the cap now exists only to
+// bound the memory of a pathological propagation, not its CPU.
+const DefaultMaxPropagatedIDs = 25600
 
 // EventRow is one event fetched for a pattern.
 type EventRow struct {
@@ -77,14 +103,26 @@ type Match struct {
 
 // Stats describes how a query executed.
 type Stats struct {
-	DataQueries  []string // compiled SQL/Cypher, in scheduled order
+	// DataQueries lists the executed data queries as human-readable
+	// SQL/Cypher text, in scheduled order. It is rendered lazily —
+	// populated on Execute results and by Cursor.DataQueries(), never
+	// on the hot hunt path: the engine records compact per-pattern refs
+	// (pattern index + bound propagation sets) and only materializes
+	// text when someone actually asks.
+	DataQueries  []string
 	RowsFetched  int
-	Propagations int // number of IN-list constraints injected
+	Propagations int // number of propagated constraint sets injected
 	// PropagationsSkipped counts shared-entity constraints that were NOT
 	// injected because the candidate set exceeded MaxPropagatedIDs — the
 	// signal that a hunt fell back to fetching an unconstrained table.
 	PropagationsSkipped int
 	ShortCircuit        bool
+	// PlanCacheHits/Misses count this hunt's plan-template resolutions
+	// against the engine's cross-hunt PlanCache: a warm repeat hunt is
+	// all hits and compiles nothing. Both stay 0 when the engine has no
+	// cache or runs the text pipeline.
+	PlanCacheHits   int
+	PlanCacheMisses int
 	// JoinCandidates counts candidate rows examined during the join.
 	// With the streaming executor this grows as the cursor is drained;
 	// a partially read cursor reports the work done so far.
@@ -95,6 +133,20 @@ type Stats struct {
 	// one. Compare against len(DataQueries) × shard count to see how
 	// much fetch work shard pruning saved.
 	ShardFetches int
+
+	// dq holds the executed data queries in compact, unrendered form —
+	// the raw material Cursor.DataQueries() and Execute turn into the
+	// DataQueries text on demand.
+	dq []dataQueryRef
+}
+
+// dataQueryRef is one executed data query in unrendered form: the
+// pattern it compiled from plus the propagated ID sets that were bound
+// (or splatted, on the text pipeline) for its wave. Rendering it
+// reproduces exactly the text the legacy pipeline would have executed.
+type dataQueryRef struct {
+	pi              int
+	subjIDs, objIDs []int64
 }
 
 // Result is a TBQL query result.
@@ -125,6 +177,10 @@ func (en *Engine) Execute(q *tbql.Query) (*Result, error) {
 		res.Rows = append(res.Rows, c.Row())
 	}
 	res.Matches = c.matches
+	// Execute is the materializing API, so it also materializes the
+	// data-query text; cursor hunts leave it unrendered unless
+	// Cursor.DataQueries is called.
+	c.DataQueries()
 	res.Stats = c.Stats()
 	err = c.Err()
 	c.Close()
@@ -315,11 +371,11 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 
 	rows := make([][]EventRow, len(q.Patterns))
 	known := map[string]map[int64]bool{} // entity var -> observed IDs
-	dataQueries := make([]string, len(order))
+	dqRefs := make([]*dataQueryRef, len(order))
 	setQueries := func() {
-		for _, dq := range dataQueries {
-			if dq != "" {
-				stats.DataQueries = append(stats.DataQueries, dq)
+		for _, ref := range dqRefs {
+			if ref != nil {
+				stats.dq = append(stats.dq, *ref)
 			}
 		}
 	}
@@ -332,57 +388,92 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 	// exactly: nothing after the empty pattern executes.
 	var sawEmpty atomic.Bool
 	for _, wave := range waves {
-		// Compile this wave's queries sequentially so propagation stats
-		// and IN-lists are deterministic, then expand each pattern into
-		// one job per shard its host constraints allow.
+		// Resolve this wave's plans and propagation sets sequentially so
+		// propagation stats and bound sets are deterministic, then expand
+		// each pattern into one job per shard its host constraints allow.
+		// All of a pattern's shard jobs share one plan and one parameter
+		// binding: nothing is compiled, parsed, or rendered per shard.
 		works := make([]*patWork, 0, len(wave))
 		var jobs []*shardJob
 		for _, pos := range wave {
 			pi := order[pos]
 			pat := &q.Patterns[pi]
-			var extraSQL, extraCypher []string
+			// Propagated constraints go on the event table's own
+			// srcid/dstid columns (equivalent to s.id/o.id through the
+			// join equalities), where the hash indexes can drive the
+			// set lookup directly.
+			var subjIDs, objIDs []int64
 			if !en.DisablePropagation {
-				// Propagated constraints go on the event table's own
-				// srcid/dstid columns (equivalent to s.id/o.id through the
-				// join equalities), where the hash indexes can drive the
-				// IN-list lookup directly.
-				addProp := func(id, sqlCol, cyCol string) {
+				propSet := func(id string) []int64 {
 					set := known[id]
 					if len(set) == 0 {
-						return
+						return nil
 					}
 					if len(set) > maxProp {
 						stats.PropagationsSkipped++
-						return
+						return nil
 					}
-					extraSQL = append(extraSQL, sqlCol+" IN ("+inListSQL(set)+")")
-					extraCypher = append(extraCypher, inListCypher(cyCol, set))
 					stats.Propagations++
+					return sortedIDs(set)
 				}
-				addProp(pat.Subj.ID, "e.srcid", "s.id")
-				addProp(pat.Obj.ID, "e.dstid", "o.id")
+				subjIDs = propSet(pat.Subj.ID)
+				objIDs = propSet(pat.Obj.ID)
 			}
-			var src string
-			if pat.IsPath {
-				if en.Graph == nil {
-					return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
-				}
-				src = compileCypher(pat, extraCypher, maxHops)
-			} else {
-				src = compileSQL(pat, extraSQL)
+			if pat.IsPath && en.Graph == nil {
+				return nil, fmt.Errorf("exec: pattern %q needs the graph backend", pat.Name)
 			}
-			dataQueries[pos] = src
 			w := &patWork{pos: pos, pi: pi}
 			if len(patShards[pi]) == 0 {
 				// Contradictory host constraints: the pattern cannot match
 				// on any shard, so its query never executes.
-				dataQueries[pos] = ""
 				sawEmpty.Store(true)
 				works = append(works, w)
 				continue
 			}
+			dqRefs[pos] = &dataQueryRef{pi: pi, subjIDs: subjIDs, objIDs: objIDs}
+			var src string
+			var plan *patternPlan
+			var sqlParams *relstore.Params
+			var cyParams *graphstore.CParams
+			if en.UseTextCompile {
+				// Legacy text pipeline: render the data query with inline
+				// IN-lists; every shard job re-parses the text.
+				var extraSQL, extraCypher []string
+				if subjIDs != nil {
+					extraSQL = append(extraSQL, "e.srcid IN ("+inListSQL(subjIDs)+")")
+					extraCypher = append(extraCypher, inListCypher("s.id", subjIDs))
+				}
+				if objIDs != nil {
+					extraSQL = append(extraSQL, "e.dstid IN ("+inListSQL(objIDs)+")")
+					extraCypher = append(extraCypher, inListCypher("o.id", objIDs))
+				}
+				if pat.IsPath {
+					src = compileCypher(pat, extraCypher, maxHops)
+				} else {
+					src = compileSQL(pat, extraSQL)
+				}
+			} else {
+				var shape propShape
+				if subjIDs != nil {
+					shape |= propSubj
+				}
+				if objIDs != nil {
+					shape |= propObj
+				}
+				var err error
+				plan, err = en.lookupPlan(pat, shape, maxHops, stats)
+				if err != nil {
+					return nil, err
+				}
+				if pat.IsPath {
+					cyParams = plan.bindCypher(subjIDs, objIDs)
+				} else {
+					sqlParams = plan.bindSQL(subjIDs, objIDs)
+				}
+			}
 			for _, sh := range patShards[pi] {
-				j := &shardJob{pi: pi, shard: sh, isPath: pat.IsPath, src: src, work: w}
+				j := &shardJob{pi: pi, shard: sh, isPath: pat.IsPath, src: src,
+					plan: plan, sqlParams: sqlParams, cyParams: cyParams, work: w}
 				w.jobs = append(w.jobs, j)
 				jobs = append(jobs, j)
 			}
@@ -396,10 +487,20 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 		run := func(j *shardJob) {
 			if sawEmpty.Load() {
 				j.skipped = true
-			} else if j.isPath {
-				j.fetchGraph(en.Graph.Shard(j.shard), sv.graph[j.shard])
 			} else {
-				j.fetchRel(sv.rel[j.shard])
+				if len(j.work.jobs) > 1 {
+					// Multi-shard intermediates are merged then retired, so
+					// their buffers recycle across waves and hunts. A
+					// single-shard fetch IS the merged list and lives as
+					// long as the cursor — it gets a fresh, exactly sized
+					// buffer instead.
+					j.fetched = en.getRowBuf()
+				}
+				if j.isPath {
+					j.fetchGraph(en.Graph.Shard(j.shard), sv.graph[j.shard])
+				} else {
+					j.fetchRel(sv.rel[j.shard])
+				}
 			}
 			w := j.work
 			if j.err == nil && !j.skipped {
@@ -441,7 +542,6 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 				continue
 			}
 			executed := false
-			var merged []EventRow
 			for _, j := range w.jobs {
 				if j.err != nil {
 					return nil, fmt.Errorf("exec: pattern %q: %w", q.Patterns[w.pi].Name, j.err)
@@ -451,11 +551,26 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 				}
 				executed = true
 				stats.ShardFetches++
-				merged = append(merged, j.fetched...)
 			}
 			if !executed {
-				dataQueries[w.pos] = ""
+				dqRefs[w.pos] = nil
 				continue
+			}
+			var merged []EventRow
+			if len(w.jobs) == 1 {
+				merged = w.jobs[0].fetched
+			} else {
+				// Merge into an exactly sized list (the per-job row counts
+				// are already totalled) and retire the shard buffers.
+				merged = make([]EventRow, 0, int(w.total.Load()))
+				for _, j := range w.jobs {
+					if j.skipped {
+						continue
+					}
+					merged = append(merged, j.fetched...)
+					en.putRowBuf(j.fetched)
+					j.fetched = nil
+				}
 			}
 			rows[w.pi] = merged
 			stats.RowsFetched += len(merged)
@@ -471,7 +586,8 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 		}
 		for _, w := range works {
 			pat := &q.Patterns[w.pi]
-			newSubj, newObj := make(map[int64]bool), make(map[int64]bool)
+			n := len(rows[w.pi])
+			newSubj, newObj := make(map[int64]bool, n), make(map[int64]bool, n)
 			for _, r := range rows[w.pi] {
 				newSubj[r.SrcID] = true
 				newObj[r.DstID] = true
@@ -484,6 +600,54 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 	return rows, nil
 }
 
+// getRowBuf pulls a recycled fetch buffer (nil when the pool is empty —
+// the fetch then allocates one exactly sized to its result).
+func (en *Engine) getRowBuf() []EventRow {
+	if v, ok := en.rowBufs.Get().(*[]EventRow); ok {
+		return (*v)[:0]
+	}
+	return nil
+}
+
+// putRowBuf retires a merged-away shard buffer for reuse.
+func (en *Engine) putRowBuf(b []EventRow) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	en.rowBufs.Put(&b)
+}
+
+// renderDataQueries materializes the human-readable DataQueries text
+// from the compact executed-query refs — the exact text the legacy
+// pipeline executes for the same hunt, IN-lists included. Called only
+// from Cursor.DataQueries / Execute, never on the hot hunt path.
+func (en *Engine) renderDataQueries(q *tbql.Query, refs []dataQueryRef) []string {
+	maxHops := en.MaxPathHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	out := make([]string, 0, len(refs))
+	for _, ref := range refs {
+		pat := &q.Patterns[ref.pi]
+		var extraSQL, extraCypher []string
+		if ref.subjIDs != nil {
+			extraSQL = append(extraSQL, "e.srcid IN ("+inListSQL(ref.subjIDs)+")")
+			extraCypher = append(extraCypher, inListCypher("s.id", ref.subjIDs))
+		}
+		if ref.objIDs != nil {
+			extraSQL = append(extraSQL, "e.dstid IN ("+inListSQL(ref.objIDs)+")")
+			extraCypher = append(extraCypher, inListCypher("o.id", ref.objIDs))
+		}
+		if pat.IsPath {
+			out = append(out, compileCypher(pat, extraCypher, maxHops))
+		} else {
+			out = append(out, compileSQL(pat, extraSQL))
+		}
+	}
+	return out
+}
+
 // patWork tracks one pattern's shard jobs within a fetch wave: pending
 // counts outstanding jobs, total the rows fetched so far, so the last
 // job to finish can detect an all-shards-empty pattern.
@@ -494,27 +658,41 @@ type patWork struct {
 	total   atomic.Int32
 }
 
-// shardJob is one (pattern, shard) fetch: the compiled data query run
-// against a single store shard.
+// shardJob is one (pattern, shard) fetch: the pattern's data query run
+// against a single store shard. On the prepared pipeline the job
+// executes plan with the shared parameter binding (zero parsing); on
+// the text pipeline it re-parses src.
 type shardJob struct {
-	pi      int
-	shard   int
-	isPath  bool
-	src     string
-	fetched []EventRow
-	err     error
-	skipped bool
-	work    *patWork
+	pi        int
+	shard     int
+	isPath    bool
+	src       string // text pipeline only
+	plan      *patternPlan
+	sqlParams *relstore.Params
+	cyParams  *graphstore.CParams
+	fetched   []EventRow
+	err       error
+	skipped   bool
+	work      *patWork
 }
 
-// fetchRel runs the compiled SQL against one relational shard's epoch
-// view: the statement sees the snapshot's rows only and takes no
+// fetchRel runs the pattern's data query against one relational shard's
+// epoch view: the statement sees the snapshot's rows only and takes no
 // statement-long locks.
 func (j *shardJob) fetchRel(v *relstore.View) {
-	rr, err := v.Query(j.src)
+	var rr *relstore.Rows
+	var err error
+	if j.plan != nil {
+		rr, err = j.plan.sql.QueryView(v, j.sqlParams)
+	} else {
+		rr, err = v.Query(j.src)
+	}
 	if err != nil {
 		j.err = err
 		return
+	}
+	if cap(j.fetched) < len(rr.Data) {
+		j.fetched = make([]EventRow, 0, len(rr.Data))
 	}
 	for _, r := range rr.Data {
 		j.fetched = append(j.fetched, EventRow{
@@ -524,15 +702,24 @@ func (j *shardJob) fetchRel(v *relstore.View) {
 	}
 }
 
-// fetchGraph runs the compiled Cypher against one graph shard bounded
-// at the cursor's epoch mark: edges and nodes committed after the mark
-// are invisible, and the graph's read lock is held only for this one
-// statement.
+// fetchGraph runs the pattern's data query against one graph shard
+// bounded at the cursor's epoch mark: edges and nodes committed after
+// the mark are invisible, and the graph's read lock is held only for
+// this one statement.
 func (j *shardJob) fetchGraph(g *graphstore.Graph, mark uint64) {
-	gr, err := g.QueryAt(j.src, mark)
+	var gr *graphstore.Rows
+	var err error
+	if j.plan != nil {
+		gr, err = g.QueryPreparedAt(j.plan.cy, mark, j.cyParams)
+	} else {
+		gr, err = g.QueryAt(j.src, mark)
+	}
 	if err != nil {
 		j.err = err
 		return
+	}
+	if cap(j.fetched) < len(gr.Data) {
+		j.fetched = make([]EventRow, 0, len(gr.Data))
 	}
 	for _, r := range gr.Data {
 		j.fetched = append(j.fetched, EventRow{
@@ -773,10 +960,11 @@ func sortedIDs(set map[int64]bool) []int64 {
 	return ids
 }
 
-// inListSQL renders an entity-ID set as a SQL IN-list body.
-func inListSQL(set map[int64]bool) string {
+// inListSQL renders a sorted entity-ID list as a SQL IN-list body (the
+// text pipeline and the lazy DataQueries rendering).
+func inListSQL(ids []int64) string {
 	var b strings.Builder
-	for i, v := range sortedIDs(set) {
+	for i, v := range ids {
 		if i > 0 {
 			b.WriteString(", ")
 		}
@@ -785,9 +973,8 @@ func inListSQL(set map[int64]bool) string {
 	return b.String()
 }
 
-// inListCypher renders an entity-ID disjunction for Cypher.
-func inListCypher(col string, set map[int64]bool) string {
-	ids := sortedIDs(set)
+// inListCypher renders a sorted entity-ID list as a Cypher disjunction.
+func inListCypher(col string, ids []int64) string {
 	terms := make([]string, len(ids))
 	for i, v := range ids {
 		terms[i] = fmt.Sprintf("%s = %d", col, v)

@@ -80,7 +80,9 @@ func fanoutShardedEngine(tb testing.TB, shards, hosts, procs, filesPer, lateWrit
 	if err := sh.Load(entities, events); err != nil {
 		tb.Fatal(err)
 	}
-	return &Engine{Rel: sh}
+	// A plan cache is the production default (threatraptor.New wires
+	// one), so the benchmarks measure the warm prepared pipeline.
+	return &Engine{Rel: sh, Plans: NewPlanCache(DefaultPlanCacheSize)}
 }
 
 // BenchmarkJoinFanout compares the streaming hash join against the

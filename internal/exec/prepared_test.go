@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit/gen"
+)
+
+// TestPreparedMatchesTextCompile is the equivalence property test for
+// the prepared-plan pipeline: every randomly composed query — host
+// filters, disjunctions, contradictions, path patterns, temporal and
+// attribute relations, distinct and plain projections — must yield the
+// identical match set and projected row set under prepared-plan
+// execution (bound set parameters, cached templates) and under the
+// legacy text pipeline (rendered IN-lists re-parsed per shard), on both
+// a 1-shard and a 4-shard store. Each query runs twice on the prepared
+// engine, so the second execution exercises the warm plan-cache path
+// and must agree with the cold one.
+func TestPreparedMatchesTextCompile(t *testing.T) {
+	hosts := []string{"host1", "host2", "host3"}
+	cfgs := []gen.Config{
+		{Seed: 42, Host: hosts[0], BenignEvents: 400,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 10 * time.Minute}}},
+		{Seed: 43, Host: hosts[1], BenignEvents: 400},
+		{Seed: 44, Host: hosts[2], BenignEvents: 400,
+			Attacks: []gen.Attack{{Kind: gen.AttackDataLeakage, At: 20 * time.Minute}}},
+	}
+	one, _ := newShardedEngine(t, 1, cfgs...)
+	many, _ := newShardedEngine(t, 4, cfgs...)
+
+	type pair struct {
+		name           string
+		prepared, text *Engine
+	}
+	pairs := []pair{
+		{
+			"1-shard",
+			&Engine{Rel: one.Rel, Graph: one.Graph, Plans: NewPlanCache(64)},
+			&Engine{Rel: one.Rel, Graph: one.Graph, UseTextCompile: true},
+		},
+		{
+			"4-shard",
+			&Engine{Rel: many.Rel, Graph: many.Graph, Plans: NewPlanCache(64)},
+			&Engine{Rel: many.Rel, Graph: many.Graph, UseTextCompile: true},
+		},
+	}
+
+	rng := rand.New(rand.NewSource(5150))
+	exes := []string{"/bin/tar", "/usr/bin/curl", "/bin/bash", "/usr/bin/chrome", "/usr/sbin/sshd"}
+	files := []string{"/etc/passwd", "/tmp/upload.tar", "/var/log/syslog", "/etc/crontab"}
+	fileOps := []string{"read", "write", "read || write", "!read"}
+	attrOps := []string{"=", "!=", "<", "<=", ">", ">="}
+	evtAttrs := []string{"srcid", "dstid", "starttime", "amount", "id"}
+
+	const cases = 120
+	for i := 0; i < cases; i++ {
+		nPat := 1 + rng.Intn(3)
+		var b strings.Builder
+		var names []string
+		used := map[string]bool{}
+		for j := 0; j < nPat; j++ {
+			name := fmt.Sprintf("e%d", j+1)
+			names = append(names, name)
+			subjID := fmt.Sprintf("p%d", rng.Intn(2))
+			objID := fmt.Sprintf("f%d", rng.Intn(2))
+			used[subjID], used[objID] = true, true
+			subjF, objF := "", ""
+			switch rng.Intn(6) {
+			case 0:
+				subjF = fmt.Sprintf(`["%%%s%%"]`, exes[rng.Intn(len(exes))])
+			case 1:
+				subjF = fmt.Sprintf(`[host = "%s"]`, hosts[rng.Intn(len(hosts))])
+			case 2:
+				subjF = fmt.Sprintf(`[host = "%s" && "%%%s%%"]`,
+					hosts[rng.Intn(len(hosts))], exes[rng.Intn(len(exes))])
+			case 3:
+				subjF = fmt.Sprintf(`[host = "%s" || host = "%s"]`,
+					hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))])
+			}
+			if rng.Intn(3) == 0 {
+				objF = fmt.Sprintf(`["%%%s%%"]`, files[rng.Intn(len(files))])
+			} else if rng.Intn(6) == 0 {
+				objF = fmt.Sprintf(`[host = "%s"]`, hosts[rng.Intn(len(hosts))])
+			}
+			if rng.Intn(5) == 0 {
+				fmt.Fprintf(&b, "proc %s%s ~>(1~%d)[read] file %s%s as %s\n",
+					subjID, subjF, 2+rng.Intn(2), objID, objF, name)
+			} else {
+				fmt.Fprintf(&b, "proc %s%s %s file %s%s as %s\n",
+					subjID, subjF, fileOps[rng.Intn(len(fileOps))], objID, objF, name)
+			}
+		}
+		var rels []string
+		if nPat > 1 && rng.Intn(2) == 0 {
+			a, c := rng.Intn(nPat), rng.Intn(nPat)
+			if a != c {
+				op := "before"
+				if rng.Intn(2) == 0 {
+					op = "after"
+				}
+				rels = append(rels, fmt.Sprintf("%s %s %s", names[a], op, names[c]))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			rels = append(rels, fmt.Sprintf("%s.%s %s %d",
+				names[rng.Intn(nPat)], evtAttrs[rng.Intn(len(evtAttrs))],
+				attrOps[rng.Intn(len(attrOps))], rng.Intn(5000)))
+		}
+		if len(rels) > 0 {
+			b.WriteString("with " + strings.Join(rels, ", ") + "\n")
+		}
+		var ret []string
+		for _, id := range []string{"p0", "p1", "f0", "f1"} {
+			if used[id] {
+				ret = append(ret, id)
+			}
+		}
+		distinct := ""
+		if rng.Intn(2) == 0 {
+			distinct = "distinct "
+		}
+		b.WriteString("return " + distinct + strings.Join(ret, ", "))
+		src := b.String()
+
+		for _, pr := range pairs {
+			tres, err := pr.text.ExecuteTBQL(src)
+			if err != nil {
+				t.Fatalf("case %d %s text: %v\n%s", i, pr.name, err, src)
+			}
+			// Cold, then warm: the second run resolves every pattern from
+			// the plan cache and must not drift.
+			for run, label := range []string{"cold", "warm"} {
+				pres, err := pr.prepared.ExecuteTBQL(src)
+				if err != nil {
+					t.Fatalf("case %d %s prepared(%s): %v\n%s", i, pr.name, label, err, src)
+				}
+				pm, tm := canonicalMatches(pres.Matches), canonicalMatches(tres.Matches)
+				if len(pm) != len(tm) {
+					t.Fatalf("case %d %s %s: %d prepared matches, %d text\n%s",
+						i, pr.name, label, len(pm), len(tm), src)
+				}
+				for k := range pm {
+					if pm[k] != tm[k] {
+						t.Fatalf("case %d %s %s match %d: prepared %q, text %q\n%s",
+							i, pr.name, label, k, pm[k], tm[k], src)
+					}
+				}
+				got, want := sortedRows(pres.Rows), sortedRows(tres.Rows)
+				if len(got) != len(want) {
+					t.Fatalf("case %d %s %s: %d prepared rows, %d text\n%s",
+						i, pr.name, label, len(got), len(want), src)
+				}
+				for r := range got {
+					if got[r] != want[r] {
+						t.Fatalf("case %d %s %s row %d: prepared %q, text %q\n%s",
+							i, pr.name, label, r, got[r], want[r], src)
+					}
+				}
+				// Propagation accounting must agree between pipelines.
+				if pres.Stats.Propagations != tres.Stats.Propagations ||
+					pres.Stats.PropagationsSkipped != tres.Stats.PropagationsSkipped {
+					t.Fatalf("case %d %s %s: propagation stats drifted (prepared %d/%d, text %d/%d)\n%s",
+						i, pr.name, label, pres.Stats.Propagations, pres.Stats.PropagationsSkipped,
+						tres.Stats.Propagations, tres.Stats.PropagationsSkipped, src)
+				}
+				if run == 1 && !pres.Stats.ShortCircuit && len(pres.Stats.DataQueries) > 0 &&
+					pres.Stats.PlanCacheHits == 0 {
+					t.Fatalf("case %d %s warm run resolved no plans from the cache\n%s", i, pr.name, src)
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedLargePropagationSet: a propagation set far above the old
+// 512-ID text-pipeline cap must be propagated (PropagationsSkipped ==
+// 0) under the raised default, and prepared execution must match the
+// text pipeline run at the same cap — under both 1 and 4 shards.
+func TestPreparedLargePropagationSet(t *testing.T) {
+	// 20 workers × 40 files: the f1 variable accumulates 800 distinct
+	// file IDs, which the third pattern receives as a propagated set —
+	// beyond the old 512 default, well under the raised one.
+	query := `proc p["%worker%"] read file f1 as e1
+proc p write file f2 as e2
+proc p2 write file f1 as e3
+return p, f1, f2`
+	for _, shards := range []int{1, 4} {
+		en := fanoutShardedEngine(t, shards, 3, 20, 40, 1)
+		prepared := &Engine{Rel: en.Rel, Plans: NewPlanCache(16)}
+		text := &Engine{Rel: en.Rel, UseTextCompile: true}
+
+		pres, err := prepared.ExecuteTBQL(query)
+		if err != nil {
+			t.Fatalf("%d shards prepared: %v", shards, err)
+		}
+		if pres.Stats.PropagationsSkipped != 0 {
+			t.Errorf("%d shards: PropagationsSkipped = %d, want 0 (default cap %d)",
+				shards, pres.Stats.PropagationsSkipped, DefaultMaxPropagatedIDs)
+		}
+		if pres.Stats.Propagations == 0 {
+			t.Fatalf("%d shards: fixture propagated nothing", shards)
+		}
+		// The old default would have dropped the 800-ID f1 set.
+		if old := 512; pres.Stats.PropagationsSkipped == 0 {
+			capped := &Engine{Rel: en.Rel, MaxPropagatedIDs: old}
+			cres, err := capped.ExecuteTBQL(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cres.Stats.PropagationsSkipped == 0 {
+				t.Errorf("%d shards: fixture's sets fit the old %d cap; raise the fixture size", shards, old)
+			}
+		}
+
+		tres, err := text.ExecuteTBQL(query)
+		if err != nil {
+			t.Fatalf("%d shards text: %v", shards, err)
+		}
+		got, want := sortedRows(pres.Rows), sortedRows(tres.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("%d shards: %d prepared rows, %d text", shards, len(got), len(want))
+		}
+		for r := range got {
+			if got[r] != want[r] {
+				t.Fatalf("%d shards row %d: prepared %q, text %q", shards, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+// TestPlanCacheLRUAndStats: repeated hunts hit the cache, distinct
+// patterns miss and fill it, and the LRU cap evicts cold templates.
+func TestPlanCacheLRUAndStats(t *testing.T) {
+	en := leakageEngine(t, 500)
+	en.Plans = NewPlanCache(2)
+
+	run := func(src string) Stats {
+		res, err := en.ExecuteTBQL(src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		return res.Stats
+	}
+
+	q1 := `proc p["%/bin/tar%"] read file f as e1` + "\nreturn p, f"
+	st := run(q1)
+	if st.PlanCacheMisses == 0 || st.PlanCacheHits != 0 {
+		t.Fatalf("cold hunt stats = %+v", st)
+	}
+	st = run(q1)
+	if st.PlanCacheHits == 0 || st.PlanCacheMisses != 0 {
+		t.Fatalf("warm hunt stats = %+v", st)
+	}
+
+	// The plan key clears the binding name: the same pattern under a
+	// different name must hit.
+	st = run(`proc p["%/bin/tar%"] read file f as other` + "\nreturn p, f")
+	if st.PlanCacheHits == 0 || st.PlanCacheMisses != 0 {
+		t.Fatalf("renamed pattern stats = %+v", st)
+	}
+
+	// Two more distinct patterns overflow the 2-entry cap...
+	run(`proc p["%/bin/bash%"] read file f as e1` + "\nreturn p, f")
+	run(`proc p["%/usr/bin/curl%"] read file f as e1` + "\nreturn p, f")
+	if n := en.Plans.Len(); n != 2 {
+		t.Fatalf("cache len = %d, want 2", n)
+	}
+	// ...evicting q1's template, so it misses again.
+	st = run(q1)
+	if st.PlanCacheMisses == 0 {
+		t.Fatalf("evicted pattern should miss, stats = %+v", st)
+	}
+
+	hits, misses := en.Plans.Counters()
+	if hits < 2 || misses < 3 {
+		t.Fatalf("cumulative counters = %d hits / %d misses", hits, misses)
+	}
+}
+
+// TestLazyDataQueries: the hot cursor path must not render data-query
+// text; DataQueries renders on demand and matches the text pipeline's
+// output exactly, propagated IN-lists included.
+func TestLazyDataQueries(t *testing.T) {
+	en := leakageEngine(t, 500)
+	src := `proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1
+proc p write file f2 as e2
+return p, f, f2`
+
+	cur, err := en.ExecuteTBQLCursor(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	if got := cur.Stats().DataQueries; got != nil {
+		t.Fatalf("Stats rendered DataQueries on the hot path: %v", got)
+	}
+
+	rendered := cur.DataQueries()
+	if len(rendered) != 2 {
+		t.Fatalf("DataQueries = %v", rendered)
+	}
+	if cur.Stats().DataQueries == nil {
+		t.Fatal("DataQueries not memoized into stats")
+	}
+
+	text := &Engine{Rel: en.Rel, Graph: en.Graph, UseTextCompile: true}
+	tres, err := text.ExecuteTBQL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tres.Stats.DataQueries) != len(rendered) {
+		t.Fatalf("text pipeline ran %d queries, rendered %d", len(tres.Stats.DataQueries), len(rendered))
+	}
+	for i := range rendered {
+		if rendered[i] != tres.Stats.DataQueries[i] {
+			t.Errorf("query %d:\nprepared render: %s\ntext pipeline:   %s", i, rendered[i], tres.Stats.DataQueries[i])
+		}
+	}
+	if !strings.Contains(rendered[1], "IN (") {
+		t.Errorf("propagated constraint missing from rendered query: %s", rendered[1])
+	}
+}

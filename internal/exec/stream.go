@@ -131,25 +131,55 @@ type levelIndex struct {
 }
 
 // buildIndex builds the hash index for one level over its fetched rows.
+// Bucket lists are built in two passes — count, then fill — so every
+// bucket is an exactly sized sub-slice of one shared backing array:
+// building the index costs O(distinct keys) allocations instead of the
+// O(keys · log bucket) repeated-growth appends of the naive build, which
+// is where BenchmarkJoinFanout spent a chunk of its allocs/op.
 func buildIndex(lv *joinLevel, rows []EventRow) levelIndex {
 	switch {
 	case lv.subjBound && lv.objBound:
-		ix := levelIndex{kind: 'b', both: make(map[[2]int64][]int32, len(rows))}
+		counts := make(map[[2]int64]int32, len(rows))
+		for _, r := range rows {
+			counts[[2]int64{r.SrcID, r.DstID}]++
+		}
+		ix := levelIndex{kind: 'b', both: make(map[[2]int64][]int32, len(counts))}
+		backing := make([]int32, 0, len(rows))
 		for i, r := range rows {
 			k := [2]int64{r.SrcID, r.DstID}
-			ix.both[k] = append(ix.both[k], int32(i))
+			s, ok := ix.both[k]
+			if !ok {
+				// Claim the key's exactly sized region of the backing
+				// array; appends below fill it without reallocating.
+				n := len(backing)
+				backing = backing[:n+int(counts[k])]
+				s = backing[n : n : n+int(counts[k])]
+			}
+			ix.both[k] = append(s, int32(i))
 		}
 		return ix
-	case lv.subjBound:
-		ix := levelIndex{kind: 's', one: make(map[int64][]int32, len(rows))}
-		for i, r := range rows {
-			ix.one[r.SrcID] = append(ix.one[r.SrcID], int32(i))
+	case lv.subjBound, lv.objBound:
+		kind := byte('s')
+		key := func(r *EventRow) int64 { return r.SrcID }
+		if !lv.subjBound {
+			kind = 'o'
+			key = func(r *EventRow) int64 { return r.DstID }
 		}
-		return ix
-	case lv.objBound:
-		ix := levelIndex{kind: 'o', one: make(map[int64][]int32, len(rows))}
-		for i, r := range rows {
-			ix.one[r.DstID] = append(ix.one[r.DstID], int32(i))
+		counts := make(map[int64]int32, len(rows))
+		for i := range rows {
+			counts[key(&rows[i])]++
+		}
+		ix := levelIndex{kind: kind, one: make(map[int64][]int32, len(counts))}
+		backing := make([]int32, 0, len(rows))
+		for i := range rows {
+			k := key(&rows[i])
+			s, ok := ix.one[k]
+			if !ok {
+				n := len(backing)
+				backing = backing[:n+int(counts[k])]
+				s = backing[n : n : n+int(counts[k])]
+			}
+			ix.one[k] = append(s, int32(i))
 		}
 		return ix
 	default:

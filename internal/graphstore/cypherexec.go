@@ -131,6 +131,10 @@ type cexec struct {
 	// nodes and edges with seq > mark are treated as absent.
 	bounded bool
 	mark    uint64
+
+	// params are the execution's `$k` bindings (prepared queries); nil
+	// for plain text queries, which cannot reference parameters.
+	params *CParams
 }
 
 // visibleNode reports whether the node exists at the query's epoch mark.
@@ -202,9 +206,23 @@ func (ex *cexec) validate() error {
 			return check(x.E)
 		case CCmp:
 			for _, op := range []COperand{x.L, x.R} {
+				if op.IsParam {
+					if _, ok := ex.params.intVal(op.Slot); !ok {
+						return errUnboundParam(op.Slot)
+					}
+					continue
+				}
 				if !op.IsLit && !defined[op.Var] {
 					return fmt.Errorf("graphstore: WHERE references undefined variable %q", op.Var)
 				}
+			}
+			return nil
+		case CInParam:
+			if !defined[x.L.Var] {
+				return fmt.Errorf("graphstore: WHERE references undefined variable %q", x.L.Var)
+			}
+			if _, ok := ex.params.set(x.Slot); !ok {
+				return errUnboundParam(x.Slot)
 			}
 			return nil
 		}
@@ -508,6 +526,19 @@ func (ex *cexec) evalExpr(e CExpr) (bool, error) {
 	case CNot:
 		v, err := ex.evalExpr(x.E)
 		return !v, err
+	case CInParam:
+		set, ok := ex.params.set(x.Slot)
+		if !ok {
+			return false, errUnboundParam(x.Slot)
+		}
+		v, err := ex.itemValue(ReturnItem{Var: x.L.Var, Prop: x.L.Prop})
+		if err != nil {
+			return false, err
+		}
+		if !v.IsInt {
+			return false, nil
+		}
+		return set.has(v.Int), nil
 	case CCmp:
 		l, err := ex.operandValue(x.L)
 		if err != nil {
@@ -552,6 +583,13 @@ func (ex *cexec) evalExpr(e CExpr) (bool, error) {
 func (ex *cexec) operandValue(op COperand) (Value, error) {
 	if op.IsLit {
 		return op.Lit, nil
+	}
+	if op.IsParam {
+		v, ok := ex.params.intVal(op.Slot)
+		if !ok {
+			return Value{}, errUnboundParam(op.Slot)
+		}
+		return IntValue(v), nil
 	}
 	return ex.itemValue(ReturnItem{Var: op.Var, Prop: op.Prop})
 }

@@ -68,17 +68,30 @@ type CCmp struct {
 	L, R COperand
 }
 
-// COperand is a property access or a literal.
+// COperand is a property access, a literal, or a `$k` scalar parameter
+// whose int64 value is bound at execution time (CParams.BindInt) — the
+// shape window bounds take in prepared path queries.
 type COperand struct {
-	IsLit bool
-	Lit   Value
-	Var   string
-	Prop  string
+	IsLit   bool
+	Lit     Value
+	Var     string
+	Prop    string
+	IsParam bool
+	Slot    int
 }
 
-func (CBin) isCExpr() {}
-func (CNot) isCExpr() {}
-func (CCmp) isCExpr() {}
+// CInParam is `var.prop IN $k`: membership in an int64 ID set bound at
+// execution time (CParams.BindIDSet) — the shape propagated entity-ID
+// constraints take, so the query text never carries the set.
+type CInParam struct {
+	L    COperand
+	Slot int
+}
+
+func (CBin) isCExpr()     {}
+func (CNot) isCExpr()     {}
+func (CCmp) isCExpr()     {}
+func (CInParam) isCExpr() {}
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -92,12 +105,14 @@ const (
 	ctokString
 	ctokNumber
 	ctokSymbol
+	ctokParam // $<n> parameter placeholder; num is the slot
 )
 
 var cypherKeywords = map[string]bool{
 	"match": true, "where": true, "return": true, "distinct": true,
 	"limit": true, "and": true, "or": true, "not": true, "as": true,
 	"contains": true, "starts": true, "ends": true, "with": true,
+	"in": true,
 }
 
 type ctok struct {
@@ -145,6 +160,21 @@ func lexCypher(src string) ([]ctok, error) {
 			}
 			n, _ := strconv.ParseInt(src[start:pos], 10, 64)
 			toks = append(toks, ctok{kind: ctokNumber, num: n, text: src[start:pos], pos: start})
+		case c == '$':
+			start := pos
+			pos++
+			digits := pos
+			for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+				pos++
+			}
+			if pos == digits {
+				return nil, fmt.Errorf("graphstore: expected parameter number after '$' at offset %d", start)
+			}
+			n, err := strconv.ParseInt(src[digits:pos], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graphstore: bad parameter %q at offset %d", src[start:pos], start)
+			}
+			toks = append(toks, ctok{kind: ctokParam, num: n, text: src[start:pos], pos: start})
 		case c == '_' || unicode.IsLetter(rune(c)):
 			start := pos
 			for pos < len(src) && (src[pos] == '_' || unicode.IsLetter(rune(src[pos])) || unicode.IsDigit(rune(src[pos]))) {
@@ -527,6 +557,17 @@ func (p *cypherParser) parseCmp() (CExpr, error) {
 	}
 	if t.kind == ctokKeyword {
 		switch t.text {
+		case "in":
+			p.next()
+			pt := p.peek()
+			if pt.kind != ctokParam {
+				return nil, fmt.Errorf("graphstore: expected $<n> parameter after IN at offset %d, got %q", pt.pos, pt.text)
+			}
+			p.next()
+			if left.IsLit || left.IsParam {
+				return nil, fmt.Errorf("graphstore: IN wants a property operand at offset %d", t.pos)
+			}
+			return CInParam{L: left, Slot: int(pt.num)}, nil
 		case "contains":
 			p.next()
 			right, err := p.parseOperand()
@@ -570,6 +611,9 @@ func (p *cypherParser) parseOperand() (COperand, error) {
 			return COperand{}, err
 		}
 		return COperand{IsLit: true, Lit: v}, nil
+	case ctokParam:
+		p.next()
+		return COperand{IsParam: true, Slot: int(t.num)}, nil
 	case ctokSymbol:
 		if t.text == "-" {
 			v, err := p.parseLiteral()

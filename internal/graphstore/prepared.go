@@ -1,0 +1,150 @@
+package graphstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CStmt is a prepared Cypher query: the parse tree, retained so repeat
+// executions — the same path pattern across hunt waves, shards, and
+// hunts — skip lexing and parsing entirely. Per-execution values
+// (propagated entity-ID sets, time-window bounds) are bound through
+// CParams placeholders (`$k`) instead of being rendered into new query
+// text. A CStmt is immutable and safe for concurrent executions.
+type CStmt struct {
+	q *CypherQuery
+	// nSlots is the number of parameter slots referenced (max slot + 1).
+	nSlots int
+}
+
+// PrepareCypher parses a Cypher query once for repeated execution via
+// Graph.QueryPreparedAt.
+func PrepareCypher(src string) (*CStmt, error) {
+	q, err := ParseCypher(src)
+	if err != nil {
+		return nil, err
+	}
+	st := &CStmt{q: q}
+	st.nSlots = maxSlot(q) + 1
+	return st, nil
+}
+
+// NumParams reports how many parameter slots the query references;
+// executions must bind every referenced slot.
+func (st *CStmt) NumParams() int { return st.nSlots }
+
+// maxSlot walks the WHERE tree for the highest `$k` referenced.
+func maxSlot(q *CypherQuery) int {
+	maxS := -1
+	var walk func(e CExpr)
+	walk = func(e CExpr) {
+		switch x := e.(type) {
+		case CBin:
+			walk(x.L)
+			walk(x.R)
+		case CNot:
+			walk(x.E)
+		case CCmp:
+			for _, op := range []COperand{x.L, x.R} {
+				if op.IsParam && op.Slot > maxS {
+					maxS = op.Slot
+				}
+			}
+		case CInParam:
+			if x.Slot > maxS {
+				maxS = x.Slot
+			}
+		}
+	}
+	if q.Where != nil {
+		walk(q.Where)
+	}
+	return maxS
+}
+
+// CParams carries one execution's parameter bindings: int64 ID sets
+// (`prop IN $k`, the propagated-constraint shape) and scalar int64s
+// (`prop >= $k`, the time-window shape). A fully bound CParams is
+// immutable and may be shared by concurrent executions.
+type CParams struct {
+	sets map[int]cIDSet
+	ints map[int]int64
+}
+
+// cIDSet is one bound ID set, ascending. Membership tests binary-search
+// it, so binding costs O(1) beyond the sortedness check — no per-bind
+// hash-map build, matching the relstore cost model for the same
+// propagation sets.
+type cIDSet struct {
+	ids []int64
+}
+
+// has reports membership by binary search.
+func (s cIDSet) has(id int64) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// NewCParams returns an empty parameter binding.
+func NewCParams() *CParams {
+	return &CParams{sets: map[int]cIDSet{}, ints: map[int]int64{}}
+}
+
+// BindIDSet binds slot k to an ID set. The slice is retained and sorted
+// in place if not already ascending.
+func (p *CParams) BindIDSet(slot int, ids []int64) *CParams {
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	p.sets[slot] = cIDSet{ids: ids}
+	return p
+}
+
+// BindInt binds slot k to a scalar int64.
+func (p *CParams) BindInt(slot int, v int64) *CParams {
+	p.ints[slot] = v
+	return p
+}
+
+func (p *CParams) set(slot int) (cIDSet, bool) {
+	if p == nil {
+		return cIDSet{}, false
+	}
+	s, ok := p.sets[slot]
+	return s, ok
+}
+
+func (p *CParams) intVal(slot int) (int64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	v, ok := p.ints[slot]
+	return v, ok
+}
+
+// QueryPreparedAt executes a prepared Cypher query bounded at an epoch
+// watermark with the given parameter bindings: no lexing, no parsing,
+// no text rendering of propagated sets. Like QueryAt, the read lock is
+// held only for this one statement, so a hunt cursor holding the CStmt
+// and mark between calls costs writers nothing.
+func (g *Graph) QueryPreparedAt(st *CStmt, mark uint64, params *CParams) (*Rows, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ex := &cexec{g: g, q: st.q, env: map[string]binding{}, bounded: true, mark: mark, params: params}
+	rows, _, err := g.run(ex)
+	return rows, err
+}
+
+// QueryPrepared executes a prepared Cypher query against the current
+// graph under the statement's read lock.
+func (g *Graph) QueryPrepared(st *CStmt, params *CParams) (*Rows, ExecStats, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ex := &cexec{g: g, q: st.q, env: map[string]binding{}, params: params}
+	return g.run(ex)
+}
+
+// errUnboundParam formats the error for a referenced but unbound slot.
+func errUnboundParam(slot int) error {
+	return fmt.Errorf("graphstore: parameter $%d is not bound", slot)
+}

@@ -1,0 +1,98 @@
+package graphstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPreparedCypherEquivalentToText: a prepared query with bound set
+// and scalar parameters must return exactly the rows of the equivalent
+// rendered text query, at the same epoch mark.
+func TestPreparedCypherEquivalentToText(t *testing.T) {
+	g := fixtureGraph(t)
+	mark := g.Mark()
+
+	text := `MATCH (p:process)-[e:event {optype: 'read'}]->(f:file)` +
+		` WHERE (p.id = 3 OR p.id = 9) AND e.starttime >= 1 AND e.starttime <= 30` +
+		` RETURN p.id, f.id, e.eventid`
+	want, err := g.QueryAt(text, mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Data) == 0 {
+		t.Fatal("fixture returns no rows")
+	}
+
+	st, err := PrepareCypher(`MATCH (p:process)-[e:event {optype: 'read'}]->(f:file)` +
+		` WHERE p.id IN $0 AND e.starttime >= $1 AND e.starttime <= $2` +
+		` RETURN p.id, f.id, e.eventid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 3 {
+		t.Fatalf("NumParams = %d, want 3", st.NumParams())
+	}
+	params := NewCParams().BindIDSet(0, []int64{3, 9}).BindInt(1, 1).BindInt(2, 30)
+
+	for run := 0; run < 2; run++ { // re-execution must not re-parse or drift
+		got, err := g.QueryPreparedAt(st, mark, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("run %d: %d rows, want %d", run, len(got.Data), len(want.Data))
+		}
+		for i := range got.Data {
+			for j := range got.Data[i] {
+				if Compare(got.Data[i][j], want.Data[i][j]) != 0 {
+					t.Fatalf("row %d col %d = %v, want %v", i, j, got.Data[i][j], want.Data[i][j])
+				}
+			}
+		}
+	}
+
+	// A different binding reuses the same plan with new values (entity 6
+	// is curl, whose only read is /tmp/upload.tar).
+	got, err := g.QueryPreparedAt(st, mark, NewCParams().BindIDSet(0, []int64{6}).BindInt(1, 0).BindInt(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 1 || got.Data[0][0].Int != 6 {
+		t.Fatalf("rebound rows = %v", got.Data)
+	}
+}
+
+// TestPreparedCypherUnboundParam: executing with a referenced slot
+// unbound must fail loudly, not silently match nothing.
+func TestPreparedCypherUnboundParam(t *testing.T) {
+	g := fixtureGraph(t)
+	st, err := PrepareCypher(`MATCH (p:process)-[e:event]->(f:file) WHERE p.id IN $0 RETURN p.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.QueryPreparedAt(st, g.Mark(), NewCParams()); err == nil ||
+		!strings.Contains(err.Error(), "$0") {
+		t.Errorf("unbound set param error = %v", err)
+	}
+	st, err = PrepareCypher(`MATCH (p:process)-[e:event]->(f:file) WHERE e.starttime >= $5 RETURN p.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.QueryPreparedAt(st, g.Mark(), NewCParams()); err == nil ||
+		!strings.Contains(err.Error(), "$5") {
+		t.Errorf("unbound int param error = %v", err)
+	}
+}
+
+// TestCypherParamParseErrors: malformed placeholders are parse errors.
+func TestCypherParamParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`MATCH (p:process)-[e:event]->(f:file) WHERE p.id IN 3 RETURN p.id`,
+		`MATCH (p:process)-[e:event]->(f:file) WHERE p.id IN $ RETURN p.id`,
+		`MATCH (p:process)-[e:event]->(f:file) WHERE 3 IN $0 RETURN p.id`,
+	} {
+		if _, err := ParseCypher(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}

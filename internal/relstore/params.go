@@ -1,0 +1,78 @@
+package relstore
+
+import "sort"
+
+// Params carries the values bound to a prepared statement's parameter
+// slots for one execution. The only parameter type today is the typed
+// int64 ID set behind `col IN $k` — the shape the execution engine's
+// propagated entity-ID constraints take — bound once per execution and
+// probed per candidate row, instead of being rendered into SQL text and
+// re-lexed on every hunt wave.
+//
+// A Params value is immutable once every slot is bound, so one Params
+// may be shared by concurrent executions of the same statement (the
+// engine binds a propagation set once and fans the statement out across
+// shards).
+type Params struct {
+	sets []idSet
+}
+
+// idSet is one bound ID-set parameter: the IDs in ascending order. The
+// index-probe path walks them to produce deterministic candidate lists;
+// membership tests binary-search them, so binding costs O(1) beyond the
+// sortedness check — no per-bind hash-map build, which matters when the
+// engine binds a 50k-ID propagation set per hunt wave.
+type idSet struct {
+	ids []int64
+}
+
+// has reports membership by binary search.
+func (s idSet) has(id int64) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// NewParams returns an empty parameter binding.
+func NewParams() *Params { return &Params{} }
+
+// BindIDSet binds slot k (the `$k` placeholder) to an int64 ID set. The
+// slice is retained — callers must not modify it afterwards — and is
+// sorted in place if not already ascending. Binding a slot twice
+// replaces the earlier set.
+func (p *Params) BindIDSet(slot int, ids []int64) *Params {
+	if slot < 0 {
+		return p
+	}
+	for len(p.sets) <= slot {
+		p.sets = append(p.sets, idSet{})
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	p.sets[slot] = idSet{ids: ids}
+	return p
+}
+
+// NumSets reports how many set slots are bound.
+func (p *Params) NumSets() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.sets)
+}
+
+// setAt returns the set bound to a slot (empty when out of range).
+func (p *Params) setAt(slot int) idSet {
+	if p == nil || slot < 0 || slot >= len(p.sets) {
+		return idSet{}
+	}
+	return p.sets[slot]
+}
+
+// has reports set membership for a slot.
+func (p *Params) has(slot int, id int64) bool {
+	if p == nil || slot < 0 || slot >= len(p.sets) {
+		return false
+	}
+	return p.sets[slot].has(id)
+}

@@ -1,0 +1,224 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// prepTestDB builds a bootstrapped DB with n events: event i connects
+// entity (i%50)+1 -> 51, optype read/write alternating.
+func prepTestDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := Bootstrap(db); err != nil {
+		t.Fatal(err)
+	}
+	ents := db.Table(EntityTable)
+	for i := int64(1); i <= 60; i++ {
+		row := []Value{IntValue(i), TextValue("process"), TextValue("h"), TextValue(fmt.Sprintf("p%d", i)),
+			TextValue(fmt.Sprintf("/bin/p%d", i)), IntValue(i), TextValue(""), TextValue(""), IntValue(0), TextValue(""), IntValue(0), TextValue("")}
+		if err := ents.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evts := db.Table(EventTable)
+	for i := 0; i < n; i++ {
+		op := "read"
+		if i%2 == 1 {
+			op = "write"
+		}
+		row := []Value{IntValue(int64(1000 + i)), IntValue(int64(i%50) + 1), IntValue(51), TextValue(op),
+			IntValue(int64(i * 10)), IntValue(int64(i*10 + 1)), IntValue(64), TextValue("h")}
+		if err := evts.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestPreparedEquivalentToText: a prepared statement with a bound ID-set
+// parameter must return exactly the rows of the equivalent rendered
+// IN-list text, on both the locked and the epoch-view paths.
+func TestPreparedEquivalentToText(t *testing.T) {
+	db := prepTestDB(t, 400)
+	ids := []int64{3, 7, 11, 19}
+	var lits []string
+	for _, id := range ids {
+		lits = append(lits, fmt.Sprintf("%d", id))
+	}
+	textSQL := "SELECT e.id, e.srcid FROM events e WHERE e.optype = 'read' AND e.srcid IN (" +
+		strings.Join(lits, ", ") + ")"
+	paramSQL := "SELECT e.id, e.srcid FROM events e WHERE e.optype = 'read' AND e.srcid IN $0"
+
+	want, err := db.Query(textSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Data) == 0 {
+		t.Fatal("fixture returns no rows")
+	}
+
+	st, err := db.Prepare(paramSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSetParams() != 1 {
+		t.Fatalf("NumSetParams = %d, want 1", st.NumSetParams())
+	}
+	params := NewParams().BindIDSet(0, ids)
+
+	got, err := st.Query(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "locked", got, want)
+
+	view := db.View()
+	got, err = st.QueryView(view, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "view", got, want)
+
+	// Re-binding a different set re-executes without re-preparing.
+	got, err = st.Query(NewParams().BindIDSet(0, []int64{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got.Data {
+		if r[1].Int != 3 {
+			t.Fatalf("rebound set leaked rows: %v", r)
+		}
+	}
+}
+
+func assertSameRows(t *testing.T, label string, got, want *Rows) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		for j := range got.Data[i] {
+			if Compare(got.Data[i][j], want.Data[i][j]) != 0 {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, i, j, got.Data[i][j], want.Data[i][j])
+			}
+		}
+	}
+}
+
+// TestPreparedLargeSetScansOnce: a bound set far beyond the index-probe
+// threshold must still return exactly the right rows (the set-filtered
+// scan path) with no error — this is the 50k-ID propagation shape.
+func TestPreparedLargeSetScans(t *testing.T) {
+	db := prepTestDB(t, 300)
+	var ids []int64
+	for i := int64(1); i <= 5000; i++ {
+		if i%2 == 1 { // odd srcids only
+			ids = append(ids, i)
+		}
+	}
+	st, err := db.Prepare("SELECT e.id FROM events e WHERE e.srcid IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := st.QueryViewStats(db.View(), NewParams().BindIDSet(0, ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// srcid = (i%50)+1, odd for even i: half the events match.
+	if len(rows.Data) != 150 {
+		t.Fatalf("rows = %d, want 150", len(rows.Data))
+	}
+	if stats.FullScans == 0 {
+		t.Errorf("large bound set should take the set-filtered scan path, stats = %+v", stats)
+	}
+}
+
+// TestPreparedSmallSetUsesIndex: a small bound set on an indexed column
+// must be served by per-ID index probes.
+func TestPreparedSmallSetUsesIndex(t *testing.T) {
+	db := prepTestDB(t, 400)
+	st, err := db.Prepare("SELECT e.id FROM events e WHERE e.srcid IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := st.QueryViewStats(db.View(), NewParams().BindIDSet(0, []int64{5, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 16 { // 400/50 = 8 events per srcid
+		t.Fatalf("rows = %d, want 16", len(rows.Data))
+	}
+	if stats.IndexLookups == 0 || stats.FullScans != 0 {
+		t.Errorf("small bound set should be index driven, stats = %+v", stats)
+	}
+}
+
+// TestPreparedCrossShardExecution: a statement prepared on one
+// bootstrapped DB must execute against a view of another (the sharded
+// fan-out shape).
+func TestPreparedCrossShardExecution(t *testing.T) {
+	auth := prepTestDB(t, 10)
+	other := prepTestDB(t, 100)
+	st, err := auth.Prepare("SELECT e.id FROM events e WHERE e.srcid IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.QueryView(other.View(), NewParams().BindIDSet(0, []int64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 { // 100/50 = 2 events with srcid 1
+		t.Fatalf("cross-DB rows = %d, want 2", len(rows.Data))
+	}
+}
+
+// TestPreparedParamErrors: missing bindings and bad placeholders fail
+// with useful errors instead of silently matching nothing.
+func TestPreparedParamErrors(t *testing.T) {
+	db := prepTestDB(t, 10)
+	st, err := db.Prepare("SELECT e.id FROM events e WHERE e.srcid IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query(nil); err == nil || !strings.Contains(err.Error(), "set parameter") {
+		t.Errorf("unbound param error = %v", err)
+	}
+	if _, err := ParseSQL("SELECT e.id FROM events e WHERE e.srcid IN $"); err == nil {
+		t.Error("bare $ should fail to lex")
+	}
+	// NOT IN $k is supported as a filter.
+	st, err = db.Prepare("SELECT e.id FROM events e WHERE e.srcid NOT IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query(NewParams().BindIDSet(0, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 { // 10 events cover srcids 1..10
+		t.Errorf("NOT IN rows = %d, want 0", len(rows.Data))
+	}
+}
+
+// TestPreparedDuplicateIDsInSet: a caller-built set with duplicate IDs
+// must return each matching row once on the indexed probe path, same
+// as the set-filtered scan would.
+func TestPreparedDuplicateIDsInSet(t *testing.T) {
+	db := prepTestDB(t, 400)
+	st, err := db.Prepare("SELECT e.id FROM events e WHERE e.srcid IN $0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := st.QueryViewStats(db.View(), NewParams().BindIDSet(0, []int64{5, 5, 9, 9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexLookups == 0 {
+		t.Fatalf("expected the indexed path, stats = %+v", stats)
+	}
+	if len(rows.Data) != 16 { // 8 events per srcid, no duplicates
+		t.Fatalf("rows = %d, want 16", len(rows.Data))
+	}
+}

@@ -86,6 +86,16 @@ type InExpr struct {
 	Neg  bool
 }
 
+// InParamExpr tests membership in a bound ID-set parameter slot
+// (`col IN $k`). The set's values are bound at execution time via
+// Params.BindIDSet, so the statement text — and its prepared plan —
+// stay identical however the set changes between executions.
+type InParamExpr struct {
+	L    Expr
+	Slot int
+	Neg  bool
+}
+
 // BetweenExpr tests a range inclusively.
 type BetweenExpr struct {
 	L      Expr
@@ -109,6 +119,7 @@ func (BinExpr) isExpr()     {}
 func (NotExpr) isExpr()     {}
 func (CmpExpr) isExpr()     {}
 func (InExpr) isExpr()      {}
+func (InParamExpr) isExpr() {}
 func (BetweenExpr) isExpr() {}
 func (IsNullExpr) isExpr()  {}
 func (ColExpr) isExpr()     {}

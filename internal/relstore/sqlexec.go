@@ -38,19 +38,79 @@ func (db *DB) QueryStats(sql string) (*Rows, ExecStats, error) {
 
 // Exec executes a parsed statement.
 func (db *DB) Exec(stmt *SelectStmt) (*Rows, ExecStats, error) {
-	ex := &executor{db: db, stmt: stmt}
-	rows, err := ex.run()
-	return rows, ex.stats, err
+	st, err := db.PrepareParsed(stmt)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return st.exec(nil, nil)
 }
 
-// binding is one table instance in the FROM/JOIN list. rows is the row
-// storage the statement reads: the live rows under the statement's (or
-// caller's) table locks, or an epoch view's captured prefix when the
-// statement runs against a View.
-type binding struct {
-	name  string // bind name (alias or table name), lowercase
-	table *Table
-	rows  [][]Value
+// Prepare parses a SELECT statement and derives its execution plan once:
+// table bindings, column resolution, compiled conjunct closures, the
+// per-level access paths, and the projection. The returned Stmt executes
+// with zero parsing — Query re-runs it under the statement's table
+// locks, QueryView runs it against an epoch view — with per-execution
+// values (the engine's propagated entity-ID sets) bound through Params
+// instead of being rendered into new SQL text. A Stmt is immutable
+// after Prepare and safe for concurrent executions.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.PrepareParsed(stmt)
+}
+
+// PrepareParsed is Prepare for an already-parsed statement. The
+// statement AST is retained and must not be modified afterwards.
+func (db *DB) PrepareParsed(stmt *SelectStmt) (*Stmt, error) {
+	st := &Stmt{db: db, stmt: stmt}
+	if err := st.compile(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Stmt is a prepared SELECT statement: the parse tree plus everything
+// the executor can derive from the schema alone — bindings, compiled
+// predicates, per-level access plans, resolved projection and order
+// keys. Executing a Stmt does no parsing and no plan derivation; only
+// row storage (the live table or an epoch view) and parameter values
+// vary per execution.
+//
+// A Stmt prepared on one database may execute against a View of
+// another database whose tables have identical schemas (the sharded
+// store: every shard is bootstrapped with the same tables), which is
+// how the execution engine compiles a pattern's data query once and
+// fans it out across shards.
+type Stmt struct {
+	db   *DB
+	stmt *SelectStmt
+
+	binds   []stmtBind
+	conjs   []conjunct
+	conjsAt [][]int      // conjsAt[level] lists conjunct indexes with maxRef == level
+	plans   []accessPlan // per-level access path
+	project []resolvedCol
+	// orderKeys are the projected positions of the ORDER BY keys,
+	// resolved at prepare time.
+	orderKeys []int
+	// nSet is the number of ID-set parameter slots the statement
+	// references (max slot + 1); executions must bind at least that many.
+	nSet int
+
+	// colCache memoizes resolveCol during compilation.
+	colCache map[ColRef]resolvedRef
+}
+
+// stmtBind is one table instance in the FROM/JOIN list, resolved at
+// prepare time. table is the prepare-time table — the schema authority
+// for column resolution; executions against a view re-resolve the
+// runtime table by name.
+type stmtBind struct {
+	name      string // bind name (alias or table name), lowercase
+	tableName string // underlying table name, lowercase
+	table     *Table
 }
 
 // conjunct is one top-level AND-ed condition with the set of bindings it
@@ -67,51 +127,30 @@ type conjunct struct {
 }
 
 // boolFn evaluates a compiled boolean expression for a bound tuple.
-type boolFn func(tuple []int) bool
+type boolFn func(rt *stmtRun, tuple []int) bool
 
 // valFn evaluates a compiled operand for a bound tuple.
-type valFn func(tuple []int) Value
-
-type executor struct {
-	db    *DB
-	stmt  *SelectStmt
-	binds []binding
-	conjs []conjunct
-	stats ExecStats
-	// view, when non-nil, runs the statement against an epoch view: rows
-	// come from the view's captured prefixes, no statement-long locks are
-	// taken, and index probes lock only for the duration of the probe.
-	view *View
-
-	out      [][]Value
-	project  []resolvedCol
-	limitHit bool
-
-	// colCache memoizes resolveCol: column resolution is pure per query.
-	colCache map[ColRef]resolvedRef
-	// conjsAt[level] lists conjunct indexes whose maxRef == level.
-	conjsAt [][]int
-	// plans[level] is the precomputed access path for each join level.
-	plans []accessPlan
-}
-
-type resolvedRef struct {
-	bind, col int
-	err       error
-}
+type valFn func(rt *stmtRun, tuple []int) Value
 
 // accessPlan describes how to enumerate candidate rows at a join level.
 type accessPlan struct {
-	kind byte // 'l' eq-literal, 'j' eq-join, 'n' in-list, 'r' range, 's' scan
+	kind byte // 'l' eq-literal, 'j' eq-join, 'p' param set, 'n' in-list, 'r' range, 's' scan
 	col  int  // column on this level's table
 	lit  Value
 	// in-list values.
 	vals []Value
+	// param-set slot.
+	slot int
 	// eq-join source.
 	otherBind, otherCol int
 	// range bounds.
 	lo, hi       *Value
 	loInc, hiInc bool
+}
+
+type resolvedRef struct {
+	bind, col int
+	err       error
 }
 
 type resolvedCol struct {
@@ -120,49 +159,193 @@ type resolvedCol struct {
 	name string
 }
 
-func (ex *executor) run() (*Rows, error) {
+// stmtRun is the per-execution state of a prepared statement: the row
+// storage each binding reads (live rows under the statement's table
+// locks, or an epoch view's captured prefixes), the runtime tables the
+// index probes go to, the bound parameters, and the result
+// accumulator. Compiled closures receive the stmtRun, so one Stmt
+// serves any number of concurrent executions.
+type stmtRun struct {
+	st     *Stmt
+	view   *View // nil: locked execution on st.db
+	params *Params
+	tables []*Table
+	rows   [][][]Value
+	stats  ExecStats
+
+	out      [][]Value
+	limitHit bool
+}
+
+// compile derives everything schema-determined: bindings, conjuncts,
+// projection, order keys, per-level conjunct lists and access plans.
+func (st *Stmt) compile() error {
 	// Bind tables.
-	refs := append([]TableRef{ex.stmt.From}, nil...)
-	for _, j := range ex.stmt.Joins {
+	refs := make([]TableRef, 0, 1+len(st.stmt.Joins))
+	refs = append(refs, st.stmt.From)
+	for _, j := range st.stmt.Joins {
 		refs = append(refs, j.Ref)
 	}
 	seen := map[string]bool{}
 	for _, r := range refs {
-		b := binding{}
-		if ex.view != nil {
-			tv := ex.view.Table(r.Name)
-			if tv == nil {
-				return nil, fmt.Errorf("relstore: no table %q", r.Name)
-			}
-			b.table, b.rows = tv.t, tv.rows
-		} else {
-			t := ex.db.Table(r.Name)
-			if t == nil {
-				return nil, fmt.Errorf("relstore: no table %q", r.Name)
-			}
-			b.table = t
+		t := st.db.Table(r.Name)
+		if t == nil {
+			return fmt.Errorf("relstore: no table %q", r.Name)
 		}
 		bn := r.bindName()
 		if seen[bn] {
-			return nil, fmt.Errorf("relstore: duplicate table binding %q", bn)
+			return fmt.Errorf("relstore: duplicate table binding %q", bn)
 		}
 		seen[bn] = true
-		b.name = bn
-		ex.binds = append(ex.binds, b)
+		st.binds = append(st.binds, stmtBind{name: bn, tableName: strings.ToLower(r.Name), table: t})
 	}
 
-	// Hold the read lock of every bound table for the whole statement so
-	// the query sees a consistent snapshot while writers ingest. Tables
-	// are deduplicated (a self join binds the same table twice, and a
-	// recursive RLock could deadlock behind a queued writer) and locked
-	// in table-name order, so two statements binding the same tables in
-	// opposite FROM/JOIN orders cannot cycle with queued writers. An
-	// epoch-view statement skips all of this: its bindings already carry
-	// the view's captured row prefixes.
-	if ex.view == nil {
-		seenTbl := make(map[*Table]bool, len(ex.binds))
-		locked := make([]*Table, 0, len(ex.binds))
-		for _, b := range ex.binds {
+	// Collect conjuncts from JOIN ON and WHERE clauses.
+	var all []Expr
+	for _, j := range st.stmt.Joins {
+		all = append(all, splitAnd(j.On)...)
+	}
+	if st.stmt.Where != nil {
+		all = append(all, splitAnd(st.stmt.Where)...)
+	}
+	for _, e := range all {
+		refs := map[int]bool{}
+		if err := st.collectRefs(e, refs); err != nil {
+			return err
+		}
+		maxRef := 0
+		for bi := range refs {
+			if bi > maxRef {
+				maxRef = bi
+			}
+		}
+		fn, err := st.compileBool(e)
+		if err != nil {
+			return err
+		}
+		st.conjs = append(st.conjs, conjunct{expr: e, refs: refs, maxRef: maxRef, fn: fn})
+	}
+
+	// Resolve projection.
+	if st.stmt.Star {
+		for bi, b := range st.binds {
+			for ci, c := range b.table.schema.Columns {
+				name := c.Name
+				if len(st.binds) > 1 {
+					name = b.name + "." + c.Name
+				}
+				st.project = append(st.project, resolvedCol{bind: bi, col: ci, name: name})
+			}
+		}
+	} else {
+		for _, item := range st.stmt.Items {
+			bi, ci, err := st.resolveCol(item.Ref)
+			if err != nil {
+				return err
+			}
+			name := item.Alias
+			if name == "" {
+				name = item.Ref.String()
+			}
+			st.project = append(st.project, resolvedCol{bind: bi, col: ci, name: name})
+		}
+	}
+
+	// Resolve ORDER BY keys against the projection.
+	for _, o := range st.stmt.OrderBy {
+		if _, _, err := st.resolveCol(o.Ref); err != nil {
+			return err
+		}
+		ki := st.findProjected(o.Ref)
+		if ki < 0 {
+			return fmt.Errorf("relstore: ORDER BY column %s must appear in the select list", o.Ref)
+		}
+		st.orderKeys = append(st.orderKeys, ki)
+	}
+
+	// Precompute per-level conjunct lists and access plans.
+	st.conjsAt = make([][]int, len(st.binds))
+	for ci, c := range st.conjs {
+		st.conjsAt[c.maxRef] = append(st.conjsAt[c.maxRef], ci)
+	}
+	st.plans = make([]accessPlan, len(st.binds))
+	for level := range st.binds {
+		st.plans[level] = st.planLevel(level)
+	}
+	return nil
+}
+
+// NumSetParams reports how many ID-set parameter slots the statement
+// references; executions must bind at least that many via
+// Params.BindIDSet.
+func (st *Stmt) NumSetParams() int { return st.nSet }
+
+// Query executes the prepared statement against its database under the
+// statement's table locks (one consistent snapshot of the live rows).
+func (st *Stmt) Query(params *Params) (*Rows, error) {
+	rows, _, err := st.exec(nil, params)
+	return rows, err
+}
+
+// QueryStats is Query plus execution statistics.
+func (st *Stmt) QueryStats(params *Params) (*Rows, ExecStats, error) {
+	return st.exec(nil, params)
+}
+
+// QueryView executes the prepared statement against an epoch view with
+// zero parsing and no statement-long locks: the view's captured row
+// prefixes are the statement's snapshot, and index probes lock only for
+// the duration of the probe. The view may belong to a different
+// database than the one the statement was prepared on, as long as the
+// bound tables exist there with identical schemas (shards of one
+// sharded store do).
+func (st *Stmt) QueryView(v *View, params *Params) (*Rows, error) {
+	rows, _, err := st.exec(v, params)
+	return rows, err
+}
+
+// QueryViewStats is QueryView plus execution statistics.
+func (st *Stmt) QueryViewStats(v *View, params *Params) (*Rows, ExecStats, error) {
+	return st.exec(v, params)
+}
+
+// exec runs one execution of the prepared statement.
+func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
+	if st.nSet > params.NumSets() {
+		return nil, ExecStats{}, fmt.Errorf("relstore: statement wants %d set parameter(s), got %d",
+			st.nSet, params.NumSets())
+	}
+	rt := &stmtRun{
+		st:     st,
+		view:   view,
+		params: params,
+		tables: make([]*Table, len(st.binds)),
+		rows:   make([][][]Value, len(st.binds)),
+	}
+
+	if view != nil {
+		for i, b := range st.binds {
+			tv := view.Table(b.tableName)
+			if tv == nil {
+				return nil, rt.stats, fmt.Errorf("relstore: no table %q", b.tableName)
+			}
+			if tv.t != b.table && !schemaCompatible(tv.t.schema, b.table.schema) {
+				return nil, rt.stats, fmt.Errorf("relstore: table %q in the view does not match the prepared schema", b.tableName)
+			}
+			rt.tables[i] = tv.t
+			rt.rows[i] = tv.rows
+		}
+	} else {
+		// Hold the read lock of every bound table for the whole statement
+		// so the query sees a consistent snapshot while writers ingest.
+		// Tables are deduplicated (a self join binds the same table twice,
+		// and a recursive RLock could deadlock behind a queued writer) and
+		// locked in table-name order, so two statements binding the same
+		// tables in opposite FROM/JOIN orders cannot cycle with queued
+		// writers.
+		seenTbl := make(map[*Table]bool, len(st.binds))
+		locked := make([]*Table, 0, len(st.binds))
+		for _, b := range st.binds {
 			if !seenTbl[b.table] {
 				seenTbl[b.table] = true
 				locked = append(locked, b.table)
@@ -175,107 +358,29 @@ func (ex *executor) run() (*Rows, error) {
 			t.mu.RLock()
 			defer t.mu.RUnlock()
 		}
-		// Row storage is read through the bindings; under the held locks
+		// Row storage is read through the run state; under the held locks
 		// the live rows are the statement's snapshot.
-		for i := range ex.binds {
-			ex.binds[i].rows = ex.binds[i].table.rows
+		for i, b := range st.binds {
+			rt.tables[i] = b.table
+			rt.rows[i] = b.table.rows
 		}
 	}
 
-	// Collect conjuncts from JOIN ON and WHERE clauses.
-	var all []Expr
-	for _, j := range ex.stmt.Joins {
-		all = append(all, splitAnd(j.On)...)
-	}
-	if ex.stmt.Where != nil {
-		all = append(all, splitAnd(ex.stmt.Where)...)
-	}
-	for _, e := range all {
-		refs := map[int]bool{}
-		if err := ex.collectRefs(e, refs); err != nil {
-			return nil, err
-		}
-		maxRef := 0
-		for bi := range refs {
-			if bi > maxRef {
-				maxRef = bi
-			}
-		}
-		fn, err := ex.compileBool(e)
-		if err != nil {
-			return nil, err
-		}
-		ex.conjs = append(ex.conjs, conjunct{expr: e, refs: refs, maxRef: maxRef, fn: fn})
+	tuple := make([]int, len(st.binds))
+	if err := rt.join(0, tuple); err != nil {
+		return nil, rt.stats, err
 	}
 
-	// Resolve projection.
-	if ex.stmt.Star {
-		for bi, b := range ex.binds {
-			for ci, c := range b.table.schema.Columns {
-				name := c.Name
-				if len(ex.binds) > 1 {
-					name = b.name + "." + c.Name
-				}
-				ex.project = append(ex.project, resolvedCol{bind: bi, col: ci, name: name})
-			}
-		}
-	} else {
-		for _, item := range ex.stmt.Items {
-			bi, ci, err := ex.resolveCol(item.Ref)
-			if err != nil {
-				return nil, err
-			}
-			name := item.Alias
-			if name == "" {
-				name = item.Ref.String()
-			}
-			ex.project = append(ex.project, resolvedCol{bind: bi, col: ci, name: name})
-		}
-	}
-
-	// Validate ORDER BY references early.
-	for _, o := range ex.stmt.OrderBy {
-		if _, _, err := ex.resolveCol(o.Ref); err != nil {
-			return nil, err
-		}
-	}
-
-	// Precompute per-level conjunct lists and access plans.
-	ex.conjsAt = make([][]int, len(ex.binds))
-	for ci, c := range ex.conjs {
-		ex.conjsAt[c.maxRef] = append(ex.conjsAt[c.maxRef], ci)
-	}
-	ex.plans = make([]accessPlan, len(ex.binds))
-	for level := range ex.binds {
-		ex.plans[level] = ex.planLevel(level)
-	}
-
-	tuple := make([]int, len(ex.binds))
-	if err := ex.join(0, tuple); err != nil {
-		return nil, err
-	}
-
-	// ORDER BY.
-	if len(ex.stmt.OrderBy) > 0 && !ex.limitFriendly() {
-		// Rows were emitted unordered; sort now. Projection has already
-		// been applied, so order keys must be re-resolved against the
-		// projection when possible; otherwise we sort on raw tuples —
-		// to keep this simple we sort the projected rows by locating the
-		// order column within the projection.
-		keyIdx := make([]int, len(ex.stmt.OrderBy))
-		for i, o := range ex.stmt.OrderBy {
-			keyIdx[i] = ex.findProjected(o.Ref)
-			if keyIdx[i] < 0 {
-				return nil, fmt.Errorf("relstore: ORDER BY column %s must appear in the select list", o.Ref)
-			}
-		}
-		sort.SliceStable(ex.out, func(a, b int) bool {
-			for i, ki := range keyIdx {
-				c := Compare(ex.out[a][ki], ex.out[b][ki])
+	// ORDER BY (projection already applied; keys were resolved to
+	// projected positions at prepare time).
+	if len(st.orderKeys) > 0 {
+		sort.SliceStable(rt.out, func(a, b int) bool {
+			for i, ki := range st.orderKeys {
+				c := Compare(rt.out[a][ki], rt.out[b][ki])
 				if c == 0 {
 					continue
 				}
-				if ex.stmt.OrderBy[i].Desc {
+				if st.stmt.OrderBy[i].Desc {
 					return c > 0
 				}
 				return c < 0
@@ -285,10 +390,10 @@ func (ex *executor) run() (*Rows, error) {
 	}
 
 	// DISTINCT.
-	if ex.stmt.Distinct {
+	if st.stmt.Distinct {
 		seen := map[string]bool{}
-		dst := ex.out[:0]
-		for _, row := range ex.out {
+		dst := rt.out[:0]
+		for _, row := range rt.out {
 			var b strings.Builder
 			for _, v := range row {
 				b.WriteString(v.key())
@@ -300,33 +405,47 @@ func (ex *executor) run() (*Rows, error) {
 				dst = append(dst, row)
 			}
 		}
-		ex.out = dst
+		rt.out = dst
 	}
 
 	// LIMIT.
-	if ex.stmt.Limit >= 0 && len(ex.out) > ex.stmt.Limit {
-		ex.out = ex.out[:ex.stmt.Limit]
+	if st.stmt.Limit >= 0 && len(rt.out) > st.stmt.Limit {
+		rt.out = rt.out[:st.stmt.Limit]
 	}
 
-	cols := make([]string, len(ex.project))
-	for i, p := range ex.project {
+	cols := make([]string, len(st.project))
+	for i, p := range st.project {
 		cols[i] = p.name
 	}
-	return &Rows{Cols: cols, Data: ex.out}, nil
+	return &Rows{Cols: cols, Data: rt.out}, rt.stats, nil
+}
+
+// schemaCompatible reports whether two tables share a column layout, so
+// a statement prepared on one can execute against a view of the other.
+func schemaCompatible(a, b Schema) bool {
+	if len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if !strings.EqualFold(a.Columns[i].Name, b.Columns[i].Name) || a.Columns[i].Type != b.Columns[i].Type {
+			return false
+		}
+	}
+	return true
 }
 
 // limitFriendly reports whether early termination on LIMIT is safe
-// (no ORDER BY and no DISTINCT semantics that need the full set).
-func (ex *executor) limitFriendly() bool {
-	return len(ex.stmt.OrderBy) == 0
+// (no ORDER BY that needs the full set).
+func (st *Stmt) limitFriendly() bool {
+	return len(st.stmt.OrderBy) == 0
 }
 
-func (ex *executor) findProjected(ref ColRef) int {
-	bi, ci, err := ex.resolveCol(ref)
+func (st *Stmt) findProjected(ref ColRef) int {
+	bi, ci, err := st.resolveCol(ref)
 	if err != nil {
 		return -1
 	}
-	for i, p := range ex.project {
+	for i, p := range st.project {
 		if p.bind == bi && p.col == ci {
 			return i
 		}
@@ -336,41 +455,45 @@ func (ex *executor) findProjected(ref ColRef) int {
 
 // join binds tables level by level, using indexes where possible and
 // evaluating each conjunct as soon as all its bindings are bound.
-func (ex *executor) join(level int, tuple []int) error {
-	if ex.limitHit {
+func (rt *stmtRun) join(level int, tuple []int) error {
+	if rt.limitHit {
 		return nil
 	}
-	if level == len(ex.binds) {
-		row := make([]Value, len(ex.project))
-		for i, p := range ex.project {
-			row[i] = ex.binds[p.bind].rows[tuple[p.bind]][p.col]
+	st := rt.st
+	if level == len(st.binds) {
+		row := make([]Value, len(st.project))
+		for i, p := range st.project {
+			row[i] = rt.rows[p.bind][tuple[p.bind]][p.col]
 		}
-		ex.out = append(ex.out, row)
-		ex.stats.TuplesEmitted++
-		if ex.stmt.Limit >= 0 && !ex.stmt.Distinct && ex.limitFriendly() && len(ex.out) >= ex.stmt.Limit {
-			ex.limitHit = true
+		rt.out = append(rt.out, row)
+		rt.stats.TuplesEmitted++
+		if st.stmt.Limit >= 0 && !st.stmt.Distinct && st.limitFriendly() && len(rt.out) >= st.stmt.Limit {
+			rt.limitHit = true
 		}
 		return nil
 	}
 
-	cands, err := ex.candidates(level, tuple)
+	cands, err := rt.candidates(level, tuple)
 	if err != nil {
 		return err
 	}
 	for _, rid := range cands {
 		tuple[level] = rid
-		ex.stats.RowsScanned++
-		ok, err := ex.checkConjuncts(level, tuple)
-		if err != nil {
-			return err
+		rt.stats.RowsScanned++
+		ok := true
+		for _, ci := range st.conjsAt[level] {
+			if !st.conjs[ci].fn(rt, tuple) {
+				ok = false
+				break
+			}
 		}
 		if !ok {
 			continue
 		}
-		if err := ex.join(level+1, tuple); err != nil {
+		if err := rt.join(level+1, tuple); err != nil {
 			return err
 		}
-		if ex.limitHit {
+		if rt.limitHit {
 			return nil
 		}
 	}
@@ -378,22 +501,40 @@ func (ex *executor) join(level int, tuple []int) error {
 }
 
 // planLevel picks the most selective access path for the table at level
-// (chosen once per query; equi-join lookups read the bound value from the
-// tuple at runtime).
-func (ex *executor) planLevel(level int) accessPlan {
+// (chosen once per prepared statement; equi-join and parameter-set
+// lookups read their values at run time).
+func (st *Stmt) planLevel(level int) accessPlan {
 	// 1. Equi-join with an already-bound table: the per-tuple lookup
 	// value makes this far more selective than a constant predicate
 	// (classic index nested-loop join).
-	for _, c := range ex.conjs {
-		myCol, otherBind, otherCol, ok := ex.eqJoin(c.expr, level)
+	for _, c := range st.conjs {
+		myCol, otherBind, otherCol, ok := st.eqJoin(c.expr, level)
 		if ok && otherBind < level {
 			return accessPlan{kind: 'j', col: myCol, otherBind: otherBind, otherCol: otherCol}
 		}
 	}
-	// 2. Small IN-list on this table's column: the union of per-value
-	// index lookups is usually tighter than any single-value bucket
-	// (this is how propagated entity-ID constraints become index driven).
-	for _, c := range ex.conjs {
+	// 2. Bound ID-set parameter on this table's column: the propagated
+	// entity-ID constraint. Selectivity is decided at run time — small
+	// sets drive per-ID hash-index probes, large sets a set-filtered
+	// scan — so the same plan serves both a 10-ID and a 50k-ID binding.
+	for _, c := range st.conjs {
+		in, ok := c.expr.(InParamExpr)
+		if !ok || in.Neg || len(c.refs) != 1 || !c.refs[level] {
+			continue
+		}
+		ce, okc := in.L.(ColExpr)
+		if !okc {
+			continue
+		}
+		bi, ci, err := st.resolveCol(ce.Ref)
+		if err != nil || bi != level {
+			continue
+		}
+		return accessPlan{kind: 'p', col: ci, slot: in.Slot}
+	}
+	// 3. Small IN-list on this table's column: the union of per-value
+	// index lookups is usually tighter than any single-value bucket.
+	for _, c := range st.conjs {
 		in, ok := c.expr.(InExpr)
 		if !ok || in.Neg || len(in.Vals) > 128 || len(c.refs) != 1 || !c.refs[level] {
 			continue
@@ -402,50 +543,85 @@ func (ex *executor) planLevel(level int) accessPlan {
 		if !okc {
 			continue
 		}
-		bi, ci, err := ex.resolveCol(ce.Ref)
+		bi, ci, err := st.resolveCol(ce.Ref)
 		if err != nil || bi != level {
 			continue
 		}
 		return accessPlan{kind: 'n', col: ci, vals: in.Vals}
 	}
-	// 3. Equality with a literal on this table's column.
-	for _, c := range ex.conjs {
-		col, lit, ok := ex.eqLiteral(c.expr, level)
+	// 4. Equality with a literal on this table's column.
+	for _, c := range st.conjs {
+		col, lit, ok := st.eqLiteral(c.expr, level)
 		if ok && len(c.refs) == 1 && c.refs[level] {
 			return accessPlan{kind: 'l', col: col, lit: lit}
 		}
 	}
-	// 4. Range predicate with literals.
-	for _, c := range ex.conjs {
-		col, lo, hi, loInc, hiInc, ok := ex.rangeLiteral(c.expr, level)
+	// 5. Range predicate with literals.
+	for _, c := range st.conjs {
+		col, lo, hi, loInc, hiInc, ok := st.rangeLiteral(c.expr, level)
 		if ok && len(c.refs) == 1 && c.refs[level] {
 			return accessPlan{kind: 'r', col: col, lo: lo, hi: hi, loInc: loInc, hiInc: hiInc}
 		}
 	}
-	// 5. Full scan.
+	// 6. Full scan.
 	return accessPlan{kind: 's'}
 }
 
+// paramProbeDiv bounds when a bound ID set drives per-ID index probes
+// instead of a set-filtered scan: probing costs one index lookup per ID,
+// so beyond 1/paramProbeDiv of the table's rows a single scan is cheaper.
+const paramProbeDiv = 4
+
 // candidates enumerates candidate rows at a level per its access plan.
-func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
-	b := &ex.binds[level]
-	plan := ex.plans[level]
+func (rt *stmtRun) candidates(level int, tuple []int) ([]int, error) {
+	st := rt.st
+	t := rt.tables[level]
+	rows := rt.rows[level]
+	plan := st.plans[level]
 	switch plan.kind {
 	case 'l':
-		ids, indexed := ex.lookupEq(b, plan.col, plan.lit)
-		ex.countAccess(indexed)
+		ids, indexed := rt.lookupEq(level, plan.col, plan.lit)
+		rt.countAccess(indexed)
 		return ids, nil
 	case 'j':
-		v := ex.binds[plan.otherBind].rows[tuple[plan.otherBind]][plan.otherCol]
-		ids, indexed := ex.lookupEq(b, plan.col, v)
-		ex.countAccess(indexed)
+		v := rt.rows[plan.otherBind][tuple[plan.otherBind]][plan.otherCol]
+		ids, indexed := rt.lookupEq(level, plan.col, v)
+		rt.countAccess(indexed)
+		return ids, nil
+	case 'p':
+		set := rt.params.setAt(plan.slot)
+		// Small sets: one hash-index probe per ID under a single brief
+		// lock — the index-driven access path for propagated constraints.
+		if len(set.ids) <= len(rows)/paramProbeDiv {
+			var ids []int
+			var ok bool
+			if rt.view != nil {
+				ids, ok = t.lookupEqIntsView(plan.col, set.ids, rows)
+			} else {
+				ids, ok = t.lookupEqInts(plan.col, set.ids)
+			}
+			if ok {
+				rt.stats.IndexLookups++
+				return ids, nil
+			}
+		}
+		// Large sets (or no index): scan the level once, filtering by
+		// set membership — still no text rendering, no parse, and one
+		// binary search per row.
+		rt.stats.FullScans++
+		var ids []int
+		for rid, row := range rows {
+			if v := row[plan.col]; v.Kind == TypeInt && set.has(v.Int) {
+				ids = append(ids, rid)
+			}
+		}
 		return ids, nil
 	case 'n':
 		var ids []int
 		seen := map[int]bool{}
 		indexed := true
 		for _, v := range plan.vals {
-			got, idx := ex.lookupEq(b, plan.col, v)
+			got, idx := rt.lookupEq(level, plan.col, v)
 			indexed = indexed && idx
 			for _, id := range got {
 				if !seen[id] {
@@ -455,21 +631,21 @@ func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
 			}
 		}
 		sort.Ints(ids)
-		ex.countAccess(indexed)
+		rt.countAccess(indexed)
 		return ids, nil
 	case 'r':
 		var ids []int
 		var indexed bool
-		if ex.view != nil {
-			ids, indexed = b.table.lookupRangeView(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc, b.rows)
+		if rt.view != nil {
+			ids, indexed = t.lookupRangeView(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc, rows)
 		} else {
-			ids, indexed = b.table.lookupRange(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc)
+			ids, indexed = t.lookupRange(plan.col, plan.lo, plan.hi, plan.loInc, plan.hiInc)
 		}
-		ex.countAccess(indexed)
+		rt.countAccess(indexed)
 		return ids, nil
 	default:
-		ex.stats.FullScans++
-		ids := make([]int, len(b.rows))
+		rt.stats.FullScans++
+		ids := make([]int, len(rows))
 		for i := range ids {
 			ids[i] = i
 		}
@@ -478,24 +654,24 @@ func (ex *executor) candidates(level int, tuple []int) ([]int, error) {
 }
 
 // lookupEq dispatches an equality lookup to the locked or epoch-view
-// variant, per how this statement reads its tables.
-func (ex *executor) lookupEq(b *binding, ci int, v Value) ([]int, bool) {
-	if ex.view != nil {
-		return b.table.lookupEqView(ci, v, b.rows)
+// variant, per how this execution reads its tables.
+func (rt *stmtRun) lookupEq(level, ci int, v Value) ([]int, bool) {
+	if rt.view != nil {
+		return rt.tables[level].lookupEqView(ci, v, rt.rows[level])
 	}
-	return b.table.lookupEq(ci, v)
+	return rt.tables[level].lookupEq(ci, v)
 }
 
-func (ex *executor) countAccess(indexed bool) {
+func (rt *stmtRun) countAccess(indexed bool) {
 	if indexed {
-		ex.stats.IndexLookups++
+		rt.stats.IndexLookups++
 	} else {
-		ex.stats.FullScans++
+		rt.stats.FullScans++
 	}
 }
 
 // eqLiteral matches `col = literal` (either side) on the given binding.
-func (ex *executor) eqLiteral(e Expr, level int) (col int, lit Value, ok bool) {
+func (st *Stmt) eqLiteral(e Expr, level int) (col int, lit Value, ok bool) {
 	cmp, isCmp := e.(CmpExpr)
 	if !isCmp || cmp.Op != "=" {
 		return 0, Value{}, false
@@ -509,7 +685,7 @@ func (ex *executor) eqLiteral(e Expr, level int) (col int, lit Value, ok bool) {
 	if !okc || !okl {
 		return 0, Value{}, false
 	}
-	bi, ci, err := ex.resolveCol(ce.Ref)
+	bi, ci, err := st.resolveCol(ce.Ref)
 	if err != nil || bi != level {
 		return 0, Value{}, false
 	}
@@ -517,7 +693,7 @@ func (ex *executor) eqLiteral(e Expr, level int) (col int, lit Value, ok bool) {
 }
 
 // eqJoin matches `a.col = b.col` where one side is the given binding.
-func (ex *executor) eqJoin(e Expr, level int) (myCol, otherBind, otherCol int, ok bool) {
+func (st *Stmt) eqJoin(e Expr, level int) (myCol, otherBind, otherCol int, ok bool) {
 	cmp, isCmp := e.(CmpExpr)
 	if !isCmp || cmp.Op != "=" {
 		return 0, 0, 0, false
@@ -527,8 +703,8 @@ func (ex *executor) eqJoin(e Expr, level int) (myCol, otherBind, otherCol int, o
 	if !okl || !okr {
 		return 0, 0, 0, false
 	}
-	lb, lc, err1 := ex.resolveCol(l.Ref)
-	rb, rc, err2 := ex.resolveCol(r.Ref)
+	lb, lc, err1 := st.resolveCol(l.Ref)
+	rb, rc, err2 := st.resolveCol(r.Ref)
 	if err1 != nil || err2 != nil {
 		return 0, 0, 0, false
 	}
@@ -543,7 +719,7 @@ func (ex *executor) eqJoin(e Expr, level int) (myCol, otherBind, otherCol int, o
 
 // rangeLiteral matches comparisons and BETWEEN against literals on the
 // given binding, returning range bounds.
-func (ex *executor) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loInc, hiInc, ok bool) {
+func (st *Stmt) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loInc, hiInc, ok bool) {
 	switch x := e.(type) {
 	case BetweenExpr:
 		if x.Neg {
@@ -553,7 +729,7 @@ func (ex *executor) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loI
 		if !okc {
 			return
 		}
-		bi, ci, err := ex.resolveCol(ce.Ref)
+		bi, ci, err := st.resolveCol(ce.Ref)
 		if err != nil || bi != level {
 			return
 		}
@@ -569,7 +745,7 @@ func (ex *executor) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loI
 		if !okc || !okl {
 			return
 		}
-		bi, ci, err := ex.resolveCol(ce.Ref)
+		bi, ci, err := st.resolveCol(ce.Ref)
 		if err != nil || bi != level {
 			return
 		}
@@ -601,53 +777,42 @@ func (ex *executor) rangeLiteral(e Expr, level int) (col int, lo, hi *Value, loI
 	return
 }
 
-// checkConjuncts evaluates every conjunct that becomes fully bound at this
-// level.
-func (ex *executor) checkConjuncts(level int, tuple []int) (bool, error) {
-	for _, ci := range ex.conjsAt[level] {
-		if !ex.conjs[ci].fn(tuple) {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
 // compileBool compiles a boolean expression to a closure with all column
 // references pre-resolved, so per-row evaluation does no name lookups.
-func (ex *executor) compileBool(e Expr) (boolFn, error) {
+func (st *Stmt) compileBool(e Expr) (boolFn, error) {
 	switch x := e.(type) {
 	case BinExpr:
-		l, err := ex.compileBool(x.L)
+		l, err := st.compileBool(x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ex.compileBool(x.R)
+		r, err := st.compileBool(x.R)
 		if err != nil {
 			return nil, err
 		}
 		if x.Op == "and" {
-			return func(t []int) bool { return l(t) && r(t) }, nil
+			return func(rt *stmtRun, t []int) bool { return l(rt, t) && r(rt, t) }, nil
 		}
-		return func(t []int) bool { return l(t) || r(t) }, nil
+		return func(rt *stmtRun, t []int) bool { return l(rt, t) || r(rt, t) }, nil
 	case NotExpr:
-		inner, err := ex.compileBool(x.E)
+		inner, err := st.compileBool(x.E)
 		if err != nil {
 			return nil, err
 		}
-		return func(t []int) bool { return !inner(t) }, nil
+		return func(rt *stmtRun, t []int) bool { return !inner(rt, t) }, nil
 	case CmpExpr:
-		l, err := ex.compileVal(x.L)
+		l, err := st.compileVal(x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ex.compileVal(x.R)
+		r, err := st.compileVal(x.R)
 		if err != nil {
 			return nil, err
 		}
 		if x.Op == "like" {
 			neg := x.Neg
-			return func(t []int) bool {
-				res := likeMatch(l(t).String(), r(t).String())
+			return func(rt *stmtRun, t []int) bool {
+				res := likeMatch(l(rt, t).String(), r(rt, t).String())
 				return res != neg
 			}, nil
 		}
@@ -668,15 +833,15 @@ func (ex *executor) compileBool(e Expr) (boolFn, error) {
 		default:
 			return nil, fmt.Errorf("relstore: unknown comparison %q", x.Op)
 		}
-		return func(t []int) bool {
-			lv, rv := l(t), r(t)
+		return func(rt *stmtRun, t []int) bool {
+			lv, rv := l(rt, t), r(rt, t)
 			if lv.IsNull() || rv.IsNull() {
 				return false
 			}
 			return test(Compare(lv, rv))
 		}, nil
 	case InExpr:
-		l, err := ex.compileVal(x.L)
+		l, err := st.compileVal(x.L)
 		if err != nil {
 			return nil, err
 		}
@@ -686,71 +851,85 @@ func (ex *executor) compileBool(e Expr) (boolFn, error) {
 			set[v.key()] = true
 		}
 		neg := x.Neg
-		return func(t []int) bool { return set[l(t).key()] != neg }, nil
+		return func(rt *stmtRun, t []int) bool { return set[l(rt, t).key()] != neg }, nil
+	case InParamExpr:
+		l, err := st.compileVal(x.L)
+		if err != nil {
+			return nil, err
+		}
+		if x.Slot < 0 {
+			return nil, fmt.Errorf("relstore: negative parameter slot $%d", x.Slot)
+		}
+		if x.Slot+1 > st.nSet {
+			st.nSet = x.Slot + 1
+		}
+		slot, neg := x.Slot, x.Neg
+		return func(rt *stmtRun, t []int) bool {
+			v := l(rt, t)
+			in := v.Kind == TypeInt && rt.params.has(slot, v.Int)
+			return in != neg
+		}, nil
 	case BetweenExpr:
-		l, err := ex.compileVal(x.L)
+		l, err := st.compileVal(x.L)
 		if err != nil {
 			return nil, err
 		}
 		lo, hi, neg := x.Lo, x.Hi, x.Neg
-		return func(t []int) bool {
-			v := l(t)
+		return func(rt *stmtRun, t []int) bool {
+			v := l(rt, t)
 			in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
 			return in != neg
 		}, nil
 	case IsNullExpr:
-		l, err := ex.compileVal(x.L)
+		l, err := st.compileVal(x.L)
 		if err != nil {
 			return nil, err
 		}
 		neg := x.Neg
-		return func(t []int) bool { return l(t).IsNull() != neg }, nil
+		return func(rt *stmtRun, t []int) bool { return l(rt, t).IsNull() != neg }, nil
 	case LitExpr:
 		truthy := !x.V.IsNull() && !(x.V.Kind == TypeInt && x.V.Int == 0)
-		return func([]int) bool { return truthy }, nil
+		return func(*stmtRun, []int) bool { return truthy }, nil
 	default:
 		return nil, fmt.Errorf("relstore: expression %T is not boolean", e)
 	}
 }
 
 // compileVal compiles an operand expression.
-func (ex *executor) compileVal(e Expr) (valFn, error) {
+func (st *Stmt) compileVal(e Expr) (valFn, error) {
 	switch x := e.(type) {
 	case LitExpr:
 		v := x.V
-		return func([]int) Value { return v }, nil
+		return func(*stmtRun, []int) Value { return v }, nil
 	case ColExpr:
-		bi, ci, err := ex.resolveCol(x.Ref)
+		bi, ci, err := st.resolveCol(x.Ref)
 		if err != nil {
 			return nil, err
 		}
-		// Capture the binding pointer, not its rows: compilation can run
-		// before the locked path assigns row storage to the bindings.
-		b := &ex.binds[bi]
-		return func(t []int) Value { return b.rows[t[bi]][ci] }, nil
+		return func(rt *stmtRun, t []int) Value { return rt.rows[bi][t[bi]][ci] }, nil
 	default:
 		return nil, fmt.Errorf("relstore: expression %T is not a value", e)
 	}
 }
 
-// resolveCol locates a column reference among the bindings, memoizing the
-// result (resolution is pure per query and sits on the per-row hot path).
-func (ex *executor) resolveCol(ref ColRef) (bi, ci int, err error) {
-	if r, ok := ex.colCache[ref]; ok {
+// resolveCol locates a column reference among the bindings, memoizing
+// the result (resolution is pure per statement).
+func (st *Stmt) resolveCol(ref ColRef) (bi, ci int, err error) {
+	if r, ok := st.colCache[ref]; ok {
 		return r.bind, r.col, r.err
 	}
-	bi, ci, err = ex.resolveColSlow(ref)
-	if ex.colCache == nil {
-		ex.colCache = make(map[ColRef]resolvedRef)
+	bi, ci, err = st.resolveColSlow(ref)
+	if st.colCache == nil {
+		st.colCache = make(map[ColRef]resolvedRef)
 	}
-	ex.colCache[ref] = resolvedRef{bind: bi, col: ci, err: err}
+	st.colCache[ref] = resolvedRef{bind: bi, col: ci, err: err}
 	return bi, ci, err
 }
 
-func (ex *executor) resolveColSlow(ref ColRef) (bi, ci int, err error) {
+func (st *Stmt) resolveColSlow(ref ColRef) (bi, ci int, err error) {
 	if ref.Table != "" {
 		want := strings.ToLower(ref.Table)
-		for i, b := range ex.binds {
+		for i, b := range st.binds {
 			if b.name == want {
 				c := b.table.ColIndex(ref.Col)
 				if c < 0 {
@@ -762,7 +941,7 @@ func (ex *executor) resolveColSlow(ref ColRef) (bi, ci int, err error) {
 		return 0, 0, fmt.Errorf("relstore: no table binding %q", ref.Table)
 	}
 	found := -1
-	for i, b := range ex.binds {
+	for i, b := range st.binds {
 		if c := b.table.ColIndex(ref.Col); c >= 0 {
 			if found >= 0 {
 				return 0, 0, fmt.Errorf("relstore: ambiguous column %q", ref.Col)
@@ -778,28 +957,30 @@ func (ex *executor) resolveColSlow(ref ColRef) (bi, ci int, err error) {
 }
 
 // collectRefs records which bindings an expression references.
-func (ex *executor) collectRefs(e Expr, refs map[int]bool) error {
+func (st *Stmt) collectRefs(e Expr, refs map[int]bool) error {
 	switch x := e.(type) {
 	case BinExpr:
-		if err := ex.collectRefs(x.L, refs); err != nil {
+		if err := st.collectRefs(x.L, refs); err != nil {
 			return err
 		}
-		return ex.collectRefs(x.R, refs)
+		return st.collectRefs(x.R, refs)
 	case NotExpr:
-		return ex.collectRefs(x.E, refs)
+		return st.collectRefs(x.E, refs)
 	case CmpExpr:
-		if err := ex.collectRefs(x.L, refs); err != nil {
+		if err := st.collectRefs(x.L, refs); err != nil {
 			return err
 		}
-		return ex.collectRefs(x.R, refs)
+		return st.collectRefs(x.R, refs)
 	case InExpr:
-		return ex.collectRefs(x.L, refs)
+		return st.collectRefs(x.L, refs)
+	case InParamExpr:
+		return st.collectRefs(x.L, refs)
 	case BetweenExpr:
-		return ex.collectRefs(x.L, refs)
+		return st.collectRefs(x.L, refs)
 	case IsNullExpr:
-		return ex.collectRefs(x.L, refs)
+		return st.collectRefs(x.L, refs)
 	case ColExpr:
-		bi, _, err := ex.resolveCol(x.Ref)
+		bi, _, err := st.resolveCol(x.Ref)
 		if err != nil {
 			return err
 		}

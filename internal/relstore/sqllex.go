@@ -17,6 +17,7 @@ const (
 	tokString
 	tokNumber
 	tokSymbol
+	tokParam // $<n> parameter placeholder; num is the slot
 )
 
 var sqlKeywords = map[string]bool{
@@ -54,6 +55,10 @@ func lexSQL(src string) ([]sqlToken, error) {
 			}
 		case c >= '0' && c <= '9':
 			l.lexNumber()
+		case c == '$':
+			if err := l.lexParam(); err != nil {
+				return nil, err
+			}
 		case isIdentStart(rune(c)):
 			l.lexIdent()
 		default:
@@ -103,6 +108,25 @@ func (l *sqlLexer) lexNumber() {
 	}
 	n, _ := strconv.ParseInt(l.src[start:l.pos], 10, 64)
 	l.toks = append(l.toks, sqlToken{kind: tokNumber, num: n, text: l.src[start:l.pos], pos: start})
+}
+
+// lexParam lexes a `$<n>` parameter placeholder.
+func (l *sqlLexer) lexParam() error {
+	start := l.pos
+	l.pos++ // '$'
+	digits := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == digits {
+		return fmt.Errorf("relstore: expected parameter number after '$' at offset %d", start)
+	}
+	n, err := strconv.ParseInt(l.src[digits:l.pos], 10, 32)
+	if err != nil {
+		return fmt.Errorf("relstore: bad parameter %q at offset %d", l.src[start:l.pos], start)
+	}
+	l.toks = append(l.toks, sqlToken{kind: tokParam, num: n, text: l.src[start:l.pos], pos: start})
+	return nil
 }
 
 func (l *sqlLexer) lexIdent() {

@@ -294,6 +294,12 @@ func (p *sqlParser) parsePredicate() (Expr, error) {
 		}
 		return CmpExpr{Op: "like", L: left, R: right, Neg: neg}, nil
 	case p.acceptKeyword("in"):
+		// `IN $k` binds an ID-set parameter slot instead of a rendered
+		// literal list (see Params.BindIDSet).
+		if p.peek().kind == tokParam {
+			t := p.next()
+			return InParamExpr{L: left, Slot: int(t.num), Neg: neg}, nil
+		}
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -286,6 +287,66 @@ func (t *Table) orderedRange(ids []int, ci int, lo, hi *Value, loInc, hiInc bool
 		})
 	}
 	return start, end
+}
+
+// lookupEqIntsView probes the hash index once per ID under a single
+// briefly held read lock, returning the matching row ids in ascending
+// order, cut at the view's watermark. ok is false when the column has
+// no hash index — callers fall back to a set-filtered scan rather than
+// paying a per-ID table scan. This is the bulk access path behind
+// bound ID-set parameters (propagated entity constraints).
+func (t *Table) lookupEqIntsView(ci int, ids []int64, rows [][]Value) ([]int, bool) {
+	t.mu.RLock()
+	idx, ok := t.hashIdx[ci]
+	if !ok {
+		t.mu.RUnlock()
+		return nil, false
+	}
+	var out []int
+	key := make([]byte, 0, 24)
+	for i, id := range ids {
+		// ids are ascending, so duplicates are consecutive; skipping them
+		// keeps the indexed path's results identical to the set-filtered
+		// scan's however the caller built the set.
+		if i > 0 && ids[i-1] == id {
+			continue
+		}
+		// Construct the probe key in a reused buffer: string(key) used
+		// only as a map index does not allocate, so 50k probes cost 50k
+		// lookups, not 50k string allocations.
+		key = append(key[:0], 'i')
+		key = strconv.AppendInt(key, id, 10)
+		got := idx[string(key)]
+		// Bucket ids are appended in ascending row order, so the view's
+		// watermark is a prefix cut.
+		cut := sort.SearchInts(got, len(rows))
+		out = append(out, got[:cut]...)
+	}
+	t.mu.RUnlock()
+	sort.Ints(out)
+	return out, true
+}
+
+// lookupEqInts is lookupEqIntsView for a locked statement: the caller
+// holds the read side of mu for the whole statement, so the probes read
+// the live index directly with no watermark cut.
+func (t *Table) lookupEqInts(ci int, ids []int64) ([]int, bool) {
+	idx, ok := t.hashIdx[ci]
+	if !ok {
+		return nil, false
+	}
+	var out []int
+	key := make([]byte, 0, 24)
+	for i, id := range ids {
+		if i > 0 && ids[i-1] == id { // ids ascending; skip duplicates
+			continue
+		}
+		key = append(key[:0], 'i')
+		key = strconv.AppendInt(key, id, 10)
+		out = append(out, idx[string(key)]...)
+	}
+	sort.Ints(out)
+	return out, true
 }
 
 // lookupEq returns row ids whose column equals v, using the hash index if

@@ -84,13 +84,14 @@ func (db *DB) TableView(name string) *TableView {
 // Query parses and executes a SELECT statement against the view: the
 // statement sees the epoch's rows only, takes no statement-long locks,
 // and may run concurrently with other statements on the same view and
-// with writers on the underlying database.
+// with writers on the underlying database. Callers that execute the
+// same statement repeatedly should Prepare it once and use
+// Stmt.QueryView, which skips the parse and plan derivation this
+// convenience path pays on every call.
 func (v *View) Query(sql string) (*Rows, error) {
-	stmt, err := ParseSQL(sql)
+	st, err := v.db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	ex := &executor{db: v.db, stmt: stmt, view: v}
-	rows, err := ex.run()
-	return rows, err
+	return st.QueryView(v, nil)
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/exec"
 )
 
 // DefaultHuntLimit is the page size used when a hunt request does not
@@ -54,6 +55,11 @@ const DefaultCursorTTL = 2 * time.Minute
 // once before the least-recently-used is evicted (Config.MaxCursors
 // overrides).
 const DefaultMaxCursors = 64
+
+// DefaultPlanCacheSize is the default capacity of the engine's
+// cross-hunt prepared-plan cache, re-exported for the daemon's
+// -plan-cache flag.
+const DefaultPlanCacheSize = exec.DefaultPlanCacheSize
 
 // Config tunes the daemon's HTTP layer. The zero value means defaults.
 type Config struct {
@@ -244,6 +250,11 @@ type HuntStats struct {
 	// filtering host = '...' is pruned to one shard instead of fanning
 	// out across all of them.
 	ShardFetches int `json:"shard_fetches"`
+	// PlanCacheHits/Misses count this hunt's plan-template resolutions
+	// against the cross-hunt prepared-plan cache: a repeated hunt is
+	// all hits and compiles no SQL/Cypher at all.
+	PlanCacheHits   int `json:"plan_cache_hits"`
+	PlanCacheMisses int `json:"plan_cache_misses"`
 }
 
 // HuntResponse is one page of hunt results. When more rows remain
@@ -311,6 +322,8 @@ func toHuntStats(cur *threatraptor.Cursor) HuntStats {
 		ShortCircuit:        st.ShortCircuit,
 		JoinCandidates:      st.JoinCandidates,
 		ShardFetches:        st.ShardFetches,
+		PlanCacheHits:       st.PlanCacheHits,
+		PlanCacheMisses:     st.PlanCacheMisses,
 	}
 }
 
@@ -575,10 +588,18 @@ type StatsResponse struct {
 	CursorsExpired int64 `json:"cursors_expired"`
 	CursorsEvicted int64 `json:"cursors_evicted"`
 	// PropagationsSkipped is the cumulative count of propagation
-	// constraints hunts dropped for exceeding the engine's IN-list cap;
-	// when it climbs, hunts are silently fetching whole tables.
-	PropagationsSkipped int64   `json:"propagations_skipped"`
-	UptimeSeconds       float64 `json:"uptime_seconds"`
+	// constraints hunts dropped for exceeding the engine's propagation
+	// cap; when it climbs, hunts are silently fetching whole tables.
+	// The prepared-plan pipeline's 25600 default makes this rare.
+	PropagationsSkipped int64 `json:"propagations_skipped"`
+	// PlanCacheHits/Misses are the prepared-plan cache's cumulative
+	// counters; PlanCacheSize is how many plan templates it currently
+	// holds. Hits climbing while misses stay flat is the repeat-hunt
+	// workload skipping compile+parse entirely.
+	PlanCacheHits   int64   `json:"plan_cache_hits"`
+	PlanCacheMisses int64   `json:"plan_cache_misses"`
+	PlanCacheSize   int     `json:"plan_cache_size"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
 }
 
 // handleStats reports store sizes and request counters. Reading stats
@@ -589,6 +610,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cursors.sweep()
+	planHits, planMisses, planSize := s.sys.PlanCacheStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		StoreStats:          s.sys.Stats(),
 		Hunts:               s.hunts.Load(),
@@ -601,6 +623,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CursorsExpired:      s.cursors.expired.Load(),
 		CursorsEvicted:      s.cursors.evicted.Load(),
 		PropagationsSkipped: s.propSkipped.Load(),
+		PlanCacheHits:       planHits,
+		PlanCacheMisses:     planMisses,
+		PlanCacheSize:       planSize,
 		UptimeSeconds:       time.Since(s.started).Seconds(),
 	})
 }

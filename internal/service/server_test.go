@@ -493,3 +493,67 @@ return distinct p`
 		t.Errorf("explain propagated = %v, want the shared variable p", propagated)
 	}
 }
+
+// TestPlanCacheStats: a repeated hunt resolves its plans from the
+// cross-hunt cache — visible per hunt (plan_cache_hits in the response)
+// and cumulatively (plan_cache_hits / plan_cache_size in GET /stats).
+func TestPlanCacheStats(t *testing.T) {
+	ts, _, logs := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	decodeJSON(t, resp, &ir)
+
+	cold := postHunt(t, ts, crackTBQL, 10, 0)
+	if cold.Stats.PlanCacheMisses == 0 || cold.Stats.PlanCacheHits != 0 {
+		t.Fatalf("cold hunt plan stats = %+v", cold.Stats)
+	}
+	warm := postHunt(t, ts, crackTBQL, 10, 0)
+	if warm.Stats.PlanCacheHits == 0 || warm.Stats.PlanCacheMisses != 0 {
+		t.Fatalf("warm hunt plan stats = %+v", warm.Stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StatsResponse
+	decodeJSON(t, resp, &sr)
+	if sr.PlanCacheHits < int64(warm.Stats.PlanCacheHits) {
+		t.Errorf("/stats plan_cache_hits = %d, hunt reported %d", sr.PlanCacheHits, warm.Stats.PlanCacheHits)
+	}
+	if sr.PlanCacheMisses < int64(cold.Stats.PlanCacheMisses) {
+		t.Errorf("/stats plan_cache_misses = %d, hunt reported %d", sr.PlanCacheMisses, cold.Stats.PlanCacheMisses)
+	}
+	if sr.PlanCacheSize < 1 {
+		t.Errorf("/stats plan_cache_size = %d, want >= 1", sr.PlanCacheSize)
+	}
+}
+
+// TestPlanCacheDisabled: Options.PlanCacheSize < 0 turns caching off —
+// every hunt compiles, and all counters stay zero.
+func TestPlanCacheDisabled(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+
+	hr := postHunt(t, ts, crackTBQL, 10, 0)
+	if hr.Stats.PlanCacheHits != 0 || hr.Stats.PlanCacheMisses != 0 {
+		t.Fatalf("disabled cache reported activity: %+v", hr.Stats)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StatsResponse
+	decodeJSON(t, resp, &sr)
+	if sr.PlanCacheHits != 0 || sr.PlanCacheMisses != 0 || sr.PlanCacheSize != 0 {
+		t.Errorf("/stats for a disabled cache = hits %d misses %d size %d",
+			sr.PlanCacheHits, sr.PlanCacheMisses, sr.PlanCacheSize)
+	}
+}

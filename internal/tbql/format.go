@@ -54,6 +54,13 @@ func (q *Query) String() string {
 	return b.String()
 }
 
+// FormatPattern renders one event pattern back to TBQL source — the
+// pattern's normal form. The execution engine keys its cross-hunt plan
+// cache on this (with the binding name cleared): two hunts whose
+// patterns re-parse to the same normal form compile to the same data
+// query, whatever whitespace or ordering the analyst typed.
+func FormatPattern(pat EventPattern) string { return formatPattern(pat) }
+
 func formatPattern(pat EventPattern) string {
 	var b strings.Builder
 	b.WriteString(formatEntity(pat.Subj))

@@ -98,10 +98,18 @@ type Options struct {
 	// materializing nested-loop join (correctness baseline for the
 	// equivalence tests and allocation benchmarks).
 	UseNaiveJoin bool
-	// MaxPropagatedIDs bounds the size of a propagated IN-list
-	// (default 512); oversized candidate sets are dropped and counted
-	// in HuntResult.Stats.PropagationsSkipped.
+	// MaxPropagatedIDs bounds the size of a propagated entity-ID
+	// constraint set (default exec.DefaultMaxPropagatedIDs = 25600);
+	// oversized candidate sets are dropped and counted in
+	// HuntResult.Stats.PropagationsSkipped. Propagated sets are bound
+	// plan parameters probed per row — not rendered IN-list text — so
+	// large caps cost memory, not parse time.
 	MaxPropagatedIDs int
+	// PlanCacheSize bounds the cross-hunt prepared-plan cache (plan
+	// templates, LRU-evicted). 0 means the default (256); a negative
+	// value disables the cache, so every hunt compiles its patterns'
+	// data queries (still once per pattern, shared across shards).
+	PlanCacheSize int
 	// Shards partitions both storage backends into per-host shards
 	// (default 1, the unsharded store). Events live in the shard of
 	// their host, entities are broadcast to every shard, so ingest
@@ -195,8 +203,23 @@ func New(opts Options) (*System, error) {
 		},
 		shardIngests: make([]atomic.Int64, nShards),
 	}
+	planCache := opts.PlanCacheSize
+	if planCache == 0 {
+		planCache = exec.DefaultPlanCacheSize
+	}
+	// NewPlanCache returns nil for capacity < 1 — the disabled cache.
+	s.engine.Plans = exec.NewPlanCache(planCache)
 	s.engine.Clock = &s.clock
 	return s, nil
+}
+
+// PlanCacheStats reports the cross-hunt plan cache's cumulative hit and
+// miss counts plus its current size (0/0/0 when the cache is disabled).
+// Hits climbing while misses stay flat is the repeat-hunt workload
+// skipping compilation entirely.
+func (s *System) PlanCacheStats() (hits, misses int64, size int) {
+	hits, misses = s.engine.Plans.Counters()
+	return hits, misses, s.engine.Plans.Len()
 }
 
 // Epoch returns the current ingest epoch: the number of ingest commits
