@@ -42,6 +42,8 @@ func main() {
 		cursorTTL  = flag.Duration("cursor-ttl", service.DefaultCursorTTL, "idle lifetime of a server-side hunt cursor; expired cursors answer 410")
 		maxCursors = flag.Int("max-cursors", service.DefaultMaxCursors, "cap on open server-side cursors; beyond it the least-recently-used is evicted")
 		ingestQ    = flag.Int("ingest-queue", service.MaxConcurrentIngests, "concurrent /ingest batches buffered before shedding 429 + Retry-After")
+		maxPage    = flag.Int("max-page", service.DefaultMaxPage, "maximum per-request page size for /hunt and /hunt/next; larger limits answer 400")
+		noCostOpt  = flag.Bool("no-cost-optimizer", false, "disable cost-based pattern scheduling and fetch caps; hunts use static pruning-score order")
 		drainWait  = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
@@ -65,6 +67,8 @@ func main() {
 		log.Fatalf("threatraptord: -max-propagated-ids must be >= 0 (got %d)", *maxProp)
 	case *planCache < 0:
 		log.Fatalf("threatraptord: -plan-cache must be >= 0 (got %d); use 0 to disable plan caching", *planCache)
+	case *maxPage < 1:
+		log.Fatalf("threatraptord: -max-page must be >= 1 (got %d)", *maxPage)
 	}
 
 	// The Options field treats 0 as "use the default"; the flag treats 0
@@ -75,12 +79,13 @@ func main() {
 	}
 
 	sys, err := threatraptor.New(threatraptor.Options{
-		CPR:              *cpr,
-		LenientParsing:   *lenient,
-		MaxPathHops:      *maxHops,
-		MaxPropagatedIDs: *maxProp,
-		PlanCacheSize:    planCacheSize,
-		Shards:           *shards,
+		CPR:                  *cpr,
+		LenientParsing:       *lenient,
+		MaxPathHops:          *maxHops,
+		MaxPropagatedIDs:     *maxProp,
+		PlanCacheSize:        planCacheSize,
+		Shards:               *shards,
+		DisableCostOptimizer: *noCostOpt,
 	})
 	if err != nil {
 		log.Fatalf("threatraptord: %v", err)
@@ -92,6 +97,7 @@ func main() {
 			CursorTTL:   *cursorTTL,
 			MaxCursors:  *maxCursors,
 			IngestQueue: *ingestQ,
+			MaxPage:     *maxPage,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

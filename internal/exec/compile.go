@@ -2,10 +2,11 @@
 // pattern in a TBQL query is compiled into a semantically equivalent SQL
 // data query (executed on the relational backend) and each variable-length
 // event path pattern into a Cypher data query (executed on the graph
-// backend). The engine computes a pruning score per pattern, schedules
-// data-query execution in score order, and propagates intermediate results
-// between patterns connected by shared entities as additional filters, so
-// complex TBQL queries execute efficiently across database backends.
+// backend). The engine estimates each pattern's result cardinality from
+// ingest-time store statistics, schedules data-query execution most
+// selective first, and propagates intermediate results between patterns
+// connected by shared entities as additional filters, so complex TBQL
+// queries execute efficiently across database backends.
 //
 // # Prepared plans
 //
@@ -28,6 +29,42 @@
 // (TestPreparedMatchesTextCompile); Stats.DataQueries is rendered
 // lazily from the plan refs only when a caller actually asks
 // (Cursor.DataQueries, Execute, /explain), never on the hot hunt path.
+//
+// # Cost-based scheduling
+//
+// The paper's master query planner orders patterns by a syntactic
+// pruning score (PruningScore: filter leaves and windows, blind to the
+// data). That order is kept as the fallback, but by default the engine
+// schedules from data: the stores maintain cheap cardinality sketches
+// at ingest time — per-value row counts for hash-indexed columns
+// (exact, a binary-search prefix cut of the index bucket), stride-
+// sampled per-value counters for tracked unindexed columns like
+// events.host, distinct-count growth arrays, and min/max range
+// checkpoints for events.starttime (relstore/stats.go,
+// graphstore/stats.go). Every estimate is answered *at the hunt's
+// pinned watermark*, so costs describe exactly the epoch cut the
+// cursor will read, not a store that kept growing. cost.go combines
+// them per pattern: operation-type selectivity, subject/object
+// attribute equality, host pins, and window fractions against the
+// tracked time range multiply into an estimated row count, and the
+// scheduler (costSchedule) greedily anchors on the smallest estimate,
+// then repeatedly picks the connected pattern whose estimate benefits
+// most from the propagated entity sets — falling back to the static
+// order all-or-nothing when any pattern's stats are missing. Explain
+// reports the chosen order with EstRows/CostBased per pattern, Stats
+// reports CostBased/Reordered per hunt, and Engine.DisableCostOptimizer
+// restores the paper's static order (the equivalence suites run both
+// ways: orders may differ, match sets and rows must not).
+//
+// When the projection makes early termination safe — a single pattern,
+// no temporal or attribute relations, no distinct collapsing, distinct
+// subject/object variables — a caller-supplied row limit is also pushed
+// into the per-shard data queries (Stats.FetchCapped), so a first-page
+// hunt fetches page-scaled rows per shard instead of the full match
+// set. Maintaining the sketches costs well under 5% of ingest (the hot
+// path is a few slice iterations and one map probe per tracked column;
+// see BenchmarkIngestParallelSharded), and their memory footprint is
+// surfaced as stats_sketches in the daemon's /stats.
 //
 // # Execution model
 //

@@ -1,0 +1,434 @@
+package exec
+
+import (
+	"repro/internal/relstore"
+	"repro/internal/tbql"
+)
+
+// Cost-based hunt optimization.
+//
+// The static scheduler (PruningScore) orders patterns by how many
+// constraints they *declare* — a syntactic proxy for selectivity that
+// cannot see the data. On skewed stores it anchors the streaming join
+// on the wrong pattern: a filter-heavy pattern over a hot host fetches
+// (and hashes) orders of magnitude more rows than a bare pattern on a
+// rare operation type. The cost-based scheduler replaces the proxy
+// with per-pattern cardinality *estimates* computed from the
+// ingest-time statistics both stores maintain (relstore/stats.go,
+// graphstore/stats.go), evaluated at the cursor's pinned epoch
+// snapshot so the estimate describes exactly the cut of the data the
+// hunt will read.
+//
+// Estimation model, per pattern and per shard the pattern visits:
+//
+//	rows ≈ |events with the pattern's operation type at the watermark|
+//	       × window overlap fraction (event-time range tracker)
+//	       × subject filter selectivity × object filter selectivity
+//
+// Operation-type counts are exact (hash-index bucket prefix cuts);
+// filter selectivities come from entity-table per-value counts where
+// tracked, with textbook heuristic constants for untracked columns and
+// non-equality operators. A host equality filter is answered from the
+// *event* table's per-host tracker — the one place per-host skew is
+// visible — rather than the broadcast entity table. Path patterns use
+// the graph's edge-operation sketches with a branching-factor
+// expansion for the variable-length prefix.
+//
+// Estimates are all-or-nothing: if any pattern cannot be estimated
+// (stats disabled on a backend the hunt touches), the hunt falls back
+// to the static pruning-score order, as it does under
+// Engine.DisableCostOptimizer.
+
+// Heuristic selectivities for predicates the trackers cannot answer,
+// the classic System-R style constants.
+const (
+	selEqUntracked = 0.05 // equality on an untracked column
+	selLike        = 0.25 // LIKE / wildcard match
+	selRange       = 0.30 // < <= > >= on any column
+	selNotEq       = 0.90 // !=
+)
+
+// estCap bounds a single estimate so branching-factor expansion of
+// deep path patterns cannot overflow into Inf and poison comparisons.
+const estCap = 1e18
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// costSchedule orders pattern indexes by estimated cardinality at the
+// pinned snapshot: the globally most selective pattern anchors the
+// streaming join, and every subsequent pick prefers patterns connected
+// to the already-chosen set by a shared entity variable (so
+// propagation keeps chaining) before falling back to the global
+// minimum. Ties break toward the higher static pruning score and then
+// textual order, which makes the cost order degenerate to exactly the
+// static order on an empty store. Returns ok=false when any pattern
+// lacks the stats to estimate; the caller then keeps the static order.
+// ests is indexed by pattern index (not scheduled position).
+func (en *Engine) costSchedule(q *tbql.Query, patShards [][]int, sv *storeView, maxHops int) (order []int, ests []float64, ok bool) {
+	ests, ok = en.costEstimates(q, patShards, sv, maxHops)
+	if !ok {
+		return nil, nil, false
+	}
+	n := len(q.Patterns)
+	order = make([]int, 0, n)
+	used := make([]bool, n)
+	inSet := map[string]bool{}
+	better := func(a, b int) bool {
+		if ests[a] != ests[b] {
+			return ests[a] < ests[b]
+		}
+		sa := PruningScore(&q.Patterns[a], maxHops)
+		sb := PruningScore(&q.Patterns[b], maxHops)
+		if sa != sb {
+			return sa > sb
+		}
+		return a < b
+	}
+	for len(order) < n {
+		best, bestConn := -1, false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			conn := len(order) > 0 && !en.DisablePropagation &&
+				(inSet[q.Patterns[i].Subj.ID] || inSet[q.Patterns[i].Obj.ID])
+			switch {
+			case best < 0:
+				best, bestConn = i, conn
+			case conn && !bestConn:
+				best, bestConn = i, conn
+			case conn == bestConn && better(i, best):
+				best = i
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		inSet[q.Patterns[best].Subj.ID] = true
+		inSet[q.Patterns[best].Obj.ID] = true
+	}
+	return order, ests, true
+}
+
+// costEstimates computes every pattern's estimated row count at the
+// snapshot, summed across the shards its host constraints let it
+// visit. ok=false when any pattern cannot be estimated.
+func (en *Engine) costEstimates(q *tbql.Query, patShards [][]int, sv *storeView, maxHops int) ([]float64, bool) {
+	ests := make([]float64, len(q.Patterns))
+	for i := range q.Patterns {
+		pat := &q.Patterns[i]
+		var est float64
+		var ok bool
+		if pat.IsPath {
+			est, ok = en.estimatePath(pat, patShards[i], sv, maxHops)
+		} else {
+			est, ok = en.estimateSQL(pat, patShards[i], sv)
+		}
+		if !ok {
+			return nil, false
+		}
+		ests[i] = est
+	}
+	return ests, true
+}
+
+// estimateSQL estimates one relational pattern's fetched-row count.
+func (en *Engine) estimateSQL(pat *tbql.EventPattern, shards []int, sv *storeView) (float64, bool) {
+	total := 0.0
+	for _, s := range shards {
+		v := sv.rel[s]
+		if v == nil {
+			return 0, false
+		}
+		evts := v.Table(relstore.EventTable)
+		if evts == nil {
+			return 0, false
+		}
+		w := evts.NumRows()
+		if w == 0 {
+			continue
+		}
+		base, ok := opCountSQL(evts, pat, w)
+		if !ok {
+			return 0, false
+		}
+		est := float64(base)
+		if pat.Window != nil {
+			est *= windowSel(evts, pat.Window)
+		}
+		ssel, ok := entitySel(pat.Subj, sv.ent, evts)
+		if !ok {
+			return 0, false
+		}
+		osel, ok := entitySel(pat.Obj, sv.ent, evts)
+		if !ok {
+			return 0, false
+		}
+		est *= ssel * osel
+		total += est
+	}
+	if total > estCap {
+		total = estCap
+	}
+	return total, true
+}
+
+// opCountSQL counts the events matching the pattern's operation
+// predicate among the first w rows — exact, via the optype hash index.
+func opCountSQL(evts *relstore.TableView, pat *tbql.EventPattern, w int) (int, bool) {
+	sum := 0
+	for _, op := range pat.Ops {
+		c, ok := evts.CountEq("optype", relstore.TextValue(op))
+		if !ok {
+			return 0, false
+		}
+		sum += c
+	}
+	if pat.NegOps {
+		sum = w - sum
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	if sum > w {
+		sum = w
+	}
+	return sum, true
+}
+
+// windowSel estimates the fraction of events inside the pattern's time
+// window from the event table's tracked start-time range; 1 when no
+// range checkpoint is available (conservative: the window filters
+// nothing).
+func windowSel(evts *relstore.TableView, win *tbql.TimeWindow) float64 {
+	lo, hi, ok := evts.Range("starttime")
+	if !ok || hi <= lo {
+		return 1
+	}
+	from, to := win.From, win.To
+	if from < lo {
+		from = lo
+	}
+	if to > hi {
+		to = hi
+	}
+	if to < from {
+		return 0
+	}
+	return clamp01(float64(to-from+1) / float64(hi-lo+1))
+}
+
+// entitySel estimates the fraction of candidate events an entity
+// reference's filter keeps: equality selectivities come from the
+// broadcast entity table's per-value counts relative to the entity
+// type's population, except host equality, which reads the event
+// table's per-host tracker (evts; nil for graph patterns) because
+// entity rows are broadcast and cannot see per-host event skew.
+func entitySel(ref tbql.EntityRef, ent *relstore.TableView, evts *relstore.TableView) (float64, bool) {
+	if ref.Filter == nil {
+		return 1, true
+	}
+	nType, ok := ent.CountEq("type", relstore.TextValue(entityTypeName(ref.Type)))
+	if !ok {
+		return 0, false
+	}
+	return filterSel(ref.Filter, ref.Type, nType, ent, evts)
+}
+
+// filterSel walks a TBQL filter expression: AND multiplies, OR adds
+// (capped), NOT complements, and comparison leaves read the trackers
+// or fall back to the heuristic constants.
+func filterSel(e tbql.Expr, et tbql.EntityType, nType int, ent, evts *relstore.TableView) (float64, bool) {
+	switch x := e.(type) {
+	case nil:
+		return 1, true
+	case tbql.AndExpr:
+		a, ok := filterSel(x.L, et, nType, ent, evts)
+		if !ok {
+			return 0, false
+		}
+		b, ok := filterSel(x.R, et, nType, ent, evts)
+		if !ok {
+			return 0, false
+		}
+		return a * b, true
+	case tbql.OrExpr:
+		a, ok := filterSel(x.L, et, nType, ent, evts)
+		if !ok {
+			return 0, false
+		}
+		b, ok := filterSel(x.R, et, nType, ent, evts)
+		if !ok {
+			return 0, false
+		}
+		return clamp01(a + b), true
+	case tbql.NotExpr:
+		s, ok := filterSel(x.E, et, nType, ent, evts)
+		if !ok {
+			return 0, false
+		}
+		return clamp01(1 - s), true
+	case tbql.CmpExpr:
+		return cmpSel(x, et, nType, ent, evts), true
+	default:
+		return 1, true
+	}
+}
+
+// cmpSel estimates one comparison leaf's selectivity.
+func cmpSel(x tbql.CmpExpr, et tbql.EntityType, nType int, ent, evts *relstore.TableView) float64 {
+	attr := x.Attr
+	if attr == "" {
+		attr = et.DefaultAttr()
+	}
+	switch x.Op {
+	case "=":
+		if !x.IsNum && attr == "host" && evts != nil {
+			// Per-host event skew lives in the event table's tracker.
+			if w := evts.NumRows(); w > 0 {
+				if c, ok := evts.CountEq("host", relstore.TextValue(x.Str)); ok {
+					return clamp01(float64(c) / float64(w))
+				}
+			}
+		}
+		var v relstore.Value
+		if x.IsNum {
+			v = relstore.IntValue(x.Num)
+		} else {
+			v = relstore.TextValue(x.Str)
+		}
+		if c, ok := ent.CountEq(attr, v); ok {
+			if nType <= 0 {
+				return 0
+			}
+			return clamp01(float64(c) / float64(nType))
+		}
+		return selEqUntracked
+	case "like":
+		return selLike
+	case "!=":
+		return selNotEq
+	case "<", "<=", ">", ">=":
+		return selRange
+	default:
+		return 1
+	}
+}
+
+// estimatePath estimates one path pattern's fetched-row count from the
+// graph's edge sketches: the final hop's operation-type count expanded
+// by the average branching factor for each variable-length prefix hop.
+func (en *Engine) estimatePath(pat *tbql.EventPattern, shards []int, sv *storeView, maxHops int) (float64, bool) {
+	if en.Graph == nil {
+		return 0, false
+	}
+	total := 0.0
+	for _, s := range shards {
+		g := en.Graph.Shard(s)
+		mark := sv.graph[s]
+		edges, ok := g.EdgesAt(mark)
+		if !ok {
+			return 0, false
+		}
+		if edges == 0 {
+			continue
+		}
+		sum := 0
+		for _, op := range pat.Ops {
+			c, ok := g.EdgeOpCountAt(op, mark)
+			if !ok {
+				return 0, false
+			}
+			sum += c
+		}
+		if pat.NegOps {
+			sum = edges - sum
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		est := float64(sum)
+		if pat.Window != nil {
+			if lo, hi, ok := g.TimeRangeAt(mark); ok && hi > lo {
+				from, to := pat.Window.From, pat.Window.To
+				if from < lo {
+					from = lo
+				}
+				if to > hi {
+					to = hi
+				}
+				if to < from {
+					est = 0
+				} else {
+					est *= clamp01(float64(to-from+1) / float64(hi-lo+1))
+				}
+			}
+		}
+		// Variable-length prefix: each hop multiplies candidates by the
+		// average out-degree.
+		mh := pat.MaxHops
+		if mh == 0 {
+			mh = maxHops
+		}
+		if mh > 20 {
+			mh = 20
+		}
+		branching := 1.0
+		if nodes, ok := g.NodesAt(mark); ok && nodes > 0 {
+			branching = float64(edges) / float64(nodes)
+		}
+		for i := 1; i < mh && est < estCap; i++ {
+			est *= branching
+		}
+		ssel, ok := entitySel(pat.Subj, sv.ent, nil)
+		if !ok {
+			return 0, false
+		}
+		osel, ok := entitySel(pat.Obj, sv.ent, nil)
+		if !ok {
+			return 0, false
+		}
+		est *= ssel * osel
+		total += est
+	}
+	if total > estCap {
+		total = estCap
+	}
+	return total, true
+}
+
+// schemaFingerprint combines both backends' bootstrap-schema versions.
+// It is part of every plan-cache key and flushes the cache when it
+// changes, so a plan prepared against one schema shape (index set,
+// column layout) is never executed against another.
+func (en *Engine) schemaFingerprint() uint64 {
+	fp := en.Rel.Shard(0).SchemaVersion()
+	if en.Graph != nil {
+		fp = fp*1099511628211 ^ en.Graph.Shard(0).SchemaVersion()
+	}
+	return fp
+}
+
+// fetchCapSafe reports whether pushing a per-shard row cap into the
+// data queries preserves the hunt's first rows exactly: a single
+// pattern whose subject and object are distinct variables (the join is
+// then the identity mapping over fetched rows — nothing is filtered
+// after the fetch), no temporal or attribute relations, and no
+// DISTINCT (deduplication could shrink a capped page). Capping each
+// shard's fetch at L keeps the first L rows of the shard-order merge
+// identical to the uncapped hunt's, so a first-page hunt fetches
+// page-scaled rows instead of the whole table.
+func fetchCapSafe(q *tbql.Query) bool {
+	return len(q.Patterns) == 1 &&
+		q.Patterns[0].Subj.ID != q.Patterns[0].Obj.ID &&
+		len(q.Temporal) == 0 &&
+		len(q.AttrRels) == 0 &&
+		!q.Distinct
+}

@@ -75,6 +75,24 @@ type Cursor struct {
 // exhausted; because the snapshot is an append watermark, not a lock,
 // holding it open costs writers nothing.
 func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
+	return en.executeCursor(q, 0)
+}
+
+// ExecuteCursorLimit is ExecuteCursor with a row-need bound: the caller
+// promises it will read at most limit rows from the cursor (0 = no
+// bound). When the query shape makes it safe (fetchCapSafe), the bound
+// is pushed into the per-shard data queries as a fetch-side row cap, so
+// a first-page hunt over a huge table fetches page-scaled rows instead
+// of materializing the whole table. A capped cursor's Stats report
+// FetchCapped; reading it past limit rows yields a truncated result,
+// so callers must not page beyond their promise.
+func (en *Engine) ExecuteCursorLimit(q *tbql.Query, limit int) (*Cursor, error) {
+	return en.executeCursor(q, limit)
+}
+
+// executeCursor is the shared hunt entry: snapshot, cost-based (or
+// static) scheduling, fetch, and lazy-join cursor construction.
+func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 	if q.Info() == nil {
 		if err := tbql.Analyze(q); err != nil {
 			return nil, err
@@ -116,7 +134,39 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 		c.seen = make(map[string]bool)
 	}
 
-	rows, err := en.fetchPatterns(q, order, patShards, sv, maxHops, maxProp, &c.stats)
+	// Cost-based scheduling: estimate each pattern's cardinality at the
+	// snapshot just pinned and re-derive the order so the most
+	// selective pattern anchors the streaming join. The static
+	// pruning-score order (already computed above) remains the fallback
+	// whenever estimates are unavailable. Both pipelines — prepared and
+	// text — get the cost order, so the prepared≡text equivalence holds
+	// order and all.
+	if !en.DisableCostOptimizer && !en.DisableScheduling {
+		if co, _, ok := en.costSchedule(q, patShards, sv, maxHops); ok {
+			c.stats.CostBased = true
+			for i := range co {
+				if co[i] != order[i] {
+					c.stats.Reordered = true
+					break
+				}
+			}
+			order = co
+		}
+	}
+
+	// The schema fingerprint keys every plan lookup and flushes the
+	// cross-hunt cache if the bootstrap schema changed under it.
+	fp := en.schemaFingerprint()
+	en.Plans.ensureSchema(fp)
+
+	spec := fetchSpec{order: order, patShards: patShards,
+		maxHops: maxHops, maxProp: maxProp, fp: fp}
+	if limit > 0 && !en.DisableCostOptimizer && !en.UseTextCompile && fetchCapSafe(q) {
+		spec.rowCap = limit
+		c.stats.FetchCapped = true
+	}
+
+	rows, err := en.fetchPatterns(q, sv, spec, &c.stats)
 	if err != nil {
 		c.view = nil
 		return nil, err
@@ -152,6 +202,16 @@ func (en *Engine) ExecuteTBQLCursor(src string) (*Cursor, error) {
 		return nil, err
 	}
 	return en.ExecuteCursor(q)
+}
+
+// ExecuteTBQLCursorLimit is ExecuteTBQLCursor with a row-need bound
+// (see ExecuteCursorLimit).
+func (en *Engine) ExecuteTBQLCursorLimit(src string, limit int) (*Cursor, error) {
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return en.ExecuteCursorLimit(q, limit)
 }
 
 // Columns returns the projected column names (entity.attr), valid before

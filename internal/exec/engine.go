@@ -31,6 +31,12 @@ type Engine struct {
 	// DisablePropagation turns off constraint propagation between
 	// patterns connected by shared entities (ablation baseline).
 	DisablePropagation bool
+	// DisableCostOptimizer turns off selectivity-driven join reordering
+	// and fetch-side row caps, keeping the static pruning-score order
+	// (escape hatch and ablation baseline). The engine also falls back
+	// to the static order automatically whenever the stores lack the
+	// stats to estimate every pattern.
+	DisableCostOptimizer bool
 	// MaxPropagatedIDs bounds the size of a propagated constraint set;
 	// larger candidate sets are not propagated (default
 	// DefaultMaxPropagatedIDs) and are counted in
@@ -133,6 +139,21 @@ type Stats struct {
 	// one. Compare against len(DataQueries) × shard count to see how
 	// much fetch work shard pruning saved.
 	ShardFetches int
+	// CostBased reports that the cost-based optimizer ordered this
+	// hunt's patterns from cardinality estimates; false means the
+	// static pruning-score order ran (optimizer disabled, or stats
+	// unavailable for some pattern).
+	CostBased bool
+	// Reordered reports that the cost-based order actually differed
+	// from the static order — the hunts where the optimizer changed
+	// the anchor the streaming join builds on.
+	Reordered bool
+	// FetchCapped reports that a row cap was pushed into the per-shard
+	// data queries (single-pattern hunt with a page-bounded cursor):
+	// the fetch stopped at the cap instead of materializing the full
+	// table. A capped cursor covers exactly its requested page window
+	// and cannot page past it.
+	FetchCapped bool
 
 	// dq holds the executed data queries in compact, unrendered form —
 	// the raw material Cursor.DataQueries() and Execute turn into the
@@ -331,14 +352,29 @@ func sharesEntity(q *tbql.Query, a, b int) bool {
 		pa.Obj.ID == pb.Subj.ID || pa.Obj.ID == pb.Obj.ID
 }
 
+// fetchSpec bundles the resolved execution parameters one fetch phase
+// runs under: the scheduled pattern order, the host-constraint shard
+// plan, the hop/propagation limits, the schema fingerprint plan
+// lookups key on, and an optional per-shard row cap (0 = uncapped)
+// pushed into the data queries when the caller proved it safe
+// (fetchCapSafe plus a page-bounded cursor).
+type fetchSpec struct {
+	order     []int
+	patShards [][]int
+	maxHops   int
+	maxProp   int
+	fp        uint64
+	rowCap    int
+}
+
 // fetchPatterns runs the per-pattern data queries in scheduled order
 // with constraint propagation, filling stats. Patterns whose fetch does
 // not depend on an earlier pattern's observed IDs (no shared entity
 // variable, or propagation disabled) are grouped into waves; within a
 // wave, each pattern expands into one fetch job per shard it must visit
-// (patShards, from the host-constraint shard plan) and the jobs run
-// concurrently on a small worker pool. A pattern's shard results merge
-// in shard order, so the merged row list is deterministic, and
+// (spec.patShards, from the host-constraint shard plan) and the jobs
+// run concurrently on a small worker pool. A pattern's shard results
+// merge in shard order, so the merged row list is deterministic, and
 // propagation state updates deterministically between waves, in
 // scheduled order. Every data query runs against the cursor's epoch
 // snapshot (sv): rows committed after the snapshot was captured are
@@ -346,7 +382,9 @@ func sharesEntity(q *tbql.Query, a, b int) bool {
 // locks. On a short-circuit (some pattern fetched zero rows across all
 // its shards, or its host constraints are contradictory) it returns nil
 // rows with stats.ShortCircuit set.
-func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, sv *storeView, maxHops, maxProp int, stats *Stats) ([][]EventRow, error) {
+func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, stats *Stats) ([][]EventRow, error) {
+	order, patShards := spec.order, spec.patShards
+	maxHops, maxProp := spec.maxHops, spec.maxProp
 	// Partition scheduled positions into dependency waves.
 	waveOf := make([]int, len(order))
 	nWaves := 0
@@ -461,7 +499,7 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 					shape |= propObj
 				}
 				var err error
-				plan, err = en.lookupPlan(pat, shape, maxHops, stats)
+				plan, err = en.lookupPlan(pat, shape, maxHops, spec.fp, stats)
 				if err != nil {
 					return nil, err
 				}
@@ -474,6 +512,11 @@ func (en *Engine) fetchPatterns(q *tbql.Query, order []int, patShards [][]int, s
 			for _, sh := range patShards[pi] {
 				j := &shardJob{pi: pi, shard: sh, isPath: pat.IsPath, src: src,
 					plan: plan, sqlParams: sqlParams, cyParams: cyParams, work: w}
+				if plan != nil {
+					// Fetch-side row cap: prepared pipeline only (the text
+					// pipeline would need the cap rendered into the SQL).
+					j.rowCap = spec.rowCap
+				}
 				w.jobs = append(w.jobs, j)
 				jobs = append(jobs, j)
 			}
@@ -670,10 +713,14 @@ type shardJob struct {
 	plan      *patternPlan
 	sqlParams *relstore.Params
 	cyParams  *graphstore.CParams
-	fetched   []EventRow
-	err       error
-	skipped   bool
-	work      *patWork
+	// rowCap, when positive, stops the shard's fetch after this many
+	// rows (prepared pipeline only; see fetchCapSafe for when capping
+	// preserves the hunt's first rows exactly).
+	rowCap  int
+	fetched []EventRow
+	err     error
+	skipped bool
+	work    *patWork
 }
 
 // fetchRel runs the pattern's data query against one relational shard's
@@ -683,7 +730,11 @@ func (j *shardJob) fetchRel(v *relstore.View) {
 	var rr *relstore.Rows
 	var err error
 	if j.plan != nil {
-		rr, err = j.plan.sql.QueryView(v, j.sqlParams)
+		if j.rowCap > 0 {
+			rr, err = j.plan.sql.QueryViewLimit(v, j.sqlParams, j.rowCap)
+		} else {
+			rr, err = j.plan.sql.QueryView(v, j.sqlParams)
+		}
 	} else {
 		rr, err = v.Query(j.src)
 	}
@@ -710,7 +761,11 @@ func (j *shardJob) fetchGraph(g *graphstore.Graph, mark uint64) {
 	var gr *graphstore.Rows
 	var err error
 	if j.plan != nil {
-		gr, err = g.QueryPreparedAt(j.plan.cy, mark, j.cyParams)
+		if j.rowCap > 0 {
+			gr, err = g.QueryPreparedAtLimit(j.plan.cy, mark, j.cyParams, j.rowCap)
+		} else {
+			gr, err = g.QueryPreparedAt(j.plan.cy, mark, j.cyParams)
+		}
 	} else {
 		gr, err = g.QueryAt(j.src, mark)
 	}
@@ -740,13 +795,24 @@ func (en *Engine) ExecuteTBQL(src string) (*Result, error) {
 
 // ExplainedPattern describes how one pattern would execute.
 type ExplainedPattern struct {
-	Name      string
-	Backend   string // "sql" or "cypher"
-	Score     int    // pruning score
-	DataQuery string // compiled data query, without propagated constraints
+	Name    string
+	Backend string // "sql" or "cypher"
+	Score   int    // static pruning score
+	// EstRows is the cost-based optimizer's estimated fetched-row count
+	// for this pattern at the current snapshot, or -1 when no estimate
+	// drove the order (optimizer disabled or stats unavailable).
+	EstRows int64
+	// CostBased reports that the order Explain returned came from
+	// cardinality estimates rather than static pruning scores.
+	CostBased bool
+	// DataQuery is the data query as it would actually execute: the
+	// prepared template text ($k parameter slots for propagated sets
+	// and window bounds) on the default pipeline, or the rendered
+	// SQL/Cypher text under Engine.UseTextCompile.
+	DataQuery string
 	// Propagated lists the entity variables this pattern shares with
 	// earlier scheduled patterns — the ones that receive propagated
-	// IN-list constraints at run time (empty when propagation is
+	// constraint sets at run time (empty when propagation is
 	// disabled). Whether a hunt actually injects them depends on
 	// MaxPropagatedIDs; Stats.PropagationsSkipped counts the ones
 	// dropped for exceeding it.
@@ -757,39 +823,79 @@ type ExplainedPattern struct {
 	Hosts []string
 }
 
-// Explain compiles and scores every pattern without executing anything,
-// returning the patterns in scheduled order.
+// Explain scores, estimates, and compiles every pattern without
+// executing anything, returning the patterns in the order a hunt
+// launched now would execute them: the cost-based order when the
+// optimizer is on and the stores carry stats (estimated against a
+// freshly captured epoch snapshot, exactly as ExecuteCursor would),
+// the static pruning-score order otherwise. DataQuery reports the
+// plan that would actually run — the prepared parameterized template
+// on the default pipeline — so /explain output and executed queries
+// can no longer drift apart.
 func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 	if q.Info() == nil {
 		if err := tbql.Analyze(q); err != nil {
 			return nil, err
 		}
 	}
+	if en.Rel == nil {
+		return nil, fmt.Errorf("exec: engine has no relational backend")
+	}
 	maxHops := en.MaxPathHops
 	if maxHops == 0 {
 		maxHops = DefaultMaxHops
 	}
 	order := en.schedule(q, maxHops)
+	var ests []float64
+	costBased := false
+	if !en.DisableCostOptimizer && !en.DisableScheduling {
+		patShards, relShards, graphShards := en.shardPlan(q)
+		if sv, err := en.snapshotStores(relShards, graphShards); err == nil {
+			if co, ce, ok := en.costSchedule(q, patShards, sv, maxHops); ok {
+				order, ests, costBased = co, ce, true
+			}
+		}
+	}
+	fp := en.schemaFingerprint()
+	en.Plans.ensureSchema(fp)
 	seen := map[string]bool{}
 	out := make([]ExplainedPattern, 0, len(order))
+	var stats Stats // plan-cache accounting only; discarded
 	for _, pi := range order {
 		pat := &q.Patterns[pi]
 		ep := ExplainedPattern{Name: pat.Name, Score: PruningScore(pat, maxHops),
-			Hosts: q.Info().PatternHosts[pi]}
+			EstRows: -1, CostBased: costBased, Hosts: q.Info().PatternHosts[pi]}
+		if costBased {
+			ep.EstRows = int64(ests[pi])
+		}
 		if pat.IsPath {
 			ep.Backend = "cypher"
-			ep.DataQuery = compileCypher(pat, nil, maxHops)
 		} else {
 			ep.Backend = "sql"
-			ep.DataQuery = compileSQL(pat, nil)
 		}
+		var shape propShape
 		if !en.DisablePropagation {
 			if seen[pat.Subj.ID] {
 				ep.Propagated = append(ep.Propagated, pat.Subj.ID)
+				shape |= propSubj
 			}
 			if seen[pat.Obj.ID] && pat.Obj.ID != pat.Subj.ID {
 				ep.Propagated = append(ep.Propagated, pat.Obj.ID)
+				shape |= propObj
 			}
+		}
+		if en.UseTextCompile {
+			if pat.IsPath {
+				ep.DataQuery = compileCypher(pat, nil, maxHops)
+			} else {
+				ep.DataQuery = compileSQL(pat, nil)
+			}
+		} else {
+			plan, err := en.lookupPlan(pat, shape, maxHops, fp, &stats)
+			if err != nil {
+				return nil, err
+			}
+			ep.DataQuery = plan.text
 		}
 		seen[pat.Subj.ID] = true
 		seen[pat.Obj.ID] = true

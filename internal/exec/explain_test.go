@@ -57,15 +57,41 @@ func TestExplain(t *testing.T) {
 	if len(eps) != 8 {
 		t.Fatalf("explained %d patterns", len(eps))
 	}
-	// Scheduled order: scores non-increasing.
-	for i := 1; i < len(eps); i++ {
-		if eps[i].Score > eps[i-1].Score {
-			t.Errorf("explain order not by score: %d after %d", eps[i].Score, eps[i-1].Score)
+	// The store carries ingest-time stats, so the order is cost-based:
+	// every pattern reports an estimate and the anchor (first pattern)
+	// is the globally most selective one.
+	for _, ep := range eps {
+		if !ep.CostBased || ep.EstRows < 0 {
+			t.Errorf("pattern %s: CostBased=%v EstRows=%d", ep.Name, ep.CostBased, ep.EstRows)
+		}
+	}
+	for _, ep := range eps[1:] {
+		if ep.EstRows < eps[0].EstRows {
+			t.Errorf("anchor %s (est %d) is not minimal: %s estimates %d",
+				eps[0].Name, eps[0].EstRows, ep.Name, ep.EstRows)
 		}
 	}
 	for _, ep := range eps {
 		if ep.Backend != "sql" || !strings.Contains(ep.DataQuery, "SELECT") {
 			t.Errorf("pattern %s: backend=%s query=%q", ep.Name, ep.Backend, ep.DataQuery)
+		}
+	}
+
+	// The escape hatch falls back to the static pruning-score order:
+	// scores non-increasing, no estimates reported.
+	en.DisableCostOptimizer = true
+	eps, err = en.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Score > eps[i-1].Score {
+			t.Errorf("static explain order not by score: %d after %d", eps[i].Score, eps[i-1].Score)
+		}
+	}
+	for _, ep := range eps {
+		if ep.CostBased || ep.EstRows != -1 {
+			t.Errorf("static pattern %s: CostBased=%v EstRows=%d", ep.Name, ep.CostBased, ep.EstRows)
 		}
 	}
 }

@@ -127,30 +127,34 @@ func (p *patternPlan) bindCypher(subjIDs, objIDs []int64) *graphstore.CParams {
 	return params
 }
 
-// planKey is the cache identity of a plan template: backend-relevant
-// compilation inputs plus the pattern's TBQL normal form with the
-// binding name cleared (two hunts naming the same pattern differently
-// share one plan).
-func planKey(pat *tbql.EventPattern, shape propShape, maxHops int) string {
+// planKey is the cache identity of a plan template: the schema
+// fingerprint of the stores the plan compiled against, the
+// backend-relevant compilation inputs, and the pattern's TBQL normal
+// form with the binding name cleared (two hunts naming the same
+// pattern differently share one plan). The fingerprint component is
+// what makes a cached plan schema-safe: a plan prepared before an
+// index or column change can never be looked up after it.
+func planKey(pat *tbql.EventPattern, shape propShape, maxHops int, fp uint64) string {
 	norm := *pat
 	norm.Name = ""
 	backend := byte('s')
 	if pat.IsPath {
 		backend = 'c'
 	}
-	return fmt.Sprintf("%c|%d|%d|%s", backend, shape, maxHops, tbql.FormatPattern(norm))
+	return fmt.Sprintf("%c|%x|%d|%d|%s", backend, fp, shape, maxHops, tbql.FormatPattern(norm))
 }
 
 // lookupPlan resolves a pattern's plan template: from the cross-hunt
 // cache when the engine has one (counting per-hunt and cumulative
 // hits/misses), compiling on a miss. Without a cache every hunt
 // compiles each of its patterns once — still at most one parse per
-// pattern per hunt, shared by all its shard jobs.
-func (en *Engine) lookupPlan(pat *tbql.EventPattern, shape propShape, maxHops int, stats *Stats) (*patternPlan, error) {
+// pattern per hunt, shared by all its shard jobs. fp is the engine's
+// schema fingerprint (schemaFingerprint), part of the cache key.
+func (en *Engine) lookupPlan(pat *tbql.EventPattern, shape propShape, maxHops int, fp uint64, stats *Stats) (*patternPlan, error) {
 	if en.Plans == nil {
 		return en.compilePlan(pat, shape, maxHops)
 	}
-	key := planKey(pat, shape, maxHops)
+	key := planKey(pat, shape, maxHops, fp)
 	if p := en.Plans.get(key); p != nil {
 		stats.PlanCacheHits++
 		return p, nil
@@ -181,6 +185,12 @@ type PlanCache struct {
 	cap   int
 	lru   *list.List // front = most recently used; values are *planCacheEntry
 	items map[string]*list.Element
+
+	// schema is the store fingerprint the cached plans were compiled
+	// against (ensureSchema); a change flushes the cache outright so
+	// stale templates cannot linger until LRU eviction.
+	schema    uint64
+	schemaSet bool
 
 	hits, misses atomic.Int64
 }
@@ -230,6 +240,27 @@ func (c *PlanCache) put(key string, p *patternPlan) {
 		c.lru.Remove(last)
 		delete(c.items, last.Value.(*planCacheEntry).key)
 	}
+}
+
+// ensureSchema records the store schema fingerprint and flushes every
+// cached plan when it has changed since the last call. The fingerprint
+// is also part of each plan's key, so a flush is belt-and-braces — it
+// reclaims the memory of unreachable stale plans immediately instead
+// of waiting for LRU churn.
+func (c *PlanCache) ensureSchema(fp uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.schemaSet && c.schema == fp {
+		return
+	}
+	if c.schemaSet {
+		c.lru.Init()
+		c.items = make(map[string]*list.Element)
+	}
+	c.schema, c.schemaSet = fp, true
 }
 
 // Len reports how many plan templates are cached.

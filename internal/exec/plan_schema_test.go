@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/relstore"
+	"repro/internal/tbql"
+)
+
+// TestPlanKeySchemaIdentity asserts the regression fixed in this change:
+// the plan-cache key must carry the schema fingerprint, so a plan
+// compiled under one schema can never be looked up under another.
+func TestPlanKeySchemaIdentity(t *testing.T) {
+	q, err := tbql.Parse(`proc p read file f as e1
+return p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := &q.Patterns[0]
+	k1 := planKey(pat, 0, 10, 0x1111)
+	k2 := planKey(pat, 0, 10, 0x2222)
+	if k1 == k2 {
+		t.Fatalf("planKey ignores the schema fingerprint: %q", k1)
+	}
+	if k1 != planKey(pat, 0, 10, 0x1111) {
+		t.Error("planKey is not deterministic")
+	}
+}
+
+// TestPlanCacheSchemaFlush changes the store schema between hunts and
+// asserts the cache recompiles rather than reusing templates prepared
+// against the old schema — and that the flush empties the stale entries
+// instead of leaving them to LRU churn.
+func TestPlanCacheSchemaFlush(t *testing.T) {
+	en := leakageEngine(t, 200)
+	en.Plans = NewPlanCache(DefaultPlanCacheSize)
+	q, err := tbql.Parse(`proc p read file f as e1
+return distinct p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() Stats {
+		t.Helper()
+		res, err := en.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+
+	if st := run(); st.PlanCacheMisses == 0 {
+		t.Fatalf("cold hunt compiled nothing: %+v", st)
+	}
+	if st := run(); st.PlanCacheMisses != 0 || st.PlanCacheHits == 0 {
+		t.Fatalf("warm hunt should be all hits: %+v", st)
+	}
+	warmLen := en.Plans.Len()
+	if warmLen == 0 {
+		t.Fatal("no plans cached")
+	}
+
+	// An index added mid-run changes the schema fingerprint; the cached
+	// plans were compiled without it and must not be served again.
+	fpBefore := en.schemaFingerprint()
+	if err := en.Rel.Shard(0).Table(relstore.EventTable).CreateHashIndex("host"); err != nil {
+		t.Fatal(err)
+	}
+	if fp := en.schemaFingerprint(); fp == fpBefore {
+		t.Fatal("CreateHashIndex did not change the schema fingerprint")
+	}
+
+	st := run()
+	if st.PlanCacheMisses == 0 || st.PlanCacheHits != 0 {
+		t.Fatalf("post-schema-change hunt reused stale plans: %+v", st)
+	}
+	// The flush dropped the stale templates: only the recompiled ones
+	// remain, not old + new side by side.
+	if got := en.Plans.Len(); got != warmLen {
+		t.Errorf("cache holds %d plans after flush, want %d fresh ones", got, warmLen)
+	}
+
+	// Stable schema again: back to all hits.
+	if st := run(); st.PlanCacheMisses != 0 {
+		t.Errorf("re-warmed hunt still compiling: %+v", st)
+	}
+}

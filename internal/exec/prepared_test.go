@@ -47,6 +47,13 @@ func TestPreparedMatchesTextCompile(t *testing.T) {
 			&Engine{Rel: many.Rel, Graph: many.Graph, Plans: NewPlanCache(64)},
 			&Engine{Rel: many.Rel, Graph: many.Graph, UseTextCompile: true},
 		},
+		// The same cross-check with the cost optimizer off: the prepared
+		// pipeline must match text compilation in static order too.
+		{
+			"4-shard-static",
+			&Engine{Rel: many.Rel, Graph: many.Graph, Plans: NewPlanCache(64), DisableCostOptimizer: true},
+			&Engine{Rel: many.Rel, Graph: many.Graph, UseTextCompile: true, DisableCostOptimizer: true},
+		},
 	}
 
 	rng := rand.New(rand.NewSource(5150))

@@ -20,6 +20,7 @@ func TestRandomQueriesExecute(t *testing.T) {
 		base,
 		{Rel: base.Rel, Graph: base.Graph, DisablePropagation: true},
 		{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true, DisablePropagation: true},
+		{Rel: base.Rel, Graph: base.Graph, DisableCostOptimizer: true},
 	}
 
 	rng := rand.New(rand.NewSource(77))
@@ -98,6 +99,11 @@ func TestStreamingJoinMatchesNaive(t *testing.T) {
 			"textual-order",
 			&Engine{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true},
 			&Engine{Rel: base.Rel, Graph: base.Graph, DisableScheduling: true, UseNaiveJoin: true},
+		},
+		{
+			"static-order",
+			&Engine{Rel: base.Rel, Graph: base.Graph, DisableCostOptimizer: true},
+			&Engine{Rel: base.Rel, Graph: base.Graph, DisableCostOptimizer: true, UseNaiveJoin: true},
 		},
 	}
 
@@ -285,6 +291,11 @@ func TestShardEquivalence(t *testing.T) {
 			"textual-order",
 			&Engine{Rel: one.Rel, Graph: one.Graph, DisableScheduling: true},
 			&Engine{Rel: many.Rel, Graph: many.Graph, DisableScheduling: true},
+		},
+		{
+			"static-order",
+			&Engine{Rel: one.Rel, Graph: one.Graph, DisableCostOptimizer: true},
+			&Engine{Rel: many.Rel, Graph: many.Graph, DisableCostOptimizer: true},
 		},
 	}
 

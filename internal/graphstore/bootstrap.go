@@ -18,6 +18,7 @@ const (
 // Bootstrap creates the property indexes ThreatRaptor declares on key
 // node attributes for each label.
 func Bootstrap(g *Graph) {
+	g.EnableStats()
 	g.CreateNodeIndex(LabelProcess, "exename")
 	g.CreateNodeIndex(LabelProcess, "name")
 	g.CreateNodeIndex(LabelFile, "name")

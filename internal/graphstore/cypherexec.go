@@ -80,7 +80,7 @@ func (g *Graph) run(ex *cexec) (*Rows, ExecStats, error) {
 	if err := ex.validate(); err != nil {
 		return nil, ex.stats, err
 	}
-	if err := ex.chain(0); err != nil {
+	if err := ex.chain(0); err != nil && err != errRowCap {
 		return nil, ex.stats, err
 	}
 
@@ -135,7 +135,17 @@ type cexec struct {
 	// params are the execution's `$k` bindings (prepared queries); nil
 	// for plain text queries, which cannot reference parameters.
 	params *CParams
+
+	// rowCap is a per-execution result cap (0 = none): emit aborts the
+	// traversal with errRowCap once this many rows are produced. Only
+	// set for non-DISTINCT queries, where the first rowCap emissions
+	// are exactly a prefix of the full result.
+	rowCap int
 }
+
+// errRowCap is the sentinel emit throws to unwind the traversal when a
+// per-execution row cap is reached; run swallows it.
+var errRowCap = fmt.Errorf("graphstore: row cap reached")
 
 // visibleNode reports whether the node exists at the query's epoch mark.
 func (ex *cexec) visibleNode(n *Node) bool {
@@ -462,6 +472,9 @@ func (ex *cexec) emit() error {
 		row[i] = v
 	}
 	ex.out = append(ex.out, row)
+	if ex.rowCap > 0 && len(ex.out) >= ex.rowCap {
+		return errRowCap
+	}
 	return nil
 }
 

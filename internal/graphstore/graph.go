@@ -143,6 +143,10 @@ type Graph struct {
 	// seq <= M, so readers pinned at a mark observe one immutable cut
 	// while writers keep appending.
 	seq uint64
+
+	// stats holds ingest-time cardinality sketches for the cost-based
+	// optimizer (stats.go); nil until EnableStats.
+	stats *graphStats
 }
 
 // NewGraph creates an empty graph.
@@ -186,6 +190,9 @@ func (g *Graph) AddNode(n Node) (*Node, error) {
 	n.Label = strings.ToLower(n.Label)
 	g.seq++
 	n.seq = g.seq
+	if g.stats != nil {
+		g.stats.observeNode(n.seq)
+	}
 	stored := &n
 	g.nodes[n.ID] = stored
 	g.byLabel[n.Label] = append(g.byLabel[n.Label], stored)
@@ -225,6 +232,9 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 	g.seq++
 	e.seq = g.seq
 	stored := &e
+	if g.stats != nil {
+		g.stats.observeEdge(stored)
+	}
 	g.edges[e.ID] = stored
 	g.out[e.From] = append(g.out[e.From], stored)
 	g.in[e.To] = append(g.in[e.To], stored)

@@ -135,6 +135,22 @@ func (g *Graph) QueryPreparedAt(st *CStmt, mark uint64, params *CParams) (*Rows,
 	return rows, err
 }
 
+// QueryPreparedAtLimit is QueryPreparedAt with a per-execution result
+// cap: the traversal stops once limit rows are produced (limit <= 0
+// means uncapped), so a page-bounded fetch does page-scaled traversal
+// work. The cap is ignored for DISTINCT queries, whose deduplication
+// could shrink a capped prefix below the true first rows.
+func (g *Graph) QueryPreparedAtLimit(st *CStmt, mark uint64, params *CParams, limit int) (*Rows, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ex := &cexec{g: g, q: st.q, env: map[string]binding{}, bounded: true, mark: mark, params: params}
+	if limit > 0 && !st.q.Distinct {
+		ex.rowCap = limit
+	}
+	rows, _, err := g.run(ex)
+	return rows, err
+}
+
 // QueryPrepared executes a prepared Cypher query against the current
 // graph under the statement's read lock.
 func (g *Graph) QueryPrepared(st *CStmt, params *CParams) (*Rows, ExecStats, error) {

@@ -1,0 +1,206 @@
+package graphstore
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ingest-time cardinality statistics for the graph backend, the mirror
+// of relstore's sketches (relstore/stats.go): the execution engine's
+// cost-based optimizer estimates path-pattern cardinality from edge
+// counts per operation type, the total node/edge population, and the
+// event-time range — all answered *at an epoch mark* so estimates are
+// consistent with the exact graph cut a pinned hunt traverses.
+//
+// Sequence numbers (Node.seq / Edge.seq) are assigned in insertion
+// order, so a sampled ascending list of seqs recovers a count at any
+// mark by binary search, within one sampling stride.
+
+const (
+	// gValStride samples every Nth occurrence of a tracked edge
+	// property value (operation type).
+	gValStride = 16
+	// gSeqStride samples every Nth node/edge insertion sequence and
+	// range checkpoint.
+	gSeqStride = 64
+)
+
+// gValTrack is one tracked value: live count plus sampled seqs.
+type gValTrack struct {
+	count int64
+	seqs  []uint64
+}
+
+func (tr *gValTrack) countAt(mark uint64) int {
+	n := sort.Search(len(tr.seqs), func(i int) bool { return tr.seqs[i] > mark })
+	est := n * gValStride
+	if int64(est) > tr.count {
+		est = int(tr.count)
+	}
+	return est
+}
+
+// gRangeCheck is a sampled running min/max checkpoint at a seq.
+type gRangeCheck struct {
+	seq      uint64
+	min, max int64
+}
+
+// graphStats holds the graph's trackers; nil when stats are disabled.
+// All mutation happens under the graph's write lock.
+type graphStats struct {
+	edgeOps   map[string]*gValTrack // operation type -> tracker
+	edgeSeqs  []uint64              // every gSeqStride-th edge seq
+	nodeSeqs  []uint64              // every gSeqStride-th node seq
+	nEdges    int64
+	nNodes    int64
+	timeN     int64
+	tmin      int64
+	tmax      int64
+	timeChks  []gRangeCheck
+}
+
+// EnableStats turns on ingest-time stats tracking (idempotent; called
+// at bootstrap before data loads).
+func (g *Graph) EnableStats() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stats == nil {
+		g.stats = &graphStats{edgeOps: make(map[string]*gValTrack)}
+	}
+}
+
+// observeNode records a node insertion; caller holds the write lock.
+func (s *graphStats) observeNode(seq uint64) {
+	if s.nNodes%gSeqStride == 0 {
+		s.nodeSeqs = append(s.nodeSeqs, seq)
+	}
+	s.nNodes++
+}
+
+// observeEdge records an edge insertion; caller holds the write lock.
+func (s *graphStats) observeEdge(e *Edge) {
+	if s.nEdges%gSeqStride == 0 {
+		s.edgeSeqs = append(s.edgeSeqs, e.seq)
+	}
+	s.nEdges++
+	if op, ok := e.Props["optype"]; ok && !op.IsInt {
+		tr := s.edgeOps[op.Str]
+		if tr == nil {
+			tr = &gValTrack{}
+			s.edgeOps[op.Str] = tr
+		}
+		if tr.count%gValStride == 0 {
+			tr.seqs = append(tr.seqs, e.seq)
+		}
+		tr.count++
+	}
+	if st, ok := e.Props["starttime"]; ok && st.IsInt {
+		if s.timeN == 0 || st.Int < s.tmin {
+			s.tmin = st.Int
+		}
+		if s.timeN == 0 || st.Int > s.tmax {
+			s.tmax = st.Int
+		}
+		s.timeN++
+		if len(s.timeChks) == 0 || s.timeN%gSeqStride == 1 {
+			s.timeChks = append(s.timeChks, gRangeCheck{seq: e.seq, min: s.tmin, max: s.tmax})
+		}
+	}
+}
+
+func seqCountAt(seqs []uint64, live int64, stride int, mark uint64) int {
+	n := sort.Search(len(seqs), func(i int) bool { return seqs[i] > mark })
+	est := n * stride
+	if int64(est) > live {
+		est = int(live)
+	}
+	return est
+}
+
+// EdgesAt estimates the number of edges visible at the mark (within
+// one sampling stride; exact when the mark covers the whole graph).
+func (g *Graph) EdgesAt(mark uint64) (int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.stats == nil {
+		return 0, false
+	}
+	return seqCountAt(g.stats.edgeSeqs, g.stats.nEdges, gSeqStride, mark), true
+}
+
+// NodesAt estimates the number of nodes visible at the mark.
+func (g *Graph) NodesAt(mark uint64) (int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.stats == nil {
+		return 0, false
+	}
+	return seqCountAt(g.stats.nodeSeqs, g.stats.nNodes, gSeqStride, mark), true
+}
+
+// EdgeOpCountAt estimates how many edges with the given operation type
+// are visible at the mark.
+func (g *Graph) EdgeOpCountAt(op string, mark uint64) (int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.stats == nil {
+		return 0, false
+	}
+	tr := g.stats.edgeOps[op]
+	if tr == nil {
+		return 0, true
+	}
+	return tr.countAt(mark), true
+}
+
+// TimeRangeAt returns the min/max edge start time visible at the mark.
+func (g *Graph) TimeRangeAt(mark uint64) (int64, int64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.stats == nil {
+		return 0, 0, false
+	}
+	n := sort.Search(len(g.stats.timeChks), func(i int) bool { return g.stats.timeChks[i].seq > mark })
+	if n == 0 {
+		return 0, 0, false
+	}
+	c := g.stats.timeChks[n-1]
+	return c.min, c.max, true
+}
+
+// StatsFootprint returns how many sketch entries the graph's trackers
+// hold, surfaced via /stats; zero when stats are disabled.
+func (g *Graph) StatsFootprint() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.stats == nil {
+		return 0
+	}
+	n := len(g.stats.edgeSeqs) + len(g.stats.nodeSeqs) + len(g.stats.timeChks)
+	for _, tr := range g.stats.edgeOps {
+		n += len(tr.seqs)
+	}
+	return n
+}
+
+// SchemaVersion returns a fingerprint of the graph's index layout
+// (label/property index pairs). Plan caches fold it into their keys so
+// a re-bootstrapped index set never reuses stale plan templates.
+func (g *Graph) SchemaVersion() uint64 {
+	g.mu.RLock()
+	pairs := make([]string, 0, len(g.propIdx))
+	for label, byProp := range g.propIdx {
+		for prop := range byProp {
+			pairs = append(pairs, label+"."+prop)
+		}
+	}
+	g.mu.RUnlock()
+	sort.Strings(pairs)
+	h := fnv.New64a()
+	for _, p := range pairs {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,182 @@
+package graphstore
+
+import (
+	"testing"
+)
+
+// statsGraph builds a stats-enabled graph with nNodes file nodes and,
+// per node, one "read" edge plus a "delete" edge every 10th node, all
+// from a single process node, with ascending start times.
+func statsGraph(t *testing.T, nNodes int) (*Graph, *Node) {
+	t.Helper()
+	g := NewGraph()
+	g.EnableStats()
+	proc, err := g.AddNode(Node{Label: "process", Props: map[string]Value{"exename": TextValue("/bin/sh")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nNodes; i++ {
+		f, err := g.AddNode(Node{Label: "file"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := "read"
+		if i%10 == 0 {
+			op = "delete"
+		}
+		if _, err := g.AddEdge(Edge{From: proc.ID, To: f.ID, Label: "event", Props: map[string]Value{
+			"optype":    TextValue(op),
+			"starttime": IntValue(int64(1000 + i)),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, proc
+}
+
+func TestStatsDisabled(t *testing.T) {
+	g := NewGraph()
+	n1, _ := g.AddNode(Node{Label: "process"})
+	n2, _ := g.AddNode(Node{Label: "file"})
+	if _, err := g.AddEdge(Edge{From: n1.ID, To: n2.ID, Label: "event"}); err != nil {
+		t.Fatal(err)
+	}
+	mark := g.Mark()
+	if _, ok := g.EdgesAt(mark); ok {
+		t.Error("EdgesAt should report !ok with stats disabled")
+	}
+	if _, ok := g.NodesAt(mark); ok {
+		t.Error("NodesAt should report !ok with stats disabled")
+	}
+	if _, ok := g.EdgeOpCountAt("read", mark); ok {
+		t.Error("EdgeOpCountAt should report !ok with stats disabled")
+	}
+	if _, _, ok := g.TimeRangeAt(mark); ok {
+		t.Error("TimeRangeAt should report !ok with stats disabled")
+	}
+	if g.StatsFootprint() != 0 {
+		t.Errorf("disabled footprint = %d, want 0", g.StatsFootprint())
+	}
+}
+
+func TestEnableStatsIdempotent(t *testing.T) {
+	g, _ := statsGraph(t, 20)
+	before, _ := g.EdgesAt(g.Mark())
+	g.EnableStats() // second call must not reset the trackers
+	after, ok := g.EdgesAt(g.Mark())
+	if !ok || after != before {
+		t.Errorf("EnableStats reset the trackers: %d -> %d", before, after)
+	}
+}
+
+func TestGraphCountsAtMark(t *testing.T) {
+	g, _ := statsGraph(t, 300)
+	full := g.Mark()
+
+	edges, ok := g.EdgesAt(full)
+	if !ok || edges != 300 {
+		t.Errorf("EdgesAt(full) = %d, %v; want exact 300", edges, ok)
+	}
+	nodes, ok := g.NodesAt(full)
+	if !ok || nodes != 301 {
+		t.Errorf("NodesAt(full) = %d, %v; want exact 301", nodes, ok)
+	}
+	if got, _ := g.EdgesAt(0); got != 0 {
+		t.Errorf("EdgesAt(0) = %d, want 0", got)
+	}
+
+	// A mid mark answers within one sampling stride of the truth:
+	// node and edge seqs alternate, so mark/2 of each came before it.
+	mid := full / 2
+	edges, _ = g.EdgesAt(mid)
+	if d := edges - int(mid)/2; d < -gSeqStride || d > gSeqStride {
+		t.Errorf("EdgesAt(%d) = %d, want ~%d within one stride", mid, edges, mid/2)
+	}
+
+	// Growth after the mark stays invisible through it, within one
+	// sampling stride (the live-count cap no longer tightens the
+	// estimate once the graph has grown past the mark).
+	for i := 0; i < 100; i++ {
+		f, _ := g.AddNode(Node{Label: "file"})
+		_ = f
+	}
+	if got, _ := g.NodesAt(full); got < nodes || got > nodes+gSeqStride {
+		t.Errorf("NodesAt(full) after later inserts = %d, want within one stride of %d", got, nodes)
+	}
+}
+
+func TestEdgeOpCountAt(t *testing.T) {
+	g, _ := statsGraph(t, 300)
+	full := g.Mark()
+
+	del, ok := g.EdgeOpCountAt("delete", full)
+	if !ok || del != 30 {
+		t.Errorf("EdgeOpCountAt(delete) = %d, %v; want exact 30", del, ok)
+	}
+	rd, _ := g.EdgeOpCountAt("read", full)
+	if rd != 270 {
+		t.Errorf("EdgeOpCountAt(read) = %d, want exact 270", rd)
+	}
+	// Unknown op on a live tracker is a proven zero.
+	if got, ok := g.EdgeOpCountAt("rename", full); !ok || got != 0 {
+		t.Errorf("EdgeOpCountAt(rename) = %d, %v; want 0, true", got, ok)
+	}
+	if got, _ := g.EdgeOpCountAt("read", 0); got != 0 {
+		t.Errorf("EdgeOpCountAt(read, 0) = %d, want 0", got)
+	}
+}
+
+func TestTimeRangeAt(t *testing.T) {
+	g, _ := statsGraph(t, 300)
+	full := g.Mark()
+
+	lo, hi, ok := g.TimeRangeAt(full)
+	if !ok || lo != 1000 {
+		t.Errorf("TimeRangeAt(full) = [%d, %d], %v; want min 1000", lo, hi, ok)
+	}
+	// Checkpoints trail the newest edges by at most one stride.
+	if hi < int64(1000+299-gSeqStride) || hi > 1299 {
+		t.Errorf("TimeRangeAt(full) max = %d, want within one stride of 1299", hi)
+	}
+	// A mark before the first checkpoint has no range.
+	if _, _, ok := g.TimeRangeAt(1); ok {
+		t.Error("TimeRangeAt before any checkpoint should report !ok")
+	}
+	// A mid mark must not see later maxima. The mid edge carries
+	// starttime ~1000+mid/2 (node/edge seqs alternate).
+	mid := full / 2
+	if _, hi, ok := g.TimeRangeAt(mid); ok && hi > int64(1000)+int64(mid)/2 {
+		t.Errorf("TimeRangeAt(%d) max = %d leaks later times", mid, hi)
+	}
+}
+
+func TestGraphStatsFootprint(t *testing.T) {
+	g, _ := statsGraph(t, 300)
+	if g.StatsFootprint() == 0 {
+		t.Error("tracked graph reports zero footprint")
+	}
+}
+
+func TestGraphSchemaVersion(t *testing.T) {
+	g1, g2 := NewGraph(), NewGraph()
+	if g1.SchemaVersion() != g2.SchemaVersion() {
+		t.Error("fresh graphs should fingerprint identically")
+	}
+	base := g1.SchemaVersion()
+	g1.CreateNodeIndex("file", "name")
+	if g1.SchemaVersion() == base {
+		t.Error("node index did not change the fingerprint")
+	}
+	g2.CreateNodeIndex("file", "name")
+	if g1.SchemaVersion() != g2.SchemaVersion() {
+		t.Error("same index layout should fingerprint identically")
+	}
+	// Data never moves the fingerprint.
+	before := g1.SchemaVersion()
+	if _, err := g1.AddNode(Node{Label: "file", Props: map[string]Value{"name": TextValue("/a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if g1.SchemaVersion() != before {
+		t.Error("node insert changed the fingerprint")
+	}
+}

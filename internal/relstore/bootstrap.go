@@ -79,6 +79,23 @@ func Bootstrap(db *DB) error {
 	if err := evts.CreateOrderedIndex("starttime"); err != nil {
 		return err
 	}
+	// Cardinality tracking for the cost-based optimizer: distinct counts
+	// for the indexed filter/join columns (free — piggybacks on hash
+	// index maintenance), per-value counts for the unindexed host
+	// columns, and the event-time range for window selectivity.
+	for _, col := range []string{"type", "name", "exename", "dstip", "host"} {
+		if err := ents.TrackColumn(col); err != nil {
+			return err
+		}
+	}
+	for _, col := range []string{"srcid", "dstid", "optype", "host"} {
+		if err := evts.TrackColumn(col); err != nil {
+			return err
+		}
+	}
+	if err := evts.TrackRange("starttime"); err != nil {
+		return err
+	}
 	return nil
 }
 

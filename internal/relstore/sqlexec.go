@@ -175,6 +175,12 @@ type stmtRun struct {
 
 	out      [][]Value
 	limitHit bool
+	// rowCap is a per-execution result cap (0 = none), pushed down by
+	// callers that will read at most that many rows (the engine's
+	// fetch-side row caps). Unlike the statement's own LIMIT it is not
+	// part of the plan: the same prepared Stmt runs capped for a
+	// first-page hunt and uncapped for a full drain.
+	rowCap int
 }
 
 // compile derives everything schema-determined: bindings, conjuncts,
@@ -309,8 +315,25 @@ func (st *Stmt) QueryViewStats(v *View, params *Params) (*Rows, ExecStats, error
 	return st.exec(v, params)
 }
 
-// exec runs one execution of the prepared statement.
+// QueryViewLimit is QueryView with a per-execution result cap: at most
+// limit rows of the statement's full result are produced (limit <= 0
+// means uncapped). When the statement has no ORDER BY and no DISTINCT
+// the executor stops joining as soon as the cap is reached, so a
+// page-bounded fetch over a huge table does page-scaled work; otherwise
+// the cap only truncates the finished result.
+func (st *Stmt) QueryViewLimit(v *View, params *Params, limit int) (*Rows, error) {
+	rows, _, err := st.execCap(v, params, limit)
+	return rows, err
+}
+
+// exec runs one uncapped execution of the prepared statement.
 func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
+	return st.execCap(view, params, 0)
+}
+
+// execCap runs one execution of the prepared statement with an
+// optional per-execution row cap.
+func (st *Stmt) execCap(view *View, params *Params, rowCap int) (*Rows, ExecStats, error) {
 	if st.nSet > params.NumSets() {
 		return nil, ExecStats{}, fmt.Errorf("relstore: statement wants %d set parameter(s), got %d",
 			st.nSet, params.NumSets())
@@ -321,6 +344,9 @@ func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
 		params: params,
 		tables: make([]*Table, len(st.binds)),
 		rows:   make([][][]Value, len(st.binds)),
+	}
+	if rowCap > 0 {
+		rt.rowCap = rowCap
 	}
 
 	if view != nil {
@@ -413,6 +439,12 @@ func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
 		rt.out = rt.out[:st.stmt.Limit]
 	}
 
+	// Per-execution row cap: applied after ORDER BY/DISTINCT/LIMIT so a
+	// capped execution always returns a prefix of the uncapped result.
+	if rt.rowCap > 0 && len(rt.out) > rt.rowCap {
+		rt.out = rt.out[:rt.rowCap]
+	}
+
 	cols := make([]string, len(st.project))
 	for i, p := range st.project {
 		cols[i] = p.name
@@ -467,8 +499,13 @@ func (rt *stmtRun) join(level int, tuple []int) error {
 		}
 		rt.out = append(rt.out, row)
 		rt.stats.TuplesEmitted++
-		if st.stmt.Limit >= 0 && !st.stmt.Distinct && st.limitFriendly() && len(rt.out) >= st.stmt.Limit {
-			rt.limitHit = true
+		if !st.stmt.Distinct && st.limitFriendly() {
+			if st.stmt.Limit >= 0 && len(rt.out) >= st.stmt.Limit {
+				rt.limitHit = true
+			}
+			if rt.rowCap > 0 && len(rt.out) >= rt.rowCap {
+				rt.limitHit = true
+			}
 		}
 		return nil
 	}

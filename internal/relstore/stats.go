@@ -1,0 +1,459 @@
+package relstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ingest-time cardinality statistics.
+//
+// The execution engine's cost-based optimizer needs, per pattern, an
+// estimate of how many rows a data query will return at the hunt's
+// pinned epoch. The sketches here are maintained incrementally under
+// the table's existing write lock, and every read is answered *at a
+// watermark* (a TableView's row count), so estimates are consistent
+// with the exact cut of the data the hunt reads:
+//
+//   - Per-value row counts for hash-indexed columns are exact and free:
+//     index buckets append row ids in ascending order, so the count at
+//     watermark W is a binary-search prefix cut of the bucket.
+//   - Distinct-value counts are tracked as a growth array: the row
+//     position at which each new distinct value first appeared. The
+//     distinct count at W is again a binary search.
+//   - Unindexed tracked columns (events.host) get a valTracker: exact
+//     live per-value counters plus a sampled position mark every
+//     valTrackStride occurrences, giving counts at W within the stride.
+//   - Range-tracked int columns (events.starttime) record sampled
+//     min/max checkpoints for time-window selectivity.
+//
+// The per-insert cost is a few integer compares, one map probe for each
+// valTracker column, and rare appends — small against the row append
+// and index maintenance the insert already pays.
+
+const (
+	// valTrackStride is the occurrence-sampling stride of valTracker
+	// position marks; counts at a watermark are exact within one stride.
+	valTrackStride = 16
+	// maxTrackedVals caps a valTracker's per-value map. Columns that
+	// blow past it (unexpectedly high cardinality) stop tracking new
+	// values; DistinctAt reports the overflow.
+	maxTrackedVals = 4096
+	// rangeStride is the row-sampling stride of min/max checkpoints.
+	rangeStride = 64
+)
+
+// valTrack is one tracked value: its live occurrence count and the row
+// positions of every valTrackStride-th occurrence.
+type valTrack struct {
+	count int64
+	marks []int32
+}
+
+// countAt estimates the value's occurrence count among rows [0, w):
+// n marks below the watermark witness at least (n-1)*stride+1 and at
+// most n*stride occurrences. When the watermark covers every mark the
+// estimate equals the exact live count.
+func (tr *valTrack) countAt(w int) int {
+	n := sort.Search(len(tr.marks), func(i int) bool { return int(tr.marks[i]) >= w })
+	est := n * valTrackStride
+	if int64(est) > tr.count {
+		est = int(tr.count)
+	}
+	return est
+}
+
+// valTracker tracks per-value counts for one unindexed column.
+type valTracker struct {
+	vals     map[string]*valTrack
+	growth   []int32 // row position of each new distinct value
+	overflow bool    // hit maxTrackedVals; distinct counts are a floor
+}
+
+// colValTracker / colRangeTracker pair a tracker with its column
+// position for the insert hot path's slice iteration.
+type colValTracker struct {
+	ci int
+	vt *valTracker
+}
+
+type colRangeTracker struct {
+	ci int
+	rt *rangeTracker
+}
+
+// vtKey returns the valTracker map key for a value. Text values key by
+// their string directly — no allocation on the insert path, unlike the
+// prefixed index key() — and other kinds fall back to key(). Safe
+// because a column holds one declared type, so keys cannot collide.
+func vtKey(v Value) string {
+	if v.Kind == TypeText {
+		return v.Str
+	}
+	return v.key()
+}
+
+func newValTracker() *valTracker {
+	return &valTracker{vals: make(map[string]*valTrack)}
+}
+
+func (vt *valTracker) observe(key string, rid int) {
+	tr := vt.vals[key]
+	if tr == nil {
+		if len(vt.vals) >= maxTrackedVals {
+			vt.overflow = true
+			return
+		}
+		tr = &valTrack{}
+		vt.vals[key] = tr
+		vt.growth = append(vt.growth, int32(rid))
+	}
+	if tr.count%valTrackStride == 0 {
+		tr.marks = append(tr.marks, int32(rid))
+	}
+	tr.count++
+}
+
+// rangeCheck is one sampled min/max checkpoint: the running min/max of
+// the column over rows [0, pos].
+type rangeCheck struct {
+	pos      int32
+	min, max int64
+}
+
+// rangeTracker tracks the running min/max of an int column with
+// sampled checkpoints so the range at any watermark can be recovered.
+type rangeTracker struct {
+	n        int
+	min, max int64
+	checks   []rangeCheck
+}
+
+func (rt *rangeTracker) observe(v int64, rid int) {
+	if rt.n == 0 || v < rt.min {
+		rt.min = v
+	}
+	if rt.n == 0 || v > rt.max {
+		rt.max = v
+	}
+	rt.n++
+	if len(rt.checks) == 0 || rid-int(rt.checks[len(rt.checks)-1].pos) >= rangeStride {
+		rt.checks = append(rt.checks, rangeCheck{pos: int32(rid), min: rt.min, max: rt.max})
+	}
+}
+
+// at returns the min/max over rows [0, w), from the newest checkpoint
+// at or below the watermark (missing at most rangeStride-1 trailing
+// rows — an estimation error, never a correctness one).
+func (rt *rangeTracker) at(w int) (int64, int64, bool) {
+	n := sort.Search(len(rt.checks), func(i int) bool { return int(rt.checks[i].pos) >= w })
+	if n == 0 {
+		return 0, 0, false
+	}
+	c := rt.checks[n-1]
+	return c.min, c.max, true
+}
+
+// TrackColumn enables distinct-count (and, for unindexed columns,
+// per-value count) tracking on a column. Call it at bootstrap, before
+// rows are inserted; tracking starts at the current row count.
+func (t *Table) TrackColumn(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, indexed := t.hashIdx[ci]; indexed {
+		if t.statsGrowth == nil {
+			t.statsGrowth = make(map[int][]int32)
+		}
+		// Seed the growth array from values already present.
+		g := make([]int32, 0, len(t.hashIdx[ci]))
+		for _, ids := range t.hashIdx[ci] {
+			if len(ids) > 0 {
+				g = append(g, int32(ids[0]))
+			}
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		t.statsGrowth[ci] = g
+		return nil
+	}
+	if t.statsVals == nil {
+		t.statsVals = make(map[int]*valTracker)
+	}
+	vt := newValTracker()
+	for rid, row := range t.rows {
+		vt.observe(vtKey(row[ci]), rid)
+	}
+	t.statsVals[ci] = vt
+	t.statsValsL = append(t.statsValsL, colValTracker{ci: ci, vt: vt})
+	return nil
+}
+
+// TrackRange enables min/max tracking on an int column.
+func (t *Table) TrackRange(col string) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: no column %q in table %q", col, t.schema.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.statsRange == nil {
+		t.statsRange = make(map[int]*rangeTracker)
+	}
+	rt := &rangeTracker{}
+	for rid, row := range t.rows {
+		if row[ci].Kind == TypeInt {
+			rt.observe(row[ci].Int, rid)
+		}
+	}
+	t.statsRange[ci] = rt
+	t.statsRangeL = append(t.statsRangeL, colRangeTracker{ci: ci, rt: rt})
+	return nil
+}
+
+// observeStats updates trackers for a newly inserted row. The caller
+// (Insert) holds the write lock; growth arrays for hash-indexed
+// columns are maintained inline in Insert's index loop.
+func (t *Table) observeStats(row []Value, rid int) {
+	for _, c := range t.statsValsL {
+		c.vt.observe(vtKey(row[c.ci]), rid)
+	}
+	for _, c := range t.statsRangeL {
+		if row[c.ci].Kind == TypeInt {
+			c.rt.observe(row[c.ci].Int, rid)
+		}
+	}
+}
+
+// CountEqAt returns the number of rows among [0, w) whose column
+// equals v. Exact for hash-indexed columns (bucket prefix cut),
+// stride-approximate for valTracker columns; ok is false when the
+// column is neither indexed nor tracked.
+func (t *Table) CountEqAt(col string, v Value, w int) (int, bool) {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.hashIdx[ci]; ok {
+		ids := idx[v.key()]
+		return sort.SearchInts(ids, w), true
+	}
+	if vt, ok := t.statsVals[ci]; ok {
+		tr := vt.vals[vtKey(v)]
+		if tr == nil {
+			if vt.overflow {
+				return 0, false // untracked value, not a proven zero
+			}
+			return 0, true
+		}
+		return tr.countAt(w), true
+	}
+	return 0, false
+}
+
+// DistinctAt returns the number of distinct values among rows [0, w)
+// for a tracked column; ok is false when untracked or overflowed.
+func (t *Table) DistinctAt(col string, w int) (int, bool) {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if g, ok := t.statsGrowth[ci]; ok {
+		return searchInt32(g, w), true
+	}
+	if vt, ok := t.statsVals[ci]; ok && !vt.overflow {
+		return searchInt32(vt.growth, w), true
+	}
+	return 0, false
+}
+
+// RangeAt returns the min/max of a range-tracked int column among rows
+// [0, w); ok is false when untracked or no checkpoint is below w.
+func (t *Table) RangeAt(col string, w int) (int64, int64, bool) {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return 0, 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rt, ok := t.statsRange[ci]; ok {
+		return rt.at(w)
+	}
+	return 0, 0, false
+}
+
+// ValueCount is one heavy-hitter entry: a value key ('i'/'t' prefix
+// stripped) and its occurrence count.
+type ValueCount struct {
+	Value string `json:"value"`
+	Count int    `json:"count"`
+}
+
+// TopKAt returns up to k heavy hitters of a tracked column at the
+// watermark, heaviest first. Served from valTrackers directly and from
+// hash indexes only when the distinct count is small enough that the
+// scan is cheap (small enumerable domains: optype, entity type).
+func (t *Table) TopKAt(col string, k, w int) []ValueCount {
+	ci := t.ColIndex(col)
+	if ci < 0 || k <= 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []ValueCount
+	if vt, ok := t.statsVals[ci]; ok {
+		// valTracker keys for text columns are the raw strings (vtKey);
+		// only non-text keys carry a kind prefix to strip.
+		text := t.schema.Columns[ci].Type == TypeText
+		for key, tr := range vt.vals {
+			if c := tr.countAt(w); c > 0 {
+				if !text {
+					key = stripKey(key)
+				}
+				out = append(out, ValueCount{Value: key, Count: c})
+			}
+		}
+	} else if idx, ok := t.hashIdx[ci]; ok && len(idx) <= 64 {
+		for key, ids := range idx {
+			if c := sort.SearchInts(ids, w); c > 0 {
+				out = append(out, ValueCount{Value: stripKey(key), Count: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// StatsFootprint returns how many sketch entries the table's trackers
+// hold (growth positions, value marks, range checkpoints) — the memory
+// cost of stats, surfaced via /stats.
+func (t *Table) StatsFootprint() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, g := range t.statsGrowth {
+		n += len(g)
+	}
+	for _, vt := range t.statsVals {
+		n += len(vt.growth)
+		for _, tr := range vt.vals {
+			n += len(tr.marks)
+		}
+	}
+	for _, rt := range t.statsRange {
+		n += len(rt.checks)
+	}
+	return n
+}
+
+// StatsFootprint totals the sketch entries of every table's trackers —
+// the database's whole stats memory cost, in entries.
+func (db *DB) StatsFootprint() int {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	n := 0
+	for _, t := range tables {
+		n += t.StatsFootprint()
+	}
+	return n
+}
+
+// View-level conveniences: answer at the view's own watermark.
+
+// CountEq counts view rows whose column equals v (see Table.CountEqAt).
+func (tv *TableView) CountEq(col string, v Value) (int, bool) {
+	return tv.t.CountEqAt(col, v, len(tv.rows))
+}
+
+// Distinct returns the view's distinct count for a tracked column.
+func (tv *TableView) Distinct(col string) (int, bool) {
+	return tv.t.DistinctAt(col, len(tv.rows))
+}
+
+// Range returns the view's min/max for a range-tracked column.
+func (tv *TableView) Range(col string) (int64, int64, bool) {
+	return tv.t.RangeAt(col, len(tv.rows))
+}
+
+// TopK returns the view's heavy hitters for a tracked column.
+func (tv *TableView) TopK(col string, k int) []ValueCount {
+	return tv.t.TopKAt(col, k, len(tv.rows))
+}
+
+func searchInt32(a []int32, w int) int {
+	return sort.Search(len(a), func(i int) bool { return int(a[i]) >= w })
+}
+
+func stripKey(key string) string {
+	if len(key) > 0 && (key[0] == 'i' || key[0] == 't') {
+		return key[1:]
+	}
+	return key
+}
+
+// SchemaVersion returns a fingerprint of the database's schema
+// identity: table names, columns, and index sets. Any bootstrap-shape
+// change — a new table, column, or index — yields a new fingerprint,
+// so plan caches keyed on it never reuse a plan compiled against a
+// different schema.
+func (db *DB) SchemaVersion() uint64 {
+	h := fnv.New64a()
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.Table(name)
+		h.Write([]byte(name))
+		h.Write([]byte{'('})
+		for _, c := range t.schema.Columns {
+			h.Write([]byte(c.Name))
+			h.Write([]byte{':', byte(c.Type), ','})
+		}
+		t.mu.RLock()
+		hashCols := make([]int, 0, len(t.hashIdx))
+		for ci := range t.hashIdx {
+			hashCols = append(hashCols, ci)
+		}
+		t.mu.RUnlock()
+		t.orderMu.Lock()
+		orderCols := make([]int, 0, len(t.orderIdx))
+		for ci := range t.orderIdx {
+			orderCols = append(orderCols, ci)
+		}
+		t.orderMu.Unlock()
+		sort.Ints(hashCols)
+		sort.Ints(orderCols)
+		h.Write([]byte{'#'})
+		for _, ci := range hashCols {
+			h.Write([]byte{byte(ci), ','})
+		}
+		h.Write([]byte{'<'})
+		for _, ci := range orderCols {
+			h.Write([]byte{byte(ci), ','})
+		}
+		h.Write([]byte{')'})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,437 @@
+package relstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// statsTable builds a table with a hash-indexed "op" column, an
+// unindexed tracked "host" column, and a range-tracked "ts" column —
+// the shape bootstrap gives the events table.
+func statsTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(Schema{Name: "evt", Columns: []Column{
+		{Name: "op", Type: TypeText},
+		{Name: "host", Type: TypeText},
+		{Name: "ts", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateHashIndex("op"); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"op", "host"} {
+		if err := tbl.TrackColumn(col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.TrackRange("ts"); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func insertEvt(t *testing.T, tbl *Table, op, host string, ts int64) {
+	t.Helper()
+	if err := tbl.Insert([]Value{TextValue(op), TextValue(host), IntValue(ts)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackColumnErrors(t *testing.T) {
+	tbl := statsTable(t)
+	if err := tbl.TrackColumn("nope"); err == nil {
+		t.Error("tracking a missing column should fail")
+	}
+	if err := tbl.TrackRange("nope"); err == nil {
+		t.Error("range-tracking a missing column should fail")
+	}
+}
+
+func TestCountEqAtIndexedExact(t *testing.T) {
+	tbl := statsTable(t)
+	for i := 0; i < 100; i++ {
+		op := "read"
+		if i%10 == 0 {
+			op = "delete"
+		}
+		insertEvt(t, tbl, op, "h", int64(i))
+	}
+	// Hash-indexed counts are exact prefix cuts at any watermark.
+	for _, tc := range []struct{ w, want int }{
+		{0, 0}, {1, 1}, {10, 1}, {11, 2}, {100, 10},
+	} {
+		got, ok := tbl.CountEqAt("op", TextValue("delete"), tc.w)
+		if !ok || got != tc.want {
+			t.Errorf("CountEqAt(delete, %d) = %d, %v; want %d", tc.w, got, ok, tc.want)
+		}
+	}
+	if got, ok := tbl.CountEqAt("op", TextValue("write"), 100); !ok || got != 0 {
+		t.Errorf("absent value = %d, %v; want 0, true", got, ok)
+	}
+	if _, ok := tbl.CountEqAt("ts", IntValue(1), 100); ok {
+		t.Error("untracked unindexed column should report !ok")
+	}
+	if _, ok := tbl.CountEqAt("nope", IntValue(1), 100); ok {
+		t.Error("missing column should report !ok")
+	}
+}
+
+func TestCountEqAtTrackerWithinStride(t *testing.T) {
+	tbl := statsTable(t)
+	// hot appears twice per row pair, cold once every 5 rows.
+	actual := map[string][]int{}
+	n := 0
+	for i := 0; i < 200; i++ {
+		host := "hot"
+		if i%5 == 0 {
+			host = "cold"
+		}
+		insertEvt(t, tbl, "read", host, int64(i))
+		actual[host] = append(actual[host], n)
+		n++
+	}
+	for _, host := range []string{"hot", "cold"} {
+		occ := actual[host]
+		for _, w := range []int{0, 7, 50, 123, 200} {
+			exact := 0
+			for _, p := range occ {
+				if p < w {
+					exact++
+				}
+			}
+			got, ok := tbl.CountEqAt("host", TextValue(host), w)
+			if !ok {
+				t.Fatalf("host %q untracked", host)
+			}
+			if d := got - exact; d < -valTrackStride || d > valTrackStride {
+				t.Errorf("CountEqAt(%q, %d) = %d, exact %d: off by more than one stride",
+					host, w, got, exact)
+			}
+		}
+		// At the full watermark the estimate is the exact live count.
+		got, _ := tbl.CountEqAt("host", TextValue(host), tbl.NumRows())
+		if got != len(occ) {
+			t.Errorf("full-watermark count for %q = %d, want %d", host, got, len(occ))
+		}
+	}
+	// Tracked column, value never seen: a proven zero.
+	if got, ok := tbl.CountEqAt("host", TextValue("ghost"), 200); !ok || got != 0 {
+		t.Errorf("unseen tracked value = %d, %v; want 0, true", got, ok)
+	}
+}
+
+func TestValTrackerOverflow(t *testing.T) {
+	tbl := statsTable(t)
+	for i := 0; i < maxTrackedVals+10; i++ {
+		insertEvt(t, tbl, "read", fmt.Sprintf("host-%d", i), int64(i))
+	}
+	// Values past the cap are untracked: not a proven zero.
+	if _, ok := tbl.CountEqAt("host", TextValue(fmt.Sprintf("host-%d", maxTrackedVals+5)), tbl.NumRows()); ok {
+		t.Error("overflowed tracker should report !ok for untracked values")
+	}
+	// Values tracked before the overflow still answer.
+	if got, ok := tbl.CountEqAt("host", TextValue("host-0"), tbl.NumRows()); !ok || got != 1 {
+		t.Errorf("pre-overflow value = %d, %v; want 1, true", got, ok)
+	}
+	if _, ok := tbl.DistinctAt("host", tbl.NumRows()); ok {
+		t.Error("overflowed tracker's distinct count should report !ok")
+	}
+}
+
+func TestDistinctAt(t *testing.T) {
+	tbl := statsTable(t)
+	ops := []string{"read", "write", "delete"}
+	for i := 0; i < 30; i++ {
+		insertEvt(t, tbl, ops[i%len(ops)], fmt.Sprintf("h%d", i/10), int64(i))
+	}
+	// Indexed column: growth array, exact at every watermark.
+	for _, tc := range []struct{ w, want int }{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {30, 3}} {
+		got, ok := tbl.DistinctAt("op", tc.w)
+		if !ok || got != tc.want {
+			t.Errorf("DistinctAt(op, %d) = %d, %v; want %d", tc.w, got, ok, tc.want)
+		}
+	}
+	// Tracked unindexed column: h0 appears at row 0, h1 at 10, h2 at 20.
+	for _, tc := range []struct{ w, want int }{{0, 0}, {10, 1}, {11, 2}, {30, 3}} {
+		got, ok := tbl.DistinctAt("host", tc.w)
+		if !ok || got != tc.want {
+			t.Errorf("DistinctAt(host, %d) = %d, %v; want %d", tc.w, got, ok, tc.want)
+		}
+	}
+	if _, ok := tbl.DistinctAt("ts", 30); ok {
+		t.Error("range-only column should not answer DistinctAt")
+	}
+	if _, ok := tbl.DistinctAt("nope", 30); ok {
+		t.Error("missing column should not answer DistinctAt")
+	}
+}
+
+func TestRangeAt(t *testing.T) {
+	tbl := statsTable(t)
+	if _, _, ok := tbl.RangeAt("ts", 0); ok {
+		t.Error("empty tracked range should report !ok")
+	}
+	for i := 0; i < 300; i++ {
+		insertEvt(t, tbl, "read", "h", int64(1000+i))
+	}
+	lo, hi, ok := tbl.RangeAt("ts", tbl.NumRows())
+	if !ok || lo != 1000 {
+		t.Errorf("full range = [%d, %d], %v; want min 1000", lo, hi, ok)
+	}
+	// Checkpoints trail by at most one stride.
+	if hi < 1000+299-rangeStride || hi > 1299 {
+		t.Errorf("full range max = %d, want within one stride of 1299", hi)
+	}
+	// A mid watermark must not see later maxima.
+	_, hi, ok = tbl.RangeAt("ts", 100)
+	if !ok || hi > 1099 {
+		t.Errorf("RangeAt(100) max = %d, %v; must not exceed 1099", hi, ok)
+	}
+	if _, _, ok := tbl.RangeAt("host", 10); ok {
+		t.Error("untracked column should report !ok")
+	}
+	if _, _, ok := tbl.RangeAt("nope", 10); ok {
+		t.Error("missing column should report !ok")
+	}
+}
+
+func TestTopKAt(t *testing.T) {
+	tbl := statsTable(t)
+	for i := 0; i < 90; i++ {
+		op, host := "read", "hot"
+		switch {
+		case i%9 == 0:
+			op, host = "delete", "cold"
+		case i%3 == 0:
+			op = "write"
+		}
+		insertEvt(t, tbl, op, host, int64(i))
+	}
+	w := tbl.NumRows()
+	// Indexed column with a small domain: served from the index, exact.
+	top := tbl.TopKAt("op", 2, w)
+	if len(top) != 2 || top[0].Value != "read" || top[0].Count != 60 {
+		t.Fatalf("TopKAt(op) = %+v, want read=60 first", top)
+	}
+	if top[1].Value != "write" || top[1].Count != 20 {
+		t.Errorf("TopKAt(op)[1] = %+v, want write=20", top[1])
+	}
+	// Tracked unindexed column: values come back verbatim — including
+	// ones starting with a key-prefix byte ('t'/'i').
+	top = tbl.TopKAt("host", 10, w)
+	if len(top) != 2 || top[0].Value != "hot" || top[1].Value != "cold" {
+		t.Fatalf("TopKAt(host) = %+v", top)
+	}
+	if top[0].Count != 80 || top[1].Count != 10 {
+		t.Errorf("TopKAt(host) counts = %d, %d; want 80, 10", top[0].Count, top[1].Count)
+	}
+	if got := tbl.TopKAt("host", 0, w); got != nil {
+		t.Errorf("k=0 should return nil, got %+v", got)
+	}
+	if got := tbl.TopKAt("ts", 3, w); got != nil {
+		t.Errorf("untracked column should return nil, got %+v", got)
+	}
+	if got := tbl.TopKAt("host", 10, 0); len(got) != 0 {
+		t.Errorf("zero watermark should see no values, got %+v", got)
+	}
+}
+
+// TestTopKPrefixCollision is the regression for the unprefixed tracker
+// keys: host values that *start* with a value-key prefix byte must
+// round-trip verbatim, not lose their first character.
+func TestTopKPrefixCollision(t *testing.T) {
+	tbl := statsTable(t)
+	for i := 0; i < 4; i++ {
+		insertEvt(t, tbl, "read", "trantor", int64(i))
+		insertEvt(t, tbl, "read", "io-node", int64(i))
+	}
+	for _, want := range []string{"trantor", "io-node"} {
+		if got, ok := tbl.CountEqAt("host", TextValue(want), tbl.NumRows()); !ok || got != 4 {
+			t.Errorf("CountEqAt(%q) = %d, %v; want 4, true", want, got, ok)
+		}
+	}
+	top := tbl.TopKAt("host", 5, tbl.NumRows())
+	seen := map[string]bool{}
+	for _, vc := range top {
+		seen[vc.Value] = true
+	}
+	if !seen["trantor"] || !seen["io-node"] {
+		t.Errorf("TopKAt mangled prefixed-looking values: %+v", top)
+	}
+}
+
+// TestTrackColumnSeedsExisting tracks columns only after rows are
+// loaded: seeding must reproduce the same counts as tracking-then-
+// inserting.
+func TestTrackColumnSeedsExisting(t *testing.T) {
+	tbl, err := NewTable(Schema{Name: "evt", Columns: []Column{
+		{Name: "op", Type: TypeText},
+		{Name: "host", Type: TypeText},
+		{Name: "ts", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateHashIndex("op"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		host := "a"
+		if i >= 30 {
+			host = "b"
+		}
+		insertEvt(t, tbl, "read", host, int64(i))
+	}
+	if err := tbl.TrackColumn("op"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.TrackColumn("host"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.TrackRange("ts"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tbl.CountEqAt("host", TextValue("a"), 40); !ok || got != 30 {
+		t.Errorf("seeded count(a) = %d, %v; want 30", got, ok)
+	}
+	if got, ok := tbl.DistinctAt("op", 40); !ok || got != 1 {
+		t.Errorf("seeded distinct(op) = %d, %v; want 1", got, ok)
+	}
+	if lo, _, ok := tbl.RangeAt("ts", 40); !ok || lo != 0 {
+		t.Errorf("seeded range min = %d, %v; want 0", lo, ok)
+	}
+	// Inserts after seeding keep the trackers current.
+	insertEvt(t, tbl, "write", "c", 99)
+	if got, ok := tbl.DistinctAt("host", tbl.NumRows()); !ok || got != 3 {
+		t.Errorf("post-seed distinct(host) = %d, %v; want 3", got, ok)
+	}
+}
+
+func TestStatsFootprint(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(Schema{Name: "evt", Columns: []Column{
+		{Name: "op", Type: TypeText},
+		{Name: "host", Type: TypeText},
+		{Name: "ts", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsFootprint() != 0 {
+		t.Errorf("fresh db footprint = %d, want 0", db.StatsFootprint())
+	}
+	if err := tbl.CreateHashIndex("op"); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"op", "host"} {
+		if err := tbl.TrackColumn(col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.TrackRange("ts"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		insertEvt(t, tbl, "read", "h", int64(i))
+	}
+	if tbl.StatsFootprint() == 0 {
+		t.Error("tracked table reports zero footprint")
+	}
+	if db.StatsFootprint() != tbl.StatsFootprint() {
+		t.Errorf("db footprint %d != table footprint %d", db.StatsFootprint(), tbl.StatsFootprint())
+	}
+}
+
+func TestViewStats(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable(Schema{Name: "evt", Columns: []Column{
+		{Name: "op", Type: TypeText},
+		{Name: "host", Type: TypeText},
+		{Name: "ts", Type: TypeInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.TrackColumn("host"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.TrackRange("ts"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		insertEvt(t, tbl, "read", "before", int64(i))
+	}
+	tv := db.TableView("evt")
+	// Rows inserted after the view are invisible to its stats.
+	for i := 0; i < 200; i++ {
+		insertEvt(t, tbl, "read", "after", int64(1000+i))
+	}
+	if got, ok := tv.CountEq("host", TextValue("before")); !ok || got != 64 {
+		t.Errorf("view CountEq(before) = %d, %v; want 64", got, ok)
+	}
+	if got, ok := tv.CountEq("host", TextValue("after")); !ok || got != 0 {
+		t.Errorf("view CountEq(after) = %d, %v; want 0", got, ok)
+	}
+	if got, ok := tv.Distinct("host"); !ok || got != 1 {
+		t.Errorf("view Distinct(host) = %d, %v; want 1", got, ok)
+	}
+	if _, hi, ok := tv.Range("ts"); !ok || hi > 63 {
+		t.Errorf("view Range max = %d, %v; must not see post-view rows", hi, ok)
+	}
+	top := tv.TopK("host", 5)
+	if len(top) != 1 || top[0].Value != "before" {
+		t.Errorf("view TopK = %+v, want only pre-view values", top)
+	}
+}
+
+func TestSchemaVersion(t *testing.T) {
+	mk := func() (*DB, *Table) {
+		db := NewDB()
+		tbl, err := db.CreateTable(Schema{Name: "evt", Columns: []Column{
+			{Name: "op", Type: TypeText},
+			{Name: "ts", Type: TypeInt},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, tbl
+	}
+	db1, t1 := mk()
+	db2, t2 := mk()
+	if db1.SchemaVersion() != db2.SchemaVersion() {
+		t.Error("identical schemas should fingerprint identically")
+	}
+	base := db1.SchemaVersion()
+	if err := t1.CreateHashIndex("op"); err != nil {
+		t.Fatal(err)
+	}
+	afterHash := db1.SchemaVersion()
+	if afterHash == base {
+		t.Error("hash index did not change the fingerprint")
+	}
+	if err := t1.CreateOrderedIndex("ts"); err != nil {
+		t.Fatal(err)
+	}
+	if db1.SchemaVersion() == afterHash {
+		t.Error("ordered index did not change the fingerprint")
+	}
+	if _, err := db2.CreateTable(Schema{Name: "extra", Columns: []Column{
+		{Name: "x", Type: TypeInt},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if db2.SchemaVersion() == base {
+		t.Error("new table did not change the fingerprint")
+	}
+	// Row inserts never move the schema fingerprint.
+	before := db1.SchemaVersion()
+	if err := t1.Insert([]Value{TextValue("read"), IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if db1.SchemaVersion() != before {
+		t.Error("data insert changed the schema fingerprint")
+	}
+	_ = t2
+}

@@ -38,6 +38,19 @@ type Table struct {
 	// hash indexes: column position -> value key -> row ids.
 	hashIdx map[int]map[string][]int
 
+	// Ingest-time cardinality sketches (stats.go), all guarded by mu:
+	// distinct-growth arrays for hash-indexed tracked columns, per-value
+	// trackers for unindexed tracked columns, min/max checkpoints for
+	// range-tracked columns.
+	statsGrowth map[int][]int32
+	statsVals   map[int]*valTracker
+	statsRange  map[int]*rangeTracker
+	// statsValsL/statsRangeL mirror the tracker maps as slices for the
+	// insert hot path: ranging a slice costs nothing when empty and
+	// avoids per-insert map-iterator setup (observeStats).
+	statsValsL  []colValTracker
+	statsRangeL []colRangeTracker
+
 	// orderMu guards orderIdx and orderDirty. Ordered indexes rebuild
 	// lazily on the read path (lookupRange), which runs under mu's read
 	// lock — orderMu serializes the rebuild among concurrent readers.
@@ -158,8 +171,17 @@ func (t *Table) Insert(row []Value) error {
 	t.rows = append(t.rows, row)
 	for ci, idx := range t.hashIdx {
 		k := row[ci].key()
-		idx[k] = append(idx[k], rid)
+		bucket := idx[k]
+		if len(bucket) == 0 {
+			// First occurrence of a distinct value: record the growth
+			// position if the column's distinct count is tracked.
+			if g, tracked := t.statsGrowth[ci]; tracked {
+				t.statsGrowth[ci] = append(g, int32(rid))
+			}
+		}
+		idx[k] = append(bucket, rid)
 	}
+	t.observeStats(row, rid)
 	t.orderMu.Lock()
 	for ci := range t.orderIdx {
 		t.orderDirty[ci] = true

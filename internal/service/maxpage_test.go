@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/audit/gen"
+)
+
+// newBoundedServer builds a daemon with a small MaxPage so the clamp is
+// exercised without megabyte requests, over an already-ingested
+// password-crack workload.
+func newBoundedServer(t *testing.T, maxPage int) (*httptest.Server, *threatraptor.System) {
+	t.Helper()
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.Generate(gen.Config{
+		Seed:         47,
+		BenignEvents: 800,
+		Attacks:      []gen.Attack{{Kind: gen.AttackPasswordCrack, At: 10 * time.Minute}},
+	})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestLogs(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithConfig(sys, Config{MaxPage: maxPage}))
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// wantStatus reads a response expecting the given non-200 status and
+// returns the error message.
+func wantStatus(t *testing.T, resp *http.Response, status int) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d: %s", resp.StatusCode, status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body %q: %v", body, err)
+	}
+	return e.Error
+}
+
+// TestHuntMaxPage asserts the page-size clamp: a limit over MaxPage gets
+// a friendly 400 naming the bound on both POST /hunt and GET /hunt/next,
+// a limit at the bound succeeds, and the zero-limit default is itself
+// clamped to MaxPage.
+func TestHuntMaxPage(t *testing.T) {
+	ts, _ := newBoundedServer(t, 10)
+
+	reqBody, _ := json.Marshal(HuntRequest{Query: allReadsTBQL, Limit: 11})
+	resp, err := http.Post(ts.URL+"/hunt", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := wantStatus(t, resp, http.StatusBadRequest)
+	if !strings.Contains(msg, "maximum page size 10") {
+		t.Errorf("over-limit error does not name the bound: %q", msg)
+	}
+
+	// The limit can also arrive as a URL parameter on a raw-TBQL body.
+	resp, err = http.Post(ts.URL+"/hunt?limit=4000000000", "text/plain", strings.NewReader(allReadsTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+
+	// At the bound: accepted, and the page is exactly MaxPage rows.
+	hr := postHunt(t, ts, allReadsTBQL, 10, 0)
+	if hr.Count != 10 {
+		t.Errorf("limit=MaxPage page has %d rows", hr.Count)
+	}
+
+	// Zero limit defaults to min(DefaultHuntLimit, MaxPage) = 10.
+	hr = postHunt(t, ts, allReadsTBQL, 0, 0)
+	if hr.Count != 10 {
+		t.Errorf("default page has %d rows, want the 10-row clamp", hr.Count)
+	}
+
+	// The cursor-paging endpoint enforces the same bound.
+	if hr.CursorID == "" {
+		t.Fatal("no cursor to page")
+	}
+	resp, err = http.Get(ts.URL + "/hunt/next?cursor=" + hr.CursorID + "&limit=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg = wantStatus(t, resp, http.StatusBadRequest)
+	if !strings.Contains(msg, "maximum page size 10") {
+		t.Errorf("hunt/next over-limit error: %q", msg)
+	}
+	resp, err = http.Get(ts.URL + "/hunt/next?cursor=" + hr.CursorID + "&limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next HuntResponse
+	decodeJSON(t, resp, &next)
+	if next.Count != 10 || next.Offset != 10 {
+		t.Errorf("hunt/next page = count %d offset %d", next.Count, next.Offset)
+	}
+}
+
+const allReadsTBQL = `proc p read file f as e1
+return p, f`
+
+// TestNoCursorFetchCap asserts the capped stateless path: a no_cursor
+// hunt reports fetch_capped, registers no server-side cursor, and its
+// next_offset pages reassemble exactly the rows of an uncapped hunt.
+func TestNoCursorFetchCap(t *testing.T) {
+	ts, sys := newBoundedServer(t, 1000)
+
+	full, err := sys.Hunt(allReadsTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 30 {
+		t.Fatalf("workload too small: %d rows", len(full.Rows))
+	}
+
+	var got [][]string
+	offset, pages := 0, 0
+	for {
+		reqBody, _ := json.Marshal(HuntRequest{Query: allReadsTBQL, Limit: 7, Offset: offset, NoCursor: true})
+		resp, err := http.Post(ts.URL+"/hunt", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hr HuntResponse
+		decodeJSON(t, resp, &hr)
+		if hr.CursorID != "" {
+			t.Fatalf("no_cursor hunt registered cursor %q", hr.CursorID)
+		}
+		if !hr.Stats.FetchCapped {
+			t.Fatalf("no_cursor hunt not fetch-capped: %+v", hr.Stats)
+		}
+		got = append(got, hr.Rows...)
+		pages++
+		if hr.NextOffset == nil {
+			break
+		}
+		offset = *hr.NextOffset
+	}
+	if pages < 3 {
+		t.Errorf("paged in %d requests, want several", pages)
+	}
+	if len(got) != len(full.Rows) {
+		t.Fatalf("capped pages reassemble %d rows, uncapped hunt has %d", len(got), len(full.Rows))
+	}
+	for i := range full.Rows {
+		if strings.Join(got[i], "\x00") != strings.Join(full.Rows[i], "\x00") {
+			t.Errorf("row %d: capped %v != uncapped %v", i, got[i], full.Rows[i])
+		}
+	}
+
+	// The capped pages register nothing server-side.
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, &st)
+	if st.OpenCursors != 0 {
+		t.Errorf("open_cursors = %d after stateless paging", st.OpenCursors)
+	}
+}

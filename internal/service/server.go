@@ -31,6 +31,12 @@ import (
 // specify one.
 const DefaultHuntLimit = 1000
 
+// DefaultMaxPage is the default upper bound on a hunt page size
+// (Config.MaxPage overrides). Before this bound existed a client could
+// request limit=1e9 and drive the server to materialize the whole
+// match set in one response; now such requests get a friendly 400.
+const DefaultMaxPage = 10000
+
 // MaxIngestBody caps a single POST /ingest body (256 MiB). Larger
 // batches should be split; the cap also bounds how much memory one
 // request can pin while buffering.
@@ -72,6 +78,9 @@ type Config struct {
 	// IngestQueue bounds concurrent /ingest body buffering; requests
 	// beyond it are shed with 429 + Retry-After instead of blocking.
 	IngestQueue int
+	// MaxPage caps the per-request page size of POST /hunt and
+	// GET /hunt/next; larger limits get 400 (default DefaultMaxPage).
+	MaxPage int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = MaxConcurrentIngests
+	}
+	if c.MaxPage <= 0 {
+		c.MaxPage = DefaultMaxPage
 	}
 	return c
 }
@@ -107,6 +119,10 @@ type Server struct {
 	// a growing count means hunts keep hitting the propagation cap and
 	// falling back to unconstrained table fetches.
 	propSkipped atomic.Int64
+	// optReorders counts hunts whose cost-based schedule differed from
+	// the static pruning-score order — how often the ingest-time stats
+	// actually changed an execution.
+	optReorders atomic.Int64
 
 	// cursors is the server-side cursor registry (TTL, LRU, epoch pins).
 	cursors *cursorManager
@@ -227,11 +243,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // HuntRequest is the JSON body accepted by POST /hunt. The body may
 // instead be raw TBQL source (any non-JSON content type), with limit
-// and offset given as URL query parameters.
+// and offset given as URL query parameters (no_cursor as no_cursor=1).
+// NoCursor declines a server-side cursor: the hunt fetches only the
+// requested page (plus one look-ahead row) when the query shape allows
+// the engine to push that bound into the per-shard data queries, and
+// pages on statelessly via next_offset. Offset-paging requests
+// (offset > 0) are capped the same way — they never register a cursor.
 type HuntRequest struct {
-	Query  string `json:"query"`
-	Limit  int    `json:"limit"`
-	Offset int    `json:"offset"`
+	Query    string `json:"query"`
+	Limit    int    `json:"limit"`
+	Offset   int    `json:"offset"`
+	NoCursor bool   `json:"no_cursor"`
 }
 
 // HuntStats is the execution summary embedded in a hunt response.
@@ -255,6 +277,13 @@ type HuntStats struct {
 	// all hits and compiles no SQL/Cypher at all.
 	PlanCacheHits   int `json:"plan_cache_hits"`
 	PlanCacheMisses int `json:"plan_cache_misses"`
+	// CostBased reports that the cost optimizer ordered this hunt's
+	// patterns from ingest-time cardinality stats; Reordered that the
+	// result differed from the static pruning-score order; FetchCapped
+	// that the page bound was pushed into the per-shard data queries.
+	CostBased   bool `json:"cost_based"`
+	Reordered   bool `json:"reordered"`
+	FetchCapped bool `json:"fetch_capped"`
 }
 
 // HuntResponse is one page of hunt results. When more rows remain
@@ -300,11 +329,23 @@ func (s *Server) huntRequest(w http.ResponseWriter, r *http.Request) (HuntReques
 			*dst = n
 		}
 	}
+	if raw := q.Get("no_cursor"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("bad no_cursor %q", raw)
+		}
+		req.NoCursor = v
+	}
 	if req.Limit < 0 || req.Offset < 0 {
 		return req, http.StatusBadRequest, fmt.Errorf("limit and offset must be non-negative")
 	}
+	if req.Limit > s.cfg.MaxPage {
+		return req, http.StatusBadRequest,
+			fmt.Errorf("limit %d exceeds the maximum page size %d; page with cursor_id or next_offset instead",
+				req.Limit, s.cfg.MaxPage)
+	}
 	if req.Limit == 0 {
-		req.Limit = DefaultHuntLimit
+		req.Limit = min(DefaultHuntLimit, s.cfg.MaxPage)
 	}
 	if strings.TrimSpace(req.Query) == "" {
 		return req, http.StatusBadRequest, fmt.Errorf("empty TBQL query")
@@ -324,6 +365,9 @@ func toHuntStats(cur *threatraptor.Cursor) HuntStats {
 		ShardFetches:        st.ShardFetches,
 		PlanCacheHits:       st.PlanCacheHits,
 		PlanCacheMisses:     st.PlanCacheMisses,
+		CostBased:           st.CostBased,
+		Reordered:           st.Reordered,
+		FetchCapped:         st.FetchCapped,
 	}
 }
 
@@ -343,7 +387,19 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	cur, err := s.sys.HuntCursor(req.Query)
+	// A hunt that cannot register a cursor — the client declined one or
+	// is already offset-paging — is bounded at the skipped offset plus
+	// the page plus the one look-ahead row that decides whether more
+	// pages remain; when the query shape allows it the engine pushes
+	// that bound into the per-shard data queries so a small page does
+	// small fetch work. A cursor-eligible hunt must fetch uncapped: its
+	// one execution serves every later page.
+	var cur *threatraptor.Cursor
+	if req.NoCursor || req.Offset > 0 {
+		cur, err = s.sys.HuntCursorLimit(req.Query, req.Offset+req.Limit+1)
+	} else {
+		cur, err = s.sys.HuntCursor(req.Query)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -370,6 +426,9 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	}
 	st := toHuntStats(cur)
 	s.propSkipped.Add(int64(st.PropagationsSkipped))
+	if st.Reordered {
+		s.optReorders.Add(1)
+	}
 	resp := HuntResponse{
 		Columns: cur.Columns(),
 		Rows:    rows,
@@ -395,8 +454,10 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		// non-zero offset is a client already paging statelessly
 		// (re-executing per page): registering its cursor every page
 		// would churn the LRU registry and evict other analysts' live
-		// cursors, so only offset-0 hunts register.
-		if req.Offset == 0 {
+		// cursors, so only offset-0 hunts register. A no_cursor or
+		// fetch-capped hunt cannot register either — its fetch stopped
+		// at the page bound, so later pages re-execute via next_offset.
+		if req.Offset == 0 && !req.NoCursor && !st.FetchCapped {
 			resp.CursorID = s.cursors.put(cur, cur.Row(), next)
 			registered = true
 		}
@@ -421,11 +482,16 @@ func (s *Server) handleHuntNext(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing cursor parameter")
 		return
 	}
-	limit := DefaultHuntLimit
+	limit := min(DefaultHuntLimit, s.cfg.MaxPage)
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n <= 0 {
 			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		if n > s.cfg.MaxPage {
+			writeError(w, http.StatusBadRequest,
+				"limit %d exceeds the maximum page size %d", n, s.cfg.MaxPage)
 			return
 		}
 		limit = n
@@ -514,10 +580,16 @@ func (s *Server) handleHuntCursor(w http.ResponseWriter, r *http.Request) {
 // constraints at run time unless the candidate set exceeds the
 // propagation cap (see the stats' propagations_skipped).
 type ExplainedPattern struct {
-	Name       string   `json:"name"`
-	Backend    string   `json:"backend"`
-	Score      int      `json:"score"`
-	DataQuery  string   `json:"data_query"`
+	Name      string `json:"name"`
+	Backend   string `json:"backend"`
+	Score     int    `json:"score"`
+	DataQuery string `json:"data_query"`
+	// EstRows is the optimizer's cardinality estimate for the pattern
+	// (-1 when the cost optimizer is disabled or the pattern could not
+	// be estimated); CostBased reports whether the listed order came
+	// from those estimates rather than static pruning scores.
+	EstRows    int64    `json:"est_rows"`
+	CostBased  bool     `json:"cost_based"`
 	Propagated []string `json:"propagated,omitempty"`
 	// Hosts lists the host constants the pattern is pinned to (absent
 	// when unconstrained); on a sharded store the pattern's data query
@@ -561,7 +633,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for i, p := range patterns {
 		out[i] = ExplainedPattern{
 			Name: p.Name, Backend: p.Backend, Score: p.Score,
-			DataQuery: p.DataQuery, Propagated: p.Propagated, Hosts: p.Hosts,
+			DataQuery: p.DataQuery, EstRows: p.EstRows, CostBased: p.CostBased,
+			Propagated: p.Propagated, Hosts: p.Hosts,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
@@ -592,6 +665,9 @@ type StatsResponse struct {
 	// cap; when it climbs, hunts are silently fetching whole tables.
 	// The prepared-plan pipeline's 25600 default makes this rare.
 	PropagationsSkipped int64 `json:"propagations_skipped"`
+	// OptimizerReorders counts hunts the cost optimizer scheduled
+	// differently from the static pruning-score order.
+	OptimizerReorders int64 `json:"optimizer_reorders"`
 	// PlanCacheHits/Misses are the prepared-plan cache's cumulative
 	// counters; PlanCacheSize is how many plan templates it currently
 	// holds. Hits climbing while misses stay flat is the repeat-hunt
@@ -623,6 +699,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CursorsExpired:      s.cursors.expired.Load(),
 		CursorsEvicted:      s.cursors.evicted.Load(),
 		PropagationsSkipped: s.propSkipped.Load(),
+		OptimizerReorders:   s.optReorders.Load(),
 		PlanCacheHits:       planHits,
 		PlanCacheMisses:     planMisses,
 		PlanCacheSize:       planSize,

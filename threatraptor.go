@@ -94,6 +94,11 @@ type Options struct {
 	// engine's optimizations (used by the efficiency experiments).
 	DisableScheduling  bool
 	DisablePropagation bool
+	// DisableCostOptimizer turns off the cost-based optimizer:
+	// selectivity-driven join reordering from ingest-time cardinality
+	// stats and fetch-side row caps. Hunts then run in the static
+	// pruning-score order (escape hatch and ablation baseline).
+	DisableCostOptimizer bool
 	// UseNaiveJoin replaces the streaming hash join with the legacy
 	// materializing nested-loop join (correctness baseline for the
 	// equivalence tests and allocation benchmarks).
@@ -195,11 +200,12 @@ func New(opts Options) (*System, error) {
 		graph:  g,
 		engine: &exec.Engine{
 			Rel: rel, Graph: g,
-			MaxPathHops:        opts.MaxPathHops,
-			DisableScheduling:  opts.DisableScheduling,
-			DisablePropagation: opts.DisablePropagation,
-			UseNaiveJoin:       opts.UseNaiveJoin,
-			MaxPropagatedIDs:   opts.MaxPropagatedIDs,
+			MaxPathHops:          opts.MaxPathHops,
+			DisableScheduling:    opts.DisableScheduling,
+			DisablePropagation:   opts.DisablePropagation,
+			DisableCostOptimizer: opts.DisableCostOptimizer,
+			UseNaiveJoin:         opts.UseNaiveJoin,
+			MaxPropagatedIDs:     opts.MaxPropagatedIDs,
 		},
 		shardIngests: make([]atomic.Int64, nShards),
 	}
@@ -401,6 +407,16 @@ func (s *System) HuntQueryCursor(q *Query) (*Cursor, error) {
 	return s.engine.ExecuteCursor(q)
 }
 
+// HuntCursorLimit is HuntCursor with a row-need bound: the caller
+// promises to read at most limit rows (0 = unbounded). When the query
+// shape allows it, the engine pushes the bound into the per-shard data
+// queries as a fetch-side row cap, so a first-page hunt over a huge
+// table fetches page-scaled rows instead of the whole table. A capped
+// cursor (Stats().FetchCapped) must not be read past limit rows.
+func (s *System) HuntCursorLimit(src string, limit int) (*Cursor, error) {
+	return s.engine.ExecuteTBQLCursorLimit(src, limit)
+}
+
 // HuntReport is the end-to-end pipeline: extract the threat behavior
 // graph from the report, synthesize a TBQL query, and execute it.
 func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult, error) {
@@ -449,6 +465,11 @@ type StoreStats struct {
 	// Shards lists per-shard event-row and ingest counts, in shard
 	// order (a single entry for an unsharded System).
 	Shards []ShardStats `json:"shards"`
+	// StatsSketches is the total number of sketch entries the
+	// ingest-time cardinality trackers hold across all shards and both
+	// backends — the memory footprint of the cost-based optimizer's
+	// statistics, in entries (each a few bytes).
+	StatsSketches int `json:"stats_sketches"`
 }
 
 // Stats reports current store sizes. Safe to call while ingesting and
@@ -473,6 +494,12 @@ func (s *System) Stats() StoreStats {
 		// so the totals always agree with the breakdown even while
 		// ingest is running.
 		st.GraphEdges += edgeCounts[i]
+	}
+	for i := 0; i < s.rel.NumShards(); i++ {
+		st.StatsSketches += s.rel.Shard(i).StatsFootprint()
+	}
+	for i := 0; i < s.graph.NumShards(); i++ {
+		st.StatsSketches += s.graph.Shard(i).StatsFootprint()
 	}
 	return st
 }
