@@ -28,6 +28,7 @@ import (
 
 	"repro"
 	"repro/internal/service"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -45,6 +46,12 @@ func main() {
 		maxPage    = flag.Int("max-page", service.DefaultMaxPage, "maximum per-request page size for /hunt and /hunt/next; larger limits answer 400")
 		noCostOpt  = flag.Bool("no-cost-optimizer", false, "disable cost-based pattern scheduling and fetch caps; hunts use static pruning-score order")
 		drainWait  = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL + segment snapshots); empty runs memory-only and a restart loses everything")
+		fsync      = flag.String("fsync", wal.DefaultFsyncInterval.String(), "WAL durability: always (fsync per ingest ack, group-committed), never, or a batching interval like 100ms")
+		segEvery   = flag.Duration("segment-interval", time.Minute, "how often pending commits flush into immutable segment snapshots and the WAL rotates (0 disables; WAL grows until shutdown)")
+		retention  = flag.Duration("retention", 0, "age out events older than this at segment compaction (0 keeps everything)")
+		ingestChnk = flag.Int("ingest-chunk", threatraptor.DefaultIngestChunk, "records per serialized ingest commit; giant batches split so one cannot monopolize the ingest lock (negative disables chunking)")
+		queryCache = flag.Int("query-cache", service.DefaultQueryCacheSize, "TBQL text -> analyzed-query cache capacity for /hunt (0 = disabled); hits/misses surface in /stats")
 	)
 	flag.Parse()
 
@@ -69,6 +76,12 @@ func main() {
 		log.Fatalf("threatraptord: -plan-cache must be >= 0 (got %d); use 0 to disable plan caching", *planCache)
 	case *maxPage < 1:
 		log.Fatalf("threatraptord: -max-page must be >= 1 (got %d)", *maxPage)
+	case *segEvery < 0:
+		log.Fatalf("threatraptord: -segment-interval must be >= 0 (got %s); 0 disables segment snapshots", *segEvery)
+	case *retention < 0:
+		log.Fatalf("threatraptord: -retention must be >= 0 (got %s); 0 keeps everything", *retention)
+	case *queryCache < 0:
+		log.Fatalf("threatraptord: -query-cache must be >= 0 (got %d); use 0 to disable query caching", *queryCache)
 	}
 
 	// The Options field treats 0 as "use the default"; the flag treats 0
@@ -76,6 +89,29 @@ func main() {
 	planCacheSize := *planCache
 	if planCacheSize == 0 {
 		planCacheSize = -1
+	}
+	queryCacheSize := *queryCache
+	if queryCacheSize == 0 {
+		queryCacheSize = -1
+	}
+
+	// With a data dir, open the durability log; threatraptor.New replays
+	// it (segments + WAL tail) before the daemon serves anything.
+	var durLog *wal.Log
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatalf("threatraptord: %v", err)
+		}
+		durLog, err = wal.Open(*dataDir, wal.Config{
+			Fsync:           policy,
+			SegmentInterval: *segEvery,
+			Retention:       *retention,
+			Shards:          *shards,
+		})
+		if err != nil {
+			log.Fatalf("threatraptord: %v", err)
+		}
 	}
 
 	sys, err := threatraptor.New(threatraptor.Options{
@@ -86,9 +122,16 @@ func main() {
 		PlanCacheSize:        planCacheSize,
 		Shards:               *shards,
 		DisableCostOptimizer: *noCostOpt,
+		WAL:                  durLog,
+		IngestChunk:          *ingestChnk,
 	})
 	if err != nil {
 		log.Fatalf("threatraptord: %v", err)
+	}
+	if durLog != nil {
+		rec := sys.Recovery()
+		log.Printf("threatraptord: recovered %s to epoch %d (%d commits, %d segment set(s), %d WAL record(s), %d dropped tail byte(s), clean=%v)",
+			*dataDir, rec.Epoch, rec.Commits, rec.SegmentSets, rec.WALRecords, rec.DroppedBytes, rec.Clean)
 	}
 
 	srv := &http.Server{
@@ -98,6 +141,8 @@ func main() {
 			MaxCursors:  *maxCursors,
 			IngestQueue: *ingestQ,
 			MaxPage:     *maxPage,
+			QueryCache:  queryCacheSize,
+			WAL:         durLog,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -126,6 +171,14 @@ func main() {
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("threatraptord: %v", err)
+	}
+	// With HTTP drained no ingest is in flight: flush and fsync the WAL
+	// tail and write the clean-shutdown marker, so the next start skips
+	// torn-tail scanning.
+	if durLog != nil {
+		if err := durLog.Close(); err != nil {
+			log.Printf("threatraptord: closing durability log: %v", err)
+		}
 	}
 	log.Printf("threatraptord: stopped with %d events / %d entities stored",
 		sys.NumEvents(), sys.NumEntities())

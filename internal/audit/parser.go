@@ -84,13 +84,11 @@ func (p *Parser) intern(e Entity) *Entity {
 	return ent
 }
 
-// Add resolves one record into an event, interning its entities. It is
-// safe for concurrent use, though concurrent adders see arbitrary
-// interleaving of event IDs.
-func (p *Parser) Add(r Record) (*Event, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	subj := p.intern(Entity{
+// resolveRecord turns one record into an event via the given interning
+// function (either the parser's own intern or a staging overlay), which
+// must return a canonical entity with a stable ID.
+func resolveRecord(r Record, nextEvt int64, intern func(Entity) *Entity) (*Event, error) {
+	subj := intern(Entity{
 		Type:    EntityProcess,
 		Host:    r.Host,
 		ExeName: r.Exe,
@@ -100,19 +98,19 @@ func (p *Parser) Add(r Record) (*Event, error) {
 	var obj *Entity
 	switch r.ObjType {
 	case EntityFile:
-		obj = p.intern(Entity{Type: EntityFile, Host: r.Host, Path: r.ObjSpec})
+		obj = intern(Entity{Type: EntityFile, Host: r.Host, Path: r.ObjSpec})
 	case EntityProcess:
 		pid, exe, err := parseProcSpec(r.ObjSpec)
 		if err != nil {
 			return nil, err
 		}
-		obj = p.intern(Entity{Type: EntityProcess, Host: r.Host, ExeName: exe, PID: pid})
+		obj = intern(Entity{Type: EntityProcess, Host: r.Host, ExeName: exe, PID: pid})
 	case EntityNetConn:
 		srcIP, srcPort, dstIP, dstPort, proto, err := parseConnSpec(r.ObjSpec)
 		if err != nil {
 			return nil, err
 		}
-		obj = p.intern(Entity{
+		obj = intern(Entity{
 			Type: EntityNetConn, Host: r.Host,
 			SrcIP: srcIP, SrcPort: srcPort, DstIP: dstIP, DstPort: dstPort, Proto: proto,
 		})
@@ -120,8 +118,8 @@ func (p *Parser) Add(r Record) (*Event, error) {
 		return nil, fmt.Errorf("audit: record has invalid object type %v", r.ObjType)
 	}
 
-	ev := &Event{
-		ID:        p.nextEvt,
+	return &Event{
+		ID:        nextEvt,
 		SrcID:     subj.ID,
 		DstID:     obj.ID,
 		Op:        r.Op,
@@ -129,10 +127,106 @@ func (p *Parser) Add(r Record) (*Event, error) {
 		EndTime:   r.EndNS,
 		Amount:    r.Amount,
 		Host:      r.Host,
+	}, nil
+}
+
+// Add resolves one record into an event, interning its entities. It is
+// safe for concurrent use, though concurrent adders see arbitrary
+// interleaving of event IDs.
+func (p *Parser) Add(r Record) (*Event, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ev, err := resolveRecord(r, p.nextEvt, p.intern)
+	if err != nil {
+		return nil, err
 	}
 	p.nextEvt++
 	p.events = append(p.events, ev)
 	return ev, nil
+}
+
+// StagedBatch is a batch resolved by Stage but not yet published:
+// NewEntities are the entities the batch would newly intern (IDs
+// already assigned from the parser's counter) and Events the resolved
+// events. Until Commit, none of it is visible to readers — a
+// durability layer can write the staged batch to its log first and
+// publish only on success, so a failed append leaves no partial state.
+type StagedBatch struct {
+	NewEntities []*Entity
+	Events      []*Event
+}
+
+// Stage resolves records against the current parser state without
+// mutating it. The caller must serialize Stage..Commit sequences
+// (ThreatRaptor's ingest lock does); interleaving another Add or
+// Commit between a Stage and its Commit would reuse the staged IDs.
+func (p *Parser) Stage(recs []Record) (*StagedBatch, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	sb := &StagedBatch{}
+	staged := make(map[string]*Entity)
+	nextEnt := p.nextEnt
+	nextEvt := p.nextEvt
+	intern := func(e Entity) *Entity {
+		key := e.Key()
+		if got, ok := p.byKey[key]; ok {
+			return got
+		}
+		if got, ok := staged[key]; ok {
+			return got
+		}
+		e.ID = nextEnt
+		nextEnt++
+		ent := &e
+		staged[key] = ent
+		sb.NewEntities = append(sb.NewEntities, ent)
+		return ent
+	}
+	for _, r := range recs {
+		ev, err := resolveRecord(r, nextEvt, intern)
+		if err != nil {
+			return nil, err
+		}
+		nextEvt++
+		sb.Events = append(sb.Events, ev)
+	}
+	return sb, nil
+}
+
+// Commit publishes a staged batch: the new entities and events become
+// visible to readers with the IDs Stage assigned.
+func (p *Parser) Commit(sb *StagedBatch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range sb.NewEntities {
+		p.byKey[e.Key()] = e
+		p.entities = append(p.entities, e)
+	}
+	p.nextEnt += int64(len(sb.NewEntities))
+	p.events = append(p.events, sb.Events...)
+	p.nextEvt += int64(len(sb.Events))
+}
+
+// Restore bulk-loads recovered entities and events (restart replay
+// from the durability log). IDs are taken as-is and the counters move
+// past the highest restored ID; entities must arrive in ID order for
+// EntityByID's dense index to hold, which replay order guarantees.
+func (p *Parser) Restore(entities []*Entity, events []*Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range entities {
+		p.byKey[e.Key()] = e
+		p.entities = append(p.entities, e)
+		if e.ID >= p.nextEnt {
+			p.nextEnt = e.ID + 1
+		}
+	}
+	for _, ev := range events {
+		p.events = append(p.events, ev)
+		if ev.ID >= p.nextEvt {
+			p.nextEvt = ev.ID + 1
+		}
+	}
 }
 
 // ParseLine parses one log line and adds the resulting event.

@@ -1,0 +1,117 @@
+package audit
+
+import "testing"
+
+func stageRecords() []Record {
+	return []Record{
+		{StartNS: 1, EndNS: 2, Host: "h", PID: 10, Exe: "/bin/tar",
+			Op: OpRead, ObjType: EntityFile, ObjSpec: "/etc/passwd", Amount: 100},
+		{StartNS: 3, EndNS: 4, Host: "h", PID: 10, Exe: "/bin/tar",
+			Op: OpWrite, ObjType: EntityFile, ObjSpec: "/tmp/upload.tar", Amount: 200},
+		{StartNS: 5, EndNS: 6, Host: "h", PID: 10, Exe: "/bin/tar",
+			Op: OpConnect, ObjType: EntityNetConn, ObjSpec: "10.0.0.1:1234->203.0.113.9:443/tcp"},
+	}
+}
+
+// Stage resolves a batch without publishing anything; Commit then makes
+// it visible with the IDs Stage assigned.
+func TestParserStageCommit(t *testing.T) {
+	p := NewParser()
+	// Pre-intern the process so Stage must dedup against published state.
+	if _, err := p.Add(stageRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	entsBefore, evtsBefore := len(p.Entities()), len(p.Events())
+
+	sb, err := p.Stage(stageRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entities()) != entsBefore || len(p.Events()) != evtsBefore {
+		t.Fatalf("Stage mutated the parser: %d/%d entities/events, had %d/%d",
+			len(p.Entities()), len(p.Events()), entsBefore, evtsBefore)
+	}
+	// The process and /etc/passwd are already published; only the tar
+	// file and the netconn are new. All three events resolve.
+	if len(sb.NewEntities) != 2 {
+		t.Fatalf("staged %d new entities, want 2: %+v", len(sb.NewEntities), sb.NewEntities)
+	}
+	if len(sb.Events) != 3 {
+		t.Fatalf("staged %d events, want 3", len(sb.Events))
+	}
+	// Staged records interning the same entity twice share one staged ID.
+	if sb.Events[0].SrcID != sb.Events[1].SrcID {
+		t.Fatalf("staged process split: %d vs %d", sb.Events[0].SrcID, sb.Events[1].SrcID)
+	}
+
+	p.Commit(sb)
+	if len(p.Entities()) != entsBefore+2 || len(p.Events()) != evtsBefore+3 {
+		t.Fatalf("after Commit: %d/%d entities/events, want %d/%d",
+			len(p.Entities()), len(p.Events()), entsBefore+2, evtsBefore+3)
+	}
+	for _, e := range sb.NewEntities {
+		if p.EntityByID(e.ID) != e {
+			t.Fatalf("committed entity %d not resolvable by ID", e.ID)
+		}
+	}
+	// A later Add must continue past the committed IDs, not reuse them.
+	ev, err := p.Add(Record{StartNS: 7, EndNS: 8, Host: "h", PID: 99, Exe: "/bin/sh",
+		Op: OpRead, ObjType: EntityFile, ObjSpec: "/etc/hosts", Amount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ID != sb.Events[2].ID+1 {
+		t.Fatalf("post-commit event ID %d, want %d", ev.ID, sb.Events[2].ID+1)
+	}
+}
+
+// An unresolvable record fails the whole Stage and publishes nothing.
+func TestParserStageError(t *testing.T) {
+	p := NewParser()
+	recs := stageRecords()
+	recs[1].ObjType = EntityProcess
+	recs[1].ObjSpec = "not-a-proc-spec"
+	if _, err := p.Stage(recs); err == nil {
+		t.Fatal("Stage accepted a malformed proc spec")
+	}
+	if len(p.Entities()) != 0 || len(p.Events()) != 0 {
+		t.Fatalf("failed Stage left state: %d entities, %d events",
+			len(p.Entities()), len(p.Events()))
+	}
+}
+
+// Restore bulk-loads recovered state and moves the ID counters past it,
+// so post-recovery ingest never collides with replayed IDs.
+func TestParserRestore(t *testing.T) {
+	ref := NewParser()
+	for _, r := range stageRecords() {
+		if _, err := ref.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := NewParser()
+	p.Restore(ref.Entities(), ref.Events())
+	if len(p.Entities()) != len(ref.Entities()) || len(p.Events()) != len(ref.Events()) {
+		t.Fatalf("restored %d/%d entities/events, want %d/%d",
+			len(p.Entities()), len(p.Events()), len(ref.Entities()), len(ref.Events()))
+	}
+	for _, e := range ref.Entities() {
+		if got := p.EntityByID(e.ID); got == nil || got.Key() != e.Key() {
+			t.Fatalf("entity %d not restored: %+v", e.ID, got)
+		}
+	}
+	// The same process re-ingested must dedup against restored entities,
+	// and fresh IDs must start past the restored maximum.
+	ev, err := p.Add(stageRecords()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SrcID != ref.Events()[0].SrcID {
+		t.Fatalf("restored process not deduped: %d vs %d", ev.SrcID, ref.Events()[0].SrcID)
+	}
+	maxEvt := ref.Events()[len(ref.Events())-1].ID
+	if ev.ID != maxEvt+1 {
+		t.Fatalf("post-restore event ID %d, want %d", ev.ID, maxEvt+1)
+	}
+}

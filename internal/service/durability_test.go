@@ -1,0 +1,164 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/wal"
+)
+
+// doRequest exercises the handler in-process (no listener needed).
+func doRequest(t *testing.T, srv *Server, method, path, body, contentType string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("bad JSON %q: %v", rec.Body, err)
+	}
+}
+
+// durableTestServer builds a daemon whose System runs on a WAL over the
+// given (possibly fault-injecting) filesystem.
+func durableTestServer(t *testing.T, fsys wal.FS) (*Server, *wal.Log) {
+	t.Helper()
+	log, err := wal.Open(t.TempDir(), wal.Config{FS: fsys, Fsync: wal.Policy{Mode: wal.FsyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := threatraptor.New(threatraptor.Options{WAL: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(sys, Config{WAL: log}), log
+}
+
+const durabilityLog = "5000\t5001\thostA\t100\t/bin/worker\tread\tfile\t/etc/passwd\t64\n" +
+	"5010\t5011\thostA\t100\t/bin/worker\twrite\tfile\t/tmp/out\t64\n"
+
+// TestIngestDegraded503: a disk fault flips ingest to 503 with the
+// reason surfaced in /stats, while hunts and stats keep serving.
+func TestIngestDegraded503(t *testing.T) {
+	ffs := wal.NewFaultFS(nil)
+	srv, _ := durableTestServer(t, ffs)
+
+	resp := doRequest(t, srv, http.MethodPost, "/ingest", durabilityLog, "text/plain")
+	if resp.Code != http.StatusOK {
+		t.Fatalf("healthy ingest: %d %s", resp.Code, resp.Body)
+	}
+
+	ffs.FailWritesAfter(0, false)
+	resp = doRequest(t, srv, http.MethodPost, "/ingest", durabilityLog, "text/plain")
+	if resp.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest: %d %s, want 503", resp.Code, resp.Body)
+	}
+
+	// Hunts still answer.
+	resp = doRequest(t, srv, http.MethodPost, "/hunt", "proc p read file f as e1\nreturn distinct p, f", "text/plain")
+	if resp.Code != http.StatusOK {
+		t.Fatalf("hunt while degraded: %d %s", resp.Code, resp.Body)
+	}
+
+	var st StatsResponse
+	statsResp := doRequest(t, srv, http.MethodGet, "/stats", "", "")
+	if statsResp.Code != http.StatusOK {
+		t.Fatalf("stats: %d", statsResp.Code)
+	}
+	decodeBody(t, statsResp, &st)
+	if st.DegradedReason == "" || !strings.Contains(st.DegradedReason, "append") {
+		t.Fatalf("degraded_reason = %q, want append fault", st.DegradedReason)
+	}
+	if st.WALRecords != 1 {
+		t.Fatalf("wal_records = %d, want 1 (only the healthy batch)", st.WALRecords)
+	}
+}
+
+// TestHuntQueryCache: repeated hunts with identical TBQL text hit the
+// analyzed-query cache and the counters surface in /stats.
+func TestHuntQueryCache(t *testing.T) {
+	srv, _ := durableTestServer(t, nil)
+	if resp := doRequest(t, srv, http.MethodPost, "/ingest", durabilityLog, "text/plain"); resp.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.Code, resp.Body)
+	}
+
+	src := "proc p read file f as e1\nreturn distinct p, f"
+	for i := 0; i < 3; i++ {
+		if resp := doRequest(t, srv, http.MethodPost, "/hunt", src, "text/plain"); resp.Code != http.StatusOK {
+			t.Fatalf("hunt %d: %d %s", i, resp.Code, resp.Body)
+		}
+	}
+	// A different query is its own entry.
+	other := "proc p write file f as e1\nreturn distinct f"
+	if resp := doRequest(t, srv, http.MethodPost, "/hunt", other, "text/plain"); resp.Code != http.StatusOK {
+		t.Fatalf("other hunt: %d %s", resp.Code, resp.Body)
+	}
+
+	var st StatsResponse
+	statsResp := doRequest(t, srv, http.MethodGet, "/stats", "", "")
+	decodeBody(t, statsResp, &st)
+	if st.QueryCacheHits != 2 || st.QueryCacheMisses != 2 || st.QueryCacheSize != 2 {
+		t.Fatalf("query cache hits/misses/size = %d/%d/%d, want 2/2/2",
+			st.QueryCacheHits, st.QueryCacheMisses, st.QueryCacheSize)
+	}
+}
+
+// TestStatsRecoveryFields: a daemon built over a recovered data dir
+// reports the recovery in /stats.
+func TestStatsRecoveryFields(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := threatraptor.New(threatraptor.Options{WAL: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(sys, Config{WAL: log})
+	if resp := doRequest(t, srv, http.MethodPost, "/ingest", durabilityLog, "text/plain"); resp.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.Code, resp.Body)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := wal.Open(dir, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := threatraptor.New(threatraptor.Options{WAL: log2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	srv2 := NewWithConfig(sys2, Config{WAL: log2})
+
+	var st StatsResponse
+	statsResp := doRequest(t, srv2, http.MethodGet, "/stats", "", "")
+	decodeBody(t, statsResp, &st)
+	if st.RecoveredEpoch != 1 || st.RecoveredCommits != 1 || !st.RecoveredClean {
+		t.Fatalf("recovery fields %d/%d/clean=%v, want 1/1/true",
+			st.RecoveredEpoch, st.RecoveredCommits, st.RecoveredClean)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("epoch after recovery = %d, want 1", st.Epoch)
+	}
+	if st.Events != 2 {
+		t.Fatalf("recovered store has %d events, want 2", st.Events)
+	}
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// DefaultQueryCacheSize is the default capacity of the daemon's TBQL
+// text → analyzed-query cache (Config.QueryCache overrides).
+const DefaultQueryCacheSize = 256
+
+// queryCache is an LRU from raw TBQL source text to its parsed and
+// analyzed form, sitting in front of POST /hunt: analysts re-running
+// the same hunt (every page of an offset-paging client, every refresh
+// of a dashboard) skip parse and analysis entirely. Safe because the
+// execution engine treats an analyzed query as read-only — one *Query
+// may serve any number of concurrent hunts.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type queryCacheEntry struct {
+	src string
+	q   *threatraptor.Query
+}
+
+// newQueryCache returns a cache with the given capacity, or nil (the
+// disabled cache — every lookup misses) for capacity < 1.
+func newQueryCache(capacity int) *queryCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &queryCache{
+		cap:   capacity,
+		items: make(map[string]*list.Element),
+		order: list.New(),
+	}
+}
+
+// get returns the cached analyzed query for src, or nil on a miss.
+func (c *queryCache) get(src string) *threatraptor.Query {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[src]
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*queryCacheEntry).q
+}
+
+// put stores the analyzed form of src, evicting the least recently
+// used entry beyond capacity.
+func (c *queryCache) put(src string, q *threatraptor.Query) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[src]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*queryCacheEntry).q = q
+		return
+	}
+	c.items[src] = c.order.PushFront(&queryCacheEntry{src: src, q: q})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*queryCacheEntry).src)
+	}
+}
+
+// counters returns the lifetime hit/miss counts and current size.
+func (c *queryCache) counters() (hits, misses int64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	size = c.order.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), size
+}

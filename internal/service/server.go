@@ -25,6 +25,7 @@ import (
 
 	"repro"
 	"repro/internal/exec"
+	"repro/internal/wal"
 )
 
 // DefaultHuntLimit is the page size used when a hunt request does not
@@ -81,6 +82,15 @@ type Config struct {
 	// MaxPage caps the per-request page size of POST /hunt and
 	// GET /hunt/next; larger limits get 400 (default DefaultMaxPage).
 	MaxPage int
+	// QueryCache caps the TBQL text → analyzed-query LRU in front of
+	// POST /hunt (0 = DefaultQueryCacheSize; negative disables it, so
+	// every hunt re-parses).
+	QueryCache int
+	// WAL, when the daemon runs with a data dir, is the durability log
+	// the System was built on. The server wires the cursor registry's
+	// low-water mark into it so segment compaction never drops an epoch
+	// an open cursor still pins.
+	WAL *wal.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPage <= 0 {
 		c.MaxPage = DefaultMaxPage
+	}
+	if c.QueryCache == 0 {
+		c.QueryCache = DefaultQueryCacheSize
 	}
 	return c
 }
@@ -127,6 +140,10 @@ type Server struct {
 	// cursors is the server-side cursor registry (TTL, LRU, epoch pins).
 	cursors *cursorManager
 
+	// queries caches parsed+analyzed TBQL keyed on raw source text, so
+	// repeat hunts skip parse and analysis (nil when disabled).
+	queries *queryCache
+
 	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
 	ingestSlots chan struct{}
 }
@@ -145,7 +162,17 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 		started:     time.Now(),
 		cfg:         cfg,
 		cursors:     newCursorManager(cfg.CursorTTL, cfg.MaxCursors),
+		queries:     newQueryCache(cfg.QueryCache),
 		ingestSlots: make(chan struct{}, cfg.IngestQueue),
+	}
+	if cfg.WAL != nil {
+		// Compaction must retain every epoch an open cursor pins: feed the
+		// registry's low-water mark to the log.
+		reg := s.cursors.reg
+		cfg.WAL.SetLowWater(func() (uint64, bool) {
+			e, ok := reg.LowWater()
+			return uint64(e), ok
+		})
 	}
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/hunt", s.handleHunt)
@@ -223,9 +250,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	stats, err := s.sys.IngestLogs(bytes.NewReader(body))
 	if err != nil {
-		// Parse failures are the client's fault; storage failures are ours.
+		// Parse failures are the client's fault; storage failures are
+		// ours; a degraded durability log means the whole service is
+		// read-only until an operator intervenes — 503, retry elsewhere.
 		status := http.StatusBadRequest
-		if errors.Is(err, threatraptor.ErrStorage) {
+		switch {
+		case errors.Is(err, threatraptor.ErrDegraded):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, threatraptor.ErrStorage):
 			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
@@ -387,6 +419,19 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	// The query cache fronts parsing: repeat hunts (offset-paging
+	// clients, refreshed dashboards) resolve their analyzed form by raw
+	// source text and skip parse+analysis. Execution never mutates an
+	// analyzed query, so one cached *Query serves concurrent hunts.
+	q := s.queries.get(req.Query)
+	if q == nil {
+		q, err = s.sys.ParseQuery(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.put(req.Query, q)
+	}
 	// A hunt that cannot register a cursor — the client declined one or
 	// is already offset-paging — is bounded at the skipped offset plus
 	// the page plus the one look-ahead row that decides whether more
@@ -396,9 +441,9 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	// one execution serves every later page.
 	var cur *threatraptor.Cursor
 	if req.NoCursor || req.Offset > 0 {
-		cur, err = s.sys.HuntCursorLimit(req.Query, req.Offset+req.Limit+1)
+		cur, err = s.sys.HuntQueryCursorLimit(q, req.Offset+req.Limit+1)
 	} else {
-		cur, err = s.sys.HuntCursor(req.Query)
+		cur, err = s.sys.HuntQueryCursor(q)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -672,10 +717,38 @@ type StatsResponse struct {
 	// counters; PlanCacheSize is how many plan templates it currently
 	// holds. Hits climbing while misses stay flat is the repeat-hunt
 	// workload skipping compile+parse entirely.
-	PlanCacheHits   int64   `json:"plan_cache_hits"`
-	PlanCacheMisses int64   `json:"plan_cache_misses"`
-	PlanCacheSize   int     `json:"plan_cache_size"`
-	UptimeSeconds   float64 `json:"uptime_seconds"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCacheSize   int   `json:"plan_cache_size"`
+	// QueryCacheHits/Misses count POST /hunt lookups of the TBQL text →
+	// analyzed-query cache; QueryCacheSize is its current entry count.
+	// A hit skips parse and analysis entirely.
+	QueryCacheHits   int64 `json:"query_cache_hits"`
+	QueryCacheMisses int64 `json:"query_cache_misses"`
+	QueryCacheSize   int   `json:"query_cache_size"`
+	// DegradedReason is non-empty when the durability log hit a disk
+	// fault and ingestion is refused with 503 (hunts keep working).
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// RecoveredEpoch / RecoveredCommits / RecoveredDroppedBytes report
+	// this process's restart recovery: the highest epoch restored, the
+	// commits replayed (segments + WAL tail), and the bytes discarded at
+	// the first torn record. RecoveredClean means the previous shutdown
+	// wrote its clean marker, so no tail truncation was possible. All
+	// zero for a memory-only daemon or a fresh data dir.
+	RecoveredEpoch        uint64 `json:"recovered_epoch"`
+	RecoveredCommits      int    `json:"recovered_commits"`
+	RecoveredDroppedBytes int64  `json:"recovered_dropped_bytes"`
+	RecoveredClean        bool   `json:"recovered_clean"`
+	// WALRecords/WALSyncs are lifetime durability-log counters;
+	// SegmentSets is the current on-disk segment-set count, with
+	// SegmentFlushes and Compactions as lifetime counters. All zero for
+	// a memory-only daemon.
+	WALRecords     int64   `json:"wal_records"`
+	WALSyncs       int64   `json:"wal_syncs"`
+	SegmentSets    int     `json:"segment_sets"`
+	SegmentFlushes int64   `json:"segment_flushes"`
+	Compactions    int64   `json:"compactions"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // handleStats reports store sizes and request counters. Reading stats
@@ -687,22 +760,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cursors.sweep()
 	planHits, planMisses, planSize := s.sys.PlanCacheStats()
+	qHits, qMisses, qSize := s.queries.counters()
+	recovery := s.sys.Recovery()
+	walStats := s.sys.WALStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		StoreStats:          s.sys.Stats(),
-		Hunts:               s.hunts.Load(),
-		Ingests:             s.ingests.Load(),
-		HuntExecutions:      s.executions.Load(),
-		Epoch:               uint64(s.sys.Epoch()),
-		OpenCursors:         s.cursors.open(),
-		EpochsPinned:        s.cursors.reg.Pinned(),
-		CursorPages:         s.cursors.pages.Load(),
-		CursorsExpired:      s.cursors.expired.Load(),
-		CursorsEvicted:      s.cursors.evicted.Load(),
-		PropagationsSkipped: s.propSkipped.Load(),
-		OptimizerReorders:   s.optReorders.Load(),
-		PlanCacheHits:       planHits,
-		PlanCacheMisses:     planMisses,
-		PlanCacheSize:       planSize,
-		UptimeSeconds:       time.Since(s.started).Seconds(),
+		StoreStats:            s.sys.Stats(),
+		Hunts:                 s.hunts.Load(),
+		Ingests:               s.ingests.Load(),
+		HuntExecutions:        s.executions.Load(),
+		Epoch:                 uint64(s.sys.Epoch()),
+		OpenCursors:           s.cursors.open(),
+		EpochsPinned:          s.cursors.reg.Pinned(),
+		CursorPages:           s.cursors.pages.Load(),
+		CursorsExpired:        s.cursors.expired.Load(),
+		CursorsEvicted:        s.cursors.evicted.Load(),
+		PropagationsSkipped:   s.propSkipped.Load(),
+		OptimizerReorders:     s.optReorders.Load(),
+		PlanCacheHits:         planHits,
+		PlanCacheMisses:       planMisses,
+		PlanCacheSize:         planSize,
+		QueryCacheHits:        qHits,
+		QueryCacheMisses:      qMisses,
+		QueryCacheSize:        qSize,
+		DegradedReason:        walStats.DegradedReason,
+		RecoveredEpoch:        recovery.Epoch,
+		RecoveredCommits:      recovery.Commits,
+		RecoveredDroppedBytes: recovery.DroppedBytes,
+		RecoveredClean:        recovery.Clean,
+		WALRecords:            walStats.Records,
+		WALSyncs:              walStats.Syncs,
+		SegmentSets:           walStats.SegmentSets,
+		SegmentFlushes:        walStats.SegmentFlushes,
+		Compactions:           walStats.Compactions,
+		UptimeSeconds:         time.Since(s.started).Seconds(),
 	})
 }

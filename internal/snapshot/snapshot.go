@@ -36,6 +36,12 @@ func (c *Clock) Advance() Epoch { return Epoch(c.cur.Add(1)) }
 // Current returns the latest committed epoch.
 func (c *Clock) Current() Epoch { return Epoch(c.cur.Load()) }
 
+// Reset seeds the clock at e. Restart recovery calls it once, before
+// any reader exists, so the epoch space continues where the recovered
+// log left off instead of reissuing epochs durably claimed by previous
+// commits.
+func (c *Clock) Reset(e Epoch) { c.cur.Store(uint64(e)) }
+
 // Registry reference-counts pinned epochs. It is safe for concurrent
 // use. Pinning is advisory — the append-only stores never need a pin to
 // answer a bounded read — but the registry is what gives epoch GC its

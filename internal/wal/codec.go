@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/audit"
+)
+
+// Commit is one durable ingest commit: the epoch that names it, the
+// entities the batch newly interned, and the events it stored (post-CPR
+// when reduction is on — exactly the rows the stores hold). The graph
+// edges are not written separately: both backends derive their rows
+// from the same entities and events on replay.
+type Commit struct {
+	Epoch    uint64
+	Entities []*audit.Entity
+	Events   []*audit.Event
+}
+
+// Framing: every record is [length u32le][crc32c u32le][payload], where
+// length counts payload bytes and the CRC covers the payload. A record
+// whose frame runs past the end of the file, whose length is zero or
+// implausibly large, or whose CRC does not match is a torn or corrupt
+// tail: recovery stops there and truncates.
+const (
+	frameHeaderLen = 8
+	// maxRecordLen bounds a single record so a corrupt length field can
+	// never drive a multi-gigabyte allocation.
+	maxRecordLen = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a record that is present but fails validation (CRC
+// mismatch, bad length, or undecodable payload) — as opposed to a clean
+// end of file.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// appendUint appends v as an unsigned varint.
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// appendInt appends v as a zigzag varint.
+func appendInt(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendEntity(b []byte, e *audit.Entity) []byte {
+	b = appendInt(b, e.ID)
+	b = append(b, byte(e.Type))
+	b = appendString(b, e.Host)
+	b = appendString(b, e.Path)
+	b = appendString(b, e.ExeName)
+	b = appendInt(b, int64(e.PID))
+	b = appendString(b, e.SrcIP)
+	b = appendInt(b, int64(e.SrcPort))
+	b = appendString(b, e.DstIP)
+	b = appendInt(b, int64(e.DstPort))
+	b = appendString(b, e.Proto)
+	return b
+}
+
+func appendEvent(b []byte, ev *audit.Event) []byte {
+	b = appendInt(b, ev.ID)
+	b = appendInt(b, ev.SrcID)
+	b = appendInt(b, ev.DstID)
+	b = append(b, byte(ev.Op))
+	b = appendInt(b, ev.StartTime)
+	b = appendInt(b, ev.EndTime)
+	b = appendInt(b, ev.Amount)
+	b = appendString(b, ev.Host)
+	return b
+}
+
+// appendCommitPayload appends the commit's payload bytes (no frame).
+func appendCommitPayload(b []byte, c *Commit) []byte {
+	b = appendUint(b, c.Epoch)
+	b = appendUint(b, uint64(len(c.Entities)))
+	for _, e := range c.Entities {
+		b = appendEntity(b, e)
+	}
+	b = appendUint(b, uint64(len(c.Events)))
+	for _, ev := range c.Events {
+		b = appendEvent(b, ev)
+	}
+	return b
+}
+
+// AppendRecord appends the commit as one framed record to b and returns
+// the extended slice. The frame is what Append writes in a single Write
+// call, so a crash tears at most the final record.
+func AppendRecord(b []byte, c *Commit) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	b = appendCommitPayload(b, c)
+	payload := b[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, crcTable))
+	return b
+}
+
+// decoder walks a payload buffer; every read is bounds-checked so a
+// corrupt payload yields an error, never a panic.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) int() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string past end")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) entity() *audit.Entity {
+	e := &audit.Entity{}
+	e.ID = d.int()
+	e.Type = audit.EntityType(d.byte())
+	e.Host = d.string()
+	e.Path = d.string()
+	e.ExeName = d.string()
+	e.PID = int(d.int())
+	e.SrcIP = d.string()
+	e.SrcPort = int(d.int())
+	e.DstIP = d.string()
+	e.DstPort = int(d.int())
+	e.Proto = d.string()
+	return e
+}
+
+func (d *decoder) event() *audit.Event {
+	ev := &audit.Event{}
+	ev.ID = d.int()
+	ev.SrcID = d.int()
+	ev.DstID = d.int()
+	ev.Op = audit.OpType(d.byte())
+	ev.StartTime = d.int()
+	ev.EndTime = d.int()
+	ev.Amount = d.int()
+	ev.Host = d.string()
+	return ev
+}
+
+// DecodeCommit decodes one record payload. It never panics: corrupt
+// payloads return ErrCorrupt-wrapped errors, and element counts are
+// validated against the remaining bytes before allocation so a flipped
+// count byte cannot drive an outsized allocation.
+func DecodeCommit(payload []byte) (*Commit, error) {
+	d := &decoder{b: payload}
+	c := &Commit{Epoch: d.uint()}
+	nEnt := d.uint()
+	if d.err == nil && nEnt > uint64(len(payload)) {
+		d.fail("entity count past end")
+	}
+	if d.err == nil && nEnt > 0 {
+		c.Entities = make([]*audit.Entity, 0, nEnt)
+		for i := uint64(0); i < nEnt && d.err == nil; i++ {
+			c.Entities = append(c.Entities, d.entity())
+		}
+	}
+	nEvt := d.uint()
+	if d.err == nil && nEvt > uint64(len(payload)) {
+		d.fail("event count past end")
+	}
+	if d.err == nil && nEvt > 0 {
+		c.Events = make([]*audit.Event, 0, nEvt)
+		for i := uint64(0); i < nEvt && d.err == nil; i++ {
+			c.Events = append(c.Events, d.event())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload)-d.off)
+	}
+	return c, nil
+}
+
+// Reader decodes framed commit records from a stream. Next returns
+// io.EOF at a clean end of stream and an ErrCorrupt-wrapped error at a
+// torn or corrupt record; Offset reports how many bytes of intact
+// records have been consumed — the truncation point on corruption.
+type Reader struct {
+	r   *bufio.Reader
+	off int64
+	buf []byte
+}
+
+// NewReader wraps r for record decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset is the byte offset just past the last successfully decoded
+// record.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Next decodes the next record. io.EOF means a clean end; any other
+// error means the stream is torn or corrupt at Offset.
+func (r *Reader) Next() (*Commit, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		// A partial header is a torn tail.
+		return nil, fmt.Errorf("%w: torn frame header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	if cap(r.buf) < int(n) {
+		// Grow via the reader, not blindly: a corrupt length under the cap
+		// still only allocates what the stream can actually supply.
+		r.buf = make([]byte, 0, min(int(n), 1<<20))
+	}
+	r.buf = r.buf[:0]
+	for len(r.buf) < int(n) {
+		chunk := min(int(n)-len(r.buf), 1<<20)
+		start := len(r.buf)
+		r.buf = append(r.buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r.r, r.buf[start:]); err != nil {
+			return nil, fmt.Errorf("%w: torn record body", ErrCorrupt)
+		}
+	}
+	if crc32.Checksum(r.buf, crcTable) != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	c, err := DecodeCommit(r.buf)
+	if err != nil {
+		return nil, err
+	}
+	r.off += int64(frameHeaderLen) + int64(n)
+	return c, nil
+}

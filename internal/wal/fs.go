@@ -1,0 +1,227 @@
+// Package wal is ThreatRaptor's durability subsystem: a batch-atomic
+// write-ahead log on the ingest path, periodic immutable segment
+// snapshots, restart recovery (segments + WAL tail replay), and
+// low-water compaction. Every ingest commit appends one
+// length-prefixed, CRC32-checksummed record — the commit's epoch, its
+// newly interned entities, and its stored events (the graph edges are
+// derived from the same events on replay) — so kill -9 at any instant
+// loses at most the un-fsynced tail, never a committed-and-acknowledged
+// batch.
+//
+// The package talks to the disk only through the FS interface, so the
+// crash-recovery tests can inject faults (fail-at-Nth-write, short
+// writes, fsync errors) with FaultFS instead of needing a real faulty
+// disk. Any write or sync failure flips the Log into a permanent
+// degraded state: ingestion must stop (the daemon answers 503), reads
+// keep working, and nothing panics.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the subset of *os.File the log needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS is the filesystem surface the log runs on. OSFS is the real disk;
+// FaultFS wraps any FS with injectable faults.
+type FS interface {
+	MkdirAll(path string) error
+	// OpenFile opens with the given os.O_* flags (mode 0o644 for creates).
+	OpenFile(name string, flag int) (File, error)
+	Remove(name string) error
+	// ReadDir lists the names (not paths) of the directory's entries in
+	// lexical order.
+	ReadDir(name string) ([]string, error)
+	// Size reports the file's size in bytes.
+	Size(name string) (int64, error)
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so renames/creates within it are durable.
+	SyncDir(name string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OSFS) OpenFile(name string, flag int) (File, error) {
+	return os.OpenFile(name, flag, 0o644)
+}
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// FaultFS wraps an FS with injectable fault points for the
+// crash-recovery tests: fail the Nth write (optionally after a short
+// write, modeling a torn record), and fail fsyncs. The zero fault
+// configuration passes everything through.
+type FaultFS struct {
+	Inner FS
+
+	mu sync.Mutex
+	// writesLeft counts successful writes remaining before writes start
+	// failing; -1 means writes never fail.
+	writesLeft int
+	// short makes the first failing write persist a prefix of its bytes
+	// before erroring, modeling a torn (partial) write.
+	short bool
+	// failSyncs makes File.Sync and SyncDir fail.
+	failSyncs bool
+	// writes counts every File.Write observed (for test assertions).
+	writes int
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem) with no faults
+// armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{Inner: inner, writesLeft: -1}
+}
+
+// FailWritesAfter arms the write fault: the next n writes succeed, and
+// every write after that fails. With short set, the first failing write
+// persists the first half of its bytes before reporting the error.
+func (f *FaultFS) FailWritesAfter(n int, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft = n
+	f.short = short
+}
+
+// FailSyncs toggles the fsync fault (File.Sync and SyncDir fail).
+func (f *FaultFS) FailSyncs(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs = v
+}
+
+// Writes reports how many File.Write calls have been observed.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// ErrInjected is the error every armed FaultFS fault reports.
+var ErrInjected = errInjected{}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "wal: injected fault" }
+
+func (f *FaultFS) MkdirAll(path string) error { return f.Inner.MkdirAll(path) }
+
+func (f *FaultFS) OpenFile(name string, flag int) (File, error) {
+	file, err := f.Inner.OpenFile(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Remove(name string) error             { return f.Inner.Remove(name) }
+func (f *FaultFS) ReadDir(name string) ([]string, error) { return f.Inner.ReadDir(name) }
+func (f *FaultFS) Size(name string) (int64, error)      { return f.Inner.Size(name) }
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.Inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	f.mu.Lock()
+	fail := f.failSyncs
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.Inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (w *faultFile) Read(p []byte) (int, error) { return w.f.Read(p) }
+func (w *faultFile) Close() error               { return w.f.Close() }
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	fail := w.fs.writesLeft == 0
+	short := fail && w.fs.short
+	if w.fs.writesLeft > 0 {
+		w.fs.writesLeft--
+	}
+	// A short write only tears the first failing write; later failing
+	// writes persist nothing.
+	if short {
+		w.fs.short = false
+	}
+	w.fs.mu.Unlock()
+	if !fail {
+		return w.f.Write(p)
+	}
+	if short && len(p) > 1 {
+		n, err := w.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	fail := w.fs.failSyncs
+	w.fs.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}

@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// The segment loop flushes pending commits into a segment set on its
+// own timer, without an explicit FlushSegments call.
+func TestSegmentLoopFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{
+		Fsync:           Policy{Mode: FsyncNever},
+		SegmentInterval: 10 * time.Millisecond,
+	})
+	defer l.Close()
+	if _, err := l.Append(testCommit(1, 2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().SegmentSets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("segment loop never flushed the pending commit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := l.Stats(); st.PendingCommits != 0 || st.SegmentFlushes < 1 {
+		t.Fatalf("after loop flush: %+v", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for s, p := range map[string]Policy{
+		"always": {Mode: FsyncAlways},
+		"never":  {Mode: FsyncNever},
+		"250ms":  {Mode: FsyncBatched, Interval: 250 * time.Millisecond},
+	} {
+		if got := p.String(); got != s {
+			t.Errorf("Policy%+v.String() = %q, want %q", p, got, s)
+		}
+		// String output round-trips through ParsePolicy.
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %+v, %v, want %+v", s, back, err, p)
+		}
+	}
+}
+
+func TestLogAccessors(t *testing.T) {
+	dir := t.TempDir()
+	l, _, info := openReplay(t, dir, Config{Fsync: Policy{Mode: FsyncNever}})
+	defer l.Close()
+	if l.Dir() != dir {
+		t.Errorf("Dir() = %q, want %q", l.Dir(), dir)
+	}
+	if l.Recovery() != info {
+		t.Errorf("Recovery() = %+v, want the replay's %+v", l.Recovery(), info)
+	}
+}
+
+// FaultFS passes reads and file maintenance through to the inner FS
+// untouched — only writes and syncs are fault points.
+func TestFaultFSPassthrough(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	name := dir + "/f"
+	f, err := ffs.OpenFile(name, os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ffs.Writes(); n != 1 {
+		t.Fatalf("Writes() = %d, want 1", n)
+	}
+	r, err := ffs.OpenFile(name, os.O_RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if n, _ := r.Read(buf); string(buf[:n]) != "hello" {
+		t.Fatalf("read back %q", buf[:n])
+	}
+	r.Close()
+	if err := ffs.Truncate(name, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := ffs.Size(name); err != nil || sz != 2 {
+		t.Fatalf("Size after truncate = %d, %v", sz, err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.Size(name); err == nil {
+		t.Fatal("removed file still has a size")
+	}
+}

@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// Segment snapshots are immutable, epoch-tagged files covering a
+// contiguous epoch range (lo, hi]: one entities file holding every
+// entity interned in the range, plus one events file per store shard
+// holding that shard's events. A set is written from the already
+// committed (immutable) deltas, so snapshotting never blocks ingest,
+// and it only becomes visible to recovery once its ".ok" marker is
+// durable — a crash mid-write leaves an incomplete set that the next
+// recovery ignores and garbage collects. Once a set covers a WAL
+// prefix, those WAL files rotate away; recovery loads segment sets in
+// range order and then replays only the WAL tail.
+//
+// File layout inside the data dir:
+//
+//	segments/ep<lo>-<hi>.ents.seg   entities interned in (lo, hi]
+//	segments/ep<lo>-<hi>.ev<k>.seg  shard k's events in (lo, hi]
+//	segments/ep<lo>-<hi>.ok         completion marker (written last)
+//
+// Each file is a stream of framed commit records (the WAL codec), so
+// replay shares one decode path with the log.
+
+const segmentsDir = "segments"
+
+// segSet is one on-disk segment set.
+type segSet struct {
+	lo, hi uint64
+	// names of the set's data files (within segments/), entities first.
+	files []string
+	ok    bool
+}
+
+func segName(lo, hi uint64, suffix string) string {
+	return fmt.Sprintf("ep%d-%d.%s", lo, hi, suffix)
+}
+
+// parseSegName splits "ep<lo>-<hi>.<suffix>" into its parts.
+func parseSegName(name string) (lo, hi uint64, suffix string, ok bool) {
+	var rest string
+	if n, err := fmt.Sscanf(name, "ep%d-%d.%s", &lo, &hi, &rest); n != 3 || err != nil {
+		return 0, 0, "", false
+	}
+	if hi <= lo {
+		return 0, 0, "", false
+	}
+	return lo, hi, rest, true
+}
+
+// listSets scans the segments directory and returns the complete sets
+// in ascending range order, plus the names of files belonging to
+// incomplete sets (no ".ok" marker — crash debris for the caller to
+// clean up).
+func listSets(fsys FS, dir string) (sets []segSet, debris []string, err error) {
+	names, err := fsys.ReadDir(filepath.Join(dir, segmentsDir))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	type entry struct {
+		files []string
+		ok    bool
+	}
+	byRange := map[[2]uint64]*entry{}
+	for _, name := range names {
+		lo, hi, suffix, good := parseSegName(name)
+		if !good {
+			continue
+		}
+		e := byRange[[2]uint64{lo, hi}]
+		if e == nil {
+			e = &entry{}
+			byRange[[2]uint64{lo, hi}] = e
+		}
+		if suffix == "ok" {
+			e.ok = true
+		} else {
+			e.files = append(e.files, name)
+		}
+	}
+	for r, e := range byRange {
+		if !e.ok {
+			debris = append(debris, e.files...)
+			continue
+		}
+		// Entities sort before events lexically ("ents.seg" < "ev0.seg"),
+		// and ReadDir is sorted, so e.files is already in apply order.
+		sets = append(sets, segSet{lo: r[0], hi: r[1], files: e.files, ok: true})
+	}
+	sortSets(sets)
+	return sets, debris, nil
+}
+
+func sortSets(sets []segSet) {
+	for i := 1; i < len(sets); i++ {
+		for j := i; j > 0 && less(sets[j], sets[j-1]); j-- {
+			sets[j], sets[j-1] = sets[j-1], sets[j]
+		}
+	}
+}
+
+// less orders sets by lo ascending, then hi DESCENDING, so a merged
+// superset sorts before the narrower sets it shadows and the coverage
+// chain naturally prefers it.
+func less(a, b segSet) bool {
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	return a.hi > b.hi
+}
+
+// chainSets walks the sorted sets, keeping the maximal contiguous
+// coverage chain from epoch 0 and separating shadowed or stale sets
+// (already covered by a merged superset) for deletion. A gap in
+// coverage ends the chain: later sets cannot be applied without the
+// missing range, so they are reported as orphans and recovery fails
+// loudly rather than silently skipping data.
+func chainSets(sets []segSet) (chain, stale []segSet, orphan *segSet) {
+	covered := uint64(0)
+	for i := range sets {
+		s := sets[i]
+		switch {
+		case s.hi <= covered:
+			stale = append(stale, s)
+		case s.lo <= covered:
+			// Contiguous (s.lo == covered) — overlap below covered cannot
+			// happen for merge products, which always start at a previous
+			// set boundary.
+			chain = append(chain, s)
+			covered = s.hi
+		default:
+			o := s
+			return chain, stale, &o
+		}
+	}
+	return chain, stale, nil
+}
+
+// writeSet writes one segment set covering (lo, hi] from the given
+// commits, partitioning events across shards, and makes it durable
+// (files synced, then the ".ok" marker, then the directory). Returns
+// the set descriptor.
+func writeSet(fsys FS, dir string, lo, hi uint64, commits []*Commit, shards int) (segSet, error) {
+	segDir := filepath.Join(dir, segmentsDir)
+	set := segSet{lo: lo, hi: hi, ok: true}
+
+	writeFile := func(name string, records []byte) error {
+		f, err := fsys.OpenFile(filepath.Join(segDir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(records); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	// Entities file: one record per commit that interned entities.
+	var buf []byte
+	for _, c := range commits {
+		if len(c.Entities) == 0 {
+			continue
+		}
+		buf = AppendRecord(buf, &Commit{Epoch: c.Epoch, Entities: c.Entities})
+	}
+	if len(buf) > 0 {
+		name := segName(lo, hi, "ents.seg")
+		if err := writeFile(name, buf); err != nil {
+			return set, err
+		}
+		set.files = append(set.files, name)
+	}
+
+	// Per-shard events files.
+	for k := 0; k < shards; k++ {
+		buf = buf[:0]
+		for _, c := range commits {
+			var shardEvents []*audit.Event
+			for _, ev := range c.Events {
+				if audit.ShardIndex(ev.Host, shards) == k {
+					shardEvents = append(shardEvents, ev)
+				}
+			}
+			if len(shardEvents) == 0 {
+				continue
+			}
+			buf = AppendRecord(buf, &Commit{Epoch: c.Epoch, Events: shardEvents})
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		name := segName(lo, hi, fmt.Sprintf("ev%d.seg", k))
+		if err := writeFile(name, buf); err != nil {
+			return set, err
+		}
+		set.files = append(set.files, name)
+	}
+
+	// The marker commits the set; write it only after every data file is
+	// durable, and sync the directory so the names are too.
+	if err := writeFile(segName(lo, hi, "ok"), nil); err != nil {
+		return set, err
+	}
+	if err := fsys.SyncDir(segDir); err != nil {
+		return set, err
+	}
+	return set, nil
+}
+
+// readSet streams a complete set's commits to apply, entities file
+// first. Segment files were fully synced before their marker, so any
+// decode failure is real corruption and aborts recovery.
+func readSet(fsys FS, dir string, s segSet, apply func(*Commit) error) error {
+	for _, name := range s.files {
+		path := filepath.Join(dir, segmentsDir, name)
+		f, err := fsys.OpenFile(path, os.O_RDONLY)
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", name, err)
+		}
+		r := NewReader(f)
+		for {
+			c, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal: segment %s: %w", name, err)
+			}
+			if err := apply(c); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeSet deletes a set, marker first: a crash mid-delete leaves an
+// incomplete set that the next recovery sweeps as debris.
+func removeSet(fsys FS, dir string, s segSet) error {
+	segDir := filepath.Join(dir, segmentsDir)
+	if err := fsys.Remove(filepath.Join(segDir, segName(s.lo, s.hi, "ok"))); err != nil {
+		return err
+	}
+	for _, name := range s.files {
+		if err := fsys.Remove(filepath.Join(segDir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeSets compacts eligible sets into one covering their union,
+// applying the retention cutoff: events whose EndTime is older than
+// cutoff (0 = keep everything) are dropped, which is how old audit
+// evidence ages out of the store — the merged segment is what a restart
+// loads, so the in-memory footprint is bounded across restarts too.
+// Entities are always retained; they are small and later events may
+// reference them.
+func mergeSets(fsys FS, dir string, sets []segSet, shards int, cutoff int64) (segSet, error) {
+	var commits []*Commit
+	for _, s := range sets {
+		if err := readSet(fsys, dir, s, func(c *Commit) error {
+			if cutoff > 0 && len(c.Events) > 0 {
+				kept := c.Events[:0]
+				for _, ev := range c.Events {
+					if ev.EndTime >= cutoff {
+						kept = append(kept, ev)
+					}
+				}
+				c.Events = kept
+			}
+			if len(c.Entities) > 0 || len(c.Events) > 0 {
+				commits = append(commits, c)
+			}
+			return nil
+		}); err != nil {
+			return segSet{}, err
+		}
+	}
+	lo, hi := sets[0].lo, sets[len(sets)-1].hi
+	merged, err := writeSet(fsys, dir, lo, hi, commits, shards)
+	if err != nil {
+		return segSet{}, err
+	}
+	for _, s := range sets {
+		if err := removeSet(fsys, dir, s); err != nil {
+			return segSet{}, err
+		}
+	}
+	return merged, nil
+}
+
+// retentionCutoff converts a retention window into an EndTime cutoff in
+// unix nanoseconds (0 = no cutoff).
+func retentionCutoff(retention time.Duration, now func() time.Time) int64 {
+	if retention <= 0 {
+		return 0
+	}
+	return now().Add(-retention).UnixNano()
+}

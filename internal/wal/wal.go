@@ -1,0 +1,757 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncMode selects the log's durability/throughput trade-off.
+type FsyncMode int
+
+const (
+	// FsyncBatched fsyncs on a timer: an acknowledged batch may lose up
+	// to one interval of commits on a crash, but concurrent ingests never
+	// wait on the disk.
+	FsyncBatched FsyncMode = iota
+	// FsyncAlways fsyncs before every acknowledgement, with group commit:
+	// concurrent ingests that append while a sync is in flight share the
+	// next one. An acknowledged batch survives kill -9.
+	FsyncAlways
+	// FsyncNever leaves syncing to the OS page cache (and rotation /
+	// shutdown). Fastest; a crash loses whatever the kernel had not
+	// flushed.
+	FsyncNever
+)
+
+// Policy is a parsed -fsync flag value.
+type Policy struct {
+	Mode FsyncMode
+	// Interval is the batched-mode sync period (ignored otherwise).
+	Interval time.Duration
+}
+
+func (p Policy) String() string {
+	switch p.Mode {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return p.Interval.String()
+	}
+}
+
+// ParsePolicy parses a -fsync flag value: "always", "never", or a
+// batched-sync interval such as "100ms".
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return Policy{Mode: FsyncAlways}, nil
+	case "never":
+		return Policy{Mode: FsyncNever}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return Policy{}, fmt.Errorf("wal: -fsync wants always, never, or a positive interval like 100ms (got %q)", s)
+	}
+	return Policy{Mode: FsyncBatched, Interval: d}, nil
+}
+
+// Config tunes a Log.
+type Config struct {
+	// Fsync is the durability policy (zero value: batched at 100ms).
+	Fsync Policy
+	// SegmentInterval is how often pending commits are flushed into an
+	// immutable segment set (and the WAL rotated). 0 disables segment
+	// snapshots: the WAL grows until shutdown, and recovery replays it
+	// end to end.
+	SegmentInterval time.Duration
+	// Retention ages out events older than this at compaction (0 = keep
+	// forever). Age-out applies to the on-disk segments immediately and
+	// to the in-memory store at the next restart.
+	Retention time.Duration
+	// Shards partitions segment event files (match the System's shard
+	// count; 0 means 1).
+	Shards int
+	// FS overrides the filesystem (nil = the real disk). Tests inject
+	// FaultFS here.
+	FS FS
+	// Now overrides the clock for retention cutoffs (nil = time.Now).
+	Now func() time.Time
+}
+
+// DefaultFsyncInterval is the batched-mode sync period when none is
+// configured.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// cleanMarker is the clean-shutdown marker file: present exactly when
+// the previous process closed the log cleanly, so recovery can treat a
+// torn WAL tail as the hard error it then is instead of expected crash
+// debris. It is removed as soon as recovery has read it.
+const cleanMarker = "CLEAN"
+
+// ErrDegraded marks operations refused because the log hit a disk
+// fault and went read-only.
+var ErrDegraded = errors.New("wal: degraded")
+
+// RecoveryInfo summarises one restart recovery.
+type RecoveryInfo struct {
+	// Epoch is the highest epoch recovered (segments + WAL tail).
+	Epoch uint64 `json:"epoch"`
+	// Commits is how many commits were replayed into the stores.
+	Commits int `json:"commits"`
+	// SegmentSets is how many complete segment sets were loaded.
+	SegmentSets int `json:"segment_sets"`
+	// WALRecords is how many records the WAL tail replay applied.
+	WALRecords int `json:"wal_records"`
+	// DroppedBytes counts bytes discarded at the first torn or corrupt
+	// WAL record (the un-fsynced tail a crash may leave).
+	DroppedBytes int64 `json:"dropped_bytes"`
+	// Clean reports that the previous shutdown wrote the clean marker,
+	// so no tail truncation was even possible.
+	Clean bool `json:"clean"`
+}
+
+// Stats is a point-in-time observability snapshot of the log.
+type Stats struct {
+	Records        int64  `json:"records"`
+	Syncs          int64  `json:"syncs"`
+	SegmentSets    int    `json:"segment_sets"`
+	SegmentFlushes int64  `json:"segment_flushes"`
+	Compactions    int64  `json:"compactions"`
+	PendingCommits int    `json:"pending_commits"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+}
+
+// Ack waits for a commit's configured durability; callers invoke it
+// after releasing their own locks so concurrent ingests share syncs.
+// A nil Ack (batched/never modes) needs no wait.
+type Ack func() error
+
+// walFile is one on-disk WAL file: it holds records with epochs in
+// (base, next file's base] — the active (last) file up to the latest
+// appended epoch.
+type walFile struct {
+	name string
+	base uint64
+}
+
+// Log is the durability manager for one data directory: the active
+// WAL file, the segment sets, and the background sync/flush loops.
+//
+// Locking: mu guards the active file, the pending delta list, and the
+// file/set inventories. Appends hold mu only for the encode+write;
+// syncs run under syncMu against atomically published sequence
+// numbers, so a group commit's fsync never blocks the next append.
+type Log struct {
+	dir string
+	fs  FS
+	cfg Config
+	now func() time.Time
+
+	mu       sync.Mutex
+	file     File
+	fileName string
+	files    []walFile // ascending base; last is active
+	// lastEpoch is the highest epoch ever appended (or recovered).
+	lastEpoch uint64
+	// segCovered is the highest epoch durable in segment sets; WAL
+	// records at or below it are redundant.
+	segCovered uint64
+	// pending holds commits appended (or replayed from the WAL tail)
+	// but not yet flushed into a segment set. References only: the
+	// entities and events are the same immutable objects the stores
+	// hold.
+	pending []*Commit
+	sets    []segSet
+	encBuf  []byte
+	// replayed flips once Replay has run; Append refuses before that.
+	replayed bool
+	closed   bool
+
+	// appendSeq numbers appended records; syncedSeq trails it at the
+	// last fsync. Group commit: an Ack whose seq <= syncedSeq returns
+	// immediately, otherwise one waiter syncs for everyone queued.
+	appendSeq atomic.Uint64
+	syncedSeq atomic.Uint64
+	syncMu    sync.Mutex
+
+	degradedReason atomic.Pointer[string]
+
+	lowWater atomic.Pointer[func() (uint64, bool)]
+
+	records        atomic.Int64
+	syncs          atomic.Int64
+	segmentFlushes atomic.Int64
+	compactions    atomic.Int64
+
+	recovery RecoveryInfo
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loops    sync.WaitGroup
+}
+
+// Open prepares a Log on dir. It creates the directory layout but does
+// not read or replay anything yet: call Replay (exactly once, even on
+// a fresh directory) to recover existing state and start the
+// background sync and segment loops; only then may Append be called.
+func Open(dir string, cfg Config) (*Log, error) {
+	if cfg.FS == nil {
+		cfg.FS = OSFS{}
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Fsync.Mode == FsyncBatched && cfg.Fsync.Interval <= 0 {
+		cfg.Fsync.Interval = DefaultFsyncInterval
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	if err := cfg.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := cfg.FS.MkdirAll(filepath.Join(dir, segmentsDir)); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{
+		dir:  dir,
+		fs:   cfg.FS,
+		cfg:  cfg,
+		now:  now,
+		stop: make(chan struct{}),
+	}, nil
+}
+
+// Dir returns the log's data directory.
+func (l *Log) Dir() string { return l.dir }
+
+func walName(base uint64) string { return fmt.Sprintf("wal-%d.log", base) }
+
+func parseWalName(name string) (uint64, bool) {
+	var base uint64
+	var rest string
+	if n, _ := fmt.Sscanf(name, "wal-%d.%s", &base, &rest); n != 2 || rest != "log" {
+		return 0, false
+	}
+	return base, true
+}
+
+// Replay recovers the directory's durable state — newest valid segment
+// sets in range order, then the WAL tail — invoking apply once per
+// recovered commit, in an order safe to load (entities always precede
+// the events that reference them). The WAL is truncated at the first
+// torn or corrupt record; everything after it (including later WAL
+// files) is dropped and counted. Replay then retains the WAL tail's
+// commits as the pending delta set (the next segment flush covers
+// them), resumes appending, and starts the background sync and
+// segment-flush loops.
+func (l *Log) Replay(apply func(*Commit) error) (RecoveryInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return l.recovery, errors.New("wal: Replay called twice")
+	}
+	info := RecoveryInfo{}
+
+	// Clean marker: read-and-remove, so a crash after this startup is
+	// never mislabeled clean.
+	markerPath := filepath.Join(l.dir, cleanMarker)
+	if _, err := l.fs.Size(markerPath); err == nil {
+		info.Clean = true
+		if err := l.fs.Remove(markerPath); err != nil {
+			return info, fmt.Errorf("wal: removing clean marker: %w", err)
+		}
+	}
+
+	// Segment sets: sweep crash debris, then load the coverage chain.
+	sets, debris, err := listSets(l.fs, l.dir)
+	if err != nil {
+		return info, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	for _, name := range debris {
+		_ = l.fs.Remove(filepath.Join(l.dir, segmentsDir, name))
+	}
+	chain, stale, orphan := chainSets(sets)
+	if orphan != nil {
+		return info, fmt.Errorf("wal: segment coverage gap before ep%d-%d (data dir damaged?)", orphan.lo, orphan.hi)
+	}
+	for _, s := range stale {
+		_ = removeSet(l.fs, l.dir, s)
+	}
+	for _, s := range chain {
+		if err := readSet(l.fs, l.dir, s, func(c *Commit) error {
+			info.Commits++
+			if c.Epoch > info.Epoch {
+				info.Epoch = c.Epoch
+			}
+			return apply(c)
+		}); err != nil {
+			return info, err
+		}
+		l.segCovered = s.hi
+	}
+	if l.segCovered > info.Epoch {
+		info.Epoch = l.segCovered
+	}
+	l.sets = chain
+	info.SegmentSets = len(chain)
+
+	// WAL files in base order; replay records above the segment cover.
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return info, fmt.Errorf("wal: %w", err)
+	}
+	var files []walFile
+	for _, name := range names {
+		if base, ok := parseWalName(name); ok {
+			files = append(files, walFile{name: name, base: base})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].base < files[j].base })
+
+	truncated := false
+	for i, wf := range files {
+		if truncated {
+			// Everything after the first torn record is dropped: record
+			// order is the commit order, so nothing beyond the tear can be
+			// applied safely.
+			if sz, err := l.fs.Size(filepath.Join(l.dir, wf.name)); err == nil {
+				info.DroppedBytes += sz
+			}
+			_ = l.fs.Remove(filepath.Join(l.dir, wf.name))
+			continue
+		}
+		path := filepath.Join(l.dir, wf.name)
+		f, err := l.fs.OpenFile(path, os.O_RDONLY)
+		if err != nil {
+			return info, fmt.Errorf("wal: %w", err)
+		}
+		r := NewReader(f)
+		var readErr error
+		for {
+			c, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				break
+			}
+			if c.Epoch <= l.segCovered {
+				continue // already durable in a segment
+			}
+			info.WALRecords++
+			info.Commits++
+			if c.Epoch > info.Epoch {
+				info.Epoch = c.Epoch
+			}
+			if err := apply(c); err != nil {
+				f.Close()
+				return info, err
+			}
+			l.pending = append(l.pending, c)
+		}
+		f.Close()
+		if readErr != nil {
+			if info.Clean {
+				// A cleanly shut down log has no business containing a torn
+				// record: surface the corruption instead of truncating.
+				return info, fmt.Errorf("wal: %s corrupt after clean shutdown: %w", wf.name, readErr)
+			}
+			sz, _ := l.fs.Size(path)
+			info.DroppedBytes += sz - r.Offset()
+			if err := l.fs.Truncate(path, r.Offset()); err != nil {
+				return info, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			truncated = true
+			files = files[:i+1]
+		}
+	}
+
+	l.files = files
+	l.lastEpoch = info.Epoch
+
+	// Resume appending: continue the newest file, or start wal-<epoch>
+	// on a fresh (or fully rotated) directory.
+	if len(l.files) == 0 {
+		l.files = []walFile{{name: walName(l.lastEpoch), base: l.lastEpoch}}
+	}
+	active := l.files[len(l.files)-1]
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, active.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND)
+	if err != nil {
+		return info, fmt.Errorf("wal: %w", err)
+	}
+	l.file = f
+	l.fileName = active.name
+
+	l.recovery = info
+	l.replayed = true
+
+	if l.cfg.Fsync.Mode == FsyncBatched {
+		l.loops.Add(1)
+		go l.syncLoop()
+	}
+	if l.cfg.SegmentInterval > 0 {
+		l.loops.Add(1)
+		go l.segmentLoop()
+	}
+	return info, nil
+}
+
+// Recovery returns the info from this process's Replay.
+func (l *Log) Recovery() RecoveryInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recovery
+}
+
+// SetLowWater installs the oldest-pinned-epoch source (the cursor
+// registry) gating compaction: only segment sets wholly below the low
+// water merge or expire.
+func (l *Log) SetLowWater(fn func() (uint64, bool)) {
+	l.lowWater.Store(&fn)
+}
+
+// Degraded reports whether the log hit a disk fault and the reason.
+// Once degraded, the log stays degraded: appends fail fast and the
+// owner must treat the store as read-only.
+func (l *Log) Degraded() (string, bool) {
+	if r := l.degradedReason.Load(); r != nil {
+		return *r, true
+	}
+	return "", false
+}
+
+func (l *Log) degrade(op string, err error) error {
+	reason := fmt.Sprintf("%s: %v", op, err)
+	// First fault wins; later ones are consequences.
+	l.degradedReason.CompareAndSwap(nil, &reason)
+	return fmt.Errorf("%w: %s", ErrDegraded, reason)
+}
+
+// Append encodes the commit as one framed record and writes it in a
+// single Write call (so a crash tears at most this record). The commit
+// epoch must exceed every previously appended epoch — the caller's
+// ingest lock provides that order. The returned Ack, when non-nil,
+// must be invoked to wait for the record's durability (fsync-always
+// group commit); invoke it after releasing caller-side locks.
+func (l *Log) Append(c *Commit) (Ack, error) {
+	if r := l.degradedReason.Load(); r != nil {
+		return nil, fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
+	l.mu.Lock()
+	if !l.replayed || l.closed {
+		l.mu.Unlock()
+		return nil, errors.New("wal: append on a log that is not open (Replay first)")
+	}
+	if c.Epoch <= l.lastEpoch {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: epoch %d not after last appended %d", c.Epoch, l.lastEpoch)
+	}
+	l.encBuf = AppendRecord(l.encBuf[:0], c)
+	if _, err := l.file.Write(l.encBuf); err != nil {
+		// The record may be partially on disk; recovery's CRC framing
+		// drops the torn tail. In memory nothing happened yet: the caller
+		// aborts the commit, so no partial state is ever visible.
+		derr := l.degrade("append", err)
+		l.mu.Unlock()
+		return nil, derr
+	}
+	l.lastEpoch = c.Epoch
+	l.pending = append(l.pending, c)
+	seq := l.appendSeq.Add(1)
+	l.records.Add(1)
+	l.mu.Unlock()
+
+	if l.cfg.Fsync.Mode != FsyncAlways {
+		return nil, nil
+	}
+	return func() error { return l.ensureSynced(seq) }, nil
+}
+
+// ensureSynced makes every record up to seq durable, sharing one fsync
+// among all waiters queued behind it (group commit).
+func (l *Log) ensureSynced(seq uint64) error {
+	if l.syncedSeq.Load() >= seq {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq.Load() >= seq {
+		return nil // a concurrent leader synced past us while we queued
+	}
+	l.mu.Lock()
+	f := l.file
+	target := l.appendSeq.Load()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return errors.New("wal: closed")
+	}
+	if err := f.Sync(); err != nil {
+		return l.degrade("fsync", err)
+	}
+	l.syncs.Add(1)
+	// Records appended after target started during/after the sync; they
+	// wait for the next one.
+	if l.syncedSeq.Load() < target {
+		l.syncedSeq.Store(target)
+	}
+	return nil
+}
+
+// syncLoop is the batched-mode background syncer.
+func (l *Log) syncLoop() {
+	defer l.loops.Done()
+	t := time.NewTicker(l.cfg.Fsync.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			if l.appendSeq.Load() > l.syncedSeq.Load() {
+				if err := l.ensureSynced(l.appendSeq.Load()); err != nil {
+					return // degraded; nothing more to sync
+				}
+			}
+		}
+	}
+}
+
+// segmentLoop periodically flushes pending commits into segment sets
+// and compacts old ones.
+func (l *Log) segmentLoop() {
+	defer l.loops.Done()
+	t := time.NewTicker(l.cfg.SegmentInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			if err := l.FlushSegments(); err != nil {
+				return // degraded
+			}
+		}
+	}
+}
+
+// FlushSegments writes the pending commits (if any) into a new segment
+// set, rotates the WAL so the covered prefix can be reclaimed, and
+// runs compaction. Called by the segment loop; exported so shutdown
+// and tests can force a flush.
+func (l *Log) FlushSegments() error {
+	if r := l.degradedReason.Load(); r != nil {
+		return fmt.Errorf("%w: %s", ErrDegraded, *r)
+	}
+	l.mu.Lock()
+	if len(l.pending) == 0 || !l.replayed || l.closed {
+		l.mu.Unlock()
+		return l.compact()
+	}
+	// Rotate first: sync and retire the active file, then take the
+	// pending deltas. New appends land in the fresh file with epochs
+	// above everything this flush covers, so once the set is durable,
+	// every older WAL file is redundant.
+	if err := l.file.Sync(); err != nil {
+		derr := l.degrade("rotate fsync", err)
+		l.mu.Unlock()
+		return derr
+	}
+	l.syncs.Add(1)
+	if l.syncedSeq.Load() < l.appendSeq.Load() {
+		l.syncedSeq.Store(l.appendSeq.Load())
+	}
+	if err := l.file.Close(); err != nil {
+		derr := l.degrade("rotate close", err)
+		l.mu.Unlock()
+		return derr
+	}
+	next := walFile{name: walName(l.lastEpoch), base: l.lastEpoch}
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, next.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND)
+	if err != nil {
+		derr := l.degrade("rotate open", err)
+		l.mu.Unlock()
+		return derr
+	}
+	l.file = f
+	l.fileName = next.name
+	l.files = append(l.files, next)
+	deltas := l.pending
+	l.pending = nil
+	lo, hi := l.segCovered, deltas[len(deltas)-1].Epoch
+	l.mu.Unlock()
+
+	set, err := writeSet(l.fs, l.dir, lo, hi, deltas, l.cfg.Shards)
+	if err != nil {
+		// The set never got its marker, so recovery ignores it; the data
+		// still lives in the retired WAL files, which we now must not
+		// delete. Restore the deltas and go read-only.
+		l.mu.Lock()
+		l.pending = append(deltas, l.pending...)
+		l.mu.Unlock()
+		return l.degrade("segment write", err)
+	}
+	l.segmentFlushes.Add(1)
+
+	l.mu.Lock()
+	l.segCovered = hi
+	l.sets = append(l.sets, set)
+	// Reclaim WAL files whose whole range is now in segments: file i
+	// covers (base_i, base_{i+1}], so every non-active file with a
+	// successor base <= hi is redundant.
+	kept := l.files[:0]
+	for i, wf := range l.files {
+		if i+1 < len(l.files) && l.files[i+1].base <= hi {
+			_ = l.fs.Remove(filepath.Join(l.dir, wf.name))
+			continue
+		}
+		kept = append(kept, wf)
+	}
+	l.files = kept
+	l.mu.Unlock()
+	return l.compact()
+}
+
+// compact merges segment sets wholly below the oldest pinned epoch
+// (snapshot.Registry.LowWater via SetLowWater; with nothing pinned,
+// everything flushed is eligible) into one set, applying the retention
+// cutoff so old audit events age out. Needs at least two eligible sets
+// or a retention window to do anything.
+func (l *Log) compact() error {
+	l.mu.Lock()
+	limit := l.segCovered + 1 // exclusive upper bound on compactable epochs
+	if fnp := l.lowWater.Load(); fnp != nil {
+		if low, ok := (*fnp)(); ok && low < limit {
+			limit = low
+		}
+	}
+	var eligible []segSet
+	for _, s := range l.sets {
+		if s.hi < limit {
+			eligible = append(eligible, s)
+		} else {
+			break // sets are contiguous ascending; later ones reach higher
+		}
+	}
+	cutoff := retentionCutoff(l.cfg.Retention, l.now)
+	// A single-set merge would rewrite the set under its own filenames
+	// and then delete them, so compaction always waits for two.
+	if len(eligible) < 2 {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+
+	merged, err := mergeSets(l.fs, l.dir, eligible, l.cfg.Shards, cutoff)
+	if err != nil {
+		return l.degrade("compaction", err)
+	}
+	l.compactions.Add(1)
+	l.mu.Lock()
+	// Rebuild the inventory by identity: a concurrent flush may have
+	// appended a new set while the merge ran.
+	kept := []segSet{merged}
+	for _, s := range l.sets {
+		merged0 := false
+		for _, e := range eligible {
+			if s.lo == e.lo && s.hi == e.hi {
+				merged0 = true
+				break
+			}
+		}
+		if !merged0 {
+			kept = append(kept, s)
+		}
+	}
+	sortSets(kept)
+	l.sets = kept
+	l.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	sets := len(l.sets)
+	pend := len(l.pending)
+	l.mu.Unlock()
+	st := Stats{
+		Records:        l.records.Load(),
+		Syncs:          l.syncs.Load(),
+		SegmentSets:    sets,
+		SegmentFlushes: l.segmentFlushes.Load(),
+		Compactions:    l.compactions.Load(),
+		PendingCommits: pend,
+	}
+	if reason, ok := l.Degraded(); ok {
+		st.DegradedReason = reason
+	}
+	return st
+}
+
+// Close stops the background loops, flushes and fsyncs the WAL tail,
+// and writes the clean-shutdown marker so the next start skips torn-
+// tail handling. A degraded log closes without claiming cleanliness.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.loops.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.replayed {
+		l.closed = true
+		return nil
+	}
+	l.closed = true
+	if _, bad := l.Degraded(); bad {
+		if l.file != nil {
+			l.file.Close()
+		}
+		return fmt.Errorf("%w: closed while degraded; no clean marker written", ErrDegraded)
+	}
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return l.degrade("close fsync", err)
+	}
+	l.syncs.Add(1)
+	if err := l.file.Close(); err != nil {
+		return l.degrade("close", err)
+	}
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, cleanMarker), os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	if err != nil {
+		return fmt.Errorf("wal: clean marker: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", l.lastEpoch); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: clean marker: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: clean marker: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: clean marker: %w", err)
+	}
+	return l.fs.SyncDir(l.dir)
+}
+
+// ActiveFile returns the path of the WAL file currently receiving
+// appends (crash tests truncate copies of it).
+func (l *Log) ActiveFile() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return filepath.Join(l.dir, l.fileName)
+}

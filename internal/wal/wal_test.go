@@ -1,0 +1,558 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+func testCommit(epoch uint64, nEnts, nEvts int) *Commit {
+	c := &Commit{Epoch: epoch}
+	for i := 0; i < nEnts; i++ {
+		c.Entities = append(c.Entities, &audit.Entity{
+			ID:   int64(epoch)*1000 + int64(i),
+			Type: audit.EntityProcess,
+			Host: fmt.Sprintf("host%d", i%4),
+			Path: fmt.Sprintf("/bin/tool-%d-%d", epoch, i),
+			PID:  100 + i,
+		})
+	}
+	for i := 0; i < nEvts; i++ {
+		c.Events = append(c.Events, &audit.Event{
+			ID:        int64(epoch)*1000 + int64(i),
+			SrcID:     int64(i),
+			DstID:     int64(i + 1),
+			Op:        audit.OpRead,
+			StartTime: int64(epoch * 10),
+			EndTime:   int64(epoch*10 + 5),
+			Amount:    int64(i),
+			Host:      fmt.Sprintf("host%d", i%4),
+		})
+	}
+	return c
+}
+
+func sameCommit(a, b *Commit) bool {
+	if a.Epoch != b.Epoch || len(a.Entities) != len(b.Entities) || len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Entities {
+		if *a.Entities[i] != *b.Entities[i] {
+			return false
+		}
+	}
+	for i := range a.Events {
+		if *a.Events[i] != *b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func openReplay(t *testing.T, dir string, cfg Config) (*Log, []*Commit, RecoveryInfo) {
+	t.Helper()
+	l, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var got []*Commit
+	info, err := l.Replay(func(c *Commit) error {
+		got = append(got, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return l, got, info
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := testCommit(7, 3, 5)
+	rec := AppendRecord(nil, want)
+	got, err := DecodeCommit(rec[frameHeaderLen:])
+	if err != nil {
+		t.Fatalf("DecodeCommit: %v", err)
+	}
+	if !sameCommit(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, got, info := openReplay(t, dir, Config{Fsync: Policy{Mode: FsyncAlways}, Shards: 2})
+	if info.Epoch != 0 || info.Commits != 0 {
+		t.Fatalf("fresh dir recovered %+v", info)
+	}
+	var want []*Commit
+	for e := uint64(1); e <= 5; e++ {
+		c := testCommit(e, 2, 3)
+		want = append(want, c)
+		ack, err := l.Append(c)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := ack(); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got, info := openReplay(t, dir, Config{Shards: 2})
+	defer l2.Close()
+	if !info.Clean {
+		t.Fatalf("expected clean-shutdown marker, got %+v", info)
+	}
+	if info.Epoch != 5 || info.Commits != 5 || info.DroppedBytes != 0 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d commits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameCommit(want[i], got[i]) {
+			t.Fatalf("commit %d mismatch", i)
+		}
+	}
+}
+
+func TestCleanMarkerRemovedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{})
+	ack, err := l.Append(testCommit(1, 1, 1))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	_ = ack
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, _, info := openReplay(t, dir, Config{})
+	if !info.Clean {
+		t.Fatal("first restart should see the clean marker")
+	}
+	// The marker must be gone now: a crash from here is not clean.
+	if _, err := os.Stat(filepath.Join(dir, cleanMarker)); !os.IsNotExist(err) {
+		t.Fatalf("clean marker survived replay: %v", err)
+	}
+	l2.Close()
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{Fsync: Policy{Mode: FsyncNever}})
+	for e := uint64(1); e <= 3; e++ {
+		if _, err := l.Append(testCommit(e, 1, 2)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	active := l.ActiveFile()
+	// Simulate kill -9: no Close, tear the last record mid-frame.
+	st, err := os.Stat(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(active, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, info := openReplay(t, dir, Config{})
+	defer l2.Close()
+	if info.Clean {
+		t.Fatal("torn restart must not be clean")
+	}
+	if info.Epoch != 2 || len(got) != 2 {
+		t.Fatalf("want epochs 1-2 recovered, got %+v (%d commits)", info, len(got))
+	}
+	if info.DroppedBytes == 0 {
+		t.Fatal("expected dropped tail bytes reported")
+	}
+	// The log must keep accepting appends after recovery.
+	if _, err := l2.Append(testCommit(3, 1, 1)); err != nil {
+		t.Fatalf("post-recovery Append: %v", err)
+	}
+}
+
+func TestCorruptionAfterCleanShutdownIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{})
+	if _, err := l.Append(testCommit(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-flip inside the (cleanly synced) WAL file.
+	name := filepath.Join(dir, walName(0))
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(name, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Replay(func(*Commit) error { return nil }); err == nil {
+		t.Fatal("corruption after clean shutdown should be a hard error, not silent truncation")
+	}
+}
+
+func TestSegmentFlushAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{Shards: 2})
+	var want []*Commit
+	for e := uint64(1); e <= 4; e++ {
+		c := testCommit(e, 2, 4)
+		want = append(want, c)
+		if _, err := l.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.FlushSegments(); err != nil {
+		t.Fatalf("FlushSegments: %v", err)
+	}
+	st := l.Stats()
+	if st.SegmentSets != 1 || st.PendingCommits != 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	// More appends land in the rotated file.
+	for e := uint64(5); e <= 6; e++ {
+		c := testCommit(e, 1, 2)
+		want = append(want, c)
+		if _, err := l.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, info := openReplay(t, dir, Config{Shards: 2})
+	defer l2.Close()
+	if info.SegmentSets != 1 || info.Epoch != 6 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	// Segment replay splits commits into entity/event records, so compare
+	// totals rather than per-commit shape.
+	var wantEnts, wantEvts, gotEnts, gotEvts int
+	top := uint64(0)
+	for _, c := range want {
+		wantEnts += len(c.Entities)
+		wantEvts += len(c.Events)
+	}
+	for _, c := range got {
+		gotEnts += len(c.Entities)
+		gotEvts += len(c.Events)
+		if c.Epoch > top {
+			top = c.Epoch
+		}
+	}
+	if wantEnts != gotEnts || wantEvts != gotEvts || top != 6 {
+		t.Fatalf("want %d/%d ents/evts top 6, got %d/%d top %d", wantEnts, wantEvts, gotEnts, gotEvts, top)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	l, _, _ := openReplay(t, dir, Config{Shards: 1, Retention: time.Hour, Now: func() time.Time { return now }})
+	old := now.Add(-2 * time.Hour).UnixNano()
+	fresh := now.UnixNano()
+	mk := func(epoch uint64, end int64) *Commit {
+		c := testCommit(epoch, 1, 1)
+		c.Events[0].EndTime = end
+		return c
+	}
+	// Two flushes → two sets; nothing pinned, so compaction merges them
+	// and ages out the stale event.
+	if _, err := l.Append(mk(1, old)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FlushSegments(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mk(2, fresh)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FlushSegments(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Compactions != 1 || st.SegmentSets != 1 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, _ := openReplay(t, dir, Config{Shards: 1})
+	defer l2.Close()
+	var evts []*audit.Event
+	for _, c := range got {
+		evts = append(evts, c.Events...)
+	}
+	if len(evts) != 1 || evts[0].EndTime != fresh {
+		t.Fatalf("retention should have dropped the old event, kept the fresh one; got %d events", len(evts))
+	}
+}
+
+func TestCompactionRespectsLowWater(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{Shards: 1})
+	defer l.Close()
+	low := uint64(1) // a cursor pinned at epoch 1
+	l.SetLowWater(func() (uint64, bool) { return low, true })
+	for e := uint64(1); e <= 2; e++ {
+		if _, err := l.Append(testCommit(e, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.FlushSegments(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Compactions != 0 || st.SegmentSets != 2 {
+		t.Fatalf("pinned epoch should block compaction: %+v", st)
+	}
+	low = 100 // cursor released, low water past everything
+	if err := l.FlushSegments(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Compactions != 1 || st.SegmentSets != 1 {
+		t.Fatalf("compaction should run once unpinned: %+v", st)
+	}
+}
+
+func TestWriteFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	l, _, _ := openReplay(t, dir, Config{FS: ffs, Fsync: Policy{Mode: FsyncNever}})
+	if _, err := l.Append(testCommit(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWritesAfter(0, true) // next write tears
+	_, err := l.Append(testCommit(2, 1, 1))
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	if reason, ok := l.Degraded(); !ok || reason == "" {
+		t.Fatal("log should report degraded with a reason")
+	}
+	// Degraded is sticky: later appends fail fast even with faults off.
+	ffs.FailWritesAfter(-1, false)
+	if _, err := l.Append(testCommit(3, 1, 1)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded must be sticky, got %v", err)
+	}
+	if err := l.FlushSegments(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("flush on degraded log: %v", err)
+	}
+	// Close must not write a clean marker.
+	if err := l.Close(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Close on degraded log: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, cleanMarker)); !os.IsNotExist(err) {
+		t.Fatal("degraded close must not claim cleanliness")
+	}
+
+	// The torn record is dropped on recovery; epoch 1 survives.
+	l2, got, info := openReplay(t, dir, Config{})
+	defer l2.Close()
+	if info.Epoch != 1 || len(got) != 1 {
+		t.Fatalf("want epoch 1 recovered, got %+v", info)
+	}
+}
+
+func TestSyncFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	l, _, _ := openReplay(t, dir, Config{FS: ffs, Fsync: Policy{Mode: FsyncAlways}})
+	ffs.FailSyncs(true)
+	ack, err := l.Append(testCommit(1, 1, 1))
+	if err != nil {
+		t.Fatalf("Append should succeed (the write itself is fine): %v", err)
+	}
+	if err := ack(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ack must surface the fsync fault as ErrDegraded, got %v", err)
+	}
+	if _, err := l.Append(testCommit(2, 1, 1)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("appends after sync fault: %v", err)
+	}
+}
+
+func TestSegmentWriteFaultKeepsWAL(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	l, _, _ := openReplay(t, dir, Config{FS: ffs, Shards: 1})
+	for e := uint64(1); e <= 3; e++ {
+		if _, err := l.Append(testCommit(e, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the rotation write succeed but fail the segment data write.
+	ffs.FailWritesAfter(0, false)
+	if err := l.FlushSegments(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("segment write fault should degrade: %v", err)
+	}
+	ffs.FailWritesAfter(-1, false)
+
+	// No clean close possible; recover from the directory as-is. All
+	// three commits must come back from the WAL (no segment covered them).
+	l2, got, info := openReplay(t, dir, Config{Shards: 1})
+	defer l2.Close()
+	if info.Epoch != 3 || len(got) != 3 {
+		t.Fatalf("want all 3 commits recovered from WAL, got %+v (%d)", info, len(got))
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplay(t, dir, Config{Fsync: Policy{Mode: FsyncAlways}})
+	const n = 32
+	var mu sync.Mutex
+	next := uint64(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			e := next
+			next++
+			ack, err := l.Append(testCommit(e, 1, 1))
+			mu.Unlock()
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- ack()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent append/ack: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Records != n {
+		t.Fatalf("want %d records, got %d", n, st.Records)
+	}
+	// Group commit: with 32 concurrent acks, syncs should be well under
+	// one per record (leader-shared). Allow slack for scheduling.
+	if st.Syncs >= n {
+		t.Fatalf("group commit ineffective: %d syncs for %d records", st.Syncs, st.Records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, _ := openReplay(t, dir, Config{})
+	defer l2.Close()
+	if len(got) != n {
+		t.Fatalf("recovered %d of %d commits", len(got), n)
+	}
+}
+
+// TestKillAtRandomOffset is the crash-recovery property test at the log
+// layer: truncating the WAL at any byte recovers exactly a prefix of the
+// appended commits, never a partial or reordered one.
+func TestKillAtRandomOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := t.TempDir()
+	for trial := 0; trial < 20; trial++ {
+		dir := filepath.Join(base, fmt.Sprintf("trial%d", trial))
+		l, _, _ := openReplay(t, dir, Config{Fsync: Policy{Mode: FsyncNever}})
+		var want []*Commit
+		for e := uint64(1); e <= 8; e++ {
+			c := testCommit(e, rng.Intn(3), 1+rng.Intn(4))
+			want = append(want, c)
+			if _, err := l.Append(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		active := l.ActiveFile()
+		st, err := os.Stat(active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Int63n(st.Size() + 1)
+		if err := os.Truncate(active, cut); err != nil {
+			t.Fatal(err)
+		}
+		// No Close: this models kill -9.
+
+		l2, got, info := openReplay(t, dir, Config{})
+		if info.Clean {
+			t.Fatal("killed process cannot be clean")
+		}
+		if len(got) > len(want) {
+			t.Fatalf("trial %d: recovered more commits than written", trial)
+		}
+		for i := range got {
+			if !sameCommit(want[i], got[i]) {
+				t.Fatalf("trial %d: commit %d not an exact prefix match", trial, i)
+			}
+		}
+		// Epochs are 1..8 here, so the recovered epoch is the prefix length.
+		if info.Epoch != uint64(len(got)) {
+			t.Fatalf("trial %d: epoch %d vs %d recovered commits", trial, info.Epoch, len(got))
+		}
+		l2.Close()
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode FsyncMode
+		err  bool
+	}{
+		{"always", FsyncAlways, false},
+		{"never", FsyncNever, false},
+		{"100ms", FsyncBatched, false},
+		{"2s", FsyncBatched, false},
+		{"0", 0, true},
+		{"-5ms", 0, true},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		p, err := ParsePolicy(c.in)
+		if c.err != (err != nil) {
+			t.Fatalf("ParsePolicy(%q) err=%v", c.in, err)
+		}
+		if err == nil && p.Mode != c.mode {
+			t.Fatalf("ParsePolicy(%q) mode=%v want %v", c.in, p.Mode, c.mode)
+		}
+	}
+}
+
+func TestReplayTwiceRejected(t *testing.T) {
+	l, _, _ := openReplay(t, t.TempDir(), Config{})
+	defer l.Close()
+	if _, err := l.Replay(func(*Commit) error { return nil }); err == nil {
+		t.Fatal("second Replay must fail")
+	}
+}
+
+func TestAppendBeforeReplayRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testCommit(1, 1, 1)); err == nil {
+		t.Fatal("Append before Replay must fail")
+	}
+}

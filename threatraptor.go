@@ -36,6 +36,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/synth"
 	"repro/internal/tbql"
+	"repro/internal/wal"
 )
 
 // Re-exported types so downstream users can name the values the facade
@@ -122,12 +123,34 @@ type Options struct {
 	// locks and hunts fan their data queries out across shards — pruned
 	// to a single shard when a pattern filters host = '...'.
 	Shards int
+	// WAL attaches a durability log (opened, not yet replayed). New
+	// replays it into the fresh stores — recovering the previous
+	// process's state — and every later ingest commit appends to it
+	// before publishing, so an acknowledged batch survives a crash (at
+	// the log's fsync policy). nil keeps the store memory-only.
+	WAL *wal.Log
+	// IngestChunk splits ingest batches into commits of at most this
+	// many records through the serialized interning phase, so one huge
+	// batch cannot monopolize the ingest lock (default
+	// DefaultIngestChunk; negative disables chunking). Each chunk is its
+	// own epoch and WAL record: a chunked batch is atomic per chunk, not
+	// end-to-end — a mid-batch failure can leave a committed prefix.
+	IngestChunk int
 }
+
+// DefaultIngestChunk is the records-per-commit bound when
+// Options.IngestChunk is 0.
+const DefaultIngestChunk = 5000
 
 // ErrStorage marks ingestion failures in the storage phase, as opposed
 // to parse failures of the caller's input. Callers (the HTTP daemon)
 // test it with errors.Is to classify a failure as server-side.
 var ErrStorage = errors.New("storage failure")
+
+// ErrDegraded marks ingestion refused because the durability log hit a
+// disk fault and the system is read-only. Hunts keep working; the HTTP
+// daemon maps this to 503.
+var ErrDegraded = wal.ErrDegraded
 
 // IngestStats summarises one ingestion batch. All fields are per-batch.
 type IngestStats struct {
@@ -163,6 +186,8 @@ type System struct {
 	rel    *relstore.Sharded
 	graph  *graphstore.Sharded
 	engine *exec.Engine
+	// wal is the attached durability log (nil = memory-only system).
+	wal *wal.Log
 
 	// clock names ingest commits with monotonically increasing epochs;
 	// cursors report the epoch they pinned (Cursor.Epoch) and the
@@ -216,7 +241,76 @@ func New(opts Options) (*System, error) {
 	// NewPlanCache returns nil for capacity < 1 — the disabled cache.
 	s.engine.Plans = exec.NewPlanCache(planCache)
 	s.engine.Clock = &s.clock
+
+	// With a durability log attached, recover the previous process's
+	// state before the system serves anything: segment sets then the WAL
+	// tail replay into the fresh stores, and the epoch clock resumes past
+	// the highest recovered commit.
+	if opts.WAL != nil {
+		s.wal = opts.WAL
+		info, err := s.wal.Replay(s.applyCommit)
+		if err != nil {
+			return nil, fmt.Errorf("threatraptor: recovery: %w", err)
+		}
+		s.clock.Reset(Epoch(info.Epoch))
+	}
 	return s, nil
+}
+
+// applyCommit loads one recovered commit into the parser and both
+// stores — the same load path live ingestion uses, minus the WAL
+// append. Replay is single-threaded and runs before any reader exists,
+// so no locking subtleties apply.
+func (s *System) applyCommit(c *wal.Commit) error {
+	s.parser.Restore(c.Entities, c.Events)
+	if len(c.Entities) > 0 {
+		if err := s.rel.LoadEntities(c.Entities); err != nil {
+			return fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		}
+		if err := s.graph.LoadNodes(c.Entities); err != nil {
+			return fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		}
+	}
+	if len(c.Events) > 0 {
+		if err := s.rel.LoadEvents(c.Events); err != nil {
+			return fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		}
+		if err := s.graph.LoadEdges(c.Events); err != nil {
+			return fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		}
+		s.stored.Add(int64(len(c.Events)))
+		for _, si := range touchedShards(c.Events, s.rel.NumShards()) {
+			s.shardIngests[si].Add(1)
+		}
+	}
+	return nil
+}
+
+// Recovery reports what this process's restart recovery replayed (zero
+// value for a memory-only system or a fresh data dir).
+func (s *System) Recovery() wal.RecoveryInfo {
+	if s.wal == nil {
+		return wal.RecoveryInfo{}
+	}
+	return s.wal.Recovery()
+}
+
+// Degraded reports whether the durability log hit a disk fault (the
+// system is read-only) and the reason. Always false without a WAL.
+func (s *System) Degraded() (string, bool) {
+	if s.wal == nil {
+		return "", false
+	}
+	return s.wal.Degraded()
+}
+
+// WALStats snapshots the durability log's counters (zero value without
+// a WAL).
+func (s *System) WALStats() wal.Stats {
+	if s.wal == nil {
+		return wal.Stats{}
+	}
+	return s.wal.Stats()
 }
 
 // PlanCacheStats reports the cross-hunt plan cache's cumulative hit and
@@ -277,67 +371,130 @@ func (s *System) IngestRecords(recs []Record) (IngestStats, error) {
 	return s.ingest(valid, recErrs)
 }
 
-// ingest interns pre-validated records and flushes them to both stores.
-// The serialized phase — interning plus the entity broadcast — runs
-// under ingestMu so the high-water-mark bookkeeping stays consistent
-// and every shard holds an event's endpoint rows before the event can
-// load anywhere. The event loads themselves run outside the lock:
-// batches for different hosts land on disjoint shards and proceed in
-// parallel. parseErrs is this batch's parse-error count, not the
+// ingest splits pre-validated records into bounded chunks and commits
+// each through ingestCommit, so one huge batch cannot monopolize the
+// ingest lock. Each chunk is its own epoch and WAL record. In
+// fsync-always mode only the final chunk's acknowledgement is awaited:
+// the log is strictly ordered, so syncing the last record syncs every
+// earlier one. parseErrs is this batch's parse-error count, not the
 // lifetime total.
 func (s *System) ingest(recs []Record, parseErrs int) (IngestStats, error) {
-	s.ingestMu.Lock()
-	mark := len(s.parser.Events())
-	for _, r := range recs {
-		if _, err := s.parser.Add(r); err != nil {
-			s.ingestMu.Unlock()
-			return IngestStats{}, fmt.Errorf("threatraptor: ingest: %w", err)
+	chunk := s.opts.IngestChunk
+	if chunk == 0 {
+		chunk = DefaultIngestChunk
+	}
+	if chunk < 0 || chunk > len(recs) {
+		chunk = len(recs)
+	}
+	total := IngestStats{ParseErrors: parseErrs, CPRReduction: 1}
+	var lastAck wal.Ack
+	for start := 0; ; start += chunk {
+		end := len(recs)
+		if chunk > 0 && start+chunk < end {
+			end = start + chunk
+		}
+		st, ack, err := s.ingestCommit(recs[start:end])
+		total.Entities += st.Entities
+		total.EventsIn += st.EventsIn
+		total.EventsStored += st.EventsStored
+		if err != nil {
+			return total, err
+		}
+		if ack != nil {
+			lastAck = ack
+		}
+		if end == len(recs) {
+			break
 		}
 	}
-	newEvents := s.parser.Events()[mark:]
-	stats := IngestStats{EventsIn: len(newEvents), ParseErrors: parseErrs}
-
-	// Entities are stored incrementally; the parser deduplicates them,
-	// so new entities are exactly those beyond the stored high-water
-	// mark, and the broadcast commits them to every shard before this
-	// batch (or any later one referencing them) loads events.
-	newEntities := s.parser.Entities()[s.countStoredEntities():]
-	stats.Entities = len(newEntities)
-	if err := s.rel.LoadEntities(newEntities); err != nil {
-		s.ingestMu.Unlock()
-		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	if total.EventsStored > 0 {
+		total.CPRReduction = float64(total.EventsIn) / float64(total.EventsStored)
 	}
-	if err := s.graph.LoadNodes(newEntities); err != nil {
-		s.ingestMu.Unlock()
-		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	if lastAck != nil {
+		// Awaited outside every lock: concurrent ingests group-commit on
+		// one fsync. The data is already visible; the ack is the
+		// durability barrier the caller's acknowledgement stands on.
+		if err := lastAck(); err != nil {
+			return total, fmt.Errorf("threatraptor: ingest: %w", err)
+		}
 	}
-	s.ingestMu.Unlock()
+	return total, nil
+}
 
-	toStore := newEvents
-	stats.CPRReduction = 1
+// ingestCommit stages, logs, and publishes one commit. The serialized
+// phase under ingestMu — staging, the WAL append, and the entity
+// broadcast — keeps the high-water-mark bookkeeping consistent and
+// guarantees WAL order matches publish order. Staging mutates nothing,
+// and the WAL append happens before any store or parser mutation: a
+// disk fault aborts the commit with zero partial in-memory state. The
+// event loads run outside the lock, as before: batches for different
+// hosts land on disjoint shards and proceed in parallel.
+func (s *System) ingestCommit(recs []Record) (IngestStats, wal.Ack, error) {
+	s.ingestMu.Lock()
+	staged, err := s.parser.Stage(recs)
+	if err != nil {
+		s.ingestMu.Unlock()
+		return IngestStats{}, nil, fmt.Errorf("threatraptor: ingest: %w", err)
+	}
+	stats := IngestStats{EventsIn: len(staged.Events), CPRReduction: 1}
+	toStore := staged.Events
 	if s.opts.CPR {
-		reduced, cprStats := provenance.Reduce(newEvents)
+		reduced, cprStats := provenance.Reduce(staged.Events)
 		toStore = reduced
 		stats.CPRReduction = cprStats.ReductionFactor()
 	}
+	stats.Entities = len(staged.NewEntities)
 	stats.EventsStored = len(toStore)
 
+	// Commit point: the commit claims its epoch when its WAL record is
+	// written (or, without a WAL, when it publishes). Readers snapshot
+	// watermarks, not the epoch number, so a reader racing this Advance
+	// is still perfectly consistent — the epoch names the commit for the
+	// cursor registry's and the log's bookkeeping.
+	var ack wal.Ack
+	if s.wal != nil {
+		epoch := s.clock.Advance()
+		ack, err = s.wal.Append(&wal.Commit{
+			Epoch:    uint64(epoch),
+			Entities: staged.NewEntities,
+			Events:   toStore,
+		})
+		if err != nil {
+			// Nothing was published: the epoch number is burned (harmless —
+			// epochs may have gaps) and the parser and stores are untouched.
+			s.ingestMu.Unlock()
+			return stats, nil, fmt.Errorf("threatraptor: ingest: %w", err)
+		}
+	}
+
+	// Publish: the staged batch becomes visible, and the entity
+	// broadcast commits the new entities to every shard before this
+	// batch (or any later one referencing them) loads events.
+	s.parser.Commit(staged)
+	if err := s.rel.LoadEntities(staged.NewEntities); err != nil {
+		s.ingestMu.Unlock()
+		return stats, nil, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	}
+	if err := s.graph.LoadNodes(staged.NewEntities); err != nil {
+		s.ingestMu.Unlock()
+		return stats, nil, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+	}
+	s.ingestMu.Unlock()
+
 	if err := s.rel.LoadEvents(toStore); err != nil {
-		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		return stats, nil, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
 	if err := s.graph.LoadEdges(toStore); err != nil {
-		return stats, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
+		return stats, nil, fmt.Errorf("threatraptor: %w: %v", ErrStorage, err)
 	}
 	s.stored.Add(int64(len(toStore)))
 	for _, si := range touchedShards(toStore, s.rel.NumShards()) {
 		s.shardIngests[si].Add(1)
 	}
-	// Commit point: the batch is fully visible, so it gets an epoch.
-	// Readers snapshot watermarks, not the epoch number, so a reader
-	// racing this Advance is still perfectly consistent — the epoch
-	// names the commit for the cursor registry's bookkeeping.
-	s.clock.Advance()
-	return stats, nil
+	if s.wal == nil {
+		s.clock.Advance()
+	}
+	return stats, ack, nil
 }
 
 // touchedShards lists the distinct shard indexes a batch's events route
@@ -415,6 +572,14 @@ func (s *System) HuntQueryCursor(q *Query) (*Cursor, error) {
 // cursor (Stats().FetchCapped) must not be read past limit rows.
 func (s *System) HuntCursorLimit(src string, limit int) (*Cursor, error) {
 	return s.engine.ExecuteTBQLCursorLimit(src, limit)
+}
+
+// HuntQueryCursorLimit is HuntCursorLimit for an already analyzed
+// query — the path the daemon's query cache takes, skipping parse and
+// analysis on a cache hit. The query must not be mutated after being
+// shared; execution treats it as read-only.
+func (s *System) HuntQueryCursorLimit(q *Query, limit int) (*Cursor, error) {
+	return s.engine.ExecuteCursorLimit(q, limit)
 }
 
 // HuntReport is the end-to-end pipeline: extract the threat behavior

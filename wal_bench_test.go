@@ -1,0 +1,161 @@
+package threatraptor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/wal"
+)
+
+// BenchmarkIngestWAL measures the durability tax on multi-host ingest:
+// the same 8-host parallel workload as BenchmarkIngestParallelSharded,
+// with the WAL off, fsync-never (write-only), fsync-batched (the
+// default 100ms group sync), and fsync-always (one group-committed
+// sync per acknowledged batch). The acceptance bar is fsync-batched
+// within 2× of WAL-off; fsync-always pays real disk latency per batch
+// and is reported for the durability/throughput trade-off curve.
+func BenchmarkIngestWAL(b *testing.B) {
+	const hosts = 8
+	const perBatch = 1000
+	batches := make([][]Record, hosts)
+	for h := range batches {
+		batches[h] = hostBatch(fmt.Sprintf("host%d", h), 1, perBatch)
+	}
+	modes := []struct {
+		name  string
+		wal   bool
+		fsync wal.Policy
+	}{
+		{"wal-off", false, wal.Policy{}},
+		{"fsync-never", true, wal.Policy{Mode: wal.FsyncNever}},
+		{"fsync-batched", true, wal.Policy{Mode: wal.FsyncBatched, Interval: wal.DefaultFsyncInterval}},
+		{"fsync-always", true, wal.Policy{Mode: wal.FsyncAlways}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(hosts * perBatch))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				opts := Options{Shards: 8}
+				var log *wal.Log
+				if mode.wal {
+					var err error
+					log, err = wal.Open(b.TempDir(), wal.Config{Fsync: mode.fsync, Shards: 8})
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts.WAL = log
+				}
+				sys, err := New(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for h := 0; h < hosts; h++ {
+					// Warmup interns each host's entities so the timed batches
+					// are event-only, as in BenchmarkIngestParallelSharded.
+					if _, err := sys.IngestRecords(batches[h]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for h := 0; h < hosts; h++ {
+					wg.Add(1)
+					go func(h int) {
+						defer wg.Done()
+						if _, err := sys.IngestRecords(batches[h]); err != nil {
+							b.Error(err)
+						}
+					}(h)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if log != nil {
+					log.Close()
+				}
+			}
+		})
+	}
+}
+
+// synthCommit builds one WAL commit of events (entities only on the
+// first commit), sized like a chunked ingest commit.
+func synthCommit(epoch uint64, events int) *wal.Commit {
+	c := &wal.Commit{Epoch: epoch}
+	if epoch == 1 {
+		for i := 0; i < 64; i++ {
+			c.Entities = append(c.Entities, &audit.Entity{
+				ID: int64(i + 1), Type: audit.EntityFile, Host: "host0",
+				Path: fmt.Sprintf("/data/file-%d", i),
+			})
+		}
+	}
+	base := int64(epoch) * 1_000_000
+	for i := 0; i < events; i++ {
+		c.Events = append(c.Events, &audit.Event{
+			ID: base + int64(i), SrcID: int64(i%64 + 1), DstID: int64((i+1)%64 + 1),
+			Op: audit.OpRead, StartTime: base + int64(i)*10, EndTime: base + int64(i)*10 + 1,
+			Amount: 64, Host: "host0",
+		})
+	}
+	return c
+}
+
+// BenchmarkWALRecovery measures restart replay wall-time against log
+// size: the log is written once per size (outside the timer) with
+// synthetic commits of 5000 events each, then each iteration replays
+// it through a decode-everything apply. The 1M-event case is the
+// headline number the CI bench publishes (recovery wall-time for a
+// 1M-event log).
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, total := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("events-%d", total), func(b *testing.B) {
+			const perCommit = 5000
+			dir := b.TempDir()
+			log, err := wal.Open(dir, wal.Config{Fsync: wal.Policy{Mode: wal.FsyncNever}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := log.Replay(func(*wal.Commit) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			for e := uint64(1); int(e-1)*perCommit < total; e++ {
+				if _, err := log.Append(synthCommit(e, perCommit)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := log.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				replay, err := wal.Open(dir, wal.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				info, err := replay.Replay(func(c *wal.Commit) error {
+					n += len(c.Events)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != total {
+					b.Fatalf("replayed %d events, want %d", n, total)
+				}
+				_ = info
+				b.StopTimer()
+				// Replay consumed the clean marker; rewrite it so every
+				// iteration replays the same clean log.
+				if err := replay.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
