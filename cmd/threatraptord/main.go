@@ -9,6 +9,11 @@
 //	GET    /hunt/next    page a registered cursor's pinned epoch snapshot
 //	DELETE /hunt/cursor  close a registered cursor explicitly
 //	GET    /explain      compile and score a TBQL query without executing it
+//	POST   /watch        register a standing hunt evaluated on every ingest
+//	                     commit's delta (optionally with a webhook sink)
+//	GET    /watch/stream attach to a standing hunt and stream its match
+//	                     batches as SSE or NDJSON frames
+//	DELETE /watch        unregister a standing hunt
 //	GET    /stats        store sizes, cursor registry, request counters
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
@@ -52,6 +57,9 @@ func main() {
 		retention  = flag.Duration("retention", 0, "age out events older than this at segment compaction (0 keeps everything)")
 		ingestChnk = flag.Int("ingest-chunk", threatraptor.DefaultIngestChunk, "records per serialized ingest commit; giant batches split so one cannot monopolize the ingest lock (negative disables chunking)")
 		queryCache = flag.Int("query-cache", service.DefaultQueryCacheSize, "TBQL text -> analyzed-query cache capacity for /hunt (0 = disabled); hits/misses surface in /stats")
+		watchTTL   = flag.Duration("watch-ttl", service.DefaultWatchTTL, "idle lifetime of a standing hunt with no attached consumer; expired watches answer 410")
+		maxWatches = flag.Int("max-watches", service.DefaultMaxWatches, "cap on registered standing hunts; registrations beyond it answer 429")
+		watchBuf   = flag.Int("watch-buffer", 0, "per-watch delivery buffer in batches (0 = default); a subscriber further behind is evicted rather than blocking ingest")
 	)
 	flag.Parse()
 
@@ -82,6 +90,12 @@ func main() {
 		log.Fatalf("threatraptord: -retention must be >= 0 (got %s); 0 keeps everything", *retention)
 	case *queryCache < 0:
 		log.Fatalf("threatraptord: -query-cache must be >= 0 (got %d); use 0 to disable query caching", *queryCache)
+	case *watchTTL <= 0:
+		log.Fatalf("threatraptord: -watch-ttl must be positive (got %s); unconsumed standing hunts need a finite lifetime", *watchTTL)
+	case *maxWatches < 1:
+		log.Fatalf("threatraptord: -max-watches must be >= 1 (got %d)", *maxWatches)
+	case *watchBuf < 0:
+		log.Fatalf("threatraptord: -watch-buffer must be >= 0 (got %d); use 0 for the default buffer", *watchBuf)
 	}
 
 	// The Options field treats 0 as "use the default"; the flag treats 0
@@ -142,6 +156,9 @@ func main() {
 			IngestQueue: *ingestQ,
 			MaxPage:     *maxPage,
 			QueryCache:  queryCacheSize,
+			WatchTTL:    *watchTTL,
+			MaxWatches:  *maxWatches,
+			WatchBuffer: *watchBuf,
 			WAL:         durLog,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,

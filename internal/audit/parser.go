@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -227,6 +228,18 @@ func (p *Parser) Restore(entities []*Entity, events []*Event) {
 			p.nextEvt = ev.ID + 1
 		}
 	}
+}
+
+// SortRestoredEvents re-sorts the event list into ID order. Restart
+// replay may apply per-shard event commits concurrently (parallel
+// segment loading), interleaving Restore calls arbitrarily; event IDs
+// are assigned at Stage time under the ingest lock, so ID order is the
+// original commit order. Call once after replay finishes, before any
+// reader depends on provenance order (Investigate walks p.events).
+func (p *Parser) SortRestoredEvents() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sort.Slice(p.events, func(i, j int) bool { return p.events[i].ID < p.events[j].ID })
 }
 
 // ParseLine parses one log line and adds the resulting event.

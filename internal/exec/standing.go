@@ -1,0 +1,756 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/relstore"
+	"repro/internal/snapshot"
+	"repro/internal/tbql"
+)
+
+// This file implements incremental evaluation for standing hunts: a
+// registered query is evaluated once per ingest commit against only the
+// commit's delta, yet the union of the emitted batches is provably
+// equal to re-executing the whole query at the final epoch
+// (TestStandingHuntMatchesReexecution pins the equivalence).
+//
+// The decomposition is the classic delta-join telescope. With patterns
+// in a fixed order F[0..n-1], writing old_i for a pattern's rows before
+// the commit and Δ_i for its delta, the new matches are
+//
+//	Δ(join) = Σ_k  new_{F[0]} ⋈ … ⋈ new_{F[k-1]} ⋈ Δ_{F[k]} ⋈ old_{F[k+1]} ⋈ … ⋈ old_{F[n-1]}
+//
+// — each term seeds on one pattern's delta, joins "new-inclusive" rows
+// on the patterns before it and "old-only" rows on the patterns after
+// it, so every new match is produced exactly once. Both stores are
+// append-only, so old/new discrimination is a row-position (or epoch
+// mark) comparison, not a copy: the per-hunt hash indexes (the
+// streaming join's levelIndex shape, grown in place as deltas arrive)
+// keep each bucket's row ids ascending, and a term bounds its probes
+// with a binary search instead of rebuilding anything.
+//
+// Deltas are fetched with the same prepared patternPlan templates batch
+// hunts use: SQL patterns re-run their statement with the events
+// binding restricted to rows appended since the previous watermark
+// (relstore.Stmt.QueryViewSince), and path patterns re-run their Cypher
+// at the new epoch mark and multiset-diff the result against the rows
+// retained from the previous mark — monotone because edges are
+// append-only. The registration-time pattern order is fixed for the
+// hunt's lifetime (the cost optimizer is intentionally bypassed: the
+// incremental indexes assume one stable order), and the propagation
+// machinery is unused — a standing hunt's "constraint" is the delta
+// itself.
+type StandingHunt struct {
+	en       *Engine
+	q        *tbql.Query
+	cols     []string
+	distinct bool
+	maxHops  int
+
+	order                  []int   // fixed schedule; index state assumes it never changes
+	patShards              [][]int // per pattern, the shards its host constraints allow
+	relShards, graphShards []int
+	projSlots              []int
+	empty                  bool // a pattern's host constraints are contradictory: never matches
+
+	plans []*patternPlan // per pattern, re-resolved when the schema fingerprint moves
+	fp    uint64
+
+	// termPlans[k] is the join plan for the telescope's k-th term:
+	// pattern F[k] seeds (level 0) and the remaining patterns keep their
+	// relative order, so check attachment and bound-slot analysis come
+	// from the same planJoin the batch executor uses.
+	termPlans []*joinPlan
+
+	mu      sync.Mutex
+	pats    []standingPat
+	idx     map[idxKey]*growIndex
+	seen    map[string]bool // DISTINCT rows emitted across all batches
+	batches int64
+	matches int64
+}
+
+// standingPat is one pattern's retained state: every row fetched so
+// far (append-only; row ids index into it), the old/new boundary for
+// the current Advance, and the per-shard fetch watermarks.
+type standingPat struct {
+	rows   []EventRow
+	oldLen int
+	// relMark is the events-table row watermark already consumed per
+	// relational shard; graphMark is the epoch mark per graph shard.
+	relMark   map[int]int
+	graphMark map[int]uint64
+	// graphSeen is the multiset of rows the pattern's Cypher produced at
+	// graphMark, per shard — the baseline the next fetch diffs against.
+	graphSeen map[int]map[EventRow]int32
+}
+
+type idxKey struct {
+	pat  int
+	kind byte // 'b' (src,dst), 's' src, 'o' dst
+}
+
+// growIndex is a levelIndex that grows as deltas arrive. Buckets hold
+// row ids in ascending order (rows only append), so a term restricts a
+// probe to old rows — or extends it through new ones — by cutting the
+// bucket at a binary-searched bound instead of rebuilding.
+type growIndex struct {
+	kind byte
+	both map[[2]int64][]int32
+	one  map[int64][]int32
+}
+
+func newGrowIndex(kind byte) *growIndex {
+	ix := &growIndex{kind: kind}
+	if kind == 'b' {
+		ix.both = make(map[[2]int64][]int32)
+	} else {
+		ix.one = make(map[int64][]int32)
+	}
+	return ix
+}
+
+// add indexes rows[from:].
+func (ix *growIndex) add(rows []EventRow, from int) {
+	switch ix.kind {
+	case 'b':
+		for i := from; i < len(rows); i++ {
+			k := [2]int64{rows[i].SrcID, rows[i].DstID}
+			ix.both[k] = append(ix.both[k], int32(i))
+		}
+	case 's':
+		for i := from; i < len(rows); i++ {
+			ix.one[rows[i].SrcID] = append(ix.one[rows[i].SrcID], int32(i))
+		}
+	default: // 'o'
+		for i := from; i < len(rows); i++ {
+			ix.one[rows[i].DstID] = append(ix.one[rows[i].DstID], int32(i))
+		}
+	}
+}
+
+// cut returns the bucket's prefix of row ids < hi (buckets ascend).
+func cut(bucket []int32, hi int) []int32 {
+	if len(bucket) == 0 || int(bucket[len(bucket)-1]) < hi {
+		return bucket
+	}
+	n := sort.Search(len(bucket), func(j int) bool { return int(bucket[j]) >= hi })
+	return bucket[:n]
+}
+
+// DeltaBatch is the result of one incremental evaluation: the projected
+// rows of every match that became visible since the previous Advance,
+// the epoch the evaluation observed, and an opaque resume token naming
+// the consumed watermarks (ResumeStandingHunt).
+type DeltaBatch struct {
+	Epoch  snapshot.Epoch
+	Resume string
+	Rows   [][]string
+}
+
+// NewStandingHunt registers q for incremental evaluation. The hunt
+// starts at zero watermarks, so the first Advance emits every match
+// already in the store (the backfill) and later Advances emit only what
+// each commit added.
+func (en *Engine) NewStandingHunt(q *tbql.Query) (*StandingHunt, error) {
+	if q.Info() == nil {
+		if err := tbql.Analyze(q); err != nil {
+			return nil, err
+		}
+	}
+	if en.Rel == nil {
+		return nil, fmt.Errorf("exec: engine has no relational backend")
+	}
+	maxHops := en.MaxPathHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	h := &StandingHunt{
+		en:       en,
+		q:        q,
+		cols:     returnCols(q),
+		distinct: q.Distinct,
+		maxHops:  maxHops,
+		order:    en.schedule(q, maxHops),
+	}
+	h.patShards, h.relShards, h.graphShards = en.shardPlan(q)
+	for pi := range q.Patterns {
+		if len(h.patShards[pi]) == 0 {
+			h.empty = true
+		}
+	}
+	info := q.Info()
+	h.projSlots = make([]int, len(q.Return))
+	for i, item := range q.Return {
+		h.projSlots[i] = info.EntitySlot[item.ID]
+	}
+	if h.distinct {
+		h.seen = make(map[string]bool)
+	}
+	if err := h.resolvePlans(); err != nil {
+		return nil, err
+	}
+
+	h.termPlans = make([]*joinPlan, len(h.order))
+	for k := range h.order {
+		orderK := make([]int, 0, len(h.order))
+		orderK = append(orderK, h.order[k])
+		for j, pi := range h.order {
+			if j != k {
+				orderK = append(orderK, pi)
+			}
+		}
+		h.termPlans[k] = planJoin(q, orderK)
+	}
+
+	// One grow-index per (pattern, probe shape) any term's inner levels
+	// need; 'x' levels (no bound side) scan the row list directly.
+	h.idx = make(map[idxKey]*growIndex)
+	for _, tp := range h.termPlans {
+		for l := 1; l < len(tp.levels); l++ {
+			lv := &tp.levels[l]
+			var kind byte
+			switch {
+			case lv.subjBound && lv.objBound:
+				kind = 'b'
+			case lv.subjBound:
+				kind = 's'
+			case lv.objBound:
+				kind = 'o'
+			default:
+				continue
+			}
+			key := idxKey{pat: lv.patIdx, kind: kind}
+			if h.idx[key] == nil {
+				h.idx[key] = newGrowIndex(kind)
+			}
+		}
+	}
+
+	h.pats = make([]standingPat, len(q.Patterns))
+	for pi := range h.pats {
+		h.pats[pi].relMark = make(map[int]int)
+		h.pats[pi].graphMark = make(map[int]uint64)
+		h.pats[pi].graphSeen = make(map[int]map[EventRow]int32)
+	}
+	return h, nil
+}
+
+// resolvePlans (re)compiles the per-pattern plan templates at the
+// engine's current schema fingerprint, through the cross-hunt cache
+// when one is configured. Standing hunts never propagate, so every
+// plan is the shape-0 template.
+func (h *StandingHunt) resolvePlans() error {
+	fp := h.en.schemaFingerprint()
+	if h.plans != nil && fp == h.fp {
+		return nil
+	}
+	h.en.Plans.ensureSchema(fp)
+	var stats Stats
+	plans := make([]*patternPlan, len(h.q.Patterns))
+	for pi := range h.q.Patterns {
+		p, err := h.en.lookupPlan(&h.q.Patterns[pi], 0, h.maxHops, fp, &stats)
+		if err != nil {
+			return err
+		}
+		plans[pi] = p
+	}
+	h.plans, h.fp = plans, fp
+	return nil
+}
+
+// Columns returns the projected column names. The caller must not
+// modify the returned slice.
+func (h *StandingHunt) Columns() []string { return h.cols }
+
+// Totals reports how many batches this hunt has evaluated and how many
+// match rows it has emitted.
+func (h *StandingHunt) Totals() (batches, matches int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.batches, h.matches
+}
+
+// Advance evaluates the hunt against everything committed since the
+// previous Advance (or since registration) and returns the new matches.
+// It is safe for concurrent use; concurrent calls serialize, and a call
+// that observes no new rows returns an empty batch.
+func (h *StandingHunt) Advance() (*DeltaBatch, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.advanceLocked()
+}
+
+func (h *StandingHunt) advanceLocked() (*DeltaBatch, error) {
+	sv, err := h.en.snapshotStores(h.relShards, h.graphShards)
+	if err != nil {
+		return nil, err
+	}
+	batch := &DeltaBatch{Epoch: sv.epoch}
+	h.batches++
+	if h.empty || len(h.order) == 0 {
+		batch.Resume = h.tokenLocked()
+		return batch, nil
+	}
+	if err := h.resolvePlans(); err != nil {
+		return nil, err
+	}
+
+	anyNew := false
+	for pi := range h.q.Patterns {
+		st := &h.pats[pi]
+		st.oldLen = len(st.rows)
+		if err := h.fetchDelta(pi, sv); err != nil {
+			return nil, err
+		}
+		if len(st.rows) > st.oldLen {
+			anyNew = true
+			for key, ix := range h.idx {
+				if key.pat == pi {
+					ix.add(st.rows, st.oldLen)
+				}
+			}
+		}
+	}
+	if !anyNew {
+		batch.Resume = h.tokenLocked()
+		return batch, nil
+	}
+
+	attrs, err := h.en.entityAttrsAt(sv.ent)
+	if err != nil {
+		return nil, err
+	}
+	emit := func(entities []int64) {
+		row := make([]string, len(h.projSlots))
+		for i, slot := range h.projSlots {
+			row[i] = attrs.get(entities[slot], h.q.Return[i].Attr)
+		}
+		if h.distinct {
+			key := strings.Join(row, "\x00")
+			if h.seen[key] {
+				return
+			}
+			h.seen[key] = true
+		}
+		batch.Rows = append(batch.Rows, row)
+	}
+	for k, tp := range h.termPlans {
+		h.runTerm(k, tp, emit)
+	}
+
+	for pi := range h.pats {
+		h.pats[pi].oldLen = len(h.pats[pi].rows)
+	}
+	h.matches += int64(len(batch.Rows))
+	batch.Resume = h.tokenLocked()
+	return batch, nil
+}
+
+// fetchDelta pulls pattern pi's new rows at the snapshot and appends
+// them to its retained row list.
+func (h *StandingHunt) fetchDelta(pi int, sv *storeView) error {
+	pat := &h.q.Patterns[pi]
+	st := &h.pats[pi]
+	plan := h.plans[pi]
+	if pat.IsPath {
+		for _, s := range h.patShards[pi] {
+			mark := sv.graph[s]
+			if mark <= st.graphMark[s] {
+				continue
+			}
+			gr, err := h.en.Graph.Shard(s).QueryPreparedAt(plan.cy, mark, plan.bindCypher(nil, nil))
+			if err != nil {
+				return err
+			}
+			// Multiset-diff against the previous mark's result: edges are
+			// append-only, so the old result is a sub-multiset of the new
+			// one and every excess occurrence is a delta row.
+			old := st.graphSeen[s]
+			occ := make(map[EventRow]int32, len(gr.Data))
+			for _, r := range gr.Data {
+				er := EventRow{
+					SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
+					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+				}
+				occ[er]++
+				if occ[er] > old[er] {
+					st.rows = append(st.rows, er)
+				}
+			}
+			st.graphSeen[s] = occ
+			st.graphMark[s] = mark
+		}
+		return nil
+	}
+	for _, s := range h.patShards[pi] {
+		v := sv.rel[s]
+		evts := v.Table(relstore.EventTable)
+		if evts == nil {
+			return fmt.Errorf("exec: no table %q", relstore.EventTable)
+		}
+		n := evts.NumRows()
+		prev := st.relMark[s]
+		if n <= prev {
+			continue
+		}
+		rr, err := plan.sql.QueryViewSince(v, nil, relstore.EventTable, prev)
+		if err != nil {
+			return err
+		}
+		for _, r := range rr.Data {
+			st.rows = append(st.rows, EventRow{
+				EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
+				Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+			})
+		}
+		st.relMark[s] = n
+	}
+	return nil
+}
+
+// runTerm evaluates the telescope's k-th term: seed on pattern
+// F[k]'s delta rows, join new-inclusive rows for patterns scheduled
+// before F[k] and old-only rows for patterns after it.
+func (h *StandingHunt) runTerm(k int, tp *joinPlan, emit func(entities []int64)) {
+	seedPat := h.order[k]
+	seed := &h.pats[seedPat]
+	if seed.oldLen == len(seed.rows) {
+		return // no delta on this pattern: the term contributes nothing
+	}
+	// hi[pi] bounds pattern pi's candidate row ids for this term.
+	hi := make([]int, len(h.pats))
+	for j, pi := range h.order {
+		if j < k {
+			hi[pi] = len(h.pats[pi].rows)
+		} else {
+			hi[pi] = h.pats[pi].oldLen
+		}
+	}
+
+	events := make([]EventRow, len(h.q.Patterns))
+	entities := make([]int64, tp.nEnt)
+	last := len(tp.levels) - 1
+
+	var rec func(d int)
+	rec = func(d int) {
+		lv := &tp.levels[d]
+		rows := h.pats[lv.patIdx].rows
+		try := func(rid int32) {
+			r := rows[rid]
+			events[lv.patIdx] = r
+			for _, check := range lv.checks {
+				if !check(events) {
+					return
+				}
+			}
+			// Bind subject then object, matching the streaming join's
+			// overwrite semantics; probed sides already hold equal values.
+			entities[lv.subjSlot] = r.SrcID
+			entities[lv.objSlot] = r.DstID
+			if d == last {
+				emit(entities)
+				return
+			}
+			rec(d + 1)
+		}
+		if d == 0 {
+			for rid := seed.oldLen; rid < len(seed.rows); rid++ {
+				try(int32(rid))
+			}
+			return
+		}
+		bound := hi[lv.patIdx]
+		switch {
+		case lv.subjBound && lv.objBound:
+			ix := h.idx[idxKey{pat: lv.patIdx, kind: 'b'}]
+			for _, rid := range cut(ix.both[[2]int64{entities[lv.subjSlot], entities[lv.objSlot]}], bound) {
+				try(rid)
+			}
+		case lv.subjBound:
+			ix := h.idx[idxKey{pat: lv.patIdx, kind: 's'}]
+			for _, rid := range cut(ix.one[entities[lv.subjSlot]], bound) {
+				try(rid)
+			}
+		case lv.objBound:
+			ix := h.idx[idxKey{pat: lv.patIdx, kind: 'o'}]
+			for _, rid := range cut(ix.one[entities[lv.objSlot]], bound) {
+				try(rid)
+			}
+		default:
+			for rid := 0; rid < bound; rid++ {
+				try(int32(rid))
+			}
+		}
+	}
+	rec(0)
+}
+
+// tokenLocked renders the hunt's consumed watermarks as an opaque
+// resume token: the query fingerprint (so a token cannot silently
+// resume a different query), the per-relational-shard events row
+// watermark, and the per-graph-shard epoch mark.
+func (h *StandingHunt) tokenLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1 q=%x", queryFingerprint(h.q))
+	// Shard watermarks are aggregated across patterns: every pattern on
+	// a shard consumes to the same watermark in one Advance, so the max
+	// is the hunt's position. (Patterns can differ only transiently,
+	// mid-advance, and tokens are rendered at the end.)
+	relMax := map[int]int{}
+	graphMax := map[int]uint64{}
+	for pi := range h.pats {
+		for s, n := range h.pats[pi].relMark {
+			if n > relMax[s] {
+				relMax[s] = n
+			}
+		}
+		for s, m := range h.pats[pi].graphMark {
+			if m > graphMax[s] {
+				graphMax[s] = m
+			}
+		}
+	}
+	b.WriteString(" ev=")
+	for i, s := range h.relShards {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", s, relMax[s])
+	}
+	b.WriteString(" g=")
+	for i, s := range h.graphShards {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", s, graphMax[s])
+	}
+	return b.String()
+}
+
+// queryFingerprint hashes the parts of a query that determine its
+// matches: the pattern normal forms (order included — the token's
+// watermarks are order-independent but the query identity is not),
+// DISTINCT, and the projection.
+func queryFingerprint(q *tbql.Query) uint64 {
+	fh := fnv.New64a()
+	for i := range q.Patterns {
+		fh.Write([]byte(tbql.FormatPattern(q.Patterns[i])))
+		fh.Write([]byte{0})
+	}
+	if q.Distinct {
+		fh.Write([]byte{1})
+	}
+	for _, item := range q.Return {
+		fh.Write([]byte(item.ID))
+		fh.Write([]byte{'.'})
+		fh.Write([]byte(item.Attr))
+		fh.Write([]byte{0})
+	}
+	return fh.Sum64()
+}
+
+// resumeMarks is a parsed resume token.
+type resumeMarks struct {
+	qfp   uint64
+	rel   map[int]int
+	graph map[int]uint64
+}
+
+func parseResumeToken(tok string) (resumeMarks, error) {
+	rm := resumeMarks{rel: map[int]int{}, graph: map[int]uint64{}}
+	fields := strings.Fields(tok)
+	if len(fields) == 0 || fields[0] != "v1" {
+		return rm, fmt.Errorf("exec: malformed resume token")
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return rm, fmt.Errorf("exec: malformed resume token field %q", f)
+		}
+		switch key {
+		case "q":
+			n, err := strconv.ParseUint(val, 16, 64)
+			if err != nil {
+				return rm, fmt.Errorf("exec: malformed resume token query hash")
+			}
+			rm.qfp = n
+		case "ev", "g":
+			if val == "" {
+				continue
+			}
+			for _, part := range strings.Split(val, ",") {
+				ss, ns, ok := strings.Cut(part, ":")
+				if !ok {
+					return rm, fmt.Errorf("exec: malformed resume token mark %q", part)
+				}
+				shard, err1 := strconv.Atoi(ss)
+				n, err2 := strconv.ParseUint(ns, 10, 64)
+				if err1 != nil || err2 != nil || shard < 0 {
+					return rm, fmt.Errorf("exec: malformed resume token mark %q", part)
+				}
+				if key == "ev" {
+					rm.rel[shard] = int(n)
+				} else {
+					rm.graph[shard] = n
+				}
+			}
+		}
+	}
+	return rm, nil
+}
+
+// ResumeStandingHunt registers q positioned at a previous hunt's resume
+// token: matches at or below the token's watermarks are silently
+// re-absorbed (rows refetched and re-indexed; for DISTINCT hunts the
+// join also replays to rebuild the emitted-row set) and the first
+// Advance emits exactly what committed after the token. The token must
+// come from the same query, and the store must have recovered at least
+// to the token's watermarks — a token "ahead" of the store means the
+// acked batches it names were not durable, and resuming would
+// silently lose them, so it is an error.
+func (en *Engine) ResumeStandingHunt(q *tbql.Query, token string) (*StandingHunt, error) {
+	h, err := en.NewStandingHunt(q)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := parseResumeToken(token)
+	if err != nil {
+		return nil, err
+	}
+	if rm.qfp != queryFingerprint(h.q) {
+		return nil, fmt.Errorf("exec: resume token belongs to a different query")
+	}
+	// Tokens always render a mark for every shard the query touches
+	// (zero included), so a shard-layout mismatch — a token minted on a
+	// store with a different shard count — is detectable and rejected
+	// rather than silently re-emitting some shards' history.
+	if len(rm.rel) != len(h.relShards) || len(rm.graph) != len(h.graphShards) {
+		return nil, fmt.Errorf("exec: resume token shard layout does not match the store (%d/%d rel, %d/%d graph shards)",
+			len(rm.rel), len(h.relShards), len(rm.graph), len(h.graphShards))
+	}
+	for _, s := range h.relShards {
+		if _, ok := rm.rel[s]; !ok {
+			return nil, fmt.Errorf("exec: resume token lacks a mark for shard %d", s)
+		}
+	}
+	for _, s := range h.graphShards {
+		if _, ok := rm.graph[s]; !ok {
+			return nil, fmt.Errorf("exec: resume token lacks a mark for graph shard %d", s)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sv, err := en.snapshotStores(h.relShards, h.graphShards)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range h.relShards {
+		v := sv.rel[s]
+		evts := v.Table(relstore.EventTable)
+		if evts == nil {
+			return nil, fmt.Errorf("exec: no table %q", relstore.EventTable)
+		}
+		if rm.rel[s] > evts.NumRows() {
+			return nil, fmt.Errorf("exec: resume token is ahead of shard %d (%d > %d rows); the store lost acknowledged commits",
+				s, rm.rel[s], evts.NumRows())
+		}
+	}
+	for _, s := range h.graphShards {
+		if rm.graph[s] > sv.graph[s] {
+			return nil, fmt.Errorf("exec: resume token is ahead of graph shard %d (mark %d > %d)",
+				s, rm.graph[s], sv.graph[s])
+		}
+	}
+	if h.empty || len(h.order) == 0 {
+		return h, nil
+	}
+
+	// Silent phase: fetch each pattern's rows bounded at the token's
+	// watermarks and build the index state, without emitting anything.
+	for pi := range h.q.Patterns {
+		pat := &h.q.Patterns[pi]
+		st := &h.pats[pi]
+		plan := h.plans[pi]
+		if pat.IsPath {
+			for _, s := range h.patShards[pi] {
+				mark := rm.graph[s]
+				if mark == 0 {
+					continue
+				}
+				gr, err := en.Graph.Shard(s).QueryPreparedAt(plan.cy, mark, plan.bindCypher(nil, nil))
+				if err != nil {
+					return nil, err
+				}
+				occ := make(map[EventRow]int32, len(gr.Data))
+				for _, r := range gr.Data {
+					er := EventRow{
+						SrcID: r[0].Int, DstID: r[1].Int, EventID: r[2].Int,
+						Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+					}
+					occ[er]++
+					st.rows = append(st.rows, er)
+				}
+				st.graphSeen[s] = occ
+				st.graphMark[s] = mark
+			}
+			continue
+		}
+		for _, s := range h.patShards[pi] {
+			n := rm.rel[s]
+			if n == 0 {
+				st.relMark[s] = 0
+				continue
+			}
+			rr, err := plan.sql.QueryView(sv.rel[s].Clamp(relstore.EventTable, n), nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rr.Data {
+				st.rows = append(st.rows, EventRow{
+					EventID: r[0].Int, SrcID: r[1].Int, DstID: r[2].Int,
+					Start: r[3].Int, End: r[4].Int, Amount: r[5].Int,
+				})
+			}
+			st.relMark[s] = n
+		}
+	}
+	for pi := range h.pats {
+		h.pats[pi].oldLen = len(h.pats[pi].rows)
+		for key, ix := range h.idx {
+			if key.pat == pi {
+				ix.add(h.pats[pi].rows, 0)
+			}
+		}
+	}
+
+	// DISTINCT hunts must also know which rows were already emitted:
+	// replay the full join at the token's watermarks into the seen set.
+	// (Non-DISTINCT hunts skip the join entirely — old matches can never
+	// suppress new ones.)
+	if h.distinct {
+		attrs, err := en.entityAttrsAt(sv.ent)
+		if err != nil {
+			return nil, err
+		}
+		full := planJoin(h.q, h.order)
+		rows := make([][]EventRow, len(h.q.Patterns))
+		for pi := range rows {
+			rows[pi] = h.pats[pi].rows
+		}
+		s := newMatchStream(full, rows)
+		for s.Next() {
+			row := make([]string, len(h.projSlots))
+			for i, slot := range h.projSlots {
+				row[i] = attrs.get(s.entities[slot], h.q.Return[i].Attr)
+			}
+			h.seen[strings.Join(row, "\x00")] = true
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,146 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// rowsAsSet flattens result rows into "cell|cell" strings for set
+// comparison.
+func rowsAsSet(t *testing.T, rr *Rows) map[string]int {
+	t.Helper()
+	out := make(map[string]int, len(rr.Data))
+	for _, row := range rr.Data {
+		var cells []string
+		for _, v := range row {
+			cells = append(cells, v.String())
+		}
+		out[strings.Join(cells, "|")]++
+	}
+	return out
+}
+
+// TestQueryViewSinceDelta pins the delta-fetch contract the standing-
+// hunt evaluator depends on: the since-restricted result is exactly the
+// full result minus the result over the view clamped at the watermark,
+// across the scan, equality-index, and join access paths.
+func TestQueryViewSinceDelta(t *testing.T) {
+	db := viewFixture(t, 10)
+	v1 := db.View()
+	mark := v1.Table(EventTable).NumRows()
+	if mark != 10 {
+		t.Fatalf("watermark = %d, want 10", mark)
+	}
+	for i := 10; i < 25; i++ {
+		insertEvent(t, db, int64(i+1), int64(i))
+	}
+	v2 := db.View()
+
+	for name, q := range map[string]string{
+		"scan": `SELECT e.id FROM events e`,
+		"eq":   `SELECT e.id FROM events e WHERE e.optype = 'read'`,
+		"join": `SELECT e.id, s.name FROM events e JOIN entities s ON e.srcid = s.id`,
+	} {
+		st, err := db.Prepare(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		full, err := st.QueryView(v2, nil)
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		old, err := st.QueryView(v2.Clamp(EventTable, mark), nil)
+		if err != nil {
+			t.Fatalf("%s clamped: %v", name, err)
+		}
+		delta, err := st.QueryViewSince(v2, nil, EventTable, mark)
+		if err != nil {
+			t.Fatalf("%s since: %v", name, err)
+		}
+		if len(old.Data) != 10 || len(delta.Data) != 15 || len(full.Data) != 25 {
+			t.Fatalf("%s: %d old + %d delta vs %d full", name, len(old.Data), len(delta.Data), len(full.Data))
+		}
+		want := rowsAsSet(t, full)
+		for k, n := range rowsAsSet(t, old) {
+			want[k] -= n
+			if want[k] == 0 {
+				delete(want, k)
+			}
+		}
+		got := rowsAsSet(t, delta)
+		if len(got) != len(want) {
+			t.Fatalf("%s: delta has %d distinct rows, full-minus-old has %d", name, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("%s: row %q appears %d times in delta, want %d", name, k, got[k], n)
+			}
+		}
+	}
+}
+
+// TestQueryViewSinceBounds: a watermark at the view's edge yields an
+// empty delta, a zero watermark yields everything, and naming a table
+// the statement does not bind is an error rather than a silent no-op.
+func TestQueryViewSinceBounds(t *testing.T) {
+	db := viewFixture(t, 8)
+	v := db.View()
+	st, err := db.Prepare(`SELECT e.id FROM events e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := st.QueryViewSince(v, nil, EventTable, v.Table(EventTable).NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edge.Data) != 0 {
+		t.Fatalf("delta at the watermark returned %d rows", len(edge.Data))
+	}
+	all, err := st.QueryViewSince(v, nil, EventTable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Data) != 8 {
+		t.Fatalf("delta from zero returned %d rows, want 8", len(all.Data))
+	}
+	if _, err := st.QueryViewSince(v, nil, "absent", 0); err == nil {
+		t.Fatal("since over an unbound table must error")
+	}
+}
+
+// TestClampBounds: clamping truncates exactly, clamping at or past the
+// watermark is the identity, and a negative bound clamps to empty.
+func TestClampBounds(t *testing.T) {
+	db := viewFixture(t, 12)
+	v := db.View()
+	count := func(view *View) int {
+		t.Helper()
+		rr, err := view.Query(`SELECT e.id FROM events e`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rr.Data)
+	}
+	if got := count(v.Clamp(EventTable, 5)); got != 5 {
+		t.Errorf("clamp(5) sees %d rows", got)
+	}
+	if c := v.Clamp(EventTable, 12); c != v {
+		t.Error("clamp at the watermark must return the view unchanged")
+	}
+	if c := v.Clamp(EventTable, 100); c != v {
+		t.Error("clamp past the watermark must return the view unchanged")
+	}
+	if got := count(v.Clamp(EventTable, -3)); got != 0 {
+		t.Errorf("clamp(-3) sees %d rows, want 0", got)
+	}
+	if c := v.Clamp("absent", 3); c != v {
+		t.Error("clamping an unknown table must return the view unchanged")
+	}
+	// Clamping must not disturb the original view or other tables.
+	if got := count(v); got != 12 {
+		t.Errorf("original view sees %d rows after clamps", got)
+	}
+	if v.Clamp(EventTable, 5).Table(EntityTable).NumRows() != v.Table(EntityTable).NumRows() {
+		t.Error("clamping events changed the entities watermark")
+	}
+}

@@ -181,6 +181,11 @@ type stmtRun struct {
 	// part of the plan: the same prepared Stmt runs capped for a
 	// first-page hunt and uncapped for a full drain.
 	rowCap int
+	// minRows, when non-nil, restricts each binding to row positions
+	// >= minRows[level]: the delta rows appended after a previous
+	// watermark (QueryViewSince). Bindings not under a Since restriction
+	// hold 0.
+	minRows []int
 }
 
 // compile derives everything schema-determined: bindings, conjuncts,
@@ -326,6 +331,29 @@ func (st *Stmt) QueryViewLimit(v *View, params *Params, limit int) (*Rows, error
 	return rows, err
 }
 
+// QueryViewSince executes the prepared statement against an epoch view
+// with the named table's binding(s) restricted to row positions >=
+// minRow — the rows appended after a previous watermark. For a
+// statement without ORDER BY, DISTINCT, or LIMIT whose result tuples
+// each bind the named table exactly once, the result is exactly the
+// full QueryView result minus the result over the view clamped at
+// minRow: the per-commit delta fetch the incremental standing-hunt
+// evaluator runs. Positions are the table's stable append-only row
+// positions, so a watermark taken from one view's NumRows carries to
+// any later view of the same shard.
+func (st *Stmt) QueryViewSince(v *View, params *Params, table string, minRow int) (*Rows, error) {
+	rows, _, err := st.execWith(v, params, execOpts{sinceTable: strings.ToLower(table), sinceRow: minRow})
+	return rows, err
+}
+
+// execOpts carries the per-execution knobs that are not part of the
+// prepared plan.
+type execOpts struct {
+	rowCap     int
+	sinceTable string // lowercase; "" = no delta restriction
+	sinceRow   int
+}
+
 // exec runs one uncapped execution of the prepared statement.
 func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
 	return st.execCap(view, params, 0)
@@ -334,6 +362,12 @@ func (st *Stmt) exec(view *View, params *Params) (*Rows, ExecStats, error) {
 // execCap runs one execution of the prepared statement with an
 // optional per-execution row cap.
 func (st *Stmt) execCap(view *View, params *Params, rowCap int) (*Rows, ExecStats, error) {
+	return st.execWith(view, params, execOpts{rowCap: rowCap})
+}
+
+// execWith runs one execution of the prepared statement.
+func (st *Stmt) execWith(view *View, params *Params, opts execOpts) (*Rows, ExecStats, error) {
+	rowCap := opts.rowCap
 	if st.nSet > params.NumSets() {
 		return nil, ExecStats{}, fmt.Errorf("relstore: statement wants %d set parameter(s), got %d",
 			st.nSet, params.NumSets())
@@ -347,6 +381,22 @@ func (st *Stmt) execCap(view *View, params *Params, rowCap int) (*Rows, ExecStat
 	}
 	if rowCap > 0 {
 		rt.rowCap = rowCap
+	}
+	if opts.sinceTable != "" {
+		if view == nil {
+			return nil, rt.stats, fmt.Errorf("relstore: Since execution requires an epoch view")
+		}
+		rt.minRows = make([]int, len(st.binds))
+		found := false
+		for i, b := range st.binds {
+			if b.tableName == opts.sinceTable {
+				rt.minRows[i] = opts.sinceRow
+				found = true
+			}
+		}
+		if !found {
+			return nil, rt.stats, fmt.Errorf("relstore: statement does not bind table %q", opts.sinceTable)
+		}
 	}
 
 	if view != nil {
@@ -514,7 +564,14 @@ func (rt *stmtRun) join(level int, tuple []int) error {
 	if err != nil {
 		return err
 	}
+	min := 0
+	if rt.minRows != nil {
+		min = rt.minRows[level]
+	}
 	for _, rid := range cands {
+		if rid < min {
+			continue
+		}
 		tuple[level] = rid
 		rt.stats.RowsScanned++
 		ok := true
@@ -682,9 +739,19 @@ func (rt *stmtRun) candidates(level int, tuple []int) ([]int, error) {
 		return ids, nil
 	default:
 		rt.stats.FullScans++
-		ids := make([]int, len(rows))
+		// A Since restriction turns the full scan into a suffix scan: the
+		// hot path of a delta fetch, where the events binding enumerates
+		// only the rows appended since the previous watermark.
+		min := 0
+		if rt.minRows != nil {
+			min = rt.minRows[level]
+		}
+		if min > len(rows) {
+			min = len(rows)
+		}
+		ids := make([]int, len(rows)-min)
 		for i := range ids {
-			ids[i] = i
+			ids[i] = min + i
 		}
 		return ids, nil
 	}

@@ -69,6 +69,31 @@ func (v *View) Table(name string) *TableView {
 	return v.tables[strings.ToLower(name)]
 }
 
+// Clamp returns a view identical to v except that the named table is
+// truncated to its first n rows. Positions are the table's stable,
+// append-only row positions, so clamping re-creates the view an earlier
+// epoch would have captured for that table while leaving every other
+// table (in particular the interned entities events reference) at v's
+// watermark. The incremental standing-hunt evaluator uses it to replay a
+// statement "as of" a resume token's events watermark. n at or beyond
+// the current watermark returns v unchanged.
+func (v *View) Clamp(table string, n int) *View {
+	name := strings.ToLower(table)
+	tv := v.tables[name]
+	if tv == nil || n >= len(tv.rows) {
+		return v
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := &View{db: v.db, tables: make(map[string]*TableView, len(v.tables))}
+	for k, t := range v.tables {
+		out.tables[k] = t
+	}
+	out.tables[name] = &TableView{t: tv.t, rows: tv.rows[:n:n]}
+	return out
+}
+
 // TableView captures an epoch view of just the named table, or nil if
 // the table does not exist. Callers that need one table (the projection
 // attribute cache reads only the entity table) capture it directly

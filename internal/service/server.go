@@ -86,6 +86,20 @@ type Config struct {
 	// POST /hunt (0 = DefaultQueryCacheSize; negative disables it, so
 	// every hunt re-parses).
 	QueryCache int
+	// WatchTTL is the idle lifetime of a standing hunt no consumer is
+	// attached to (no open stream, no webhook); attached watches never
+	// expire, and a disconnect restarts the countdown.
+	WatchTTL time.Duration
+	// MaxWatches caps the standing-hunt registry; registrations beyond
+	// it get 429 (watches are never silently evicted for space).
+	MaxWatches int
+	// WatchBuffer is the default per-watch delivery buffer in batches; a
+	// subscriber further behind is evicted rather than blocking ingest
+	// (0 = the facade's DefaultWatchBuffer).
+	WatchBuffer int
+	// WebhookBackoff is the base delay between webhook delivery retries,
+	// doubling per retry (default DefaultWebhookBackoff).
+	WebhookBackoff time.Duration
 	// WAL, when the daemon runs with a data dir, is the durability log
 	// the System was built on. The server wires the cursor registry's
 	// low-water mark into it so segment compaction never drops an epoch
@@ -108,6 +122,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueryCache == 0 {
 		c.QueryCache = DefaultQueryCacheSize
+	}
+	if c.WatchTTL <= 0 {
+		c.WatchTTL = DefaultWatchTTL
+	}
+	if c.MaxWatches <= 0 {
+		c.MaxWatches = DefaultMaxWatches
+	}
+	if c.WebhookBackoff <= 0 {
+		c.WebhookBackoff = DefaultWebhookBackoff
 	}
 	return c
 }
@@ -140,6 +163,9 @@ type Server struct {
 	// cursors is the server-side cursor registry (TTL, LRU, epoch pins).
 	cursors *cursorManager
 
+	// watches is the standing-hunt subscription registry (TTL, hard cap).
+	watches *watchManager
+
 	// queries caches parsed+analyzed TBQL keyed on raw source text, so
 	// repeat hunts skip parse and analysis (nil when disabled).
 	queries *queryCache
@@ -162,6 +188,7 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 		started:     time.Now(),
 		cfg:         cfg,
 		cursors:     newCursorManager(cfg.CursorTTL, cfg.MaxCursors),
+		watches:     newWatchManager(cfg.WatchTTL, cfg.MaxWatches),
 		queries:     newQueryCache(cfg.QueryCache),
 		ingestSlots: make(chan struct{}, cfg.IngestQueue),
 	}
@@ -179,6 +206,8 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 	s.mux.HandleFunc("/hunt/next", s.handleHuntNext)
 	s.mux.HandleFunc("/hunt/cursor", s.handleHuntCursor)
 	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/watch", s.handleWatch)
+	s.mux.HandleFunc("/watch/stream", s.handleWatchStream)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -705,6 +734,20 @@ type StatsResponse struct {
 	CursorPages    int64 `json:"cursor_pages"`
 	CursorsExpired int64 `json:"cursors_expired"`
 	CursorsEvicted int64 `json:"cursors_evicted"`
+	// WatchesActive is the number of registered standing hunts;
+	// WatchesOpened, WatchBatches, WatchRows, WatchEvictions,
+	// WatchesExpired, WatchWebhookRetries, and WatchWebhookFailures are
+	// lifetime counters. Evictions count slow subscribers the System
+	// dropped to keep the ingest path unblocked; expiries count watches
+	// that idled past the TTL with no consumer attached.
+	WatchesActive        int   `json:"watches_active"`
+	WatchesOpened        int64 `json:"watches_opened"`
+	WatchBatches         int64 `json:"watch_batches"`
+	WatchRows            int64 `json:"watch_rows"`
+	WatchEvictions       int64 `json:"watch_evictions"`
+	WatchesExpired       int64 `json:"watches_expired"`
+	WatchWebhookRetries  int64 `json:"watch_webhook_retries"`
+	WatchWebhookFailures int64 `json:"watch_webhook_failures"`
 	// PropagationsSkipped is the cumulative count of propagation
 	// constraints hunts dropped for exceeding the engine's propagation
 	// cap; when it climbs, hunts are silently fetching whole tables.
@@ -759,6 +802,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cursors.sweep()
+	s.watches.sweep()
+	watchOpened, watchBatches, watchRows, watchEvicted := s.sys.WatchTotals()
 	planHits, planMisses, planSize := s.sys.PlanCacheStats()
 	qHits, qMisses, qSize := s.queries.counters()
 	recovery := s.sys.Recovery()
@@ -774,6 +819,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CursorPages:           s.cursors.pages.Load(),
 		CursorsExpired:        s.cursors.expired.Load(),
 		CursorsEvicted:        s.cursors.evicted.Load(),
+		WatchesActive:         s.watches.open(),
+		WatchesOpened:         watchOpened,
+		WatchBatches:          watchBatches,
+		WatchRows:             watchRows,
+		WatchEvictions:        watchEvicted,
+		WatchesExpired:        s.watches.expired.Load(),
+		WatchWebhookRetries:   s.watches.webhookRetries.Load(),
+		WatchWebhookFailures:  s.watches.webhookFailures.Load(),
 		PropagationsSkipped:   s.propSkipped.Load(),
 		OptimizerReorders:     s.optReorders.Load(),
 		PlanCacheHits:         planHits,

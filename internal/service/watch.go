@@ -1,0 +1,557 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Standing hunts over HTTP: POST /watch registers a TBQL query for
+// continuous detection, and each ingest commit's new matches are pushed
+// to the subscriber — either pulled over GET /watch/stream as
+// Server-Sent Events or NDJSON, or posted to a webhook URL with bounded
+// retries. DELETE /watch unregisters. A watch with no attached consumer
+// expires after Config.WatchTTL; an attached subscriber that stops
+// draining is evicted by the System (never blocking ingest) and its
+// stream ends with a terminal error frame carrying the last resume
+// token, which a reconnecting client passes back to continue without
+// loss or duplication.
+
+// DefaultWatchTTL is how long a standing hunt with no attached consumer
+// (no open stream, no webhook) survives before it expires
+// (Config.WatchTTL overrides).
+const DefaultWatchTTL = 5 * time.Minute
+
+// DefaultMaxWatches caps how many standing hunts may be registered at
+// once (Config.MaxWatches overrides). Unlike cursors, watches are not
+// LRU-evicted — silently dropping an analyst's detection rule is worse
+// than refusing a new one — so registrations beyond the cap get 429.
+const DefaultMaxWatches = 128
+
+// WebhookRetries is how many delivery attempts a webhook batch gets
+// before the watch is closed and the failure counted.
+const WebhookRetries = 3
+
+// DefaultWebhookBackoff is the base delay between webhook retries; each
+// retry doubles it (Config.WebhookBackoff overrides).
+const DefaultWebhookBackoff = 250 * time.Millisecond
+
+// WatchRequest is the JSON body accepted by POST /watch. The body may
+// instead be raw TBQL source (any non-JSON content type), registering a
+// stream-only watch with default buffering.
+type WatchRequest struct {
+	// Query is the TBQL source of the standing hunt.
+	Query string `json:"query"`
+	// Webhook, when set, pushes each match batch to this http(s) URL as
+	// an NDJSON frame instead of waiting for a stream subscriber.
+	Webhook string `json:"webhook,omitempty"`
+	// Resume positions the watch after a previous watch's resume token
+	// (WatchFrame.Resume), so a reconnecting client sees exactly the
+	// matches that committed after its last acknowledged batch.
+	Resume string `json:"resume,omitempty"`
+	// Buffer overrides the delivery buffer, in batches (0 = server
+	// default). A subscriber further behind than this is evicted.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// parseWatchRequest decodes a POST /watch body: JSON when isJSON, raw
+// TBQL source otherwise. Split out (and pure) so the fuzzer can drive
+// it directly.
+func parseWatchRequest(body []byte, isJSON bool) (WatchRequest, error) {
+	var req WatchRequest
+	if isJSON {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+	} else {
+		req.Query = string(body)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, fmt.Errorf("empty TBQL query")
+	}
+	if req.Buffer < 0 {
+		return req, fmt.Errorf("buffer must be non-negative")
+	}
+	if req.Webhook != "" {
+		u, err := url.Parse(req.Webhook)
+		if err != nil {
+			return req, fmt.Errorf("bad webhook URL: %v", err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return req, fmt.Errorf("webhook URL must be absolute http or https")
+		}
+	}
+	return req, nil
+}
+
+// WatchResponse is the JSON body returned by POST /watch.
+type WatchResponse struct {
+	WatchID string   `json:"watch_id"`
+	Columns []string `json:"columns"`
+	// Resume is the token the watch has already evaluated up to (the
+	// backfill batch, if any, carries the same token). A client that
+	// receives nothing further can still resume from here.
+	Resume string `json:"resume"`
+}
+
+// WatchFrame is one delivered match batch as it appears on the wire —
+// one NDJSON line, or the data payload of one SSE "batch" event. A
+// terminal frame has Error set (and no rows): the watch ended, and
+// Resume is the last token the subscriber can reconnect with.
+type WatchFrame struct {
+	WatchID string     `json:"watch_id"`
+	Epoch   uint64     `json:"epoch"`
+	Resume  string     `json:"resume,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// appendFrameNDJSON appends f as one NDJSON line. json.Marshal never
+// emits raw newlines (they are escaped inside strings), so the frame is
+// exactly one line and the stream re-parses line by line.
+func appendFrameNDJSON(dst []byte, f *WatchFrame) ([]byte, error) {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
+}
+
+// parseFrameNDJSON decodes one NDJSON line (trailing newline optional).
+func parseFrameNDJSON(line []byte) (*WatchFrame, error) {
+	var f WatchFrame
+	if err := json.Unmarshal(bytes.TrimSuffix(line, []byte("\n")), &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// appendFrameSSE appends f as one Server-Sent Event: an "event: batch"
+// (or "event: end" for a terminal frame) with the JSON frame as its
+// single data line.
+func appendFrameSSE(dst []byte, f *WatchFrame) ([]byte, error) {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return dst, err
+	}
+	name := "batch"
+	if f.Error != "" {
+		name = "end"
+	}
+	dst = append(dst, "event: "...)
+	dst = append(dst, name...)
+	dst = append(dst, "\ndata: "...)
+	dst = append(dst, b...)
+	return append(dst, "\n\n"...), nil
+}
+
+// parseFrameSSE decodes one SSE event produced by appendFrameSSE.
+func parseFrameSSE(b []byte) (*WatchFrame, error) {
+	rest, ok := bytes.CutPrefix(b, []byte("event: "))
+	if !ok {
+		return nil, fmt.Errorf("sse frame: missing event line")
+	}
+	name, rest, ok := bytes.Cut(rest, []byte("\n"))
+	if !ok {
+		return nil, fmt.Errorf("sse frame: unterminated event line")
+	}
+	if string(name) != "batch" && string(name) != "end" {
+		return nil, fmt.Errorf("sse frame: unknown event %q", name)
+	}
+	rest, ok = bytes.CutPrefix(rest, []byte("data: "))
+	if !ok {
+		return nil, fmt.Errorf("sse frame: missing data line")
+	}
+	data, ok := bytes.CutSuffix(rest, []byte("\n\n"))
+	if !ok || bytes.Contains(data, []byte("\n")) {
+		return nil, fmt.Errorf("sse frame: data must be one newline-terminated line")
+	}
+	var f WatchFrame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if (f.Error != "") != (string(name) == "end") {
+		return nil, fmt.Errorf("sse frame: event name %q does not match frame error state", name)
+	}
+	return &f, nil
+}
+
+// frameOf maps a facade batch into its wire shape.
+func frameOf(id string, b threatraptor.WatchBatch) WatchFrame {
+	return WatchFrame{WatchID: id, Epoch: uint64(b.Epoch), Resume: b.Resume, Rows: b.Rows}
+}
+
+// watchEntry is one registered standing hunt.
+type watchEntry struct {
+	id      string
+	w       *threatraptor.Watch
+	created time.Time
+
+	// attached and lastUsed are guarded by the manager's lock: attached
+	// marks a live consumer (open stream or webhook pump) owning the
+	// delivery channel, and the TTL only counts down while detached.
+	attached bool
+	lastUsed time.Time
+}
+
+// watchManager is the subscription registry behind POST /watch,
+// GET /watch/stream, and DELETE /watch. Size is bounded by a hard cap
+// (register refuses beyond it) and a TTL on watches no consumer is
+// attached to; an attached watch never expires, and detaching (client
+// disconnect) restarts the countdown so the subscriber can reconnect.
+type watchManager struct {
+	ttl time.Duration
+	max int
+	now func() time.Time // injectable for TTL tests
+
+	mu      sync.Mutex
+	entries map[string]*watchEntry
+
+	expired         atomic.Int64
+	webhookRetries  atomic.Int64
+	webhookFailures atomic.Int64
+}
+
+func newWatchManager(ttl time.Duration, max int) *watchManager {
+	return &watchManager{
+		ttl:     ttl,
+		max:     max,
+		now:     time.Now,
+		entries: make(map[string]*watchEntry),
+	}
+}
+
+// put registers a watch and returns its entry, or false when the
+// registry is full. Expired watches are swept first so a full registry
+// of abandoned watches does not lock out new ones.
+func (m *watchManager) put(w *threatraptor.Watch) (*watchEntry, bool) {
+	e := &watchEntry{id: newCursorID(), w: w, created: m.now()}
+	var victims []*watchEntry
+	m.mu.Lock()
+	victims = m.sweepLocked(victims)
+	if len(m.entries) >= m.max {
+		m.mu.Unlock()
+		m.closeAll(victims)
+		return nil, false
+	}
+	e.lastUsed = e.created
+	m.entries[e.id] = e
+	m.mu.Unlock()
+	m.closeAll(victims)
+	return e, true
+}
+
+// attach claims the entry's consumer slot for a stream or webhook pump.
+// It returns the entry, or nil when the id is unknown or expired, or
+// (nil, false) with ok=false... the second result distinguishes "gone"
+// (nil, true) from "already has a consumer" (nil, false).
+func (m *watchManager) attach(id string) (e *watchEntry, free bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e = m.entries[id]
+	if e == nil {
+		return nil, true
+	}
+	if e.attached {
+		return nil, false
+	}
+	e.attached = true
+	e.lastUsed = m.now()
+	return e, true
+}
+
+// detach releases the consumer slot and restarts the TTL countdown.
+func (m *watchManager) detach(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.entries[id]; e != nil {
+		e.attached = false
+		e.lastUsed = m.now()
+	}
+}
+
+// remove closes and forgets the entry, reporting whether the id was
+// live. Closing the watch wakes any attached stream (its channel
+// closes), which then observes the entry gone.
+func (m *watchManager) remove(id string) bool {
+	m.mu.Lock()
+	e := m.entries[id]
+	if e != nil {
+		delete(m.entries, id)
+	}
+	m.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	e.w.Close()
+	return true
+}
+
+// sweep closes every expired watch. Returns how many were swept.
+func (m *watchManager) sweep() int {
+	var victims []*watchEntry
+	m.mu.Lock()
+	victims = m.sweepLocked(victims)
+	m.mu.Unlock()
+	m.closeAll(victims)
+	return len(victims)
+}
+
+// sweepLocked detaches expired entries (unattached and idle past the
+// TTL) for the caller to close outside the lock.
+func (m *watchManager) sweepLocked(victims []*watchEntry) []*watchEntry {
+	if m.ttl <= 0 {
+		return victims
+	}
+	cutoff := m.now().Add(-m.ttl)
+	for id, e := range m.entries {
+		if e.attached || e.lastUsed.After(cutoff) {
+			continue
+		}
+		delete(m.entries, id)
+		m.expired.Add(1)
+		victims = append(victims, e)
+	}
+	return victims
+}
+
+func (m *watchManager) closeAll(victims []*watchEntry) {
+	for _, e := range victims {
+		e.w.Close()
+	}
+}
+
+// open returns how many watches are currently registered.
+func (m *watchManager) open() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// handleWatch registers a standing hunt: POST /watch with a JSON
+// WatchRequest or raw TBQL source as the body. The response names the
+// watch; attach a subscriber with GET /watch/stream?watch=<id> (unless
+// the request set a webhook, which is its own subscriber).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+	case http.MethodDelete:
+		s.handleWatchDelete(w, r)
+		return
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "watch wants POST or DELETE, got %s", r.Method)
+		return
+	}
+	body, status, err := readBody(w, r, MaxQueryBody)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	req, err := parseWatchRequest(body, strings.Contains(r.Header.Get("Content-Type"), "json"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := s.queries.get(req.Query)
+	if q == nil {
+		q, err = s.sys.ParseQuery(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.queries.put(req.Query, q)
+	}
+	buffer := req.Buffer
+	if buffer == 0 {
+		buffer = s.cfg.WatchBuffer
+	}
+	wt, err := s.sys.Watch(q, threatraptor.WatchOptions{Buffer: buffer, Resume: req.Resume})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := s.watches.put(wt)
+	if !ok {
+		wt.Close()
+		writeError(w, http.StatusTooManyRequests,
+			"too many standing hunts (max %d); delete one or retry later", s.watches.max)
+		return
+	}
+	if req.Webhook != "" {
+		// The webhook pump is the watch's consumer from birth.
+		if e2, free := s.watches.attach(e.id); e2 != nil {
+			go s.webhookPump(e2, req.Webhook)
+		} else if !free {
+			// Unreachable in practice (the entry was just created), but
+			// never leave a webhook watch consumer-less.
+			s.watches.remove(e.id)
+			writeError(w, http.StatusInternalServerError, "watch already attached")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, WatchResponse{
+		WatchID: e.id,
+		Columns: wt.Columns(),
+		Resume:  wt.Resume(),
+	})
+}
+
+// handleWatchDelete unregisters a standing hunt:
+// DELETE /watch?watch=<id>. An attached stream observes the close and
+// ends.
+func (s *Server) handleWatchDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("watch")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing watch parameter")
+		return
+	}
+	if !s.watches.remove(id) {
+		writeError(w, http.StatusGone, "unknown or expired watch %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+}
+
+// handleWatchStream attaches to a standing hunt and streams its match
+// batches: GET /watch/stream?watch=<id>[&format=sse|ndjson] (default
+// sse). One consumer at a time: a second stream on the same watch gets
+// 409. The stream runs until the client disconnects (the watch stays
+// registered; reconnect any time within the TTL) or the watch ends —
+// eviction, evaluation failure, or DELETE — which emits a terminal
+// frame with the error and the last resume token.
+func (s *Server) handleWatchStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "watch/stream wants GET, got %s", r.Method)
+		return
+	}
+	id := r.URL.Query().Get("watch")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing watch parameter")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "sse"
+	}
+	if format != "sse" && format != "ndjson" {
+		writeError(w, http.StatusBadRequest, "format must be sse or ndjson, got %q", format)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	e, free := s.watches.attach(id)
+	if e == nil {
+		if !free {
+			writeError(w, http.StatusConflict, "watch %q already has a consumer", id)
+			return
+		}
+		writeError(w, http.StatusGone, "unknown or expired watch %q; re-register", id)
+		return
+	}
+	defer s.watches.detach(id)
+
+	if format == "sse" {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	writeFrame := func(f WatchFrame) bool {
+		var buf []byte
+		var err error
+		if format == "sse" {
+			buf, err = appendFrameSSE(nil, &f)
+		} else {
+			buf, err = appendFrameNDJSON(nil, &f)
+		}
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	ctx := r.Context()
+	for {
+		select {
+		case b, ok := <-e.w.C():
+			if !ok {
+				// The watch ended. Report why, with the last resume token so
+				// the client can re-register without loss.
+				f := WatchFrame{WatchID: id, Resume: e.w.Resume(), Error: "closed"}
+				if err := e.w.Err(); err != nil {
+					f.Error = err.Error()
+				}
+				writeFrame(f)
+				s.watches.remove(id)
+				return
+			}
+			if !writeFrame(frameOf(id, b)) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// webhookPump is the consumer goroutine of a webhook watch: it drains
+// the delivery channel and POSTs each batch to the webhook URL as one
+// NDJSON frame, retrying with exponential backoff. Exhausting the
+// retries closes the watch (counted in watch_webhook_failures) — the
+// subscriber's endpoint is down, and unread batches would otherwise
+// accumulate until eviction anyway.
+func (s *Server) webhookPump(e *watchEntry, url string) {
+	defer s.watches.remove(e.id)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for b := range e.w.C() {
+		f := frameOf(e.id, b)
+		body, err := appendFrameNDJSON(nil, &f)
+		if err != nil {
+			s.watches.webhookFailures.Add(1)
+			return
+		}
+		delivered := false
+		backoff := s.cfg.WebhookBackoff
+		for attempt := 0; attempt < WebhookRetries; attempt++ {
+			if attempt > 0 {
+				s.watches.webhookRetries.Add(1)
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			s.watches.webhookFailures.Add(1)
+			return
+		}
+	}
+}

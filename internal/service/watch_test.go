@@ -1,0 +1,538 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// crackWatchTBQL is the non-distinct variant of crackTBQL: every
+// re-ingest of the workload appends fresh events, so each commit yields
+// new match rows and a standing hunt emits a batch per ingest.
+const crackWatchTBQL = `proc p["%cracker%"] read file f["%/etc/shadow%"] as e1
+return p, f`
+
+// registerWatch POSTs a watch and decodes the response.
+func registerWatch(t *testing.T, ts *httptest.Server, req WatchRequest) WatchResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/watch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr WatchResponse
+	decodeJSON(t, resp, &wr)
+	return wr
+}
+
+// openStream attaches to a watch's NDJSON stream and returns a reader
+// positioned at the first frame plus a closer.
+func openStream(t *testing.T, ts *httptest.Server, id, format string) (*bufio.Reader, func()) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/watch/stream?watch=" + id + "&format=" + format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+func readNDJSONFrame(t *testing.T, r *bufio.Reader) *WatchFrame {
+	t.Helper()
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading frame: %v (partial %q)", err, line)
+	}
+	f, err := parseFrameNDJSON(line)
+	if err != nil {
+		t.Fatalf("bad frame %q: %v", line, err)
+	}
+	return f
+}
+
+func ingestLogs(t *testing.T, ts *httptest.Server, logs string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing IngestResponse
+	decodeJSON(t, resp, &ing)
+	if ing.EventsStored == 0 {
+		t.Fatalf("ingest stored nothing: %+v", ing)
+	}
+}
+
+// TestWatchStreamRoundTrip drives the full lifecycle over NDJSON:
+// register after an ingest (backfill frame), a second ingest pushes a
+// delta frame, DELETE ends the stream with a terminal frame, and
+// /stats accounts for all of it.
+func TestWatchStreamRoundTrip(t *testing.T) {
+	ts, _, logs := newTestServer(t)
+	ingestLogs(t, ts, logs)
+
+	// Raw-TBQL body registration (non-JSON content type).
+	resp, err := http.Post(ts.URL+"/watch", "text/plain", strings.NewReader(crackWatchTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr WatchResponse
+	decodeJSON(t, resp, &wr)
+	if wr.WatchID == "" || wr.Resume == "" {
+		t.Fatalf("watch response = %+v", wr)
+	}
+	if want := []string{"p.exename", "f.name"}; !reflect.DeepEqual(wr.Columns, want) {
+		t.Fatalf("columns = %v, want %v", wr.Columns, want)
+	}
+
+	r, closeStream := openStream(t, ts, wr.WatchID, "ndjson")
+	defer closeStream()
+
+	// Frame 1: the backfill over the pre-registration ingest.
+	f1 := readNDJSONFrame(t, r)
+	if f1.WatchID != wr.WatchID || f1.Error != "" || len(f1.Rows) == 0 || f1.Resume == "" {
+		t.Fatalf("backfill frame = %+v", f1)
+	}
+	if !strings.Contains(f1.Rows[0][0], "cracker") {
+		t.Fatalf("backfill rows = %v", f1.Rows[:1])
+	}
+
+	// Frame 2: the delta of a second ingest commit.
+	ingestLogs(t, ts, logs)
+	f2 := readNDJSONFrame(t, r)
+	if f2.Error != "" || len(f2.Rows) == 0 || f2.Epoch <= f1.Epoch {
+		t.Fatalf("delta frame = %+v after %+v", f2, f1)
+	}
+
+	// DELETE ends the watch; the stream closes with a terminal frame
+	// carrying the last resume token.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/watch?watch="+wr.WatchID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed map[string]string
+	decodeJSON(t, dresp, &closed)
+	if closed["closed"] != wr.WatchID {
+		t.Fatalf("delete response = %v", closed)
+	}
+	end := readNDJSONFrame(t, r)
+	if end.Error == "" || end.Resume == "" {
+		t.Fatalf("terminal frame = %+v", end)
+	}
+	if _, err := r.ReadBytes('\n'); err != io.EOF {
+		t.Fatalf("stream continued past terminal frame: %v", err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	decodeJSON(t, sresp, &stats)
+	if stats.WatchesActive != 0 || stats.WatchesOpened < 1 || stats.WatchBatches < 2 || stats.WatchRows < int64(len(f1.Rows)+len(f2.Rows)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestWatchStreamSSE checks the SSE framing end to end: the emitted
+// event re-parses with parseFrameSSE even with multi-line-free payload
+// guarantees.
+func TestWatchStreamSSE(t *testing.T) {
+	ts, _, logs := newTestServer(t)
+	ingestLogs(t, ts, logs)
+	wr := registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL})
+
+	r, closeStream := openStream(t, ts, wr.WatchID, "sse")
+	defer closeStream()
+
+	// One SSE event = everything up to the blank line.
+	var raw []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading sse event: %v", err)
+		}
+		raw = append(raw, line...)
+		if bytes.Equal(line, []byte("\n")) {
+			break
+		}
+	}
+	f, err := parseFrameSSE(raw)
+	if err != nil {
+		t.Fatalf("sse frame %q: %v", raw, err)
+	}
+	if f.WatchID != wr.WatchID || len(f.Rows) == 0 || f.Error != "" {
+		t.Fatalf("sse frame = %+v", f)
+	}
+}
+
+// TestWatchHTTPErrors pins every refusal path: malformed bodies,
+// unknown ids, double attach, format validation, and method checks.
+func TestWatchHTTPErrors(t *testing.T) {
+	ts, _, logs := newTestServer(t)
+	ingestLogs(t, ts, logs)
+
+	post := func(body, ct string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/watch", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"query": "`+crackWatchTBQL+`", "bogus": 1}`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("unknown JSON field: %d", got)
+	}
+	if got := post(`{broken`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("broken JSON: %d", got)
+	}
+	if got := post(`{"query": "   "}`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("empty query: %d", got)
+	}
+	if got := post(`{"query": "nonsense tbql"}`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("unparsable TBQL: %d", got)
+	}
+	if got := post(`{"query": "x", "webhook": "ftp://nope"}`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("non-http webhook: %d", got)
+	}
+	if got := post(`{"query": "x", "buffer": -1}`, "application/json"); got != http.StatusBadRequest {
+		t.Errorf("negative buffer: %d", got)
+	}
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/watch/stream"); got != http.StatusBadRequest {
+		t.Errorf("missing watch param: %d", got)
+	}
+	if got := get("/watch/stream?watch=deadbeef"); got != http.StatusGone {
+		t.Errorf("unknown watch: %d", got)
+	}
+	if got := get("/watch"); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET /watch: %d", got)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/watch?watch=deadbeef", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("DELETE unknown watch: %d", resp.StatusCode)
+	}
+
+	// Double attach: while one stream holds the consumer slot, a second
+	// gets 409; after the first disconnects, attaching works again.
+	wr := registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL})
+	_, closeStream := openStream(t, ts, wr.WatchID, "ndjson")
+	if got := get("/watch/stream?watch=" + wr.WatchID + "&format=ndjson"); got != http.StatusConflict {
+		t.Errorf("second consumer: %d, want 409", got)
+	}
+	if got := get("/watch/stream?watch=" + wr.WatchID + "&format=bogus"); got != http.StatusBadRequest {
+		t.Errorf("bad format: %d", got)
+	}
+	closeStream()
+	// The detach races with our next attach only through the server's
+	// context cancellation; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := get("/watch/stream?watch=" + wr.WatchID + "&format=ndjson"); got == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch never detached after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchCapAndTTL: the registry refuses past MaxWatches with 429,
+// and an unconsumed watch expires after the TTL (freeing capacity and
+// counting in watches_expired).
+func TestWatchCapAndTTL(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(sys, Config{MaxWatches: 2, WatchTTL: time.Minute})
+	var offset atomic.Int64 // fake-clock displacement, nanoseconds
+	srv.watches.now = func() time.Time { return time.Now().Add(time.Duration(offset.Load())) }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL})
+	registerWatch(t, ts, WatchRequest{Query: crackTBQL})
+	body, _ := json.Marshal(WatchRequest{Query: crackWatchTBQL})
+	resp, err := http.Post(ts.URL+"/watch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third watch: %d, want 429", resp.StatusCode)
+	}
+
+	// Advance the clock past the TTL: both idle watches expire, so the
+	// registration that was refused now succeeds.
+	offset.Store(int64(2 * time.Minute))
+	wr := registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL})
+	if wr.WatchID == "" {
+		t.Fatal("registration after expiry failed")
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	decodeJSON(t, sresp, &stats)
+	if stats.WatchesExpired != 2 || stats.WatchesActive != 1 {
+		t.Fatalf("stats = %+v, want 2 expired / 1 active", stats)
+	}
+	if sys.WatchCount() != 1 {
+		t.Fatalf("system still tracks %d watches", sys.WatchCount())
+	}
+}
+
+// TestWatchWebhook: a webhook watch delivers each commit's batch to the
+// sink as an NDJSON frame; a sink that keeps failing exhausts the
+// retries, closes the watch, and counts the failure.
+func TestWatchWebhook(t *testing.T) {
+	sys, err := threatraptor.New(threatraptor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(sys, Config{WebhookBackoff: time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	_, _, logs := newTestServer(t) // only for the workload text
+	ingestLogs(t, ts, logs)
+
+	frames := make(chan *WatchFrame, 16)
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		f, err := parseFrameNDJSON(body)
+		if err != nil {
+			t.Errorf("webhook got unparsable frame %q: %v", body, err)
+			return
+		}
+		frames <- f
+	}))
+	defer sink.Close()
+
+	wr := registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL, Webhook: sink.URL})
+	select {
+	case f := <-frames:
+		if f.WatchID != wr.WatchID || len(f.Rows) == 0 {
+			t.Fatalf("webhook backfill frame = %+v", f)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("webhook never received the backfill batch")
+	}
+	ingestLogs(t, ts, logs)
+	select {
+	case f := <-frames:
+		if len(f.Rows) == 0 {
+			t.Fatalf("webhook delta frame = %+v", f)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("webhook never received the delta batch")
+	}
+
+	// A sink that always fails: retries count up, then the watch closes.
+	var hits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	registerWatch(t, ts, WatchRequest{Query: crackWatchTBQL, Webhook: bad.URL})
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.watches.webhookFailures.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failing webhook never gave up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := hits.Load(); got != WebhookRetries {
+		t.Errorf("failing sink was hit %d times, want %d", got, WebhookRetries)
+	}
+	if srv.watches.webhookRetries.Load() != WebhookRetries-1 {
+		t.Errorf("retries counter = %d, want %d", srv.watches.webhookRetries.Load(), WebhookRetries-1)
+	}
+	// The failed watch removed itself; only the healthy one remains.
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.watches.open() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failed webhook watch still registered (%d open)", srv.watches.open())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchServiceRace hammers the HTTP watch surface — register,
+// stream, delete — under concurrent ingest. Run with -race; the
+// assertions are weak on purpose, the interleavings are the test.
+func TestWatchServiceRace(t *testing.T) {
+	ts, _, logs := newTestServer(t)
+	// Quarter the workload so each ingest is cheap.
+	lines := strings.SplitAfter(logs, "\n")
+	quarter := strings.Join(lines[:len(lines)/4], "")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(quarter))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				body, _ := json.Marshal(WatchRequest{Query: crackWatchTBQL, Buffer: 2})
+				resp, err := http.Post(ts.URL+"/watch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("watch register: %d %s", resp.StatusCode, raw)
+					return
+				}
+				var wr WatchResponse
+				if err := json.Unmarshal(raw, &wr); err != nil {
+					t.Error(err)
+					return
+				}
+				if j%2 == 0 {
+					// Attach briefly, read whatever is buffered, disconnect.
+					sresp, err := http.Get(ts.URL + "/watch/stream?watch=" + wr.WatchID + "&format=ndjson")
+					if err == nil {
+						buf := make([]byte, 4096)
+						sresp.Body.Read(buf)
+						sresp.Body.Close()
+					}
+				}
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/watch?watch="+wr.WatchID, nil)
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, dresp.Body)
+				dresp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FuzzWatchRequest: parseWatchRequest never panics, and anything it
+// accepts satisfies its own contract (non-blank query, absolute
+// http(s) webhook, non-negative buffer).
+func FuzzWatchRequest(f *testing.F) {
+	f.Add([]byte(`{"query": "proc p read file f as e1\nreturn p"}`), true)
+	f.Add([]byte(`{"query": "x", "webhook": "http://sink/hook", "resume": "v1 q=1 ev=0:0 g=0:0", "buffer": 4}`), true)
+	f.Add([]byte("proc p read file f as e1\nreturn distinct p, f"), false)
+	f.Add([]byte(`{"query": ""}`), true)
+	f.Add([]byte(`{"query": "x", "webhook": "ftp://bad"}`), true)
+	f.Add([]byte(`{broken`), true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, body []byte, isJSON bool) {
+		req, err := parseWatchRequest(body, isJSON)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			t.Fatalf("accepted blank query from %q", body)
+		}
+		if req.Buffer < 0 {
+			t.Fatalf("accepted negative buffer %d from %q", req.Buffer, body)
+		}
+		if req.Webhook != "" && !strings.HasPrefix(req.Webhook, "http") {
+			t.Fatalf("accepted webhook %q from %q", req.Webhook, body)
+		}
+		if !isJSON && req.Query != string(body) {
+			t.Fatalf("raw body %q parsed to query %q", body, req.Query)
+		}
+	})
+}
+
+// FuzzWatchFrame: every frame the writers emit re-parses to the same
+// frame, for both wire formats, whatever bytes end up in the cells.
+func FuzzWatchFrame(f *testing.F) {
+	f.Add("w1", uint64(3), "v1 q=1 ev=0:0 g=0:0", "cell", "", "")
+	f.Add("w2", uint64(0), "", "multi\nline", "uni code", "slow subscriber evicted")
+	f.Add("", ^uint64(0), "\x00\x1f", "\r\n\r\n", "data: sneaky", "event: end")
+	f.Fuzz(func(t *testing.T, id string, epoch uint64, resume, cellA, cellB, errStr string) {
+		// json.Marshal coerces invalid UTF-8 to U+FFFD; pre-apply the same
+		// coercion so byte-level equality is the right round-trip check.
+		valid := func(s string) string { return strings.ToValidUTF8(s, "�") }
+		id, resume, errStr = valid(id), valid(resume), valid(errStr)
+		cellA, cellB = valid(cellA), valid(cellB)
+		frame := WatchFrame{WatchID: id, Epoch: epoch, Resume: resume, Error: errStr}
+		if cellA != "" || cellB != "" {
+			frame.Rows = [][]string{{cellA, cellB}, {cellB}}
+		}
+		ndjson, err := appendFrameNDJSON(nil, &frame)
+		if err != nil {
+			t.Fatalf("ndjson append: %v", err)
+		}
+		if n := bytes.Count(ndjson, []byte("\n")); n != 1 {
+			t.Fatalf("ndjson frame is %d lines: %q", n, ndjson)
+		}
+		back, err := parseFrameNDJSON(ndjson)
+		if err != nil {
+			t.Fatalf("ndjson re-parse of %q: %v", ndjson, err)
+		}
+		if !reflect.DeepEqual(*back, frame) {
+			t.Fatalf("ndjson round trip: %+v -> %+v", frame, *back)
+		}
+		sse, err := appendFrameSSE(nil, &frame)
+		if err != nil {
+			t.Fatalf("sse append: %v", err)
+		}
+		back, err = parseFrameSSE(sse)
+		if err != nil {
+			t.Fatalf("sse re-parse of %q: %v", sse, err)
+		}
+		if !reflect.DeepEqual(*back, frame) {
+			t.Fatalf("sse round trip: %+v -> %+v", frame, *back)
+		}
+	})
+}

@@ -26,8 +26,19 @@ type Epoch uint64
 // Clock issues epochs. The zero Clock is ready to use (current epoch 0).
 // Advance is called once per ingest commit, after the batch's rows are
 // visible in the stores; Current names the epoch a new reader pins.
+//
+// The clock is also the delta-notification hub for standing hunts:
+// Subscribe registers a callback and Announce runs every callback once a
+// commit's rows are fully published. Announce is distinct from Advance
+// because under a write-ahead log the epoch is claimed before the rows
+// are loaded into the stores — the clock moving is not yet a safe signal
+// to read the new delta, but an Announce is.
 type Clock struct {
 	cur atomic.Uint64
+
+	mu      sync.Mutex
+	subs    map[int]func(Epoch)
+	nextSub int
 }
 
 // Advance marks one ingest commit and returns the new current epoch.
@@ -41,6 +52,42 @@ func (c *Clock) Current() Epoch { return Epoch(c.cur.Load()) }
 // log left off instead of reissuing epochs durably claimed by previous
 // commits.
 func (c *Clock) Reset(e Epoch) { c.cur.Store(uint64(e)) }
+
+// Subscribe registers fn to run on every Announce and returns a cancel
+// function. Callbacks run synchronously on the announcing goroutine —
+// the ingest commit path — so they must not block; a subscriber that
+// needs to do real work should hand off to its own goroutine (the
+// standing-hunt evaluator posts to a 1-buffered coalescing channel).
+func (c *Clock) Subscribe(fn func(Epoch)) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subs == nil {
+		c.subs = make(map[int]func(Epoch))
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.subs, id)
+	}
+}
+
+// Announce notifies subscribers that the commit named e has fully
+// published: its rows are visible in every store, so an incremental
+// reader may now consume the delta up to e.
+func (c *Clock) Announce(e Epoch) {
+	c.mu.Lock()
+	fns := make([]func(Epoch), 0, len(c.subs))
+	for _, fn := range c.subs {
+		fns = append(fns, fn)
+	}
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(e)
+	}
+}
 
 // Registry reference-counts pinned epochs. It is safe for concurrent
 // use. Pinning is advisory — the append-only stores never need a pin to

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -226,35 +228,82 @@ func writeSet(fsys FS, dir string, lo, hi uint64, commits []*Commit, shards int)
 }
 
 // readSet streams a complete set's commits to apply, entities file
-// first. Segment files were fully synced before their marker, so any
-// decode failure is real corruption and aborts recovery.
+// first, one file at a time. apply is never called concurrently; this
+// is the path for callers with order- or concurrency-sensitive apply
+// functions (mergeSets accumulates into a shared slice). Segment files
+// were fully synced before their marker, so any decode failure is real
+// corruption and aborts recovery.
 func readSet(fsys FS, dir string, s segSet, apply func(*Commit) error) error {
 	for _, name := range s.files {
-		path := filepath.Join(dir, segmentsDir, name)
-		f, err := fsys.OpenFile(path, os.O_RDONLY)
-		if err != nil {
-			return fmt.Errorf("wal: segment %s: %w", name, err)
-		}
-		r := NewReader(f)
-		for {
-			c, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				f.Close()
-				return fmt.Errorf("wal: segment %s: %w", name, err)
-			}
-			if err := apply(c); err != nil {
-				f.Close()
-				return err
-			}
-		}
-		if err := f.Close(); err != nil {
+		if err := readSegFile(fsys, dir, name, apply); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// readSetParallel streams a complete set's commits to apply: the
+// entities file first (sequentially — events reference interned
+// entities, and entity IDs must restore in order), then the per-shard
+// events files concurrently. Within one events file commits apply in
+// epoch order, so when WAL shards match store shards each store shard
+// still sees its rows in commit order; across shards apply runs
+// concurrently, so it must be safe for concurrent calls carrying
+// events of different shards. This is the restart-recovery path, where
+// per-shard loading was the remaining sequential bottleneck.
+func readSetParallel(fsys FS, dir string, s segSet, apply func(*Commit) error) error {
+	var evFiles []string
+	for _, name := range s.files {
+		if strings.HasSuffix(name, ".ents.seg") {
+			if err := readSegFile(fsys, dir, name, apply); err != nil {
+				return err
+			}
+		} else {
+			evFiles = append(evFiles, name)
+		}
+	}
+	if len(evFiles) == 1 {
+		return readSegFile(fsys, dir, evFiles[0], apply)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(evFiles))
+	for _, name := range evFiles {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := readSegFile(fsys, dir, name, apply); err != nil {
+				errCh <- err
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// readSegFile streams one segment file's commits to apply.
+func readSegFile(fsys FS, dir, name string, apply func(*Commit) error) error {
+	path := filepath.Join(dir, segmentsDir, name)
+	f, err := fsys.OpenFile(path, os.O_RDONLY)
+	if err != nil {
+		return fmt.Errorf("wal: segment %s: %w", name, err)
+	}
+	r := NewReader(f)
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: segment %s: %w", name, err)
+		}
+		if err := apply(c); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // removeSet deletes a set, marker first: a crash mid-delete leaves an

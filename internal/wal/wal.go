@@ -250,11 +250,14 @@ func parseWalName(name string) (uint64, bool) {
 // Replay recovers the directory's durable state — newest valid segment
 // sets in range order, then the WAL tail — invoking apply once per
 // recovered commit, in an order safe to load (entities always precede
-// the events that reference them). The WAL is truncated at the first
-// torn or corrupt record; everything after it (including later WAL
-// files) is dropped and counted. Replay then retains the WAL tail's
-// commits as the pending delta set (the next segment flush covers
-// them), resumes appending, and starts the background sync and
+// the events that reference them). Within each segment set the
+// per-shard events files load concurrently, so apply must be safe for
+// concurrent calls carrying events of different shards; entity commits
+// and the WAL tail still apply sequentially. The WAL is truncated at
+// the first torn or corrupt record; everything after it (including
+// later WAL files) is dropped and counted. Replay then retains the WAL
+// tail's commits as the pending delta set (the next segment flush
+// covers them), resumes appending, and starts the background sync and
 // segment-flush loops.
 func (l *Log) Replay(apply func(*Commit) error) (RecoveryInfo, error) {
 	l.mu.Lock()
@@ -289,12 +292,15 @@ func (l *Log) Replay(apply func(*Commit) error) (RecoveryInfo, error) {
 	for _, s := range stale {
 		_ = removeSet(l.fs, l.dir, s)
 	}
+	var infoMu sync.Mutex // readSetParallel applies concurrently
 	for _, s := range chain {
-		if err := readSet(l.fs, l.dir, s, func(c *Commit) error {
+		if err := readSetParallel(l.fs, l.dir, s, func(c *Commit) error {
+			infoMu.Lock()
 			info.Commits++
 			if c.Epoch > info.Epoch {
 				info.Epoch = c.Epoch
 			}
+			infoMu.Unlock()
 			return apply(c)
 		}); err != nil {
 			return info, err

@@ -203,6 +203,19 @@ type System struct {
 	// shardIngests counts, per shard, the ingest batches that stored
 	// events there (GET /stats surfaces it next to per-shard row counts).
 	shardIngests []atomic.Int64
+
+	// Standing-hunt registry (see watch.go). watchNotify is a 1-buffered
+	// coalescing channel the clock's commit announcements post to;
+	// watchLoop drains it and pumps every registered watch.
+	watchMu      sync.Mutex
+	watches      map[uint64]*Watch
+	watchNextID  uint64
+	watchRunning bool
+	watchNotify  chan struct{}
+	watchOpened  atomic.Int64
+	watchBatches atomic.Int64
+	watchRows    atomic.Int64
+	watchEvicted atomic.Int64
 }
 
 // New creates an empty System.
@@ -233,7 +246,10 @@ func New(opts Options) (*System, error) {
 			MaxPropagatedIDs:     opts.MaxPropagatedIDs,
 		},
 		shardIngests: make([]atomic.Int64, nShards),
+		watches:      make(map[uint64]*Watch),
+		watchNotify:  make(chan struct{}, 1),
 	}
+	s.notifyWatches()
 	planCache := opts.PlanCacheSize
 	if planCache == 0 {
 		planCache = exec.DefaultPlanCacheSize
@@ -252,6 +268,11 @@ func New(opts Options) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("threatraptor: recovery: %w", err)
 		}
+		// Segment replay applies per-shard event files concurrently, so
+		// the parser's provenance log interleaves across shards; restore
+		// commit order (event IDs were assigned under the ingest lock)
+		// before any reader depends on it.
+		s.parser.SortRestoredEvents()
 		s.clock.Reset(Epoch(info.Epoch))
 	}
 	return s, nil
@@ -259,8 +280,11 @@ func New(opts Options) (*System, error) {
 
 // applyCommit loads one recovered commit into the parser and both
 // stores — the same load path live ingestion uses, minus the WAL
-// append. Replay is single-threaded and runs before any reader exists,
-// so no locking subtleties apply.
+// append. Replay runs before any reader exists, but segment replay may
+// call it concurrently for event commits of different shards
+// (wal.Replay's contract): that is safe here because Restore locks the
+// parser, each event load locks only its target shard, and the counters
+// are atomic. New re-sorts the parser's event log afterwards.
 func (s *System) applyCommit(c *wal.Commit) error {
 	s.parser.Restore(c.Entities, c.Events)
 	if len(c.Entities) > 0 {
@@ -494,6 +518,10 @@ func (s *System) ingestCommit(recs []Record) (IngestStats, wal.Ack, error) {
 	if s.wal == nil {
 		s.clock.Advance()
 	}
+	// The commit is fully visible (events loaded, watermarks moved):
+	// announce it so standing hunts evaluate the new delta. Announce only
+	// posts a coalescing wake-up — it never blocks the ingest path.
+	s.clock.Announce(s.clock.Current())
 	return stats, ack, nil
 }
 

@@ -146,39 +146,56 @@ func assertHuntEquivalence(t *testing.T, label string, want, got *System, querie
 // TestRecoveredHuntEquivalence is the acceptance suite: ingest across
 // hosts (with a mid-stream segment flush so recovery exercises both the
 // segment and WAL-tail paths), restart cleanly, and require 120 random
-// hunts to return identical match sets on the recovered store.
+// hunts to return identical match sets on the recovered store. The
+// 4-shard variant replays per-shard segment files concurrently at
+// restart, so it additionally proves the parallel loader reassembles
+// the same store — including the commit-ordered event IDs the restored
+// parser re-sorts to.
 func TestRecoveredHuntEquivalence(t *testing.T) {
-	dir := t.TempDir()
-	cfg := wal.Config{Shards: 2}
-	sys, log := durableSystem(t, dir, cfg, Options{Shards: 2})
-	for b := 0; b < 4; b++ {
-		for _, host := range []string{"hostA", "hostB", "hostC"} {
-			if _, err := sys.IngestRecords(durabilityBatch(host, b, 40)); err != nil {
-				t.Fatalf("ingest %s/%d: %v", host, b, err)
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := wal.Config{Shards: shards}
+			sys, log := durableSystem(t, dir, cfg, Options{Shards: shards})
+			for b := 0; b < 4; b++ {
+				for _, host := range []string{"hostA", "hostB", "hostC"} {
+					if _, err := sys.IngestRecords(durabilityBatch(host, b, 40)); err != nil {
+						t.Fatalf("ingest %s/%d: %v", host, b, err)
+					}
+				}
+				if b == 1 {
+					// Half the data goes through a segment set, half stays WAL tail.
+					if err := log.FlushSegments(); err != nil {
+						t.Fatalf("FlushSegments: %v", err)
+					}
+				}
 			}
-		}
-		if b == 1 {
-			// Half the data goes through a segment set, half stays WAL tail.
-			if err := log.FlushSegments(); err != nil {
-				t.Fatalf("FlushSegments: %v", err)
+			if err := log.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
 			}
-		}
-	}
-	if err := log.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
 
-	recovered, log2 := durableSystem(t, dir, cfg, Options{Shards: 2})
-	defer log2.Close()
-	rec := recovered.Recovery()
-	if !rec.Clean || rec.Epoch != uint64(sys.Epoch()) {
-		t.Fatalf("recovery info %+v, want clean at epoch %d", rec, sys.Epoch())
+			recovered, log2 := durableSystem(t, dir, cfg, Options{Shards: shards})
+			defer log2.Close()
+			rec := recovered.Recovery()
+			if !rec.Clean || rec.Epoch != uint64(sys.Epoch()) {
+				t.Fatalf("recovery info %+v, want clean at epoch %d", rec, sys.Epoch())
+			}
+			if recovered.NumEvents() != sys.NumEvents() || recovered.NumEntities() != sys.NumEntities() {
+				t.Fatalf("recovered %d/%d events/entities, want %d/%d",
+					recovered.NumEvents(), recovered.NumEntities(), sys.NumEvents(), sys.NumEntities())
+			}
+			// Concurrent per-shard replay restores events in nondeterministic
+			// order; SortRestoredEvents must have put the parser's slice back
+			// in ID (= commit) order.
+			evs := recovered.parser.Events()
+			for i := 1; i < len(evs); i++ {
+				if evs[i-1].ID >= evs[i].ID {
+					t.Fatalf("restored events out of ID order at %d: %d >= %d", i, evs[i-1].ID, evs[i].ID)
+				}
+			}
+			assertHuntEquivalence(t, "clean-restart", sys, recovered, randomHuntQueries(120, 42))
+		})
 	}
-	if recovered.NumEvents() != sys.NumEvents() || recovered.NumEntities() != sys.NumEntities() {
-		t.Fatalf("recovered %d/%d events/entities, want %d/%d",
-			recovered.NumEvents(), recovered.NumEntities(), sys.NumEvents(), sys.NumEntities())
-	}
-	assertHuntEquivalence(t, "clean-restart", sys, recovered, randomHuntQueries(120, 42))
 }
 
 // TestCrashRecoveryProperty is the kill-at-random-offset property test:

@@ -1,0 +1,462 @@
+package threatraptor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// drainWatch empties everything currently buffered on the watch (and,
+// if the channel is closed, everything ever delivered), returning the
+// rows joined per row.
+func drainWatch(w *Watch) []string {
+	var rows []string
+	for {
+		select {
+		case b, ok := <-w.C():
+			if !ok {
+				return rows
+			}
+			for _, r := range b.Rows {
+				rows = append(rows, strings.Join(r, "\x1f"))
+			}
+		default:
+			return rows
+		}
+	}
+}
+
+// TestStandingHuntMatchesReexecution is the tentpole's equivalence
+// property: for 120 random queries (multi-pattern joins, paths,
+// temporal constraints, DISTINCT) registered at random points of a
+// randomized ingest interleaving, the union of every delta batch a
+// standing hunt delivers equals re-executing the query from scratch at
+// the final epoch — on both an unsharded and a 4-shard store.
+func TestStandingHuntMatchesReexecution(t *testing.T) {
+	hosts := []string{"hostA", "hostB", "hostC"}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			sys, err := New(Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := randomHuntQueries(120, 4242)
+			watches := make([]*Watch, len(queries))
+			register := func(lo, hi int) {
+				for i := lo; i < hi && i < len(queries); i++ {
+					q, err := sys.ParseQuery(queries[i])
+					if err != nil {
+						t.Fatalf("query %d: %v\n%s", i, err, queries[i])
+					}
+					w, err := sys.Watch(q, WatchOptions{Buffer: 64})
+					if err != nil {
+						t.Fatalf("watch %d: %v", i, err)
+					}
+					watches[i] = w
+				}
+			}
+
+			// Random ingest interleaving across hosts and batches.
+			type step struct {
+				host  string
+				batch int
+			}
+			var steps []step
+			for b := 0; b < 4; b++ {
+				for _, h := range hosts {
+					steps = append(steps, step{h, b})
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(shards)))
+			rng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+
+			// A third of the watches register before any data (pure
+			// incremental), a third mid-stream (backfill + increments), a
+			// third near the end (mostly backfill).
+			register(0, len(queries)/3)
+			for si, stp := range steps {
+				if _, err := sys.IngestRecords(durabilityBatch(stp.host, stp.batch, 40)); err != nil {
+					t.Fatalf("ingest %s/%d: %v", stp.host, stp.batch, err)
+				}
+				sys.SyncWatches()
+				switch si {
+				case len(steps) / 3:
+					register(len(queries)/3, 2*len(queries)/3)
+				case 2 * len(steps) / 3:
+					register(2*len(queries)/3, len(queries))
+				}
+			}
+			sys.SyncWatches()
+
+			for i, w := range watches {
+				w.Close()
+				got := drainWatch(w)
+				sort.Strings(got)
+				res, err := sys.Hunt(queries[i])
+				if err != nil {
+					t.Fatalf("re-execution %d: %v\n%s", i, err, queries[i])
+				}
+				want := sortedRows(res)
+				if len(got) != len(want) {
+					t.Fatalf("query %d: %d delta rows vs %d re-executed\n%s", i, len(got), len(want), queries[i])
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("query %d row %d: %q vs %q\n%s", i, j, got[j], want[j], queries[i])
+					}
+				}
+			}
+			if sys.WatchCount() != 0 {
+				t.Fatalf("%d watches leaked after Close", sys.WatchCount())
+			}
+		})
+	}
+}
+
+// TestStandingHuntCrashResume is the crash-interleaving variant: with
+// fsync-always, crash mid-stream (no Close), restart from the WAL, and
+// resume each watch from its last acknowledged token. The union of the
+// batches acked before the crash and the batches after the resume must
+// equal the final re-execution — no acked match lost, none duplicated.
+func TestStandingHuntCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := wal.Config{Shards: 2, Fsync: wal.Policy{Mode: wal.FsyncAlways}}
+	hosts := []string{"hostA", "hostB", "hostC"}
+	queries := randomHuntQueries(24, 777)
+
+	sys, _ := durableSystem(t, dir, cfg, Options{Shards: 2})
+	watches := make([]*Watch, len(queries))
+	for i, src := range queries {
+		q, err := sys.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("query %d: %v\n%s", i, err, src)
+		}
+		if watches[i], err = sys.Watch(q, WatchOptions{Buffer: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < 2; b++ {
+		for _, h := range hosts {
+			if _, err := sys.IngestRecords(durabilityBatch(h, b, 30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sys.SyncWatches()
+	acked := make([][]string, len(queries))
+	tokens := make([]string, len(queries))
+	for i, w := range watches {
+		acked[i] = drainWatch(w)
+		tokens[i] = w.Resume()
+	}
+	// Crash: drop the System without Close. Fsync-always means every
+	// acknowledged ingest — and so every consumed watermark — is durable.
+
+	recovered, log2 := durableSystem(t, dir, cfg, Options{Shards: 2})
+	defer log2.Close()
+	resumed := make([]*Watch, len(queries))
+	for i, src := range queries {
+		q, err := recovered.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed[i], err = recovered.Watch(q, WatchOptions{Buffer: 64, Resume: tokens[i]}); err != nil {
+			t.Fatalf("resume %d: %v", i, err)
+		}
+	}
+	for b := 2; b < 4; b++ {
+		for _, h := range hosts {
+			if _, err := recovered.IngestRecords(durabilityBatch(h, b, 30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recovered.SyncWatches()
+	for i, w := range resumed {
+		w.Close()
+		union := append(append([]string{}, acked[i]...), drainWatch(w)...)
+		sort.Strings(union)
+		res, err := recovered.Hunt(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sortedRows(res)
+		if len(union) != len(want) {
+			t.Fatalf("query %d: acked∪resumed has %d rows, re-execution %d\n%s",
+				i, len(union), len(want), queries[i])
+		}
+		for j := range want {
+			if union[j] != want[j] {
+				t.Fatalf("query %d row %d: %q vs %q (lost or duplicated across crash)\n%s",
+					i, j, union[j], want[j], queries[i])
+			}
+		}
+	}
+}
+
+// TestStandingHuntResumeRejectsAheadToken: a resume token minted on a
+// store state the restarted store did not recover (acked batches lost,
+// e.g. fsync=never) must be rejected, not silently skipped past.
+func TestStandingHuntResumeRejectsAheadToken(t *testing.T) {
+	sys, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestRecords(durabilityBatch("hostA", 0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.ParseQuery("proc p read file f as e1\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.Watch(q, WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := w.Resume()
+	w.Close()
+
+	// A fresh, empty system stands in for a store that lost the commits.
+	empty, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := empty.ParseQuery("proc p read file f as e1\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Watch(q2, WatchOptions{Resume: token}); err == nil {
+		t.Fatal("resume token ahead of the store must be rejected")
+	}
+	// A token from a different query must be rejected too.
+	q3, err := sys.ParseQuery("proc p write file f as e1\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Watch(q3, WatchOptions{Resume: token}); err == nil {
+		t.Fatal("resume token of a different query must be rejected")
+	}
+}
+
+// TestSlowSubscriberEvicted: a subscriber that stops draining is
+// evicted once its buffer fills — the watch closes with
+// ErrSlowSubscriber, already-buffered batches stay readable, and the
+// ingest path keeps flowing.
+func TestSlowSubscriberEvicted(t *testing.T) {
+	sys, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.ParseQuery("proc p read file f as e1\nreturn p, f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.Watch(q, WatchOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-DISTINCT query: every batch's events produce fresh match rows,
+	// so the second delivery finds the 1-slot buffer still full.
+	if _, err := sys.IngestRecords(durabilityBatch("hostA", 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	sys.SyncWatches()
+	if _, err := sys.IngestRecords(durabilityBatch("hostA", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	sys.SyncWatches()
+
+	if sys.WatchCount() != 0 {
+		t.Fatalf("evicted watch still registered (%d)", sys.WatchCount())
+	}
+	if rows := drainWatch(w); len(rows) == 0 {
+		t.Fatal("buffered batch should remain readable after eviction")
+	}
+	if _, ok := <-w.C(); ok {
+		t.Fatal("channel should be closed after eviction")
+	}
+	if !errors.Is(w.Err(), ErrSlowSubscriber) {
+		t.Fatalf("Err = %v, want ErrSlowSubscriber", w.Err())
+	}
+	if _, _, _, evicted := sys.WatchTotals(); evicted != 1 {
+		t.Fatalf("evicted counter = %d, want 1", evicted)
+	}
+	// Ingest continues unimpeded with the dead watch gone.
+	if _, err := sys.IngestRecords(durabilityBatch("hostA", 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // idempotent no-op after eviction
+}
+
+// TestWatchConcurrencyRace churns watch registration, draining, close,
+// and slow-subscriber eviction under 4-way concurrent per-host ingest.
+// Run with -race; the invariant checks are deliberately loose — the
+// point is the interleaving.
+func TestWatchConcurrencyRace(t *testing.T) {
+	sys, err := New(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for gi, host := range []string{"hostA", "hostB", "hostC", "hostD"} {
+		wg.Add(1)
+		go func(gi int, host string) {
+			defer wg.Done()
+			for b := 0; b < 6; b++ {
+				if _, err := sys.IngestRecords(durabilityBatch(host, b, 15)); err != nil {
+					t.Errorf("ingest %s/%d: %v", host, b, err)
+					return
+				}
+			}
+		}(gi, host)
+	}
+	queries := randomHuntQueries(4, 31)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			q, err := sys.ParseQuery(queries[k])
+			if err != nil {
+				t.Errorf("parse: %v", err)
+				return
+			}
+			for n := 0; n < 8; n++ {
+				w, err := sys.Watch(q, WatchOptions{Buffer: 2})
+				if err != nil {
+					t.Errorf("watch: %v", err)
+					return
+				}
+				// Drain a little, then walk away: some watches close
+				// cleanly, some get evicted mid-delivery.
+				drainWatch(w)
+				if n%2 == 0 {
+					sys.SyncWatches()
+				}
+				w.Close()
+				drainWatch(w)
+			}
+		}(k)
+	}
+	wg.Wait()
+	sys.SyncWatches()
+	if sys.WatchCount() != 0 {
+		t.Fatalf("%d watches leaked", sys.WatchCount())
+	}
+}
+
+// BenchmarkStandingHunts compares the per-commit cost of keeping N
+// standing hunts current: incrementally (delta evaluation) versus
+// naively re-executing every query after every commit. The acceptance
+// bar is incremental ≥5× the naive matches/sec.
+func BenchmarkStandingHunts(b *testing.B) {
+	const nQueries = 20
+	hosts := []string{"hostA", "hostB", "hostC"}
+	// Non-distinct projections: every commit's matching events surface as
+	// new rows, so "new matches per second" is a meaningful rate on both
+	// sides (a DISTINCT hunt converges and its delta goes quiet).
+	queries := randomHuntQueries(nQueries, 88)
+	for i, q := range queries {
+		queries[i] = strings.Replace(q, "return distinct ", "return ", 1)
+	}
+	preload := func(b *testing.B) *System {
+		b.Helper()
+		sys, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for batch := 0; batch < 6; batch++ {
+			for _, h := range hosts {
+				if _, err := sys.IngestRecords(durabilityBatch(h, batch, 40)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return sys
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		sys := preload(b)
+		watches := make([]*Watch, nQueries)
+		for i, src := range queries {
+			q, err := sys.ParseQuery(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if watches[i], err = sys.Watch(q, WatchOptions{Buffer: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.SyncWatches()
+		var matches int64
+		for _, w := range watches {
+			matches += int64(len(drainWatch(w))) // consume the backfill untimed
+		}
+		matches = 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.IngestRecords(durabilityBatch(hosts[i%len(hosts)], 100+i, 40)); err != nil {
+				b.Fatal(err)
+			}
+			sys.SyncWatches()
+			for _, w := range watches {
+				matches += int64(len(drainWatch(w)))
+			}
+		}
+		b.StopTimer()
+		if b.Elapsed() > 0 {
+			b.ReportMetric(float64(matches)/b.Elapsed().Seconds(), "matches/s")
+		}
+		for _, w := range watches {
+			w.Close()
+		}
+	})
+
+	b.Run("naive", func(b *testing.B) {
+		sys := preload(b)
+		parsed := make([]*Query, nQueries)
+		for i, src := range queries {
+			q, err := sys.ParseQuery(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parsed[i] = q
+		}
+		// Prime the plan cache so the comparison is evaluation cost, not
+		// first-compile cost, and record each query's baseline count: the
+		// naive consumer surfaces a new match by re-executing and diffing
+		// against what it already reported, so only growth counts.
+		prev := make([]int, nQueries)
+		for i, q := range parsed {
+			res, err := sys.HuntQuery(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev[i] = len(res.Rows)
+		}
+		var matches int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.IngestRecords(durabilityBatch(hosts[i%len(hosts)], 100+i, 40)); err != nil {
+				b.Fatal(err)
+			}
+			for j, q := range parsed {
+				res, err := sys.HuntQuery(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches += int64(len(res.Rows) - prev[j])
+				prev[j] = len(res.Rows)
+			}
+		}
+		b.StopTimer()
+		if b.Elapsed() > 0 {
+			b.ReportMetric(float64(matches)/b.Elapsed().Seconds(), "matches/s")
+		}
+	})
+}

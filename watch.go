@@ -1,0 +1,274 @@
+package threatraptor
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/snapshot"
+)
+
+// This file is the facade of the standing-hunt subsystem: System.Watch
+// registers a TBQL query for continuous detection, and every ingest
+// commit is incrementally evaluated against it (internal/exec's
+// StandingHunt) with the new matches delivered as WatchBatch values on
+// the watch's channel. Delivery never blocks ingest: the epoch clock's
+// commit announcement only posts to a coalescing channel, a single
+// evaluator goroutine advances every registered watch, and a watch
+// whose subscriber stops draining its buffered channel is evicted
+// (ErrSlowSubscriber) instead of stalling the pipeline.
+
+// DefaultWatchBuffer is the default per-watch delivery buffer, in
+// batches. A subscriber may fall this many batches behind before it is
+// evicted.
+const DefaultWatchBuffer = 16
+
+// ErrSlowSubscriber reports that a watch was evicted because its
+// subscriber stopped draining the delivery channel: the buffer was full
+// when a new batch arrived. The ingest commit path is never blocked by
+// a slow subscriber; the watch is closed instead.
+var ErrSlowSubscriber = errors.New("threatraptor: standing hunt evicted: subscriber too slow")
+
+// WatchBatch is one delivery: the new matches one ingest span produced
+// for one watch. Resume is an opaque token naming the watermarks this
+// batch consumed up to — pass it to WatchOptions.Resume after a restart
+// to continue exactly after the last acknowledged batch, without
+// re-receiving earlier matches.
+type WatchBatch struct {
+	WatchID uint64
+	Epoch   Epoch
+	Resume  string
+	Rows    [][]string
+}
+
+// WatchOptions configures System.Watch.
+type WatchOptions struct {
+	// Buffer is the delivery channel capacity in batches (default
+	// DefaultWatchBuffer). A subscriber further behind than this is
+	// evicted.
+	Buffer int
+	// Resume positions the watch at a previous watch's resume token
+	// (WatchBatch.Resume): matches at or below the token's watermarks
+	// are silently skipped and the first delivery holds exactly what
+	// committed after it. Tokens survive a restart when the store
+	// recovered everything the token covers (fsync-always guarantees
+	// it for acknowledged ingests); a token ahead of the recovered
+	// store is rejected.
+	Resume string
+}
+
+// Watch is one registered standing hunt. Receive delivered batches from
+// C; the channel closes when the watch is closed or evicted, and Err
+// reports why. A Watch is safe for concurrent use.
+type Watch struct {
+	id   uint64
+	sys  *System
+	hunt *exec.StandingHunt
+
+	ch chan WatchBatch
+
+	// mu serializes evaluation + delivery (the evaluator goroutine and
+	// SyncWatches both pump) and guards the fields below.
+	mu     sync.Mutex
+	closed bool
+	err    error
+	resume string
+}
+
+// Watch registers q as a standing hunt. The first delivery is the
+// backfill: every match already in the store (or, with Resume set,
+// every match since the token). Later deliveries carry only what each
+// ingest commit added; the union of all delivered batches equals
+// re-executing q at the final epoch. The caller must drain C (or
+// Close) — a subscriber that stops reading is evicted once the buffer
+// fills.
+func (s *System) Watch(q *Query, opts WatchOptions) (*Watch, error) {
+	var hunt *exec.StandingHunt
+	var err error
+	if opts.Resume != "" {
+		hunt, err = s.engine.ResumeStandingHunt(q, opts.Resume)
+	} else {
+		hunt, err = s.engine.NewStandingHunt(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	buf := opts.Buffer
+	if buf <= 0 {
+		buf = DefaultWatchBuffer
+	}
+	w := &Watch{sys: s, hunt: hunt, ch: make(chan WatchBatch, buf)}
+	s.watchMu.Lock()
+	s.watchNextID++
+	w.id = s.watchNextID
+	s.watches[w.id] = w
+	if !s.watchRunning {
+		s.watchRunning = true
+		go s.watchLoop()
+	}
+	s.watchMu.Unlock()
+	s.watchOpened.Add(1)
+	// Backfill (or post-resume catch-up) synchronously: the first batch
+	// is enqueued before Watch returns.
+	w.pump()
+	return w, nil
+}
+
+// C returns the delivery channel. It closes when the watch ends; check
+// Err afterwards to distinguish Close (nil) from eviction or an
+// evaluation failure.
+func (w *Watch) C() <-chan WatchBatch { return w.ch }
+
+// ID returns the watch's registry id (unique per System).
+func (w *Watch) ID() uint64 { return w.id }
+
+// Columns returns the projected column names. The caller must not
+// modify the returned slice.
+func (w *Watch) Columns() []string { return w.hunt.Columns() }
+
+// Resume returns the latest resume token the watch has evaluated up to
+// (also carried on every delivered batch).
+func (w *Watch) Resume() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resume
+}
+
+// Err reports why the watch ended: nil after an explicit Close,
+// ErrSlowSubscriber after an eviction, or the evaluation error that
+// killed it. Valid once C is closed.
+func (w *Watch) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close unregisters the watch and closes its channel. Batches already
+// buffered remain readable. Close is idempotent.
+func (w *Watch) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	close(w.ch)
+	w.sys.removeWatch(w.id)
+}
+
+// pump advances the hunt and delivers the resulting batch, if any.
+// Serialized per watch; concurrent pumps see an empty delta and
+// deliver nothing.
+func (w *Watch) pump() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	b, err := w.hunt.Advance()
+	if err != nil {
+		w.err = err
+		w.closed = true
+		close(w.ch)
+		w.sys.removeWatch(w.id)
+		return
+	}
+	w.resume = b.Resume
+	if len(b.Rows) == 0 {
+		// Empty spans are suppressed, not delivered: the data is
+		// immutable, so a skipped empty span can never hide a match.
+		return
+	}
+	select {
+	case w.ch <- WatchBatch{WatchID: w.id, Epoch: b.Epoch, Resume: b.Resume, Rows: b.Rows}:
+		w.sys.watchBatches.Add(1)
+		w.sys.watchRows.Add(int64(len(b.Rows)))
+	default:
+		// Slow subscriber: evict rather than block the evaluator (and
+		// with it the commit announcement path).
+		w.err = ErrSlowSubscriber
+		w.closed = true
+		close(w.ch)
+		w.sys.watchEvicted.Add(1)
+		w.sys.removeWatch(w.id)
+	}
+}
+
+// watchList snapshots the registered watches.
+func (s *System) watchList() []*Watch {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	out := make([]*Watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		out = append(out, w)
+	}
+	return out
+}
+
+func (s *System) removeWatch(id uint64) {
+	s.watchMu.Lock()
+	delete(s.watches, id)
+	s.watchMu.Unlock()
+	// Nudge the evaluator so it can observe an empty registry and exit.
+	select {
+	case s.watchNotify <- struct{}{}:
+	default:
+	}
+}
+
+// watchLoop is the evaluator goroutine: it wakes on commit
+// announcements (coalesced — a burst of commits is one wake-up) and
+// advances every registered watch. It exits when the registry empties;
+// the next Watch starts a fresh one.
+func (s *System) watchLoop() {
+	for {
+		<-s.watchNotify
+		for _, w := range s.watchList() {
+			w.pump()
+		}
+		s.watchMu.Lock()
+		if len(s.watches) == 0 {
+			s.watchRunning = false
+			s.watchMu.Unlock()
+			return
+		}
+		s.watchMu.Unlock()
+	}
+}
+
+// SyncWatches synchronously evaluates every registered watch against
+// the current store state and returns when every delta committed so
+// far has been delivered (or its watch evicted). Callers that need
+// deterministic delivery — tests asserting batch contents, or a
+// shutdown path draining final matches — use it as a barrier; normal
+// operation relies on the asynchronous evaluator instead.
+func (s *System) SyncWatches() {
+	for _, w := range s.watchList() {
+		w.pump()
+	}
+}
+
+// WatchCount reports how many standing hunts are registered.
+func (s *System) WatchCount() int {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return len(s.watches)
+}
+
+// WatchTotals reports the standing-hunt subsystem's lifetime counters:
+// watches opened, batches and match rows delivered, and slow-subscriber
+// evictions.
+func (s *System) WatchTotals() (opened, batches, rows, evicted int64) {
+	return s.watchOpened.Load(), s.watchBatches.Load(), s.watchRows.Load(), s.watchEvicted.Load()
+}
+
+// notifyWatches subscribes the evaluator's wake-up to the epoch clock;
+// called once from New.
+func (s *System) notifyWatches() {
+	s.clock.Subscribe(func(snapshot.Epoch) {
+		select {
+		case s.watchNotify <- struct{}{}:
+		default:
+		}
+	})
+}
