@@ -15,16 +15,22 @@
 //	                     batches as SSE or NDJSON frames
 //	DELETE /watch        unregister a standing hunt
 //	GET    /stats        store sizes, cursor registry, request counters
+//	GET    /metrics      Prometheus text exposition (latency histograms,
+//	                     registry occupancy, durability counters)
+//	GET    /debug/hunts  in-flight executions, open cursors, active watches
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests before exiting. Logging is structured (log/slog, text to
+// stderr); every HTTP response carries an X-Request-Id that also appears
+// in trace spans and slow-hunt log lines.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,9 +38,30 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/wal"
 )
+
+// slowHuntConfig maps the -slow-hunt flag to service.Config.SlowHunt:
+// the flag spells "disabled" as 0, the Config spells it as negative
+// (its 0 means "use the default").
+func slowHuntConfig(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+// cacheSizeConfig maps a cache-capacity flag to its Options field: the
+// flag treats 0 as "disabled", which Options spells as a negative
+// capacity (its 0 means "use the default").
+func cacheSizeConfig(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
 
 func main() {
 	var (
@@ -60,54 +87,61 @@ func main() {
 		watchTTL   = flag.Duration("watch-ttl", service.DefaultWatchTTL, "idle lifetime of a standing hunt with no attached consumer; expired watches answer 410")
 		maxWatches = flag.Int("max-watches", service.DefaultMaxWatches, "cap on registered standing hunts; registrations beyond it answer 429")
 		watchBuf   = flag.Int("watch-buffer", 0, "per-watch delivery buffer in batches (0 = default); a subscriber further behind is evicted rather than blocking ingest")
+		slowHunt   = flag.Duration("slow-hunt", service.DefaultSlowHunt, "latency threshold above which a hunt logs a structured slow-hunt line with its span breakdown (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiles can reveal heap contents)")
+		noTrace    = flag.Bool("no-trace", false, "disable per-hunt pipeline tracing; hunt and explain responses omit the span tree")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	fatal := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	// Validate up front with actionable messages instead of panicking or
 	// silently misbehaving deep in the stack.
 	switch {
 	case *shards < 1:
-		log.Fatalf("threatraptord: -shards must be >= 1 (got %d); use 1 for an unsharded store", *shards)
+		fatal("-shards must be >= 1 (got %d); use 1 for an unsharded store", *shards)
 	case *cursorTTL <= 0:
-		log.Fatalf("threatraptord: -cursor-ttl must be positive (got %s); cursors need a finite idle lifetime", *cursorTTL)
+		fatal("-cursor-ttl must be positive (got %s); cursors need a finite idle lifetime", *cursorTTL)
 	case *maxCursors < 1:
-		log.Fatalf("threatraptord: -max-cursors must be >= 1 (got %d)", *maxCursors)
+		fatal("-max-cursors must be >= 1 (got %d)", *maxCursors)
 	case *ingestQ < 1:
-		log.Fatalf("threatraptord: -ingest-queue must be >= 1 (got %d); at least one batch must be ingestible", *ingestQ)
+		fatal("-ingest-queue must be >= 1 (got %d); at least one batch must be ingestible", *ingestQ)
 	case *drainWait <= 0:
-		log.Fatalf("threatraptord: -drain must be positive (got %s)", *drainWait)
+		fatal("-drain must be positive (got %s)", *drainWait)
 	case *maxHops < 0:
-		log.Fatalf("threatraptord: -max-path-hops must be >= 0 (got %d)", *maxHops)
+		fatal("-max-path-hops must be >= 0 (got %d)", *maxHops)
 	case *maxProp < 0:
-		log.Fatalf("threatraptord: -max-propagated-ids must be >= 0 (got %d)", *maxProp)
+		fatal("-max-propagated-ids must be >= 0 (got %d)", *maxProp)
 	case *planCache < 0:
-		log.Fatalf("threatraptord: -plan-cache must be >= 0 (got %d); use 0 to disable plan caching", *planCache)
+		fatal("-plan-cache must be >= 0 (got %d); use 0 to disable plan caching", *planCache)
 	case *maxPage < 1:
-		log.Fatalf("threatraptord: -max-page must be >= 1 (got %d)", *maxPage)
+		fatal("-max-page must be >= 1 (got %d)", *maxPage)
 	case *segEvery < 0:
-		log.Fatalf("threatraptord: -segment-interval must be >= 0 (got %s); 0 disables segment snapshots", *segEvery)
+		fatal("-segment-interval must be >= 0 (got %s); 0 disables segment snapshots", *segEvery)
 	case *retention < 0:
-		log.Fatalf("threatraptord: -retention must be >= 0 (got %s); 0 keeps everything", *retention)
+		fatal("-retention must be >= 0 (got %s); 0 keeps everything", *retention)
 	case *queryCache < 0:
-		log.Fatalf("threatraptord: -query-cache must be >= 0 (got %d); use 0 to disable query caching", *queryCache)
+		fatal("-query-cache must be >= 0 (got %d); use 0 to disable query caching", *queryCache)
 	case *watchTTL <= 0:
-		log.Fatalf("threatraptord: -watch-ttl must be positive (got %s); unconsumed standing hunts need a finite lifetime", *watchTTL)
+		fatal("-watch-ttl must be positive (got %s); unconsumed standing hunts need a finite lifetime", *watchTTL)
 	case *maxWatches < 1:
-		log.Fatalf("threatraptord: -max-watches must be >= 1 (got %d)", *maxWatches)
+		fatal("-max-watches must be >= 1 (got %d)", *maxWatches)
 	case *watchBuf < 0:
-		log.Fatalf("threatraptord: -watch-buffer must be >= 0 (got %d); use 0 for the default buffer", *watchBuf)
+		fatal("-watch-buffer must be >= 0 (got %d); use 0 for the default buffer", *watchBuf)
+	case *slowHunt < 0:
+		fatal("-slow-hunt must be >= 0 (got %s); use 0 to disable the slow-hunt log", *slowHunt)
 	}
 
-	// The Options field treats 0 as "use the default"; the flag treats 0
-	// as "disabled", which Options spells as a negative capacity.
-	planCacheSize := *planCache
-	if planCacheSize == 0 {
-		planCacheSize = -1
-	}
-	queryCacheSize := *queryCache
-	if queryCacheSize == 0 {
-		queryCacheSize = -1
-	}
+	// One histogram bundle shared by every layer: the WAL observes
+	// append/fsync, the System observes commit and standing-hunt
+	// latencies, the HTTP layer observes hunt first-page latency — and
+	// GET /metrics exposes all of it.
+	metrics := obs.NewMetrics()
 
 	// With a data dir, open the durability log; threatraptor.New replays
 	// it (segments + WAL tail) before the daemon serves anything.
@@ -115,16 +149,17 @@ func main() {
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
 		if err != nil {
-			log.Fatalf("threatraptord: %v", err)
+			fatal("%v", err)
 		}
 		durLog, err = wal.Open(*dataDir, wal.Config{
 			Fsync:           policy,
 			SegmentInterval: *segEvery,
 			Retention:       *retention,
 			Shards:          *shards,
+			Metrics:         metrics,
 		})
 		if err != nil {
-			log.Fatalf("threatraptord: %v", err)
+			fatal("%v", err)
 		}
 	}
 
@@ -133,19 +168,28 @@ func main() {
 		LenientParsing:       *lenient,
 		MaxPathHops:          *maxHops,
 		MaxPropagatedIDs:     *maxProp,
-		PlanCacheSize:        planCacheSize,
+		PlanCacheSize:        cacheSizeConfig(*planCache),
 		Shards:               *shards,
 		DisableCostOptimizer: *noCostOpt,
 		WAL:                  durLog,
 		IngestChunk:          *ingestChnk,
+		Metrics:              metrics,
+		DisableTracing:       *noTrace,
 	})
 	if err != nil {
-		log.Fatalf("threatraptord: %v", err)
+		fatal("%v", err)
 	}
 	if durLog != nil {
 		rec := sys.Recovery()
-		log.Printf("threatraptord: recovered %s to epoch %d (%d commits, %d segment set(s), %d WAL record(s), %d dropped tail byte(s), clean=%v)",
-			*dataDir, rec.Epoch, rec.Commits, rec.SegmentSets, rec.WALRecords, rec.DroppedBytes, rec.Clean)
+		logger.Info("recovered durability log",
+			"dir", *dataDir,
+			"epoch", rec.Epoch,
+			"commits", rec.Commits,
+			"segment_sets", rec.SegmentSets,
+			"wal_records", rec.WALRecords,
+			"dropped_tail_bytes", rec.DroppedBytes,
+			"clean", rec.Clean,
+		)
 	}
 
 	srv := &http.Server{
@@ -155,11 +199,16 @@ func main() {
 			MaxCursors:  *maxCursors,
 			IngestQueue: *ingestQ,
 			MaxPage:     *maxPage,
-			QueryCache:  queryCacheSize,
+			QueryCache:  cacheSizeConfig(*queryCache),
 			WatchTTL:    *watchTTL,
 			MaxWatches:  *maxWatches,
 			WatchBuffer: *watchBuf,
 			WAL:         durLog,
+			SlowHunt:    slowHuntConfig(*slowHunt),
+			Pprof:       *pprofOn,
+			NoTrace:     *noTrace,
+			Logger:      logger,
+			Metrics:     metrics,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -169,34 +218,33 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("threatraptord: listening on %s (%d store shard(s))", *addr, sys.NumShards())
+		logger.Info("listening", "addr", *addr, "shards", sys.NumShards(), "pprof", *pprofOn, "tracing", !*noTrace)
 		done <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-done:
-		log.Fatalf("threatraptord: %v", err)
+		fatal("%v", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("threatraptord: shutting down (draining up to %s)", *drainWait)
+	logger.Info("shutting down", "drain", *drainWait)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("threatraptord: forced shutdown: %v", err)
+		logger.Warn("forced shutdown", "err", err)
 		srv.Close()
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("threatraptord: %v", err)
+		logger.Warn("server exit", "err", err)
 	}
 	// With HTTP drained no ingest is in flight: flush and fsync the WAL
 	// tail and write the clean-shutdown marker, so the next start skips
 	// torn-tail scanning.
 	if durLog != nil {
 		if err := durLog.Close(); err != nil {
-			log.Printf("threatraptord: closing durability log: %v", err)
+			logger.Error("closing durability log", "err", err)
 		}
 	}
-	log.Printf("threatraptord: stopped with %d events / %d entities stored",
-		sys.NumEvents(), sys.NumEntities())
+	logger.Info("stopped", "events", sys.NumEvents(), "entities", sys.NumEntities())
 }

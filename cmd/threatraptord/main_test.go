@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlowHuntConfig(t *testing.T) {
+	// The flag's 0 means "disabled", which service.Config spells as
+	// negative — passing 0 through would silently re-enable the default.
+	if got := slowHuntConfig(0); got >= 0 {
+		t.Fatalf("slowHuntConfig(0) = %v, want negative (disabled)", got)
+	}
+	if got := slowHuntConfig(2 * time.Second); got != 2*time.Second {
+		t.Fatalf("slowHuntConfig(2s) = %v, want 2s", got)
+	}
+}
+
+func TestCacheSizeConfig(t *testing.T) {
+	if got := cacheSizeConfig(0); got >= 0 {
+		t.Fatalf("cacheSizeConfig(0) = %d, want negative (disabled)", got)
+	}
+	if got := cacheSizeConfig(64); got != 64 {
+		t.Fatalf("cacheSizeConfig(64) = %d, want 64", got)
+	}
+}

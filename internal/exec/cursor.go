@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/tbql"
 )
@@ -62,6 +63,13 @@ type Cursor struct {
 	collectMatches bool
 	matches        []Match
 
+	// trace is the pipeline trace this hunt records into (nil when
+	// tracing is disabled); firstRowTimed flips after the first Next so
+	// only time-to-first-row is measured — per-row spans would dominate
+	// the work they time.
+	trace         *obs.Trace
+	firstRowTimed bool
+
 	row    []string
 	err    error
 	closed bool
@@ -75,7 +83,7 @@ type Cursor struct {
 // exhausted; because the snapshot is an append watermark, not a lock,
 // holding it open costs writers nothing.
 func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
-	return en.executeCursor(q, 0)
+	return en.executeCursor(q, 0, nil)
 }
 
 // ExecuteCursorLimit is ExecuteCursor with a row-need bound: the caller
@@ -87,14 +95,29 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 // FetchCapped; reading it past limit rows yields a truncated result,
 // so callers must not page beyond their promise.
 func (en *Engine) ExecuteCursorLimit(q *tbql.Query, limit int) (*Cursor, error) {
-	return en.executeCursor(q, limit)
+	return en.executeCursor(q, limit, nil)
+}
+
+// ExecuteCursorTrace is ExecuteCursorLimit recording the pipeline
+// stages into tr, so a caller that already traced earlier stages
+// (parse, cache lookups) hands the same trace down and gets one
+// contiguous span tree back from Cursor.Trace. A nil tr falls back to
+// the engine's default (trace unless DisableTracing).
+func (en *Engine) ExecuteCursorTrace(q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	return en.executeCursor(q, limit, tr)
 }
 
 // executeCursor is the shared hunt entry: snapshot, cost-based (or
 // static) scheduling, fetch, and lazy-join cursor construction.
-func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
+func (en *Engine) executeCursor(q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	if tr == nil && !en.DisableTracing {
+		tr = obs.NewTrace()
+	}
 	if q.Info() == nil {
-		if err := tbql.Analyze(q); err != nil {
+		sp := tr.Begin("analyze", -1)
+		err := tbql.Analyze(q)
+		tr.End(sp)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -116,8 +139,10 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 	// cursor's snapshot covers: all touched shards' watermarks are
 	// captured together, so one hunt reads one consistent cut even when
 	// it spans shards.
+	snapSp := tr.Begin("snapshot", -1)
 	patShards, relShards, graphShards := en.shardPlan(q)
 	sv, err := en.snapshotStores(relShards, graphShards)
+	tr.End(snapSp)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +154,7 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 		distinct: q.Distinct,
 		epoch:    sv.epoch,
 		view:     sv,
+		trace:    tr,
 	}
 	if c.distinct {
 		c.seen = make(map[string]bool)
@@ -142,6 +168,7 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 	// text — get the cost order, so the prepared≡text equivalence holds
 	// order and all.
 	if !en.DisableCostOptimizer && !en.DisableScheduling {
+		costSp := tr.Begin("cost_optimize", -1)
 		if co, _, ok := en.costSchedule(q, patShards, sv, maxHops); ok {
 			c.stats.CostBased = true
 			for i := range co {
@@ -151,6 +178,14 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 				}
 			}
 			order = co
+		}
+		switch {
+		case c.stats.Reordered:
+			tr.EndNote(costSp, "reordered")
+		case c.stats.CostBased:
+			tr.EndNote(costSp, "cost")
+		default:
+			tr.EndNote(costSp, "static")
 		}
 	}
 
@@ -166,7 +201,10 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 		c.stats.FetchCapped = true
 	}
 
+	spec.tr = tr
+	spec.span = tr.Begin("fetch", -1)
 	rows, err := en.fetchPatterns(q, sv, spec, &c.stats)
+	tr.EndNote(spec.span, planCacheNote(tr, &c.stats))
 	if err != nil {
 		c.view = nil
 		return nil, err
@@ -192,6 +230,20 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int) (*Cursor, error) {
 		c.stream = newMatchStream(planJoin(q, order), rows)
 	}
 	return c, nil
+}
+
+// planCacheNote renders the fetch span's plan-cache annotation without
+// fmt; "" on a nil trace so untraced hunts build nothing.
+func planCacheNote(tr *obs.Trace, st *Stats) string {
+	if tr == nil {
+		return ""
+	}
+	b := make([]byte, 0, 40)
+	b = append(b, "plan_cache_hits="...)
+	b = strconv.AppendInt(b, int64(st.PlanCacheHits), 10)
+	b = append(b, " misses="...)
+	b = strconv.AppendInt(b, int64(st.PlanCacheMisses), 10)
+	return string(b)
 }
 
 // ExecuteTBQLCursor parses, analyzes, and executes TBQL source,
@@ -284,7 +336,26 @@ func (c *Cursor) ensureAttrs() bool {
 // row. It returns false when the rows are exhausted, an error occurred
 // (see Err), or the cursor is closed; exhaustion and errors release the
 // snapshot references.
+//
+// The first Next of a traced cursor is recorded as the "first_row"
+// span — the lazy join's time-to-first-result. Later rows are not timed
+// individually: a per-row span would cost more than the row.
 func (c *Cursor) Next() bool {
+	if c.trace == nil || c.firstRowTimed {
+		return c.advance()
+	}
+	c.firstRowTimed = true
+	sp := c.trace.Begin("first_row", -1)
+	ok := c.advance()
+	c.trace.End(sp)
+	return ok
+}
+
+// Trace returns the pipeline trace this cursor's hunt recorded into,
+// or nil when tracing was disabled.
+func (c *Cursor) Trace() *obs.Trace { return c.trace }
+
+func (c *Cursor) advance() bool {
 	if c.closed || c.err != nil {
 		return false
 	}

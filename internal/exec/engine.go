@@ -3,12 +3,14 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/graphstore"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/snapshot"
 	"repro/internal/tbql"
@@ -64,6 +66,12 @@ type Engine struct {
 	// is bookkeeping for the server-side cursor registry, the watermark
 	// vectors in the captured views are what bound visibility.
 	Clock *snapshot.Clock
+	// DisableTracing stops the engine from recording a pipeline trace
+	// for cursors whose caller did not supply one. Tracing is on by
+	// default — the span slice is preallocated and every record is two
+	// clock reads under a short mutex — so this exists as the A/B knob
+	// for the tracing-overhead benchmark and as an escape hatch.
+	DisableTracing bool
 
 	// attrsMu guards the projection attribute cache below, so concurrent
 	// hunts share one cache instead of racing on it.
@@ -365,6 +373,10 @@ type fetchSpec struct {
 	maxProp   int
 	fp        uint64
 	rowCap    int
+	// tr/span, when set, record per-wave and per-shard-job spans under
+	// the caller's "fetch" span (span is its index in tr).
+	tr   *obs.Trace
+	span int
 }
 
 // fetchPatterns runs the per-pattern data queries in scheduled order
@@ -426,6 +438,10 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 	// exactly: nothing after the empty pattern executes.
 	var sawEmpty atomic.Bool
 	for _, wave := range waves {
+		// One span per dependency wave; its children are the shard jobs
+		// that actually executed, named by pattern. The trace mutex makes
+		// the concurrent job appends safe.
+		waveSp := spec.tr.Begin("wave", spec.span)
 		// Resolve this wave's plans and propagation sets sequentially so
 		// propagation stats and bound sets are deterministic, then expand
 		// each pattern into one job per shard its host constraints allow.
@@ -531,6 +547,8 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 			if sawEmpty.Load() {
 				j.skipped = true
 			} else {
+				jobSp := spec.tr.Begin(q.Patterns[j.pi].Name, waveSp)
+				defer spec.tr.EndNote(jobSp, shardNote(j.shard))
 				if len(j.work.jobs) > 1 {
 					// Multi-shard intermediates are merged then retired, so
 					// their buffers recycle across waves and hunts. A
@@ -625,6 +643,7 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 			// A pattern with no matches empties the whole result.
 			stats.ShortCircuit = true
 			setQueries()
+			spec.tr.EndNote(waveSp, "short_circuit")
 			return nil, nil
 		}
 		for _, w := range works {
@@ -638,9 +657,24 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 			known[pat.Subj.ID] = intersectOrNew(known[pat.Subj.ID], newSubj)
 			known[pat.Obj.ID] = intersectOrNew(known[pat.Obj.ID], newObj)
 		}
+		spec.tr.End(waveSp)
 	}
 	setQueries()
 	return rows, nil
+}
+
+// shardNotes holds the span annotations for the common shard indexes so
+// traced fetches on small stores allocate nothing per job.
+var shardNotes = [...]string{
+	"shard 0", "shard 1", "shard 2", "shard 3",
+	"shard 4", "shard 5", "shard 6", "shard 7",
+}
+
+func shardNote(sh int) string {
+	if sh >= 0 && sh < len(shardNotes) {
+		return shardNotes[sh]
+	}
+	return "shard " + strconv.Itoa(sh)
 }
 
 // getRowBuf pulls a recycled fetch buffer (nil when the pool is empty —
@@ -833,8 +867,17 @@ type ExplainedPattern struct {
 // on the default pipeline — so /explain output and executed queries
 // can no longer drift apart.
 func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
+	return en.ExplainTrace(q, nil)
+}
+
+// ExplainTrace is Explain recording its stages (analyze, estimate,
+// compile) as spans on tr. A nil tr records nothing.
+func (en *Engine) ExplainTrace(q *tbql.Query, tr *obs.Trace) ([]ExplainedPattern, error) {
 	if q.Info() == nil {
-		if err := tbql.Analyze(q); err != nil {
+		sp := tr.Begin("analyze", -1)
+		err := tbql.Analyze(q)
+		tr.End(sp)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -849,13 +892,21 @@ func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 	var ests []float64
 	costBased := false
 	if !en.DisableCostOptimizer && !en.DisableScheduling {
+		estSp := tr.Begin("estimate", -1)
 		patShards, relShards, graphShards := en.shardPlan(q)
 		if sv, err := en.snapshotStores(relShards, graphShards); err == nil {
 			if co, ce, ok := en.costSchedule(q, patShards, sv, maxHops); ok {
 				order, ests, costBased = co, ce, true
 			}
 		}
+		if costBased {
+			tr.EndNote(estSp, "cost")
+		} else {
+			tr.EndNote(estSp, "static")
+		}
 	}
+	compileSp := tr.Begin("compile", -1)
+	defer tr.End(compileSp)
 	fp := en.schemaFingerprint()
 	en.Plans.ensureSchema(fp)
 	seen := map[string]bool{}

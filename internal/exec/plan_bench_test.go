@@ -60,6 +60,25 @@ func BenchmarkHuntRepeated(b *testing.B) {
 	}
 }
 
+// BenchmarkHuntRepeatedNoTrace is BenchmarkHuntRepeated with pipeline
+// tracing disabled — the A/B pair bounding the tracing overhead on the
+// hot repeat-hunt path (the budget is 5%).
+func BenchmarkHuntRepeatedNoTrace(b *testing.B) {
+	en, q := repeatedEngine(b)
+	en.Plans = NewPlanCache(DefaultPlanCacheSize)
+	en.DisableTracing = true
+	if err := warmFirstPage(en, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := warmFirstPage(en, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHuntColdPlan is the same hunt with plan caching disabled:
 // every execution re-compiles each pattern's data query (one SQL or
 // Cypher parse + plan derivation per pattern — the cost the text

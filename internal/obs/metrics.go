@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram whose Observe path is lock-free:
+// per-bucket atomic counters plus a CAS loop over the float64 bit
+// pattern of the running sum. That keeps observation safe on the ingest
+// hot path, where a mutex would serialize committers. Buckets are
+// cumulative only at render time; internally each counter holds its own
+// band. A nil *Histogram ignores observations.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds, +Inf implied after the last
+
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf band
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (+Inf is implicit). The name must be a valid Prometheus metric name.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  b,
+		buckets: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one value. Safe on nil, safe for concurrent use, and
+// never blocks: two atomic adds plus a bounded CAS retry on the sum.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0. Safe on nil.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DurationBuckets are the default latency bounds in seconds, 100µs up to
+// 10s, wide enough for everything from a warm plan-cache hunt to a
+// degraded fsync.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// EpochBuckets bound watch delivery lag measured in whole epochs behind
+// the commit clock; a healthy watch delivers at lag 0 or 1.
+var EpochBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// Metrics bundles the histograms the daemon threads through the stack.
+// Every field may be observed through a nil *Metrics receiver, so layers
+// accept the bundle optionally and pay one pointer test when telemetry
+// is off.
+type Metrics struct {
+	// HuntFirstPage is the wall time of POST /hunt from request parse to
+	// the first page rendered.
+	HuntFirstPage *Histogram
+	// IngestCommit is the serialized commit section of one ingest chunk:
+	// stage, WAL append, store publish, epoch announce.
+	IngestCommit *Histogram
+	// WALAppend is the encode+write of one commit record into the log
+	// file, excluding fsync.
+	WALAppend *Histogram
+	// WALFsync is the duration of one group-committed fsync.
+	WALFsync *Histogram
+	// StandingAdvance is one standing hunt's incremental Advance over a
+	// commit delta.
+	StandingAdvance *Histogram
+	// WatchDeliveryLag is how many epochs behind the commit clock a watch
+	// batch is at delivery to its subscriber.
+	WatchDeliveryLag *Histogram
+}
+
+// NewMetrics allocates the full histogram bundle with default buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		HuntFirstPage:    NewHistogram("threatraptor_hunt_first_page_seconds", "Wall time of POST /hunt from parse to first page rendered.", DurationBuckets),
+		IngestCommit:     NewHistogram("threatraptor_ingest_commit_seconds", "Serialized commit latency of one ingest chunk (stage, WAL, publish, announce).", DurationBuckets),
+		WALAppend:        NewHistogram("threatraptor_wal_append_seconds", "Encode and write of one WAL commit record, excluding fsync.", DurationBuckets),
+		WALFsync:         NewHistogram("threatraptor_wal_fsync_seconds", "Duration of one group-committed WAL fsync.", DurationBuckets),
+		StandingAdvance:  NewHistogram("threatraptor_standing_advance_seconds", "Incremental Advance latency of one standing hunt over a commit delta.", DurationBuckets),
+		WatchDeliveryLag: NewHistogram("threatraptor_watch_delivery_lag_epochs", "Epochs behind the commit clock at watch batch delivery.", EpochBuckets),
+	}
+}
+
+// Register adds the bundle's histograms to a registry. Safe on nil.
+func (m *Metrics) Register(r *Registry) {
+	if m == nil || r == nil {
+		return
+	}
+	for _, h := range []*Histogram{
+		m.HuntFirstPage, m.IngestCommit, m.WALAppend,
+		m.WALFsync, m.StandingAdvance, m.WatchDeliveryLag,
+	} {
+		if h != nil {
+			r.AddHistogram(h)
+		}
+	}
+}
+
+// ObserveIngestCommit, ObserveWALAppend, ObserveWALFsync and
+// ObserveStandingAdvance are nil-safe shorthands so call sites do not
+// have to guard both the bundle and the histogram.
+
+func (m *Metrics) ObserveIngestCommit(t0 time.Time) {
+	if m != nil {
+		m.IngestCommit.ObserveSince(t0)
+	}
+}
+
+func (m *Metrics) ObserveWALAppend(t0 time.Time) {
+	if m != nil {
+		m.WALAppend.ObserveSince(t0)
+	}
+}
+
+func (m *Metrics) ObserveWALFsync(t0 time.Time) {
+	if m != nil {
+		m.WALFsync.ObserveSince(t0)
+	}
+}
+
+func (m *Metrics) ObserveStandingAdvance(t0 time.Time) {
+	if m != nil {
+		m.StandingAdvance.ObserveSince(t0)
+	}
+}
+
+// ObserveWatchLag records a delivery lag in epochs.
+func (m *Metrics) ObserveWatchLag(epochs uint64) {
+	if m != nil {
+		m.WatchDeliveryLag.Observe(float64(epochs))
+	}
+}
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	fn   func() float64 // counter/gauge value at scrape time
+	hist *Histogram
+}
+
+// Registry collects metrics for /metrics exposition. Counters and gauges
+// are registered as closures over the owning component's existing atomic
+// counters, so a scrape reads live values without double bookkeeping.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// CounterFunc registers a monotonic counter read from fn at scrape time.
+// By convention the name ends in _total.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// AddHistogram registers an existing histogram.
+func (r *Registry) AddHistogram(h *Histogram) {
+	r.add(metric{name: h.name, help: h.help, kind: kindHistogram, hist: h})
+}
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4), metrics sorted by name for deterministic scrapes.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	var b strings.Builder
+	for _, m := range ms {
+		b.WriteString("# HELP ")
+		b.WriteString(m.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(m.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(m.name)
+		switch m.kind {
+		case kindCounter:
+			b.WriteString(" counter\n")
+			writeSample(&b, m.name, "", m.fn())
+		case kindGauge:
+			b.WriteString(" gauge\n")
+			writeSample(&b, m.name, "", m.fn())
+		case kindHistogram:
+			b.WriteString(" histogram\n")
+			writeHistogram(&b, m.hist)
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeHistogram(b *strings.Builder, h *Histogram) {
+	// Snapshot buckets first so the cumulative sums are internally
+	// consistent even while observations continue; count is rendered as
+	// the +Inf cumulative total for the same reason.
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeSample(b, h.name+"_bucket", `{le="`+formatFloat(bound)+`"}`, float64(cum))
+	}
+	cum += counts[len(counts)-1]
+	writeSample(b, h.name+"_bucket", `{le="+Inf"}`, float64(cum))
+	writeSample(b, h.name+"_sum", "", h.Sum())
+	writeSample(b, h.name+"_count", "", float64(cum))
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeAndBreakdown(t *testing.T) {
+	tr := NewTrace()
+	tr.SetRequestID("req-1")
+	root := tr.Begin("fetch", -1)
+	wave := tr.Begin("wave", root)
+	job := tr.Begin("p1", wave)
+	tr.EndNote(job, "shard 0")
+	tr.End(wave)
+	tr.EndNote(root, "plan_cache=hit")
+	join := tr.Begin("first_row", -1)
+	tr.End(join)
+
+	js := tr.JSON()
+	if js == nil || js.RequestID != "req-1" {
+		t.Fatalf("JSON = %+v, want request id req-1", js)
+	}
+	if len(js.Spans) != 2 {
+		t.Fatalf("got %d root spans, want 2: %+v", len(js.Spans), js.Spans)
+	}
+	f := js.Spans[0]
+	if f.Name != "fetch" || f.Note != "plan_cache=hit" {
+		t.Fatalf("root span = %+v", f)
+	}
+	if len(f.Children) != 1 || f.Children[0].Name != "wave" {
+		t.Fatalf("fetch children = %+v", f.Children)
+	}
+	w := f.Children[0]
+	if len(w.Children) != 1 || w.Children[0].Name != "p1" || w.Children[0].Note != "shard 0" {
+		t.Fatalf("wave children = %+v", w.Children)
+	}
+	bd := tr.Breakdown()
+	if !strings.Contains(bd, "fetch=") || !strings.Contains(bd, "first_row=") {
+		t.Fatalf("Breakdown() = %q", bd)
+	}
+	if strings.Contains(bd, "wave=") {
+		t.Fatalf("Breakdown() should only list root spans, got %q", bd)
+	}
+}
+
+func TestTraceOpenSpanRendersElapsed(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin("open", -1)
+	time.Sleep(2 * time.Millisecond)
+	js := tr.JSON()
+	if len(js.Spans) != 1 || js.Spans[0].DurUs <= 0 {
+		t.Fatalf("open span should render elapsed time, got %+v", js.Spans)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	idx := tr.Begin("x", -1)
+	if idx != -1 {
+		t.Fatalf("nil Begin = %d, want -1", idx)
+	}
+	tr.End(idx)
+	tr.EndNote(idx, "note")
+	tr.Note(idx, "note")
+	tr.SetRequestID("rid")
+	if tr.JSON() != nil || tr.Breakdown() != "" || tr.Spans() != nil {
+		t.Fatal("nil trace should render empty")
+	}
+}
+
+func TestFingerprintStableAndPadded(t *testing.T) {
+	a := Fingerprint("proc p return p")
+	if len(a) != 16 {
+		t.Fatalf("Fingerprint length = %d, want 16 hex digits (%q)", len(a), a)
+	}
+	if a != Fingerprint("proc p return p") {
+		t.Fatal("Fingerprint not stable")
+	}
+	if a == Fingerprint("proc q return q") {
+		t.Fatal("distinct queries should fingerprint differently")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram("x_seconds", "help", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // le 0.001
+	h.Observe(0.001)  // boundary: still le 0.001
+	h.Observe(0.05)   // le 0.1
+	h.Observe(2)      // +Inf
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got < 2.0514 || got > 2.0516 {
+		t.Fatalf("Sum = %v", got)
+	}
+	var b strings.Builder
+	r := NewRegistry()
+	r.AddHistogram(h)
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.001"} 2`,
+		`x_seconds_bucket{le="0.01"} 2`,
+		`x_seconds_bucket{le="0.1"} 3`,
+		`x_seconds_bucket{le="+Inf"} 4`,
+		"x_seconds_count 4",
+		"# TYPE x_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("c_seconds", "help", DurationBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	want := float64(workers*per) * 0.001
+	if got := h.Sum(); got < want-0.0001 || got > want+0.0001 {
+		t.Fatalf("Sum = %v, want ~%v", got, want)
+	}
+}
+
+func TestNilHistogramAndMetricsSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should read zero")
+	}
+	var m *Metrics
+	m.ObserveIngestCommit(time.Now())
+	m.ObserveWALAppend(time.Now())
+	m.ObserveWALFsync(time.Now())
+	m.ObserveStandingAdvance(time.Now())
+	m.ObserveWatchLag(3)
+	m.Register(NewRegistry())
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("b_total", "b counter", func() float64 { return 7 })
+	r.GaugeFunc("a_gauge", "a gauge", func() float64 { return 1.5 })
+	m := NewMetrics()
+	m.HuntFirstPage.Observe(0.002)
+	m.Register(r)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Deterministic ordering: sorted by name.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Fatalf("metrics not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE a_gauge gauge", "a_gauge 1.5",
+		"# TYPE b_total counter", "b_total 7",
+		"# TYPE threatraptor_hunt_first_page_seconds histogram",
+		"threatraptor_hunt_first_page_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("dup", "g", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.GaugeFunc("dup", "g", func() float64 { return 0 })
+}

@@ -1,0 +1,233 @@
+// Package obs is ThreatRaptor's self-contained telemetry layer: span
+// tracing for the hunt pipeline, and Prometheus-text metrics built from
+// hand-rolled atomic counters, gauges, and fixed-bucket histograms. It
+// depends only on the standard library so every other package can import
+// it without dragging in an exporter.
+//
+// Tracing is allocation-conscious by design: a Trace holds one
+// preallocated flat span slice guarded by a mutex, spans reference their
+// parent by index, and every method is safe on a nil *Trace so disabled
+// tracing costs a single pointer test at each instrumentation point.
+package obs
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a hunt pipeline. Start is relative to the
+// owning trace's origin; Dur is -1 while the span is still open. Parent
+// is the index of the enclosing span in the trace's flat slice, or -1
+// for a root span.
+type Span struct {
+	Name   string
+	Note   string
+	Parent int
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Trace records the span tree of a single hunt, cursor, or explain
+// request. The zero value is not usable; call NewTrace. A nil *Trace is
+// valid everywhere and records nothing.
+type Trace struct {
+	t0 time.Time
+
+	mu    sync.Mutex
+	reqID string
+	spans []Span
+}
+
+// spanPrealloc covers a typical traced hunt (parse, analyze, snapshot,
+// cost, fetch, a few waves with a few shard jobs, first row, page)
+// without growing the slice.
+const spanPrealloc = 24
+
+// NewTrace starts an empty trace whose clock begins now.
+func NewTrace() *Trace {
+	return &Trace{
+		t0:    time.Now(),
+		spans: make([]Span, 0, spanPrealloc),
+	}
+}
+
+// SetRequestID attaches the HTTP request id so the trace rendered into a
+// response (and the slow-hunt log line) can be correlated with access
+// logs. Safe on nil.
+func (t *Trace) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reqID = id
+	t.mu.Unlock()
+}
+
+// Begin opens a span under parent (-1 for a root span) and returns its
+// index for End/EndNote. On a nil trace it returns -1, which End and
+// EndNote ignore, so instrumentation never has to branch.
+func (t *Trace) Begin(name string, parent int) int {
+	if t == nil {
+		return -1
+	}
+	at := time.Since(t.t0)
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, Start: at, Dur: -1})
+	t.mu.Unlock()
+	return idx
+}
+
+// End closes the span at idx. Safe on nil traces and negative indexes.
+func (t *Trace) End(idx int) { t.EndNote(idx, "") }
+
+// EndNote closes the span at idx and attaches a short annotation such as
+// "plan_cache=hit" or "reordered". Safe on nil traces and negative
+// indexes.
+func (t *Trace) EndNote(idx int, note string) {
+	if t == nil || idx < 0 {
+		return
+	}
+	at := time.Since(t.t0)
+	t.mu.Lock()
+	if idx < len(t.spans) {
+		sp := &t.spans[idx]
+		sp.Dur = at - sp.Start
+		if note != "" {
+			sp.Note = note
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Note annotates an open or closed span without touching its timing.
+func (t *Trace) Note(idx int, note string) {
+	if t == nil || idx < 0 {
+		return
+	}
+	t.mu.Lock()
+	if idx < len(t.spans) {
+		t.spans[idx].Note = note
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in creation order. Open
+// spans have Dur == -1.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// SpanJSON is the wire form of one span: microsecond offsets, nested
+// children. It is what /hunt and /explain embed under "trace".
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	StartUs  int64      `json:"start_us"`
+	DurUs    int64      `json:"dur_us"`
+	Note     string     `json:"note,omitempty"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a whole trace.
+type TraceJSON struct {
+	RequestID string     `json:"request_id,omitempty"`
+	TotalUs   int64      `json:"total_us"`
+	Spans     []SpanJSON `json:"spans"`
+}
+
+// JSON renders the span tree for embedding in a response. Open spans are
+// closed "as of now" so a mid-flight render still shows sane durations.
+// Returns nil on a nil trace.
+func (t *Trace) JSON() *TraceJSON {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	reqID := t.reqID
+	t.mu.Unlock()
+
+	out := &TraceJSON{RequestID: reqID, TotalUs: now.Microseconds()}
+	// Children are attached in creation order; Begin guarantees a parent
+	// index is always smaller than its child's, so one forward pass and a
+	// node table suffice.
+	nodes := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		dur := sp.Dur
+		if dur < 0 {
+			dur = now - sp.Start
+		}
+		nodes[i] = SpanJSON{
+			Name:    sp.Name,
+			StartUs: sp.Start.Microseconds(),
+			DurUs:   dur.Microseconds(),
+			Note:    sp.Note,
+		}
+	}
+	// Attach leaves to parents back to front so each subtree is complete
+	// before it is itself attached (a child never precedes its parent).
+	for i := len(spans) - 1; i >= 0; i-- {
+		p := spans[i].Parent
+		if p >= 0 && p < len(nodes) {
+			nodes[p].Children = append([]SpanJSON{nodes[i]}, nodes[p].Children...)
+		}
+	}
+	for i, sp := range spans {
+		if sp.Parent < 0 {
+			out.Spans = append(out.Spans, nodes[i])
+		}
+	}
+	return out
+}
+
+// Breakdown flattens the root spans into a compact "name=dur name=dur"
+// string for the slow-hunt log line. Returns "" on a nil trace.
+func (t *Trace) Breakdown() string {
+	if t == nil {
+		return ""
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b []byte
+	for _, sp := range t.spans {
+		if sp.Parent >= 0 {
+			continue
+		}
+		dur := sp.Dur
+		if dur < 0 {
+			dur = now - sp.Start
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, sp.Name...)
+		b = append(b, '=')
+		b = append(b, dur.Round(time.Microsecond).String()...)
+	}
+	return string(b)
+}
+
+// Fingerprint hashes a query's text to a stable 64-bit id, the same
+// fnv64a scheme the standing-hunt resume tokens use, rendered as 16 hex
+// digits for log lines and /debug/hunts.
+func Fingerprint(query string) string {
+	h := fnv.New64a()
+	h.Write([]byte(query))
+	s := strconv.FormatUint(h.Sum64(), 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}

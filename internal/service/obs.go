@@ -1,0 +1,318 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the daemon's observability surface: per-request ids on
+// every response, a Prometheus /metrics exposition backed by the
+// counters the server already keeps, a slow-hunt structured log, and
+// GET /debug/hunts for live introspection of in-flight executions,
+// open cursors, and standing hunts. The registry holds closures over
+// the existing atomics — a scrape reads live values, no metric is
+// double-counted.
+
+// DefaultSlowHunt is the latency threshold above which a hunt emits a
+// structured slow-hunt log line (Config.SlowHunt overrides; negative
+// disables).
+const DefaultSlowHunt = time.Second
+
+// requestIDKey carries the per-request id through the request context
+// so handlers can stamp it into trace spans and log lines.
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// newRequestID returns a 64-bit random hex request id — short enough
+// to read in a log line, long enough that concurrent requests never
+// collide in practice.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID extracts the id ServeHTTP attached, or "" outside a
+// request (direct handler tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// inflightEntry is one execution currently running, registered for
+// GET /debug/hunts.
+type inflightEntry struct {
+	kind  string // "hunt", "hunt/next", "explain"
+	reqID string
+	query string
+	start time.Time
+}
+
+// trackInflight registers an execution and returns its deregistration.
+// The query is truncated so /debug/hunts stays readable and a giant
+// TBQL body is not pinned for the hunt's lifetime.
+func (s *Server) trackInflight(kind, reqID, query string) func() {
+	const maxQuery = 200
+	if len(query) > maxQuery {
+		query = query[:maxQuery] + "..."
+	}
+	e := &inflightEntry{kind: kind, reqID: reqID, query: query, start: time.Now()}
+	s.inflightMu.Lock()
+	s.inflightSeq++
+	seq := s.inflightSeq
+	s.inflight[seq] = e
+	s.inflightMu.Unlock()
+	return func() {
+		s.inflightMu.Lock()
+		delete(s.inflight, seq)
+		s.inflightMu.Unlock()
+	}
+}
+
+// DebugHunt is one in-flight execution in the /debug/hunts response.
+type DebugHunt struct {
+	Kind        string  `json:"kind"`
+	RequestID   string  `json:"request_id"`
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	AgeSeconds  float64 `json:"age_seconds"`
+}
+
+// DebugCursor is one open server-side cursor in the /debug/hunts
+// response. ID is a prefix of the cursor id: the full id is the
+// paging capability, and the debug endpoint must not leak it.
+type DebugCursor struct {
+	ID          string  `json:"id"`
+	Epoch       uint64  `json:"epoch"`
+	Offset      int     `json:"offset"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// DebugWatch is one registered standing hunt in the /debug/hunts
+// response (ID truncated like DebugCursor's).
+type DebugWatch struct {
+	ID          string  `json:"id"`
+	Attached    bool    `json:"attached"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// DebugHuntsResponse is the JSON body returned by GET /debug/hunts.
+type DebugHuntsResponse struct {
+	InFlight []DebugHunt   `json:"in_flight"`
+	Cursors  []DebugCursor `json:"cursors"`
+	Watches  []DebugWatch  `json:"watches"`
+}
+
+// idPrefix truncates a capability id for display.
+func idPrefix(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+// debugSnapshot lists the open cursors. Recency fields are read under
+// the manager lock; offset under each entry's own lock (the manager
+// lock is never taken while an entry lock is held elsewhere, so the
+// m.mu → e.mu order here cannot deadlock).
+func (m *cursorManager) debugSnapshot(now time.Time) []DebugCursor {
+	m.mu.Lock()
+	type snap struct {
+		e        *cursorEntry
+		lastUsed time.Time
+	}
+	snaps := make([]snap, 0, len(m.entries))
+	for _, e := range m.entries {
+		snaps = append(snaps, snap{e: e, lastUsed: e.lastUsed})
+	}
+	m.mu.Unlock()
+	out := make([]DebugCursor, 0, len(snaps))
+	for _, sn := range snaps {
+		sn.e.mu.Lock()
+		offset, closed := sn.e.offset, sn.e.closed
+		sn.e.mu.Unlock()
+		if closed {
+			continue
+		}
+		out = append(out, DebugCursor{
+			ID:          idPrefix(sn.e.id),
+			Epoch:       uint64(sn.e.epoch),
+			Offset:      offset,
+			AgeSeconds:  now.Sub(sn.e.created).Seconds(),
+			IdleSeconds: now.Sub(sn.lastUsed).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AgeSeconds > out[j].AgeSeconds })
+	return out
+}
+
+// debugSnapshot lists the registered watches.
+func (m *watchManager) debugSnapshot(now time.Time) []DebugWatch {
+	m.mu.Lock()
+	out := make([]DebugWatch, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, DebugWatch{
+			ID:          idPrefix(e.id),
+			Attached:    e.attached,
+			AgeSeconds:  now.Sub(e.created).Seconds(),
+			IdleSeconds: now.Sub(e.lastUsed).Seconds(),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].AgeSeconds > out[j].AgeSeconds })
+	return out
+}
+
+// handleDebugHunts reports live execution state: GET /debug/hunts.
+// Oldest first in every section, so a stuck hunt or leaked cursor is
+// the first line an operator reads.
+func (s *Server) handleDebugHunts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "debug/hunts wants GET, got %s", r.Method)
+		return
+	}
+	now := time.Now()
+	s.inflightMu.Lock()
+	hunts := make([]DebugHunt, 0, len(s.inflight))
+	for _, e := range s.inflight {
+		hunts = append(hunts, DebugHunt{
+			Kind:        e.kind,
+			RequestID:   e.reqID,
+			Fingerprint: obs.Fingerprint(e.query),
+			Query:       e.query,
+			AgeSeconds:  now.Sub(e.start).Seconds(),
+		})
+	}
+	s.inflightMu.Unlock()
+	sort.Slice(hunts, func(i, j int) bool { return hunts[i].AgeSeconds > hunts[j].AgeSeconds })
+	writeJSON(w, http.StatusOK, DebugHuntsResponse{
+		InFlight: hunts,
+		Cursors:  s.cursors.debugSnapshot(now),
+		Watches:  s.watches.debugSnapshot(now),
+	})
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format: GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "metrics wants GET, got %s", r.Method)
+		return
+	}
+	// Sweeping here keeps the occupancy gauges honest: an abandoned
+	// cursor past its TTL should read as gone, exactly as /stats reports.
+	s.cursors.sweep()
+	s.watches.sweep()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WriteTo(w)
+}
+
+// buildRegistry wires the exposition registry: the latency histograms
+// from the Metrics bundle, plus counter/gauge closures over the atomics
+// the server and System already maintain for /stats.
+func (s *Server) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	s.metrics.Register(r)
+
+	counter := r.CounterFunc
+	gauge := r.GaugeFunc
+
+	counter("threatraptor_hunts_total", "POST /hunt requests served.",
+		func() float64 { return float64(s.hunts.Load()) })
+	counter("threatraptor_ingests_total", "POST /ingest batches committed.",
+		func() float64 { return float64(s.ingests.Load()) })
+	counter("threatraptor_hunt_executions_total", "Query executions (one per POST /hunt; cursor pages never re-execute).",
+		func() float64 { return float64(s.executions.Load()) })
+	counter("threatraptor_cursor_pages_total", "Pages served from registered cursors via GET /hunt/next.",
+		func() float64 { return float64(s.cursors.pages.Load()) })
+	counter("threatraptor_cursors_expired_total", "Server-side cursors expired by the idle TTL.",
+		func() float64 { return float64(s.cursors.expired.Load()) })
+	counter("threatraptor_cursors_evicted_total", "Server-side cursors evicted by the LRU cap.",
+		func() float64 { return float64(s.cursors.evicted.Load()) })
+	counter("threatraptor_watches_opened_total", "Standing hunts registered over the server's lifetime.",
+		func() float64 { o, _, _, _ := s.sys.WatchTotals(); return float64(o) })
+	counter("threatraptor_watch_batches_total", "Match batches delivered to standing-hunt subscribers.",
+		func() float64 { _, b, _, _ := s.sys.WatchTotals(); return float64(b) })
+	counter("threatraptor_watch_rows_total", "Match rows delivered to standing-hunt subscribers.",
+		func() float64 { _, _, rows, _ := s.sys.WatchTotals(); return float64(rows) })
+	counter("threatraptor_watch_evictions_total", "Standing hunts evicted for slow subscribers.",
+		func() float64 { _, _, _, e := s.sys.WatchTotals(); return float64(e) })
+	counter("threatraptor_watches_expired_total", "Standing hunts expired with no consumer attached.",
+		func() float64 { return float64(s.watches.expired.Load()) })
+	counter("threatraptor_watch_webhook_retries_total", "Webhook delivery retries.",
+		func() float64 { return float64(s.watches.webhookRetries.Load()) })
+	counter("threatraptor_watch_webhook_failures_total", "Webhook watches closed after exhausting delivery retries.",
+		func() float64 { return float64(s.watches.webhookFailures.Load()) })
+	counter("threatraptor_propagations_skipped_total", "Propagation constraints dropped for exceeding the engine cap.",
+		func() float64 { return float64(s.propSkipped.Load()) })
+	counter("threatraptor_optimizer_reorders_total", "Hunts the cost optimizer scheduled differently from the static order.",
+		func() float64 { return float64(s.optReorders.Load()) })
+	counter("threatraptor_plan_cache_hits_total", "Prepared-plan cache hits.",
+		func() float64 { h, _, _ := s.sys.PlanCacheStats(); return float64(h) })
+	counter("threatraptor_plan_cache_misses_total", "Prepared-plan cache misses.",
+		func() float64 { _, m, _ := s.sys.PlanCacheStats(); return float64(m) })
+	counter("threatraptor_query_cache_hits_total", "TBQL text cache hits in front of POST /hunt.",
+		func() float64 { h, _, _ := s.queries.counters(); return float64(h) })
+	counter("threatraptor_query_cache_misses_total", "TBQL text cache misses in front of POST /hunt.",
+		func() float64 { _, m, _ := s.queries.counters(); return float64(m) })
+	counter("threatraptor_wal_records_total", "Commit records appended to the durability log.",
+		func() float64 { return float64(s.sys.WALStats().Records) })
+	counter("threatraptor_wal_syncs_total", "Group-committed WAL fsyncs.",
+		func() float64 { return float64(s.sys.WALStats().Syncs) })
+	counter("threatraptor_segment_flushes_total", "Segment snapshot flushes.",
+		func() float64 { return float64(s.sys.WALStats().SegmentFlushes) })
+	counter("threatraptor_compactions_total", "WAL compactions after segment flushes.",
+		func() float64 { return float64(s.sys.WALStats().Compactions) })
+
+	gauge("threatraptor_epoch", "Current ingest epoch (one per commit).",
+		func() float64 { return float64(s.sys.Epoch()) })
+	gauge("threatraptor_events", "Event rows currently stored.",
+		func() float64 { return float64(s.sys.NumEvents()) })
+	gauge("threatraptor_entities", "Entities currently stored.",
+		func() float64 { return float64(s.sys.NumEntities()) })
+	gauge("threatraptor_open_cursors", "Server-side cursors currently registered.",
+		func() float64 { return float64(s.cursors.open()) })
+	gauge("threatraptor_epochs_pinned", "Distinct epochs held live by open cursors.",
+		func() float64 { return float64(s.cursors.reg.Pinned()) })
+	gauge("threatraptor_watches_active", "Standing hunts currently registered.",
+		func() float64 { return float64(s.watches.open()) })
+	gauge("threatraptor_plan_cache_size", "Plan templates currently cached.",
+		func() float64 { _, _, n := s.sys.PlanCacheStats(); return float64(n) })
+	gauge("threatraptor_query_cache_size", "Analyzed TBQL queries currently cached.",
+		func() float64 { _, _, n := s.queries.counters(); return float64(n) })
+	gauge("threatraptor_segment_sets", "Complete segment sets currently on disk.",
+		func() float64 { return float64(s.sys.WALStats().SegmentSets) })
+	gauge("threatraptor_degraded", "1 when the durability log is degraded and ingestion refused, else 0.",
+		func() float64 {
+			if s.sys.WALStats().DegradedReason != "" {
+				return 1
+			}
+			return 0
+		})
+	gauge("threatraptor_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return r
+}
+
+// mountPprof exposes net/http/pprof under /debug/pprof/ when the
+// daemon opts in (-pprof). Off by default: the profile endpoints can
+// reveal heap contents and cost real CPU.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

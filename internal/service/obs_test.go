@@ -1,0 +1,432 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/audit/gen"
+	"repro/internal/obs"
+)
+
+// testLogs generates the password-crack workload's audit log text.
+func testLogs(t testing.TB, seed int64) string {
+	t.Helper()
+	w := gen.Generate(gen.Config{
+		Seed:         seed,
+		BenignEvents: 400,
+		Attacks:      []gen.Attack{{Kind: gen.AttackPasswordCrack, At: 10 * time.Minute}},
+	})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// newObsServer builds a daemon with the given config over a fresh
+// System wired to the config's metrics bundle.
+func newObsServer(t testing.TB, cfg Config) (*httptest.Server, *threatraptor.System) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	sys, err := threatraptor.New(threatraptor.Options{Metrics: cfg.Metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithConfig(sys, cfg))
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+func mustIngest(t testing.TB, ts *httptest.Server, logs string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+}
+
+var (
+	metricCommentRE = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	metricSampleRE  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+)
+
+// scrapeMetrics fetches /metrics, validates every line against the
+// Prometheus text exposition grammar, and returns samples keyed by
+// name+labels.
+func scrapeMetrics(t testing.TB, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !metricCommentRE.MatchString(line) {
+				t.Fatalf("unparseable comment line %q", line)
+			}
+			continue
+		}
+		m := metricSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(m[3], "%g", &v); err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+// TestMetricsExposition asserts GET /metrics renders valid Prometheus
+// text covering the hunt, ingest, WAL, standing-hunt, and watch paths —
+// histogram families complete with _bucket/_sum/_count — and that the
+// counters move with traffic.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := newObsServer(t, Config{})
+	mustIngest(t, ts, testLogs(t, 41))
+	postHunt(t, ts, crackTBQL, 0, 0)
+
+	samples := scrapeMetrics(t, ts)
+	// Every histogram family must be complete, including ones nothing
+	// observed yet (a memory-only daemon never fsyncs a WAL).
+	for _, h := range []string{
+		"threatraptor_hunt_first_page_seconds",
+		"threatraptor_ingest_commit_seconds",
+		"threatraptor_wal_append_seconds",
+		"threatraptor_wal_fsync_seconds",
+		"threatraptor_standing_advance_seconds",
+		"threatraptor_watch_delivery_lag_epochs",
+	} {
+		for _, suffix := range []string{`_bucket{le="+Inf"}`, "_sum", "_count"} {
+			if _, ok := samples[h+suffix]; !ok {
+				t.Errorf("missing %s%s", h, suffix)
+			}
+		}
+	}
+	if samples[`threatraptor_hunt_first_page_seconds_bucket{le="+Inf"}`] != samples["threatraptor_hunt_first_page_seconds_count"] {
+		t.Error("hunt histogram +Inf bucket != count")
+	}
+	if samples["threatraptor_hunt_first_page_seconds_count"] < 1 {
+		t.Error("hunt latency histogram did not observe the hunt")
+	}
+	if samples["threatraptor_ingest_commit_seconds_count"] < 1 {
+		t.Error("ingest commit histogram did not observe the ingest")
+	}
+	if samples["threatraptor_wal_fsync_seconds_count"] != 0 {
+		t.Error("memory-only daemon should have zero WAL fsyncs")
+	}
+	for name, want := range map[string]float64{
+		"threatraptor_hunts_total":           1,
+		"threatraptor_ingests_total":         1,
+		"threatraptor_hunt_executions_total": 1,
+	} {
+		if got := samples[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	if samples["threatraptor_epoch"] < 1 || samples["threatraptor_events"] == 0 {
+		t.Errorf("store gauges: epoch=%g events=%g",
+			samples["threatraptor_epoch"], samples["threatraptor_events"])
+	}
+}
+
+// TestHuntResponseTraceAndRequestID asserts a hunt response carries the
+// pipeline span tree, stamped with the same request id the X-Request-Id
+// header reported.
+func TestHuntResponseTraceAndRequestID(t *testing.T) {
+	ts, _ := newObsServer(t, Config{})
+	mustIngest(t, ts, testLogs(t, 43))
+
+	reqBody, _ := json.Marshal(HuntRequest{Query: crackTBQL})
+	resp, err := http.Post(ts.URL+"/hunt", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid := resp.Header.Get("X-Request-Id")
+	if len(rid) != 16 {
+		t.Errorf("X-Request-Id = %q, want 16 hex chars", rid)
+	}
+	var hr HuntResponse
+	decodeJSON(t, resp, &hr)
+	if hr.Trace == nil {
+		t.Fatal("hunt response has no trace")
+	}
+	if hr.Trace.RequestID != rid {
+		t.Errorf("trace request_id %q != header %q", hr.Trace.RequestID, rid)
+	}
+	names := make(map[string]bool)
+	var walk func(spans []obs.SpanJSON)
+	walk = func(spans []obs.SpanJSON) {
+		for _, sp := range spans {
+			names[sp.Name] = true
+			walk(sp.Children)
+		}
+	}
+	walk(hr.Trace.Spans)
+	for _, want := range []string{"parse", "fetch", "page"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; have %v", want, names)
+		}
+	}
+}
+
+// TestNoTraceOmitsSpans asserts Config.NoTrace drops the span tree from
+// hunt and explain responses.
+func TestNoTraceOmitsSpans(t *testing.T) {
+	ts, _ := newObsServer(t, Config{NoTrace: true})
+	mustIngest(t, ts, testLogs(t, 44))
+	hr := postHunt(t, ts, crackTBQL, 0, 0)
+	if hr.Trace != nil {
+		t.Fatalf("NoTrace hunt still carries a trace: %+v", hr.Trace)
+	}
+	resp, err := http.Post(ts.URL+"/explain", "text/plain", strings.NewReader(crackTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex map[string]json.RawMessage
+	decodeJSON(t, resp, &ex)
+	if _, ok := ex["trace"]; ok {
+		t.Error("NoTrace explain still carries a trace")
+	}
+}
+
+// TestExplainTrace asserts /explain returns a span tree alongside the
+// patterns when tracing is on.
+func TestExplainTrace(t *testing.T) {
+	ts, _ := newObsServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/explain", "text/plain", strings.NewReader(crackTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex struct {
+		Patterns []ExplainedPattern `json:"patterns"`
+		Trace    *obs.TraceJSON     `json:"trace"`
+	}
+	decodeJSON(t, resp, &ex)
+	if len(ex.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	if ex.Trace == nil || len(ex.Trace.Spans) == 0 {
+		t.Fatalf("explain trace = %+v", ex.Trace)
+	}
+}
+
+// TestSlowHuntLog asserts a hunt over the threshold emits one
+// structured slow-hunt line with the request id, query fingerprint, and
+// span breakdown.
+func TestSlowHuntLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	ts, _ := newObsServer(t, Config{SlowHunt: time.Nanosecond, Logger: logger})
+	mustIngest(t, ts, testLogs(t, 45))
+	postHunt(t, ts, crackTBQL, 0, 0)
+
+	line := buf.String()
+	if !strings.Contains(line, "slow hunt") {
+		t.Fatalf("no slow-hunt line logged; log = %q", line)
+	}
+	for _, field := range []string{"request_id=", "fingerprint=", "dur_ms=", "spans=", "epoch="} {
+		if !strings.Contains(line, field) {
+			t.Errorf("slow-hunt line missing %s: %q", field, line)
+		}
+	}
+
+	// Negative threshold disables the log entirely.
+	var quiet bytes.Buffer
+	ts2, _ := newObsServer(t, Config{SlowHunt: -1, Logger: slog.New(slog.NewTextHandler(&quiet, nil))})
+	mustIngest(t, ts2, testLogs(t, 45))
+	postHunt(t, ts2, crackTBQL, 0, 0)
+	if quiet.Len() != 0 {
+		t.Errorf("SlowHunt<0 still logged: %q", quiet.String())
+	}
+}
+
+// TestDebugHunts asserts GET /debug/hunts lists open cursors and active
+// watches with truncated ids.
+func TestDebugHunts(t *testing.T) {
+	ts, _ := newObsServer(t, Config{})
+	mustIngest(t, ts, testLogs(t, 46))
+
+	// A page-1 hunt over a wide query registers a cursor; a watch
+	// registration stays active.
+	hr := postHunt(t, ts, wideQuery, 1, 0)
+	if hr.CursorID == "" {
+		t.Fatal("hunt registered no cursor")
+	}
+	resp, err := http.Post(ts.URL+"/watch", "text/plain", strings.NewReader(crackTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr WatchResponse
+	decodeJSON(t, resp, &wr)
+
+	resp, err = http.Get(ts.URL + "/debug/hunts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg DebugHuntsResponse
+	decodeJSON(t, resp, &dbg)
+	if len(dbg.Cursors) != 1 {
+		t.Fatalf("debug cursors = %+v", dbg.Cursors)
+	}
+	if dbg.Cursors[0].ID != hr.CursorID[:8] {
+		t.Errorf("debug cursor id %q, want the 8-char prefix of %q", dbg.Cursors[0].ID, hr.CursorID)
+	}
+	if dbg.Cursors[0].Offset != 1 || dbg.Cursors[0].Epoch == 0 {
+		t.Errorf("debug cursor = %+v", dbg.Cursors[0])
+	}
+	if len(dbg.Watches) != 1 || dbg.Watches[0].ID != wr.WatchID[:8] {
+		t.Fatalf("debug watches = %+v (watch id %q)", dbg.Watches, wr.WatchID)
+	}
+	if len(dbg.InFlight) != 0 {
+		t.Errorf("no execution should be in flight, got %+v", dbg.InFlight)
+	}
+}
+
+// TestWatchFullCarriesRetryAfter asserts the max-watches 429 hints a
+// retry delay, like /ingest's shed path does.
+func TestWatchFullCarriesRetryAfter(t *testing.T) {
+	ts, _ := newObsServer(t, Config{MaxWatches: 1})
+	mustIngest(t, ts, testLogs(t, 47))
+	resp, err := http.Post(ts.URL+"/watch", "text/plain", strings.NewReader(crackTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr WatchResponse
+	decodeJSON(t, resp, &wr)
+
+	resp, err = http.Post(ts.URL+"/watch", "text/plain", strings.NewReader(crackTBQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second watch status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("watch 429 has no Retry-After header")
+	}
+}
+
+// TestStatsAndMetricsUnderChurn hammers the daemon with concurrent
+// ingest, hunt, and watch traffic while reading /stats and /metrics,
+// asserting the lifetime counters never regress. Run under -race this
+// also proves the whole observability surface is race-clean.
+func TestStatsAndMetricsUnderChurn(t *testing.T) {
+	ts, _ := newObsServer(t, Config{})
+	logs := testLogs(t, 48)
+	mustIngest(t, ts, logs)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	worker := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	worker(func() { // ingest churn
+		resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(logs))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	worker(func() { // hunt churn
+		reqBody, _ := json.Marshal(HuntRequest{Query: crackTBQL, Limit: 5})
+		resp, err := http.Post(ts.URL+"/hunt", "application/json", bytes.NewReader(reqBody))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	worker(func() { // watch churn: register, then delete
+		resp, err := http.Post(ts.URL+"/watch", "text/plain", strings.NewReader(crackTBQL))
+		if err != nil {
+			return
+		}
+		var wr WatchResponse
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &wr) != nil {
+			return
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/watch?watch="+wr.WatchID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+
+	monotonic := []string{
+		"threatraptor_hunts_total", "threatraptor_ingests_total",
+		"threatraptor_hunt_executions_total", "threatraptor_watches_opened_total",
+		"threatraptor_wal_records_total", "threatraptor_epoch",
+	}
+	prev := make(map[string]float64)
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var st StatsResponse
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeJSON(t, resp, &st)
+		if st.Hunts < 0 || st.OpenCursors < 0 || st.WatchesActive < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+		samples := scrapeMetrics(t, ts)
+		for _, name := range monotonic {
+			if samples[name] < prev[name] {
+				t.Fatalf("%s regressed: %g -> %g", name, prev[name], samples[name])
+			}
+			prev[name] = samples[name]
+		}
+		// /metrics was scraped after /stats, so its hunt counter may only
+		// be at or ahead of the /stats reading.
+		if int64(samples["threatraptor_hunts_total"]) < st.Hunts {
+			t.Fatalf("metrics hunts %g behind stats %d", samples["threatraptor_hunts_total"], st.Hunts)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -13,18 +13,22 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -105,6 +109,26 @@ type Config struct {
 	// low-water mark into it so segment compaction never drops an epoch
 	// an open cursor still pins.
 	WAL *wal.Log
+	// SlowHunt is the latency threshold above which POST /hunt emits a
+	// structured slow-hunt log line with the span breakdown and query
+	// fingerprint (0 = DefaultSlowHunt; negative disables the log).
+	SlowHunt time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: profiles can reveal heap contents.
+	Pprof bool
+	// NoTrace disables per-hunt pipeline tracing at the HTTP layer: no
+	// trace is created, and hunt/explain responses omit the span tree.
+	// (Pair it with threatraptor.Options.DisableTracing to also stop the
+	// engine from self-tracing untraced executions.)
+	NoTrace bool
+	// Logger receives the server's structured log lines (slow hunts);
+	// nil means slog.Default().
+	Logger *slog.Logger
+	// Metrics is the latency-histogram bundle shared with the System and
+	// WAL; the server observes hunt first-page latency into it and
+	// exposes the whole bundle on GET /metrics (nil = a fresh bundle, so
+	// /metrics always renders every histogram family).
+	Metrics *obs.Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +155,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WebhookBackoff <= 0 {
 		c.WebhookBackoff = DefaultWebhookBackoff
+	}
+	if c.SlowHunt == 0 {
+		c.SlowHunt = DefaultSlowHunt
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
 	}
 	return c
 }
@@ -172,6 +205,19 @@ type Server struct {
 
 	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
 	ingestSlots chan struct{}
+
+	// logger receives structured log lines (slow hunts); metrics is the
+	// shared latency-histogram bundle; registry is the /metrics
+	// exposition built over both plus the counters above.
+	logger   *slog.Logger
+	metrics  *obs.Metrics
+	registry *obs.Registry
+
+	// inflight tracks currently-running executions for GET /debug/hunts,
+	// keyed by a registration sequence number.
+	inflightMu  sync.Mutex
+	inflightSeq uint64
+	inflight    map[uint64]*inflightEntry
 }
 
 // New wraps a System with the daemon's HTTP API using default tuning.
@@ -191,7 +237,11 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 		watches:     newWatchManager(cfg.WatchTTL, cfg.MaxWatches),
 		queries:     newQueryCache(cfg.QueryCache),
 		ingestSlots: make(chan struct{}, cfg.IngestQueue),
+		logger:      cfg.Logger,
+		metrics:     cfg.Metrics,
+		inflight:    make(map[uint64]*inflightEntry),
 	}
+	s.registry = s.buildRegistry()
 	if cfg.WAL != nil {
 		// Compaction must retain every epoch an open cursor pins: feed the
 		// registry's low-water mark to the log.
@@ -209,11 +259,21 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 	s.mux.HandleFunc("/watch", s.handleWatch)
 	s.mux.HandleFunc("/watch/stream", s.handleWatchStream)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/hunts", s.handleDebugHunts)
+	if cfg.Pprof {
+		s.mountPprof()
+	}
 	return s
 }
 
-// ServeHTTP dispatches to the daemon's endpoints.
+// ServeHTTP dispatches to the daemon's endpoints. Every request gets a
+// request id, echoed in the X-Request-Id response header and carried in
+// the context so handlers stamp it into trace spans and log lines.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := newRequestID()
+	w.Header().Set("X-Request-Id", rid)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -365,6 +425,9 @@ type HuntResponse struct {
 	CursorID   string    `json:"cursor_id,omitempty"`
 	NextOffset *int      `json:"next_offset,omitempty"`
 	Stats      HuntStats `json:"stats"`
+	// Trace is the hunt's pipeline span tree — parse through fetch waves
+	// to first row — absent when the server runs with tracing disabled.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func (s *Server) huntRequest(w http.ResponseWriter, r *http.Request) (HuntRequest, int, error) {
@@ -443,23 +506,38 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "hunt wants POST, got %s", r.Method)
 		return
 	}
+	start := time.Now()
 	req, status, err := s.huntRequest(w, r)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
+	rid := requestID(r.Context())
+	finish := s.trackInflight("hunt", rid, req.Query)
+	defer finish()
+	// One trace per hunt, threaded through the engine so the response
+	// (and the slow-hunt log) carries the full pipeline span tree.
+	var tr *obs.Trace
+	if !s.cfg.NoTrace {
+		tr = obs.NewTrace()
+		tr.SetRequestID(rid)
+	}
 	// The query cache fronts parsing: repeat hunts (offset-paging
 	// clients, refreshed dashboards) resolve their analyzed form by raw
 	// source text and skip parse+analysis. Execution never mutates an
 	// analyzed query, so one cached *Query serves concurrent hunts.
+	parseSp := tr.Begin("parse", -1)
 	q := s.queries.get(req.Query)
-	if q == nil {
+	if q != nil {
+		tr.EndNote(parseSp, "query_cache=hit")
+	} else {
 		q, err = s.sys.ParseQuery(req.Query)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		s.queries.put(req.Query, q)
+		tr.EndNote(parseSp, "query_cache=miss")
 	}
 	// A hunt that cannot register a cursor — the client declined one or
 	// is already offset-paging — is bounded at the skipped offset plus
@@ -470,9 +548,9 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	// one execution serves every later page.
 	var cur *threatraptor.Cursor
 	if req.NoCursor || req.Offset > 0 {
-		cur, err = s.sys.HuntQueryCursorLimit(q, req.Offset+req.Limit+1)
+		cur, err = s.sys.HuntQueryCursorTrace(q, req.Offset+req.Limit+1, tr)
 	} else {
-		cur, err = s.sys.HuntQueryCursor(q)
+		cur, err = s.sys.HuntQueryCursorTrace(q, 0, tr)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -487,6 +565,7 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	s.hunts.Add(1)
 	s.executions.Add(1)
 
+	pageSp := tr.Begin("page", -1)
 	for skipped := 0; skipped < req.Offset; skipped++ {
 		if !cur.Next() {
 			break
@@ -498,6 +577,7 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	for len(rows) < req.Limit && cur.Next() {
 		rows = append(rows, cur.Row())
 	}
+	tr.End(pageSp)
 	st := toHuntStats(cur)
 	s.propSkipped.Add(int64(st.PropagationsSkipped))
 	if st.Reordered {
@@ -535,6 +615,19 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 			resp.CursorID = s.cursors.put(cur, cur.Row(), next)
 			registered = true
 		}
+	}
+	resp.Trace = tr.JSON()
+	elapsed := time.Since(start)
+	s.metrics.HuntFirstPage.Observe(elapsed.Seconds())
+	if s.cfg.SlowHunt > 0 && elapsed >= s.cfg.SlowHunt {
+		s.logger.Warn("slow hunt",
+			"request_id", rid,
+			"fingerprint", obs.Fingerprint(req.Query),
+			"dur_ms", elapsed.Milliseconds(),
+			"rows", len(rows),
+			"epoch", resp.Epoch,
+			"spans", tr.Breakdown(),
+		)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -575,6 +668,8 @@ func (s *Server) handleHuntNext(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, "unknown or expired cursor %q; re-run the hunt", id)
 		return
 	}
+	finish := s.trackInflight("hunt/next", requestID(r.Context()), "cursor "+idPrefix(id))
+	defer finish()
 
 	e.mu.Lock()
 	if e.closed {
@@ -693,12 +788,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty TBQL query (use ?q= or a POST body)")
 		return
 	}
+	rid := requestID(r.Context())
+	finish := s.trackInflight("explain", rid, src)
+	defer finish()
+	var tr *obs.Trace
+	if !s.cfg.NoTrace {
+		tr = obs.NewTrace()
+		tr.SetRequestID(rid)
+	}
+	parseSp := tr.Begin("parse", -1)
 	q, err := s.sys.ParseQuery(src)
+	tr.End(parseSp)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	patterns, err := s.sys.Explain(q)
+	patterns, err := s.sys.ExplainTrace(q, tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -711,7 +816,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Propagated: p.Propagated, Hosts: p.Hosts,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
+	body := map[string]any{"patterns": out}
+	if t := tr.JSON(); t != nil {
+		body["trace"] = t
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // StatsResponse is the JSON body returned by GET /stats.

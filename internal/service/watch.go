@@ -384,6 +384,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.watches.put(wt)
 	if !ok {
 		wt.Close()
+		// Like /ingest's shed path, the 429 carries a Retry-After hint:
+		// an expiring watch may free a slot within the TTL sweep.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			"too many standing hunts (max %d); delete one or retry later", s.watches.max)
 		return

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FsyncMode selects the log's durability/throughput trade-off.
@@ -86,6 +88,9 @@ type Config struct {
 	FS FS
 	// Now overrides the clock for retention cutoffs (nil = time.Now).
 	Now func() time.Time
+	// Metrics, when set, receives append and fsync duration
+	// observations (obs histograms; lock-free, nil-safe).
+	Metrics *obs.Metrics
 }
 
 // DefaultFsyncInterval is the batched-mode sync period when none is
@@ -465,6 +470,7 @@ func (l *Log) Append(c *Commit) (Ack, error) {
 		l.mu.Unlock()
 		return nil, fmt.Errorf("wal: epoch %d not after last appended %d", c.Epoch, l.lastEpoch)
 	}
+	appendStart := time.Now()
 	l.encBuf = AppendRecord(l.encBuf[:0], c)
 	if _, err := l.file.Write(l.encBuf); err != nil {
 		// The record may be partially on disk; recovery's CRC framing
@@ -478,6 +484,9 @@ func (l *Log) Append(c *Commit) (Ack, error) {
 	l.pending = append(l.pending, c)
 	seq := l.appendSeq.Add(1)
 	l.records.Add(1)
+	// Observed inside mu so it times exactly the encode+write this
+	// append did; the observation itself is atomic and never blocks.
+	l.cfg.Metrics.ObserveWALAppend(appendStart)
 	l.mu.Unlock()
 
 	if l.cfg.Fsync.Mode != FsyncAlways {
@@ -505,9 +514,11 @@ func (l *Log) ensureSynced(seq uint64) error {
 	if closed {
 		return errors.New("wal: closed")
 	}
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		return l.degrade("fsync", err)
 	}
+	l.cfg.Metrics.ObserveWALFsync(syncStart)
 	l.syncs.Add(1)
 	// Records appended after target started during/after the sync; they
 	// wait for the next one.

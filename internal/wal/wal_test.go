@@ -62,9 +62,14 @@ func openReplay(t *testing.T, dir string, cfg Config) (*Log, []*Commit, Recovery
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
+	// Segment replay invokes the callback from per-shard goroutines
+	// (readSetParallel), so the accumulator needs a lock.
+	var mu sync.Mutex
 	var got []*Commit
 	info, err := l.Replay(func(c *Commit) error {
+		mu.Lock()
 		got = append(got, c)
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {

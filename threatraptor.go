@@ -26,11 +26,13 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/exec"
 	"repro/internal/extract"
 	"repro/internal/graphstore"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/relstore"
 	"repro/internal/snapshot"
@@ -136,6 +138,14 @@ type Options struct {
 	// own epoch and WAL record: a chunked batch is atomic per chunk, not
 	// end-to-end — a mid-batch failure can leave a committed prefix.
 	IngestChunk int
+	// Metrics, when set, receives latency observations from the facade's
+	// hot paths: ingest commit duration, standing-hunt Advance duration,
+	// and watch delivery lag in epochs. Every observation is lock-free
+	// and nil-safe, so a System without metrics pays one pointer test.
+	Metrics *obs.Metrics
+	// DisableTracing turns off the engine's default per-hunt pipeline
+	// trace (the A/B knob for the tracing-overhead benchmark).
+	DisableTracing bool
 }
 
 // DefaultIngestChunk is the records-per-commit bound when
@@ -188,6 +198,8 @@ type System struct {
 	engine *exec.Engine
 	// wal is the attached durability log (nil = memory-only system).
 	wal *wal.Log
+	// metrics is the optional telemetry bundle (nil = no observations).
+	metrics *obs.Metrics
 
 	// clock names ingest commits with monotonically increasing epochs;
 	// cursors report the epoch they pinned (Cursor.Epoch) and the
@@ -244,7 +256,9 @@ func New(opts Options) (*System, error) {
 			DisableCostOptimizer: opts.DisableCostOptimizer,
 			UseNaiveJoin:         opts.UseNaiveJoin,
 			MaxPropagatedIDs:     opts.MaxPropagatedIDs,
+			DisableTracing:       opts.DisableTracing,
 		},
+		metrics:      opts.Metrics,
 		shardIngests: make([]atomic.Int64, nShards),
 		watches:      make(map[uint64]*Watch),
 		watchNotify:  make(chan struct{}, 1),
@@ -454,6 +468,7 @@ func (s *System) ingest(recs []Record, parseErrs int) (IngestStats, error) {
 // event loads run outside the lock, as before: batches for different
 // hosts land on disjoint shards and proceed in parallel.
 func (s *System) ingestCommit(recs []Record) (IngestStats, wal.Ack, error) {
+	commitStart := time.Now()
 	s.ingestMu.Lock()
 	staged, err := s.parser.Stage(recs)
 	if err != nil {
@@ -522,6 +537,9 @@ func (s *System) ingestCommit(recs []Record) (IngestStats, wal.Ack, error) {
 	// announce it so standing hunts evaluate the new delta. Announce only
 	// posts a coalescing wake-up — it never blocks the ingest path.
 	s.clock.Announce(s.clock.Current())
+	// Committed-commit latency only: an aborted commit published nothing,
+	// so timing it would skew the histogram toward failures.
+	s.metrics.ObserveIngestCommit(commitStart)
 	return stats, ack, nil
 }
 
@@ -610,6 +628,14 @@ func (s *System) HuntQueryCursorLimit(q *Query, limit int) (*Cursor, error) {
 	return s.engine.ExecuteCursorLimit(q, limit)
 }
 
+// HuntQueryCursorTrace is HuntQueryCursorLimit recording the pipeline
+// stages into tr, so a caller that already traced earlier stages (the
+// daemon's parse and cache-lookup spans) gets one contiguous span tree
+// back from Cursor.Trace. A nil tr uses the engine default.
+func (s *System) HuntQueryCursorTrace(q *Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	return s.engine.ExecuteCursorTrace(q, limit, tr)
+}
+
 // HuntReport is the end-to-end pipeline: extract the threat behavior
 // graph from the report, synthesize a TBQL query, and execute it.
 func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult, error) {
@@ -629,6 +655,12 @@ func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult
 // it, in the order the engine would schedule them.
 func (s *System) Explain(q *Query) ([]exec.ExplainedPattern, error) {
 	return s.engine.Explain(q)
+}
+
+// ExplainTrace is Explain recording its stages as spans on tr (nil
+// records nothing).
+func (s *System) ExplainTrace(q *Query, tr *obs.Trace) ([]exec.ExplainedPattern, error) {
+	return s.engine.ExplainTrace(q, tr)
 }
 
 // NumEvents reports how many events are stored.

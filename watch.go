@@ -3,6 +3,7 @@ package threatraptor
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/snapshot"
@@ -165,7 +166,9 @@ func (w *Watch) pump() {
 	if w.closed {
 		return
 	}
+	advStart := time.Now()
 	b, err := w.hunt.Advance()
+	w.sys.metrics.ObserveStandingAdvance(advStart)
 	if err != nil {
 		w.err = err
 		w.closed = true
@@ -183,6 +186,14 @@ func (w *Watch) pump() {
 	case w.ch <- WatchBatch{WatchID: w.id, Epoch: b.Epoch, Resume: b.Resume, Rows: b.Rows}:
 		w.sys.watchBatches.Add(1)
 		w.sys.watchRows.Add(int64(len(b.Rows)))
+		// Delivery lag: how many commits landed between this batch's
+		// epoch and now. 0–1 is a watch keeping up; growth means the
+		// evaluator is falling behind the commit rate.
+		if cur := w.sys.clock.Current(); cur > b.Epoch {
+			w.sys.metrics.ObserveWatchLag(uint64(cur - b.Epoch))
+		} else {
+			w.sys.metrics.ObserveWatchLag(0)
+		}
 	default:
 		// Slow subscriber: evict rather than block the evaluator (and
 		// with it the commit announcement path).
