@@ -18,6 +18,12 @@
 //	GET    /metrics      Prometheus text exposition (latency histograms,
 //	                     registry occupancy, durability counters)
 //	GET    /debug/hunts  in-flight executions, open cursors, active watches
+//	DELETE /debug/hunts/<request-id>
+//	                     kill switch: cancel a live hunt by its request id
+//
+// Hunt executions are governed by -hunt-timeout (504 past the deadline),
+// -max-join-rows (422 past the join budget), and -max-hunts (429 beyond
+// the admission cap); a client disconnect cancels its hunt mid-wave.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting. Logging is structured (log/slog, text to
@@ -90,6 +96,11 @@ func main() {
 		slowHunt   = flag.Duration("slow-hunt", service.DefaultSlowHunt, "latency threshold above which a hunt logs a structured slow-hunt line with its span breakdown (0 disables)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiles can reveal heap contents)")
 		noTrace    = flag.Bool("no-trace", false, "disable per-hunt pipeline tracing; hunt and explain responses omit the span tree")
+		huntTO     = flag.Duration("hunt-timeout", 0, "per-request execution deadline for /hunt, /hunt/next, and /explain; past it hunts answer 504 with the partial span breakdown (0 disables)")
+		maxJoinRow = flag.Int("max-join-rows", 0, "cap on join candidate rows one hunt may examine; past it the hunt answers 422 naming the budget (0 disables)")
+		maxHunts   = flag.Int("max-hunts", 0, "concurrent hunt executions admitted before shedding 429 + Retry-After (0 = unlimited)")
+		readTO     = flag.Duration("read-timeout", 5*time.Minute, "whole-request read deadline; bounds how long a trickling client can hold a connection (0 disables)")
+		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle deadline before an inactive connection is closed (0 disables)")
 	)
 	flag.Parse()
 
@@ -135,6 +146,16 @@ func main() {
 		fatal("-watch-buffer must be >= 0 (got %d); use 0 for the default buffer", *watchBuf)
 	case *slowHunt < 0:
 		fatal("-slow-hunt must be >= 0 (got %s); use 0 to disable the slow-hunt log", *slowHunt)
+	case *huntTO < 0:
+		fatal("-hunt-timeout must be >= 0 (got %s); use 0 to disable the deadline", *huntTO)
+	case *maxJoinRow < 0:
+		fatal("-max-join-rows must be >= 0 (got %d); use 0 to disable the budget", *maxJoinRow)
+	case *maxHunts < 0:
+		fatal("-max-hunts must be >= 0 (got %d); use 0 for unlimited concurrency", *maxHunts)
+	case *readTO < 0:
+		fatal("-read-timeout must be >= 0 (got %s); use 0 to disable it", *readTO)
+	case *idleTO < 0:
+		fatal("-idle-timeout must be >= 0 (got %s); use 0 to disable it", *idleTO)
 	}
 
 	// One histogram bundle shared by every layer: the WAL observes
@@ -173,6 +194,7 @@ func main() {
 		DisableCostOptimizer: *noCostOpt,
 		WAL:                  durLog,
 		IngestChunk:          *ingestChnk,
+		MaxJoinRows:          *maxJoinRow,
 		Metrics:              metrics,
 		DisableTracing:       *noTrace,
 	})
@@ -192,25 +214,35 @@ func main() {
 		)
 	}
 
+	svc := service.NewWithConfig(sys, service.Config{
+		CursorTTL:   *cursorTTL,
+		MaxCursors:  *maxCursors,
+		IngestQueue: *ingestQ,
+		MaxPage:     *maxPage,
+		QueryCache:  cacheSizeConfig(*queryCache),
+		WatchTTL:    *watchTTL,
+		MaxWatches:  *maxWatches,
+		WatchBuffer: *watchBuf,
+		WAL:         durLog,
+		SlowHunt:    slowHuntConfig(*slowHunt),
+		Pprof:       *pprofOn,
+		NoTrace:     *noTrace,
+		Logger:      logger,
+		Metrics:     metrics,
+		HuntTimeout: *huntTO,
+		MaxHunts:    *maxHunts,
+	})
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.NewWithConfig(sys, service.Config{
-			CursorTTL:   *cursorTTL,
-			MaxCursors:  *maxCursors,
-			IngestQueue: *ingestQ,
-			MaxPage:     *maxPage,
-			QueryCache:  cacheSizeConfig(*queryCache),
-			WatchTTL:    *watchTTL,
-			MaxWatches:  *maxWatches,
-			WatchBuffer: *watchBuf,
-			WAL:         durLog,
-			SlowHunt:    slowHuntConfig(*slowHunt),
-			Pprof:       *pprofOn,
-			NoTrace:     *noTrace,
-			Logger:      logger,
-			Metrics:     metrics,
-		}),
+		Addr:    *addr,
+		Handler: svc,
+		// Slowloris defenses: headers must arrive promptly, whole bodies
+		// within the read timeout, and idle keep-alive connections are
+		// reaped. No WriteTimeout — /watch/stream responses are unbounded
+		// by design (the stream handler also clears its read deadline).
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -238,6 +270,9 @@ func main() {
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("server exit", "err", err)
 	}
+	// Release the service's background consumers (webhook pumps mid-retry
+	// against a dead sink) so shutdown never waits out their backoff.
+	svc.Close()
 	// With HTTP drained no ingest is in flight: flush and fsync the WAL
 	// tail and write the clean-shutdown marker, so the next start skips
 	// torn-tail scanning.

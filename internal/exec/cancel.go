@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed lifecycle errors. Every abort surfaced by the hunt pipeline wraps
+// one of these, so callers (the HTTP service, the facade watch pump) can
+// classify with errors.Is and map to 504/422/429-style responses without
+// string matching.
+var (
+	// ErrHuntCancelled reports that the hunt's context was cancelled —
+	// by a client disconnect, an operator kill, or Close on the owning
+	// watch. The wrapped message carries context.Cause when one was set.
+	ErrHuntCancelled = errors.New("exec: hunt cancelled")
+
+	// ErrHuntDeadline reports that the hunt's context deadline expired
+	// (-hunt-timeout at the daemon, or any caller-supplied deadline).
+	ErrHuntDeadline = errors.New("exec: hunt deadline exceeded")
+
+	// ErrJoinBudget reports that the join examined more candidate rows
+	// than Engine.MaxJoinRows allows. Budget aborts are terminal: the
+	// cursor releases its snapshot and cannot be resumed.
+	ErrJoinBudget = errors.New("exec: join budget exceeded")
+)
+
+// joinCheckEvery is how many join candidates may be examined between
+// context polls. It bounds cancellation latency inside a join level to
+// ~a microsecond of work while keeping the poll off the per-row path.
+const joinCheckEvery = 1024
+
+// huntErr converts a done context into the matching typed error,
+// carrying the cancellation cause (e.g. "hunt killed via DELETE
+// /debug/hunts") when one was recorded.
+func huntErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrHuntDeadline
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return fmt.Errorf("%w: %v", ErrHuntCancelled, cause)
+	}
+	return ErrHuntCancelled
+}
+
+// ctxDone reports whether a (possibly nil) hunt context has been
+// cancelled or timed out.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}

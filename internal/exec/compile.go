@@ -80,6 +80,29 @@
 // Engine.DisableTracing turns the default recording off
 // (BenchmarkHuntRepeatedNoTrace measures the difference, held under 5%).
 //
+// # Query lifecycle governance
+//
+// Every execution path takes a context.Context (ExecuteCursorCtx,
+// ExplainTraceCtx, StandingHunt.AdvanceContext; the context-free
+// variants delegate with context.Background()). Cancellation is
+// observed at every fetch-wave boundary and, inside the streaming
+// join, every joinCheckEvery (1024) candidate rows — cheap enough
+// that the checks cost under 3% on the warm repeat hunt
+// (BenchmarkHuntRepeated vs BenchmarkHuntRepeatedCtx). Aborts surface
+// as typed errors (cancel.go): ErrHuntCancelled (wrapping the
+// context.Cause, so an operator kill reads differently from a client
+// disconnect), ErrHuntDeadline, and ErrJoinBudget when
+// Engine.MaxJoinRows caps the candidate rows one execution may
+// examine. A context interrupt suspends the join with its walk state
+// intact and keeps the snapshot pinned: Cursor.SetContext installs a
+// live context and clears the interrupt, and iteration resumes
+// exactly where it stopped — the service layer's resumable timed-out
+// pages are built on this. A budget abort is terminal: the cursor
+// unpins its snapshot and SetContext does not revive it. A wave
+// interrupted mid-fetch still waits for its in-flight per-shard jobs
+// (they hold snapshot reads) before returning, so cancellation never
+// leaks a fetch goroutine or an epoch pin.
+//
 // # Execution model
 //
 // Both stores are host-sharded (1 shard = the unsharded case). A hunt

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -70,6 +71,15 @@ type Cursor struct {
 	trace         *obs.Trace
 	firstRowTimed bool
 
+	// ctx is the hunt's lifecycle context (nil = never cancelled),
+	// polled by the join at bounded intervals. interrupted marks a
+	// context interrupt of the streaming join: the walk state and the
+	// snapshot are intact, and SetContext clears it so the cursor
+	// resumes exactly where it suspended — this is what keeps a
+	// server-side cursor resumable after a page deadline fires.
+	ctx         context.Context
+	interrupted bool
+
 	row    []string
 	err    error
 	closed bool
@@ -83,7 +93,7 @@ type Cursor struct {
 // exhausted; because the snapshot is an append watermark, not a lock,
 // holding it open costs writers nothing.
 func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
-	return en.executeCursor(q, 0, nil)
+	return en.executeCursor(nil, q, 0, nil)
 }
 
 // ExecuteCursorLimit is ExecuteCursor with a row-need bound: the caller
@@ -95,7 +105,7 @@ func (en *Engine) ExecuteCursor(q *tbql.Query) (*Cursor, error) {
 // FetchCapped; reading it past limit rows yields a truncated result,
 // so callers must not page beyond their promise.
 func (en *Engine) ExecuteCursorLimit(q *tbql.Query, limit int) (*Cursor, error) {
-	return en.executeCursor(q, limit, nil)
+	return en.executeCursor(nil, q, limit, nil)
 }
 
 // ExecuteCursorTrace is ExecuteCursorLimit recording the pipeline
@@ -104,12 +114,27 @@ func (en *Engine) ExecuteCursorLimit(q *tbql.Query, limit int) (*Cursor, error) 
 // contiguous span tree back from Cursor.Trace. A nil tr falls back to
 // the engine's default (trace unless DisableTracing).
 func (en *Engine) ExecuteCursorTrace(q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
-	return en.executeCursor(q, limit, tr)
+	return en.executeCursor(nil, q, limit, tr)
+}
+
+// ExecuteCursorCtx is ExecuteCursorTrace under a lifecycle context: the
+// fetch waves poll ctx at every wave boundary and shard-job start, and
+// the lazy join polls it at Next entry plus every joinCheckEvery
+// candidates, so cancelling ctx aborts the hunt within a bounded amount
+// of join work. A cancelled fetch surfaces ErrHuntCancelled (or
+// ErrHuntDeadline) from this call; a cancellation mid-iteration makes
+// Next return false with the same error in Err, leaving the cursor
+// resumable via SetContext.
+func (en *Engine) ExecuteCursorCtx(ctx context.Context, q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	return en.executeCursor(ctx, q, limit, tr)
 }
 
 // executeCursor is the shared hunt entry: snapshot, cost-based (or
 // static) scheduling, fetch, and lazy-join cursor construction.
-func (en *Engine) executeCursor(q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
+func (en *Engine) executeCursor(ctx context.Context, q *tbql.Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	if ctxDone(ctx) {
+		return nil, huntErr(ctx)
+	}
 	if tr == nil && !en.DisableTracing {
 		tr = obs.NewTrace()
 	}
@@ -155,6 +180,7 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int, tr *obs.Trace) (*Curso
 		epoch:    sv.epoch,
 		view:     sv,
 		trace:    tr,
+		ctx:      ctx,
 	}
 	if c.distinct {
 		c.seen = make(map[string]bool)
@@ -195,7 +221,7 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int, tr *obs.Trace) (*Curso
 	en.Plans.ensureSchema(fp)
 
 	spec := fetchSpec{order: order, patShards: patShards,
-		maxHops: maxHops, maxProp: maxProp, fp: fp}
+		maxHops: maxHops, maxProp: maxProp, fp: fp, ctx: ctx}
 	if limit > 0 && !en.DisableCostOptimizer && !en.UseTextCompile && fetchCapSafe(q) {
 		spec.rowCap = limit
 		c.stats.FetchCapped = true
@@ -223,13 +249,42 @@ func (en *Engine) executeCursor(q *tbql.Query, limit int, tr *obs.Trace) (*Curso
 	}
 
 	if en.UseNaiveJoin {
-		matches, explored := en.join(q, order, rows)
+		matches, explored, err := en.join(ctx, q, order, rows)
 		c.stats.JoinCandidates = explored
+		if err != nil {
+			c.view = nil
+			return nil, err
+		}
 		c.naive = matches
 	} else {
 		c.stream = newMatchStream(planJoin(q, order), rows)
+		c.stream.stop = c.joinStop
 	}
 	return c, nil
+}
+
+// joinStop is the streaming join's lifecycle hook: suspend the walk
+// when the hunt's context is done or the join budget is exhausted.
+func (c *Cursor) joinStop() bool {
+	if ctxDone(c.ctx) {
+		return true
+	}
+	return c.en.MaxJoinRows > 0 && c.stream.explored >= c.en.MaxJoinRows
+}
+
+// SetContext installs ctx as the lifecycle context for subsequent Next
+// calls and clears a pending context interrupt, resuming the suspended
+// join walk exactly where the old context stopped it. This is how a
+// server-side cursor survives a page deadline or disconnect: each page
+// request installs its own context before paging. Terminal errors
+// (budget overruns, backend failures) are not cleared — only context
+// interrupts are resumable.
+func (c *Cursor) SetContext(ctx context.Context) {
+	c.ctx = ctx
+	if c.interrupted {
+		c.interrupted = false
+		c.err = nil
+	}
 }
 
 // planCacheNote renders the fetch span's plan-cache annotation without
@@ -364,6 +419,11 @@ func (c *Cursor) advance() bool {
 		switch {
 		case c.stream != nil:
 			if !c.stream.Next() {
+				if c.stream.interrupted {
+					c.stream.interrupted = false
+					c.abortJoin()
+					return false
+				}
 				c.finish()
 				return false
 			}
@@ -410,6 +470,22 @@ func (c *Cursor) advance() bool {
 func (c *Cursor) finish() {
 	c.row = nil
 	c.syncStats()
+	c.view = nil
+}
+
+// abortJoin records why the streaming join suspended. A context
+// interrupt is resumable — the walk state and snapshot stay intact for
+// SetContext — while a budget overrun is terminal and releases the
+// snapshot like finish.
+func (c *Cursor) abortJoin() {
+	c.row = nil
+	c.syncStats()
+	if ctxDone(c.ctx) {
+		c.interrupted = true
+		c.err = huntErr(c.ctx)
+		return
+	}
+	c.err = c.en.joinBudgetErr(c.stats.JoinCandidates)
 	c.view = nil
 }
 

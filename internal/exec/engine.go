@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -72,6 +73,12 @@ type Engine struct {
 	// clock reads under a short mutex — so this exists as the A/B knob
 	// for the tracing-overhead benchmark and as an escape hatch.
 	DisableTracing bool
+	// MaxJoinRows bounds how many candidate rows one hunt's join may
+	// examine (Stats.JoinCandidates); 0 means unbounded. A hunt that
+	// exceeds it aborts with ErrJoinBudget — a terminal error that
+	// releases the snapshot — so a cross-product-shaped query cannot
+	// pin a core indefinitely.
+	MaxJoinRows int
 
 	// attrsMu guards the projection attribute cache below, so concurrent
 	// hunts share one cache instead of racing on it.
@@ -377,6 +384,10 @@ type fetchSpec struct {
 	// the caller's "fetch" span (span is its index in tr).
 	tr   *obs.Trace
 	span int
+	// ctx, when set, is the hunt's lifecycle context: it is polled at
+	// every wave boundary and before each shard job starts, so a
+	// cancelled or timed-out hunt stops fanning out data queries.
+	ctx context.Context
 }
 
 // fetchPatterns runs the per-pattern data queries in scheduled order
@@ -438,6 +449,9 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 	// exactly: nothing after the empty pattern executes.
 	var sawEmpty atomic.Bool
 	for _, wave := range waves {
+		if ctxDone(spec.ctx) {
+			return nil, huntErr(spec.ctx)
+		}
 		// One span per dependency wave; its children are the shard jobs
 		// that actually executed, named by pattern. The trace mutex makes
 		// the concurrent job appends safe.
@@ -544,7 +558,7 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 		// once propagation chains patterns on a 1-shard store), else
 		// through the pool.
 		run := func(j *shardJob) {
-			if sawEmpty.Load() {
+			if sawEmpty.Load() || ctxDone(spec.ctx) {
 				j.skipped = true
 			} else {
 				jobSp := spec.tr.Begin(q.Patterns[j.pi].Name, waveSp)
@@ -590,6 +604,15 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 			wg.Wait()
 		}
 
+		// A context that fired mid-wave left some jobs skipped, so the
+		// wave's row state is incomplete and must not fold into the
+		// propagation state: retire the pooled shard buffers and abort.
+		if ctxDone(spec.ctx) {
+			retireWave(en, works)
+			spec.tr.EndNote(waveSp, "cancelled")
+			return nil, huntErr(spec.ctx)
+		}
+
 		// Fold results back in scheduled order: errors first, then
 		// per-pattern shard merges (shard order, so the merged list is
 		// deterministic), row accounting, short-circuit, and
@@ -605,6 +628,7 @@ func (en *Engine) fetchPatterns(q *tbql.Query, sv *storeView, spec fetchSpec, st
 			executed := false
 			for _, j := range w.jobs {
 				if j.err != nil {
+					retireWave(en, works)
 					return nil, fmt.Errorf("exec: pattern %q: %w", q.Patterns[w.pi].Name, j.err)
 				}
 				if j.skipped {
@@ -693,6 +717,26 @@ func (en *Engine) putRowBuf(b []EventRow) {
 	}
 	b = b[:0]
 	en.rowBufs.Put(&b)
+}
+
+// retireWave returns a wave's pooled multi-shard fetch buffers after an
+// abort (cancellation or a shard-job error), so the interrupted fetch
+// does not strand them outside the pool. Only multi-shard patterns pull
+// from the pool (single-shard fetches allocate exactly sized buffers),
+// and all jobs are quiescent by the time this runs — the wave's
+// WaitGroup has been awaited.
+func retireWave(en *Engine, works []*patWork) {
+	for _, w := range works {
+		if len(w.jobs) <= 1 {
+			continue
+		}
+		for _, j := range w.jobs {
+			if j.fetched != nil {
+				en.putRowBuf(j.fetched)
+				j.fetched = nil
+			}
+		}
+	}
 }
 
 // renderDataQueries materializes the human-readable DataQueries text
@@ -870,6 +914,16 @@ func (en *Engine) Explain(q *tbql.Query) ([]ExplainedPattern, error) {
 	return en.ExplainTrace(q, nil)
 }
 
+// ExplainTraceCtx is ExplainTrace honoring a lifecycle context. Explain
+// executes no data queries, so the context is checked once at entry —
+// there is no long-running phase to interrupt after that.
+func (en *Engine) ExplainTraceCtx(ctx context.Context, q *tbql.Query, tr *obs.Trace) ([]ExplainedPattern, error) {
+	if ctxDone(ctx) {
+		return nil, huntErr(ctx)
+	}
+	return en.ExplainTrace(q, tr)
+}
+
 // ExplainTrace is Explain recording its stages (analyze, estimate,
 // compile) as spans on tr. A nil tr records nothing.
 func (en *Engine) ExplainTrace(q *tbql.Query, tr *obs.Trace) ([]ExplainedPattern, error) {
@@ -967,8 +1021,10 @@ func returnCols(q *tbql.Query) []string {
 // Engine.UseNaiveJoin as the correctness baseline the streaming hash
 // join is property-tested against. It binds the patterns' fetched rows
 // into complete matches, cloning the binding maps per accepted
-// candidate and re-checking every bound relation at each level.
-func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, int) {
+// candidate and re-checking every bound relation at each level. The
+// hunt context and the MaxJoinRows budget are polled every
+// joinCheckEvery candidates, like the streaming path.
+func (en *Engine) join(ctx context.Context, q *tbql.Query, order []int, rows [][]EventRow) ([]Match, int, error) {
 	type partial struct {
 		events   map[string]EventRow
 		entities map[string]int64
@@ -984,6 +1040,14 @@ func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, 
 		for _, p := range parts {
 			for _, r := range rows[pi] {
 				explored++
+				if explored%joinCheckEvery == 0 {
+					if ctxDone(ctx) {
+						return nil, explored, huntErr(ctx)
+					}
+					if en.MaxJoinRows > 0 && explored >= en.MaxJoinRows {
+						return nil, explored, en.joinBudgetErr(explored)
+					}
+				}
 				if id, ok := p.entities[pat.Subj.ID]; ok && id != r.SrcID {
 					continue
 				}
@@ -1003,7 +1067,7 @@ func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, 
 		}
 		parts = next
 		if len(parts) == 0 {
-			return nil, explored
+			return nil, explored, nil
 		}
 	}
 
@@ -1011,7 +1075,14 @@ func (en *Engine) join(q *tbql.Query, order []int, rows [][]EventRow) ([]Match, 
 	for i, p := range parts {
 		matches[i] = Match{Events: p.events, Entities: p.entities}
 	}
-	return matches, explored
+	return matches, explored, nil
+}
+
+// joinBudgetErr names the exhausted budget so the 422 the service maps
+// it to tells the analyst which knob fired.
+func (en *Engine) joinBudgetErr(explored int) error {
+	return fmt.Errorf("%w: join examined %d candidate rows (max-join-rows %d)",
+		ErrJoinBudget, explored, en.MaxJoinRows)
 }
 
 // relationsOK checks every temporal and attribute relation whose two

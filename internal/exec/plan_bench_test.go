@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -55,6 +56,43 @@ func BenchmarkHuntRepeated(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := warmFirstPage(en, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHuntRepeatedCtx is BenchmarkHuntRepeated under a live
+// cancellable context — the production /hunt shape since lifecycle
+// governance landed. The A/B pair against BenchmarkHuntRepeated bounds
+// what the context checks (wave boundaries, every joinCheckEvery join
+// candidates) cost on the hot path; the budget is 3%.
+func BenchmarkHuntRepeatedCtx(b *testing.B) {
+	en, q := repeatedEngine(b)
+	en.Plans = NewPlanCache(DefaultPlanCacheSize)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	warm := func() error {
+		cur, err := en.ExecuteCursorCtx(ctx, q, 0, nil)
+		if err != nil {
+			return err
+		}
+		defer cur.Close()
+		rows := 0
+		for rows < 100 && cur.Next() {
+			rows++
+		}
+		if rows == 0 {
+			return fmt.Errorf("hunt found nothing")
+		}
+		return cur.Err()
+	}
+	if err := warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := warm(); err != nil {
 			b.Fatal(err)
 		}
 	}

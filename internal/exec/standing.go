@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -281,12 +282,28 @@ func (h *StandingHunt) Totals() (batches, matches int64) {
 // It is safe for concurrent use; concurrent calls serialize, and a call
 // that observes no new rows returns an empty batch.
 func (h *StandingHunt) Advance() (*DeltaBatch, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.advanceLocked()
+	return h.AdvanceContext(context.Background())
 }
 
-func (h *StandingHunt) advanceLocked() (*DeltaBatch, error) {
+// AdvanceContext is Advance under a lifecycle context, polled between
+// per-pattern delta fetches and every joinCheckEvery candidates inside
+// the delta join, so a cancelled or timed-out Advance aborts within a
+// bounded amount of work. A cancelled Advance returns ErrHuntCancelled
+// (or ErrHuntDeadline) and leaves the hunt's incremental state
+// partially advanced — deltas may have been consumed without their
+// matches being emitted — so the caller must treat the hunt as broken
+// and stop using it (the facade watch closes it; a resume token from
+// an earlier successful batch stays valid).
+func (h *StandingHunt) AdvanceContext(ctx context.Context) (*DeltaBatch, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.advanceLocked(ctx)
+}
+
+func (h *StandingHunt) advanceLocked(ctx context.Context) (*DeltaBatch, error) {
+	if ctxDone(ctx) {
+		return nil, huntErr(ctx)
+	}
 	sv, err := h.en.snapshotStores(h.relShards, h.graphShards)
 	if err != nil {
 		return nil, err
@@ -303,6 +320,9 @@ func (h *StandingHunt) advanceLocked() (*DeltaBatch, error) {
 
 	anyNew := false
 	for pi := range h.q.Patterns {
+		if ctxDone(ctx) {
+			return nil, huntErr(ctx)
+		}
 		st := &h.pats[pi]
 		st.oldLen = len(st.rows)
 		if err := h.fetchDelta(pi, sv); err != nil {
@@ -341,7 +361,9 @@ func (h *StandingHunt) advanceLocked() (*DeltaBatch, error) {
 		batch.Rows = append(batch.Rows, row)
 	}
 	for k, tp := range h.termPlans {
-		h.runTerm(k, tp, emit)
+		if err := h.runTerm(ctx, k, tp, emit); err != nil {
+			return nil, err
+		}
 	}
 
 	for pi := range h.pats {
@@ -416,12 +438,14 @@ func (h *StandingHunt) fetchDelta(pi int, sv *storeView) error {
 
 // runTerm evaluates the telescope's k-th term: seed on pattern
 // F[k]'s delta rows, join new-inclusive rows for patterns scheduled
-// before F[k] and old-only rows for patterns after it.
-func (h *StandingHunt) runTerm(k int, tp *joinPlan, emit func(entities []int64)) {
+// before F[k] and old-only rows for patterns after it. The context is
+// polled every joinCheckEvery candidates; once it fires, the remaining
+// recursion unwinds as no-ops and the term returns huntErr.
+func (h *StandingHunt) runTerm(ctx context.Context, k int, tp *joinPlan, emit func(entities []int64)) error {
 	seedPat := h.order[k]
 	seed := &h.pats[seedPat]
 	if seed.oldLen == len(seed.rows) {
-		return // no delta on this pattern: the term contributes nothing
+		return nil // no delta on this pattern: the term contributes nothing
 	}
 	// hi[pi] bounds pattern pi's candidate row ids for this term.
 	hi := make([]int, len(h.pats))
@@ -436,12 +460,24 @@ func (h *StandingHunt) runTerm(k int, tp *joinPlan, emit func(entities []int64))
 	events := make([]EventRow, len(h.q.Patterns))
 	entities := make([]int64, tp.nEnt)
 	last := len(tp.levels) - 1
+	aborted := false
+	tick := 0
 
 	var rec func(d int)
 	rec = func(d int) {
 		lv := &tp.levels[d]
 		rows := h.pats[lv.patIdx].rows
 		try := func(rid int32) {
+			if aborted {
+				return
+			}
+			if tick++; tick >= joinCheckEvery {
+				tick = 0
+				if ctxDone(ctx) {
+					aborted = true
+					return
+				}
+			}
 			r := rows[rid]
 			events[lv.patIdx] = r
 			for _, check := range lv.checks {
@@ -489,6 +525,10 @@ func (h *StandingHunt) runTerm(k int, tp *joinPlan, emit func(entities []int64))
 		}
 	}
 	rec(0)
+	if aborted {
+		return huntErr(ctx)
+	}
+	return nil
 }
 
 // tokenLocked renders the hunt's consumed watermarks as an opaque

@@ -209,6 +209,16 @@ type matchStream struct {
 	started  bool
 	done     bool
 	explored int // candidates examined (Stats.JoinCandidates)
+
+	// stop, when set, is the lifecycle hook: it is polled at Next entry
+	// and every joinCheckEvery candidates inside the walk. When it
+	// returns true Next sets interrupted and returns false WITHOUT
+	// touching the walk state (the poll happens before a candidate is
+	// consumed), so a later Next — after the owner clears interrupted —
+	// resumes exactly where the walk suspended.
+	stop        func() bool
+	interrupted bool
+	sinceCheck  int
 }
 
 // newMatchStream prepares the iterator: hash indexes are built once per
@@ -256,6 +266,10 @@ func (s *matchStream) Next() bool {
 	if s.done {
 		return false
 	}
+	if s.stop != nil && s.stop() {
+		s.interrupted = true
+		return false
+	}
 	last := len(s.plan.levels) - 1
 	if !s.started {
 		s.started = true
@@ -267,6 +281,13 @@ func (s *matchStream) Next() bool {
 		rows := s.rows[lv.patIdx]
 		advanced := false
 		for s.pos[s.depth] < len(s.cands[s.depth]) {
+			if s.sinceCheck++; s.sinceCheck >= joinCheckEvery {
+				s.sinceCheck = 0
+				if s.stop != nil && s.stop() {
+					s.interrupted = true
+					return false
+				}
+			}
 			rid := s.cands[s.depth][s.pos[s.depth]]
 			s.pos[s.depth]++
 			s.explored++

@@ -2,8 +2,10 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,11 @@ import (
 	"repro"
 	"repro/internal/snapshot"
 )
+
+// errCursorEvicted is the cancellation cause recorded when eviction (or
+// an explicit close) aborts a page read in flight on the cursor: the
+// page handler observes it via context.Cause and answers 410.
+var errCursorEvicted = errors.New("cursor evicted")
 
 // cursorEntry is one registered server-side cursor: a live exec cursor
 // pinned at its creation epoch, plus the paging bookkeeping the HTTP
@@ -26,16 +33,45 @@ type cursorEntry struct {
 	mu     sync.Mutex
 	cur    *threatraptor.Cursor
 	closed bool
-	// pending holds the look-ahead row the previous page consumed to
-	// learn more rows remained; the next page starts with it.
-	pending []string
+	// pending queues rows already pulled from the cursor but not yet
+	// served: the look-ahead row each page consumes to learn more rows
+	// remain, plus — after a page whose deadline fired or whose client
+	// disconnected — the partial page stashed for the retry, so an
+	// interrupted page loses no rows.
+	pending [][]string
 	// offset is the index of the next row to serve.
 	offset int
+
+	// pageCancel, when set, aborts the page read currently inside mu.
+	// It is guarded by its own cancelMu — NOT mu — because eviction
+	// must reach it precisely when a page holds mu: closeAll fires it
+	// first so the in-flight join suspends and releases mu promptly.
+	cancelMu   sync.Mutex
+	pageCancel context.CancelCauseFunc
 
 	// elem is the entry's node in the manager's LRU list; it and
 	// lastUsed are guarded by the manager's lock.
 	elem     *list.Element
 	lastUsed time.Time
+}
+
+// setPageCancel installs (or, with nil, clears) the cancel hook for the
+// page read about to run under e.mu.
+func (e *cursorEntry) setPageCancel(f context.CancelCauseFunc) {
+	e.cancelMu.Lock()
+	e.pageCancel = f
+	e.cancelMu.Unlock()
+}
+
+// cancelPage fires the in-flight page's cancel hook, if any, recording
+// cause for the page handler to classify.
+func (e *cursorEntry) cancelPage(cause error) {
+	e.cancelMu.Lock()
+	f := e.pageCancel
+	e.cancelMu.Unlock()
+	if f != nil {
+		f(cause)
+	}
 }
 
 // cursorManager is the server-side cursor registry behind POST /hunt,
@@ -96,7 +132,7 @@ func (m *cursorManager) put(cur *threatraptor.Cursor, pending []string, offset i
 		epoch:   cur.Epoch(),
 		created: m.now(),
 		cur:     cur,
-		pending: pending,
+		pending: [][]string{pending},
 		offset:  offset,
 	}
 	m.reg.Pin(e.epoch)
@@ -204,9 +240,12 @@ func (m *cursorManager) detachLocked(e *cursorEntry) {
 // entry's epoch unpinned, garbage-collecting the epoch once no other
 // cursor references it. Runs without the manager lock so a close never
 // stalls registrations; the entry lock fences concurrent page readers,
-// who observe closed and report the cursor gone.
+// who observe closed and report the cursor gone. A page read in flight
+// on a victim is cancelled BEFORE its entry lock is taken — otherwise
+// eviction would block behind however much join work the page had left.
 func (m *cursorManager) closeAll(victims []*cursorEntry) {
 	for _, e := range victims {
+		e.cancelPage(errCursorEvicted)
 		e.mu.Lock()
 		if !e.closed {
 			e.closed = true

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -50,23 +51,26 @@ func requestID(ctx context.Context) string {
 }
 
 // inflightEntry is one execution currently running, registered for
-// GET /debug/hunts.
+// GET /debug/hunts and targetable by the DELETE /debug/hunts/<id> kill
+// switch via its cancel hook.
 type inflightEntry struct {
-	kind  string // "hunt", "hunt/next", "explain"
-	reqID string
-	query string
-	start time.Time
+	kind   string // "hunt", "hunt/next", "explain"
+	reqID  string
+	query  string
+	start  time.Time
+	cancel context.CancelCauseFunc // nil when the execution is not cancellable
 }
 
 // trackInflight registers an execution and returns its deregistration.
-// The query is truncated so /debug/hunts stays readable and a giant
-// TBQL body is not pinned for the hunt's lifetime.
-func (s *Server) trackInflight(kind, reqID, query string) func() {
+// cancel, when non-nil, lets the kill switch abort the execution. The
+// query is truncated so /debug/hunts stays readable and a giant TBQL
+// body is not pinned for the hunt's lifetime.
+func (s *Server) trackInflight(kind, reqID, query string, cancel context.CancelCauseFunc) func() {
 	const maxQuery = 200
 	if len(query) > maxQuery {
 		query = query[:maxQuery] + "..."
 	}
-	e := &inflightEntry{kind: kind, reqID: reqID, query: query, start: time.Now()}
+	e := &inflightEntry{kind: kind, reqID: reqID, query: query, start: time.Now(), cancel: cancel}
 	s.inflightMu.Lock()
 	s.inflightSeq++
 	seq := s.inflightSeq
@@ -204,6 +208,39 @@ func (s *Server) handleDebugHunts(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDebugHuntKill is the operator kill switch:
+// DELETE /debug/hunts/<request-id> cancels every in-flight execution
+// registered under that request id. The victim answers its own client
+// with 503 and errHuntKilled as the cause; the killer gets the count of
+// executions signalled, or 404 when the id matches nothing in flight.
+func (s *Server) handleDebugHuntKill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "debug/hunts/<id> wants DELETE, got %s", r.Method)
+		return
+	}
+	rid := strings.TrimPrefix(r.URL.Path, "/debug/hunts/")
+	if rid == "" {
+		writeError(w, http.StatusBadRequest, "missing request id: DELETE /debug/hunts/<request-id>")
+		return
+	}
+	var cancels []context.CancelCauseFunc
+	s.inflightMu.Lock()
+	for _, e := range s.inflight {
+		if e.reqID == rid && e.cancel != nil {
+			cancels = append(cancels, e.cancel)
+		}
+	}
+	s.inflightMu.Unlock()
+	if len(cancels) == 0 {
+		writeError(w, http.StatusNotFound, "no in-flight hunt with request id %q", rid)
+		return
+	}
+	for _, cancel := range cancels {
+		cancel(errHuntKilled)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": rid, "executions": len(cancels)})
+}
+
 // handleMetrics renders the registry in Prometheus text exposition
 // format: GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -259,6 +296,16 @@ func (s *Server) buildRegistry() *obs.Registry {
 		func() float64 { return float64(s.propSkipped.Load()) })
 	counter("threatraptor_optimizer_reorders_total", "Hunts the cost optimizer scheduled differently from the static order.",
 		func() float64 { return float64(s.optReorders.Load()) })
+	counter("threatraptor_hunts_timed_out_total", "Hunts aborted by the -hunt-timeout deadline (504).",
+		func() float64 { return float64(s.huntsTimedOut.Load()) })
+	counter("threatraptor_hunts_cancelled_total", "Hunts aborted because the client disconnected mid-execution.",
+		func() float64 { return float64(s.huntsCancelled.Load()) })
+	counter("threatraptor_hunts_killed_total", "Hunts aborted by the DELETE /debug/hunts/<id> kill switch (503).",
+		func() float64 { return float64(s.huntsKilled.Load()) })
+	counter("threatraptor_hunts_budget_exceeded_total", "Hunts aborted by the -max-join-rows budget (422).",
+		func() float64 { return float64(s.huntsBudget.Load()) })
+	counter("threatraptor_hunts_shed_total", "Hunt requests shed at the -max-hunts admission gate (429).",
+		func() float64 { return float64(s.huntsShed.Load()) })
 	counter("threatraptor_plan_cache_hits_total", "Prepared-plan cache hits.",
 		func() float64 { h, _, _ := s.sys.PlanCacheStats(); return float64(h) })
 	counter("threatraptor_plan_cache_misses_total", "Prepared-plan cache misses.",

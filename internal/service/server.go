@@ -129,6 +129,16 @@ type Config struct {
 	// exposes the whole bundle on GET /metrics (nil = a fresh bundle, so
 	// /metrics always renders every histogram family).
 	Metrics *obs.Metrics
+	// HuntTimeout is the per-request execution deadline wrapped around
+	// every /hunt, /hunt/next, and /explain (0 = none). A stateless hunt
+	// past it answers 504 with the partial span breakdown; a cursor page
+	// past it answers 504 but stays resumable — the interrupted rows are
+	// queued for the retry.
+	HuntTimeout time.Duration
+	// MaxHunts bounds concurrent hunt executions (/hunt and /hunt/next
+	// pages); excess requests are shed with 429 + Retry-After like the
+	// ingest path (0 = unlimited).
+	MaxHunts int
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +203,16 @@ type Server struct {
 	// actually changed an execution.
 	optReorders atomic.Int64
 
+	// Lifecycle-governance counters: hunts that hit the -hunt-timeout
+	// deadline, were cancelled by a client disconnect, were killed via
+	// DELETE /debug/hunts/<id>, aborted on the -max-join-rows budget, or
+	// were shed at the -max-hunts admission gate.
+	huntsTimedOut  atomic.Int64
+	huntsCancelled atomic.Int64
+	huntsKilled    atomic.Int64
+	huntsBudget    atomic.Int64
+	huntsShed      atomic.Int64
+
 	// cursors is the server-side cursor registry (TTL, LRU, epoch pins).
 	cursors *cursorManager
 
@@ -205,6 +225,17 @@ type Server struct {
 
 	// ingestSlots is a semaphore bounding concurrent /ingest buffering.
 	ingestSlots chan struct{}
+
+	// huntSlots, when MaxHunts > 0, is the hunt admission semaphore:
+	// /hunt and /hunt/next shed with 429 + Retry-After beyond it.
+	huntSlots chan struct{}
+
+	// baseCtx is cancelled by Close: long-lived background consumers
+	// (webhook delivery and its retry backoff) abort on it so daemon
+	// shutdown is not delayed by a dead sink.
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	closeOnce sync.Once
 
 	// logger receives structured log lines (slow hunts); metrics is the
 	// shared latency-histogram bundle; registry is the /metrics
@@ -241,6 +272,10 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 		metrics:     cfg.Metrics,
 		inflight:    make(map[uint64]*inflightEntry),
 	}
+	if cfg.MaxHunts > 0 {
+		s.huntSlots = make(chan struct{}, cfg.MaxHunts)
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	s.registry = s.buildRegistry()
 	if cfg.WAL != nil {
 		// Compaction must retain every epoch an open cursor pins: feed the
@@ -261,10 +296,20 @@ func NewWithConfig(sys *threatraptor.System, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/hunts", s.handleDebugHunts)
+	s.mux.HandleFunc("/debug/hunts/", s.handleDebugHuntKill)
 	if cfg.Pprof {
 		s.mountPprof()
 	}
 	return s
+}
+
+// Close releases the server's background consumers: webhook pumps
+// abort their in-flight deliveries and backoff waits, so shutdown is
+// never held hostage by a dead sink. It does not close cursors or
+// watches — the process is exiting and their state is in-memory only.
+// Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.baseStop)
 }
 
 // ServeHTTP dispatches to the daemon's endpoints. Every request gets a
@@ -285,6 +330,94 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// errHuntKilled is the cancellation cause installed by the
+// DELETE /debug/hunts/<id> kill switch: an operator explicitly aborted
+// the hunt.
+var errHuntKilled = errors.New("hunt killed via DELETE /debug/hunts")
+
+// statusClientClosedRequest is the (nginx-popularized) status recorded
+// for a hunt aborted because its client disconnected mid-execution. No
+// client reads the response; the code keeps access logs and tests
+// truthful about why the execution stopped.
+const statusClientClosedRequest = 499
+
+// huntCtx derives the execution context for one hunt-shaped request:
+// the HTTP request context (so a client disconnect aborts the hunt
+// mid-wave), wrapped in the configured -hunt-timeout deadline, wrapped
+// in a cancel-with-cause hook that the kill switch and cursor eviction
+// fire. cleanup must run when the request finishes.
+func (s *Server) huntCtx(r *http.Request) (ctx context.Context, kill context.CancelCauseFunc, cleanup func()) {
+	ctx = r.Context()
+	cancelTimeout := func() {}
+	if s.cfg.HuntTimeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, s.cfg.HuntTimeout)
+	}
+	ctx, kill = context.WithCancelCause(ctx)
+	return ctx, kill, func() {
+		kill(nil)
+		cancelTimeout()
+	}
+}
+
+// admitHunt takes a hunt admission slot, shedding with 429 + Retry-After
+// when -max-hunts executions are already in flight (the same contract as
+// the ingest queue). The returned release must run when the hunt
+// finishes; it is a no-op when admission is unlimited.
+func (s *Server) admitHunt(w http.ResponseWriter) (release func(), ok bool) {
+	if s.huntSlots == nil {
+		return func() {}, true
+	}
+	select {
+	case s.huntSlots <- struct{}{}:
+		return func() { <-s.huntSlots }, true
+	default:
+		s.huntsShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"too many concurrent hunts (max %d); retry shortly", cap(s.huntSlots))
+		return nil, false
+	}
+}
+
+// writeHuntAbort classifies a hunt lifecycle error — deadline, join
+// budget, operator kill, client disconnect — bumps the matching
+// counter, annotates the trace with an "aborted" span, and writes the
+// response (a timed-out hunt still gets its partial span breakdown).
+// It reports whether err was a lifecycle abort; any other error is left
+// to the caller's ordinary mapping.
+func (s *Server) writeHuntAbort(w http.ResponseWriter, ctx context.Context, err error, tr *obs.Trace) bool {
+	if err == nil {
+		return false
+	}
+	var status int
+	switch {
+	case errors.Is(err, exec.ErrHuntDeadline):
+		status = http.StatusGatewayTimeout
+		s.huntsTimedOut.Add(1)
+	case errors.Is(err, exec.ErrJoinBudget):
+		status = http.StatusUnprocessableEntity
+		s.huntsBudget.Add(1)
+	case errors.Is(err, exec.ErrHuntCancelled):
+		if errors.Is(context.Cause(ctx), errHuntKilled) {
+			status = http.StatusServiceUnavailable
+			s.huntsKilled.Add(1)
+		} else {
+			status = statusClientClosedRequest
+			s.huntsCancelled.Add(1)
+		}
+	default:
+		return false
+	}
+	sp := tr.Begin("aborted", -1)
+	tr.EndNote(sp, err.Error())
+	body := map[string]any{"error": err.Error()}
+	if t := tr.JSON(); t != nil {
+		body["trace"] = t
+	}
+	writeJSON(w, status, body)
+	return true
 }
 
 // readBody buffers the request body under the given cap. A body over
@@ -512,8 +645,21 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	// The body read above may have outlived the client; skip execution
+	// when nobody is left to read the answer.
+	if r.Context().Err() != nil {
+		s.huntsCancelled.Add(1)
+		return
+	}
+	release, admitted := s.admitHunt(w)
+	if !admitted {
+		return
+	}
+	defer release()
+	hctx, kill, huntDone := s.huntCtx(r)
+	defer huntDone()
 	rid := requestID(r.Context())
-	finish := s.trackInflight("hunt", rid, req.Query)
+	finish := s.trackInflight("hunt", rid, req.Query, kill)
 	defer finish()
 	// One trace per hunt, threaded through the engine so the response
 	// (and the slow-hunt log) carries the full pipeline span tree.
@@ -548,11 +694,14 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	// one execution serves every later page.
 	var cur *threatraptor.Cursor
 	if req.NoCursor || req.Offset > 0 {
-		cur, err = s.sys.HuntQueryCursorTrace(q, req.Offset+req.Limit+1, tr)
+		cur, err = s.sys.HuntQueryCursorCtx(hctx, q, req.Offset+req.Limit+1, tr)
 	} else {
-		cur, err = s.sys.HuntQueryCursorTrace(q, 0, tr)
+		cur, err = s.sys.HuntQueryCursorCtx(hctx, q, 0, tr)
 	}
 	if err != nil {
+		if s.writeHuntAbort(w, hctx, err, tr) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -595,6 +744,9 @@ func (s *Server) handleHunt(w http.ResponseWriter, r *http.Request) {
 	// The join runs lazily inside the cursor, so an iteration error can
 	// surface mid-page; report it instead of a truncated row set.
 	if err := cur.Err(); err != nil {
+		if s.writeHuntAbort(w, hctx, err, tr) {
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -668,8 +820,20 @@ func (s *Server) handleHuntNext(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, "unknown or expired cursor %q; re-run the hunt", id)
 		return
 	}
-	finish := s.trackInflight("hunt/next", requestID(r.Context()), "cursor "+idPrefix(id))
+	release, admitted := s.admitHunt(w)
+	if !admitted {
+		return
+	}
+	defer release()
+	hctx, kill, huntDone := s.huntCtx(r)
+	defer huntDone()
+	finish := s.trackInflight("hunt/next", requestID(r.Context()), "cursor "+idPrefix(id), kill)
 	defer finish()
+	// Expose the page's cancel hook to eviction: closeAll fires it, so an
+	// LRU victim's in-flight page aborts instead of making the evictor
+	// wait out however much join work the page had left.
+	e.setPageCancel(kill)
+	defer e.setPageCancel(nil)
 
 	e.mu.Lock()
 	if e.closed {
@@ -677,29 +841,68 @@ func (s *Server) handleHuntNext(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, "unknown or expired cursor %q; re-run the hunt", id)
 		return
 	}
+	// Each page runs under its own request's context: install it before
+	// iterating (this also clears a previous page's interrupt so a
+	// timed-out cursor resumes cleanly).
+	e.cur.SetContext(hctx)
 	pageStart := e.offset
 	rows := make([][]string, 0, min(limit, 64))
-	if e.pending != nil {
-		rows = append(rows, e.pending)
-		e.pending = nil
+	// Serve queued rows first: the look-ahead row the previous page
+	// consumed, plus any partial page stashed by an interrupted read.
+	for len(rows) < limit && len(e.pending) > 0 {
+		rows = append(rows, e.pending[0])
+		e.pending = e.pending[1:]
 	}
 	for len(rows) < limit && e.cur.Next() {
 		rows = append(rows, e.cur.Row())
 	}
-	more := e.cur.Next()
-	if more {
-		e.pending = e.cur.Row()
+	more := len(e.pending) > 0
+	if !more && len(rows) == limit && e.cur.Next() {
+		// One row beyond the page decides whether more remain; it becomes
+		// the next page's first row.
+		e.pending = append(e.pending, e.cur.Row())
+		more = true
 	}
-	e.offset = pageStart + len(rows)
 	err := e.cur.Err()
+	if err != nil && (errors.Is(err, exec.ErrHuntCancelled) || errors.Is(err, exec.ErrHuntDeadline)) {
+		// Interrupted, not dead: stash the partial page so a retry
+		// re-serves exactly these rows, and leave the offset unmoved.
+		e.pending = append(rows, e.pending...)
+	} else {
+		e.offset = pageStart + len(rows)
+	}
 	st := toHuntStats(e.cur)
 	epoch := uint64(e.cur.Epoch())
 	cols := e.cur.Columns()
 	e.mu.Unlock()
 
 	if err != nil {
-		s.cursors.remove(id)
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		cause := context.Cause(hctx)
+		switch {
+		case errors.Is(cause, errCursorEvicted):
+			// The LRU (or an explicit close) took the cursor out from under
+			// this page; it is already detached and closed.
+			writeError(w, http.StatusGone, "cursor %q evicted mid-page; re-run the hunt", id)
+		case errors.Is(cause, errHuntKilled):
+			s.huntsKilled.Add(1)
+			s.cursors.remove(id)
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, exec.ErrHuntDeadline):
+			// Resumable: the partial page is queued, so retrying this
+			// request serves it with no rows lost or repeated.
+			s.huntsTimedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "%v; cursor %q remains resumable", err, id)
+		case errors.Is(err, exec.ErrHuntCancelled):
+			s.huntsCancelled.Add(1)
+			writeError(w, statusClientClosedRequest, "%v; cursor %q remains resumable", err, id)
+		case errors.Is(err, exec.ErrJoinBudget):
+			s.huntsBudget.Add(1)
+			s.cursors.remove(id)
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		default:
+			s.cursors.remove(id)
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	if !more {
@@ -789,7 +992,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rid := requestID(r.Context())
-	finish := s.trackInflight("explain", rid, src)
+	hctx, kill, huntDone := s.huntCtx(r)
+	defer huntDone()
+	finish := s.trackInflight("explain", rid, src, kill)
 	defer finish()
 	var tr *obs.Trace
 	if !s.cfg.NoTrace {
@@ -803,8 +1008,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	patterns, err := s.sys.ExplainTrace(q, tr)
+	patterns, err := s.sys.ExplainTraceCtx(hctx, q, tr)
 	if err != nil {
+		if s.writeHuntAbort(w, hctx, err, tr) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -865,6 +1073,16 @@ type StatsResponse struct {
 	// OptimizerReorders counts hunts the cost optimizer scheduled
 	// differently from the static pruning-score order.
 	OptimizerReorders int64 `json:"optimizer_reorders"`
+	// HuntsTimedOut, HuntsCancelled, HuntsKilled, HuntsBudgetExceeded,
+	// and HuntsShed are the lifecycle-governance counters: hunts aborted
+	// by the -hunt-timeout deadline, by a client disconnect, by the
+	// DELETE /debug/hunts/<id> kill switch, by the -max-join-rows budget,
+	// or shed at the -max-hunts admission gate.
+	HuntsTimedOut       int64 `json:"hunts_timed_out"`
+	HuntsCancelled      int64 `json:"hunts_cancelled"`
+	HuntsKilled         int64 `json:"hunts_killed"`
+	HuntsBudgetExceeded int64 `json:"hunts_budget_exceeded"`
+	HuntsShed           int64 `json:"hunts_shed"`
 	// PlanCacheHits/Misses are the prepared-plan cache's cumulative
 	// counters; PlanCacheSize is how many plan templates it currently
 	// holds. Hits climbing while misses stay flat is the repeat-hunt
@@ -938,6 +1156,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WatchWebhookFailures:  s.watches.webhookFailures.Load(),
 		PropagationsSkipped:   s.propSkipped.Load(),
 		OptimizerReorders:     s.optReorders.Load(),
+		HuntsTimedOut:         s.huntsTimedOut.Load(),
+		HuntsCancelled:        s.huntsCancelled.Load(),
+		HuntsKilled:           s.huntsKilled.Load(),
+		HuntsBudgetExceeded:   s.huntsBudget.Load(),
+		HuntsShed:             s.huntsShed.Load(),
 		PlanCacheHits:         planHits,
 		PlanCacheMisses:       planMisses,
 		PlanCacheSize:         planSize,

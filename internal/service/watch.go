@@ -467,6 +467,11 @@ func (s *Server) handleWatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.watches.detach(id)
 
+	// A long-lived stream must outlive the server's ReadTimeout: clear
+	// the read deadline for this connection so the daemon's slowloris
+	// protection does not sever an idle-but-healthy subscriber.
+	_ = http.NewResponseController(w).SetReadDeadline(time.Time{})
+
 	if format == "sse" {
 		w.Header().Set("Content-Type", "text/event-stream")
 	} else {
@@ -523,7 +528,9 @@ func (s *Server) handleWatchStream(w http.ResponseWriter, r *http.Request) {
 // NDJSON frame, retrying with exponential backoff. Exhausting the
 // retries closes the watch (counted in watch_webhook_failures) — the
 // subscriber's endpoint is down, and unread batches would otherwise
-// accumulate until eviction anyway.
+// accumulate until eviction anyway. Deliveries and backoff waits run
+// under the server's base context, so Close aborts a pump stuck on a
+// dead sink instead of delaying shutdown by retries × backoff.
 func (s *Server) webhookPump(e *watchEntry, url string) {
 	defer s.watches.remove(e.id)
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -539,11 +546,25 @@ func (s *Server) webhookPump(e *watchEntry, url string) {
 		for attempt := 0; attempt < WebhookRetries; attempt++ {
 			if attempt > 0 {
 				s.watches.webhookRetries.Add(1)
-				time.Sleep(backoff)
+				select {
+				case <-time.After(backoff):
+				case <-s.baseCtx.Done():
+					// Server shutting down; the endpoint can catch up from the
+					// resume token when the watch is re-registered.
+					return
+				}
 				backoff *= 2
 			}
-			resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body))
+			req, err := http.NewRequestWithContext(s.baseCtx, http.MethodPost, url, bytes.NewReader(body))
 			if err != nil {
+				break
+			}
+			req.Header.Set("Content-Type", "application/x-ndjson")
+			resp, err := client.Do(req)
+			if err != nil {
+				if s.baseCtx.Err() != nil {
+					return
+				}
 				continue
 			}
 			resp.Body.Close()

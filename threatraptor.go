@@ -21,6 +21,7 @@
 package threatraptor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -113,6 +114,12 @@ type Options struct {
 	// plan parameters probed per row — not rendered IN-list text — so
 	// large caps cost memory, not parse time.
 	MaxPropagatedIDs int
+	// MaxJoinRows bounds how many candidate rows one hunt's join may
+	// examine (0 = unbounded): a hunt that exceeds it aborts with
+	// exec.ErrJoinBudget, releasing its snapshot, so a cross-product-
+	// shaped query cannot pin a core indefinitely. The daemon maps the
+	// error to 422.
+	MaxJoinRows int
 	// PlanCacheSize bounds the cross-hunt prepared-plan cache (plan
 	// templates, LRU-evicted). 0 means the default (256); a negative
 	// value disables the cache, so every hunt compiles its patterns'
@@ -256,6 +263,7 @@ func New(opts Options) (*System, error) {
 			DisableCostOptimizer: opts.DisableCostOptimizer,
 			UseNaiveJoin:         opts.UseNaiveJoin,
 			MaxPropagatedIDs:     opts.MaxPropagatedIDs,
+			MaxJoinRows:          opts.MaxJoinRows,
 			DisableTracing:       opts.DisableTracing,
 		},
 		metrics:      opts.Metrics,
@@ -636,6 +644,14 @@ func (s *System) HuntQueryCursorTrace(q *Query, limit int, tr *obs.Trace) (*Curs
 	return s.engine.ExecuteCursorTrace(q, limit, tr)
 }
 
+// HuntQueryCursorCtx is HuntQueryCursorTrace under a lifecycle context:
+// cancelling ctx (a client disconnect, a deadline, an operator kill)
+// aborts the hunt's fetch waves and join walk within a bounded amount
+// of work, surfacing exec.ErrHuntCancelled / exec.ErrHuntDeadline.
+func (s *System) HuntQueryCursorCtx(ctx context.Context, q *Query, limit int, tr *obs.Trace) (*Cursor, error) {
+	return s.engine.ExecuteCursorCtx(ctx, q, limit, tr)
+}
+
 // HuntReport is the end-to-end pipeline: extract the threat behavior
 // graph from the report, synthesize a TBQL query, and execute it.
 func (s *System) HuntReport(report string, plan *SynthPlan) (*Query, *HuntResult, error) {
@@ -661,6 +677,14 @@ func (s *System) Explain(q *Query) ([]exec.ExplainedPattern, error) {
 // records nothing).
 func (s *System) ExplainTrace(q *Query, tr *obs.Trace) ([]exec.ExplainedPattern, error) {
 	return s.engine.ExplainTrace(q, tr)
+}
+
+// ExplainTraceCtx is ExplainTrace honoring a lifecycle context. Explain
+// runs no data queries — it estimates and compiles only — so the
+// context is checked once at entry; a caller whose deadline already
+// fired gets exec.ErrHuntDeadline instead of an explanation.
+func (s *System) ExplainTraceCtx(ctx context.Context, q *Query, tr *obs.Trace) ([]exec.ExplainedPattern, error) {
+	return s.engine.ExplainTraceCtx(ctx, q, tr)
 }
 
 // NumEvents reports how many events are stored.

@@ -1,6 +1,7 @@
 package threatraptor
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -68,6 +69,13 @@ type Watch struct {
 
 	ch chan WatchBatch
 
+	// ctx is the watch's lifecycle context; Close cancels it BEFORE
+	// taking mu, so a pump blocked mid-Advance (which holds mu) aborts
+	// within a bounded amount of join work instead of making Close wait
+	// out the whole delta evaluation.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	// mu serializes evaluation + delivery (the evaluator goroutine and
 	// SyncWatches both pump) and guards the fields below.
 	mu     sync.Mutex
@@ -99,6 +107,7 @@ func (s *System) Watch(q *Query, opts WatchOptions) (*Watch, error) {
 		buf = DefaultWatchBuffer
 	}
 	w := &Watch{sys: s, hunt: hunt, ch: make(chan WatchBatch, buf)}
+	w.ctx, w.cancel = context.WithCancel(context.Background())
 	s.watchMu.Lock()
 	s.watchNextID++
 	w.id = s.watchNextID
@@ -145,8 +154,13 @@ func (w *Watch) Err() error {
 }
 
 // Close unregisters the watch and closes its channel. Batches already
-// buffered remain readable. Close is idempotent.
+// buffered remain readable. A pump mid-Advance is cancelled rather than
+// waited out, so Close returns promptly even when an ingest burst has
+// the evaluator deep in a delta join. Close is idempotent.
 func (w *Watch) Close() {
+	// Cancel before taking mu: a pump holding mu inside Advance only
+	// releases it once the cancellation interrupts the join.
+	w.cancel()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -167,12 +181,19 @@ func (w *Watch) pump() {
 		return
 	}
 	advStart := time.Now()
-	b, err := w.hunt.Advance()
+	b, err := w.hunt.AdvanceContext(w.ctx)
 	w.sys.metrics.ObserveStandingAdvance(advStart)
 	if err != nil {
+		if w.ctx.Err() != nil && errors.Is(err, exec.ErrHuntCancelled) {
+			// Close cancelled this pump mid-Advance. Close owns the
+			// shutdown — it is already closing the channel and
+			// unregistering — so do not double-close here.
+			return
+		}
 		w.err = err
 		w.closed = true
 		close(w.ch)
+		w.cancel()
 		w.sys.removeWatch(w.id)
 		return
 	}
@@ -200,6 +221,7 @@ func (w *Watch) pump() {
 		w.err = ErrSlowSubscriber
 		w.closed = true
 		close(w.ch)
+		w.cancel()
 		w.sys.watchEvicted.Add(1)
 		w.sys.removeWatch(w.id)
 	}
